@@ -1,0 +1,238 @@
+//! Bernoulli-mixture EM — the probabilistic "type model" baseline of
+//! the non-interactive literature (§2: Kumar–Raghavan–Rajagopalan–
+//! Tomkins \[12\]; Kleinberg–Sandler \[11\]).
+//!
+//! Generative assumption: each player draws a latent type `t ∈ 1..k`;
+//! type `t` likes object `j` with probability `θ_{tj}`; all entries are
+//! independent given the type. Under that model, EM on a sampled
+//! submatrix recovers the types and reconstruction reduces to
+//! thresholding the posterior like-probability. Under the paper's
+//! adversarial diversity the model is simply wrong, and the estimate
+//! degrades — the same contrast experiment E9 draws for the spectral
+//! baseline.
+//!
+//! Implemented from scratch (log-domain E-step, pseudocount-smoothed
+//! M-step); probes are charged through the engine like every other
+//! method.
+
+use std::collections::HashMap;
+use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
+use tmwia_model::rng::{derive, rng_for, tags};
+use tmwia_model::BitVec;
+use rand::Rng;
+
+/// Configuration for the EM baseline.
+#[derive(Clone, Debug)]
+pub struct EmConfig {
+    /// Random probes per player.
+    pub probes_per_player: usize,
+    /// Number of latent types `k`.
+    pub types: usize,
+    /// EM iterations.
+    pub iterations: usize,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            probes_per_player: 64,
+            types: 4,
+            iterations: 30,
+        }
+    }
+}
+
+/// Run the EM baseline. Returns each player's thresholded estimate.
+pub fn em_reconstruct(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    config: &EmConfig,
+    seed: u64,
+) -> HashMap<PlayerId, BitVec> {
+    let m = engine.m();
+    let n = players.len();
+    let r = config.probes_per_player.min(m);
+    let k = config.types.max(1);
+
+    // Phase 1: sample and post.
+    let samples: Vec<Vec<(usize, bool)>> = par_map_players(players, |p| {
+        let mut rng = rng_for(derive(seed, tags::BASELINE, 3), tags::BASELINE, p as u64);
+        let idx = rand::seq::index::sample(&mut rng, m, r);
+        let handle = engine.player(p);
+        idx.into_iter().map(|j| (j, handle.probe(j))).collect()
+    });
+
+    // Phase 2: EM on the posted samples.
+    let mut rng = rng_for(derive(seed, tags::BASELINE, 4), tags::BASELINE, 0);
+    // θ[t][j] like-probabilities, initialized near 1/2 with jitter.
+    let mut theta: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..m).map(|_| 0.25 + 0.5 * rng.gen::<f64>()).collect())
+        .collect();
+    let mut mix: Vec<f64> = vec![1.0 / k as f64; k];
+    let mut resp: Vec<Vec<f64>> = vec![vec![1.0 / k as f64; k]; n];
+
+    for _ in 0..config.iterations {
+        // E-step: posterior responsibilities in the log domain.
+        for (row, sample) in samples.iter().enumerate() {
+            let mut logp: Vec<f64> = (0..k).map(|t| mix[t].max(1e-12).ln()).collect();
+            for &(j, x) in sample {
+                for (t, lp) in logp.iter_mut().enumerate() {
+                    let th = theta[t][j].clamp(1e-6, 1.0 - 1e-6);
+                    *lp += if x { th.ln() } else { (1.0 - th).ln() };
+                }
+            }
+            let max = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            for lp in logp.iter_mut() {
+                *lp = (*lp - max).exp();
+                z += *lp;
+            }
+            for (t, lp) in logp.iter().enumerate() {
+                resp[row][t] = lp / z;
+            }
+        }
+        // M-step: pseudocount-smoothed (Beta(1,1)) per-type frequencies.
+        let mut ones = vec![vec![1.0f64; m]; k];
+        let mut seen = vec![vec![2.0f64; m]; k];
+        let mut mass = vec![1e-9f64; k];
+        for (row, sample) in samples.iter().enumerate() {
+            for t in 0..k {
+                let w = resp[row][t];
+                mass[t] += w;
+                for &(j, x) in sample {
+                    seen[t][j] += w;
+                    if x {
+                        ones[t][j] += w;
+                    }
+                }
+            }
+        }
+        let total: f64 = mass.iter().sum();
+        for t in 0..k {
+            mix[t] = mass[t] / total;
+            for j in 0..m {
+                theta[t][j] = ones[t][j] / seen[t][j];
+            }
+        }
+    }
+
+    // Phase 3: reconstruct by posterior mean thresholding; own probes
+    // override.
+    players
+        .iter()
+        .enumerate()
+        .map(|(row, &p)| {
+            let mut own: Vec<Option<bool>> = vec![None; m];
+            for &(j, x) in &samples[row] {
+                own[j] = Some(x);
+            }
+            let w = BitVec::from_fn(m, |j| match own[j] {
+                Some(x) => x,
+                None => {
+                    let prob: f64 =
+                        (0..k).map(|t| resp[row][t] * theta[t][j]).sum();
+                    prob > 0.5
+                }
+            });
+            (p, w)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::generators::{adversarial_clusters, bernoulli_types, orthogonal_types};
+
+    fn mean_err(engine: &ProbeEngine, out: &HashMap<PlayerId, BitVec>, players: &[PlayerId]) -> f64 {
+        players
+            .iter()
+            .map(|&p| out[&p].hamming(engine.truth().row(p)) as f64)
+            .sum::<f64>()
+            / players.len() as f64
+    }
+
+    #[test]
+    fn recovers_orthogonal_types() {
+        // The easiest mixture: deterministic θ ∈ {noise, 1−noise}.
+        let inst = orthogonal_types(128, 256, 4, 0.02, 1);
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..128).collect();
+        let cfg = EmConfig {
+            probes_per_player: 96,
+            types: 4,
+            iterations: 30,
+        };
+        let out = em_reconstruct(&engine, &players, &cfg, 1);
+        let err = mean_err(&engine, &out, &players);
+        assert!(err < 40.0, "mean error {err} too high on the easy mixture");
+    }
+
+    #[test]
+    fn beats_guessing_on_its_home_model() {
+        // bernoulli_types is exactly the generative model EM assumes.
+        let inst = bernoulli_types(128, 256, 3, 2);
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..128).collect();
+        let cfg = EmConfig {
+            probes_per_player: 96,
+            types: 3,
+            iterations: 30,
+        };
+        let out = em_reconstruct(&engine, &players, &cfg, 2);
+        let err = mean_err(&engine, &out, &players);
+        // Guessing the unobserved 160 coordinates costs ~80; the type
+        // posterior should cut that well below half. (It cannot go near
+        // zero: θ entries near 1/2 are inherently unpredictable.)
+        assert!(err < 60.0, "mean error {err}: EM no better than guessing");
+    }
+
+    #[test]
+    fn degrades_on_adversarial_clusters() {
+        let easy = orthogonal_types(128, 256, 4, 0.02, 3);
+        let hard = adversarial_clusters(128, 256, 16, 4, 3);
+        let players: Vec<PlayerId> = (0..128).collect();
+        let cfg = EmConfig {
+            probes_per_player: 96,
+            types: 4,
+            iterations: 30,
+        };
+        let run = |inst: &tmwia_model::generators::Instance| {
+            let engine = ProbeEngine::new(inst.truth.clone());
+            mean_err(&engine, &em_reconstruct(&engine, &players, &cfg, 4), &players)
+        };
+        let e_easy = run(&easy);
+        let e_hard = run(&hard);
+        assert!(
+            e_hard > 1.5 * e_easy.max(1.0),
+            "adversarial ({e_hard:.1}) not clearly worse than generative ({e_easy:.1})"
+        );
+    }
+
+    #[test]
+    fn cost_is_exactly_the_budget() {
+        let inst = bernoulli_types(16, 64, 2, 5);
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..16).collect();
+        let cfg = EmConfig {
+            probes_per_player: 16,
+            types: 2,
+            iterations: 5,
+        };
+        em_reconstruct(&engine, &players, &cfg, 6);
+        for p in 0..16 {
+            assert_eq!(engine.probes_of(p), 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = bernoulli_types(16, 64, 2, 7);
+        let mk = || {
+            let engine = ProbeEngine::new(inst.truth.clone());
+            let players: Vec<PlayerId> = (0..16).collect();
+            em_reconstruct(&engine, &players, &EmConfig::default(), 8)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

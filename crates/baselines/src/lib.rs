@@ -1,0 +1,46 @@
+//! # tmwia-baselines
+//!
+//! The comparison algorithms the paper positions itself against, all
+//! running on the same metered probe substrate as the main algorithms
+//! so that cost/quality comparisons are apples-to-apples:
+//!
+//! * [`mod@solo`] — "go it alone" (§1.1): probe all `m` objects; zero error,
+//!   linear cost. The upper end of the cost axis.
+//! * [`oracle`] — the perfectly coordinated community (§1.1's ideal
+//!   scenario): members known a priori, objects split evenly, results
+//!   shared. `O(m/n*)` rounds, `O(D)` error. The *lower bound* reference
+//!   every experiment compares against.
+//! * [`knn`] — naive billboard collaborative filtering: probe a random
+//!   sample, adopt the most-agreeing peers' posts. The
+//!   polynomial-overhead strawman (cf. the Goldman et al. discussion in
+//!   §2: such schemes need polynomially many samples to find the
+//!   community reliably).
+//! * [`em`] — Bernoulli-mixture EM, the probabilistic type model of
+//!   the non-interactive literature (Kumar et al. \[12\], Kleinberg &
+//!   Sandler \[11\]): the other generative baseline of experiment E9.
+//! * [`one_good`] — the weaker "find one good object" goal of reference
+//!   \[4\] (SODA'05): the sample-or-adopt loop that the paper cites as the
+//!   assumption-free state of the art it generalizes.
+//! * [`spectral`] — low-rank reconstruction from sampled entries in the
+//!   spirit of Drineas–Kerenidis–Raghavan \[6\] (SVD via subspace
+//!   iteration, implemented from scratch in [`linalg`]). Provably good
+//!   under generative assumptions (orthogonal types, singular-value
+//!   gap), and exactly the thing that breaks on adversarial diversity —
+//!   experiment E9 reproduces that contrast.
+
+pub mod em;
+pub mod knn;
+pub mod one_good;
+pub mod linalg;
+pub mod oracle;
+pub mod prediction;
+pub mod solo;
+pub mod spectral;
+
+pub use em::{em_reconstruct, EmConfig};
+pub use knn::{knn_billboard, KnnConfig};
+pub use one_good::{one_good_object, OneGoodResult};
+pub use oracle::oracle_community;
+pub use prediction::{weighted_majority, WmResult};
+pub use solo::solo;
+pub use spectral::{spectral_reconstruct, SpectralConfig};

@@ -1,0 +1,286 @@
+//! Minimal dense linear algebra for the spectral baseline.
+//!
+//! Only what subspace iteration needs: row-major `f64` matrices,
+//! parallel matrix products, and modified Gram–Schmidt. Implemented from
+//! scratch (no external LA crate) per the workspace dependency policy —
+//! the sizes involved (`n, m ≤` a few thousand, `k ≤ 16`) make a naive
+//! cache-friendly implementation entirely adequate.
+
+use rayon::prelude::*;
+use tmwia_model::rng::rng_for;
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from an entry function.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * cols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Gaussian-ish random matrix (sum of uniforms), seeded.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        use rand::Rng;
+        let mut rng = rng_for(seed, 0x4C41, 0); // "LA"
+        Mat::from_fn(rows, cols, |_, _| {
+            (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>()
+        })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self · other` (parallel over result rows).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in mul");
+        let (n, k, p) = (self.rows, self.cols, other.cols);
+        let mut out = Mat::zeros(n, p);
+        out.data
+            .par_chunks_mut(p)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                for l in 0..k {
+                    let a = self.data[i * k + l];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[l * p..(l + 1) * p];
+                    for (o, &b) in out_row.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn tr_mul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "dimension mismatch in tr_mul");
+        let (n, k, p) = (self.rows, self.cols, other.cols);
+        // Accumulate per-thread partial sums over row blocks.
+        let partials: Vec<Vec<f64>> = (0..n)
+            .into_par_iter()
+            .fold(
+                || vec![0.0f64; k * p],
+                |mut acc, i| {
+                    for l in 0..k {
+                        let a = self.data[i * k + l];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = &other.data[i * p..(i + 1) * p];
+                        let arow = &mut acc[l * p..(l + 1) * p];
+                        for (o, &b) in arow.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
+                    }
+                    acc
+                },
+            )
+            .collect();
+        let mut out = Mat::zeros(k, p);
+        for part in partials {
+            for (o, v) in out.data.iter_mut().zip(part) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Orthonormalize the columns in place (modified Gram–Schmidt).
+    /// Columns that collapse numerically are re-seeded to zero (harmless
+    /// for subspace iteration: the next product re-mixes them).
+    pub fn orthonormalize_columns(&mut self) {
+        let (n, k) = (self.rows, self.cols);
+        for j in 0..k {
+            for prev in 0..j {
+                let dot: f64 = (0..n).map(|i| self.get(i, j) * self.get(i, prev)).sum();
+                for i in 0..n {
+                    let v = self.get(i, j) - dot * self.get(i, prev);
+                    self.set(i, j, v);
+                }
+            }
+            let norm: f64 = (0..n).map(|i| self.get(i, j).powi(2)).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                for i in 0..n {
+                    let v = self.get(i, j) / norm;
+                    self.set(i, j, v);
+                }
+            } else {
+                for i in 0..n {
+                    self.set(i, j, 0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Top-`k` left singular subspace of `a` (an `n × m` matrix) via
+/// subspace iteration: `Q ← orth(A · (Aᵀ · Q))`, `iters` times.
+/// Returns an `n × k` orthonormal `Q`.
+pub fn left_singular_subspace(a: &Mat, k: usize, iters: usize, seed: u64) -> Mat {
+    assert!(k >= 1, "need at least one singular vector");
+    let mut q = Mat::random(a.rows(), k.min(a.rows()), seed);
+    q.orthonormalize_columns();
+    for _ in 0..iters {
+        q = a.mul(&a.tr_mul(&q));
+        q.orthonormalize_columns();
+    }
+    q
+}
+
+/// Best rank-`k` approximation `Q(QᵀA)` of `a`, given `q` from
+/// [`left_singular_subspace`].
+pub fn rank_k_approx(a: &Mat, q: &Mat) -> Mat {
+    q.mul(&a.tr_mul(q).transpose_small())
+}
+
+impl Mat {
+    /// Transpose (intended for skinny matrices like `m × k`).
+    pub fn transpose_small(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn mul_small_known() {
+        let a = Mat::from_fn(2, 3, |i, j| (i * 3 + j) as f64); // [[0,1,2],[3,4,5]]
+        let b = Mat::from_fn(3, 2, |i, j| (i * 2 + j) as f64); // [[0,1],[2,3],[4,5]]
+        let c = a.mul(&b);
+        assert!(approx(c.get(0, 0), 10.0));
+        assert!(approx(c.get(0, 1), 13.0));
+        assert!(approx(c.get(1, 0), 28.0));
+        assert!(approx(c.get(1, 1), 40.0));
+    }
+
+    #[test]
+    fn tr_mul_matches_explicit_transpose() {
+        let a = Mat::random(17, 5, 1);
+        let b = Mat::random(17, 3, 2);
+        let fast = a.tr_mul(&b);
+        let slow = a.transpose_small().mul(&b);
+        for i in 0..5 {
+            for j in 0..3 {
+                assert!(approx(fast.get(i, j), slow.get(i, j)), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_schmidt_gives_orthonormal_columns() {
+        let mut q = Mat::random(20, 4, 3);
+        q.orthonormalize_columns();
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f64 = (0..20).map(|r| q.get(r, i) * q.get(r, j)).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9, "({i},{j}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn subspace_iteration_recovers_planted_rank_one() {
+        // A = u·vᵀ exactly rank 1: the approximation must reproduce A.
+        let u: Vec<f64> = (0..30).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let v: Vec<f64> = (0..40).map(|j| ((j % 5) as f64) - 2.0).collect();
+        let a = Mat::from_fn(30, 40, |i, j| u[i] * v[j]);
+        let q = left_singular_subspace(&a, 1, 30, 7);
+        let ak = rank_k_approx(&a, &q);
+        for i in 0..30 {
+            for j in 0..40 {
+                assert!(
+                    (ak.get(i, j) - a.get(i, j)).abs() < 1e-6,
+                    "({i},{j}): {} vs {}",
+                    ak.get(i, j),
+                    a.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_k_approx_never_increases_frobenius_error_with_k() {
+        let a = Mat::random(25, 25, 11);
+        let frob_err = |k: usize| {
+            let q = left_singular_subspace(&a, k, 40, 13);
+            let ak = rank_k_approx(&a, &q);
+            let mut e = 0.0;
+            for i in 0..25 {
+                for j in 0..25 {
+                    e += (a.get(i, j) - ak.get(i, j)).powi(2);
+                }
+            }
+            e
+        };
+        let e1 = frob_err(1);
+        let e4 = frob_err(4);
+        let e8 = frob_err(8);
+        assert!(e4 <= e1 + 1e-9);
+        assert!(e8 <= e4 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_mismatch_panics() {
+        Mat::zeros(2, 3).mul(&Mat::zeros(2, 3));
+    }
+}

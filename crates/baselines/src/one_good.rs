@@ -1,0 +1,190 @@
+//! The "find one good object" protocol — in the spirit of Awerbuch,
+//! Patt-Shamir, Peleg & Tuttle, *Improved recommendation systems*
+//! (SODA 2005), reference \[4\] of the paper.
+//!
+//! Weaker goal than full reconstruction: each player only wants *one*
+//! object it likes. \[4\] shows simple randomized sharing achieves
+//! `O(m + n·log|P|)` total probes for any set `P` of players sharing a
+//! liked object, with no assumptions on preferences. The paper under
+//! reproduction cites this as the state of the art it generalizes
+//! ("the problem of finding a good object … can be solved by very
+//! simple combinatorial algorithms without any restriction").
+//!
+//! Protocol (the classic sample-or-adopt loop): each round, every
+//! still-searching player flips a fair coin — *explore*: probe a
+//! uniformly random unprobed object; *exploit*: probe a uniformly
+//! random object some other player has posted as liked. A player that
+//! probes a liked object posts it and stops.
+
+use std::collections::HashMap;
+use tmwia_billboard::{PlayerId, ProbeEngine};
+use tmwia_model::matrix::ObjectId;
+use tmwia_model::rng::{rng_for, tags};
+use tmwia_model::BitVec;
+use rand::Rng;
+
+/// Result of the one-good-object protocol.
+#[derive(Clone, Debug)]
+pub struct OneGoodResult {
+    /// The liked object each successful player found.
+    pub found: HashMap<PlayerId, ObjectId>,
+    /// Number of synchronous rounds executed.
+    pub rounds: u64,
+}
+
+/// Run the sample-or-adopt protocol for at most `max_rounds` rounds.
+/// Players whose vectors are all-zero can never succeed and simply
+/// exhaust their budget.
+pub fn one_good_object(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    max_rounds: u64,
+    seed: u64,
+) -> OneGoodResult {
+    let m = engine.m();
+    let mut found: HashMap<PlayerId, ObjectId> = HashMap::new();
+    // The billboard of posted liked objects (deduplicated, insertion
+    // ordered for determinism).
+    let mut liked_posts: Vec<ObjectId> = Vec::new();
+    let mut posted = BitVec::zeros(m);
+    // Per-player probed-set tracking for the explore arm.
+    let mut unprobed: HashMap<PlayerId, Vec<ObjectId>> = players
+        .iter()
+        .map(|&p| (p, (0..m).collect::<Vec<_>>()))
+        .collect();
+    let mut rngs: HashMap<PlayerId, _> = players
+        .iter()
+        .map(|&p| (p, rng_for(seed, tags::BASELINE, 0x1_0000 + p as u64)))
+        .collect();
+
+    let mut rounds = 0u64;
+    for _ in 0..max_rounds {
+        if found.len() == players.len() {
+            break;
+        }
+        rounds += 1;
+        // One probe per player per round (the model's lockstep);
+        // players see the billboard as of the start of the round.
+        let snapshot_len = liked_posts.len();
+        let mut new_likes: Vec<ObjectId> = Vec::new();
+        for &p in players {
+            if found.contains_key(&p) {
+                continue;
+            }
+            let rng = rngs.get_mut(&p).expect("rng");
+            let handle = engine.player(p);
+            let pool = unprobed.get_mut(&p).expect("pool");
+            if pool.is_empty() {
+                continue; // probed everything; hopeless
+            }
+            let exploit = snapshot_len > 0 && rng.gen_bool(0.5);
+            let j = if exploit {
+                liked_posts[rng.gen_range(0..snapshot_len)]
+            } else {
+                let idx = rng.gen_range(0..pool.len());
+                pool[idx]
+            };
+            if let Ok(idx) = pool.binary_search(&j) {
+                pool.remove(idx);
+            }
+            if handle.probe(j) {
+                found.insert(p, j);
+                if !posted.get(j) {
+                    posted.set(j, true);
+                    new_likes.push(j);
+                }
+            }
+        }
+        liked_posts.extend(new_likes);
+    }
+    OneGoodResult { found, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::matrix::PrefMatrix;
+    use tmwia_model::rng::rng_for;
+
+    /// n players who all like exactly the objects in `liked` (plus
+    /// per-player private likes), over m objects.
+    fn shared_like_instance(n: usize, m: usize, liked: &[ObjectId], seed: u64) -> PrefMatrix {
+        let mut rng = rng_for(seed, tags::BASELINE, 0);
+        PrefMatrix::new(
+            (0..n)
+                .map(|_| {
+                    let mut row = BitVec::zeros(m);
+                    for &j in liked {
+                        row.set(j, true);
+                    }
+                    // a couple of private likes
+                    row.flip_random(2, &mut rng);
+                    row
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn everyone_finds_a_liked_object_fast() {
+        let truth = shared_like_instance(64, 1024, &[500], 1);
+        let engine = ProbeEngine::new(truth.clone());
+        let players: Vec<PlayerId> = (0..64).collect();
+        let res = one_good_object(&engine, &players, 1024, 1);
+        assert_eq!(res.found.len(), 64, "someone never found a like");
+        for (&p, &j) in &res.found {
+            assert!(truth.value(p, j), "player {p} 'found' a disliked object");
+        }
+        // Total probes ≈ O(m + n log n) ≪ n·m; and rounds ≪ m thanks to
+        // sharing: once one player finds object 500, exploiting spreads
+        // it in O(log) rounds.
+        assert!(
+            res.rounds < 300,
+            "sharing failed: {} rounds for a shared like",
+            res.rounds
+        );
+        assert!(engine.total_probes() < 64 * 400);
+    }
+
+    #[test]
+    fn solo_searcher_needs_theta_m_over_likes() {
+        // One player, one liked object out of m: expectation m/2 rounds.
+        let mut row = BitVec::zeros(512);
+        row.set(100, true);
+        let engine = ProbeEngine::new(PrefMatrix::new(vec![row]));
+        let res = one_good_object(&engine, &[0], 4096, 2);
+        assert_eq!(res.found.get(&0), Some(&100));
+        assert!(res.rounds > 20, "implausibly fast for a lone searcher");
+    }
+
+    #[test]
+    fn all_zero_players_exhaust_gracefully() {
+        let engine = ProbeEngine::new(PrefMatrix::new(vec![BitVec::zeros(32); 4]));
+        let res = one_good_object(&engine, &[0, 1, 2, 3], 64, 3);
+        assert!(res.found.is_empty());
+        // Everyone probed all 32 objects, then idled.
+        for p in 0..4 {
+            assert_eq!(engine.probes_of(p), 32);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let truth = shared_like_instance(16, 128, &[7, 90], 4);
+        let run = || {
+            let engine = ProbeEngine::new(truth.clone());
+            let players: Vec<PlayerId> = (0..16).collect();
+            let res = one_good_object(&engine, &players, 512, 9);
+            (res.found.clone(), res.rounds, engine.total_probes())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn respects_max_rounds() {
+        let engine = ProbeEngine::new(PrefMatrix::new(vec![BitVec::zeros(1024); 2]));
+        let res = one_good_object(&engine, &[0, 1], 10, 5);
+        assert_eq!(res.rounds, 10);
+        assert!(engine.max_probes() <= 10);
+    }
+}

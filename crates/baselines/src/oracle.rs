@@ -1,0 +1,158 @@
+//! The oracle-coordinated community (§1.1's ideal scenario).
+//!
+//! "Imagine that these players are perfectly coordinated (in particular,
+//! each of them knows the identities of all members in the set)" — then
+//! splitting the object set gives every member a full estimate in
+//! `O(m/n*)` rounds with `O(D)` error. No real algorithm can know the
+//! membership for free; this baseline is the *floor* the interactive
+//! algorithm is measured against (its stretch definition is relative to
+//! exactly this ideal).
+
+use std::collections::HashMap;
+use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
+use tmwia_model::rng::{rng_for, tags};
+use tmwia_model::BitVec;
+use rand::seq::SliceRandom;
+
+/// Run the coordinated-community protocol: the (externally provided)
+/// `community` splits the `m` objects into `|community|` random chunks;
+/// each member probes `replication` chunks so every object is probed by
+/// `replication` distinct members; every member adopts the majority of
+/// the posted grades per object (its own probe included where present).
+///
+/// `replication = 1` is the paper's scheme (`⌈m/n*⌉` rounds, expected
+/// error ≤ D); higher replication trades rounds for error like a
+/// repetition code.
+///
+/// # Panics
+/// Panics if `community` is empty or `replication` is 0.
+pub fn oracle_community(
+    engine: &ProbeEngine,
+    community: &[PlayerId],
+    replication: usize,
+    seed: u64,
+) -> HashMap<PlayerId, BitVec> {
+    assert!(!community.is_empty(), "oracle community must be non-empty");
+    assert!(replication >= 1, "replication must be positive");
+    let m = engine.m();
+    let k = community.len();
+    let replication = replication.min(k);
+
+    // Chunk assignment: a random permutation of objects dealt round-
+    // robin; member i's base chunk is deal i, and with replication r it
+    // also probes the chunks of the next r-1 members (cyclically).
+    let mut rng = rng_for(seed, tags::BASELINE, 0);
+    let mut order: Vec<usize> = (0..m).collect();
+    order.shuffle(&mut rng);
+    let chunk_of_object: Vec<usize> = {
+        let mut c = vec![0usize; m];
+        for (pos, &j) in order.iter().enumerate() {
+            c[j] = pos % k;
+        }
+        c
+    };
+
+    // Each member probes its assigned chunks and posts the grades.
+    let posts: Vec<Vec<(usize, bool)>> = par_map_players(community, |p| {
+        let slot = community.iter().position(|&q| q == p).expect("member");
+        let handle = engine.player(p);
+        let mut mine = Vec::new();
+        for (j, &owner) in chunk_of_object.iter().enumerate() {
+            let covered = (0..replication).any(|r| (owner + r) % k == slot);
+            if covered {
+                mine.push((j, handle.probe(j)));
+            }
+        }
+        mine
+    });
+
+    // Billboard tally: per object, the posted grades.
+    let mut votes: Vec<(u32, u32)> = vec![(0, 0); m]; // (ones, zeros)
+    for member_posts in &posts {
+        for &(j, v) in member_posts {
+            if v {
+                votes[j].0 += 1;
+            } else {
+                votes[j].1 += 1;
+            }
+        }
+    }
+
+    // Everyone adopts the per-object majority (ties → 0, matching the
+    // model crate's majority convention).
+    let adopted = BitVec::from_fn(m, |j| votes[j].0 > votes[j].1);
+    community
+        .iter()
+        .map(|&p| (p, adopted.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::generators::planted_community;
+    use tmwia_model::metrics::discrepancy;
+
+    #[test]
+    fn identical_community_reconstructs_exactly_at_m_over_k_rounds() {
+        let inst = planted_community(32, 256, 32, 0, 1);
+        let engine = ProbeEngine::new(inst.truth);
+        let community: Vec<PlayerId> = (0..32).collect();
+        let out = oracle_community(&engine, &community, 1, 1);
+        for &p in &community {
+            assert_eq!(&out[&p], engine.truth().row(p));
+        }
+        // Rounds ≈ m/k = 8 (round-robin remainder ±1).
+        assert!(engine.max_probes() <= 9, "rounds {}", engine.max_probes());
+    }
+
+    #[test]
+    fn error_scales_with_diameter() {
+        let d = 16;
+        let inst = planted_community(64, 512, 64, d, 2);
+        let community = inst.community().to_vec();
+        let engine = ProbeEngine::new(inst.truth);
+        let out = oracle_community(&engine, &community, 1, 2);
+        let outputs: Vec<BitVec> = (0..64).map(|p| out[&p].clone()).collect();
+        let delta = discrepancy(engine.truth(), &outputs, &community);
+        // Expected error ≤ D; allow 2× slack for the tail.
+        assert!(delta <= 2 * d, "discrepancy {delta} > 2D");
+    }
+
+    #[test]
+    fn replication_reduces_error() {
+        let d = 32;
+        let inst = planted_community(64, 512, 64, d, 3);
+        let community = inst.community().to_vec();
+        let eng1 = ProbeEngine::new(inst.truth.clone());
+        let out1 = oracle_community(&eng1, &community, 1, 3);
+        let eng5 = ProbeEngine::new(inst.truth.clone());
+        let out5 = oracle_community(&eng5, &community, 5, 3);
+        let delta = |out: &HashMap<PlayerId, BitVec>, eng: &ProbeEngine| {
+            let outputs: Vec<BitVec> = (0..64).map(|p| out[&p].clone()).collect();
+            discrepancy(eng.truth(), &outputs, &community)
+        };
+        assert!(delta(&out5, &eng5) <= delta(&out1, &eng1));
+        // …at proportionally higher cost.
+        assert!(eng5.max_probes() >= 4 * eng1.max_probes());
+    }
+
+    #[test]
+    fn replication_capped_at_community_size() {
+        let inst = planted_community(4, 32, 4, 0, 4);
+        let engine = ProbeEngine::new(inst.truth);
+        let community: Vec<PlayerId> = (0..4).collect();
+        let out = oracle_community(&engine, &community, 100, 4);
+        // Full replication = everyone probes everything.
+        assert_eq!(engine.max_probes(), 32);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_community_panics() {
+        let inst = planted_community(4, 8, 4, 0, 5);
+        let engine = ProbeEngine::new(inst.truth);
+        oracle_community(&engine, &[], 1, 0);
+    }
+}

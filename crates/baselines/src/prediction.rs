@@ -1,0 +1,182 @@
+//! Weighted-majority relation learning — the *prediction-mistake* model
+//! of Goldman–Rivest–Schapire \[8\] and Goldman–Warmuth \[9\] (§2).
+//!
+//! The paper is careful to distinguish its charging model from this
+//! one: "a prediction algorithm gets to know the true answer regardless
+//! of whether the prediction is correct, while in our model, most
+//! estimates are never exposed", and it cites that these algorithms
+//! "still suffer from polynomial overhead … even in the simple
+//! 'noise-free' case where all the players in a large (constant
+//! fraction) community are identical."
+//!
+//! This module implements the classic row-expert weighted-majority
+//! learner in that model so the contrast is reproducible (experiment
+//! E16): entries of the hidden matrix are revealed in a uniformly
+//! random order; before each reveal the learner predicts the entry by a
+//! weighted vote of the *other rows'* already-revealed values at that
+//! column, halving the weights of disagreeing experts afterwards; every
+//! wrong prediction costs one mistake. There is **no probe charging** —
+//! information is free here, mistakes are the currency — which is
+//! exactly why the two models are compared by *shape*, not by a common
+//! budget.
+
+use tmwia_model::matrix::{PlayerId, PrefMatrix};
+use tmwia_model::rng::{rng_for, tags};
+use tmwia_model::BitVec;
+use rand::seq::SliceRandom;
+
+/// Result of a weighted-majority run.
+#[derive(Clone, Debug)]
+pub struct WmResult {
+    /// Mistakes charged to each player (row), indexed by player id.
+    pub mistakes: Vec<u64>,
+    /// Number of entries revealed (= n·m).
+    pub reveals: u64,
+}
+
+impl WmResult {
+    /// Maximum mistakes over a player subset.
+    pub fn max_of(&self, players: &[PlayerId]) -> u64 {
+        players.iter().map(|&p| self.mistakes[p]).max().unwrap_or(0)
+    }
+
+    /// Mean mistakes over a player subset.
+    pub fn mean_of(&self, players: &[PlayerId]) -> f64 {
+        if players.is_empty() {
+            return 0.0;
+        }
+        players.iter().map(|&p| self.mistakes[p] as f64).sum::<f64>() / players.len() as f64
+    }
+}
+
+/// Run the weighted-majority learner over the full matrix with a
+/// uniformly random reveal order (the "random sampling pattern" §2
+/// grants the prediction model).
+///
+/// `beta` is the multiplicative penalty for disagreeing experts
+/// (classic WM uses 1/2).
+pub fn weighted_majority(truth: &PrefMatrix, beta: f64, seed: u64) -> WmResult {
+    assert!(beta > 0.0 && beta < 1.0, "beta must lie in (0, 1)");
+    let n = truth.n();
+    let m = truth.m();
+
+    // Reveal order: uniform over all entries.
+    let mut order: Vec<(PlayerId, usize)> = (0..n)
+        .flat_map(|p| (0..m).map(move |j| (p, j)))
+        .collect();
+    order.shuffle(&mut rng_for(seed, tags::BASELINE, 5));
+
+    // weights[p][q]: player p's trust in expert row q.
+    let mut weights: Vec<Vec<f64>> = vec![vec![1.0; n]; n];
+    // revealed[q] = columns of row q already public (+ their values).
+    let mut revealed_mask: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(m)).collect();
+    let mut revealed_vals: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(m)).collect();
+    let mut mistakes = vec![0u64; n];
+
+    for (p, j) in order {
+        // Predict v(p)[j] by weighted vote of experts with a revealed
+        // value at column j.
+        let mut yes = 0.0f64;
+        let mut no = 0.0f64;
+        for q in 0..n {
+            if q == p || !revealed_mask[q].get(j) {
+                continue;
+            }
+            if revealed_vals[q].get(j) {
+                yes += weights[p][q];
+            } else {
+                no += weights[p][q];
+            }
+        }
+        let prediction = yes > no; // ties / no info → predict 0
+        let actual = truth.value(p, j);
+        if prediction != actual {
+            mistakes[p] += 1;
+        }
+        // Reveal, then discount disagreeing experts.
+        revealed_mask[p].set(j, true);
+        revealed_vals[p].set(j, actual);
+        for q in 0..n {
+            if q == p || !revealed_mask[q].get(j) {
+                continue;
+            }
+            if revealed_vals[q].get(j) != actual {
+                weights[p][q] *= beta;
+            }
+        }
+    }
+
+    WmResult {
+        mistakes,
+        reveals: (n * m) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::generators::{planted_community, uniform_noise};
+
+    #[test]
+    fn identical_community_still_pays_real_mistakes() {
+        // §2's point: even noise-free identical communities cost the
+        // prediction model real mistakes — someone must be first at
+        // every column, and trust must be learned per (player, expert)
+        // pair.
+        let inst = planted_community(32, 256, 32, 0, 1);
+        let res = weighted_majority(&inst.truth, 0.5, 1);
+        let mean = res.mean_of(inst.community());
+        // Far better than guessing (m/2 = 128)…
+        assert!(mean < 64.0, "mean mistakes {mean} — no learning at all?");
+        // …but decidedly nonzero: learning who to trust is not free.
+        assert!(mean > 2.0, "mean mistakes {mean} implausibly low");
+    }
+
+    #[test]
+    fn noise_rows_pay_about_half() {
+        // A row uncorrelated with everyone is unpredictable: ~m/2
+        // mistakes regardless of experts.
+        let inst = uniform_noise(16, 200, 2);
+        let res = weighted_majority(&inst.truth, 0.5, 2);
+        let mean = res.mean_of(&(0..16).collect::<Vec<_>>());
+        assert!(
+            (60.0..140.0).contains(&mean),
+            "mean {mean} not near the m/2 guessing floor"
+        );
+    }
+
+    #[test]
+    fn bigger_communities_amortize_better() {
+        // More identical peers ⇒ the "first at a column" tax spreads
+        // across more rows ⇒ fewer mistakes per member.
+        let small = planted_community(64, 256, 8, 0, 3);
+        let large = planted_community(64, 256, 56, 0, 3);
+        let rs = weighted_majority(&small.truth, 0.5, 3);
+        let rl = weighted_majority(&large.truth, 0.5, 3);
+        let ms = rs.mean_of(small.community());
+        let ml = rl.mean_of(large.community());
+        assert!(
+            ml < ms,
+            "larger community did not amortize: small {ms:.1} vs large {ml:.1}"
+        );
+    }
+
+    #[test]
+    fn reveals_count_and_determinism() {
+        let inst = planted_community(8, 32, 4, 0, 4);
+        let a = weighted_majority(&inst.truth, 0.5, 9);
+        let b = weighted_majority(&inst.truth, 0.5, 9);
+        assert_eq!(a.reveals, 8 * 32);
+        assert_eq!(a.mistakes, b.mistakes);
+        let c = weighted_majority(&inst.truth, 0.5, 10);
+        // Different reveal order ⇒ (almost surely) different mistakes.
+        assert_ne!(a.mistakes, c.mistakes);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn bad_beta_panics() {
+        let inst = uniform_noise(2, 4, 5);
+        weighted_majority(&inst.truth, 1.0, 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! The "go it alone" baseline (§1.1): a linear probing budget lets a
+//! player ignore everyone else and reconstruct perfectly.
+
+use std::collections::HashMap;
+use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
+use tmwia_model::BitVec;
+
+/// Every listed player probes all `m` objects. Zero error, `m` rounds.
+pub fn solo(engine: &ProbeEngine, players: &[PlayerId]) -> HashMap<PlayerId, BitVec> {
+    let m = engine.m();
+    let rows = par_map_players(players, |p| {
+        let handle = engine.player(p);
+        BitVec::from_fn(m, |j| handle.probe(j))
+    });
+    players.iter().copied().zip(rows).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::generators::uniform_noise;
+
+    #[test]
+    fn exact_at_cost_m() {
+        let inst = uniform_noise(8, 64, 1);
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..8).collect();
+        let out = solo(&engine, &players);
+        for &p in &players {
+            assert_eq!(&out[&p], engine.truth().row(p));
+            assert_eq!(engine.probes_of(p), 64);
+        }
+        assert_eq!(engine.max_probes(), 64);
+    }
+
+    #[test]
+    fn subset_of_players_only_charges_them() {
+        let inst = uniform_noise(4, 16, 2);
+        let engine = ProbeEngine::new(inst.truth);
+        let out = solo(&engine, &[1, 3]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(engine.probes_of(0), 0);
+        assert_eq!(engine.probes_of(1), 16);
+    }
+}

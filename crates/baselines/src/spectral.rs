@@ -1,0 +1,199 @@
+//! Spectral low-rank reconstruction from sampled probes — the
+//! Drineas–Kerenidis–Raghavan \[6\] style baseline.
+//!
+//! Protocol: every player probes `r` uniformly random objects (paying
+//! through the engine like everyone else) and posts the results. From
+//! the posted samples build the unbiased estimator
+//! `Â_ij = (m/r) · a_ij` on observed entries (`0` elsewhere, with grades
+//! mapped to `±1`), compute its best rank-`k` approximation via
+//! subspace iteration, and round each entry back to a grade.
+//!
+//! Under the generative assumptions of \[6\] — near-orthogonal canonical
+//! types, a singular-value gap, tiny noise — this reconstructs most
+//! preference vectors from few samples. Under the paper's adversarial
+//! diversity it has no usable spectrum to project onto, which is exactly
+//! the contrast experiment E9 reproduces.
+
+use crate::linalg::{left_singular_subspace, rank_k_approx, Mat};
+use std::collections::HashMap;
+use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
+use tmwia_model::rng::{derive, rng_for, tags};
+use tmwia_model::BitVec;
+
+/// Configuration for the spectral baseline.
+#[derive(Clone, Debug)]
+pub struct SpectralConfig {
+    /// Random probes per player.
+    pub probes_per_player: usize,
+    /// Target rank `k` (number of canonical types assumed).
+    pub rank: usize,
+    /// Subspace-iteration count.
+    pub iterations: usize,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        SpectralConfig {
+            probes_per_player: 64,
+            rank: 4,
+            iterations: 20,
+        }
+    }
+}
+
+/// Run the spectral baseline. Returns each player's rounded estimate.
+pub fn spectral_reconstruct(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    config: &SpectralConfig,
+    seed: u64,
+) -> HashMap<PlayerId, BitVec> {
+    let m = engine.m();
+    let r = config.probes_per_player.min(m);
+    let scale = m as f64 / r as f64;
+
+    // Phase 1: sample and post (±1 encoding, importance-scaled).
+    let samples: Vec<Vec<(usize, f64)>> = par_map_players(players, |p| {
+        let mut rng = rng_for(derive(seed, tags::BASELINE, 2), tags::BASELINE, p as u64);
+        let idx = rand::seq::index::sample(&mut rng, m, r);
+        let handle = engine.player(p);
+        idx.into_iter()
+            .map(|j| {
+                let v = if handle.probe(j) { 1.0 } else { -1.0 };
+                (j, scale * v)
+            })
+            .collect()
+    });
+
+    // Phase 2: estimator matrix, rank-k projection, rounding.
+    let n_rows = players.len();
+    let mut a = Mat::zeros(n_rows, m);
+    for (row, sample) in samples.iter().enumerate() {
+        for &(j, v) in sample {
+            a.set(row, j, v);
+        }
+    }
+    let q = left_singular_subspace(&a, config.rank.min(n_rows), config.iterations, seed);
+    let ak = rank_k_approx(&a, &q);
+
+    players
+        .iter()
+        .enumerate()
+        .map(|(row, &p)| {
+            let w = BitVec::from_fn(m, |j| ak.get(row, j) > 0.0);
+            (p, w)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::generators::{adversarial_clusters, orthogonal_types};
+    use tmwia_model::metrics::discrepancy;
+
+    fn mean_error(
+        engine: &ProbeEngine,
+        out: &HashMap<PlayerId, BitVec>,
+        players: &[PlayerId],
+    ) -> f64 {
+        players
+            .iter()
+            .map(|&p| out[&p].hamming(engine.truth().row(p)) as f64)
+            .sum::<f64>()
+            / players.len() as f64
+    }
+
+    #[test]
+    fn reconstructs_orthogonal_types_from_few_samples() {
+        // 4 orthogonal types, mild noise: the textbook SVD-friendly
+        // case. 96 samples out of m = 256 per player.
+        let inst = orthogonal_types(128, 256, 4, 0.02, 1);
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..128).collect();
+        let cfg = SpectralConfig {
+            probes_per_player: 96,
+            rank: 4,
+            iterations: 30,
+        };
+        let out = spectral_reconstruct(&engine, &players, &cfg, 1);
+        let err = mean_error(&engine, &out, &players);
+        // Perfect would be ~0–10 (noise floor ~0.02·256 ≈ 5 per player);
+        // random guessing is 128.
+        assert!(err < 40.0, "mean error {err} too high for the easy case");
+    }
+
+    #[test]
+    fn degrades_on_adversarial_clusters() {
+        // 16 equal clusters with random dense centers: no rank-4
+        // structure. Same budget as above must do much worse relative
+        // to the m/2 guessing floor.
+        let easy = orthogonal_types(128, 256, 4, 0.02, 2);
+        let hard = adversarial_clusters(128, 256, 16, 4, 2);
+        let cfg = SpectralConfig {
+            probes_per_player: 96,
+            rank: 4,
+            iterations: 30,
+        };
+        let players: Vec<PlayerId> = (0..128).collect();
+        let eng_easy = ProbeEngine::new(easy.truth);
+        let err_easy = mean_error(
+            &eng_easy,
+            &spectral_reconstruct(&eng_easy, &players, &cfg, 3),
+            &players,
+        );
+        let eng_hard = ProbeEngine::new(hard.truth);
+        let err_hard = mean_error(
+            &eng_hard,
+            &spectral_reconstruct(&eng_hard, &players, &cfg, 3),
+            &players,
+        );
+        assert!(
+            err_hard > 1.5 * err_easy,
+            "adversarial ({err_hard}) not clearly worse than generative ({err_easy})"
+        );
+    }
+
+    #[test]
+    fn cost_is_exactly_the_sample_budget() {
+        let inst = orthogonal_types(16, 128, 2, 0.0, 4);
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..16).collect();
+        let cfg = SpectralConfig {
+            probes_per_player: 32,
+            rank: 2,
+            iterations: 10,
+        };
+        spectral_reconstruct(&engine, &players, &cfg, 5);
+        for p in 0..16 {
+            assert_eq!(engine.probes_of(p), 32);
+        }
+    }
+
+    #[test]
+    fn full_sampling_with_enough_rank_is_near_exact_on_types() {
+        let inst = orthogonal_types(32, 64, 2, 0.0, 6);
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..32).collect();
+        let cfg = SpectralConfig {
+            probes_per_player: 64,
+            rank: 2,
+            iterations: 40,
+        };
+        let out = spectral_reconstruct(&engine, &players, &cfg, 7);
+        let outputs: Vec<BitVec> = (0..32).map(|p| out[&p].clone()).collect();
+        let delta = discrepancy(engine.truth(), &outputs, &players);
+        assert!(delta <= 4, "discrepancy {delta} on the noiseless case");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = orthogonal_types(16, 64, 2, 0.05, 8);
+        let mk = || {
+            let engine = ProbeEngine::new(inst.truth.clone());
+            let players: Vec<PlayerId> = (0..16).collect();
+            spectral_reconstruct(&engine, &players, &SpectralConfig::default(), 11)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

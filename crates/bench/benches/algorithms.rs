@@ -1,0 +1,99 @@
+//! Criterion end-to-end benchmarks for the paper's algorithms: wall
+//! clock of one full reconstruction per branch, plus the oracle and
+//! spectral baselines for scale. (Probe *counts* — the paper's cost
+//! measure — are what the E-series tables report; these benches watch
+//! simulation throughput instead.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmwia_baselines::{oracle_community, spectral_reconstruct, SpectralConfig};
+use tmwia_billboard::ProbeEngine;
+use tmwia_core::{reconstruct_known, Params};
+use tmwia_model::generators::planted_community;
+
+fn bench_zero_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_radius_end_to_end");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let inst = planted_community(n, n, n / 2, 0, 5);
+        let players: Vec<usize> = (0..n).collect();
+        let params = Params::practical();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let engine = ProbeEngine::new(inst.truth.clone());
+                reconstruct_known(&engine, black_box(&players), 0.5, 0, &params, 5)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_radius_end_to_end");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let inst = planted_community(n, n, n / 2, 4, 6);
+        let players: Vec<usize> = (0..n).collect();
+        let params = Params::practical();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let engine = ProbeEngine::new(inst.truth.clone());
+                reconstruct_known(&engine, black_box(&players), 0.5, 4, &params, 6)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_large_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_radius_end_to_end");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let d = n / 8;
+        let inst = planted_community(n, n, n / 2, d, 7);
+        let players: Vec<usize> = (0..n).collect();
+        let params = Params::practical();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let engine = ProbeEngine::new(inst.truth.clone());
+                reconstruct_known(&engine, black_box(&players), 0.5, d, &params, 7)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let n = 512usize;
+    let inst = planted_community(n, n, n / 2, 4, 8);
+    let players: Vec<usize> = (0..n).collect();
+    let community = inst.community().to_vec();
+    group.bench_function("oracle_512", |bench| {
+        bench.iter(|| {
+            let engine = ProbeEngine::new(inst.truth.clone());
+            oracle_community(&engine, black_box(&community), 1, 8)
+        })
+    });
+    group.bench_function("spectral_512", |bench| {
+        let cfg = SpectralConfig {
+            probes_per_player: 128,
+            rank: 4,
+            iterations: 20,
+        };
+        bench.iter(|| {
+            let engine = ProbeEngine::new(inst.truth.clone());
+            spectral_reconstruct(&engine, black_box(&players), &cfg, 8)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_zero_radius,
+    bench_small_radius,
+    bench_large_radius,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the hot kernels: Hamming distance,
+//! `d̃`, Select, Coalesce and the instance generators. These are the
+//! inner loops every algorithm spends its time in; regressions here
+//! shift every experiment table.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmwia_core::{coalesce, select_values};
+use tmwia_model::generators::{at_distance, planted_community, select_hard_case};
+use tmwia_model::rng::{rng_for, tags};
+use tmwia_model::{BitVec, TernaryVec};
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming");
+    for &len in &[256usize, 4096, 65536] {
+        let mut rng = rng_for(1, tags::TRIAL, len as u64);
+        let a = BitVec::random(len, &mut rng);
+        let b = BitVec::random(len, &mut rng);
+        group.bench_with_input(BenchmarkId::new("full", len), &len, |bench, _| {
+            bench.iter(|| black_box(&a).hamming(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("bounded16", len), &len, |bench, _| {
+            bench.iter(|| black_box(&a).hamming_bounded(black_box(&b), 16))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dtilde(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtilde");
+    for &len in &[256usize, 4096] {
+        let mut rng = rng_for(2, tags::TRIAL, len as u64);
+        let a = TernaryVec::from_bits(&BitVec::random(len, &mut rng));
+        let b = TernaryVec::from_bits(&BitVec::random(len, &mut rng));
+        let bits = BitVec::random(len, &mut rng);
+        group.bench_with_input(BenchmarkId::new("ternary", len), &len, |bench, _| {
+            bench.iter(|| black_box(&a).dtilde(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("vs_bits", len), &len, |bench, _| {
+            bench.iter(|| black_box(&a).dtilde_bits(black_box(&bits)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select");
+    for &(k, d) in &[(4usize, 4usize), (16, 16)] {
+        let (target, cands) = select_hard_case(4096, k, d, 3);
+        let rows: Vec<Vec<bool>> = cands
+            .iter()
+            .map(|cv| (0..cv.len()).map(|j| cv.get(j)).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("hard", format!("k{k}_d{d}")),
+            &k,
+            |bench, _| {
+                bench.iter(|| {
+                    select_values(black_box(&rows), |j| target.get(j), d)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalesce");
+    group.sample_size(20);
+    for &(n, m) in &[(60usize, 512usize), (120, 1024)] {
+        let mut rng = rng_for(4, tags::TRIAL, n as u64);
+        let center = BitVec::random(m, &mut rng);
+        let mut vectors: Vec<BitVec> =
+            (0..n / 2).map(|_| at_distance(&center, 4, &mut rng)).collect();
+        vectors.extend((0..n - n / 2).map(|_| BitVec::random(m, &mut rng)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &n,
+            |bench, _| bench.iter(|| coalesce(black_box(&vectors), 8, 0.25, 5)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(20);
+    group.bench_function("planted_1024", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            planted_community(1024, 1024, 512, 8, seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hamming,
+    bench_dtilde,
+    bench_select,
+    bench_coalesce,
+    bench_generators
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion benchmarks for the substrate layers: probe engine
+//! throughput, billboard post/tally, the lockstep round runtime, and
+//! RSelect duels. These bound how large a simulation the experiment
+//! harness can afford.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::seq::SliceRandom;
+use tmwia_billboard::{run_rounds, Billboard, CrowdPolicy, ProbeEngine, RoundPolicy};
+use tmwia_core::{rselect_bits, Params};
+use tmwia_model::generators::{at_distance, planted_community};
+use tmwia_model::matrix::PrefMatrix;
+use tmwia_model::rng::{rng_for, tags};
+use tmwia_model::BitVec;
+
+fn bench_probe_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_engine");
+    let inst = planted_community(64, 4096, 32, 0, 1);
+    group.bench_function("probe_4096_cached", |bench| {
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let handle = engine.player(0);
+        // First pass pays, loop measures the cached fast path too.
+        bench.iter(|| {
+            let mut acc = 0u32;
+            for j in 0..4096 {
+                acc += handle.probe(black_box(j)) as u32;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_billboard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("billboard");
+    group.bench_function("post_and_tally_1024", |bench| {
+        let mut rng = rng_for(2, tags::TRIAL, 0);
+        let values: Vec<BitVec> = {
+            let base = BitVec::random(512, &mut rng);
+            (0..1024).map(|i| at_distance(&base, i % 5, &mut rng)).collect()
+        };
+        bench.iter(|| {
+            let board: Billboard<u8, BitVec> = Billboard::new();
+            for (p, v) in values.iter().enumerate() {
+                board.post(0, p, v.clone());
+            }
+            black_box(board.tally(&0).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_lockstep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lockstep_rounds");
+    group.sample_size(20);
+    for &(n, m, budget) in &[(64usize, 512usize, 64usize), (128, 1024, 64)] {
+        let inst = planted_community(n, m, n / 2, 0, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    let engine = ProbeEngine::new(inst.truth.clone());
+                    let players: Vec<usize> = (0..n).collect();
+                    let mut policies: Vec<Box<dyn RoundPolicy>> = (0..n)
+                        .map(|p| {
+                            let mut order: Vec<usize> = (0..m).collect();
+                            order.shuffle(&mut rng_for(3, tags::BASELINE, p as u64));
+                            Box::new(CrowdPolicy::new(order, budget, m))
+                                as Box<dyn RoundPolicy>
+                        })
+                        .collect();
+                    run_rounds(&engine, &players, &mut policies, 10_000).rounds
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rselect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rselect");
+    group.sample_size(30);
+    let m = 4096usize;
+    let mut rng = rng_for(4, tags::TRIAL, 1);
+    let truth_row = BitVec::random(m, &mut rng);
+    let truth = PrefMatrix::new(vec![truth_row.clone()]);
+    for &k in &[4usize, 13] {
+        let cands: Vec<BitVec> = (0..k)
+            .map(|i| at_distance(&truth_row, 4 * (i + 1), &mut rng))
+            .collect();
+        let objects: Vec<usize> = (0..m).collect();
+        let params = Params::practical();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                let engine = ProbeEngine::new(truth.clone());
+                rselect_bits(&engine.player(0), &objects, black_box(&cands), &params, m, 7)
+                    .winner
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_probe_engine,
+    bench_billboard,
+    bench_lockstep,
+    bench_rselect
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates every experiment table (E1–E16) in order.
+fn main() {
+    tmwia_bench::run_all();
+}

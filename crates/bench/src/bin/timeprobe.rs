@@ -1,0 +1,28 @@
+//! Wall-clock scaling probe: one reconstruction per branch at two
+//! scales, printed with timings. Useful for spotting simulation-side
+//! performance regressions quickly (the E-series measures probe
+//! *counts*, not wall time; Criterion measures kernels — this covers
+//! the end-to-end middle ground).
+fn main() {
+    use std::time::Instant;
+    use tmwia_billboard::ProbeEngine;
+    use tmwia_core::{reconstruct_known, reconstruct_unknown_d, Params};
+    use tmwia_model::generators::planted_community;
+    let params = Params::practical();
+    for n in [512usize, 1024] {
+        for d in [0usize, 8, 64, n/2] {
+            let inst = planted_community(n, n, n/2, d, 1);
+            let engine = ProbeEngine::new(inst.truth.clone());
+            let players: Vec<usize> = (0..n).collect();
+            let t = Instant::now();
+            reconstruct_known(&engine, &players, 0.5, d, &params, 1);
+            println!("known n={n} d={d}: {:?}", t.elapsed());
+        }
+        let inst = planted_community(n, n, n/2, 8, 1);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<usize> = (0..n).collect();
+        let t = Instant::now();
+        reconstruct_unknown_d(&engine, &players, 0.5, &params, 1);
+        println!("unknown-d n={n}: {:?}", t.elapsed());
+    }
+}

@@ -1,0 +1,146 @@
+//! # tmwia-bench
+//!
+//! Runner glue for the E1–E16 experiment binaries. Each binary in
+//! `src/bin/` regenerates one table of `EXPERIMENTS.md`:
+//!
+//! ```text
+//! cargo run --release -p tmwia-bench --bin e1_zero_radius [-- --quick] [--seed N] [--csv DIR]
+//! cargo run --release -p tmwia-bench --bin exp_all        # the whole suite
+//! ```
+//!
+//! Criterion micro-benches for the hot kernels live in `benches/`.
+
+use std::io::Write as _;
+use tmwia_sim::experiments::{all, ExpConfig};
+
+/// Parsed CLI options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Scaled-down run (CI smoke).
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional directory for CSV dumps.
+    pub csv_dir: Option<String>,
+}
+
+impl Options {
+    /// Parse `--quick`, `--seed N`, `--csv DIR` from `std::env::args`.
+    pub fn from_args() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from any argument iterator (testable core of
+    /// [`Options::from_args`]).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut opts = Options {
+            quick: false,
+            seed: 20060730, // SPAA'06 started July 30, 2006
+            csv_dir: None,
+        };
+        let mut args = iter.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--csv" => {
+                    opts.csv_dir = Some(args.next().expect("--csv needs a directory"));
+                }
+                other => eprintln!("ignoring unknown argument: {other}"),
+            }
+        }
+        opts
+    }
+
+    fn config(&self) -> ExpConfig {
+        if self.quick {
+            ExpConfig::quick(self.seed)
+        } else {
+            ExpConfig::full(self.seed)
+        }
+    }
+}
+
+/// Run one experiment by id (`"e1"` … `"e12"`), print its table, and
+/// optionally dump CSV.
+pub fn run_one(id: &str) {
+    let opts = Options::from_args();
+    run_with(id, &opts);
+}
+
+/// Run every experiment in order.
+pub fn run_all() {
+    let opts = Options::from_args();
+    for (id, _, _) in all() {
+        run_with(id, &opts);
+    }
+}
+
+fn run_with(id: &str, opts: &Options) {
+    let (_, name, runner) = all()
+        .into_iter()
+        .find(|(i, _, _)| *i == id)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    eprintln!("running {id}: {name} (quick={}, seed={})", opts.quick, opts.seed);
+    let start = std::time::Instant::now();
+    let table = runner(&opts.config());
+    let elapsed = start.elapsed();
+    println!("{}", table.render());
+    println!("_elapsed: {elapsed:.2?}_\n");
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = format!("{dir}/{id}.csv");
+        let mut f = std::fs::File::create(&path).expect("create csv file");
+        f.write_all(table.to_csv().as_bytes()).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Options {
+        Options::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn every_registered_id_resolves() {
+        for (id, _, _) in all() {
+            assert!(
+                all().into_iter().any(|(i, _, _)| i == id),
+                "id {id} must resolve"
+            );
+        }
+    }
+
+    #[test]
+    fn options_defaults_and_flags() {
+        let d = parse("");
+        assert!(!d.quick);
+        assert_eq!(d.seed, 20060730);
+        assert!(d.csv_dir.is_none());
+
+        let o = parse("--quick --seed 7 --csv out");
+        assert!(o.quick);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.csv_dir.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn unknown_arguments_are_ignored() {
+        let o = parse("--bogus --quick");
+        assert!(o.quick);
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed needs an integer")]
+    fn bad_seed_panics() {
+        parse("--seed x");
+    }
+}

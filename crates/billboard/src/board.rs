@@ -1,0 +1,179 @@
+//! The shared billboard.
+//!
+//! "To facilitate information sharing, it is assumed that the system
+//! maintains a shared billboard … where users post the results of their
+//! probes" (paper §1). Reads are free; only probes cost. The billboard
+//! is therefore a plain concurrent multimap from a key (an algorithm
+//! phase + object-subset identifier) to the values players posted under
+//! it.
+//!
+//! Determinism: readers receive posts sorted by `(player, value)`, and
+//! tallies are returned sorted, so downstream logic never observes
+//! thread-scheduling order.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+use tmwia_model::matrix::PlayerId;
+
+/// A concurrent append-only multimap `K → [(PlayerId, V)]`.
+///
+/// `K` identifies a topic (e.g. "Zero Radius output for object subset
+/// #12 at recursion depth 3"); `V` is whatever the players publish
+/// (full vectors, per-part candidate indices, …).
+///
+/// ```
+/// use tmwia_billboard::Billboard;
+///
+/// let board: Billboard<&str, u8> = Billboard::new();
+/// board.post("round-1", 0, 7);
+/// board.post("round-1", 1, 7);
+/// board.post("round-1", 2, 9);
+/// assert_eq!(board.tally(&"round-1"), vec![(7, 2), (9, 1)]);
+/// assert_eq!(board.popular(&"round-1", 2), vec![7]);
+/// ```
+#[derive(Debug)]
+pub struct Billboard<K: Eq + Hash, V> {
+    posts: RwLock<HashMap<K, Vec<(PlayerId, V)>>>,
+}
+
+impl<K: Eq + Hash, V> Default for Billboard<K, V> {
+    fn default() -> Self {
+        Billboard {
+            posts: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone + Ord> Billboard<K, V> {
+    /// Empty billboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Player `p` posts `value` under `key`. Posts are never retracted
+    /// (the billboard is append-only, like the paper's public record).
+    pub fn post(&self, key: K, p: PlayerId, value: V) {
+        self.posts.write().entry(key).or_default().push((p, value));
+    }
+
+    /// Post many values at once under distinct keys (single lock trip).
+    pub fn post_batch(&self, items: impl IntoIterator<Item = (K, PlayerId, V)>) {
+        let mut map = self.posts.write();
+        for (key, p, value) in items {
+            map.entry(key).or_default().push((p, value));
+        }
+    }
+
+    /// All posts under `key`, sorted by `(player, value)` for
+    /// determinism. Empty if nobody posted.
+    pub fn read(&self, key: &K) -> Vec<(PlayerId, V)> {
+        let map = self.posts.read();
+        let mut out = map.get(key).cloned().unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    /// Number of posts under `key`.
+    pub fn count(&self, key: &K) -> usize {
+        self.posts.read().get(key).map_or(0, |v| v.len())
+    }
+
+    /// Tally of distinct values under `key`: `(value, votes)` pairs,
+    /// sorted by value. The paper's vote-counting step ("vectors voted
+    /// for by at least an α/2 fraction", Zero Radius step 4).
+    pub fn tally(&self, key: &K) -> Vec<(V, usize)>
+    where
+        V: Hash,
+    {
+        let map = self.posts.read();
+        let mut counts: HashMap<&V, usize> = HashMap::new();
+        if let Some(posts) = map.get(key) {
+            for (_, v) in posts {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(V, usize)> = counts
+            .into_iter()
+            .map(|(v, c)| (v.clone(), c))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Values under `key` with at least `min_votes` votes, sorted —
+    /// the "popular vectors" of Zero Radius step 4 / Small Radius
+    /// step 1b.
+    pub fn popular(&self, key: &K, min_votes: usize) -> Vec<V>
+    where
+        V: Hash,
+    {
+        self.tally(key)
+            .into_iter()
+            .filter(|&(_, c)| c >= min_votes)
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_and_read_sorted() {
+        let b: Billboard<&str, u32> = Billboard::new();
+        b.post("k", 3, 30);
+        b.post("k", 1, 10);
+        b.post("k", 2, 20);
+        assert_eq!(b.read(&"k"), vec![(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(b.read(&"missing"), vec![]);
+        assert_eq!(b.count(&"k"), 3);
+    }
+
+    #[test]
+    fn tally_counts_votes() {
+        let b: Billboard<u8, &str> = Billboard::new();
+        for (p, v) in [(0, "x"), (1, "y"), (2, "x"), (3, "x")] {
+            b.post(7, p, v);
+        }
+        assert_eq!(b.tally(&7), vec![("x", 3), ("y", 1)]);
+        assert_eq!(b.popular(&7, 2), vec!["x"]);
+        assert_eq!(b.popular(&7, 4), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn post_batch_single_trip() {
+        let b: Billboard<u8, u8> = Billboard::new();
+        b.post_batch([(0, 0, 1), (0, 1, 1), (1, 0, 2)]);
+        assert_eq!(b.count(&0), 2);
+        assert_eq!(b.count(&1), 1);
+    }
+
+    #[test]
+    fn concurrent_posts_all_arrive() {
+        let b: Billboard<u8, usize> = Billboard::new();
+        rayon::scope(|s| {
+            for p in 0..16 {
+                let br = &b;
+                s.spawn(move |_| {
+                    for i in 0..100 {
+                        br.post((i % 4) as u8, p, i);
+                    }
+                });
+            }
+        });
+        let total: usize = (0..4).map(|k| b.count(&k)).sum();
+        assert_eq!(total, 1600);
+        // Reads are deterministic regardless of arrival order.
+        let r1 = b.read(&0);
+        let r2 = b.read(&0);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let b: Billboard<u8, u8> = Billboard::default();
+        assert_eq!(b.count(&0), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Probe-cost accounting.
+//!
+//! The paper's complexity measure is *rounds*: each round every player
+//! probes at most one object, so a phase that charges player `p` a total
+//! of `c_p` probes needs `max_p c_p` rounds. [`CostSnapshot`] captures
+//! the per-player charges at an instant; subtracting two snapshots gives
+//! a [`PhaseCost`] with the summary statistics every experiment table
+//! reports.
+
+use tmwia_model::matrix::PlayerId;
+
+/// Per-player cumulative probe charges at one instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostSnapshot {
+    per_player: Vec<u64>,
+}
+
+impl CostSnapshot {
+    /// Wrap raw per-player counters.
+    pub fn new(per_player: Vec<u64>) -> Self {
+        CostSnapshot { per_player }
+    }
+
+    /// Raw per-player charges.
+    pub fn per_player(&self) -> &[u64] {
+        &self.per_player
+    }
+
+    /// Charges of one player.
+    pub fn of(&self, p: PlayerId) -> u64 {
+        self.per_player[p]
+    }
+
+    /// Cost of the phase between `self` (before) and `later` (after).
+    ///
+    /// # Panics
+    /// Panics if the snapshots disagree on player count or any counter
+    /// decreased (counters are monotone by construction).
+    pub fn until(&self, later: &CostSnapshot) -> PhaseCost {
+        assert_eq!(
+            self.per_player.len(),
+            later.per_player.len(),
+            "snapshots from different engines"
+        );
+        let deltas: Vec<u64> = self
+            .per_player
+            .iter()
+            .zip(&later.per_player)
+            .map(|(&a, &b)| {
+                assert!(b >= a, "probe counters must be monotone");
+                b - a
+            })
+            .collect();
+        PhaseCost { deltas }
+    }
+}
+
+/// Probe charges of one algorithm phase, per player.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseCost {
+    deltas: Vec<u64>,
+}
+
+impl PhaseCost {
+    /// Per-player probe counts for the phase.
+    pub fn per_player(&self) -> &[u64] {
+        &self.deltas
+    }
+
+    /// Total probes across all players.
+    pub fn total(&self) -> u64 {
+        self.deltas.iter().sum()
+    }
+
+    /// Round complexity of the phase: the maximum per-player charge.
+    pub fn rounds(&self) -> u64 {
+        self.deltas.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean probes per player.
+    pub fn mean(&self) -> f64 {
+        if self.deltas.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.deltas.len() as f64
+        }
+    }
+
+    /// Maximum charge among a player subset (round complexity as
+    /// experienced by, e.g., the planted community).
+    pub fn rounds_of(&self, players: &[PlayerId]) -> u64 {
+        players
+            .iter()
+            .map(|&p| self.deltas[p])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn until_computes_deltas() {
+        let a = CostSnapshot::new(vec![1, 2, 3]);
+        let b = CostSnapshot::new(vec![4, 2, 10]);
+        let phase = a.until(&b);
+        assert_eq!(phase.per_player(), &[3, 0, 7]);
+        assert_eq!(phase.total(), 10);
+        assert_eq!(phase.rounds(), 7);
+        assert!((phase.mean() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_of_subset() {
+        let phase = CostSnapshot::new(vec![0, 0, 0]).until(&CostSnapshot::new(vec![5, 9, 1]));
+        assert_eq!(phase.rounds_of(&[0, 2]), 5);
+        assert_eq!(phase.rounds_of(&[1]), 9);
+        assert_eq!(phase.rounds_of(&[]), 0);
+    }
+
+    #[test]
+    fn of_indexes_players() {
+        let s = CostSnapshot::new(vec![7, 8]);
+        assert_eq!(s.of(0), 7);
+        assert_eq!(s.of(1), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn decreasing_counters_panic() {
+        CostSnapshot::new(vec![5]).until(&CostSnapshot::new(vec![4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "different engines")]
+    fn mismatched_lengths_panic() {
+        CostSnapshot::new(vec![1]).until(&CostSnapshot::new(vec![1, 2]));
+    }
+
+    #[test]
+    fn empty_phase_is_zero() {
+        let phase = CostSnapshot::new(vec![]).until(&CostSnapshot::new(vec![]));
+        assert_eq!(phase.total(), 0);
+        assert_eq!(phase.rounds(), 0);
+        assert_eq!(phase.mean(), 0.0);
+    }
+}

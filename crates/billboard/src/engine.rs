@@ -1,0 +1,90 @@
+//! Deterministic parallel execution of per-player work.
+//!
+//! The model's rounds are embarrassingly parallel: "in each round, each
+//! player reads the billboard, probes one object, and writes the
+//! result". The simulation exploits this with rayon data-parallelism.
+//! Two rules keep parallel runs bit-identical to sequential ones:
+//!
+//! 1. results are collected **in player order** (parallel `map`, not an
+//!    unordered reduce), and
+//! 2. any randomness a player needs is derived from
+//!    `(master seed, phase tag, player id)` via
+//!    [`tmwia_model::rng::derive`], never from a shared RNG.
+
+use rayon::prelude::*;
+use tmwia_model::matrix::PlayerId;
+
+/// Threshold below which parallel dispatch costs more than it saves.
+const PAR_THRESHOLD: usize = 8;
+
+/// Apply `f` to every player in `players`, in parallel, returning the
+/// results in input order. `f` must be deterministic given its argument
+/// (see module docs).
+pub fn par_map_players<T, F>(players: &[PlayerId], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(PlayerId) -> T + Sync,
+{
+    if players.len() < PAR_THRESHOLD {
+        players.iter().map(|&p| f(p)).collect()
+    } else {
+        players.par_iter().map(|&p| f(p)).collect()
+    }
+}
+
+/// Apply `f` to every index in `0..count` in parallel, preserving order.
+/// Convenience for per-part loops (Small Radius runs one Zero Radius per
+/// object part; parts are independent).
+pub fn par_map_range<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    if count < PAR_THRESHOLD {
+        (0..count).map(&f).collect()
+    } else {
+        (0..count).into_par_iter().map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order_small_and_large() {
+        for n in [0usize, 1, 5, 100, 1000] {
+            let players: Vec<PlayerId> = (0..n).collect();
+            let out = par_map_players(&players, |p| p * 2);
+            assert_eq!(out, (0..n).map(|p| p * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_visits_each_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let players: Vec<PlayerId> = (0..500).collect();
+        let out = par_map_players(&players, |p| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            p
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn par_map_range_matches_sequential() {
+        let out = par_map_range(257, |i| i * i);
+        assert_eq!(out, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_pure_functions() {
+        let players: Vec<PlayerId> = (0..2000).collect();
+        let f = |p: PlayerId| tmwia_model::rng::derive(42, 1, p as u64);
+        let par = par_map_players(&players, f);
+        let seq: Vec<u64> = players.iter().map(|&p| f(p)).collect();
+        assert_eq!(par, seq);
+    }
+}

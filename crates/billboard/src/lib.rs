@@ -1,0 +1,38 @@
+//! # tmwia-billboard
+//!
+//! The *substrate* of the SPAA'06 interactive recommendation model: the
+//! probe primitive with unit-cost accounting, the shared billboard, and
+//! a deterministic parallel execution layer.
+//!
+//! The model (paper §1.1): the only way any player learns anything about
+//! its hidden preference vector is to **probe** an object, at unit cost;
+//! everything a player learns it may post on a public **billboard** that
+//! everyone reads for free. The algorithm proceeds in synchronous
+//! rounds — one probe per player per round — so an execution's *round
+//! complexity* equals the maximum number of probes charged to any single
+//! player.
+//!
+//! * [`ProbeEngine`] owns the hidden [`PrefMatrix`] and charges probes;
+//!   algorithms access truth **only** through [`PlayerHandle::probe`].
+//! * [`Billboard`] is a typed concurrent bulletin: players post values
+//!   under keys, everyone can read and tally them; reads return
+//!   deterministically ordered data so parallel runs are reproducible.
+//! * [`engine`] provides order-preserving parallel iteration over
+//!   players (rayon under the hood) so "all players do X" loops use all
+//!   cores without perturbing results.
+
+pub mod board;
+pub mod cost;
+pub mod engine;
+pub mod probe;
+pub mod rounds;
+
+pub use board::Billboard;
+pub use cost::{CostSnapshot, PhaseCost};
+pub use engine::par_map_players;
+pub use probe::{PlayerHandle, ProbeEngine};
+pub use rounds::{run_rounds, CrowdPolicy, RoundBoard, RoundPolicy, RoundsResult, SoloPolicy};
+
+// Re-export the model ids so downstream crates rarely need tmwia-model
+// imports just for types.
+pub use tmwia_model::matrix::{ObjectId, PlayerId, PrefMatrix};

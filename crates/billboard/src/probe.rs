@@ -1,0 +1,293 @@
+//! The probe primitive: the only channel from the hidden truth to an
+//! algorithm, charged one unit per revealed coordinate.
+//!
+//! Concurrency design: probes are issued from rayon worker threads (one
+//! logical player per task). Per-player cost counters are relaxed
+//! `AtomicU64`s — they are statistics, not synchronization. The
+//! per-player probe memo is a `parking_lot::Mutex<PlayerCache>`; only
+//! the thread currently simulating that player touches it, so the lock
+//! is uncontended in practice but keeps the engine `Sync` without
+//! `unsafe`.
+
+use crate::cost::CostSnapshot;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tmwia_model::bitvec::BitVec;
+use tmwia_model::matrix::{ObjectId, PlayerId, PrefMatrix};
+
+/// Per-player memo of already-revealed coordinates.
+///
+/// The paper charges a player once per revealed entry: once player `p`
+/// has probed object `j` the grade is public knowledge (it is on the
+/// billboard), so re-reading it is free. Algorithms that want the
+/// stricter "every probe pays" semantics (the determinism remark after
+/// Theorem 3.2) can call [`PlayerHandle::probe_fresh`].
+#[derive(Debug)]
+struct PlayerCache {
+    probed: BitVec,
+    values: BitVec,
+}
+
+/// Owns the hidden preference matrix and meters every access to it.
+///
+/// ```
+/// use tmwia_billboard::ProbeEngine;
+/// use tmwia_model::{matrix::PrefMatrix, BitVec};
+///
+/// let truth = PrefMatrix::new(vec![BitVec::from_bools(&[true, false, true])]);
+/// let engine = ProbeEngine::new(truth);
+/// let me = engine.player(0);
+/// assert!(me.probe(0));          // one unit charged
+/// assert!(!me.probe(1));         // second unit
+/// assert!(me.probe(0));          // cached — free
+/// assert_eq!(engine.probes_of(0), 2);
+/// assert_eq!(engine.max_probes(), 2); // round complexity so far
+/// ```
+pub struct ProbeEngine {
+    truth: PrefMatrix,
+    counters: Vec<AtomicU64>,
+    caches: Vec<Mutex<PlayerCache>>,
+}
+
+impl ProbeEngine {
+    /// Wrap a hidden truth matrix.
+    pub fn new(truth: PrefMatrix) -> Self {
+        let n = truth.n();
+        let m = truth.m();
+        ProbeEngine {
+            truth,
+            counters: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            caches: (0..n)
+                .map(|_| {
+                    Mutex::new(PlayerCache {
+                        probed: BitVec::zeros(m),
+                        values: BitVec::zeros(m),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of players.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.truth.n()
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.truth.m()
+    }
+
+    /// A probing handle bound to player `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn player(&self, p: PlayerId) -> PlayerHandle<'_> {
+        assert!(p < self.n(), "player {p} out of range {}", self.n());
+        PlayerHandle { engine: self, p }
+    }
+
+    /// Probes charged to player `p` so far.
+    pub fn probes_of(&self, p: PlayerId) -> u64 {
+        self.counters[p].load(Ordering::Relaxed)
+    }
+
+    /// Total probes charged across all players.
+    pub fn total_probes(&self) -> u64 {
+        self.counters.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Round complexity so far: the maximum per-player charge (each
+    /// round every player performs at most one probe, so an execution
+    /// needs at least this many rounds).
+    pub fn max_probes(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of all per-player charges (for phase-cost deltas).
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot::new(
+            self.counters
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        )
+    }
+
+    /// The hidden truth — **test/metric use only**. Algorithms must go
+    /// through [`PlayerHandle::probe`]; this accessor exists so that
+    /// evaluation code can score outputs without replicating the matrix.
+    pub fn truth(&self) -> &PrefMatrix {
+        &self.truth
+    }
+
+    fn charge(&self, p: PlayerId) {
+        self.counters[p].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for ProbeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbeEngine")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .field("total_probes", &self.total_probes())
+            .finish()
+    }
+}
+
+/// A probing capability for one player. Cheap to copy around; borrows
+/// the engine.
+#[derive(Clone, Copy)]
+pub struct PlayerHandle<'a> {
+    engine: &'a ProbeEngine,
+    p: PlayerId,
+}
+
+impl<'a> PlayerHandle<'a> {
+    /// This handle's player id.
+    #[inline]
+    pub fn id(&self) -> PlayerId {
+        self.p
+    }
+
+    /// Number of objects in the instance.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.engine.m()
+    }
+
+    /// Probe object `j`: reveal `v(p)[j]`, charging one unit unless this
+    /// player has already probed `j` (revealed grades are public on the
+    /// billboard, so re-reads are free).
+    pub fn probe(&self, j: ObjectId) -> bool {
+        let mut cache = self.engine.caches[self.p].lock();
+        if cache.probed.get(j) {
+            return cache.values.get(j);
+        }
+        let v = self.engine.truth.value(self.p, j);
+        cache.probed.set(j, true);
+        cache.values.set(j, v);
+        drop(cache);
+        self.engine.charge(self.p);
+        v
+    }
+
+    /// Probe object `j`, always paying — the strict semantics used when
+    /// a subroutine must be oblivious to earlier phases (remark after
+    /// Theorem 3.2: "Select disregards probes done before its
+    /// execution"). Still records the value in the memo.
+    pub fn probe_fresh(&self, j: ObjectId) -> bool {
+        let v = self.engine.truth.value(self.p, j);
+        let mut cache = self.engine.caches[self.p].lock();
+        cache.probed.set(j, true);
+        cache.values.set(j, v);
+        drop(cache);
+        self.engine.charge(self.p);
+        v
+    }
+
+    /// Has this player already paid for object `j`?
+    pub fn already_probed(&self, j: ObjectId) -> bool {
+        self.engine.caches[self.p].lock().probed.get(j)
+    }
+
+    /// Probes charged to this player so far.
+    pub fn cost(&self) -> u64 {
+        self.engine.probes_of(self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tmwia_model::bitvec::BitVec;
+
+    fn engine(n: usize, m: usize, seed: u64) -> ProbeEngine {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<BitVec> = (0..n).map(|_| BitVec::random(m, &mut rng)).collect();
+        ProbeEngine::new(PrefMatrix::new(rows))
+    }
+
+    #[test]
+    fn probe_reveals_truth_and_charges_once() {
+        let eng = engine(4, 32, 1);
+        let h = eng.player(2);
+        let direct = eng.truth().value(2, 7);
+        assert_eq!(h.probe(7), direct);
+        assert_eq!(h.cost(), 1);
+        // Cached re-probe is free and consistent.
+        assert_eq!(h.probe(7), direct);
+        assert_eq!(h.cost(), 1);
+        assert!(h.already_probed(7));
+        assert!(!h.already_probed(8));
+    }
+
+    #[test]
+    fn probe_fresh_always_pays() {
+        let eng = engine(2, 16, 2);
+        let h = eng.player(0);
+        h.probe(3);
+        h.probe_fresh(3);
+        h.probe_fresh(3);
+        assert_eq!(h.cost(), 3);
+    }
+
+    #[test]
+    fn counters_are_per_player() {
+        let eng = engine(3, 16, 3);
+        eng.player(0).probe(0);
+        eng.player(0).probe(1);
+        eng.player(2).probe(0);
+        assert_eq!(eng.probes_of(0), 2);
+        assert_eq!(eng.probes_of(1), 0);
+        assert_eq!(eng.probes_of(2), 1);
+        assert_eq!(eng.total_probes(), 3);
+        assert_eq!(eng.max_probes(), 2);
+    }
+
+    #[test]
+    fn snapshot_reflects_current_charges() {
+        let eng = engine(2, 8, 4);
+        eng.player(1).probe(0);
+        let snap = eng.snapshot();
+        assert_eq!(snap.per_player(), &[0, 1]);
+    }
+
+    #[test]
+    fn parallel_probing_is_exact() {
+        // Many threads probing distinct players: totals must be exact,
+        // not approximately right.
+        let eng = engine(8, 256, 5);
+        rayon::scope(|s| {
+            for p in 0..8 {
+                let engr = &eng;
+                s.spawn(move |_| {
+                    let h = engr.player(p);
+                    for j in 0..256 {
+                        h.probe(j);
+                    }
+                });
+            }
+        });
+        assert_eq!(eng.total_probes(), 8 * 256);
+        assert_eq!(eng.max_probes(), 256);
+        for p in 0..8 {
+            assert_eq!(eng.probes_of(p), 256);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_player_panics() {
+        engine(2, 8, 6).player(2);
+    }
+}

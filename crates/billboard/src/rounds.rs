@@ -1,0 +1,379 @@
+//! Round-accurate lockstep runtime — the paper's execution model taken
+//! literally.
+//!
+//! "The algorithm proceeds in parallel rounds: in each round, each
+//! player reads the shared billboard, probes one object, and writes the
+//! result on the billboard." (§1.1)
+//!
+//! The orchestrated algorithms in `tmwia-core` simulate this model
+//! bulk-synchronously (equivalent information flow, round complexity =
+//! max per-player probes). This module provides the *literal* runtime
+//! for policies that are natural to express one probe at a time —
+//! online baselines, interactive demos, and cross-checks that the
+//! bulk-synchronous cost accounting matches a true lockstep execution:
+//!
+//! * a [`RoundPolicy`] decides one probe per round from the public
+//!   [`RoundBoard`] **as of the round's start** (no same-round leakage);
+//! * the [`run_rounds`] driver executes all players in lockstep, posts
+//!   results between rounds, and stops when every policy idles or the
+//!   round budget is exhausted.
+
+use crate::probe::ProbeEngine;
+use tmwia_model::matrix::{ObjectId, PlayerId};
+use tmwia_model::BitVec;
+
+/// The public record of all posted probe results, organized for the
+/// two read patterns policies need: per-object vote counts and a flat
+/// chronological log.
+#[derive(Debug, Default)]
+pub struct RoundBoard {
+    /// `(round, player, object, value)` in posting order.
+    log: Vec<(u64, PlayerId, ObjectId, bool)>,
+    /// Per-object `(ones, zeros)` tallies.
+    votes: Vec<(u32, u32)>,
+}
+
+impl RoundBoard {
+    fn new(m: usize) -> Self {
+        RoundBoard {
+            log: Vec::new(),
+            votes: vec![(0, 0); m],
+        }
+    }
+
+    fn post(&mut self, round: u64, p: PlayerId, j: ObjectId, value: bool) {
+        self.log.push((round, p, j, value));
+        if value {
+            self.votes[j].0 += 1;
+        } else {
+            self.votes[j].1 += 1;
+        }
+    }
+
+    /// Chronological log of all posts.
+    pub fn log(&self) -> &[(u64, PlayerId, ObjectId, bool)] {
+        &self.log
+    }
+
+    /// `(likes, dislikes)` posted for object `j`.
+    pub fn votes(&self, j: ObjectId) -> (u32, u32) {
+        self.votes[j]
+    }
+
+    /// Majority grade for object `j` (ties and no-data → `None`).
+    pub fn majority(&self, j: ObjectId) -> Option<bool> {
+        let (ones, zeros) = self.votes[j];
+        match ones.cmp(&zeros) {
+            std::cmp::Ordering::Greater => Some(true),
+            std::cmp::Ordering::Less => Some(false),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+}
+
+/// A per-player online strategy: one probe per round.
+pub trait RoundPolicy {
+    /// Pick the object to probe this round, reading the board as of the
+    /// round's start. `None` = done (idle from now on; the driver may
+    /// still run other players).
+    fn choose(&mut self, round: u64, board: &RoundBoard) -> Option<ObjectId>;
+
+    /// Receive the result of this round's own probe.
+    fn observe(&mut self, round: u64, j: ObjectId, value: bool);
+
+    /// The player's current estimate of its full preference vector,
+    /// given the board (free to read).
+    fn estimate(&self, board: &RoundBoard) -> BitVec;
+}
+
+/// Outcome of a lockstep execution.
+#[derive(Debug)]
+pub struct RoundsResult {
+    /// Rounds actually executed (≤ the budget).
+    pub rounds: u64,
+    /// Final per-player estimates, in the order of the `policies` input.
+    pub estimates: Vec<BitVec>,
+    /// The final board.
+    pub board: RoundBoard,
+}
+
+/// Drive `policies` (one per entry of `players`) in lockstep for at
+/// most `max_rounds` rounds. Within a round every player chooses from
+/// the same board snapshot; probes are charged through `engine`; posts
+/// land on the board *after* the round, exactly as in §1.1.
+///
+/// # Panics
+/// Panics if `players` and `policies` lengths differ.
+pub fn run_rounds(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    policies: &mut [Box<dyn RoundPolicy>],
+    max_rounds: u64,
+) -> RoundsResult {
+    assert_eq!(
+        players.len(),
+        policies.len(),
+        "one policy per player required"
+    );
+    let mut board = RoundBoard::new(engine.m());
+    let mut rounds = 0u64;
+    for round in 0..max_rounds {
+        // Phase 1: everyone chooses against the round-start board.
+        let choices: Vec<Option<ObjectId>> = policies
+            .iter_mut()
+            .map(|pol| pol.choose(round, &board))
+            .collect();
+        if choices.iter().all(Option::is_none) {
+            break;
+        }
+        rounds += 1;
+        // Phase 2: probe and observe; collect posts.
+        let mut posts: Vec<(PlayerId, ObjectId, bool)> = Vec::new();
+        for ((&p, pol), choice) in players.iter().zip(policies.iter_mut()).zip(choices) {
+            if let Some(j) = choice {
+                let value = engine.player(p).probe(j);
+                pol.observe(round, j, value);
+                posts.push((p, j, value));
+            }
+        }
+        // Phase 3: publish after the round.
+        for (p, j, value) in posts {
+            board.post(round, p, j, value);
+        }
+    }
+    let estimates = policies.iter().map(|pol| pol.estimate(&board)).collect();
+    RoundsResult {
+        rounds,
+        estimates,
+        board,
+    }
+}
+
+/// "Go it alone" as a round policy: probe `0..m` in order, estimate
+/// from own probes only.
+#[derive(Debug)]
+pub struct SoloPolicy {
+    m: usize,
+    next: usize,
+    known: BitVec,
+    values: BitVec,
+}
+
+impl SoloPolicy {
+    /// New solo prober over `m` objects.
+    pub fn new(m: usize) -> Self {
+        SoloPolicy {
+            m,
+            next: 0,
+            known: BitVec::zeros(m),
+            values: BitVec::zeros(m),
+        }
+    }
+}
+
+impl RoundPolicy for SoloPolicy {
+    fn choose(&mut self, _round: u64, _board: &RoundBoard) -> Option<ObjectId> {
+        if self.next < self.m {
+            Some(self.next)
+        } else {
+            None
+        }
+    }
+
+    fn observe(&mut self, _round: u64, j: ObjectId, value: bool) {
+        self.known.set(j, true);
+        self.values.set(j, value);
+        self.next = self.next.max(j + 1);
+    }
+
+    fn estimate(&self, _board: &RoundBoard) -> BitVec {
+        self.values.clone()
+    }
+}
+
+/// Online crowd-following policy: sample `budget` random objects, then
+/// idle; estimate = own probes where available, else the board
+/// majority, else 0. The online analogue of the kNN strawman (it
+/// ignores *who* posted, so it only works when the whole population
+/// agrees — a deliberately weak but honest lockstep baseline).
+#[derive(Debug)]
+pub struct CrowdPolicy {
+    order: Vec<ObjectId>,
+    cursor: usize,
+    budget: usize,
+    known: BitVec,
+    values: BitVec,
+}
+
+impl CrowdPolicy {
+    /// Sample the objects of `order` (pre-shuffled by the caller for
+    /// randomness control), up to `budget` probes.
+    pub fn new(order: Vec<ObjectId>, budget: usize, m: usize) -> Self {
+        CrowdPolicy {
+            order,
+            cursor: 0,
+            budget,
+            known: BitVec::zeros(m),
+            values: BitVec::zeros(m),
+        }
+    }
+}
+
+impl RoundPolicy for CrowdPolicy {
+    fn choose(&mut self, _round: u64, _board: &RoundBoard) -> Option<ObjectId> {
+        if self.cursor < self.budget.min(self.order.len()) {
+            Some(self.order[self.cursor])
+        } else {
+            None
+        }
+    }
+
+    fn observe(&mut self, _round: u64, j: ObjectId, value: bool) {
+        self.cursor += 1;
+        self.known.set(j, true);
+        self.values.set(j, value);
+    }
+
+    fn estimate(&self, board: &RoundBoard) -> BitVec {
+        BitVec::from_fn(self.known.len(), |j| {
+            if self.known.get(j) {
+                self.values.get(j)
+            } else {
+                board.majority(j).unwrap_or(false)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::generators::planted_community;
+    use tmwia_model::matrix::PrefMatrix;
+    use tmwia_model::rng::{rng_for, tags};
+    use rand::seq::SliceRandom;
+
+    #[test]
+    fn solo_policy_reconstructs_exactly_in_m_rounds() {
+        let inst = planted_community(4, 32, 4, 0, 1);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..4).collect();
+        let mut policies: Vec<Box<dyn RoundPolicy>> =
+            (0..4).map(|_| Box::new(SoloPolicy::new(32)) as Box<dyn RoundPolicy>).collect();
+        let res = run_rounds(&engine, &players, &mut policies, 1000);
+        assert_eq!(res.rounds, 32);
+        for (i, &p) in players.iter().enumerate() {
+            assert_eq!(&res.estimates[i], inst.truth.row(p));
+            assert_eq!(engine.probes_of(p), 32);
+        }
+        assert_eq!(res.board.log().len(), 4 * 32);
+    }
+
+    #[test]
+    fn lockstep_cost_matches_engine_accounting() {
+        // The round count the driver reports must equal the engine's
+        // max per-player charge (the invariant connecting the literal
+        // runtime to the bulk-synchronous simulation).
+        let inst = planted_community(8, 64, 8, 0, 2);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..8).collect();
+        let mut policies: Vec<Box<dyn RoundPolicy>> = (0..8)
+            .map(|p| {
+                let mut order: Vec<ObjectId> = (0..64).collect();
+                order.shuffle(&mut rng_for(2, tags::BASELINE, p as u64));
+                Box::new(CrowdPolicy::new(order, 10 + p as usize, 64)) as Box<dyn RoundPolicy>
+            })
+            .collect();
+        let res = run_rounds(&engine, &players, &mut policies, 1000);
+        assert_eq!(res.rounds, engine.max_probes());
+        assert_eq!(res.rounds, 17); // slowest player budget 10+7
+    }
+
+    #[test]
+    fn crowd_policy_leverages_identical_peers() {
+        // 16 identical players sampling 16 of 128 objects each: the
+        // board majority covers most coordinates for everyone.
+        let inst = planted_community(16, 128, 16, 0, 3);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..16).collect();
+        let mut policies: Vec<Box<dyn RoundPolicy>> = (0..16)
+            .map(|p| {
+                let mut order: Vec<ObjectId> = (0..128).collect();
+                order.shuffle(&mut rng_for(3, tags::BASELINE, p as u64));
+                Box::new(CrowdPolicy::new(order, 16, 128)) as Box<dyn RoundPolicy>
+            })
+            .collect();
+        let res = run_rounds(&engine, &players, &mut policies, 1000);
+        // Coverage: 16·16 = 256 samples over 128 objects — nearly all
+        // objects probed by someone; errors only on never-probed ones.
+        let truth = inst.truth.row(0);
+        for est in &res.estimates {
+            assert!(est.hamming(truth) < 32, "err {}", est.hamming(truth));
+        }
+        // At a cost of only 16 rounds ≪ m = 128.
+        assert_eq!(res.rounds, 16);
+    }
+
+    #[test]
+    fn no_same_round_leakage() {
+        // A policy that stops as soon as it *sees* any post can never
+        // stop in the round the post was made.
+        struct Watcher {
+            asked: Vec<u64>,
+        }
+        impl RoundPolicy for Watcher {
+            fn choose(&mut self, round: u64, board: &RoundBoard) -> Option<ObjectId> {
+                if board.log().is_empty() {
+                    self.asked.push(round);
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            fn observe(&mut self, _round: u64, _j: ObjectId, _value: bool) {}
+            fn estimate(&self, _board: &RoundBoard) -> BitVec {
+                BitVec::zeros(4)
+            }
+        }
+        let engine = ProbeEngine::new(PrefMatrix::new(vec![BitVec::zeros(4); 2]));
+        let mut policies: Vec<Box<dyn RoundPolicy>> = vec![
+            Box::new(Watcher { asked: vec![] }),
+            Box::new(Watcher { asked: vec![] }),
+        ];
+        let res = run_rounds(&engine, &[0, 1], &mut policies, 10);
+        // Round 0: both see an empty board and probe. Round 1: both see
+        // round-0 posts and stop. Exactly one active round.
+        assert_eq!(res.rounds, 1);
+        assert_eq!(res.board.log().len(), 2);
+    }
+
+    #[test]
+    fn budget_cuts_execution_short() {
+        let engine = ProbeEngine::new(PrefMatrix::new(vec![BitVec::zeros(100)]));
+        let mut policies: Vec<Box<dyn RoundPolicy>> = vec![Box::new(SoloPolicy::new(100))];
+        let res = run_rounds(&engine, &[0], &mut policies, 7);
+        assert_eq!(res.rounds, 7);
+        assert_eq!(engine.probes_of(0), 7);
+    }
+
+    #[test]
+    fn board_votes_and_majority() {
+        let mut board = RoundBoard::new(2);
+        board.post(0, 0, 0, true);
+        board.post(0, 1, 0, true);
+        board.post(0, 2, 0, false);
+        assert_eq!(board.votes(0), (2, 1));
+        assert_eq!(board.majority(0), Some(true));
+        assert_eq!(board.majority(1), None);
+        board.post(1, 3, 1, false);
+        assert_eq!(board.majority(1), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "one policy per player")]
+    fn mismatched_policies_panic() {
+        let engine = ProbeEngine::new(PrefMatrix::new(vec![BitVec::zeros(4)]));
+        let mut policies: Vec<Box<dyn RoundPolicy>> = vec![];
+        run_rounds(&engine, &[0], &mut policies, 1);
+    }
+}

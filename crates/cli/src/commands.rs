@@ -1,0 +1,495 @@
+//! CLI subcommand implementations (pure: take parsed args + an
+//! instance source, return the text to print — so everything here is
+//! unit-testable without a process boundary).
+
+use crate::args::{ArgError, Args};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use tmwia_baselines::{
+    knn_billboard, one_good_object, oracle_community, solo, spectral_reconstruct, KnnConfig,
+    SpectralConfig,
+};
+use tmwia_billboard::{PlayerId, ProbeEngine};
+use tmwia_core::{
+    anytime, community_hierarchy, reconstruct_known, reconstruct_unknown_d, Params,
+};
+use tmwia_model::generators::{
+    adversarial_clusters, bernoulli_types, nested_communities, orthogonal_types,
+    planted_community, uniform_noise, Instance,
+};
+use tmwia_model::io::{read_instance, write_instance};
+use tmwia_model::metrics::CommunityReport;
+use tmwia_model::BitVec;
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Flag parsing / validation.
+    Args(ArgError),
+    /// Instance (de)serialization.
+    Io(String),
+    /// Anything else with a message.
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+tmwia — Tell Me Who I Am (SPAA'06) interactive recommendation system
+
+USAGE:
+  tmwia generate   --kind planted|clusters|types|bernoulli|noise|nested
+                   [--n 512] [--m 512] [--k n/2] [--d 8] [--clusters 8]
+                   [--noise 0.02] [--seed 1] --out FILE
+  tmwia inspect    --instance FILE
+  tmwia run        --instance FILE | (generation flags as above)
+                   [--algorithm auto|zero|small|large|unknown-d|anytime|
+                                lockstep-zero|solo|oracle|knn|spectral|one-good]
+                   [--alpha 0.5] [--d 8] [--budget m/4] [--seed 1] [--theory]
+  tmwia communities --instance FILE [--scales 2,8,32] [--min-size 3]
+                   (clusters the TRUE matrix rows; add --run to cluster
+                    reconstructed outputs instead)
+  tmwia exp        --id e1..e16|all [--full] [--seed N]
+                   (regenerates the EXPERIMENTS.md tables; quick scale
+                    by default)
+  tmwia help
+
+Instances use the plain-text `tmwia-instance v1` format.
+";
+
+/// Build an instance from generation flags.
+pub fn generate_instance(args: &Args) -> Result<Instance, CliError> {
+    let n: usize = args.num_or("n", 512)?;
+    let m: usize = args.num_or("m", n)?;
+    let k: usize = args.num_or("k", n / 2)?;
+    let d: usize = args.num_or("d", 8)?;
+    let seed: u64 = args.num_or("seed", 1)?;
+    let kind = args.str_or("kind", "planted");
+    let inst = match kind.as_str() {
+        "planted" => planted_community(n, m, k, d, seed),
+        "clusters" => {
+            let c: usize = args.num_or("clusters", 8)?;
+            adversarial_clusters(n, m, c, d, seed)
+        }
+        "types" => {
+            let t: usize = args.num_or("clusters", 4)?;
+            let noise: f64 = args.num_or("noise", 0.02)?;
+            orthogonal_types(n, m, t, noise, seed)
+        }
+        "bernoulli" => {
+            let t: usize = args.num_or("clusters", 4)?;
+            bernoulli_types(n, m, t, seed)
+        }
+        "noise" => uniform_noise(n, m, seed),
+        "nested" => nested_communities(n, m, &[(k, d), (k / 2, d / 4 + 1)], seed),
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown --kind '{other}' (planted|clusters|types|bernoulli|noise|nested)"
+            )))
+        }
+    };
+    Ok(inst)
+}
+
+/// Load `--instance FILE`, or generate from flags when absent.
+pub fn load_or_generate(args: &Args) -> Result<Instance, CliError> {
+    match args.str_req("instance") {
+        Ok(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+            read_instance(&text).map_err(|e| CliError::Io(format!("parsing {path}: {e}")))
+        }
+        Err(_) => generate_instance(args),
+    }
+}
+
+/// `tmwia generate`.
+pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let inst = generate_instance(args)?;
+    let out_path = args.str_req("out")?;
+    std::fs::write(&out_path, write_instance(&inst))
+        .map_err(|e| CliError::Io(format!("writing {out_path}: {e}")))?;
+    Ok(format!(
+        "wrote {out_path}: {} ({} communities)\n",
+        inst.descriptor,
+        inst.communities.len()
+    ))
+}
+
+/// `tmwia inspect` — also reused by `run` for the header.
+pub fn describe_instance(inst: &Instance) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "instance : {}", inst.descriptor);
+    let _ = writeln!(s, "size     : n = {}, m = {}", inst.n(), inst.m());
+    if inst.communities.is_empty() {
+        let _ = writeln!(s, "structure: no planted communities");
+    }
+    for (i, c) in inst.communities.iter().enumerate() {
+        let realized = inst.truth.diameter_of(c);
+        let _ = writeln!(
+            s,
+            "community {i}: |P*| = {} (α = {:.3}), target D ≤ {}, realized D = {}",
+            c.len(),
+            c.len() as f64 / inst.n() as f64,
+            inst.target_diameters.get(i).copied().unwrap_or(0),
+            realized
+        );
+    }
+    s
+}
+
+/// `tmwia run` — execute an algorithm and report per-community quality
+/// and cost.
+pub fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let inst = load_or_generate(args)?;
+    let n = inst.n();
+    let m = inst.m();
+    let seed: u64 = args.num_or("seed", 1)?;
+    let default_alpha = if inst.communities.is_empty() {
+        0.5
+    } else {
+        inst.alpha()
+    };
+    let alpha: f64 = args.num_or("alpha", default_alpha)?;
+    let d: usize = args.num_or(
+        "d",
+        inst.target_diameters.first().copied().unwrap_or(8),
+    )?;
+    let budget: usize = args.num_or("budget", (m / 4).max(8))?;
+    let params = if args.has("theory") {
+        Params::theory()
+    } else {
+        Params::practical()
+    };
+    let algorithm = args.str_or("algorithm", "auto");
+    let players: Vec<PlayerId> = (0..n).collect();
+    let engine = ProbeEngine::new(inst.truth.clone());
+
+    let outputs: HashMap<PlayerId, BitVec> = match algorithm.as_str() {
+        "auto" => reconstruct_known(&engine, &players, alpha, d, &params, seed).outputs,
+        "zero" => reconstruct_known(&engine, &players, alpha, 0, &params, seed).outputs,
+        "small" | "large" => {
+            // Force the branch by clamping d to its regime.
+            let forced = if algorithm == "small" {
+                d.min(params.small_large_threshold(n)).max(1)
+            } else {
+                d.max(params.small_large_threshold(n) + 1)
+            };
+            reconstruct_known(&engine, &players, alpha, forced, &params, seed).outputs
+        }
+        "unknown-d" => reconstruct_unknown_d(&engine, &players, alpha, &params, seed).outputs,
+        "anytime" => {
+            let phases: usize = args.num_or("phases", 3)?;
+            anytime(&engine, &players, phases, &params, seed)
+                .final_outputs()
+                .clone()
+        }
+        "solo" => solo(&engine, &players),
+        "oracle" => {
+            if inst.communities.is_empty() {
+                return Err(CliError::Other(
+                    "oracle needs a planted community in the instance".into(),
+                ));
+            }
+            oracle_community(&engine, inst.community(), 1, seed)
+        }
+        "knn" => knn_billboard(
+            &engine,
+            &players,
+            &KnnConfig {
+                probes_per_player: budget,
+                neighbours: 5,
+                min_overlap: 3,
+            },
+            seed,
+        ),
+        "spectral" => spectral_reconstruct(
+            &engine,
+            &players,
+            &SpectralConfig {
+                probes_per_player: budget,
+                rank: args.num_or("rank", 4)?,
+                iterations: 25,
+            },
+            seed,
+        ),
+        "lockstep-zero" => {
+            let objects: Vec<usize> = (0..m).collect();
+            let res = tmwia_core::lockstep_zero_radius(
+                &engine, &players, &objects, alpha, &params, n, seed,
+            );
+            let mut s = describe_instance(&inst);
+            let _ = writeln!(
+                s,
+                "lockstep : {} wall-clock rounds (probes + barrier waits); max probes/player {}",
+                res.rounds,
+                engine.max_probes()
+            );
+            let dense: Vec<BitVec> = (0..n)
+                .map(|p| {
+                    res.outputs
+                        .get(&p)
+                        .map(|vals| BitVec::from_bools(vals))
+                        .unwrap_or_else(|| BitVec::zeros(m))
+                })
+                .collect();
+            for (i, c) in inst.communities.iter().enumerate() {
+                let report = CommunityReport::evaluate(&inst.truth, &dense, c);
+                let _ = writeln!(
+                    s,
+                    "community {i}: \u{394} = {:>4}, \u{3c1} = {:>6.2}, mean err = {:>7.1}",
+                    report.discrepancy, report.stretch, report.mean_error
+                );
+            }
+            return Ok(s);
+        }
+        "one-good" => {
+            let res = one_good_object(&engine, &players, (4 * m) as u64, seed);
+            let mut s = describe_instance(&inst);
+            let _ = writeln!(
+                s,
+                "one-good : {}/{} players found a liked object in {} rounds ({} total probes)",
+                res.found.len(),
+                n,
+                res.rounds,
+                engine.total_probes()
+            );
+            return Ok(s);
+        }
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown --algorithm '{other}' (see `tmwia help`)"
+            )))
+        }
+    };
+
+    let mut s = describe_instance(&inst);
+    let _ = writeln!(s, "algorithm: {algorithm} (seed {seed})");
+    let dense: Vec<BitVec> = (0..n)
+        .map(|p| outputs.get(&p).cloned().unwrap_or_else(|| BitVec::zeros(m)))
+        .collect();
+    if inst.communities.is_empty() {
+        let mean: f64 = (0..n)
+            .map(|p| dense[p].hamming(inst.truth.row(p)) as f64)
+            .sum::<f64>()
+            / n as f64;
+        let _ = writeln!(s, "quality  : mean error {mean:.1} per player (no community)");
+    }
+    for (i, c) in inst.communities.iter().enumerate() {
+        let report = CommunityReport::evaluate(&inst.truth, &dense, c);
+        let rounds = c.iter().map(|&p| engine.probes_of(p)).max().unwrap_or(0);
+        let _ = writeln!(
+            s,
+            "community {i}: Δ = {:>4}, ρ = {:>6.2}, mean err = {:>7.1}, rounds ≤ {rounds}",
+            report.discrepancy, report.stretch, report.mean_error
+        );
+    }
+    let _ = writeln!(
+        s,
+        "cost     : total probes {}, max/player {} (solo: {m})",
+        engine.total_probes(),
+        engine.max_probes()
+    );
+    Ok(s)
+}
+
+/// `tmwia communities`.
+pub fn cmd_communities(args: &Args) -> Result<String, CliError> {
+    let inst = load_or_generate(args)?;
+    let scales_raw = args.str_or("scales", "2,8,32");
+    let scales: Result<Vec<usize>, _> = scales_raw.split(',').map(|x| x.trim().parse()).collect();
+    let scales =
+        scales.map_err(|_| CliError::Other(format!("bad --scales '{scales_raw}'")))?;
+    let min_size: usize = args.num_or("min-size", 3)?;
+
+    // Cluster either the hidden truth (default: structure discovery on
+    // the generated world) or the algorithm's reconstructed outputs.
+    let outputs: HashMap<PlayerId, BitVec> = if args.flags_has_run() {
+        let seed: u64 = args.num_or("seed", 1)?;
+        let alpha: f64 = args.num_or("alpha", 0.25)?;
+        let d: usize = args.num_or("d", 8)?;
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..inst.n()).collect();
+        reconstruct_known(&engine, &players, alpha, d, &Params::practical(), seed).outputs
+    } else {
+        (0..inst.n()).map(|p| (p, inst.truth.row(p).clone())).collect()
+    };
+
+    let ladder = community_hierarchy(&outputs, &scales, min_size);
+    let mut s = describe_instance(&inst);
+    for clustering in &ladder {
+        let _ = writeln!(
+            s,
+            "scale D = {:>4}: {} communities",
+            clustering.scale,
+            clustering.communities.len()
+        );
+        for c in clustering.communities.iter().take(8) {
+            let _ = writeln!(
+                s,
+                "    rep {:>5} → {} members",
+                c.representative,
+                c.members.len()
+            );
+        }
+        if clustering.communities.len() > 8 {
+            let _ = writeln!(s, "    … {} more", clustering.communities.len() - 8);
+        }
+    }
+    Ok(s)
+}
+
+impl Args {
+    /// `--run` is value-less but not in the switch list (it would
+    /// swallow the next flag); treat "run" specially via string flag
+    /// `--cluster-source run` OR presence of a `run` value.
+    fn flags_has_run(&self) -> bool {
+        self.str_or("cluster-source", "truth") == "run"
+    }
+}
+
+/// `tmwia exp` — run one (or all) of the E-series experiments.
+pub fn cmd_exp(args: &Args) -> Result<String, CliError> {
+    use tmwia_sim::experiments::{all, ExpConfig};
+    let id = args.str_or("id", "all");
+    let seed: u64 = args.num_or("seed", 20060730)?;
+    let cfg = if args.str_or("scale", "quick") == "full" {
+        ExpConfig::full(seed)
+    } else {
+        ExpConfig::quick(seed)
+    };
+    let registry = all();
+    let selected: Vec<_> = if id == "all" {
+        registry
+    } else {
+        let found: Vec<_> = registry.into_iter().filter(|(i, _, _)| *i == id).collect();
+        if found.is_empty() {
+            return Err(CliError::Other(format!(
+                "unknown experiment id '{id}' (e1..e16 or all)"
+            )));
+        }
+        found
+    };
+    let mut out = String::new();
+    for (_, _, runner) in selected {
+        let _ = writeln!(out, "{}", runner(&cfg).render());
+    }
+    Ok(out)
+}
+
+/// Dispatch a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_deref() {
+        Some("generate") => cmd_generate(args),
+        Some("exp") => cmd_exp(args),
+        Some("inspect") => {
+            let inst = load_or_generate(args)?;
+            Ok(describe_instance(&inst))
+        }
+        Some("run") => cmd_run(args),
+        Some("communities") => cmd_communities(args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(CliError::Other(format!(
+            "unknown command '{other}'; see `tmwia help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn generate_every_kind() {
+        for kind in ["planted", "clusters", "types", "bernoulli", "noise", "nested"] {
+            let args = parse(&format!("generate --kind {kind} --n 32 --m 32 --k 16 --d 4"));
+            let inst = generate_instance(&args).unwrap();
+            assert_eq!(inst.n(), 32);
+            assert_eq!(inst.m(), 32);
+        }
+        assert!(generate_instance(&parse("generate --kind bogus")).is_err());
+    }
+
+    #[test]
+    fn run_auto_reports_community_quality() {
+        let out = cmd_run(&parse("run --n 64 --m 64 --k 32 --d 0 --seed 3")).unwrap();
+        assert!(out.contains("community 0"), "{out}");
+        assert!(out.contains("Δ ="), "{out}");
+        assert!(out.contains("cost"), "{out}");
+    }
+
+    #[test]
+    fn run_all_algorithms_smoke() {
+        for alg in [
+            "auto", "zero", "small", "large", "unknown-d", "anytime", "lockstep-zero", "solo",
+            "oracle", "knn", "spectral", "one-good",
+        ] {
+            let out = cmd_run(&parse(&format!(
+                "run --n 48 --m 48 --k 24 --d 4 --algorithm {alg} --seed 2"
+            )));
+            assert!(out.is_ok(), "{alg}: {:?}", out.err().map(|e| e.to_string()));
+        }
+        assert!(cmd_run(&parse("run --n 16 --algorithm nope")).is_err());
+    }
+
+    #[test]
+    fn communities_hierarchy_output() {
+        let out = cmd_communities(&parse(
+            "communities --kind clusters --n 48 --m 64 --d 2 --clusters 4 --scales 4,64 --min-size 2",
+        ))
+        .unwrap();
+        assert!(out.contains("scale D ="), "{out}");
+        // 4 clusters at the tight scale.
+        assert!(out.contains("4 communities"), "{out}");
+    }
+
+    #[test]
+    fn exp_subcommand_runs_quick_tables() {
+        let out = cmd_exp(&parse("exp --id e2")).unwrap();
+        assert!(out.contains("## E2"), "{out}");
+        assert!(cmd_exp(&parse("exp --id e99")).is_err());
+    }
+
+    #[test]
+    fn dispatch_help_and_unknown() {
+        assert!(dispatch(&parse("help")).unwrap().contains("USAGE"));
+        assert!(dispatch(&Args::default()).unwrap().contains("USAGE"));
+        assert!(dispatch(&parse("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn generate_and_reload_via_files() {
+        let dir = std::env::temp_dir().join("tmwia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.txt");
+        let msg = cmd_generate(&parse(&format!(
+            "generate --kind planted --n 24 --m 24 --k 12 --d 2 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        let out = dispatch(&parse(&format!("inspect --instance {}", path.display()))).unwrap();
+        assert!(out.contains("n = 24"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+}

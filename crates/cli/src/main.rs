@@ -1,0 +1,27 @@
+//! `tmwia` — command-line interface to the SPAA'06 interactive
+//! recommendation system. Run `tmwia help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if parsed.has("help") {
+        print!("{}", commands::USAGE);
+        return;
+    }
+    match commands::dispatch(&parsed) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Algorithm **Coalesce** — probe-free clustering of output vectors
+//! (paper Figure 6, Theorem 5.3).
+//!
+//! Input: a multiset `V` of `n` binary vectors, a distance parameter
+//! `D`, a frequency parameter `α`. Output: at most `1/α` vectors over
+//! `{0,1,?}` such that, whenever a subset `V_T ⊆ V` of size `≥ αn` has
+//! pairwise distance `≤ D`, exactly one output vector is closest to all
+//! of `V_T` — within `d̃ ≤ 2D` — and carries at most `5D/α` `?` entries.
+//!
+//! The algorithm greedily picks dense balls (step 2), then merges any
+//! two representatives within `d̃ ≤ 5D` into their consensus, replacing
+//! disagreements by `?` (step 4). No probing happens: every player runs
+//! Coalesce on the same billboard-visible inputs and obtains the same
+//! output.
+//!
+//! "Lexicographically first" is any fixed total order in the paper's
+//! proof; we use `BitVec`'s word-wise order, which is deterministic and
+//! cheap.
+
+use tmwia_model::{BitVec, TernaryVec};
+
+/// Run Coalesce on `vectors` with distance parameter `d`, frequency
+/// `freq` (the paper's `α`) and merge threshold `merge_mult · d`
+/// (paper: 5·D). Returns the output set `B`, sorted.
+///
+/// ```
+/// use tmwia_core::coalesce;
+/// use tmwia_model::BitVec;
+///
+/// // Ten copies of one taste profile plus two stray vectors.
+/// let profile = BitVec::from_bools(&[true, false, true, true, false, false, true, false]);
+/// let mut soup = vec![profile.clone(); 10];
+/// soup.push(BitVec::zeros(8));
+/// soup.push(BitVec::ones(8));
+/// let b = coalesce(&soup, 1, 0.5, 5);
+/// assert_eq!(b.len(), 1);                      // ≤ 1/α candidates
+/// assert_eq!(b[0].dtilde_bits(&profile), 0);   // and it's the profile
+/// ```
+///
+/// May return an *empty* set when no ball of radius `d` captures a
+/// `freq` fraction — i.e. the precondition of Theorem 5.3 fails. Callers
+/// that need a non-empty candidate list should use
+/// [`coalesce_nonempty`].
+pub fn coalesce(vectors: &[BitVec], d: usize, freq: f64, merge_mult: usize) -> Vec<TernaryVec> {
+    assert!(freq > 0.0 && freq <= 1.0, "frequency must lie in (0, 1]");
+    let n = vectors.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let min_ball = ((freq * n as f64).ceil() as usize).max(1);
+
+    // Step 2: greedy dense-ball cover. `live` holds indices still in V.
+    let mut live: Vec<usize> = (0..n).collect();
+    let mut reps: Vec<BitVec> = Vec::new();
+    loop {
+        // Step 2a: drop every vector whose ball within the current V is
+        // too sparse. Repeat-until-stable is not required by the paper
+        // (one sweep per loop iteration, as written in Fig. 6).
+        let ball_size = |v: &BitVec, live: &[usize]| {
+            live.iter()
+                .filter(|&&i| vectors[i].hamming_bounded(v, d) <= d)
+                .count()
+        };
+        // The paper removes "all vectors v with |ball(v,D)| < αn" as one
+        // simultaneous step, so measure every ball against a frozen copy
+        // of the current V.
+        let frozen = live.clone();
+        live.retain(|&i| ball_size(&vectors[i], &frozen) >= min_ball);
+        if live.is_empty() {
+            break;
+        }
+        // Step 2b: lexicographically first surviving vector.
+        let &pick = live
+            .iter()
+            .min_by(|&&a, &&b| vectors[a].cmp(&vectors[b]).then(a.cmp(&b)))
+            .expect("live is non-empty");
+        let rep = vectors[pick].clone();
+        // Step 2c: remove its ball.
+        live.retain(|&i| vectors[i].hamming_bounded(&rep, d) > d);
+        reps.push(rep);
+    }
+
+    // Steps 3–4: merge near-duplicates into ?-consensus vectors.
+    let mut b: Vec<TernaryVec> = reps.iter().map(TernaryVec::from_bits).collect();
+    let merge_bound = merge_mult * d;
+    loop {
+        b.sort();
+        let mut merged = None;
+        'outer: for i in 0..b.len() {
+            for j in (i + 1)..b.len() {
+                if b[i].dtilde(&b[j]) <= merge_bound {
+                    merged = Some((i, j));
+                    break 'outer;
+                }
+            }
+        }
+        match merged {
+            Some((i, j)) => {
+                let star = b[i].merge(&b[j]);
+                b.remove(j);
+                b.remove(i);
+                b.push(star);
+            }
+            None => break,
+        }
+    }
+    b.sort();
+    b
+}
+
+/// [`coalesce`], but guaranteed non-empty: if the faithful algorithm
+/// returns nothing (precondition failed — no dense ball), fall back to
+/// the single input vector with the largest ball (ties: lexicographic).
+/// Large Radius step 3 needs *some* candidate per object group even in
+/// subtrees where the community missed its concentration bound.
+pub fn coalesce_nonempty(
+    vectors: &[BitVec],
+    d: usize,
+    freq: f64,
+    merge_mult: usize,
+) -> Vec<TernaryVec> {
+    let out = coalesce(vectors, d, freq, merge_mult);
+    if !out.is_empty() || vectors.is_empty() {
+        return out;
+    }
+    let best = vectors
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| {
+            let ball = |v: &BitVec| {
+                vectors
+                    .iter()
+                    .filter(|u| u.hamming_bounded(v, d) <= d)
+                    .count()
+            };
+            ball(a)
+                .cmp(&ball(b))
+                .then_with(|| b.cmp(a)) // smaller vector wins the tie
+                .then_with(|| ib.cmp(ia))
+        })
+        .map(|(_, v)| v.clone())
+        .expect("vectors non-empty");
+    vec![TernaryVec::from_bits(&best)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tmwia_model::generators::at_distance;
+
+    /// Build a multiset: `k` vectors within distance `d` of a common
+    /// center, plus `extra` uniform vectors.
+    fn clustered(
+        m: usize,
+        k: usize,
+        d: usize,
+        extra: usize,
+        seed: u64,
+    ) -> (Vec<BitVec>, Vec<BitVec>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let center = BitVec::random(m, &mut rng);
+        let cluster: Vec<BitVec> = (0..k).map(|_| at_distance(&center, d / 2, &mut rng)).collect();
+        let mut all = cluster.clone();
+        all.extend((0..extra).map(|_| BitVec::random(m, &mut rng)));
+        (all, cluster)
+    }
+
+    #[test]
+    fn output_size_at_most_one_over_alpha() {
+        let (vectors, _) = clustered(256, 20, 6, 20, 1);
+        for freq in [0.1f64, 0.25, 0.5] {
+            let out = coalesce(&vectors, 6, freq, 5);
+            assert!(
+                out.len() as f64 <= 1.0 / freq + 1e-9,
+                "freq {freq}: {} candidates",
+                out.len()
+            );
+        }
+    }
+
+    #[test]
+    fn unique_closest_within_2d_of_cluster() {
+        // Theorem 5.3: exactly one output vector closest to all of V_T,
+        // at d̃ ≤ 2D.
+        let (vectors, cluster) = clustered(256, 25, 8, 25, 2);
+        let out = coalesce(&vectors, 8, 0.4, 5);
+        assert!(!out.is_empty());
+        let mut closest_set = std::collections::HashSet::new();
+        for v in &cluster {
+            let (best_idx, best_d) = out
+                .iter()
+                .enumerate()
+                .map(|(i, u)| (i, u.dtilde_bits(v)))
+                .min_by_key(|&(i, d)| (d, i))
+                .unwrap();
+            assert!(best_d <= 2 * 8, "member at d̃ {best_d} > 2D");
+            closest_set.insert(best_idx);
+        }
+        assert_eq!(closest_set.len(), 1, "closest candidate not unique");
+    }
+
+    #[test]
+    fn unknown_entries_bounded() {
+        // ?-count ≤ 5D/α (Theorem 5.3's last claim).
+        let (vectors, _) = clustered(512, 30, 10, 30, 3);
+        let freq = 0.3;
+        let out = coalesce(&vectors, 10, freq, 5);
+        let bound = (5.0 * 10.0 / freq).ceil() as usize;
+        for u in &out {
+            assert!(
+                u.count_unknown() <= bound,
+                "{} ? entries > {bound}",
+                u.count_unknown()
+            );
+        }
+    }
+
+    #[test]
+    fn merged_outputs_are_pairwise_far() {
+        // Step 4's stopping condition: any two distinct outputs have
+        // d̃ > 5D.
+        let (vectors, _) = clustered(256, 15, 4, 40, 4);
+        let out = coalesce(&vectors, 4, 0.15, 5);
+        for i in 0..out.len() {
+            for j in (i + 1)..out.len() {
+                assert!(out[i].dtilde(&out[j]) > 5 * 4);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_when_no_dense_ball() {
+        // 30 uniform vectors on 256 coordinates: no radius-2 ball holds
+        // half of them.
+        let mut rng = StdRng::seed_from_u64(5);
+        let vectors: Vec<BitVec> = (0..30).map(|_| BitVec::random(256, &mut rng)).collect();
+        assert!(coalesce(&vectors, 2, 0.5, 5).is_empty());
+    }
+
+    #[test]
+    fn nonempty_fallback_returns_densest() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let vectors: Vec<BitVec> = (0..10).map(|_| BitVec::random(128, &mut rng)).collect();
+        let out = coalesce_nonempty(&vectors, 1, 0.9, 5);
+        assert_eq!(out.len(), 1);
+        // The fallback is one of the inputs, fully concrete.
+        assert_eq!(out[0].count_unknown(), 0);
+        assert!(vectors
+            .iter()
+            .any(|v| TernaryVec::from_bits(v) == out[0]));
+    }
+
+    #[test]
+    fn identical_inputs_collapse_to_one_exact_candidate() {
+        let v = BitVec::from_bools(&[true, false, true, true, false]);
+        let vectors = vec![v.clone(); 12];
+        let out = coalesce(&vectors, 0, 0.5, 5);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], TernaryVec::from_bits(&v));
+    }
+
+    #[test]
+    fn two_far_clusters_give_two_candidates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c1 = BitVec::random(512, &mut rng);
+        let c2 = BitVec::random(512, &mut rng); // ~256 away from c1
+        let mut vectors: Vec<BitVec> = (0..10).map(|_| at_distance(&c1, 2, &mut rng)).collect();
+        vectors.extend((0..10).map(|_| at_distance(&c2, 2, &mut rng)));
+        let out = coalesce(&vectors, 4, 0.3, 5);
+        assert_eq!(out.len(), 2);
+        // One candidate near each center.
+        let d1 = out.iter().map(|u| u.dtilde_bits(&c1)).min().unwrap();
+        let d2 = out.iter().map(|u| u.dtilde_bits(&c2)).min().unwrap();
+        assert!(d1 <= 8 && d2 <= 8);
+    }
+
+    #[test]
+    fn near_clusters_merge_into_consensus() {
+        // Two dense groups 3·D apart (≤ 5·D): step 4 must merge them,
+        // starring the disagreement coordinates.
+        let mut rng = StdRng::seed_from_u64(8);
+        let c1 = BitVec::random(256, &mut rng);
+        let c2 = at_distance(&c1, 12, &mut rng); // D = 4, 3·D = 12 ≤ 20
+        let mut vectors = vec![c1.clone(); 10];
+        vectors.extend(std::iter::repeat_n(c2.clone(), 10));
+        let out = coalesce(&vectors, 4, 0.3, 5);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].count_unknown(), 12);
+    }
+
+    #[test]
+    fn deterministic_and_order_insensitive() {
+        let (mut vectors, _) = clustered(128, 12, 4, 12, 9);
+        let a = coalesce(&vectors, 4, 0.25, 5);
+        vectors.reverse();
+        let b = coalesce(&vectors, 4, 0.25, 5);
+        assert_eq!(a, b, "output must not depend on input order");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(coalesce(&[], 3, 0.5, 5).is_empty());
+        assert!(coalesce_nonempty(&[], 3, 0.5, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn zero_frequency_panics() {
+        coalesce(&[BitVec::zeros(4)], 1, 0.0, 5);
+    }
+}

@@ -1,0 +1,245 @@
+//! Subcommunity discovery from billboard outputs (§1.1).
+//!
+//! "In fact, our algorithm can continuously reconstruct all such
+//! subcommunities in parallel, refining clusterings on-the-fly, as time
+//! goes on and probing budget is increasing."
+//!
+//! Once players have posted output vectors (from any reconstruction
+//! phase), the *implied community structure* is public information:
+//! clustering the posted vectors at a distance scale `D` reveals which
+//! players currently appear to share taste at that scale, and running
+//! the clustering at a ladder of scales produces the refinement
+//! hierarchy the paper describes. No probing is involved — this is pure
+//! billboard post-processing, so every player computes the identical
+//! structure (like Coalesce).
+//!
+//! Clustering at one scale is the ball-cover greedy of Coalesce step 2
+//! applied to players instead of vectors; the hierarchy nests because a
+//! ball of radius `D` is contained in the same center's ball of radius
+//! `D' > D` — we additionally assign each player to the *first* cluster
+//! whose representative is within the scale, which keeps memberships
+//! deterministic.
+
+use std::collections::HashMap;
+use tmwia_billboard::PlayerId;
+use tmwia_model::BitVec;
+
+/// One discovered community at a given scale.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiscoveredCommunity {
+    /// The player whose posted vector seeded the cluster.
+    pub representative: PlayerId,
+    /// Members (sorted), including the representative.
+    pub members: Vec<PlayerId>,
+}
+
+/// The communities implied by posted outputs at one distance scale.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clustering {
+    /// The scale `D` used.
+    pub scale: usize,
+    /// Clusters, largest first (ties: smaller representative id).
+    pub communities: Vec<DiscoveredCommunity>,
+}
+
+impl Clustering {
+    /// The community containing `p`, if any.
+    pub fn community_of(&self, p: PlayerId) -> Option<&DiscoveredCommunity> {
+        self.communities.iter().find(|c| c.members.contains(&p))
+    }
+}
+
+/// Cluster posted output vectors at distance scale `d`, keeping only
+/// clusters with at least `min_size` members. Greedy ball cover:
+/// repeatedly take the (lexicographically first vector of the) player
+/// with the densest remaining ball, claim everyone within `d`.
+///
+/// ```
+/// use std::collections::HashMap;
+/// use tmwia_core::discover_communities;
+/// use tmwia_model::BitVec;
+///
+/// let mut outputs = HashMap::new();
+/// outputs.insert(0usize, BitVec::from_bools(&[true, true, false, false]));
+/// outputs.insert(1, BitVec::from_bools(&[true, true, false, true]));
+/// outputs.insert(2, BitVec::from_bools(&[false, false, true, true]));
+/// let c = discover_communities(&outputs, 1, 2);
+/// assert_eq!(c.communities.len(), 1);          // {0, 1}; 2 is dust
+/// assert_eq!(c.communities[0].members, vec![0, 1]);
+/// ```
+pub fn discover_communities(
+    outputs: &HashMap<PlayerId, BitVec>,
+    d: usize,
+    min_size: usize,
+) -> Clustering {
+    // Deterministic order: sort players by (vector, id).
+    let mut players: Vec<PlayerId> = outputs.keys().copied().collect();
+    players.sort_by(|&a, &b| outputs[&a].cmp(&outputs[&b]).then(a.cmp(&b)));
+
+    let mut unclaimed: Vec<PlayerId> = players.clone();
+    let mut communities: Vec<DiscoveredCommunity> = Vec::new();
+    while !unclaimed.is_empty() {
+        // Densest ball among unclaimed; ties to the earliest in the
+        // deterministic order.
+        let (seed, ball_size) = unclaimed
+            .iter()
+            .enumerate()
+            .map(|(pos, &p)| {
+                let ball = unclaimed
+                    .iter()
+                    .filter(|&&q| outputs[&p].hamming_bounded(&outputs[&q], d) <= d)
+                    .count();
+                (pos, p, ball)
+            })
+            .max_by_key(|&(pos, _, ball)| (ball, std::cmp::Reverse(pos)))
+            .map(|(_, p, ball)| (p, ball))
+            .expect("unclaimed non-empty");
+        if ball_size < min_size {
+            break; // everything left is dust
+        }
+        let members: Vec<PlayerId> = {
+            let mut ms: Vec<PlayerId> = unclaimed
+                .iter()
+                .copied()
+                .filter(|&q| outputs[&seed].hamming_bounded(&outputs[&q], d) <= d)
+                .collect();
+            ms.sort_unstable();
+            ms
+        };
+        unclaimed.retain(|q| !members.contains(q));
+        communities.push(DiscoveredCommunity {
+            representative: seed,
+            members,
+        });
+    }
+    communities.sort_by(|a, b| {
+        b.members
+            .len()
+            .cmp(&a.members.len())
+            .then_with(|| a.representative.cmp(&b.representative))
+    });
+    Clustering {
+        scale: d,
+        communities,
+    }
+}
+
+/// Run [`discover_communities`] at a ladder of scales (ascending),
+/// producing the paper's on-the-fly refinement hierarchy: small scales
+/// give tight subcommunities, large scales merge them.
+pub fn community_hierarchy(
+    outputs: &HashMap<PlayerId, BitVec>,
+    scales: &[usize],
+    min_size: usize,
+) -> Vec<Clustering> {
+    scales
+        .iter()
+        .map(|&d| discover_communities(outputs, d, min_size))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::generators::at_distance;
+    use tmwia_model::rng::{rng_for, tags};
+
+    /// Outputs with two planted clusters (radius r around two far
+    /// centers) plus isolated noise players.
+    fn two_cluster_outputs(
+        m: usize,
+        k: usize,
+        r: usize,
+        noise: usize,
+        seed: u64,
+    ) -> HashMap<PlayerId, BitVec> {
+        let mut rng = rng_for(seed, tags::TRIAL, 7);
+        let c1 = BitVec::random(m, &mut rng);
+        let c2 = BitVec::random(m, &mut rng);
+        let mut out = HashMap::new();
+        for p in 0..k {
+            out.insert(p, at_distance(&c1, r, &mut rng));
+        }
+        for p in k..2 * k {
+            out.insert(p, at_distance(&c2, r, &mut rng));
+        }
+        for p in 2 * k..2 * k + noise {
+            out.insert(p, BitVec::random(m, &mut rng));
+        }
+        out
+    }
+
+    #[test]
+    fn finds_the_two_planted_clusters() {
+        let out = two_cluster_outputs(256, 10, 2, 5, 1);
+        let clustering = discover_communities(&out, 4, 3);
+        assert_eq!(clustering.communities.len(), 2);
+        for c in &clustering.communities {
+            assert_eq!(c.members.len(), 10);
+            // Members are one full planted block.
+            let first_block = c.members.iter().all(|&p| p < 10);
+            let second_block = c.members.iter().all(|&p| (10..20).contains(&p));
+            assert!(first_block || second_block, "mixed cluster: {c:?}");
+        }
+    }
+
+    #[test]
+    fn min_size_filters_dust() {
+        let out = two_cluster_outputs(256, 10, 2, 8, 2);
+        let strict = discover_communities(&out, 4, 11);
+        assert!(strict.communities.is_empty());
+        let loose = discover_communities(&out, 4, 1);
+        // Every player lands somewhere at min_size 1.
+        let covered: usize = loose.communities.iter().map(|c| c.members.len()).sum();
+        assert_eq!(covered, 28);
+    }
+
+    #[test]
+    fn hierarchy_refines_with_scale() {
+        // Nested structure: radius-1 subclusters inside a radius-20
+        // supercluster.
+        let mut rng = rng_for(3, tags::TRIAL, 8);
+        let center = BitVec::random(512, &mut rng);
+        let sub1 = at_distance(&center, 10, &mut rng);
+        let sub2 = at_distance(&center, 10, &mut rng);
+        let mut out = HashMap::new();
+        for p in 0..8 {
+            out.insert(p, at_distance(&sub1, 1, &mut rng));
+        }
+        for p in 8..16 {
+            out.insert(p, at_distance(&sub2, 1, &mut rng));
+        }
+        let ladder = community_hierarchy(&out, &[3, 60], 2);
+        assert_eq!(ladder[0].communities.len(), 2, "tight scale: two subcommunities");
+        assert_eq!(ladder[1].communities.len(), 1, "loose scale: one supercommunity");
+        assert_eq!(ladder[1].communities[0].members.len(), 16);
+    }
+
+    #[test]
+    fn community_of_lookup() {
+        let out = two_cluster_outputs(128, 5, 1, 0, 4);
+        let clustering = discover_communities(&out, 2, 2);
+        let c = clustering.community_of(0).expect("player 0 clustered");
+        assert!(c.members.contains(&0));
+        assert!(clustering.community_of(999).is_none());
+    }
+
+    #[test]
+    fn deterministic_regardless_of_hashmap_order() {
+        let out = two_cluster_outputs(128, 6, 1, 3, 5);
+        let a = discover_communities(&out, 2, 2);
+        // Rebuild the map in a different insertion order.
+        let mut pairs: Vec<_> = out.iter().map(|(&p, v)| (p, v.clone())).collect();
+        pairs.reverse();
+        let out2: HashMap<PlayerId, BitVec> = pairs.into_iter().collect();
+        let b = discover_communities(&out2, 2, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_outputs_empty_clustering() {
+        let out: HashMap<PlayerId, BitVec> = HashMap::new();
+        let c = discover_communities(&out, 4, 1);
+        assert!(c.communities.is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! Algorithm **Large Radius** — communities of large diameter
+//! (paper Figure 5, Theorem 5.4, Lemma 5.5).
+//!
+//! For `D ≫ log n`, Small Radius is too expensive (its cost is
+//! polynomial in `D`). Large Radius reduces to the cheap regimes:
+//!
+//! 1. chop the object set into `L = Θ(D / log n)` random groups `O_ℓ` —
+//!    by Lemma 5.5, typical players project to diameter `O(log n)` on
+//!    each group — and assign each player to a few groups so every group
+//!    has `Ω(log n / α)` players;
+//! 2. each group's players run **Small Radius** on their group;
+//! 3. everyone runs **Coalesce** on each group's posted outputs,
+//!    producing `≤ O(1/α)` candidate vectors `B_ℓ` per group with a
+//!    unique closest candidate for the community (Theorem 5.3);
+//! 4. run **Zero Radius over virtual objects**: "object" `ℓ` has value
+//!    domain `B_ℓ`-indices, and probing it means running Select (bounded
+//!    by `O(log n)`) against the candidates on real coordinates. Typical
+//!    players share one exact virtual vector, so Zero Radius's
+//!    exact-agreement guarantee applies.
+//!
+//! Final error: `O(D/α)` per member (the `?` entries of the chosen
+//! candidates, resolved to 0, dominate); probes per player
+//! `O(log^{7/2} n / α²)` for `m = O(n)` (Theorem 5.4).
+
+use crate::coalesce::coalesce_nonempty;
+use crate::params::Params;
+use crate::select::select_ternary;
+use crate::zero_radius::{zero_radius, ObjectSpace};
+use std::collections::HashMap;
+use tmwia_billboard::{PlayerId, ProbeEngine};
+use tmwia_model::matrix::ObjectId;
+use tmwia_model::partition::{assign_with_multiplicity, uniform_parts};
+use tmwia_model::rng::{derive, rng_for, tags};
+use tmwia_model::{BitVec, TernaryVec};
+
+/// Output: per player, a full-length (`m`) estimate vector.
+pub type LrOutput = HashMap<PlayerId, BitVec>;
+
+/// One object group with its Coalesce candidates: the "virtual object"
+/// of step 4.
+struct Group {
+    /// Real objects in this group.
+    objects: Vec<ObjectId>,
+    /// Coalesce output `B_ℓ` (non-empty).
+    candidates: Vec<TernaryVec>,
+    /// Select distance bound used to "probe" this virtual object.
+    bound: usize,
+}
+
+/// Virtual-object space over the groups: probing group `ℓ` runs Select
+/// against `B_ℓ` on real coordinates and returns the winning candidate
+/// index. Primitive probes are charged through the engine by Select
+/// itself.
+struct CandidateSpace<'a> {
+    engine: &'a ProbeEngine,
+    groups: &'a [Group],
+    fresh: bool,
+}
+
+impl ObjectSpace for CandidateSpace<'_> {
+    type Val = u32;
+
+    fn num_objects(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn probe(&self, player: PlayerId, idx: usize) -> u32 {
+        let g = &self.groups[idx];
+        let handle = self.engine.player(player);
+        select_ternary(&handle, &g.objects, &g.candidates, g.bound, self.fresh).winner as u32
+    }
+}
+
+/// Run Algorithm Large Radius over the full object set, assuming an
+/// `(alpha, d)`-typical player subset among `players`.
+pub fn large_radius(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    alpha: f64,
+    d: usize,
+    params: &Params,
+    seed: u64,
+) -> LrOutput {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
+    let n_global = engine.n();
+    let m = engine.m();
+    if players.is_empty() {
+        return HashMap::new();
+    }
+
+    // Step 1: random object groups and player assignment.
+    let l = params.group_count(d, n_global);
+    let all_objects: Vec<ObjectId> = (0..m).collect();
+    let mut obj_rng = rng_for(seed, tags::LARGE_RADIUS_OBJ, 0);
+    let object_groups = uniform_parts(&all_objects, l, &mut obj_rng);
+
+    let per_group = params.players_per_group(n_global, alpha);
+    let copies = ((per_group * l).div_ceil(players.len())).max(1);
+    let mut ply_rng = rng_for(seed, tags::LARGE_RADIUS_PLY, 0);
+    let player_groups = assign_with_multiplicity(players, l, copies, &mut ply_rng);
+
+    // The community's projected diameter per group (Lemma 5.5):
+    // λ = min(D, O(log n)).
+    let lambda = d.min(params.group_distance_bound(n_global)).max(1);
+    // Small Radius promises 5λ per member; two members are then within
+    // (2·5 + 1)·λ of each other, which is the Coalesce distance scale.
+    let coalesce_d = (2 * params.final_bound_mult + 1) * lambda;
+    // Select bound for virtual probes: the community's true vector is
+    // within 2·coalesce_d of its candidate (Theorem 5.3).
+    let virt_bound = 2 * coalesce_d;
+
+    // Steps 2–3 per group, groups in parallel.
+    let groups: Vec<Group> = tmwia_billboard::engine::par_map_range(l, |ell| {
+        let objs = &object_groups[ell];
+        let plys = &player_groups[ell];
+        if objs.is_empty() {
+            return Group {
+                objects: Vec::new(),
+                candidates: vec![TernaryVec::unknowns(0)],
+                bound: 0,
+            };
+        }
+        // Step 2: Small Radius with frequency parameter α/2 and
+        // confidence K = O(log n) (the K comes from `params`).
+        let sr = crate::small_radius::small_radius(
+            engine,
+            plys,
+            objs,
+            alpha / 2.0,
+            lambda,
+            params,
+            n_global,
+            derive(seed, tags::LARGE_RADIUS_OBJ, 1 + ell as u64),
+        );
+        // Step 3: Coalesce the posted outputs (player order for
+        // determinism).
+        let inputs: Vec<BitVec> = plys.iter().map(|p| sr[p].clone()).collect();
+        let candidates = coalesce_nonempty(&inputs, coalesce_d, alpha / 4.0, params.coalesce_merge_mult);
+        let candidates = if candidates.is_empty() {
+            vec![TernaryVec::unknowns(objs.len())]
+        } else {
+            candidates
+        };
+        Group {
+            objects: objs.clone(),
+            candidates,
+            bound: virt_bound,
+        }
+    });
+
+    // Step 4: Zero Radius over the virtual objects, with all players.
+    let space = CandidateSpace {
+        engine,
+        groups: &groups,
+        fresh: params.fresh_probes,
+    };
+    let virt_objects: Vec<usize> = (0..l).collect();
+    let zr = zero_radius(
+        &space,
+        players,
+        &virt_objects,
+        alpha,
+        params,
+        n_global,
+        derive(seed, tags::LARGE_RADIUS_OBJ, u64::MAX),
+    );
+
+    // Stitch: each player's chosen candidate per group, `?` → 0 (§5:
+    // "don't care entries … may be set to 0").
+    zr.into_iter()
+        .map(|(p, picks)| {
+            let mut w = BitVec::zeros(m);
+            for (ell, &idx) in picks.iter().enumerate() {
+                let g = &groups[ell];
+                if g.objects.is_empty() {
+                    continue;
+                }
+                let cand = &g.candidates[idx as usize];
+                w.scatter_from(&cand.resolve_zero(), &g.objects);
+            }
+            (p, w)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::generators::planted_community;
+    use tmwia_model::metrics::CommunityReport;
+
+    fn run(
+        n: usize,
+        m: usize,
+        k: usize,
+        d: usize,
+        seed: u64,
+    ) -> (ProbeEngine, Vec<PlayerId>, LrOutput) {
+        let inst = planted_community(n, m, k, d, seed);
+        let community = inst.community().to_vec();
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..n).collect();
+        let out = large_radius(
+            &engine,
+            &players,
+            k as f64 / n as f64,
+            d,
+            &Params::practical(),
+            seed,
+        );
+        (engine, community, out)
+    }
+
+    #[test]
+    fn community_stretch_bounded() {
+        // D well above log n: the Large Radius regime. Error must be
+        // O(D/α) — with α = 1/2 we allow a generous constant.
+        let d = 48;
+        let (engine, community, out) = run(128, 128, 64, d, 31);
+        let outputs: Vec<BitVec> = (0..128).map(|p| out[&p].clone()).collect();
+        let report = CommunityReport::evaluate(engine.truth(), &outputs, &community);
+        assert!(
+            report.discrepancy <= 12 * d,
+            "discrepancy {} ≫ D = {d}",
+            report.discrepancy
+        );
+    }
+
+    #[test]
+    fn outputs_cover_all_players_full_length() {
+        let (_, _, out) = run(64, 64, 32, 32, 32);
+        assert_eq!(out.len(), 64);
+        assert!(out.values().all(|w| w.len() == 64));
+    }
+
+    #[test]
+    fn typical_players_agree_exactly_after_step4() {
+        // Zero Radius over virtual objects makes all typical players
+        // output the *same* vector w.h.p. — a distinctive Large Radius
+        // property (§5: "any two typical players will have the same
+        // output vector").
+        let (_, community, out) = run(128, 128, 96, 40, 33);
+        let first = &out[&community[0]];
+        let agree = community.iter().filter(|&&p| &out[&p] == first).count();
+        assert!(
+            agree * 10 >= community.len() * 9,
+            "only {agree}/{} community members agree",
+            community.len()
+        );
+    }
+
+    #[test]
+    fn empty_players_ok() {
+        let inst = planted_community(8, 8, 4, 2, 1);
+        let engine = ProbeEngine::new(inst.truth);
+        let out = large_radius(&engine, &[], 0.5, 4, &Params::practical(), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(64, 64, 32, 24, 34).2;
+        let b = run(64, 64, 32, 24, 34).2;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_d_degenerates_gracefully() {
+        // Large Radius called below its intended regime (d < log n) must
+        // still produce bounded-error outputs (L clamps to 1 group).
+        let (engine, community, out) = run(64, 64, 32, 4, 35);
+        for &p in &community {
+            let err = out[&p].hamming(engine.truth().row(p));
+            assert!(err <= 40, "player {p} error {err}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # tmwia-core
+//!
+//! The algorithms of Alon, Awerbuch, Azar & Patt-Shamir, *"Tell Me Who I
+//! Am: An Interactive Recommendation System"* (SPAA 2006): each of `n`
+//! players reconstructs its hidden `{0,1}^m` preference vector from
+//! unit-cost probes plus a shared billboard, with error within a
+//! constant factor of its community's diameter after polylogarithmically
+//! many rounds (Theorem 1.1).
+//!
+//! Algorithm map (paper figure → module):
+//!
+//! | Figure | Algorithm | Module |
+//! |--------|-----------|--------|
+//! | Fig. 1 | main dispatch on known `(α, D)` | [`main_algorithm`] |
+//! | Fig. 2 | Zero Radius | [`mod@zero_radius`] |
+//! | Fig. 3 | Select | [`select`] |
+//! | Fig. 4 | Small Radius | [`mod@small_radius`] |
+//! | Fig. 5 | Large Radius | [`mod@large_radius`] |
+//! | Fig. 6 | Coalesce | [`mod@coalesce`] |
+//! | Fig. 7 | RSelect | [`mod@rselect`] |
+//! | §6     | unknown `D` / anytime unknown `α` | [`unknown`] |
+//!
+//! All constants are tunable through [`Params`]; [`Params::theory`]
+//! matches the paper's literal constants, [`Params::practical`] scales
+//! them down for laptop-size experiments.
+
+pub mod coalesce;
+pub mod communities;
+pub mod large_radius;
+pub mod lockstep;
+pub mod main_algorithm;
+pub mod params;
+pub mod rselect;
+pub mod select;
+pub mod small_radius;
+pub mod unknown;
+pub mod value;
+pub mod zero_radius;
+
+pub use coalesce::{coalesce, coalesce_nonempty};
+pub use communities::{community_hierarchy, discover_communities, Clustering, DiscoveredCommunity};
+pub use large_radius::{large_radius, LrOutput};
+pub use lockstep::{lockstep_zero_radius, LockstepResult};
+pub use main_algorithm::{reconstruct_known, Branch, Reconstruction};
+pub use params::Params;
+pub use rselect::{rselect, rselect_bits, RSelectResult};
+pub use select::{select_bits, select_rows, select_ternary, select_values, SelectResult};
+pub use small_radius::{small_radius, SrOutput};
+pub use unknown::{
+    anytime_known_d,
+    anytime, d_grid, reconstruct_unknown_d, AnytimeReport, PhaseReport, UnknownDResult,
+};
+pub use value::Value;
+pub use zero_radius::{zero_radius, BinarySpace, ObjectSpace, ZrOutput};

@@ -1,0 +1,612 @@
+//! **Lockstep Zero Radius** — the paper's "distributed randomized
+//! peer-to-peer algorithm" (abstract) executed literally: every player
+//! is an independent state machine that, once per round, either probes
+//! one object or idles, reading the billboard only between rounds.
+//!
+//! The orchestrated [`crate::zero_radius()`] computes the same algorithm
+//! with global control flow. This module demonstrates (and tests) that
+//! the orchestration is faithful: with the same master seed the
+//! lockstep execution produces **bit-identical outputs and probe
+//! charges**, because
+//!
+//! * the recursion tree is public randomness — every player derives the
+//!   same halvings from `(seed, node)`;
+//! * base-case leaves probe their objects in the same order;
+//! * step 4's candidate sets come from the same vote-tally code
+//!   (`zero_radius::popular_candidates`); and
+//! * the incremental `SelectMachine` replays Figure 3's forward sweep
+//!   one probe per round, matching [`crate::select::select_rows()`]
+//!   decision-for-decision.
+//!
+//! The only new quantity is *wall-clock rounds*: players must wait
+//! (idle) for the sibling half to finish posting before they can adopt,
+//! so rounds = probes + barrier waits. The tree is balanced (random
+//! halvings), so waits add only a small factor — measured by the tests.
+
+use crate::params::Params;
+use crate::zero_radius::popular_candidates;
+use std::collections::HashMap;
+use tmwia_billboard::{Billboard, PlayerId, ProbeEngine};
+use tmwia_model::matrix::ObjectId;
+use tmwia_model::partition::random_halves;
+use tmwia_model::rng::{rng_for, tags};
+
+/// One node of the (public) recursion tree.
+#[derive(Debug, Clone)]
+struct Node {
+    id: u64,
+    players: Vec<PlayerId>,
+    objects: Vec<ObjectId>,
+    /// Arena indices of the two children (`None` for leaves).
+    children: Option<(usize, usize)>,
+}
+
+/// Build the recursion tree exactly as the orchestrated
+/// `zero_radius::recurse` does (same seeds, same halving calls).
+fn build_tree(
+    players: &[PlayerId],
+    objects: &[ObjectId],
+    alpha: f64,
+    params: &Params,
+    n_global: usize,
+    seed: u64,
+) -> Vec<Node> {
+    let threshold = params.base_case_threshold(n_global, alpha);
+    let mut arena: Vec<Node> = Vec::new();
+    // Iterative expansion, preserving the (node-id-seeded) rng calls.
+    let mut stack = vec![(players.to_vec(), objects.to_vec(), 1u64)];
+    let mut pending: Vec<(usize, u64)> = Vec::new(); // (arena idx, node id) to link
+    while let Some((p, o, id)) = stack.pop() {
+        let is_leaf = p.len().min(o.len()) < threshold;
+        let idx = arena.len();
+        arena.push(Node {
+            id,
+            players: p.clone(),
+            objects: o.clone(),
+            children: None,
+        });
+        pending.push((idx, id));
+        if !is_leaf {
+            let mut rng = rng_for(seed, tags::ZERO_RADIUS_SPLIT, id);
+            let (p1, p2) = random_halves(&p, &mut rng);
+            let (o1, o2) = random_halves(&o, &mut rng);
+            stack.push((p2, o2, 2 * id + 1));
+            stack.push((p1, o1, 2 * id));
+        }
+    }
+    // Link children by id lookup.
+    let by_id: HashMap<u64, usize> = arena.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+    for node in arena.iter_mut() {
+        if let (Some(&l), Some(&r)) = (by_id.get(&(2 * node.id)), by_id.get(&(2 * node.id + 1))) {
+            node.children = Some((l, r));
+        }
+    }
+    arena
+}
+
+/// Incremental Figure 3 Select with distance bound 0 over boolean
+/// candidate vectors: one probe per `next_probe`/`observe` cycle.
+/// Matches `select_rows` (all-`Some` rows, bound 0) exactly.
+#[derive(Debug)]
+pub(crate) struct SelectMachine {
+    rows: Vec<Vec<bool>>,
+    objects: Vec<ObjectId>,
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Next coordinate the forward sweep will examine.
+    cursor: usize,
+    revealed: Vec<Option<bool>>,
+}
+
+impl SelectMachine {
+    pub(crate) fn new(rows: Vec<Vec<bool>>, objects: Vec<ObjectId>) -> Self {
+        let k = rows.len();
+        assert!(k > 0, "Select needs at least one candidate");
+        assert!(rows.iter().all(|r| r.len() == objects.len()));
+        let len = objects.len();
+        SelectMachine {
+            rows,
+            objects,
+            alive: vec![true; k],
+            alive_count: k,
+            cursor: 0,
+            revealed: vec![None; len],
+        }
+    }
+
+    /// The object to probe this round, or `None` when the sweep is over.
+    pub(crate) fn next_probe(&mut self) -> Option<ObjectId> {
+        while self.cursor < self.objects.len() {
+            if self.alive_count <= 1 {
+                return None;
+            }
+            // Is the cursor coordinate in X(V) for the alive set?
+            let j = self.cursor;
+            let mut first: Option<bool> = None;
+            let mut in_x = false;
+            for (c, row) in self.rows.iter().enumerate() {
+                if !self.alive[c] {
+                    continue;
+                }
+                match first {
+                    None => first = Some(row[j]),
+                    Some(v) if v != row[j] => {
+                        in_x = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if in_x {
+                return Some(self.objects[j]);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+
+    /// Deliver the probe result for the cursor coordinate.
+    pub(crate) fn observe(&mut self, value: bool) {
+        let j = self.cursor;
+        self.revealed[j] = Some(value);
+        for c in 0..self.rows.len() {
+            if self.alive[c] && self.rows[c][j] != value {
+                // Bound 0: a single disagreement evicts.
+                self.alive[c] = false;
+                self.alive_count -= 1;
+            }
+        }
+        self.cursor += 1;
+    }
+
+    /// The winning candidate index, per Figure 3 step 2 (with the same
+    /// tie-breaks as `select_rows`).
+    pub(crate) fn winner(&self) -> usize {
+        let pool: Vec<usize> = if self.alive_count > 0 {
+            (0..self.rows.len()).filter(|&c| self.alive[c]).collect()
+        } else {
+            (0..self.rows.len()).collect()
+        };
+        let score = |c: usize| -> (usize, usize) {
+            let mut dist = 0usize;
+            let mut agree = 0usize;
+            for (cv, rv) in self.rows[c].iter().zip(&self.revealed) {
+                if let Some(b) = rv {
+                    if cv == b {
+                        agree += 1;
+                    } else {
+                        dist += 1;
+                    }
+                }
+            }
+            (dist, agree)
+        };
+        pool.into_iter()
+            .min_by(|&a, &b| {
+                let (da, aa) = score(a);
+                let (db, ab) = score(b);
+                da.cmp(&db)
+                    .then_with(|| ab.cmp(&aa))
+                    .then_with(|| self.rows[a].cmp(&self.rows[b]))
+                    .then_with(|| a.cmp(&b))
+            })
+            .expect("non-empty pool")
+    }
+}
+
+/// Per-player execution state.
+enum Phase {
+    /// Base case: probing the leaf's objects in order.
+    Leaf { pos: usize },
+    /// Waiting for the sibling at `path[level]` to finish posting.
+    Waiting { level: usize },
+    /// Running Select against the sibling's candidates.
+    Selecting { level: usize, machine: SelectMachine },
+    /// All levels merged; final output posted.
+    Done,
+}
+
+/// One level of a player's root-ward path.
+struct PathLevel {
+    /// Arena index of the parent node.
+    parent: usize,
+    /// Arena index of the sibling child (the half to adopt from).
+    sibling: usize,
+}
+
+struct PlayerMachine {
+    p: PlayerId,
+    /// Arena index of this player's leaf.
+    leaf: usize,
+    /// Levels from the leaf's parent up to the root.
+    path: Vec<PathLevel>,
+    phase: Phase,
+    /// Values learned so far, keyed by object.
+    known: HashMap<ObjectId, bool>,
+}
+
+/// Result of a lockstep execution.
+pub struct LockstepResult {
+    /// Per-player outputs over the input `objects` order — identical to
+    /// the orchestrated [`mod@crate::zero_radius`] run with the same seed.
+    pub outputs: HashMap<PlayerId, Vec<bool>>,
+    /// Wall-clock rounds (probes + barrier waits of the slowest player).
+    pub rounds: u64,
+}
+
+/// Execute Zero Radius in lockstep.
+///
+/// Information-flow rules enforced by construction: a player reads the
+/// vector billboard only between rounds; it probes at most one object
+/// per round; posted node outputs are immutable.
+pub fn lockstep_zero_radius(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    objects: &[ObjectId],
+    alpha: f64,
+    params: &Params,
+    n_global: usize,
+    seed: u64,
+) -> LockstepResult {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
+    if players.is_empty() || objects.is_empty() {
+        return LockstepResult {
+            outputs: players.iter().map(|&p| (p, Vec::new())).collect(),
+            rounds: 0,
+        };
+    }
+
+    let arena = build_tree(players, objects, alpha, params, n_global, seed);
+    // Vector billboard: node id → posted outputs (in that node's object
+    // order). Uses the same Billboard type as the orchestrated run so
+    // tallies behave identically.
+    let board: Billboard<u64, Vec<bool>> = Billboard::new();
+
+    // Locate each player's leaf and path.
+    let mut machines: Vec<PlayerMachine> = players
+        .iter()
+        .map(|&p| {
+            // Walk from the root following the child containing p.
+            let mut idx = 0usize; // arena[0] is the root by construction
+            debug_assert_eq!(arena[0].id, 1);
+            let mut path_rev: Vec<PathLevel> = Vec::new();
+            while let Some((l, r)) = arena[idx].children {
+                let in_left = arena[l].players.contains(&p);
+                let (mine, sib) = if in_left { (l, r) } else { (r, l) };
+                path_rev.push(PathLevel {
+                    parent: idx,
+                    sibling: sib,
+                });
+                idx = mine;
+            }
+            path_rev.reverse(); // leaf-parent first, root last
+            PlayerMachine {
+                p,
+                leaf: idx,
+                path: path_rev,
+                phase: Phase::Leaf { pos: 0 },
+                known: HashMap::new(),
+            }
+        })
+        .collect();
+
+    let mut rounds = 0u64;
+    let max_rounds = 64 * (objects.len() as u64 + 64); // generous stall guard
+    loop {
+        // Round start: snapshot which nodes are fully posted.
+        let complete: Vec<bool> = arena
+            .iter()
+            .map(|node| board.count(&node.id) >= node.players.len())
+            .collect();
+
+        let mut any_active = false;
+        let mut posts: Vec<(u64, PlayerId, Vec<bool>)> = Vec::new();
+        for machine in &mut machines {
+            let did = step(
+                machine,
+                &arena,
+                &complete,
+                &board,
+                engine,
+                alpha,
+                params,
+                &mut posts,
+            );
+            any_active |= did;
+        }
+        // Publish after the round (players cannot see same-round posts;
+        // the `complete` snapshot above already guarantees that for
+        // reads, and posts are buffered here for writes).
+        board.post_batch(posts);
+
+        if !any_active {
+            break;
+        }
+        rounds += 1;
+        assert!(
+            rounds < max_rounds,
+            "lockstep runtime stalled (barrier bug?)"
+        );
+    }
+
+    // Outputs: each player's root vector, reordered to the caller's
+    // `objects` order.
+    let root = &arena[0];
+    let pos: HashMap<ObjectId, usize> = objects.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+    let outputs = machines
+        .iter()
+        .map(|m| {
+            let mut row = vec![false; objects.len()];
+            for &j in &root.objects {
+                row[pos[&j]] = *m.known.get(&j).expect("root coverage");
+            }
+            (m.p, row)
+        })
+        .collect();
+    LockstepResult { outputs, rounds }
+}
+
+/// Advance one player by one round. Returns `true` if the player is
+/// still active (probed, or waited on a barrier).
+#[allow(clippy::too_many_arguments)]
+fn step(
+    machine: &mut PlayerMachine,
+    arena: &[Node],
+    complete: &[bool],
+    board: &Billboard<u64, Vec<bool>>,
+    engine: &ProbeEngine,
+    alpha: f64,
+    params: &Params,
+    posts: &mut Vec<(u64, PlayerId, Vec<bool>)>,
+) -> bool {
+    loop {
+        match &mut machine.phase {
+            Phase::Leaf { pos } => {
+                let leaf = &arena[machine.leaf];
+                if *pos < leaf.objects.len() {
+                    let j = leaf.objects[*pos];
+                    let v = engine.player(machine.p).probe(j);
+                    machine.known.insert(j, v);
+                    *pos += 1;
+                    if *pos == leaf.objects.len() {
+                        // Post the leaf output and move up.
+                        let vec: Vec<bool> =
+                            leaf.objects.iter().map(|j| machine.known[j]).collect();
+                        posts.push((leaf.id, machine.p, vec));
+                        machine.phase = Phase::Waiting { level: 0 };
+                    }
+                    return true;
+                }
+                // Empty leaf (cannot happen with threshold ≥ 2, but be
+                // safe): post empty and move on.
+                posts.push((leaf.id, machine.p, Vec::new()));
+                machine.phase = Phase::Waiting { level: 0 };
+            }
+            Phase::Waiting { level } => {
+                let lvl = *level;
+                if lvl >= machine.path.len() {
+                    machine.phase = Phase::Done;
+                    return false;
+                }
+                let sib_idx = machine.path[lvl].sibling;
+                if !complete[sib_idx] {
+                    // Barrier wait: idle this round (costs a round, no
+                    // probe).
+                    return true;
+                }
+                // Sibling done: compute candidates and start selecting.
+                let sib = &arena[sib_idx];
+                let candidates =
+                    popular_candidates(board, sib.id, sib.players.len(), alpha, params);
+                if candidates.is_empty() {
+                    // Defensive (empty sibling — unreachable with the
+                    // ≥ 2 thresholds): adopt all-false.
+                    let pairs: Vec<(ObjectId, bool)> =
+                        sib.objects.iter().map(|&j| (j, false)).collect();
+                    finish_level_with(machine, arena, lvl, &pairs, posts);
+                    continue;
+                }
+                let machine_sel = SelectMachine::new(candidates, sib.objects.clone());
+                machine.phase = Phase::Selecting {
+                    level: lvl,
+                    machine: machine_sel,
+                };
+            }
+            Phase::Selecting { level, machine: sel } => {
+                let lvl = *level;
+                if let Some(j) = sel.next_probe() {
+                    let v = engine.player(machine.p).probe(j);
+                    sel.observe(v);
+                    // (The probe result also becomes known knowledge,
+                    // but adopted values below take precedence for the
+                    // sibling half, mirroring the orchestrated run.)
+                    return true;
+                }
+                // Sweep over: adopt the winner.
+                let winner = sel.winner();
+                let adopted: Vec<bool> = sel.rows[winner].clone();
+                let sib_objects = arena[machine.path[lvl].sibling].objects.clone();
+                let pairs: Vec<(ObjectId, bool)> = sib_objects
+                    .iter()
+                    .copied()
+                    .zip(adopted.iter().copied())
+                    .collect();
+                finish_level_with(machine, arena, lvl, &pairs, posts);
+            }
+            Phase::Done => return false,
+        }
+    }
+}
+
+/// Record adopted values for level `lvl`, post the parent vector and
+/// advance to the next level.
+fn finish_level_with(
+    machine: &mut PlayerMachine,
+    arena: &[Node],
+    lvl: usize,
+    pairs: &[(ObjectId, bool)],
+    posts: &mut Vec<(u64, PlayerId, Vec<bool>)>,
+) {
+    for &(j, v) in pairs {
+        machine.known.insert(j, v);
+    }
+    let parent = &arena[machine.path[lvl].parent];
+    let vec: Vec<bool> = parent
+        .objects
+        .iter()
+        .map(|j| *machine.known.get(j).expect("parent coverage"))
+        .collect();
+    posts.push((parent.id, machine.p, vec));
+    machine.phase = Phase::Waiting { level: lvl + 1 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::select_rows;
+    use crate::zero_radius::{zero_radius, BinarySpace};
+    use tmwia_model::generators::planted_community;
+    use tmwia_model::rng::derive;
+    use tmwia_model::BitVec;
+
+    #[test]
+    fn select_machine_matches_select_rows() {
+        // Random duels: the incremental machine must pick the same
+        // winner with the same probe count as the batch Select.
+        for seed in 0..50u64 {
+            let mut rng = rng_for(seed, 0x4C53, 0);
+            let len = 3 + (seed as usize % 40);
+            let target = BitVec::random(len, &mut rng);
+            let k = 1 + (seed as usize % 5);
+            let cands: Vec<BitVec> = (0..k)
+                .map(|i| {
+                    let mut v = target.clone();
+                    v.flip_random((i * 3) % (len / 2 + 1), &mut rng);
+                    v
+                })
+                .collect();
+            let rows: Vec<Vec<bool>> = cands
+                .iter()
+                .map(|c| (0..len).map(|j| c.get(j)).collect())
+                .collect();
+            let opt_rows: Vec<Vec<Option<bool>>> = rows
+                .iter()
+                .map(|r| r.iter().map(|&b| Some(b)).collect())
+                .collect();
+            let batch = select_rows(&opt_rows, |j| target.get(j), 0);
+
+            let objects: Vec<ObjectId> = (0..len).collect();
+            let mut sm = SelectMachine::new(rows, objects);
+            let mut probes = 0;
+            while let Some(j) = sm.next_probe() {
+                sm.observe(target.get(j));
+                probes += 1;
+            }
+            assert_eq!(sm.winner(), batch.winner, "seed {seed}");
+            assert_eq!(probes, batch.probes, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lockstep_equals_orchestrated_bit_for_bit() {
+        for (n, k, seed) in [(64usize, 32usize, 1u64), (96, 64, 2), (128, 32, 3)] {
+            let inst = planted_community(n, n, k, 0, seed);
+            let players: Vec<PlayerId> = (0..n).collect();
+            let objects: Vec<ObjectId> = (0..n).collect();
+            let alpha = k as f64 / n as f64;
+            let params = Params::practical();
+            let run_seed = derive(seed, 0xAB, 0);
+
+            let eng_a = ProbeEngine::new(inst.truth.clone());
+            let orch = zero_radius(
+                &BinarySpace::new(&eng_a),
+                &players,
+                &objects,
+                alpha,
+                &params,
+                n,
+                run_seed,
+            );
+            let eng_b = ProbeEngine::new(inst.truth.clone());
+            let lock = lockstep_zero_radius(
+                &eng_b, &players, &objects, alpha, &params, n, run_seed,
+            );
+
+            for &p in &players {
+                assert_eq!(orch[&p], lock.outputs[&p], "n={n} seed={seed} player {p}");
+            }
+            // Identical probe sets ⇒ identical charges.
+            for p in 0..n {
+                assert_eq!(
+                    eng_a.probes_of(p),
+                    eng_b.probes_of(p),
+                    "n={n} seed={seed} cost of player {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_exceed_probes_by_waits_only_modestly() {
+        let n = 128;
+        let inst = planted_community(n, n, n / 2, 0, 7);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..n).collect();
+        let objects: Vec<ObjectId> = (0..n).collect();
+        let res = lockstep_zero_radius(
+            &engine,
+            &players,
+            &objects,
+            0.5,
+            &Params::practical(),
+            n,
+            9,
+        );
+        let max_probes = engine.max_probes();
+        assert!(res.rounds >= max_probes, "rounds can't beat probes");
+        // Balanced tree ⇒ waits are a small multiple, not a blowup.
+        assert!(
+            res.rounds <= 4 * max_probes + 16,
+            "rounds {} ≫ probes {max_probes}",
+            res.rounds
+        );
+    }
+
+    #[test]
+    fn community_members_exact_under_lockstep() {
+        let inst = planted_community(128, 128, 64, 0, 11);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..128).collect();
+        let objects: Vec<ObjectId> = (0..128).collect();
+        let res = lockstep_zero_radius(
+            &engine,
+            &players,
+            &objects,
+            0.5,
+            &Params::practical(),
+            128,
+            13,
+        );
+        for &p in inst.community() {
+            let w = BitVec::from_bools(&res.outputs[&p]);
+            assert_eq!(&w, inst.truth.row(p), "player {p}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_harmless() {
+        let inst = planted_community(4, 8, 4, 0, 1);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let res = lockstep_zero_radius(
+            &engine,
+            &[],
+            &[0, 1],
+            0.5,
+            &Params::practical(),
+            4,
+            0,
+        );
+        assert!(res.outputs.is_empty());
+        assert_eq!(res.rounds, 0);
+    }
+}

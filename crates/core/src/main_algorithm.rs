@@ -1,0 +1,169 @@
+//! The main algorithm for known `(α, D)` — paper Figure 1.
+//!
+//! Dispatch on the diameter bound:
+//!
+//! 1. `D = 0` → Algorithm Zero Radius on all players and objects;
+//! 2. `D = O(log n)` → Algorithm Small Radius;
+//! 3. otherwise → Algorithm Large Radius.
+//!
+//! §6 removes the known-`(α, D)` assumption; see [`crate::unknown`].
+
+use crate::params::Params;
+use crate::zero_radius::BinarySpace;
+use std::collections::HashMap;
+use tmwia_billboard::{PlayerId, ProbeEngine};
+use tmwia_model::matrix::ObjectId;
+use tmwia_model::BitVec;
+
+/// Which branch of Figure 1 ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Branch {
+    /// `D = 0`: exact-agreement community.
+    ZeroRadius,
+    /// `0 < D ≤ O(log n)`.
+    SmallRadius,
+    /// `D = Ω(log n)`.
+    LargeRadius,
+}
+
+impl std::fmt::Display for Branch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Branch::ZeroRadius => write!(f, "zero-radius"),
+            Branch::SmallRadius => write!(f, "small-radius"),
+            Branch::LargeRadius => write!(f, "large-radius"),
+        }
+    }
+}
+
+/// Result of one known-parameter reconstruction.
+#[derive(Clone, Debug)]
+pub struct Reconstruction {
+    /// Each player's full-length output vector `w(p)`.
+    pub outputs: HashMap<PlayerId, BitVec>,
+    /// Which Figure 1 branch was taken.
+    pub branch: Branch,
+}
+
+/// Run the Figure 1 main algorithm with known community fraction
+/// `alpha` and diameter bound `d`, over all objects.
+///
+/// ```
+/// use tmwia_billboard::ProbeEngine;
+/// use tmwia_core::{reconstruct_known, Branch, Params};
+/// use tmwia_model::generators::planted_community;
+///
+/// let inst = planted_community(64, 64, 32, 0, 9);
+/// let engine = ProbeEngine::new(inst.truth.clone());
+/// let players: Vec<usize> = (0..64).collect();
+/// let rec = reconstruct_known(&engine, &players, 0.5, 0, &Params::practical(), 9);
+/// assert_eq!(rec.branch, Branch::ZeroRadius);
+/// // Community members reconstruct exactly (Theorem 3.1)…
+/// for &p in inst.community() {
+///     assert_eq!(&rec.outputs[&p], inst.truth.row(p));
+/// }
+/// // …at a fraction of the solo cost m = 64.
+/// assert!(engine.max_probes() < 64);
+/// ```
+pub fn reconstruct_known(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    alpha: f64,
+    d: usize,
+    params: &Params,
+    seed: u64,
+) -> Reconstruction {
+    let n = engine.n();
+    let m = engine.m();
+    let objects: Vec<ObjectId> = (0..m).collect();
+
+    if d == 0 {
+        let zr = crate::zero_radius::zero_radius(
+            &BinarySpace::new(engine),
+            players,
+            &objects,
+            alpha,
+            params,
+            n,
+            seed,
+        );
+        let outputs = zr
+            .into_iter()
+            .map(|(p, vals)| (p, BitVec::from_bools(&vals)))
+            .collect();
+        return Reconstruction {
+            outputs,
+            branch: Branch::ZeroRadius,
+        };
+    }
+
+    if d <= params.small_large_threshold(n) {
+        let outputs =
+            crate::small_radius::small_radius(engine, players, &objects, alpha, d, params, n, seed);
+        return Reconstruction {
+            outputs,
+            branch: Branch::SmallRadius,
+        };
+    }
+
+    let outputs = crate::large_radius::large_radius(engine, players, alpha, d, params, seed);
+    Reconstruction {
+        outputs,
+        branch: Branch::LargeRadius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::generators::planted_community;
+    use tmwia_model::metrics::discrepancy;
+
+    fn run(n: usize, m: usize, k: usize, d: usize, seed: u64) -> (ProbeEngine, Vec<PlayerId>, Reconstruction) {
+        let inst = planted_community(n, m, k, d, seed);
+        let community = inst.community().to_vec();
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..n).collect();
+        let rec = reconstruct_known(
+            &engine,
+            &players,
+            k as f64 / n as f64,
+            d,
+            &Params::practical(),
+            seed,
+        );
+        (engine, community, rec)
+    }
+
+    #[test]
+    fn dispatch_matches_d_regimes() {
+        // practical small/large threshold at n = 64: 2·ln 64 ≈ 9.
+        let (_, _, rec0) = run(64, 64, 32, 0, 1);
+        assert_eq!(rec0.branch, Branch::ZeroRadius);
+        let (_, _, rec_small) = run(64, 64, 32, 6, 2);
+        assert_eq!(rec_small.branch, Branch::SmallRadius);
+        let (_, _, rec_large) = run(64, 64, 32, 30, 3);
+        assert_eq!(rec_large.branch, Branch::LargeRadius);
+    }
+
+    #[test]
+    fn error_bounded_in_every_branch() {
+        for (d, factor, seed) in [(0usize, 0usize, 4u64), (6, 5, 5), (30, 12, 6)] {
+            let (engine, community, rec) = run(128, 128, 64, d, seed);
+            let outputs: Vec<BitVec> = (0..128).map(|p| rec.outputs[&p].clone()).collect();
+            let delta = discrepancy(engine.truth(), &outputs, &community);
+            assert!(
+                delta <= factor * d,
+                "d={d}: discrepancy {delta} > {}",
+                factor * d
+            );
+        }
+    }
+
+    #[test]
+    fn branch_display_names() {
+        assert_eq!(Branch::ZeroRadius.to_string(), "zero-radius");
+        assert_eq!(Branch::SmallRadius.to_string(), "small-radius");
+        assert_eq!(Branch::LargeRadius.to_string(), "large-radius");
+    }
+}

@@ -1,0 +1,225 @@
+//! Tunable algorithm constants.
+//!
+//! The paper states its constants asymptotically (`8c·ln n/α` base case,
+//! `s ≥ 100·d^{3/2}` parts, `K = O(log n)` iterations, …). At laptop
+//! scales the literal constants swamp `m`, so every constant is exposed
+//! here with two presets:
+//!
+//! * [`Params::theory`] — the literal paper constants; used by the
+//!   bound-verification tests, where instances are small and we check
+//!   inequalities, not wall-clock.
+//! * [`Params::practical`] — smaller factors that preserve the success
+//!   probabilities empirically (validated by experiment E12); used by
+//!   the benches so sweeps reach interesting `n`.
+//!
+//! Every experiment row records which preset produced it.
+
+/// All tunable constants of the algorithm family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Params {
+    /// Zero Radius base case: recurse only while
+    /// `min(|P|, |O|) ≥ base_case_factor · ln(n_global) / α`
+    /// (paper: `8c·ln n / α`, Fig. 2 step 1).
+    pub base_case_factor: f64,
+    /// Zero Radius vote threshold: a vector is a candidate if at least
+    /// `vote_fraction · α · |P''|` players of the other half output it
+    /// (paper: α/2 fraction, Fig. 2 step 4).
+    pub vote_fraction: f64,
+    /// Small Radius partition count: `s = partition_factor · D^{3/2}`
+    /// (paper: `100·d^{3/2}` makes Lemma 4.1's failure prob < 1/2).
+    pub partition_factor: f64,
+    /// Small Radius iteration count: `K = confidence_factor · log₂ n`
+    /// (paper: `K = O(log n)`).
+    pub confidence_factor: f64,
+    /// Small Radius runs Zero Radius with `α/zr_alpha_div` and keeps
+    /// vectors output by `≥ α·|P|/zr_alpha_div` players (paper: 5).
+    pub zr_alpha_div: f64,
+    /// Small Radius final Select bound multiplier: candidates from the
+    /// K iterations are selected with bound `final_bound_mult · D`
+    /// (paper: 5, per Lemma 4.3).
+    pub final_bound_mult: usize,
+    /// Large Radius group count: `L = group_factor · D / ln n`
+    /// (paper: `cD/log n`, Fig. 5 step 1).
+    pub group_factor: f64,
+    /// Large Radius per-group distance bound: Small Radius inside Large
+    /// Radius runs with `D_ℓ = small_d_factor · ln n` (Lemma 5.5: the
+    /// projected community diameter is O(log n)).
+    pub small_d_factor: f64,
+    /// Large Radius wants `|P_ℓ| ≥ part_players_factor · ln n / α`
+    /// players per group; player multiplicity is derived from this.
+    pub part_players_factor: f64,
+    /// Coalesce merge threshold multiplier: merge vectors with
+    /// `d̃ ≤ coalesce_merge_mult · D` (paper: 5, Fig. 6 step 4).
+    pub coalesce_merge_mult: usize,
+    /// RSelect samples `rselect_sample_factor · ln n` coordinates per
+    /// duel (paper: `c·log n`, Fig. 7 step 1b).
+    pub rselect_sample_factor: f64,
+    /// RSelect majority threshold for declaring a loser (paper: 2/3).
+    pub rselect_majority: f64,
+    /// When `true`, Select re-pays for coordinates probed in earlier
+    /// phases (the strict determinism semantics of the remark after
+    /// Theorem 3.2). Default `false`: revealed grades are public.
+    pub fresh_probes: bool,
+}
+
+impl Params {
+    /// Literal paper constants (with `c = 1` where the paper leaves `c`
+    /// unspecified).
+    pub fn theory() -> Self {
+        Params {
+            base_case_factor: 8.0,
+            vote_fraction: 0.5,
+            partition_factor: 100.0,
+            confidence_factor: 1.0,
+            zr_alpha_div: 5.0,
+            final_bound_mult: 5,
+            group_factor: 1.0,
+            small_d_factor: 4.0,
+            part_players_factor: 4.0,
+            rselect_sample_factor: 8.0,
+            rselect_majority: 2.0 / 3.0,
+            coalesce_merge_mult: 5,
+            fresh_probes: false,
+        }
+    }
+
+    /// Bench-scale constants: same structure, smaller factors. The
+    /// guarantees still hold empirically at these settings (experiment
+    /// E12 sweeps them); failure probabilities rise from `n^{-Ω(1)}` to
+    /// "rare at trial counts we run".
+    pub fn practical() -> Self {
+        Params {
+            base_case_factor: 2.0,
+            vote_fraction: 0.5,
+            partition_factor: 2.0,
+            confidence_factor: 0.5,
+            zr_alpha_div: 5.0,
+            final_bound_mult: 5,
+            group_factor: 0.5,
+            small_d_factor: 2.0,
+            part_players_factor: 2.0,
+            rselect_sample_factor: 4.0,
+            rselect_majority: 2.0 / 3.0,
+            coalesce_merge_mult: 5,
+            fresh_probes: false,
+        }
+    }
+
+    /// Zero Radius recursion threshold for a global population `n` and
+    /// community fraction `alpha` (Fig. 2 step 1). Never below 2, so the
+    /// recursion always terminates by halving.
+    pub fn base_case_threshold(&self, n_global: usize, alpha: f64) -> usize {
+        let ln_n = (n_global.max(2) as f64).ln();
+        ((self.base_case_factor * ln_n / alpha).ceil() as usize).max(2)
+    }
+
+    /// Small Radius partition count `s` for distance bound `d`
+    /// (Fig. 4 step 1a). At least 1.
+    pub fn partition_count(&self, d: usize) -> usize {
+        ((self.partition_factor * (d as f64).powf(1.5)).ceil() as usize).max(1)
+    }
+
+    /// Small Radius iteration count `K` for population `n`.
+    pub fn confidence_k(&self, n_global: usize) -> usize {
+        ((self.confidence_factor * (n_global.max(2) as f64).log2()).ceil() as usize).max(1)
+    }
+
+    /// Large Radius group count `L` for distance bound `d` and
+    /// population `n` (Fig. 5 step 1). At least 1; at most `d` so each
+    /// group's projected diameter target stays ≥ 1.
+    pub fn group_count(&self, d: usize, n_global: usize) -> usize {
+        let ln_n = (n_global.max(2) as f64).ln();
+        (((self.group_factor * d as f64 / ln_n).floor() as usize).max(1)).min(d.max(1))
+    }
+
+    /// Large Radius per-group distance bound (the `O(log n)` of
+    /// Lemma 5.5).
+    pub fn group_distance_bound(&self, n_global: usize) -> usize {
+        ((self.small_d_factor * (n_global.max(2) as f64).ln()).ceil() as usize).max(1)
+    }
+
+    /// Desired players per Large Radius group.
+    pub fn players_per_group(&self, n_global: usize, alpha: f64) -> usize {
+        ((self.part_players_factor * (n_global.max(2) as f64).ln() / alpha).ceil() as usize)
+            .max(1)
+    }
+
+    /// RSelect duel sample size.
+    pub fn rselect_samples(&self, n_global: usize) -> usize {
+        ((self.rselect_sample_factor * (n_global.max(2) as f64).ln()).ceil() as usize).max(1)
+    }
+
+    /// The D threshold separating Small Radius from Large Radius in the
+    /// main dispatch (Fig. 1: "D = O(log n)"). We use the same
+    /// `small_d_factor · ln n` scale as the per-group bound.
+    pub fn small_large_threshold(&self, n_global: usize) -> usize {
+        self.group_distance_bound(n_global)
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params::practical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_scale_not_structure() {
+        let t = Params::theory();
+        let p = Params::practical();
+        assert!(t.base_case_factor > p.base_case_factor);
+        assert!(t.partition_factor > p.partition_factor);
+        assert_eq!(t.final_bound_mult, p.final_bound_mult);
+        assert_eq!(t.coalesce_merge_mult, p.coalesce_merge_mult);
+    }
+
+    #[test]
+    fn thresholds_scale_as_documented() {
+        let t = Params::theory();
+        // 8·ln(1024)/0.5 ≈ 110.9 → 111
+        assert_eq!(t.base_case_threshold(1024, 0.5), 111);
+        // Monotone in n, anti-monotone in alpha.
+        assert!(t.base_case_threshold(4096, 0.5) > t.base_case_threshold(1024, 0.5));
+        assert!(t.base_case_threshold(1024, 0.25) > t.base_case_threshold(1024, 0.5));
+        // Never below 2 even for absurd inputs.
+        assert!(t.base_case_threshold(2, 1.0) >= 2);
+    }
+
+    #[test]
+    fn partition_count_matches_d_three_halves() {
+        let t = Params::theory();
+        assert_eq!(t.partition_count(0), 1);
+        assert_eq!(t.partition_count(1), 100);
+        assert_eq!(t.partition_count(4), 800);
+        let p = Params::practical();
+        assert_eq!(p.partition_count(4), 16);
+    }
+
+    #[test]
+    fn group_count_clamped() {
+        let p = Params::practical();
+        // Small d: one group.
+        assert_eq!(p.group_count(2, 1024), 1);
+        // Large d: about 0.5·d/ln n groups.
+        let l = p.group_count(1000, 1024);
+        assert!((60..=80).contains(&l), "L = {l}");
+        // Never exceeds d.
+        assert!(p.group_count(3, 2) <= 3);
+    }
+
+    #[test]
+    fn confidence_k_grows_with_n() {
+        let t = Params::theory();
+        assert_eq!(t.confidence_k(1024), 10);
+        assert!(t.confidence_k(2) >= 1);
+    }
+
+    #[test]
+    fn default_is_practical() {
+        assert_eq!(Params::default(), Params::practical());
+    }
+}

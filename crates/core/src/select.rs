@@ -1,0 +1,494 @@
+//! Algorithm **Select** — the Choose Closest problem with a distance
+//! bound (paper Figure 3, Theorem 3.2).
+//!
+//! Given candidate vectors `V` and a bound `D` such that some candidate
+//! is within distance `D` of the player's hidden vector, Select probes
+//! only coordinates on which candidates *disagree with each other*
+//! (the set `X(V)`), evicts any candidate caught disagreeing with the
+//! player more than `D` times, and finally outputs the closest surviving
+//! candidate (lexicographically first among ties). Theorem 3.2: the
+//! output is exactly the closest candidate, and at most `k(D+1)` probes
+//! are spent (`k = |V|`).
+//!
+//! Implementation note: the paper repeatedly probes "the first
+//! coordinate in `X(V)` not probed yet", recomputing `X` as candidates
+//! die. Since evicting candidates only ever *shrinks* `X`, a single
+//! forward sweep over coordinates is equivalent: at each coordinate we
+//! probe iff two currently-alive candidates disagree there. This keeps
+//! the scan `O(len · k)` instead of recomputing `X` from scratch after
+//! every probe.
+
+use crate::value::Value;
+use tmwia_billboard::PlayerHandle;
+use tmwia_model::matrix::ObjectId;
+use tmwia_model::{BitVec, TernaryVec};
+
+/// Outcome of one Select run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectResult {
+    /// Index (into the input candidate slice) of the chosen vector.
+    pub winner: usize,
+    /// Number of probe invocations performed.
+    pub probes: usize,
+}
+
+/// Generic Select over candidate rows of optional values.
+///
+/// `rows[c][j]` is candidate `c`'s value at coordinate `j`, or `None`
+/// for a `?` entry (ternary candidates; `d̃` semantics — `?` never
+/// counts as a disagreement, matching Notation 3.2). `probe(j)` reveals
+/// the player's true value at coordinate `j` and is invoked at most once
+/// per coordinate.
+///
+/// If every candidate exceeds the bound (possible only when the caller's
+/// precondition "some candidate within `D`" is violated), the candidate
+/// with the fewest observed disagreements is returned instead of
+/// panicking — the calling algorithms treat Select's output as a
+/// best-effort estimate in that case.
+///
+/// # Panics
+/// Panics if `rows` is empty or rows have unequal lengths.
+pub fn select_rows<V: Value>(
+    rows: &[Vec<Option<V>>],
+    mut probe: impl FnMut(usize) -> V,
+    bound: usize,
+) -> SelectResult {
+    let k = rows.len();
+    assert!(k > 0, "Select needs at least one candidate");
+    let len = rows[0].len();
+    assert!(
+        rows.iter().all(|r| r.len() == len),
+        "candidate vectors must share one length"
+    );
+
+    let mut alive: Vec<bool> = vec![true; k];
+    let mut disagreements: Vec<usize> = vec![0; k];
+    let mut alive_count = k;
+    let mut probes = 0usize;
+    // The player's revealed values on probed coordinates (the set `Y`).
+    let mut revealed: Vec<Option<V>> = vec![None; len];
+
+    'sweep: for j in 0..len {
+        if alive_count <= 1 {
+            break;
+        }
+        // Is j in X(V) for the currently-alive candidates? I.e. do two
+        // alive candidates hold distinct concrete values at j?
+        let mut first: Option<&V> = None;
+        let mut in_x = false;
+        for (c, row) in rows.iter().enumerate() {
+            if !alive[c] {
+                continue;
+            }
+            if let Some(v) = &row[j] {
+                match first {
+                    None => first = Some(v),
+                    Some(u) if u != v => {
+                        in_x = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !in_x {
+            continue;
+        }
+        let truth = probe(j);
+        probes += 1;
+        revealed[j] = Some(truth.clone());
+        for c in 0..k {
+            if !alive[c] {
+                continue;
+            }
+            if let Some(v) = &rows[c][j] {
+                if *v != truth {
+                    disagreements[c] += 1;
+                    if disagreements[c] > bound {
+                        alive[c] = false;
+                        alive_count -= 1;
+                        if alive_count == 0 {
+                            break 'sweep;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 2: among survivors, pick the candidate closest to the player
+    // on the probed set Y. Ternary refinement over the paper's binary
+    // statement: `d̃` ignores `?` entries, so an unknown-heavy candidate
+    // can tie a genuinely matching one at distance 0 — break such ties
+    // toward the candidate with the most probed *agreements* (for fully
+    // concrete candidates this is the paper's ordering unchanged), then
+    // the lexicographically first row, then the smallest index. If
+    // nobody survived (precondition violated), rank everyone the same
+    // way — best-effort output instead of a panic.
+    let pool: Vec<usize> = if alive_count > 0 {
+        (0..k).filter(|&c| alive[c]).collect()
+    } else {
+        (0..k).collect()
+    };
+    let score_on_y = |c: usize| -> (usize, usize) {
+        let mut dist = 0usize;
+        let mut agree = 0usize;
+        for (cv, rv) in rows[c].iter().zip(&revealed) {
+            if let (Some(a), Some(b)) = (cv, rv) {
+                if a == b {
+                    agree += 1;
+                } else {
+                    dist += 1;
+                }
+            }
+        }
+        (dist, agree)
+    };
+    let winner = pool
+        .into_iter()
+        .min_by(|&a, &b| {
+            let (da, aa) = score_on_y(a);
+            let (db, ab) = score_on_y(b);
+            da.cmp(&db)
+                .then_with(|| ab.cmp(&aa)) // more agreements first
+                .then_with(|| rows[a].cmp(&rows[b]))
+                .then_with(|| a.cmp(&b))
+        })
+        .expect("pool is non-empty");
+
+    SelectResult { winner, probes }
+}
+
+/// Select over fully-concrete candidate vectors of an arbitrary value
+/// domain (the form Zero Radius uses in step 4).
+///
+/// ```
+/// use tmwia_core::select_values;
+///
+/// let truth = [3u8, 1, 4, 1, 5];
+/// let close = truth.to_vec();                    // distance 0
+/// let far = vec![3u8, 1, 4, 1, 9];               // distance 1
+/// let r = select_values(&[far, close], |j| truth[j], 1);
+/// assert_eq!(r.winner, 1);
+/// assert!(r.probes <= 2 * (1 + 1));              // k(D+1) (Thm 3.2)
+/// ```
+pub fn select_values<V: Value>(
+    candidates: &[Vec<V>],
+    probe: impl FnMut(usize) -> V,
+    bound: usize,
+) -> SelectResult {
+    let rows: Vec<Vec<Option<V>>> = candidates
+        .iter()
+        .map(|c| c.iter().cloned().map(Some).collect())
+        .collect();
+    select_rows(&rows, probe, bound)
+}
+
+/// Select over binary candidates for a real player: coordinate `j` of
+/// the view probes object `objects[j]` through `handle`. With
+/// `fresh = true` the strict always-pay semantics are used (remark after
+/// Theorem 3.2).
+pub fn select_bits(
+    handle: &PlayerHandle<'_>,
+    objects: &[ObjectId],
+    candidates: &[BitVec],
+    bound: usize,
+    fresh: bool,
+) -> SelectResult {
+    assert!(
+        candidates.iter().all(|c| c.len() == objects.len()),
+        "candidates must be projected onto the object view"
+    );
+    let rows: Vec<Vec<Option<bool>>> = candidates
+        .iter()
+        .map(|c| (0..c.len()).map(|j| Some(c.get(j))).collect())
+        .collect();
+    select_rows(&rows, |j| {
+        if fresh {
+            handle.probe_fresh(objects[j])
+        } else {
+            handle.probe(objects[j])
+        }
+    }, bound)
+}
+
+/// Select over ternary candidates (`?` entries never disagree), probing
+/// through `handle` as in [`select_bits`]. Used by Large Radius step 4,
+/// where candidates are the Coalesce outputs `B_ℓ`.
+pub fn select_ternary(
+    handle: &PlayerHandle<'_>,
+    objects: &[ObjectId],
+    candidates: &[TernaryVec],
+    bound: usize,
+    fresh: bool,
+) -> SelectResult {
+    assert!(
+        candidates.iter().all(|c| c.len() == objects.len()),
+        "candidates must be projected onto the object view"
+    );
+    let rows: Vec<Vec<Option<bool>>> = candidates
+        .iter()
+        .map(|c| (0..c.len()).map(|j| c.get(j).to_bool()).collect())
+        .collect();
+    select_rows(&rows, |j| {
+        if fresh {
+            handle.probe_fresh(objects[j])
+        } else {
+            handle.probe(objects[j])
+        }
+    }, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tmwia_billboard::ProbeEngine;
+    use tmwia_model::generators::select_hard_case;
+    use tmwia_model::matrix::PrefMatrix;
+
+    /// Probe closure over a plain BitVec target, counting calls.
+    fn bit_probe(target: &BitVec) -> impl FnMut(usize) -> bool + '_ {
+        |j| target.get(j)
+    }
+
+    #[test]
+    fn picks_exact_match_with_bound_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = BitVec::random(64, &mut rng);
+        let mut cands: Vec<BitVec> = (0..5).map(|_| BitVec::random(64, &mut rng)).collect();
+        cands[3] = target.clone();
+        let rows: Vec<Vec<Option<bool>>> = cands
+            .iter()
+            .map(|c| (0..64).map(|j| Some(c.get(j))).collect())
+            .collect();
+        let r = select_rows(&rows, bit_probe(&target), 0);
+        assert_eq!(r.winner, 3);
+    }
+
+    #[test]
+    fn returns_closest_not_just_within_bound() {
+        // Theorem 3.2: output is the closest vector, not merely one
+        // within D.
+        let target = BitVec::zeros(32);
+        let near = {
+            let mut v = target.clone();
+            v.flip(0);
+            v
+        }; // distance 1
+        let nearer = target.clone(); // distance 0
+        let far = {
+            let mut v = target.clone();
+            v.flip(1);
+            v.flip(2);
+            v
+        }; // distance 2
+        let cands = [near, nearer, far];
+        let rows: Vec<Vec<Option<bool>>> = cands
+            .iter()
+            .map(|c| (0..32).map(|j| Some(c.get(j))).collect())
+            .collect();
+        let r = select_rows(&rows, bit_probe(&target), 2);
+        assert_eq!(r.winner, 1);
+    }
+
+    #[test]
+    fn probe_bound_k_times_d_plus_one() {
+        // The adversarial construction from the generators crate forces
+        // close to the worst case; the k(D+1) bound must still hold.
+        for (k, d) in [(2usize, 0usize), (4, 3), (8, 5), (3, 10)] {
+            let (target, cands) = select_hard_case(256, k, d, 99);
+            let rows: Vec<Vec<Option<bool>>> = cands
+                .iter()
+                .map(|c| (0..256).map(|j| Some(c.get(j))).collect())
+                .collect();
+            let mut count = 0usize;
+            let r = select_rows(
+                &rows,
+                |j| {
+                    count += 1;
+                    target.get(j)
+                },
+                d,
+            );
+            assert_eq!(count, r.probes);
+            assert!(
+                r.probes <= k * (d + 1),
+                "k={k} d={d}: {} > {}",
+                r.probes,
+                k * (d + 1)
+            );
+            assert_eq!(cands[r.winner], target);
+        }
+    }
+
+    #[test]
+    fn single_candidate_needs_no_probes() {
+        let rows = vec![vec![Some(true), Some(false)]];
+        let r = select_rows(&rows, |_| unreachable!("no probes expected"), 3);
+        assert_eq!(r.winner, 0);
+        assert_eq!(r.probes, 0);
+    }
+
+    #[test]
+    fn identical_candidates_need_no_probes() {
+        let row: Vec<Option<bool>> = vec![Some(true); 16];
+        let rows = vec![row.clone(), row.clone(), row];
+        let r = select_rows(&rows, |_| unreachable!(), 1);
+        assert_eq!(r.probes, 0);
+        // Lexicographic + index tie-break: first index.
+        assert_eq!(r.winner, 0);
+    }
+
+    #[test]
+    fn ternary_unknowns_never_disagree() {
+        // Candidate 0 is all-? — it can never be evicted, but a fully
+        // matching concrete candidate is closer on Y.
+        let target = BitVec::from_bools(&[true, true, false, false]);
+        let all_unknown = TernaryVec::unknowns(4);
+        let exact = TernaryVec::from_bits(&target);
+        let mut wrong = target.clone();
+        wrong.flip(0);
+        let wrongt = TernaryVec::from_bits(&wrong);
+        let cands = [all_unknown, wrongt, exact];
+        let rows: Vec<Vec<Option<bool>>> = cands
+            .iter()
+            .map(|c| (0..4).map(|j| c.get(j).to_bool()).collect())
+            .collect();
+        let r = select_rows(&rows, bit_probe(&target), 0);
+        assert_eq!(r.winner, 2);
+    }
+
+    #[test]
+    fn violated_precondition_keeps_survivor() {
+        // Bound 0 but no exact match. Per Fig. 3, probing stops once one
+        // candidate is left: the first eviction ends the duel and the
+        // survivor is output — even though it is farther overall.
+        let target = BitVec::zeros(8);
+        let mut a = target.clone();
+        a.flip(0); // distance 1 — evicted at coordinate 0
+        let mut b = target.clone();
+        b.flip(1);
+        b.flip(2); // distance 2 — survives, never probed past coord 0
+        let rows: Vec<Vec<Option<bool>>> = [a, b]
+            .iter()
+            .map(|c| (0..8).map(|j| Some(c.get(j))).collect())
+            .collect();
+        let r = select_rows(&rows, bit_probe(&target), 0);
+        assert_eq!(r.winner, 1);
+    }
+
+    #[test]
+    fn all_evicted_falls_back_to_fewest_disagreements() {
+        // Only non-binary domains can evict *everyone*: the truth can
+        // differ from both duellists at the probed coordinate.
+        let truth: Vec<u32> = vec![9, 9];
+        let a = vec![5u32, 9]; // one disagreement at coord 0
+        let b = vec![7u32, 2]; // disagreements at both coords
+        let r = select_values(&[b.clone(), a.clone()], |j| truth[j], 0);
+        // Both die at coordinate 0; fallback ranks by observed
+        // disagreements: a saw 1, b saw 1 (only coord 0 probed)… then
+        // lexicographic row order puts a (=[5,9]) first.
+        assert_eq!(r.winner, 1);
+    }
+
+    #[test]
+    fn select_values_generic_domain() {
+        // Value domain = u32 "candidate indices" as in Large Radius.
+        let truth: Vec<u32> = vec![7, 7, 3, 9];
+        let good = truth.clone();
+        let bad = vec![7u32, 7, 3, 1];
+        let r = select_values(&[bad, good], |j| truth[j], 0);
+        assert_eq!(r.winner, 1);
+        assert!(r.probes <= 2); // only coordinate 3 distinguishes
+    }
+
+    #[test]
+    fn select_bits_charges_engine() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let rows: Vec<BitVec> = (0..3).map(|_| BitVec::random(32, &mut rng)).collect();
+        let truth = PrefMatrix::new(rows);
+        let target = truth.row(0).clone();
+        let engine = ProbeEngine::new(truth);
+        let handle = engine.player(0);
+        let objects: Vec<usize> = (0..32).collect();
+        let cands = vec![target.clone(), BitVec::random(32, &mut rng)];
+        let r = select_bits(&handle, &objects, &cands, 0, false);
+        assert_eq!(r.winner, 0);
+        assert_eq!(engine.probes_of(0), r.probes as u64);
+        assert!(r.probes >= 1);
+    }
+
+    #[test]
+    fn select_bits_fresh_repays() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<BitVec> = (0..2).map(|_| BitVec::random(16, &mut rng)).collect();
+        let truth = PrefMatrix::new(rows);
+        let target = truth.row(0).clone();
+        let mut other = target.clone();
+        other.flip(3);
+        let engine = ProbeEngine::new(truth);
+        let handle = engine.player(0);
+        let objects: Vec<usize> = (0..16).collect();
+        // Pre-probe everything; cached select is then free…
+        for j in 0..16 {
+            handle.probe(j);
+        }
+        let before = engine.probes_of(0);
+        let cands = vec![target.clone(), other.clone()];
+        select_bits(&handle, &objects, &cands, 0, false);
+        assert_eq!(engine.probes_of(0), before);
+        // …but fresh mode pays again.
+        select_bits(&handle, &objects, &cands, 0, true);
+        assert!(engine.probes_of(0) > before);
+    }
+
+    #[test]
+    fn select_ternary_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let truth_row = BitVec::random(24, &mut rng);
+        let engine = ProbeEngine::new(PrefMatrix::new(vec![truth_row.clone()]));
+        let handle = engine.player(0);
+        let objects: Vec<usize> = (0..24).collect();
+        let mut partial = TernaryVec::from_bits(&truth_row);
+        partial.set(0, tmwia_model::ternary::Trit::Unknown);
+        let mut wrong = TernaryVec::from_bits(&truth_row);
+        // Flip five concrete entries in `wrong`.
+        for j in 1..6 {
+            let flipped = !truth_row.get(j);
+            wrong.set(j, tmwia_model::ternary::Trit::from(flipped));
+        }
+        let r = select_ternary(&handle, &objects, &[wrong, partial], 2, false);
+        assert_eq!(r.winner, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panic() {
+        select_rows::<bool>(&[], |_| true, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let target = BitVec::random(128, &mut rng);
+        let cands: Vec<BitVec> = (0..6)
+            .map(|_| {
+                let mut v = target.clone();
+                v.flip_random(3, &mut rng);
+                v
+            })
+            .collect();
+        let rows: Vec<Vec<Option<bool>>> = cands
+            .iter()
+            .map(|c| (0..128).map(|j| Some(c.get(j))).collect())
+            .collect();
+        let r1 = select_rows(&rows, bit_probe(&target), 6);
+        let r2 = select_rows(&rows, bit_probe(&target), 6);
+        assert_eq!(r1, r2);
+        // And the winner really is a closest candidate.
+        let best = cands.iter().map(|c| c.hamming(&target)).min().unwrap();
+        assert_eq!(cands[r1.winner].hamming(&target), best);
+    }
+}

@@ -1,0 +1,359 @@
+//! Coping with unknown `D` and unknown `α` — paper §6.
+//!
+//! **Unknown `D`** ([`reconstruct_unknown_d`]): run the main algorithm
+//! for `D = 0` and `D = 2^i`, `i = 0 … ⌈log₂ m⌉`, in parallel; every
+//! player then runs **RSelect** over the `O(log m)` resulting candidate
+//! vectors and outputs the apparent-closest. Cost grows by a `log m`
+//! factor and quality degrades by a constant factor relative to
+//! Theorem 5.4 — exactly the gap between Theorems 1.1 and 5.4.
+//!
+//! **Unknown `α`** ([`anytime`]): repeated doubling over `α = 2^{-j}`.
+//! After each phase the player RSelects between its previous best and
+//! the new phase output, giving an *anytime algorithm*: at any stopping
+//! time the current output is close to the best achievable for the
+//! budget spent so far.
+
+use crate::main_algorithm::reconstruct_known;
+use crate::params::Params;
+use crate::rselect::rselect_bits;
+use std::collections::HashMap;
+use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
+use tmwia_model::matrix::ObjectId;
+use tmwia_model::rng::derive;
+use tmwia_model::BitVec;
+
+/// Domain tag for seed derivation in this module.
+const TAG: u64 = 0x554E4B; // "UNK"
+
+/// The geometric `D` grid of §6: `0, 1, 2, 4, …` up to (and covering)
+/// `m`.
+pub fn d_grid(m: usize) -> Vec<usize> {
+    let mut grid = vec![0usize];
+    let mut d = 1usize;
+    while d < m {
+        grid.push(d);
+        d *= 2;
+    }
+    grid.push(m.max(1));
+    grid
+}
+
+/// Result of an unknown-`D` reconstruction.
+#[derive(Clone, Debug)]
+pub struct UnknownDResult {
+    /// Final per-player outputs after RSelect.
+    pub outputs: HashMap<PlayerId, BitVec>,
+    /// The `D` grid that was run.
+    pub grid: Vec<usize>,
+    /// Index (into `grid`) of the version each player adopted.
+    pub chosen_version: HashMap<PlayerId, usize>,
+}
+
+/// Run the §6 unknown-`D` algorithm: all `O(log m)` versions of the
+/// main algorithm, then a per-player RSelect across their outputs.
+pub fn reconstruct_unknown_d(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    alpha: f64,
+    params: &Params,
+    seed: u64,
+) -> UnknownDResult {
+    let m = engine.m();
+    let grid = d_grid(m);
+    // Versions are probe-independent (results depend only on the hidden
+    // truth); run them in sequence — probe caching means union cost, so
+    // ordering does not change any player's total charge.
+    let versions: Vec<HashMap<PlayerId, BitVec>> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            reconstruct_known(engine, players, alpha, d, params, derive(seed, TAG, i as u64))
+                .outputs
+        })
+        .collect();
+
+    let objects: Vec<ObjectId> = (0..m).collect();
+    let n = engine.n();
+    let picks = par_map_players(players, |p| {
+        let cands: Vec<BitVec> = versions.iter().map(|v| v[&p].clone()).collect();
+        let handle = engine.player(p);
+        let r = rselect_bits(
+            &handle,
+            &objects,
+            &cands,
+            params,
+            n,
+            derive(seed, TAG, 0x1000 + p as u64),
+        );
+        (r.winner, cands[r.winner].clone())
+    });
+
+    let mut outputs = HashMap::with_capacity(players.len());
+    let mut chosen_version = HashMap::with_capacity(players.len());
+    for (&p, (winner, w)) in players.iter().zip(picks) {
+        outputs.insert(p, w);
+        chosen_version.insert(p, winner);
+    }
+    UnknownDResult {
+        outputs,
+        grid,
+        chosen_version,
+    }
+}
+
+/// One phase of the anytime algorithm.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    /// The `α = 2^{-j}` this phase assumed.
+    pub alpha: f64,
+    /// Cumulative round complexity (max per-player probes) after the
+    /// phase.
+    pub rounds_after: u64,
+    /// Each player's best-so-far output after the phase.
+    pub outputs: HashMap<PlayerId, BitVec>,
+}
+
+/// Full trajectory of the anytime unknown-`α` algorithm.
+#[derive(Clone, Debug)]
+pub struct AnytimeReport {
+    /// Phase-by-phase snapshots, `α` halving each time.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl AnytimeReport {
+    /// The final outputs (last phase).
+    pub fn final_outputs(&self) -> &HashMap<PlayerId, BitVec> {
+        &self
+            .phases
+            .last()
+            .expect("anytime runs at least one phase")
+            .outputs
+    }
+}
+
+/// Run the anytime unknown-`α` algorithm for `num_phases` doubling
+/// phases (`α = 1/2, 1/4, …`), carrying each player's best output
+/// forward by RSelect. The paper halts once `α < log n / n` ("the
+/// player is better off probing alone"); we also clamp there.
+pub fn anytime(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    num_phases: usize,
+    params: &Params,
+    seed: u64,
+) -> AnytimeReport {
+    anytime_impl(engine, players, num_phases, None, params, seed)
+}
+
+/// The α-doubling anytime algorithm with a *known* diameter bound `d`
+/// (§6 treats the two unknowns independently; when `D` is known, each
+/// phase runs the Figure 1 main algorithm directly instead of the
+/// `log m`-version unknown-`D` wrapper, keeping phases cheap enough
+/// that the anytime staircase is visible below the probe-cache cap).
+pub fn anytime_known_d(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    d: usize,
+    num_phases: usize,
+    params: &Params,
+    seed: u64,
+) -> AnytimeReport {
+    anytime_impl(engine, players, num_phases, Some(d), params, seed)
+}
+
+fn anytime_impl(
+    engine: &ProbeEngine,
+    players: &[PlayerId],
+    num_phases: usize,
+    known_d: Option<usize>,
+    params: &Params,
+    seed: u64,
+) -> AnytimeReport {
+    assert!(num_phases >= 1, "need at least one phase");
+    let n = engine.n();
+    let m = engine.m();
+    let objects: Vec<ObjectId> = (0..m).collect();
+    let alpha_floor = ((n.max(2) as f64).ln() / n as f64).min(1.0);
+
+    let mut best: Option<HashMap<PlayerId, BitVec>> = None;
+    let mut phases = Vec::with_capacity(num_phases);
+    for j in 1..=num_phases {
+        let alpha = (0.5f64.powi(j as i32)).max(alpha_floor);
+        let phase_seed = derive(seed, TAG, 0x2000 + j as u64);
+        let phase_outputs = match known_d {
+            Some(d) => {
+                crate::main_algorithm::reconstruct_known(
+                    engine, players, alpha, d, params, phase_seed,
+                )
+                .outputs
+            }
+            None => reconstruct_unknown_d(engine, players, alpha, params, phase_seed).outputs,
+        };
+        let merged: HashMap<PlayerId, BitVec> = match &best {
+            None => phase_outputs,
+            Some(prev) => {
+                let picks = par_map_players(players, |p| {
+                    let cands = vec![prev[&p].clone(), phase_outputs[&p].clone()];
+                    let handle = engine.player(p);
+                    let r = rselect_bits(
+                        &handle,
+                        &objects,
+                        &cands,
+                        params,
+                        n,
+                        derive(seed, TAG, 0x3000 + (j as u64) * 0x10000 + p as u64),
+                    );
+                    cands[r.winner].clone()
+                });
+                players.iter().copied().zip(picks).collect()
+            }
+        };
+        phases.push(PhaseReport {
+            alpha,
+            rounds_after: engine.max_probes(),
+            outputs: merged.clone(),
+        });
+        best = Some(merged);
+        if alpha <= alpha_floor {
+            break;
+        }
+    }
+    AnytimeReport { phases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_model::generators::{nested_communities, planted_community};
+    use tmwia_model::metrics::discrepancy;
+
+    #[test]
+    fn d_grid_covers_and_doubles() {
+        assert_eq!(d_grid(1), vec![0, 1]);
+        assert_eq!(d_grid(8), vec![0, 1, 2, 4, 8]);
+        let g = d_grid(100);
+        assert_eq!(g, vec![0, 1, 2, 4, 8, 16, 32, 64, 100]);
+    }
+
+    #[test]
+    fn unknown_d_matches_known_d_quality() {
+        // Community of diameter 6 — unknown-D must land within a
+        // constant factor of the known-D guarantee (5D), allowing the
+        // §6 constant-factor loss.
+        let d = 6;
+        let inst = planted_community(96, 96, 48, d, 41);
+        let community = inst.community().to_vec();
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..96).collect();
+        let res = reconstruct_unknown_d(&engine, &players, 0.5, &Params::practical(), 41);
+        let outputs: Vec<BitVec> = (0..96).map(|p| res.outputs[&p].clone()).collect();
+        let delta = discrepancy(engine.truth(), &outputs, &community);
+        assert!(delta <= 5 * 3 * d, "discrepancy {delta} > 15·D");
+        assert_eq!(res.grid, d_grid(96));
+    }
+
+    #[test]
+    fn unknown_d_exact_community_reconstructs_exactly_often() {
+        // With D = 0 communities the D = 0 version is exact; RSelect
+        // must not be fooled into a worse version.
+        let inst = planted_community(96, 96, 48, 0, 43);
+        let community = inst.community().to_vec();
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..96).collect();
+        let res = reconstruct_unknown_d(&engine, &players, 0.5, &Params::practical(), 43);
+        let exact = community
+            .iter()
+            .filter(|&&p| &res.outputs[&p] == engine.truth().row(p))
+            .count();
+        assert!(
+            exact * 10 >= community.len() * 8,
+            "only {exact}/{} exact",
+            community.len()
+        );
+    }
+
+    #[test]
+    fn anytime_quality_improves_or_holds_per_phase() {
+        // Nested communities: a loose half and a tight quarter. As α
+        // halves, the tight community's members should not get worse.
+        let inst = nested_communities(128, 128, &[(64, 24), (32, 8)], 45);
+        let tight = inst.communities[1].clone();
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..128).collect();
+        let report = anytime(&engine, &players, 3, &Params::practical(), 45);
+        assert!(!report.phases.is_empty());
+        let errs: Vec<usize> = report
+            .phases
+            .iter()
+            .map(|ph| {
+                let outputs: Vec<BitVec> = (0..128).map(|p| ph.outputs[&p].clone()).collect();
+                discrepancy(engine.truth(), &outputs, &tight)
+            })
+            .collect();
+        // Allow small regressions from RSelect sampling noise, but the
+        // final phase must be at least as good as twice the first.
+        assert!(
+            *errs.last().unwrap() <= (2 * errs[0]).max(40),
+            "errors did not improve: {errs:?}"
+        );
+        // Rounds are monotone across phases.
+        for w in report.phases.windows(2) {
+            assert!(w[0].rounds_after <= w[1].rounds_after);
+        }
+    }
+
+    #[test]
+    fn anytime_stops_at_alpha_floor() {
+        let inst = planted_community(16, 16, 8, 0, 47);
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..16).collect();
+        // 50 requested phases, but α floor = ln(16)/16 ≈ 0.17 stops it
+        // after three halvings.
+        let report = anytime(&engine, &players, 50, &Params::practical(), 47);
+        assert!(report.phases.len() <= 4, "{} phases", report.phases.len());
+        let _ = report.final_outputs();
+    }
+
+    #[test]
+    fn anytime_known_d_staircase_is_sub_saturated() {
+        // Two disjoint exact clusters of sizes n/2 and n/4: with known
+        // D = 0 each phase costs O(log n/α), so the α = 1/4 cluster is
+        // served only at phase 2, and total cost stays ≪ m.
+        use tmwia_model::generators::adversarial_clusters;
+        let n = 128;
+        // adversarial_clusters gives equal sizes; take 2 clusters and
+        // treat the first as the majority: sizes 64/64 — instead build
+        // a 3-cluster soup so the largest is < n/2 only at phase 2.
+        let inst = adversarial_clusters(n, n, 4, 0, 51);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..n).collect();
+        let report = anytime_known_d(&engine, &players, 0, 3, &Params::practical(), 51);
+        assert!(report.phases.len() >= 2);
+        // Sub-saturated: below the cache cap m (at this tiny n the
+        // α = 1/8 phase alone costs ~2·ln n·8 ≈ 78, so "≪ m" only
+        // emerges at larger n — E10 shows 164 ≪ 512).
+        assert!(
+            engine.max_probes() < n as u64,
+            "anytime_known_d saturated: {}",
+            engine.max_probes()
+        );
+        // Quarter-size clusters exact by the final phase.
+        let last = report.final_outputs();
+        for c in &inst.communities {
+            for &p in c {
+                assert_eq!(&last[&p], inst.truth.row(p), "player {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = planted_community(64, 64, 32, 4, 49);
+        let mk = || {
+            let engine = ProbeEngine::new(inst.truth.clone());
+            let players: Vec<PlayerId> = (0..64).collect();
+            reconstruct_unknown_d(&engine, &players, 0.5, &Params::practical(), 7).outputs
+        };
+        assert_eq!(mk(), mk());
+    }
+}

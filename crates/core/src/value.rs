@@ -1,0 +1,32 @@
+//! The abstract value domain of Algorithm Zero Radius.
+//!
+//! The paper generalizes Zero Radius beyond binary grades: "the set of
+//! allowed values for an object is not necessarily binary" (§3.1). In
+//! Large Radius, an "object" is a whole object subset `O_ℓ` and its
+//! value is an index into the Coalesce candidate set `B_ℓ`. The [`Value`]
+//! trait is the bound every such domain must satisfy: cloneable,
+//! comparable (for deterministic tie-breaking), hashable (for vote
+//! tallies) and thread-safe (players run in parallel).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Marker trait for Zero Radius value domains (auto-implemented).
+pub trait Value: Clone + Eq + Ord + Hash + Send + Sync + Debug {}
+
+impl<T: Clone + Eq + Ord + Hash + Send + Sync + Debug> Value for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_value<T: Value>() {}
+
+    #[test]
+    fn standard_domains_are_values() {
+        assert_value::<bool>();
+        assert_value::<u32>();
+        assert_value::<tmwia_model::BitVec>();
+        assert_value::<Vec<bool>>();
+    }
+}

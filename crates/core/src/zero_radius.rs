@@ -1,0 +1,438 @@
+//! Algorithm **Zero Radius** — exact-agreement communities
+//! (paper Figure 2, Theorem 3.1; after Awerbuch–Azar–Lotker–Patt-Shamir–
+//! Tuttle 2005).
+//!
+//! Setting: at least `α·n` players share *identical* value vectors.
+//! The algorithm halves both the player set and the object set, recurses
+//! on matched halves in parallel, and lets each half adopt the other
+//! half's work by (a) reading the billboard for vectors that at least an
+//! `α/2` fraction of the other half voted for and (b) running Select
+//! with distance bound 0 to pick the candidate consistent with its own
+//! probes. Theorem 3.1: w.h.p. every member of the identical community
+//! outputs the exact common vector after `O(log n / α)` probes.
+//!
+//! The algorithm is generic over the value domain ([`ObjectSpace`]):
+//! "objects" may be primitive objects with boolean grades, or — in Large
+//! Radius step 4 — whole object subsets whose "grade" is an index into a
+//! candidate set, probed by running Select over real objects.
+
+use crate::params::Params;
+use crate::select::select_values;
+use crate::value::Value;
+use std::collections::HashMap;
+use tmwia_billboard::{par_map_players, Billboard, PlayerId, ProbeEngine};
+use tmwia_model::partition::random_halves;
+use tmwia_model::rng::{rng_for, tags};
+
+/// A probe-able universe of (possibly virtual) objects with values in
+/// `Self::Val`. Implementations must charge the probe engine for every
+/// primitive probe they spend.
+pub trait ObjectSpace: Sync {
+    /// Value domain of this space.
+    type Val: Value;
+    /// Number of objects (indexed `0..num_objects()`).
+    fn num_objects(&self) -> usize;
+    /// Reveal the value of object `idx` for `player`, paying its cost.
+    fn probe(&self, player: PlayerId, idx: usize) -> Self::Val;
+}
+
+/// The primitive space: objects are real objects, values are grades,
+/// probing costs exactly one unit through the engine.
+pub struct BinarySpace<'a> {
+    engine: &'a ProbeEngine,
+}
+
+impl<'a> BinarySpace<'a> {
+    /// Wrap a probe engine.
+    pub fn new(engine: &'a ProbeEngine) -> Self {
+        BinarySpace { engine }
+    }
+}
+
+impl ObjectSpace for BinarySpace<'_> {
+    type Val = bool;
+
+    fn num_objects(&self) -> usize {
+        self.engine.m()
+    }
+
+    fn probe(&self, player: PlayerId, idx: usize) -> bool {
+        self.engine.player(player).probe(idx)
+    }
+}
+
+/// Output of Zero Radius: for each participating player, a value per
+/// object, aligned with the `objects` slice passed in.
+pub type ZrOutput<V> = HashMap<PlayerId, Vec<V>>;
+
+/// Run Algorithm Zero Radius.
+///
+/// * `players`/`objects` — the sets `P` and `O` (object entries index
+///   into `space`);
+/// * `alpha` — the assumed community fraction (of `players`);
+/// * `n_global` — the global population size `n` that the paper's
+///   `log n` factors refer to (recursive calls shrink `|P|` but keep
+///   probability targets phrased in `n`);
+/// * `seed` — master randomness; the same seed reproduces the same run.
+///
+/// Returns each player's output vector over `objects` (same order).
+pub fn zero_radius<S: ObjectSpace>(
+    space: &S,
+    players: &[PlayerId],
+    objects: &[usize],
+    alpha: f64,
+    params: &Params,
+    n_global: usize,
+    seed: u64,
+) -> ZrOutput<S::Val> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
+    if players.is_empty() || objects.is_empty() {
+        return players.iter().map(|&p| (p, Vec::new())).collect();
+    }
+    let board: Billboard<u64, Vec<S::Val>> = Billboard::new();
+    recurse(
+        space, players, objects, alpha, params, n_global, seed, 1, &board,
+    )
+}
+
+/// One node of the recursion tree. `node` encodes the path (root = 1,
+/// children `2·node` / `2·node + 1`) and namespaces both the billboard
+/// keys and the split randomness.
+#[allow(clippy::too_many_arguments)]
+fn recurse<S: ObjectSpace>(
+    space: &S,
+    players: &[PlayerId],
+    objects: &[usize],
+    alpha: f64,
+    params: &Params,
+    n_global: usize,
+    seed: u64,
+    node: u64,
+    board: &Billboard<u64, Vec<S::Val>>,
+) -> ZrOutput<S::Val> {
+    let threshold = params.base_case_threshold(n_global, alpha);
+
+    // Step 1: base case — probe everything in O.
+    if players.len().min(objects.len()) < threshold {
+        let rows = par_map_players(players, |p| {
+            objects.iter().map(|&j| space.probe(p, j)).collect::<Vec<_>>()
+        });
+        let out: ZrOutput<S::Val> = players.iter().copied().zip(rows).collect();
+        publish(board, node, &out, players);
+        return out;
+    }
+
+    // Step 2: random halves of players and objects.
+    let mut rng = rng_for(seed, tags::ZERO_RADIUS_SPLIT, node);
+    let (p1, p2) = random_halves(players, &mut rng);
+    let (o1, o2) = random_halves(objects, &mut rng);
+
+    // Step 3: recurse on matched halves, in parallel.
+    let (out1, out2) = rayon::join(
+        || recurse(space, &p1, &o1, alpha, params, n_global, seed, 2 * node, board),
+        || {
+            recurse(
+                space,
+                &p2,
+                &o2,
+                alpha,
+                params,
+                n_global,
+                seed,
+                2 * node + 1,
+                board,
+            )
+        },
+    );
+
+    // Step 4: each half adopts the other half's objects by scanning the
+    // billboard for popular vectors and running Select with bound 0.
+    let cands_for_p1 = popular_candidates(board, 2 * node + 1, p2.len(), alpha, params);
+    let cands_for_p2 = popular_candidates(board, 2 * node, p1.len(), alpha, params);
+
+    let adopted1 = adopt(space, &p1, &o2, &cands_for_p1);
+    let adopted2 = adopt(space, &p2, &o1, &cands_for_p2);
+
+    // Reassemble full vectors in this node's object order.
+    let pos: HashMap<usize, usize> = objects.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+    let mut out: ZrOutput<S::Val> = HashMap::with_capacity(players.len());
+    let assemble = |own: &ZrOutput<S::Val>,
+                    own_objs: &[usize],
+                    adopted: &ZrOutput<S::Val>,
+                    adopted_objs: &[usize],
+                    out: &mut ZrOutput<S::Val>| {
+        for (&p, own_vals) in own {
+            let mut row: Vec<Option<S::Val>> = vec![None; objects.len()];
+            for (i, &j) in own_objs.iter().enumerate() {
+                row[pos[&j]] = Some(own_vals[i].clone());
+            }
+            let ad = &adopted[&p];
+            for (i, &j) in adopted_objs.iter().enumerate() {
+                row[pos[&j]] = Some(ad[i].clone());
+            }
+            out.insert(
+                p,
+                row.into_iter()
+                    .map(|v| v.expect("every object assigned"))
+                    .collect(),
+            );
+        }
+    };
+    assemble(&out1, &o1, &adopted1, &o2, &mut out);
+    assemble(&out2, &o2, &adopted2, &o1, &mut out);
+
+    publish(board, node, &out, players);
+    out
+}
+
+/// Post every player's node output on the billboard, in player order.
+fn publish<V: Value>(
+    board: &Billboard<u64, Vec<V>>,
+    node: u64,
+    out: &ZrOutput<V>,
+    players: &[PlayerId],
+) {
+    board.post_batch(
+        players
+            .iter()
+            .map(|&p| (node, p, out[&p].clone())),
+    );
+}
+
+/// The "popular vectors" of step 4: vectors posted at `child` by at
+/// least a `vote_fraction·α` fraction of that half. If the threshold
+/// leaves nothing (possible when the community missed its expectation in
+/// this subtree), fall back to the `⌈2/α⌉` most-voted vectors so Select
+/// always has a candidate — the paper's analysis makes this case
+/// `n^{-Ω(1)}`-rare for typical players; the fallback keeps atypical
+/// players well-defined.
+///
+/// Shared (`pub(crate)`) with the lockstep runtime so both executions
+/// compute candidate sets identically.
+pub(crate) fn popular_candidates<V: Value>(
+    board: &Billboard<u64, Vec<V>>,
+    child: u64,
+    half_size: usize,
+    alpha: f64,
+    params: &Params,
+) -> Vec<Vec<V>> {
+    let tally = board.tally(&child);
+    let min_votes = ((params.vote_fraction * alpha * half_size as f64).ceil() as usize).max(1);
+    let popular: Vec<Vec<V>> = tally
+        .iter()
+        .filter(|&&(_, c)| c >= min_votes)
+        .map(|(v, _)| v.clone())
+        .collect();
+    if !popular.is_empty() {
+        return popular;
+    }
+    let cap = ((2.0 / alpha).ceil() as usize).max(1);
+    let mut by_votes = tally;
+    by_votes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    by_votes.into_iter().take(cap).map(|(v, _)| v).collect()
+}
+
+/// Each player of `players` selects (bound 0) among `candidates` —
+/// vectors over `objects` — probing real coordinates as needed.
+fn adopt<S: ObjectSpace>(
+    space: &S,
+    players: &[PlayerId],
+    objects: &[usize],
+    candidates: &[Vec<S::Val>],
+) -> ZrOutput<S::Val> {
+    players
+        .iter()
+        .copied()
+        .zip(par_map_players(players, |p| {
+            if candidates.is_empty() {
+                // No information posted at all (other half empty —
+                // cannot happen above the base case, defensive only):
+                // probe directly.
+                return objects.iter().map(|&j| space.probe(p, j)).collect();
+            }
+            let r = select_values(candidates, |j| space.probe(p, objects[j]), 0);
+            candidates[r.winner].clone()
+        }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmwia_billboard::ProbeEngine;
+    use tmwia_model::generators::{planted_community, uniform_noise};
+    use tmwia_model::BitVec;
+
+    fn run_planted(
+        n: usize,
+        m: usize,
+        k: usize,
+        seed: u64,
+        params: &Params,
+    ) -> (ProbeEngine, Vec<PlayerId>, ZrOutput<bool>) {
+        let inst = planted_community(n, m, k, 0, seed);
+        let community = inst.community().to_vec();
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..n).collect();
+        let objects: Vec<usize> = (0..m).collect();
+        let alpha = k as f64 / n as f64;
+        let out = zero_radius(
+            &BinarySpace::new(&engine),
+            &players,
+            &objects,
+            alpha,
+            params,
+            n,
+            seed,
+        );
+        (engine, community, out)
+    }
+
+    fn to_bits(vals: &[bool]) -> BitVec {
+        BitVec::from_bools(vals)
+    }
+
+    #[test]
+    fn community_members_output_exact_vector() {
+        let (engine, community, out) = run_planted(128, 128, 64, 42, &Params::practical());
+        for &p in &community {
+            let w = to_bits(&out[&p]);
+            assert_eq!(
+                &w,
+                engine.truth().row(p),
+                "player {p} failed to reconstruct"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_is_sublinear_for_community_members() {
+        // m = 512 objects; community members should pay ≪ m probes.
+        let (engine, community, _) = run_planted(512, 512, 256, 7, &Params::practical());
+        let max_cost = community
+            .iter()
+            .map(|&p| engine.probes_of(p))
+            .max()
+            .unwrap();
+        assert!(
+            max_cost < 300,
+            "community round complexity {max_cost} not sublinear in m=512"
+        );
+        // And far below the solo cost m.
+        assert!(max_cost < 512);
+    }
+
+    #[test]
+    fn every_player_gets_a_full_output() {
+        let (_, _, out) = run_planted(64, 64, 32, 3, &Params::practical());
+        assert_eq!(out.len(), 64);
+        assert!(out.values().all(|v| v.len() == 64));
+    }
+
+    #[test]
+    fn base_case_probes_everything_exactly() {
+        // Small sets drop straight into the base case: outputs are the
+        // true vectors and each player pays |O|.
+        let inst = uniform_noise(4, 16, 9);
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..4).collect();
+        let objects: Vec<usize> = (0..16).collect();
+        let out = zero_radius(
+            &BinarySpace::new(&engine),
+            &players,
+            &objects,
+            1.0,
+            &Params::theory(),
+            4,
+            1,
+        );
+        for &p in &players {
+            assert_eq!(&to_bits(&out[&p]), engine.truth().row(p));
+            assert_eq!(engine.probes_of(p), 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_planted(64, 64, 32, 11, &Params::practical()).2;
+        let b = run_planted(64, 64, 32, 11, &Params::practical()).2;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_inputs_are_harmless() {
+        let inst = uniform_noise(2, 4, 1);
+        let engine = ProbeEngine::new(inst.truth);
+        let out = zero_radius(
+            &BinarySpace::new(&engine),
+            &[],
+            &[0, 1],
+            0.5,
+            &Params::practical(),
+            2,
+            0,
+        );
+        assert!(out.is_empty());
+        let out2 = zero_radius(
+            &BinarySpace::new(&engine),
+            &[0],
+            &[],
+            0.5,
+            &Params::practical(),
+            2,
+            0,
+        );
+        assert_eq!(out2[&0], Vec::<bool>::new());
+    }
+
+    #[test]
+    fn subset_of_objects_respects_alignment() {
+        // Run on a strided object subset; outputs must align with it.
+        let inst = planted_community(32, 64, 32, 0, 13);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..32).collect();
+        let objects: Vec<usize> = (0..64).step_by(2).collect();
+        let out = zero_radius(
+            &BinarySpace::new(&engine),
+            &players,
+            &objects,
+            1.0,
+            &Params::practical(),
+            32,
+            5,
+        );
+        for &p in &players {
+            for (i, &j) in objects.iter().enumerate() {
+                assert_eq!(out[&p][i], inst.truth.value(p, j), "p={p} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_value_domain_u32() {
+        // A virtual space where object j has the same u32 value for all
+        // players in the community sense (everyone identical): Zero
+        // Radius must reproduce it.
+        struct ConstSpace {
+            vals: Vec<u32>,
+        }
+        impl ObjectSpace for ConstSpace {
+            type Val = u32;
+            fn num_objects(&self) -> usize {
+                self.vals.len()
+            }
+            fn probe(&self, _p: PlayerId, idx: usize) -> u32 {
+                self.vals[idx]
+            }
+        }
+        let space = ConstSpace {
+            vals: (0..32).map(|j| (j * 7 % 5) as u32).collect(),
+        };
+        let players: Vec<PlayerId> = (0..32).collect();
+        let objects: Vec<usize> = (0..32).collect();
+        let out = zero_radius(&space, &players, &objects, 1.0, &Params::practical(), 32, 2);
+        for p in 0..32 {
+            assert_eq!(out[&p], space.vals);
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Bit-packed binary vectors.
+//!
+//! Preference vectors live in `{0,1}^m` with `m` up to a few tens of
+//! thousands in the experiment sweeps, and Hamming distance is the hot
+//! kernel of every algorithm in the paper (Select eliminates candidates
+//! by disagreement counts, Coalesce computes all-pairs balls, the metrics
+//! module computes set diameters). Packing 64 coordinates per word makes
+//! a distance computation an XOR + popcount per word, which LLVM lowers
+//! to `popcnt` on x86-64.
+
+use rand::Rng;
+use std::fmt;
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bit vector over `{0,1}`.
+///
+/// Semantically this is a player's preference vector `v(p) ∈ {0,1}^m`
+/// (Definition 1.1 of the paper) or an algorithm's output estimate
+/// `w(p)`. Unused high bits of the last word are kept zero as an
+/// invariant, so whole-word operations (XOR/AND/popcount) never need a
+/// tail mask.
+///
+/// ```
+/// use tmwia_model::BitVec;
+///
+/// let likes = BitVec::from_bools(&[true, false, true, true]);
+/// let mut peer = likes.clone();
+/// peer.flip(1);
+/// assert_eq!(likes.hamming(&peer), 1);           // dist of Def. 1.1
+/// assert_eq!(peer.diff_indices(&likes), vec![1]);
+/// assert_eq!(likes.project(&[0, 3]).count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// All-zeros vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// All-ones vector of length `len`.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            words: vec![!0u64; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Build from a predicate on coordinate indices.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut v = BitVec::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Build from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        BitVec::from_fn(bits.len(), |i| bits[i])
+    }
+
+    /// Uniformly random vector of length `len`.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        let mut v = BitVec {
+            words: (0..len.div_ceil(WORD_BITS)).map(|_| rng.gen()).collect(),
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Number of coordinates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the vector has zero coordinates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read coordinate `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Write coordinate `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Flip coordinate `i`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Number of one-coordinates.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// This is `dist(x, y)` of Definition 1.1: the number of coordinates
+    /// on which the two vectors differ.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &BitVec) -> usize {
+        assert_eq!(
+            self.len, other.len,
+            "hamming distance requires equal lengths"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Hamming distance truncated at `bound`: returns
+    /// `min(hamming(self, other), bound + 1)`.
+    ///
+    /// Coalesce and the metrics module only care whether a distance is
+    /// `≤ D`; early exit once `bound` is exceeded skips the tail of the
+    /// scan, which matters for the all-pairs loops.
+    pub fn hamming_bounded(&self, other: &BitVec, bound: usize) -> usize {
+        assert_eq!(self.len, other.len);
+        let mut acc = 0usize;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            acc += (a ^ b).count_ones() as usize;
+            if acc > bound {
+                return bound + 1;
+            }
+        }
+        acc
+    }
+
+    /// Hamming distance restricted to the coordinate subset `coords`
+    /// (the paper's `dist|_S`, Notation 4.1). Coordinates are indices
+    /// into both vectors.
+    pub fn hamming_on(&self, other: &BitVec, coords: &[usize]) -> usize {
+        coords
+            .iter()
+            .filter(|&&j| self.get(j) != other.get(j))
+            .count()
+    }
+
+    /// Projection onto the coordinate subset `coords` (the paper's
+    /// `v|_S`): a new vector of length `coords.len()` whose `i`-th bit is
+    /// `self[coords[i]]`.
+    pub fn project(&self, coords: &[usize]) -> BitVec {
+        BitVec::from_fn(coords.len(), |i| self.get(coords[i]))
+    }
+
+    /// Overwrite the coordinates listed in `coords` with the bits of
+    /// `patch` (which must have length `coords.len()`). Inverse of
+    /// [`BitVec::project`]; used to stitch per-part outputs into a full
+    /// vector (Small Radius step 1c, Large Radius step 4).
+    pub fn scatter_from(&mut self, patch: &BitVec, coords: &[usize]) {
+        assert_eq!(patch.len(), coords.len());
+        for (i, &j) in coords.iter().enumerate() {
+            self.set(j, patch.get(i));
+        }
+    }
+
+    /// Indices where the two vectors differ.
+    pub fn diff_indices(&self, other: &BitVec) -> Vec<usize> {
+        assert_eq!(self.len, other.len);
+        let mut out = Vec::new();
+        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut x = a ^ b;
+            while x != 0 {
+                let bit = x.trailing_zeros() as usize;
+                out.push(wi * WORD_BITS + bit);
+                x &= x - 1;
+            }
+        }
+        out
+    }
+
+    /// Iterator over coordinates as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Raw word storage (little-endian bit order within words).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Flip `k` distinct uniformly chosen coordinates in place.
+    /// Used by generators to plant a community of bounded diameter.
+    pub fn flip_random<R: Rng + ?Sized>(&mut self, k: usize, rng: &mut R) {
+        assert!(k <= self.len, "cannot flip {k} of {} coordinates", self.len);
+        let picks = rand::seq::index::sample(rng, self.len, k);
+        for i in picks {
+            self.flip(i);
+        }
+    }
+
+    /// Zero the unused high bits of the last word (invariant keeper).
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        if self.len > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_ones_have_expected_counts() {
+        for len in [0, 1, 63, 64, 65, 127, 128, 1000] {
+            assert_eq!(BitVec::zeros(len).count_ones(), 0);
+            assert_eq!(BitVec::ones(len).count_ones(), len);
+        }
+    }
+
+    #[test]
+    fn ones_tail_is_masked() {
+        let v = BitVec::ones(65);
+        // Last word has exactly one live bit.
+        assert_eq!(v.words()[1], 1);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(65) && !v.get(128));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut v = BitVec::zeros(10);
+        v.flip(3);
+        assert!(v.get(3));
+        v.flip(3);
+        assert!(!v.get(3));
+    }
+
+    #[test]
+    fn hamming_basic() {
+        let a = BitVec::from_bools(&[true, false, true, true]);
+        let b = BitVec::from_bools(&[true, true, false, true]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn hamming_matches_naive_on_random_vectors() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [1usize, 13, 64, 65, 200, 513] {
+            let a = BitVec::random(len, &mut rng);
+            let b = BitVec::random(len, &mut rng);
+            let naive = (0..len).filter(|&i| a.get(i) != b.get(i)).count();
+            assert_eq!(a.hamming(&b), naive);
+            assert_eq!(a.hamming_bounded(&b, len), naive);
+        }
+    }
+
+    #[test]
+    fn hamming_bounded_truncates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = BitVec::random(500, &mut rng);
+        let b = BitVec::random(500, &mut rng);
+        let d = a.hamming(&b);
+        assert!(d > 10);
+        assert_eq!(a.hamming_bounded(&b, 10), 11);
+        assert_eq!(a.hamming_bounded(&b, d), d);
+        assert_eq!(a.hamming_bounded(&b, d - 1), d.min(d)); // == bound+1 = d
+    }
+
+    #[test]
+    fn diff_indices_matches_scan() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = BitVec::random(300, &mut rng);
+        let b = BitVec::random(300, &mut rng);
+        let expect: Vec<usize> = (0..300).filter(|&i| a.get(i) != b.get(i)).collect();
+        assert_eq!(a.diff_indices(&b), expect);
+    }
+
+    #[test]
+    fn project_and_scatter_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let v = BitVec::random(100, &mut rng);
+        let coords: Vec<usize> = (0..100).step_by(3).collect();
+        let proj = v.project(&coords);
+        assert_eq!(proj.len(), coords.len());
+        let mut w = BitVec::zeros(100);
+        w.scatter_from(&proj, &coords);
+        for (i, &j) in coords.iter().enumerate() {
+            assert_eq!(w.get(j), proj.get(i));
+            assert_eq!(w.get(j), v.get(j));
+        }
+    }
+
+    #[test]
+    fn hamming_on_restriction() {
+        let a = BitVec::from_bools(&[true, false, true, false]);
+        let b = BitVec::from_bools(&[false, false, false, false]);
+        assert_eq!(a.hamming_on(&b, &[0, 1]), 1);
+        assert_eq!(a.hamming_on(&b, &[1, 3]), 0);
+        assert_eq!(a.hamming_on(&b, &[0, 2]), 2);
+    }
+
+    #[test]
+    fn flip_random_changes_exactly_k() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = BitVec::random(256, &mut rng);
+        for k in [0, 1, 5, 50, 256] {
+            let mut v = base.clone();
+            v.flip_random(k, &mut rng);
+            assert_eq!(base.hamming(&v), k);
+        }
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_enough_for_determinism() {
+        // Ord on BitVec gives a deterministic total order (word-wise);
+        // algorithms only need *some* fixed tie-break order.
+        let a = BitVec::from_bools(&[true, false]);
+        let b = BitVec::from_bools(&[true, true]);
+        assert!(a < b || b < a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(4).get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_length_mismatch_panics() {
+        BitVec::zeros(4).hamming(&BitVec::zeros(5));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.len(), 3);
+        assert!(v.get(0) && !v.get(1) && v.get(2));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = BitVec::random(999, &mut StdRng::seed_from_u64(42));
+        let b = BitVec::random(999, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

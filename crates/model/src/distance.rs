@@ -1,0 +1,141 @@
+//! Distance kernels and small helpers shared across the workspace.
+//!
+//! [`crate::BitVec`] and [`crate::TernaryVec`] carry
+//! their own method-style distances; this module adds the bulk variants
+//! that the algorithms and metrics need: all-pairs diameters, closest-
+//! vector scans and majority votes.
+
+use crate::bitvec::BitVec;
+
+/// Hamming distance (`dist` of Definition 1.1). Thin free-function alias
+/// so call sites can read like the paper.
+#[inline]
+pub fn dist(x: &BitVec, y: &BitVec) -> usize {
+    x.hamming(y)
+}
+
+/// Maximum pairwise Hamming distance of a set of vectors — the paper's
+/// `D(P*)` when applied to the preference vectors of `P*`.
+/// Returns 0 for empty or singleton sets.
+pub fn set_diameter(vs: &[&BitVec]) -> usize {
+    let mut best = 0usize;
+    for i in 0..vs.len() {
+        for j in (i + 1)..vs.len() {
+            let d = vs[i].hamming(vs[j]);
+            if d > best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
+/// Index of the vector in `candidates` closest to `target`, ties broken
+/// towards the smaller index. Returns `None` on an empty slice.
+///
+/// This is the *omniscient* closest-vector operation used by tests and
+/// baselines; the paper's players cannot evaluate it directly (they must
+/// pay probes via Select/RSelect) but the analysis constantly compares
+/// against it.
+pub fn closest_index(target: &BitVec, candidates: &[BitVec]) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, c)| (c.hamming(target), *i))
+        .map(|(i, _)| i)
+}
+
+/// Distance from `target` to the closest vector of `candidates`
+/// (`usize::MAX` if empty).
+pub fn closest_distance(target: &BitVec, candidates: &[BitVec]) -> usize {
+    candidates
+        .iter()
+        .map(|c| c.hamming(target))
+        .min()
+        .unwrap_or(usize::MAX)
+}
+
+/// Coordinate-wise majority vote over a non-empty set of vectors; ties
+/// resolve to `0`. Used by the oracle-community baseline: with diameter
+/// `D`, the majority vector is within `O(D)` of every member.
+pub fn majority_vote(vs: &[&BitVec]) -> BitVec {
+    assert!(!vs.is_empty(), "majority vote of an empty set");
+    let len = vs[0].len();
+    BitVec::from_fn(len, |i| {
+        let ones = vs.iter().filter(|v| v.get(i)).count();
+        2 * ones > vs.len()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn set_diameter_trivial_cases() {
+        assert_eq!(set_diameter(&[]), 0);
+        let v = BitVec::zeros(10);
+        assert_eq!(set_diameter(&[&v]), 0);
+    }
+
+    #[test]
+    fn set_diameter_matches_pairwise_max() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let vs: Vec<BitVec> = (0..8).map(|_| BitVec::random(100, &mut rng)).collect();
+        let refs: Vec<&BitVec> = vs.iter().collect();
+        let mut expect = 0;
+        for i in 0..vs.len() {
+            for j in 0..vs.len() {
+                expect = expect.max(vs[i].hamming(&vs[j]));
+            }
+        }
+        assert_eq!(set_diameter(&refs), expect);
+    }
+
+    #[test]
+    fn closest_index_prefers_smaller_index_on_ties() {
+        let t = BitVec::zeros(8);
+        let a = BitVec::from_fn(8, |i| i == 0); // distance 1
+        let b = BitVec::from_fn(8, |i| i == 1); // distance 1
+        assert_eq!(closest_index(&t, &[a, b]), Some(0));
+        assert_eq!(closest_index(&t, &[]), None);
+    }
+
+    #[test]
+    fn closest_distance_matches_min() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let t = BitVec::random(64, &mut rng);
+        let cs: Vec<BitVec> = (0..5).map(|_| BitVec::random(64, &mut rng)).collect();
+        let expect = cs.iter().map(|c| c.hamming(&t)).min().unwrap();
+        assert_eq!(closest_distance(&t, &cs), expect);
+        assert_eq!(closest_distance(&t, &[]), usize::MAX);
+    }
+
+    #[test]
+    fn majority_vote_majority_wins_ties_zero() {
+        let a = BitVec::from_bools(&[true, true, false, true]);
+        let b = BitVec::from_bools(&[true, false, false, false]);
+        let c = BitVec::from_bools(&[false, true, false, true]);
+        let m = majority_vote(&[&a, &b, &c]);
+        assert_eq!(m, BitVec::from_bools(&[true, true, false, true]));
+        // Even split -> 0.
+        let m2 = majority_vote(&[&a, &b]);
+        assert!(m2.get(0)); // both 1
+        assert!(!m2.get(1)); // tie -> 0
+    }
+
+    #[test]
+    fn majority_vote_of_identical_vectors_is_that_vector() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let v = BitVec::random(100, &mut rng);
+        assert_eq!(majority_vote(&[&v, &v, &v]), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn majority_vote_empty_panics() {
+        majority_vote(&[]);
+    }
+}

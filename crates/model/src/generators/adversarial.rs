@@ -1,0 +1,319 @@
+//! Adversarial-diversity instances.
+//!
+//! The paper's selling point (§1) is that it needs *no* generative
+//! assumptions: preferences may be "unrestricted diversity". These
+//! generators produce matrices that violate the low-rank / gap
+//! assumptions baseline methods rely on, while still containing the
+//! `(α, D)`-typical set the theorems quantify over.
+
+use super::Instance;
+use crate::bitvec::BitVec;
+use crate::matrix::{PlayerId, PrefMatrix};
+use crate::rng::{rng_for, tags};
+use rand::seq::SliceRandom;
+
+/// Fully uniform noise: every player's vector is independent uniform.
+/// There is no community at all — the degenerate extreme where the best
+/// any algorithm can do is "go it alone". `communities` is empty.
+pub fn uniform_noise(n: usize, m: usize, seed: u64) -> Instance {
+    let mut rng = rng_for(seed, tags::GENERATOR, 10);
+    let rows: Vec<BitVec> = (0..n).map(|_| BitVec::random(m, &mut rng)).collect();
+    Instance {
+        truth: PrefMatrix::new(rows),
+        communities: vec![],
+        target_diameters: vec![],
+        descriptor: format!("uniform-noise(n={n}, m={m})"),
+    }
+}
+
+/// Adversarial cluster soup: `num_clusters` clusters of equal size, each
+/// with its own random center and internal diameter ≤ `d`; cluster
+/// centers are mutually far (random, so ≈ m/2 apart). Crucially the
+/// centers are *random dense* vectors, not orthogonal indicator blocks,
+/// and cluster sizes are equal — so there is no singular-value gap for
+/// spectral methods to latch onto when `num_clusters` is large, yet
+/// every cluster is an `(1/num_clusters, d)`-typical set.
+///
+/// The first (largest-id-ordered) cluster is reported as the primary
+/// community; all clusters appear in `communities`.
+pub fn adversarial_clusters(
+    n: usize,
+    m: usize,
+    num_clusters: usize,
+    d: usize,
+    seed: u64,
+) -> Instance {
+    assert!(num_clusters >= 1 && num_clusters <= n, "bad cluster count");
+    assert!(d <= m, "diameter exceeds object count");
+    let mut rng = rng_for(seed, tags::GENERATOR, 11);
+
+    let mut ids: Vec<PlayerId> = (0..n).collect();
+    ids.shuffle(&mut rng);
+    let base = n / num_clusters;
+    let mut extra = n % num_clusters;
+    let mut communities: Vec<Vec<PlayerId>> = Vec::with_capacity(num_clusters);
+    let mut cursor = 0usize;
+    for _ in 0..num_clusters {
+        let size = base + usize::from(extra > 0);
+        extra = extra.saturating_sub(1);
+        let mut c: Vec<PlayerId> = ids[cursor..cursor + size].to_vec();
+        cursor += size;
+        c.sort_unstable();
+        communities.push(c);
+    }
+
+    let mut rows: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(m)).collect();
+    for community in &communities {
+        let center = BitVec::random(m, &mut rng);
+        for &p in community {
+            let mut v = center.clone();
+            v.flip_random(d / 2, &mut rng);
+            rows[p] = v;
+        }
+    }
+
+    communities.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    Instance {
+        truth: PrefMatrix::new(rows),
+        communities,
+        target_diameters: vec![d; num_clusters],
+        descriptor: format!("adversarial-clusters(n={n}, m={m}, c={num_clusters}, D≤{d})"),
+    }
+}
+
+/// An "anti-spectral" construction: take `adversarial_clusters` and XOR
+/// every player's vector with a player-specific random sparse mask of
+/// weight `mask_weight`. The masks keep each cluster's diameter at most
+/// `d + 2·mask_weight` (still a community for the interactive algorithm
+/// run with that bound) but smear the spectrum, further degrading
+/// low-rank reconstruction.
+pub fn smeared_clusters(
+    n: usize,
+    m: usize,
+    num_clusters: usize,
+    d: usize,
+    mask_weight: usize,
+    seed: u64,
+) -> Instance {
+    let mut inst = adversarial_clusters(n, m, num_clusters, d, seed);
+    let mut rng = rng_for(seed, tags::GENERATOR, 12);
+    let rows: Vec<BitVec> = inst
+        .truth
+        .rows()
+        .iter()
+        .map(|row| {
+            let mut v = row.clone();
+            v.flip_random(mask_weight.min(m), &mut rng);
+            v
+        })
+        .collect();
+    inst.truth = PrefMatrix::new(rows);
+    inst.target_diameters = vec![d + 2 * mask_weight; inst.communities.len()];
+    inst.descriptor = format!(
+        "smeared-clusters(n={n}, m={m}, c={num_clusters}, D≤{}, mask={mask_weight})",
+        d + 2 * mask_weight
+    );
+    inst
+}
+
+/// Power-law community soup: cluster sizes follow a Zipf-like law
+/// (`size_i ∝ 1/(i+1)^exponent`, largest first), each cluster with its
+/// own random dense center and internal diameter ≤ `d`; leftover
+/// players are uniform noise. This is the "realistic marketplace"
+/// shape — a few large taste groups, a long tail of niches — and the
+/// natural workload for the §1.1 claim that *every* sufficiently large
+/// community is served at its own scale.
+///
+/// # Panics
+/// Panics if `num_clusters == 0` or `d > m`.
+pub fn powerlaw_clusters(
+    n: usize,
+    m: usize,
+    num_clusters: usize,
+    exponent: f64,
+    d: usize,
+    seed: u64,
+) -> Instance {
+    assert!(num_clusters >= 1, "need at least one cluster");
+    assert!(d <= m, "diameter exceeds object count");
+    let mut rng = rng_for(seed, tags::GENERATOR, 14);
+
+    // Zipf weights → integer sizes summing to ≤ n (rounded down, so a
+    // noise remainder is typical).
+    let weights: Vec<f64> = (0..num_clusters)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * n as f64).floor() as usize)
+        .collect();
+    sizes.retain(|&s| s >= 1);
+
+    let mut ids: Vec<PlayerId> = (0..n).collect();
+    ids.shuffle(&mut rng);
+    let mut communities: Vec<Vec<PlayerId>> = Vec::with_capacity(sizes.len());
+    let mut cursor = 0usize;
+    for &size in &sizes {
+        let mut c: Vec<PlayerId> = ids[cursor..cursor + size].to_vec();
+        cursor += size;
+        c.sort_unstable();
+        communities.push(c);
+    }
+
+    let mut rows: Vec<BitVec> = (0..n)
+        .map(|_| BitVec::random(m, &mut rng))
+        .collect();
+    for community in &communities {
+        let center = BitVec::random(m, &mut rng);
+        for &p in community {
+            let mut v = center.clone();
+            v.flip_random(d / 2, &mut rng);
+            rows[p] = v;
+        }
+    }
+
+    let k = communities.len();
+    Instance {
+        truth: PrefMatrix::new(rows),
+        communities,
+        target_diameters: vec![d; k],
+        descriptor: format!(
+            "powerlaw-clusters(n={n}, m={m}, c={k}, zipf={exponent}, D≤{d})"
+        ),
+    }
+}
+
+/// Worst-case-style instance for `Select`: a target vector plus `k`
+/// candidates arranged so that the first `k − 1` candidates each need
+/// `D + 1` probes to eliminate. Returns `(target, candidates)`; the last
+/// candidate equals the target. Used by unit tests and bench E2 to hit
+/// the `k(D+1)` probe bound of Theorem 3.2.
+pub fn select_hard_case(m: usize, k: usize, d: usize, seed: u64) -> (BitVec, Vec<BitVec>) {
+    assert!(k >= 1, "need at least one candidate");
+    assert!(
+        (k - 1) * (d + 1) <= m,
+        "not enough coordinates for disjoint disagreement blocks"
+    );
+    let mut rng = rng_for(seed, tags::GENERATOR, 13);
+    let target = BitVec::random(m, &mut rng);
+    let mut candidates = Vec::with_capacity(k);
+    // Candidate i (i < k-1) disagrees with the target on its own block of
+    // exactly d+1 coordinates, so Select must probe all d+1 to evict it.
+    for i in 0..k.saturating_sub(1) {
+        let mut c = target.clone();
+        for j in 0..(d + 1) {
+            c.flip(i * (d + 1) + j);
+        }
+        candidates.push(c);
+    }
+    candidates.push(target.clone());
+    (target, candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_noise_has_no_structure() {
+        let inst = uniform_noise(32, 128, 5);
+        assert!(inst.communities.is_empty());
+        assert_eq!(inst.n(), 32);
+        // Typical pairwise distances hover around m/2 = 64.
+        let d01 = inst.truth.player_dist(0, 1);
+        assert!((30..100).contains(&d01), "distance {d01}");
+    }
+
+    #[test]
+    fn clusters_partition_players_and_respect_diameter() {
+        let inst = adversarial_clusters(60, 256, 5, 6, 8);
+        assert_eq!(inst.communities.len(), 5);
+        let mut all: Vec<PlayerId> = inst.communities.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..60).collect::<Vec<_>>());
+        for c in &inst.communities {
+            assert_eq!(c.len(), 12);
+            assert!(inst.truth.diameter_of(c) <= 6);
+        }
+    }
+
+    #[test]
+    fn clusters_handle_remainders() {
+        let inst = adversarial_clusters(10, 64, 3, 0, 1);
+        let sizes: Vec<usize> = inst.communities.iter().map(|c| c.len()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn cluster_centers_are_far_apart() {
+        let inst = adversarial_clusters(40, 512, 4, 2, 3);
+        // Members of different clusters should be ≫ 2 apart.
+        let a = inst.communities[0][0];
+        let b = inst.communities[1][0];
+        assert!(inst.truth.player_dist(a, b) > 100);
+    }
+
+    #[test]
+    fn smeared_clusters_keep_bounded_diameter() {
+        let inst = smeared_clusters(40, 256, 4, 4, 3, 9);
+        for c in &inst.communities {
+            assert!(inst.truth.diameter_of(c) <= 4 + 2 * 3);
+        }
+    }
+
+    #[test]
+    fn select_hard_case_shape() {
+        let (target, cands) = select_hard_case(100, 5, 3, 2);
+        assert_eq!(cands.len(), 5);
+        assert_eq!(cands.last().unwrap(), &target);
+        for (i, c) in cands[..4].iter().enumerate() {
+            assert_eq!(c.hamming(&target), 4, "candidate {i}");
+        }
+        // Disagreement blocks are disjoint.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let di = cands[i].diff_indices(&target);
+                let dj = cands[j].diff_indices(&target);
+                assert!(di.iter().all(|x| !dj.contains(x)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagreement blocks")]
+    fn select_hard_case_needs_room() {
+        select_hard_case(10, 5, 3, 0);
+    }
+
+    #[test]
+    fn powerlaw_sizes_decay_and_respect_diameter() {
+        let inst = powerlaw_clusters(200, 256, 6, 1.0, 4, 11);
+        assert!(inst.communities.len() >= 3);
+        for w in inst.communities.windows(2) {
+            assert!(w[0].len() >= w[1].len(), "sizes must be non-increasing");
+        }
+        // Zipf with exponent 1: largest ≈ 2× second ≈ 3× third.
+        assert!(inst.communities[0].len() > inst.communities[1].len());
+        for c in &inst.communities {
+            assert!(inst.truth.diameter_of(c) <= 4);
+        }
+        // Members are disjoint across communities.
+        let mut all: Vec<PlayerId> = inst.communities.iter().flatten().copied().collect();
+        let len_before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len_before);
+        assert!(all.len() <= 200);
+    }
+
+    #[test]
+    fn powerlaw_deterministic() {
+        let a = powerlaw_clusters(64, 64, 4, 1.5, 2, 3);
+        let b = powerlaw_clusters(64, 64, 4, 1.5, 2, 3);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.communities, b.communities);
+    }
+}

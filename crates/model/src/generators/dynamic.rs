@@ -1,0 +1,250 @@
+//! Drifting preference worlds — the paper's dynamic-environment
+//! motivation (§1: "tracking dynamic environment by unreliable sensors
+//! … fall\[s\] under this 'interactive' framework", and "various
+//! time-variable factors (such as noise, weather, mood) may create
+//! diversity as a side effect").
+//!
+//! A [`DriftingWorld`] is a sequence of epochs. Within an epoch the
+//! preference matrix is fixed and the usual algorithms apply; between
+//! epochs the world drifts *coherently*: the hidden community center
+//! flips `center_drift` random coordinates, members re-sample their
+//! bounded deviation from the new center, and background players
+//! re-randomize a `noise_churn` fraction of their coordinates. The
+//! community structure (membership, diameter bound) is an invariant;
+//! its *content* is not — so estimates go stale at a measurable rate,
+//! which is exactly what experiment E13 quantifies.
+
+use super::Instance;
+use crate::bitvec::BitVec;
+use crate::matrix::{PlayerId, PrefMatrix};
+use crate::rng::{derive, rng_for, tags};
+use rand::seq::SliceRandom;
+
+/// Configuration of a drifting world.
+#[derive(Clone, Debug)]
+pub struct DriftConfig {
+    /// Players.
+    pub n: usize,
+    /// Objects.
+    pub m: usize,
+    /// Community size.
+    pub community_size: usize,
+    /// Community diameter bound (per epoch).
+    pub d: usize,
+    /// Coordinates the community center flips per epoch.
+    pub center_drift: usize,
+    /// Coordinates each background player re-randomizes per epoch.
+    pub noise_churn: usize,
+}
+
+/// A preference world evolving over epochs.
+#[derive(Clone, Debug)]
+pub struct DriftingWorld {
+    config: DriftConfig,
+    seed: u64,
+    epoch: u64,
+    center: BitVec,
+    community: Vec<PlayerId>,
+    truth: PrefMatrix,
+}
+
+impl DriftingWorld {
+    /// Epoch-0 world.
+    ///
+    /// # Panics
+    /// Panics on inconsistent sizes (community larger than `n`, drift
+    /// larger than `m`).
+    pub fn new(config: DriftConfig, seed: u64) -> Self {
+        assert!(config.community_size <= config.n, "community exceeds n");
+        assert!(config.d <= config.m, "diameter exceeds m");
+        assert!(config.center_drift <= config.m, "drift exceeds m");
+        assert!(config.noise_churn <= config.m, "churn exceeds m");
+        let mut rng = rng_for(seed, tags::GENERATOR, 30);
+        let center = BitVec::random(config.m, &mut rng);
+        let mut ids: Vec<PlayerId> = (0..config.n).collect();
+        ids.shuffle(&mut rng);
+        let mut community: Vec<PlayerId> = ids[..config.community_size].to_vec();
+        community.sort_unstable();
+        let truth = Self::materialize(&config, &center, &community, seed, 0);
+        DriftingWorld {
+            config,
+            seed,
+            epoch: 0,
+            center,
+            community,
+            truth,
+        }
+    }
+
+    fn materialize(
+        config: &DriftConfig,
+        center: &BitVec,
+        community: &[PlayerId],
+        seed: u64,
+        epoch: u64,
+    ) -> PrefMatrix {
+        let mut member = vec![false; config.n];
+        for &p in community {
+            member[p] = true;
+        }
+        let rows: Vec<BitVec> = (0..config.n)
+            .map(|p| {
+                let mut rng = rng_for(derive(seed, tags::GENERATOR, epoch), 31, p as u64);
+                if member[p] {
+                    let mut v = center.clone();
+                    v.flip_random(config.d / 2, &mut rng);
+                    v
+                } else {
+                    BitVec::random(config.m, &mut rng)
+                }
+            })
+            .collect();
+        PrefMatrix::new(rows)
+    }
+
+    /// Advance one epoch: drift the center, re-deviate members, churn
+    /// the background.
+    pub fn advance(&mut self) {
+        self.epoch += 1;
+        let mut rng = rng_for(derive(self.seed, tags::GENERATOR, self.epoch), 32, 0);
+        self.center.flip_random(self.config.center_drift, &mut rng);
+        // Members re-deviate from the drifted center; background churns.
+        let mut member = vec![false; self.config.n];
+        for &p in &self.community {
+            member[p] = true;
+        }
+        let prev = self.truth.clone();
+        let rows: Vec<BitVec> = (0..self.config.n)
+            .map(|p| {
+                let mut prng =
+                    rng_for(derive(self.seed, tags::GENERATOR, self.epoch), 33, p as u64);
+                if member[p] {
+                    let mut v = self.center.clone();
+                    v.flip_random(self.config.d / 2, &mut prng);
+                    v
+                } else {
+                    let mut v = prev.row(p).clone();
+                    v.flip_random(self.config.noise_churn, &mut prng);
+                    v
+                }
+            })
+            .collect();
+        self.truth = PrefMatrix::new(rows);
+    }
+
+    /// Current epoch index.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Snapshot the current epoch as an [`Instance`] (for running any
+    /// static algorithm on it).
+    pub fn instance(&self) -> Instance {
+        Instance {
+            truth: self.truth.clone(),
+            communities: vec![self.community.clone()],
+            target_diameters: vec![self.config.d],
+            descriptor: format!(
+                "drifting(epoch={}, n={}, m={}, k={}, D≤{}, drift={}, churn={})",
+                self.epoch,
+                self.config.n,
+                self.config.m,
+                self.config.community_size,
+                self.config.d,
+                self.config.center_drift,
+                self.config.noise_churn
+            ),
+        }
+    }
+
+    /// Current hidden truth (test/metric use).
+    pub fn truth(&self) -> &PrefMatrix {
+        &self.truth
+    }
+
+    /// The (time-invariant) community membership.
+    pub fn community(&self) -> &[PlayerId] {
+        &self.community
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> DriftConfig {
+        DriftConfig {
+            n: 64,
+            m: 256,
+            community_size: 32,
+            d: 6,
+            center_drift: 10,
+            noise_churn: 16,
+        }
+    }
+
+    #[test]
+    fn community_diameter_invariant_across_epochs() {
+        let mut world = DriftingWorld::new(config(), 1);
+        for _ in 0..5 {
+            let inst = world.instance();
+            assert!(inst.realized_diameter() <= 6, "epoch {}", world.epoch());
+            world.advance();
+        }
+    }
+
+    #[test]
+    fn drift_actually_changes_the_community_content() {
+        let mut world = DriftingWorld::new(config(), 2);
+        let p = world.community()[0];
+        let before = world.truth().row(p).clone();
+        world.advance();
+        let after = world.truth().row(p).clone();
+        let moved = before.hamming(&after);
+        // Center drift 10 plus re-deviation 2·(d/2): movement in
+        // (0, 10 + 6]; overwhelmingly nonzero.
+        assert!(moved > 0, "member never moved");
+        assert!(moved <= 10 + 6, "moved {moved} > drift + deviation");
+    }
+
+    #[test]
+    fn stale_estimates_decay_with_epochs() {
+        // An epoch-0 exact estimate degrades monotonically-ish in
+        // expectation as the world drifts.
+        let mut world = DriftingWorld::new(config(), 3);
+        let p = world.community()[0];
+        let snapshot = world.truth().row(p).clone();
+        let mut errors = Vec::new();
+        for _ in 0..4 {
+            world.advance();
+            errors.push(snapshot.hamming(world.truth().row(p)));
+        }
+        assert!(errors[0] > 0);
+        assert!(
+            *errors.last().unwrap() >= errors[0],
+            "drift not accumulating: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn background_churns_but_membership_is_fixed() {
+        let mut world = DriftingWorld::new(config(), 4);
+        let members_before = world.community().to_vec();
+        let outsider = (0..64).find(|p| !members_before.contains(p)).unwrap();
+        let row_before = world.truth().row(outsider).clone();
+        world.advance();
+        assert_eq!(world.community(), &members_before[..]);
+        assert_eq!(row_before.hamming(world.truth().row(outsider)), 16);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = DriftingWorld::new(config(), 5);
+        let mut b = DriftingWorld::new(config(), 5);
+        for _ in 0..3 {
+            a.advance();
+            b.advance();
+        }
+        assert_eq!(a.truth(), b.truth());
+    }
+}

@@ -1,0 +1,94 @@
+//! Synthetic instance generators.
+//!
+//! The paper's guarantees are worst-case over preference matrices, so
+//! the experiment suite draws instances from several regimes:
+//!
+//! * [`planted`] — a hidden `(α, D)`-typical community inside otherwise
+//!   uniform noise: the setting of Theorems 3.1, 4.4, 5.4 and 1.1;
+//!   includes decoy variants (players *just* outside the community) and
+//!   nested communities for the anytime/unknown-α experiments.
+//! * [`adversarial`] — unrestricted-diversity matrices on which
+//!   generative-model baselines break (the paper's §1 motivation);
+//! * [`types`] — low-entropy generative models (orthogonal canonical
+//!   types with noise, Bernoulli "Markov type" mixtures) where spectral
+//!   methods are known to shine; used to show *both* methods work there,
+//!   so the adversarial contrast of experiment E9 is meaningful.
+
+pub mod adversarial;
+pub mod dynamic;
+pub mod planted;
+pub mod types;
+
+use crate::matrix::{PlayerId, PrefMatrix};
+
+/// A generated problem instance: the hidden truth plus the ground-truth
+/// community structure that the generator planted (used only for
+/// evaluation — algorithms never see it).
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Hidden preference matrix.
+    pub truth: PrefMatrix,
+    /// Planted communities, largest/loosest first. May be empty for
+    /// fully adversarial instances.
+    pub communities: Vec<Vec<PlayerId>>,
+    /// The generation-time target diameter of each community (the actual
+    /// realized diameter can be smaller; metrics always recompute it).
+    pub target_diameters: Vec<usize>,
+    /// Human-readable description for experiment tables.
+    pub descriptor: String,
+}
+
+impl Instance {
+    /// Number of players.
+    pub fn n(&self) -> usize {
+        self.truth.n()
+    }
+
+    /// Number of objects.
+    pub fn m(&self) -> usize {
+        self.truth.m()
+    }
+
+    /// The primary planted community (panics if none exists).
+    pub fn community(&self) -> &[PlayerId] {
+        &self.communities[0]
+    }
+
+    /// Realized diameter of the primary community.
+    pub fn realized_diameter(&self) -> usize {
+        self.truth.diameter_of(self.community())
+    }
+
+    /// `α` of the primary community: `|P*| / n`.
+    pub fn alpha(&self) -> f64 {
+        self.community().len() as f64 / self.n() as f64
+    }
+}
+
+pub use dynamic::{DriftConfig, DriftingWorld};
+pub use adversarial::{adversarial_clusters, powerlaw_clusters, select_hard_case, smeared_clusters, uniform_noise};
+pub use planted::{at_distance, nested_communities, planted_community, planted_with_decoys};
+pub use types::{bernoulli_types, orthogonal_types};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_accessors() {
+        let inst = planted_community(40, 60, 20, 4, 9);
+        assert_eq!(inst.n(), 40);
+        assert_eq!(inst.m(), 60);
+        assert_eq!(inst.community().len(), 20);
+        assert!((inst.alpha() - 0.5).abs() < 1e-12);
+        assert!(inst.realized_diameter() <= 4);
+        assert!(inst.descriptor.contains("planted"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn community_on_structureless_instance_panics() {
+        let inst = uniform_noise(4, 4, 0);
+        let _ = inst.community();
+    }
+}

@@ -1,0 +1,312 @@
+//! Planted-community instances — the canonical workloads of the paper.
+//!
+//! A community of `k` players is planted around a hidden center vector:
+//! each member flips `⌊d/2⌋` random coordinates of the center, so any
+//! two members are within `2·⌊d/2⌋ ≤ d` of each other (triangle
+//! inequality); `d = 0` gives the identical-preferences setting of
+//! Algorithm Zero Radius. All other players draw uniformly random
+//! vectors — maximal diversity, per the paper's "no assumptions on user
+//! preferences".
+
+use super::Instance;
+use crate::bitvec::BitVec;
+use crate::matrix::{PlayerId, PrefMatrix};
+use crate::rng::{rng_for, tags};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Plant one community of `community_size` players with pairwise
+/// diameter at most `d` inside an `n × m` uniform-noise matrix.
+///
+/// Community member ids are a uniformly random subset of `0..n`, so
+/// algorithms cannot exploit id locality.
+///
+/// # Panics
+/// Panics if `community_size > n` or `d > m`.
+pub fn planted_community(
+    n: usize,
+    m: usize,
+    community_size: usize,
+    d: usize,
+    seed: u64,
+) -> Instance {
+    assert!(community_size <= n, "community larger than population");
+    assert!(d <= m, "target diameter exceeds object count");
+    let mut rng = rng_for(seed, tags::GENERATOR, 0);
+
+    let center = BitVec::random(m, &mut rng);
+    let mut ids: Vec<PlayerId> = (0..n).collect();
+    ids.shuffle(&mut rng);
+    let mut community: Vec<PlayerId> = ids[..community_size].to_vec();
+    community.sort_unstable();
+
+    let mut rows: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(m)).collect();
+    let member = {
+        let mut is_member = vec![false; n];
+        for &p in &community {
+            is_member[p] = true;
+        }
+        is_member
+    };
+    for (p, row) in rows.iter_mut().enumerate() {
+        if member[p] {
+            let mut v = center.clone();
+            v.flip_random(d / 2, &mut rng);
+            *row = v;
+        } else {
+            *row = BitVec::random(m, &mut rng);
+        }
+    }
+
+    Instance {
+        truth: PrefMatrix::new(rows),
+        communities: vec![community],
+        target_diameters: vec![d],
+        descriptor: format!("planted(n={n}, m={m}, k={community_size}, D≤{d})"),
+    }
+}
+
+/// Like [`planted_community`], plus `decoy_count` decoy players placed at
+/// Hamming distance exactly `decoy_distance` from the community center.
+/// With `decoy_distance` slightly above `d` the decoys sit *just*
+/// outside the community — the hard case for clustering thresholds
+/// (exercised by Coalesce and the E9/E12 experiments).
+pub fn planted_with_decoys(
+    n: usize,
+    m: usize,
+    community_size: usize,
+    d: usize,
+    decoy_count: usize,
+    decoy_distance: usize,
+    seed: u64,
+) -> Instance {
+    assert!(
+        community_size + decoy_count <= n,
+        "community plus decoys exceed population"
+    );
+    assert!(decoy_distance <= m, "decoy distance exceeds object count");
+    let mut rng = rng_for(seed, tags::GENERATOR, 1);
+
+    let center = BitVec::random(m, &mut rng);
+    let mut ids: Vec<PlayerId> = (0..n).collect();
+    ids.shuffle(&mut rng);
+    let mut community: Vec<PlayerId> = ids[..community_size].to_vec();
+    community.sort_unstable();
+    let decoys: Vec<PlayerId> = ids[community_size..community_size + decoy_count].to_vec();
+
+    let mut role = vec![0u8; n]; // 0 noise, 1 member, 2 decoy
+    for &p in &community {
+        role[p] = 1;
+    }
+    for &p in &decoys {
+        role[p] = 2;
+    }
+
+    let rows: Vec<BitVec> = (0..n)
+        .map(|p| match role[p] {
+            1 => {
+                let mut v = center.clone();
+                v.flip_random(d / 2, &mut rng);
+                v
+            }
+            2 => {
+                let mut v = center.clone();
+                v.flip_random(decoy_distance, &mut rng);
+                v
+            }
+            _ => BitVec::random(m, &mut rng),
+        })
+        .collect();
+
+    Instance {
+        truth: PrefMatrix::new(rows),
+        communities: vec![community],
+        target_diameters: vec![d],
+        descriptor: format!(
+            "planted+decoys(n={n}, m={m}, k={community_size}, D≤{d}, {decoy_count}@{decoy_distance})"
+        ),
+    }
+}
+
+/// Nested communities around one center: `specs[i] = (sizeᵢ, dᵢ)` with
+/// sizes *decreasing* and radii *decreasing*, community `i+1` a subset of
+/// community `i`. Community `i` consists of the first `sizeᵢ` chosen
+/// players, each within `dᵢ/2` of the center (members of tighter
+/// communities are also members of looser ones, so community `i` has
+/// diameter ≤ dᵢ). This is the anytime/unknown-α workload (E10): as the
+/// budget grows the algorithm should lock onto progressively tighter
+/// subcommunities.
+///
+/// # Panics
+/// Panics unless sizes and radii are non-increasing and fit in `n`/`m`.
+pub fn nested_communities(n: usize, m: usize, specs: &[(usize, usize)], seed: u64) -> Instance {
+    assert!(!specs.is_empty(), "need at least one community spec");
+    for w in specs.windows(2) {
+        assert!(
+            w[0].0 >= w[1].0 && w[0].1 >= w[1].1,
+            "specs must be non-increasing in size and diameter"
+        );
+    }
+    assert!(specs[0].0 <= n, "largest community exceeds population");
+    assert!(specs[0].1 <= m, "largest diameter exceeds object count");
+    let mut rng = rng_for(seed, tags::GENERATOR, 2);
+
+    let center = BitVec::random(m, &mut rng);
+    let mut ids: Vec<PlayerId> = (0..n).collect();
+    ids.shuffle(&mut rng);
+    let chosen = &ids[..specs[0].0];
+
+    // radius[p] = d/2 of the tightest community containing p.
+    let mut rows: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(m)).collect();
+    let mut communities: Vec<Vec<PlayerId>> = Vec::with_capacity(specs.len());
+    for &(size, d) in specs {
+        let mut c: Vec<PlayerId> = chosen[..size].to_vec();
+        c.sort_unstable();
+        communities.push(c);
+        let _ = d;
+    }
+    let mut tight_radius: Vec<Option<usize>> = vec![None; n];
+    for &(size, d) in specs {
+        // Later (tighter) specs overwrite: iterate loosest→tightest.
+        for &p in &chosen[..size] {
+            tight_radius[p] = Some(d / 2);
+        }
+    }
+    for (p, row) in rows.iter_mut().enumerate() {
+        *row = match tight_radius[p] {
+            Some(r) => {
+                let mut v = center.clone();
+                v.flip_random(r, &mut rng);
+                v
+            }
+            None => BitVec::random(m, &mut rng),
+        };
+    }
+
+    Instance {
+        truth: PrefMatrix::new(rows),
+        communities,
+        target_diameters: specs.iter().map(|&(_, d)| d).collect(),
+        descriptor: format!("nested(n={n}, m={m}, specs={specs:?})"),
+    }
+}
+
+/// A convenience check used in tests: is `players` really a set of
+/// pairwise-distance ≤ `d` vectors under `truth`?
+pub fn verify_community(truth: &PrefMatrix, players: &[PlayerId], d: usize) -> bool {
+    truth.diameter_of(players) <= d
+}
+
+/// Sample a uniformly random vector at exact Hamming distance `d` from
+/// `base` (helper shared with other generators).
+pub fn at_distance<R: Rng + ?Sized>(base: &BitVec, d: usize, rng: &mut R) -> BitVec {
+    let mut v = base.clone();
+    v.flip_random(d, rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_community_respects_diameter() {
+        for d in [0usize, 2, 8, 16] {
+            let inst = planted_community(64, 128, 32, d, 42);
+            assert_eq!(inst.n(), 64);
+            assert_eq!(inst.m(), 128);
+            assert_eq!(inst.community().len(), 32);
+            assert!(inst.realized_diameter() <= d, "diameter exceeds target {d}");
+        }
+    }
+
+    #[test]
+    fn zero_diameter_means_identical_vectors() {
+        let inst = planted_community(32, 64, 16, 0, 7);
+        let c = inst.community();
+        let first = inst.truth.row(c[0]);
+        assert!(c.iter().all(|&p| inst.truth.row(p) == first));
+    }
+
+    #[test]
+    fn community_ids_are_random_subset_sorted() {
+        let inst = planted_community(100, 64, 30, 4, 9);
+        let c = inst.community();
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+        assert!(c.iter().all(|&p| p < 100));
+        // Not simply 0..30 (astronomically unlikely with this seed).
+        assert_ne!(c, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn noise_players_are_far_from_community() {
+        // With m = 512, random outsiders sit around distance m/2 ± noise
+        // from the center; far outside a d = 8 community.
+        let inst = planted_community(64, 512, 32, 8, 11);
+        let c = inst.community();
+        let center_ish = inst.truth.row(c[0]);
+        let outsiders: Vec<_> = (0..64).filter(|p| !c.contains(p)).collect();
+        for &p in &outsiders {
+            assert!(inst.truth.player_dist(c[0], p) > 100);
+        }
+        let _ = center_ish;
+    }
+
+    #[test]
+    fn decoys_sit_at_prescribed_distance() {
+        let inst = planted_with_decoys(64, 512, 16, 4, 8, 40, 13);
+        // Decoys are at distance 40 ± 4/2 from any member (center ±).
+        let c = inst.community();
+        assert!(verify_community(&inst.truth, c, 4));
+        // Count players within distance 60 of a member but not in the
+        // community: should be ≥ the 8 decoys.
+        let near: Vec<_> = (0..64)
+            .filter(|&p| !c.contains(&p) && inst.truth.player_dist(c[0], p) <= 60)
+            .collect();
+        assert!(near.len() >= 8, "expected decoys near the community");
+    }
+
+    #[test]
+    fn nested_communities_are_nested_and_bounded() {
+        let specs = [(40, 32), (20, 16), (10, 4)];
+        let inst = nested_communities(80, 256, &specs, 17);
+        assert_eq!(inst.communities.len(), 3);
+        for (i, &(size, d)) in specs.iter().enumerate() {
+            assert_eq!(inst.communities[i].len(), size);
+            assert!(
+                inst.truth.diameter_of(&inst.communities[i]) <= d,
+                "community {i} exceeds diameter {d}"
+            );
+        }
+        // Nesting: community i+1 ⊆ community i.
+        for w in inst.communities.windows(2) {
+            assert!(w[1].iter().all(|p| w[0].contains(p)));
+        }
+    }
+
+    #[test]
+    fn at_distance_is_exact() {
+        let mut rng = rng_for(1, tags::GENERATOR, 99);
+        let base = BitVec::random(200, &mut rng);
+        for d in [0usize, 1, 7, 50] {
+            let v = at_distance(&base, d, &mut rng);
+            assert_eq!(base.hamming(&v), d);
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = planted_community(40, 64, 20, 6, 123);
+        let b = planted_community(40, 64, 20, 6, 123);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.communities, b.communities);
+        let c = planted_community(40, 64, 20, 6, 124);
+        assert_ne!(a.truth, c.truth);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than population")]
+    fn oversized_community_panics() {
+        planted_community(10, 20, 11, 0, 0);
+    }
+}

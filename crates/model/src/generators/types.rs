@@ -1,0 +1,178 @@
+//! Low-entropy generative "type" models from the non-interactive
+//! literature (§2 of the paper).
+//!
+//! These are the regimes where SVD/spectral reconstruction provably
+//! works: a few canonical preference vectors plus independent noise
+//! (Drineas et al., Azar et al.) or per-type Bernoulli object
+//! distributions (Kumar et al.; Kleinberg–Sandler). We generate them to
+//! give the spectral baseline its best case in experiment E9 — the
+//! paper's contrast is that the interactive algorithm matches it here
+//! *and* keeps working on the adversarial instances next door.
+
+use super::Instance;
+use crate::bitvec::BitVec;
+use crate::matrix::{PlayerId, PrefMatrix};
+use crate::rng::{rng_for, tags};
+use rand::Rng;
+
+/// `k` canonical types with pairwise-disjoint supports (type `t` likes
+/// exactly the objects of block `t`), each player drawn as a uniform
+/// type plus independent per-coordinate noise with flip probability
+/// `noise`. With disjoint blocks the types are orthogonal — the
+/// assumption of \[6\] — and the singular-value gap is maximal.
+///
+/// Communities: one per type, listing the players whose noiseless vector
+/// was that type (largest first).
+pub fn orthogonal_types(n: usize, m: usize, k: usize, noise: f64, seed: u64) -> Instance {
+    assert!(k >= 1 && k <= m, "need 1 ≤ k ≤ m types");
+    assert!((0.0..=0.5).contains(&noise), "noise must lie in [0, 0.5]");
+    let mut rng = rng_for(seed, tags::GENERATOR, 20);
+
+    // Canonical vectors: indicator of contiguous blocks.
+    let block = m / k;
+    let canon: Vec<BitVec> = (0..k)
+        .map(|t| {
+            BitVec::from_fn(m, |j| {
+                let end = if t == k - 1 { m } else { (t + 1) * block };
+                j >= t * block && j < end
+            })
+        })
+        .collect();
+
+    let mut communities: Vec<Vec<PlayerId>> = vec![Vec::new(); k];
+    let rows: Vec<BitVec> = (0..n)
+        .map(|p| {
+            let t = rng.gen_range(0..k);
+            communities[t].push(p);
+            let mut v = canon[t].clone();
+            if noise > 0.0 {
+                for j in 0..m {
+                    if rng.gen_bool(noise) {
+                        v.flip(j);
+                    }
+                }
+            }
+            v
+        })
+        .collect();
+
+    communities.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    communities.retain(|c| !c.is_empty());
+    // Expected intra-type distance ≈ 2·noise·(1-noise)·m; report the
+    // generation-time envelope 4·noise·m (loose upper bound whp).
+    let d_target = ((4.0 * noise * m as f64).ceil() as usize).min(m);
+    let diam = vec![d_target; communities.len()];
+    Instance {
+        truth: PrefMatrix::new(rows),
+        communities,
+        target_diameters: diam,
+        descriptor: format!("orthogonal-types(n={n}, m={m}, k={k}, noise={noise})"),
+    }
+}
+
+/// Bernoulli "type" mixture: each of the `k` types is a vector of
+/// per-object like-probabilities drawn uniformly from `[0, 1]`; each
+/// player picks a uniform type and samples every coordinate
+/// independently from its type's probabilities (the probabilistic
+/// recommendation model of Kumar et al. \[12\]).
+///
+/// Communities group players by type. Unlike [`orthogonal_types`] the
+/// intra-type diameter here is Θ(m) — these sets are *not* tight
+/// communities, which is exactly why purely distance-based guarantees
+/// are weak in this regime and the generative baselines shine.
+pub fn bernoulli_types(n: usize, m: usize, k: usize, seed: u64) -> Instance {
+    assert!(k >= 1, "need at least one type");
+    let mut rng = rng_for(seed, tags::GENERATOR, 21);
+
+    let probs: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..m).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+
+    let mut communities: Vec<Vec<PlayerId>> = vec![Vec::new(); k];
+    let rows: Vec<BitVec> = (0..n)
+        .map(|p| {
+            let t = rng.gen_range(0..k);
+            communities[t].push(p);
+            BitVec::from_fn(m, |j| rng.gen_bool(probs[t][j]))
+        })
+        .collect();
+
+    communities.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    communities.retain(|c| !c.is_empty());
+    let diam = vec![m; communities.len()];
+    Instance {
+        truth: PrefMatrix::new(rows),
+        communities,
+        target_diameters: diam,
+        descriptor: format!("bernoulli-types(n={n}, m={m}, k={k})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orthogonal_types_noiseless_are_canonical() {
+        let inst = orthogonal_types(40, 120, 4, 0.0, 3);
+        // Every community has diameter 0 and its members share a vector
+        // of weight m/k = 30 (last block may differ; here it divides).
+        for c in &inst.communities {
+            assert_eq!(inst.truth.diameter_of(c), 0);
+            assert_eq!(inst.truth.row(c[0]).count_ones(), 30);
+        }
+        // Different types are orthogonal: distance = 60.
+        let a = inst.communities[0][0];
+        let b = inst.communities[1][0];
+        assert_eq!(inst.truth.player_dist(a, b), 60);
+    }
+
+    #[test]
+    fn orthogonal_types_noise_scales_diameter() {
+        let inst = orthogonal_types(60, 300, 3, 0.05, 4);
+        for c in &inst.communities {
+            if c.len() >= 2 {
+                let d = inst.truth.diameter_of(c);
+                // Expected pairwise ≈ 2·0.05·0.95·300 ≈ 28.5; the 4·noise·m
+                // envelope is 60.
+                assert!(d <= 60, "diameter {d} above envelope");
+                assert!(d > 0, "noise should create some spread");
+            }
+        }
+    }
+
+    #[test]
+    fn communities_partition_players() {
+        for inst in [
+            orthogonal_types(50, 100, 5, 0.02, 6),
+            bernoulli_types(50, 100, 5, 6),
+        ] {
+            let mut all: Vec<PlayerId> = inst.communities.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..50).collect::<Vec<_>>());
+            // Sorted largest-first.
+            for w in inst.communities.windows(2) {
+                assert!(w[0].len() >= w[1].len());
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_types_have_wide_diameter() {
+        let inst = bernoulli_types(40, 400, 2, 8);
+        let big = &inst.communities[0];
+        assert!(big.len() >= 2);
+        // Independent Bernoulli draws disagree on Θ(m) coordinates.
+        assert!(inst.truth.diameter_of(big) > 50);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = orthogonal_types(30, 60, 3, 0.1, 99);
+        let b = orthogonal_types(30, 60, 3, 0.1, 99);
+        assert_eq!(a.truth, b.truth);
+        let c = bernoulli_types(30, 60, 3, 99);
+        let d = bernoulli_types(30, 60, 3, 99);
+        assert_eq!(c.truth, d.truth);
+    }
+}

@@ -1,0 +1,233 @@
+//! Plain-text serialization of instances (no serde dependency).
+//!
+//! Format (line oriented, `#`-prefixed comments ignored):
+//!
+//! ```text
+//! tmwia-instance v1
+//! n <players> m <objects>
+//! descriptor <free text>
+//! community <target-diameter> <id> <id> …     # zero or more lines
+//! row <hex of the player's bit vector, LSB-first per nibble-packed word>
+//! …exactly n row lines…
+//! ```
+//!
+//! Rows are hex-encoded from the `BitVec`'s little-endian `u64` words,
+//! truncated to `⌈m/4⌉` nibbles. The format round-trips exactly and is
+//! diff-friendly, which is all the CLI needs.
+
+use crate::bitvec::BitVec;
+use crate::generators::Instance;
+use crate::matrix::{PlayerId, PrefMatrix};
+use std::fmt::Write as _;
+
+/// Serialization/parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// First line was not the expected magic.
+    BadMagic,
+    /// A structural line was malformed.
+    Malformed(String),
+    /// Row count does not match the header.
+    WrongRowCount { expected: usize, found: usize },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::BadMagic => write!(f, "missing 'tmwia-instance v1' header"),
+            IoError::Malformed(l) => write!(f, "malformed line: {l}"),
+            IoError::WrongRowCount { expected, found } => {
+                write!(f, "expected {expected} rows, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn bits_to_hex(v: &BitVec) -> String {
+    let nibbles = v.len().div_ceil(4);
+    let mut s = String::with_capacity(nibbles);
+    for i in 0..nibbles {
+        let word = v.words().get(i / 16).copied().unwrap_or(0);
+        let nib = ((word >> ((i % 16) * 4)) & 0xF) as u32;
+        s.push(char::from_digit(nib, 16).expect("nibble"));
+    }
+    s
+}
+
+fn hex_to_bits(hex: &str, len: usize) -> Result<BitVec, IoError> {
+    let mut v = BitVec::zeros(len);
+    for (i, ch) in hex.chars().enumerate() {
+        let nib = ch
+            .to_digit(16)
+            .ok_or_else(|| IoError::Malformed(format!("bad hex char '{ch}'")))?;
+        for b in 0..4 {
+            let idx = i * 4 + b;
+            if idx < len && (nib >> b) & 1 == 1 {
+                v.set(idx, true);
+            }
+        }
+    }
+    Ok(v)
+}
+
+/// Serialize an instance to the v1 text format.
+pub fn write_instance(inst: &Instance) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "tmwia-instance v1");
+    let _ = writeln!(out, "n {} m {}", inst.n(), inst.m());
+    let _ = writeln!(out, "descriptor {}", inst.descriptor.replace('\n', " "));
+    for (c, d) in inst.communities.iter().zip(&inst.target_diameters) {
+        let ids: Vec<String> = c.iter().map(|p| p.to_string()).collect();
+        let _ = writeln!(out, "community {} {}", d, ids.join(" "));
+    }
+    for row in inst.truth.rows() {
+        let _ = writeln!(out, "row {}", bits_to_hex(row));
+    }
+    out
+}
+
+/// Parse the v1 text format.
+pub fn read_instance(text: &str) -> Result<Instance, IoError> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    if lines.next() != Some("tmwia-instance v1") {
+        return Err(IoError::BadMagic);
+    }
+    let header = lines
+        .next()
+        .ok_or_else(|| IoError::Malformed("missing size line".into()))?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    let (n, m) = match parts.as_slice() {
+        ["n", n, "m", m] => (
+            n.parse::<usize>()
+                .map_err(|_| IoError::Malformed(header.into()))?,
+            m.parse::<usize>()
+                .map_err(|_| IoError::Malformed(header.into()))?,
+        ),
+        _ => return Err(IoError::Malformed(header.into())),
+    };
+
+    let mut descriptor = String::from("(loaded)");
+    let mut communities: Vec<Vec<PlayerId>> = Vec::new();
+    let mut target_diameters: Vec<usize> = Vec::new();
+    let mut rows: Vec<BitVec> = Vec::with_capacity(n);
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("descriptor ") {
+            descriptor = rest.to_string();
+        } else if let Some(rest) = line.strip_prefix("community ") {
+            let mut it = rest.split_whitespace();
+            let d = it
+                .next()
+                .and_then(|x| x.parse::<usize>().ok())
+                .ok_or_else(|| IoError::Malformed(line.into()))?;
+            let ids: Result<Vec<PlayerId>, _> = it.map(|x| x.parse::<PlayerId>()).collect();
+            let ids = ids.map_err(|_| IoError::Malformed(line.into()))?;
+            if ids.iter().any(|&p| p >= n) {
+                return Err(IoError::Malformed(format!("player id out of range: {line}")));
+            }
+            target_diameters.push(d);
+            communities.push(ids);
+        } else if let Some(rest) = line.strip_prefix("row ") {
+            rows.push(hex_to_bits(rest, m)?);
+        } else {
+            return Err(IoError::Malformed(line.into()));
+        }
+    }
+    if rows.len() != n {
+        return Err(IoError::WrongRowCount {
+            expected: n,
+            found: rows.len(),
+        });
+    }
+    Ok(Instance {
+        truth: PrefMatrix::new(rows),
+        communities,
+        target_diameters,
+        descriptor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{planted_community, uniform_noise};
+
+    #[test]
+    fn hex_roundtrip_various_lengths() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [1usize, 4, 5, 63, 64, 65, 130, 257] {
+            let v = BitVec::random(len, &mut rng);
+            let hex = bits_to_hex(&v);
+            assert_eq!(hex.len(), len.div_ceil(4));
+            assert_eq!(hex_to_bits(&hex, len).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn instance_roundtrip() {
+        let inst = planted_community(20, 33, 10, 4, 7);
+        let text = write_instance(&inst);
+        let back = read_instance(&text).unwrap();
+        assert_eq!(back.truth, inst.truth);
+        assert_eq!(back.communities, inst.communities);
+        assert_eq!(back.target_diameters, inst.target_diameters);
+        assert_eq!(back.descriptor, inst.descriptor);
+    }
+
+    #[test]
+    fn roundtrip_without_communities() {
+        let inst = uniform_noise(5, 16, 2);
+        let back = read_instance(&write_instance(&inst)).unwrap();
+        assert!(back.communities.is_empty());
+        assert_eq!(back.truth, inst.truth);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let inst = planted_community(4, 8, 2, 0, 3);
+        let mut text = write_instance(&inst);
+        text = text.replace("descriptor", "# a comment\n\ndescriptor");
+        assert!(read_instance(&text).is_ok());
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(read_instance("nope"), Err(IoError::BadMagic)));
+        assert!(matches!(
+            read_instance("tmwia-instance v1\nbogus"),
+            Err(IoError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_instance("tmwia-instance v1\nn 3 m 8\nrow 00"),
+            Err(IoError::WrongRowCount {
+                expected: 3,
+                found: 1
+            })
+        ));
+        assert!(matches!(
+            read_instance("tmwia-instance v1\nn 1 m 8\ncommunity 0 5\nrow 00"),
+            Err(IoError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_instance("tmwia-instance v1\nn 1 m 8\nrow zz"),
+            Err(IoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(IoError::BadMagic.to_string().contains("header"));
+        assert!(IoError::WrongRowCount {
+            expected: 2,
+            found: 1
+        }
+        .to_string()
+        .contains("expected 2"));
+    }
+}

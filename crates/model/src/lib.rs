@@ -1,0 +1,41 @@
+//! # tmwia-model
+//!
+//! Data model for the interactive recommendation system of
+//! Alon, Awerbuch, Azar and Patt-Shamir, *"Tell Me Who I Am: An
+//! Interactive Recommendation System"* (SPAA 2006).
+//!
+//! The paper's universe is fully described by a binary matrix: `n`
+//! players (rows) times `m` objects (columns), entry `(p, j)` being
+//! player `p`'s unknown grade of object `j`. This crate provides:
+//!
+//! * [`BitVec`] — cache-friendly bit-packed binary vectors with popcount
+//!   Hamming kernels ([`distance`]);
+//! * [`TernaryVec`] — vectors over `{0, 1, ?}` with the paper's `d̃`
+//!   metric (Notation 3.2), used by Algorithm Coalesce and Large Radius;
+//! * [`PrefMatrix`] — the ground-truth preference matrix plus the
+//!   quality metrics of §1.1 (diameter `D`, discrepancy `Δ`, stretch `ρ`)
+//!   in [`metrics`];
+//! * [`partition`] — the random object/player partitions used by
+//!   Algorithms Small Radius and Large Radius (each coordinate lands in a
+//!   uniformly chosen part, exactly as Lemma 4.1 assumes);
+//! * [`generators`] — synthetic instances: planted communities,
+//!   adversarial diversity, low-rank "type" models and nearly-orthogonal
+//!   types (the regime where SVD baselines are competitive);
+//! * [`rng`] — deterministic seed-derivation (SplitMix64) so that the
+//!   parallel simulation is bit-reproducible for a given master seed.
+
+pub mod bitvec;
+pub mod distance;
+pub mod generators;
+pub mod io;
+pub mod matrix;
+pub mod metrics;
+pub mod partition;
+pub mod rng;
+pub mod ternary;
+
+pub use bitvec::BitVec;
+pub use generators::Instance;
+pub use matrix::{ObjectId, PlayerId, PrefMatrix};
+pub use metrics::{diameter, discrepancy, stretch, CommunityReport};
+pub use ternary::TernaryVec;

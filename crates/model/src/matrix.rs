@@ -1,0 +1,151 @@
+//! The ground-truth preference matrix.
+//!
+//! Rows are players, columns are objects; entry `(p, j)` is player `p`'s
+//! grade of object `j` (Definition 1.1). In the paper this matrix is
+//! *unknown* to everyone — players learn entries of their own row only by
+//! probing. The simulation therefore keeps the matrix inside the probe
+//! engine (`tmwia-billboard`), which charges unit cost per access;
+//! algorithms never touch [`PrefMatrix`] directly. Tests and metrics do,
+//! since the analysis compares outputs against the hidden truth.
+
+use crate::bitvec::BitVec;
+
+/// Index of a player (a row). Kept as a plain `usize` for ergonomic
+/// indexing; the engine validates ranges at its boundary.
+pub type PlayerId = usize;
+
+/// Index of an object (a column).
+pub type ObjectId = usize;
+
+/// An `n × m` binary preference matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefMatrix {
+    rows: Vec<BitVec>,
+    m: usize,
+}
+
+impl PrefMatrix {
+    /// Build from per-player rows. All rows must share one length.
+    ///
+    /// # Panics
+    /// Panics if rows disagree on length or `rows` is empty.
+    pub fn new(rows: Vec<BitVec>) -> Self {
+        assert!(!rows.is_empty(), "a preference matrix needs ≥ 1 player");
+        let m = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == m),
+            "all preference vectors must have the same length"
+        );
+        PrefMatrix { rows, m }
+    }
+
+    /// Build from a predicate `f(player, object)`.
+    pub fn from_fn(n: usize, m: usize, mut f: impl FnMut(PlayerId, ObjectId) -> bool) -> Self {
+        PrefMatrix::new(
+            (0..n)
+                .map(|p| BitVec::from_fn(m, |j| f(p, j)))
+                .collect(),
+        )
+    }
+
+    /// Number of players `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of objects `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Ground-truth grade of object `j` for player `p`.
+    #[inline]
+    pub fn value(&self, p: PlayerId, j: ObjectId) -> bool {
+        self.rows[p].get(j)
+    }
+
+    /// Player `p`'s full preference vector `v(p)`.
+    #[inline]
+    pub fn row(&self, p: PlayerId) -> &BitVec {
+        &self.rows[p]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[BitVec] {
+        &self.rows
+    }
+
+    /// Hamming distance between two players' vectors.
+    pub fn player_dist(&self, p: PlayerId, q: PlayerId) -> usize {
+        self.rows[p].hamming(&self.rows[q])
+    }
+
+    /// Diameter `D(S)` of a player subset: max pairwise Hamming distance
+    /// of their preference vectors (§1.1).
+    pub fn diameter_of(&self, players: &[PlayerId]) -> usize {
+        let mut best = 0;
+        for (i, &p) in players.iter().enumerate() {
+            for &q in &players[i + 1..] {
+                best = best.max(self.player_dist(p, q));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_fn_and_accessors() {
+        let mx = PrefMatrix::from_fn(3, 5, |p, j| (p + j) % 2 == 0);
+        assert_eq!(mx.n(), 3);
+        assert_eq!(mx.m(), 5);
+        assert!(mx.value(0, 0));
+        assert!(!mx.value(0, 1));
+        assert!(!mx.value(1, 0));
+        assert_eq!(mx.row(2).count_ones(), 3);
+    }
+
+    #[test]
+    fn player_dist_symmetric() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows: Vec<BitVec> = (0..4).map(|_| BitVec::random(40, &mut rng)).collect();
+        let mx = PrefMatrix::new(rows);
+        for p in 0..4 {
+            for q in 0..4 {
+                assert_eq!(mx.player_dist(p, q), mx.player_dist(q, p));
+            }
+            assert_eq!(mx.player_dist(p, p), 0);
+        }
+    }
+
+    #[test]
+    fn diameter_of_subsets() {
+        let a = BitVec::from_bools(&[false, false, false, false]);
+        let b = BitVec::from_bools(&[true, false, false, false]);
+        let c = BitVec::from_bools(&[true, true, true, false]);
+        let mx = PrefMatrix::new(vec![a, b, c]);
+        assert_eq!(mx.diameter_of(&[0]), 0);
+        assert_eq!(mx.diameter_of(&[0, 1]), 1);
+        assert_eq!(mx.diameter_of(&[0, 1, 2]), 3);
+        assert_eq!(mx.diameter_of(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_rows_panic() {
+        PrefMatrix::new(vec![BitVec::zeros(3), BitVec::zeros(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1 player")]
+    fn empty_matrix_panics() {
+        PrefMatrix::new(vec![]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Output-quality metrics of §1.1: diameter `D`, discrepancy `Δ` and
+//! stretch `ρ`.
+//!
+//! For a player subset `P*`:
+//!
+//! * `D(P*)  = max { dist(v(p), v(q)) : p, q ∈ P* }` — how much the
+//!   community internally disagrees (the best error any collaboration
+//!   scheme can promise them, up to constants);
+//! * `Δ(P*)  = max { dist(w(p), v(p)) : p ∈ P* }` — the worst current
+//!   inaccuracy of any member's output;
+//! * `ρ(P*)  = Δ(P*) / D(P*)` — the *stretch*; Theorem 1.1 promises
+//!   `ρ = O(1)` after polylog rounds for any `P*` of linear size.
+
+use crate::bitvec::BitVec;
+use crate::matrix::{PlayerId, PrefMatrix};
+
+/// `D(P*)`: maximum pairwise Hamming distance inside the set.
+pub fn diameter(truth: &PrefMatrix, players: &[PlayerId]) -> usize {
+    truth.diameter_of(players)
+}
+
+/// `Δ(P*)`: maximum output error over the set. `outputs[p]` is `w(p)`.
+///
+/// # Panics
+/// Panics if an id in `players` has no output.
+pub fn discrepancy(truth: &PrefMatrix, outputs: &[BitVec], players: &[PlayerId]) -> usize {
+    players
+        .iter()
+        .map(|&p| outputs[p].hamming(truth.row(p)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// `ρ(P*) = Δ / D` as an `f64`.
+///
+/// Edge case the paper leaves implicit: if `D = 0` (an exact-agreement
+/// community) any nonzero error is infinite stretch; we return `0.0`
+/// when `Δ = 0` and `f64::INFINITY` otherwise, which is the natural
+/// limit and keeps E-series tables well-defined.
+pub fn stretch(truth: &PrefMatrix, outputs: &[BitVec], players: &[PlayerId]) -> f64 {
+    let delta = discrepancy(truth, outputs, players) as f64;
+    let diam = diameter(truth, players) as f64;
+    if diam == 0.0 {
+        if delta == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        delta / diam
+    }
+}
+
+/// A bundle of the three §1.1 metrics for one community, as reported by
+/// every experiment row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommunityReport {
+    /// Community size `|P*|`.
+    pub size: usize,
+    /// Diameter `D(P*)` of the true vectors.
+    pub diameter: usize,
+    /// Discrepancy `Δ(P*)` of the outputs.
+    pub discrepancy: usize,
+    /// Stretch `ρ(P*)`.
+    pub stretch: f64,
+    /// Mean per-member output error (not in the paper, but useful to
+    /// separate "one unlucky member" from "everyone is off").
+    pub mean_error: f64,
+}
+
+impl CommunityReport {
+    /// Evaluate the §1.1 metrics for `players` given the hidden truth
+    /// and the algorithm outputs (`outputs[p] = w(p)`).
+    pub fn evaluate(truth: &PrefMatrix, outputs: &[BitVec], players: &[PlayerId]) -> Self {
+        let diameter = diameter(truth, players);
+        let discrepancy = discrepancy(truth, outputs, players);
+        let mean_error = if players.is_empty() {
+            0.0
+        } else {
+            players
+                .iter()
+                .map(|&p| outputs[p].hamming(truth.row(p)) as f64)
+                .sum::<f64>()
+                / players.len() as f64
+        };
+        CommunityReport {
+            size: players.len(),
+            diameter,
+            discrepancy,
+            stretch: stretch(truth, outputs, players),
+            mean_error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (PrefMatrix, Vec<BitVec>) {
+        // Truth: p0 = 0000, p1 = 1000, p2 = 1110 ; diameter{0,1} = 1.
+        let truth = PrefMatrix::new(vec![
+            BitVec::from_bools(&[false, false, false, false]),
+            BitVec::from_bools(&[true, false, false, false]),
+            BitVec::from_bools(&[true, true, true, false]),
+        ]);
+        // Outputs: p0 exact, p1 off by 2, p2 off by 1.
+        let outputs = vec![
+            BitVec::from_bools(&[false, false, false, false]),
+            BitVec::from_bools(&[false, true, false, false]),
+            BitVec::from_bools(&[true, true, false, false]),
+        ];
+        (truth, outputs)
+    }
+
+    #[test]
+    fn discrepancy_is_max_error() {
+        let (truth, outputs) = toy();
+        assert_eq!(discrepancy(&truth, &outputs, &[0]), 0);
+        assert_eq!(discrepancy(&truth, &outputs, &[0, 1]), 2);
+        assert_eq!(discrepancy(&truth, &outputs, &[0, 1, 2]), 2);
+        assert_eq!(discrepancy(&truth, &outputs, &[]), 0);
+    }
+
+    #[test]
+    fn stretch_ratio_and_zero_diameter_convention() {
+        let (truth, outputs) = toy();
+        // {0,1}: D = 1, Δ = 2 -> ρ = 2.
+        assert_eq!(stretch(&truth, &outputs, &[0, 1]), 2.0);
+        // Singleton: D = 0, Δ = 0 -> ρ = 0.
+        assert_eq!(stretch(&truth, &outputs, &[0]), 0.0);
+        // Singleton with error: D = 0, Δ > 0 -> ∞.
+        assert!(stretch(&truth, &outputs, &[1]).is_infinite());
+    }
+
+    #[test]
+    fn report_bundles_everything() {
+        let (truth, outputs) = toy();
+        let r = CommunityReport::evaluate(&truth, &outputs, &[0, 1, 2]);
+        assert_eq!(r.size, 3);
+        assert_eq!(r.diameter, 3);
+        assert_eq!(r.discrepancy, 2);
+        assert!((r.mean_error - 1.0).abs() < 1e-12);
+        assert!((r.stretch - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_outputs_have_zero_stretch() {
+        let (truth, _) = toy();
+        let outputs: Vec<BitVec> = truth.rows().to_vec();
+        let r = CommunityReport::evaluate(&truth, &outputs, &[0, 1, 2]);
+        assert_eq!(r.discrepancy, 0);
+        assert_eq!(r.stretch, 0.0);
+        assert_eq!(r.mean_error, 0.0);
+    }
+}

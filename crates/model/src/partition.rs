@@ -1,0 +1,180 @@
+//! Random partitions of objects and players.
+//!
+//! Two kinds of randomness appear in the paper's algorithms:
+//!
+//! * **Coordinate partitions** (Small Radius step 1a, Large Radius
+//!   step 1): every object independently joins a uniformly chosen part.
+//!   This is exactly the distribution Lemma 4.1 analyses, so
+//!   [`uniform_parts`] must *not* balance part sizes.
+//! * **Halving** (Zero Radius step 2): a uniformly random split of a set
+//!   into two halves of (almost) equal size.
+//! * **Player assignment with multiplicity** (Large Radius step 1): each
+//!   player serves in `copies` parts, so that every part receives
+//!   `Ω(log n / α)` players.
+
+use crate::matrix::PlayerId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Partition `items` into `s` parts, each item joining a uniformly and
+/// independently chosen part (the Lemma 4.1 distribution). Parts may be
+/// empty; the union of parts is exactly `items`, order preserved within
+/// a part.
+///
+/// # Panics
+/// Panics if `s == 0`.
+pub fn uniform_parts<T: Copy, R: Rng + ?Sized>(
+    items: &[T],
+    s: usize,
+    rng: &mut R,
+) -> Vec<Vec<T>> {
+    assert!(s > 0, "cannot partition into zero parts");
+    let mut parts: Vec<Vec<T>> = vec![Vec::with_capacity(items.len() / s + 1); s];
+    for &it in items {
+        parts[rng.gen_range(0..s)].push(it);
+    }
+    parts
+}
+
+/// Split `items` uniformly at random into two halves; when the size is
+/// odd the first half gets the extra element. Used by Zero Radius
+/// (step 2) for both the player set and the object set.
+pub fn random_halves<T: Copy, R: Rng + ?Sized>(items: &[T], rng: &mut R) -> (Vec<T>, Vec<T>) {
+    let mut shuffled: Vec<T> = items.to_vec();
+    shuffled.shuffle(rng);
+    let mid = shuffled.len().div_ceil(2);
+    let second = shuffled.split_off(mid);
+    (shuffled, second)
+}
+
+/// Assign players to `num_parts` parts, each player serving in exactly
+/// `min(copies, num_parts)` *distinct* parts (Large Radius step 1:
+/// "each player is assigned to ⌈D/(αn)⌉ subsets"). Each player samples
+/// its parts uniformly without replacement, independently of the others,
+/// so part sizes are Binomial-concentrated around
+/// `|players| · copies / num_parts` — the concentration Lemma 5.5 needs.
+///
+/// Returns `parts[ℓ] = P_ℓ` as vectors of player ids.
+///
+/// # Panics
+/// Panics if `num_parts == 0` or `copies == 0`.
+pub fn assign_with_multiplicity<R: Rng + ?Sized>(
+    players: &[PlayerId],
+    num_parts: usize,
+    copies: usize,
+    rng: &mut R,
+) -> Vec<Vec<PlayerId>> {
+    assert!(num_parts > 0, "need at least one part");
+    assert!(copies > 0, "each player must serve somewhere");
+    let copies = copies.min(num_parts);
+    let mut parts: Vec<Vec<PlayerId>> = vec![Vec::new(); num_parts];
+    for &p in players {
+        for part in rand::seq::index::sample(rng, num_parts, copies) {
+            parts[part].push(p);
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_parts_is_a_partition() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let items: Vec<usize> = (0..1000).collect();
+        let parts = uniform_parts(&items, 7, &mut rng);
+        assert_eq!(parts.len(), 7);
+        let mut seen = HashSet::new();
+        for part in &parts {
+            for &x in part {
+                assert!(seen.insert(x), "item {x} appears twice");
+            }
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn uniform_parts_sizes_concentrate() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let items: Vec<usize> = (0..10_000).collect();
+        let parts = uniform_parts(&items, 10, &mut rng);
+        for part in &parts {
+            // Expected 1000; Chernoff says within ±200 w.p. ≫ this test.
+            assert!((800..1200).contains(&part.len()), "size {}", part.len());
+        }
+    }
+
+    #[test]
+    fn uniform_parts_single_part() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let items = [5usize, 6, 7];
+        let parts = uniform_parts(&items, 1, &mut rng);
+        assert_eq!(parts, vec![vec![5, 6, 7]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn uniform_parts_zero_panics() {
+        uniform_parts(&[1], 0, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn random_halves_cover_and_balance() {
+        let mut rng = StdRng::seed_from_u64(34);
+        for n in [1usize, 2, 3, 10, 101] {
+            let items: Vec<usize> = (0..n).collect();
+            let (a, b) = random_halves(&items, &mut rng);
+            assert_eq!(a.len(), n.div_ceil(2));
+            assert_eq!(b.len(), n / 2);
+            let all: HashSet<usize> = a.iter().chain(b.iter()).copied().collect();
+            assert_eq!(all.len(), n);
+        }
+    }
+
+    #[test]
+    fn random_halves_actually_random() {
+        // Different seeds should (overwhelmingly) produce different splits.
+        let items: Vec<usize> = (0..64).collect();
+        let (a1, _) = random_halves(&items, &mut StdRng::seed_from_u64(1));
+        let (a2, _) = random_halves(&items, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn assignment_covers_every_player_copies_times() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let players: Vec<PlayerId> = (0..50).collect();
+        let parts = assign_with_multiplicity(&players, 8, 3, &mut rng);
+        assert_eq!(parts.len(), 8);
+        let mut count = vec![0usize; 50];
+        for part in &parts {
+            for &p in part {
+                count[p] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 3));
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 150);
+        // Binomial concentration: expected 18.75 per part; allow a wide
+        // but non-vacuous band.
+        for part in &parts {
+            assert!((5..=40).contains(&part.len()), "size {}", part.len());
+        }
+    }
+
+    #[test]
+    fn assignment_no_duplicates_when_copies_fit() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let players: Vec<PlayerId> = (0..40).collect();
+        let parts = assign_with_multiplicity(&players, 10, 2, &mut rng);
+        for part in &parts {
+            let uniq: HashSet<_> = part.iter().collect();
+            assert_eq!(uniq.len(), part.len(), "duplicate player within a part");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic seed derivation for parallel simulation.
+//!
+//! The engine runs player loops under rayon, so per-player randomness
+//! must not flow through one shared RNG (scheduling order would leak
+//! into results). Instead every randomized routine receives a master
+//! `u64` seed and derives independent streams with a SplitMix64-style
+//! mix of `(seed, domain tag, index)` — the same construction SplitMix64
+//! uses to seed xoshiro generators. Results are bit-identical for a
+//! given master seed regardless of thread scheduling.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One round of SplitMix64: a high-quality 64→64 bit mixer.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a child seed from `(master, tag, index)`.
+///
+/// `tag` names the algorithmic phase (see [`tags`]); `index` is the
+/// player id, iteration number, or part index. Distinct inputs give
+/// independent-looking streams.
+#[inline]
+pub fn derive(master: u64, tag: u64, index: u64) -> u64 {
+    splitmix64(splitmix64(master ^ tag.rotate_left(24)) ^ index.rotate_left(40))
+}
+
+/// A seeded [`StdRng`] for `(master, tag, index)`.
+#[inline]
+pub fn rng_for(master: u64, tag: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(derive(master, tag, index))
+}
+
+/// Well-known domain tags, one per randomized phase, so two phases that
+/// happen to share an index never share a stream.
+pub mod tags {
+    /// Instance generation.
+    pub const GENERATOR: u64 = 0x47454E; // "GEN"
+    /// Zero Radius player/object halving.
+    pub const ZERO_RADIUS_SPLIT: u64 = 0x5A52_5350;
+    /// Small Radius object partition (iteration-indexed).
+    pub const SMALL_RADIUS_PART: u64 = 0x5352_5054;
+    /// Large Radius object partition.
+    pub const LARGE_RADIUS_OBJ: u64 = 0x4C52_4F42;
+    /// Large Radius player assignment.
+    pub const LARGE_RADIUS_PLY: u64 = 0x4C52_504C;
+    /// RSelect coordinate sampling (player-indexed).
+    pub const RSELECT: u64 = 0x5253_454C;
+    /// Baselines.
+    pub const BASELINE: u64 = 0x4241_5345;
+    /// Experiment trial seeds.
+    pub const TRIAL: u64 = 0x5452_4941;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn derive_distinguishes_all_three_arguments() {
+        let base = derive(1, 2, 3);
+        assert_ne!(base, derive(9, 2, 3));
+        assert_ne!(base, derive(1, 9, 3));
+        assert_ne!(base, derive(1, 2, 9));
+    }
+
+    #[test]
+    fn derived_streams_look_independent() {
+        // Distinct (tag, index) pairs yield distinct seeds — no
+        // collisions across a realistic grid.
+        let mut seen = HashSet::new();
+        for tag in 0..32u64 {
+            for idx in 0..256u64 {
+                assert!(seen.insert(derive(0xDEAD_BEEF, tag, idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn rng_for_reproducible() {
+        let a: u64 = rng_for(7, tags::GENERATOR, 5).gen();
+        let b: u64 = rng_for(7, tags::GENERATOR, 5).gen();
+        let c: u64 = rng_for(7, tags::GENERATOR, 6).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

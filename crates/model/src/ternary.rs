@@ -1,0 +1,424 @@
+//! Vectors over `{0, 1, ?}` and the paper's `d̃` metric.
+//!
+//! Notation 3.2 of the paper: for `u, v ∈ {0,1,?}^m`, `d̃(u, v)` counts
+//! the coordinates on which *both* vectors have non-`?` entries and those
+//! entries differ. Algorithm Coalesce (Figure 6) produces such vectors by
+//! merging near-duplicates — agreeing coordinates keep their value,
+//! disagreeing ones become `?` — and Algorithm Large Radius treats the
+//! merged vectors as candidate "values" for whole object subsets.
+//!
+//! Representation: two bit planes. `known[i]` says whether coordinate `i`
+//! is a concrete value; `value[i]` holds that value (and is kept `0`
+//! where unknown, as an invariant, so plane-level ops need no masking).
+
+use crate::bitvec::BitVec;
+use std::fmt;
+
+/// One coordinate of a [`TernaryVec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trit {
+    /// Concrete grade 0.
+    Zero,
+    /// Concrete grade 1.
+    One,
+    /// "Don't care" — the `?` of the paper.
+    Unknown,
+}
+
+impl Trit {
+    /// Concrete boolean value, if any.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::Unknown => None,
+        }
+    }
+}
+
+impl From<bool> for Trit {
+    fn from(b: bool) -> Self {
+        if b {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+}
+
+/// A vector over `{0, 1, ?}` (paper Notation 3.2).
+///
+/// ```
+/// use tmwia_model::{BitVec, TernaryVec};
+///
+/// let a = TernaryVec::from_bits(&BitVec::from_bools(&[true, true, false]));
+/// let b = TernaryVec::from_bits(&BitVec::from_bools(&[true, false, false]));
+/// let merged = a.merge(&b);                 // Coalesce step 4a
+/// assert_eq!(merged.count_unknown(), 1);    // the disagreement starred
+/// assert_eq!(merged.dtilde(&a), 0);         // d̃ ignores ?
+/// assert_eq!(merged.dtilde(&b), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TernaryVec {
+    /// `1` where the coordinate holds a concrete value.
+    known: BitVec,
+    /// The concrete value; `0` wherever `known` is `0`.
+    value: BitVec,
+}
+
+impl TernaryVec {
+    /// All-`?` vector of length `len`.
+    pub fn unknowns(len: usize) -> Self {
+        TernaryVec {
+            known: BitVec::zeros(len),
+            value: BitVec::zeros(len),
+        }
+    }
+
+    /// Fully-known vector carrying the bits of `v`.
+    pub fn from_bits(v: &BitVec) -> Self {
+        TernaryVec {
+            known: BitVec::ones(v.len()),
+            value: v.clone(),
+        }
+    }
+
+    /// Build from a slice of trits.
+    pub fn from_trits(trits: &[Trit]) -> Self {
+        let mut t = TernaryVec::unknowns(trits.len());
+        for (i, &tr) in trits.iter().enumerate() {
+            t.set(i, tr);
+        }
+        t
+    }
+
+    /// Number of coordinates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// `true` iff the vector has zero coordinates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read coordinate `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Trit {
+        if !self.known.get(i) {
+            Trit::Unknown
+        } else if self.value.get(i) {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Write coordinate `i`.
+    pub fn set(&mut self, i: usize, t: Trit) {
+        match t {
+            Trit::Unknown => {
+                self.known.set(i, false);
+                self.value.set(i, false);
+            }
+            Trit::Zero => {
+                self.known.set(i, true);
+                self.value.set(i, false);
+            }
+            Trit::One => {
+                self.known.set(i, true);
+                self.value.set(i, true);
+            }
+        }
+    }
+
+    /// Number of `?` coordinates.
+    pub fn count_unknown(&self) -> usize {
+        self.len() - self.known.count_ones()
+    }
+
+    /// The `d̃` metric of Notation 3.2 against another ternary vector:
+    /// coordinates where both entries are concrete and differ.
+    pub fn dtilde(&self, other: &TernaryVec) -> usize {
+        assert_eq!(self.len(), other.len(), "d̃ requires equal lengths");
+        // Differ on value AND both known. The value planes are zero on
+        // unknown coordinates, so XOR alone would also count a known-1
+        // against an unknown; masking with both known-planes fixes that.
+        self.value
+            .words()
+            .iter()
+            .zip(other.value.words())
+            .zip(self.known.words().iter().zip(other.known.words()))
+            .map(|((va, vb), (ka, kb))| ((va ^ vb) & ka & kb).count_ones() as usize)
+            .sum()
+    }
+
+    /// `d̃` against a fully-known binary vector.
+    pub fn dtilde_bits(&self, bits: &BitVec) -> usize {
+        assert_eq!(self.len(), bits.len(), "d̃ requires equal lengths");
+        self.value
+            .words()
+            .iter()
+            .zip(bits.words())
+            .zip(self.known.words())
+            .map(|((va, vb), ka)| ((va ^ vb) & ka).count_ones() as usize)
+            .sum()
+    }
+
+    /// `d̃` restricted to a coordinate subset (the `d̃_I` of the paper).
+    pub fn dtilde_on(&self, other: &TernaryVec, coords: &[usize]) -> usize {
+        coords
+            .iter()
+            .filter(|&&j| match (self.get(j), other.get(j)) {
+                (Trit::Unknown, _) | (_, Trit::Unknown) => false,
+                (a, b) => a != b,
+            })
+            .count()
+    }
+
+    /// The Coalesce merge (Figure 6, step 4a): coordinates where the two
+    /// vectors hold the same concrete value keep it; every other
+    /// coordinate — a concrete disagreement, or any `?` — becomes `?`.
+    ///
+    /// Note the paper's step 4a is stated for vectors that are already
+    /// partially merged, so `?` entries must stay `?`; a `?` merged with
+    /// a concrete value is *not* a "common value".
+    pub fn merge(&self, other: &TernaryVec) -> TernaryVec {
+        assert_eq!(self.len(), other.len(), "merge requires equal lengths");
+        let mut out = TernaryVec::unknowns(self.len());
+        for i in 0..self.len() {
+            let (a, b) = (self.get(i), other.get(i));
+            if a == b {
+                if let Trit::Unknown = a {
+                    // stays ?
+                } else {
+                    out.set(i, a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Resolve every `?` to `0`, yielding a concrete vector. The paper's
+    /// final output step: "don't care entries may be set to 0" (§5).
+    pub fn resolve_zero(&self) -> BitVec {
+        self.value.clone()
+    }
+
+    /// Resolve every `?` with the corresponding bit of `fallback`.
+    pub fn resolve_with(&self, fallback: &BitVec) -> BitVec {
+        assert_eq!(self.len(), fallback.len());
+        BitVec::from_fn(self.len(), |i| match self.get(i) {
+            Trit::Unknown => fallback.get(i),
+            Trit::One => true,
+            Trit::Zero => false,
+        })
+    }
+
+    /// Projection onto the coordinate subset `coords`.
+    pub fn project(&self, coords: &[usize]) -> TernaryVec {
+        TernaryVec {
+            known: self.known.project(coords),
+            value: self.value.project(coords),
+        }
+    }
+
+    /// Indices where both vectors are concrete and disagree — the
+    /// coordinate set `X` probed by Select/RSelect when candidates are
+    /// ternary (Large Radius step 4, RSelect step 1a). Word-at-a-time:
+    /// `(vaⱼ ⊕ vbⱼ) ∧ kaⱼ ∧ kbⱼ` marks exactly the concrete
+    /// disagreements (value planes are zero on unknown coordinates).
+    pub fn diff_indices(&self, other: &TernaryVec) -> Vec<usize> {
+        assert_eq!(self.len(), other.len());
+        let mut out = Vec::new();
+        let planes = self
+            .value
+            .words()
+            .iter()
+            .zip(other.value.words())
+            .zip(self.known.words().iter().zip(other.known.words()));
+        for (wi, ((va, vb), (ka, kb))) in planes.enumerate() {
+            let mut x = (va ^ vb) & ka & kb;
+            while x != 0 {
+                out.push(wi * 64 + x.trailing_zeros() as usize);
+                x &= x - 1;
+            }
+        }
+        out
+    }
+
+    /// Plane of known coordinates (bit `i` set iff coordinate `i` is
+    /// concrete).
+    pub fn known_plane(&self) -> &BitVec {
+        &self.known
+    }
+}
+
+impl fmt::Debug for TernaryVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TernaryVec[{}; ", self.len())?;
+        for i in 0..self.len().min(64) {
+            let c = match self.get(i) {
+                Trit::Zero => '0',
+                Trit::One => '1',
+                Trit::Unknown => '?',
+            };
+            write!(f, "{c}")?;
+        }
+        if self.len() > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_ternary(len: usize, rng: &mut StdRng) -> TernaryVec {
+        let mut t = TernaryVec::unknowns(len);
+        for i in 0..len {
+            let tr = match rng.gen_range(0..3) {
+                0 => Trit::Zero,
+                1 => Trit::One,
+                _ => Trit::Unknown,
+            };
+            t.set(i, tr);
+        }
+        t
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = TernaryVec::unknowns(100);
+        t.set(0, Trit::One);
+        t.set(64, Trit::Zero);
+        t.set(99, Trit::One);
+        assert_eq!(t.get(0), Trit::One);
+        assert_eq!(t.get(64), Trit::Zero);
+        assert_eq!(t.get(99), Trit::One);
+        assert_eq!(t.get(1), Trit::Unknown);
+        t.set(0, Trit::Unknown);
+        assert_eq!(t.get(0), Trit::Unknown);
+        assert_eq!(t.count_unknown(), 98);
+    }
+
+    #[test]
+    fn value_plane_zero_on_unknown_invariant() {
+        let mut t = TernaryVec::unknowns(10);
+        t.set(3, Trit::One);
+        t.set(3, Trit::Unknown);
+        assert_eq!(t.resolve_zero().count_ones(), 0);
+    }
+
+    #[test]
+    fn dtilde_ignores_unknowns() {
+        let a = TernaryVec::from_trits(&[Trit::One, Trit::Unknown, Trit::Zero, Trit::One]);
+        let b = TernaryVec::from_trits(&[Trit::Zero, Trit::One, Trit::Unknown, Trit::One]);
+        // Only coordinate 0 has both concrete and differing.
+        assert_eq!(a.dtilde(&b), 1);
+        assert_eq!(b.dtilde(&a), 1);
+    }
+
+    #[test]
+    fn dtilde_matches_naive_on_random() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in [1usize, 64, 65, 200] {
+            let a = random_ternary(len, &mut rng);
+            let b = random_ternary(len, &mut rng);
+            let naive = (0..len)
+                .filter(|&i| match (a.get(i), b.get(i)) {
+                    (Trit::Unknown, _) | (_, Trit::Unknown) => false,
+                    (x, y) => x != y,
+                })
+                .count();
+            assert_eq!(a.dtilde(&b), naive);
+            let all: Vec<usize> = (0..len).collect();
+            assert_eq!(a.dtilde_on(&b, &all), naive);
+        }
+    }
+
+    #[test]
+    fn dtilde_bits_matches_hamming_when_fully_known() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = BitVec::random(150, &mut rng);
+        let y = BitVec::random(150, &mut rng);
+        assert_eq!(TernaryVec::from_bits(&x).dtilde_bits(&y), x.hamming(&y));
+        assert_eq!(
+            TernaryVec::from_bits(&x).dtilde(&TernaryVec::from_bits(&y)),
+            x.hamming(&y)
+        );
+    }
+
+    #[test]
+    fn merge_keeps_agreement_stars_disagreement() {
+        let a = TernaryVec::from_trits(&[Trit::One, Trit::One, Trit::Zero, Trit::Unknown]);
+        let b = TernaryVec::from_trits(&[Trit::One, Trit::Zero, Trit::Zero, Trit::One]);
+        let m = a.merge(&b);
+        assert_eq!(m.get(0), Trit::One); // agree 1
+        assert_eq!(m.get(1), Trit::Unknown); // disagree
+        assert_eq!(m.get(2), Trit::Zero); // agree 0
+        assert_eq!(m.get(3), Trit::Unknown); // ? vs concrete -> ?
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_ternary(130, &mut rng);
+        let b = random_ternary(130, &mut rng);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn merge_unknown_count_bounded_by_sum_plus_disagreements() {
+        // Merging adds exactly one ? per concrete disagreement and keeps
+        // each pre-existing ?.
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_ternary(200, &mut rng);
+        let b = random_ternary(200, &mut rng);
+        let m = a.merge(&b);
+        let both_unknown_or_any = (0..200)
+            .filter(|&i| a.get(i) == Trit::Unknown || b.get(i) == Trit::Unknown)
+            .count();
+        assert_eq!(m.count_unknown(), both_unknown_or_any + a.dtilde(&b));
+    }
+
+    #[test]
+    fn resolve_zero_and_with() {
+        let t = TernaryVec::from_trits(&[Trit::One, Trit::Unknown, Trit::Zero]);
+        let z = t.resolve_zero();
+        assert!(z.get(0) && !z.get(1) && !z.get(2));
+        let fb = BitVec::from_bools(&[false, true, true]);
+        let r = t.resolve_with(&fb);
+        assert!(r.get(0) && r.get(1) && !r.get(2));
+    }
+
+    #[test]
+    fn project_preserves_trits() {
+        let t = TernaryVec::from_trits(&[Trit::One, Trit::Unknown, Trit::Zero, Trit::One]);
+        let p = t.project(&[1, 3]);
+        assert_eq!(p.get(0), Trit::Unknown);
+        assert_eq!(p.get(1), Trit::One);
+    }
+
+    #[test]
+    fn diff_indices_concrete_disagreements_only() {
+        let a = TernaryVec::from_trits(&[Trit::One, Trit::Unknown, Trit::Zero, Trit::One]);
+        let b = TernaryVec::from_trits(&[Trit::Zero, Trit::One, Trit::Zero, Trit::Unknown]);
+        assert_eq!(a.diff_indices(&b), vec![0]);
+    }
+
+    #[test]
+    fn trit_bool_conversions() {
+        assert_eq!(Trit::from(true), Trit::One);
+        assert_eq!(Trit::from(false), Trit::Zero);
+        assert_eq!(Trit::One.to_bool(), Some(true));
+        assert_eq!(Trit::Zero.to_bool(), Some(false));
+        assert_eq!(Trit::Unknown.to_bool(), None);
+    }
+}

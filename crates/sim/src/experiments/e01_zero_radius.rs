@@ -1,0 +1,98 @@
+//! **E1 — Zero Radius (Theorem 3.1).**
+//!
+//! Claim: if `≥ αn` players hold identical vectors, w.h.p. all of them
+//! output the exact vector after `O(log n / α)` rounds.
+//!
+//! Workload: planted `D = 0` communities; sweep `n = m` and `α`.
+//! Reported: fraction of community members with exact output, community
+//! round complexity, and `rounds / (ln n / α)` — the last column should
+//! hover around a constant as `n` grows (that *is* the `O(log n / α)`
+//! shape), while the solo baseline column grows linearly.
+
+use super::{dense_outputs, ExpConfig};
+use crate::stats::{fnum, Summary};
+use crate::table::Table;
+use crate::trials::run_trials;
+use tmwia_billboard::ProbeEngine;
+use tmwia_core::{reconstruct_known, Params};
+use tmwia_model::generators::planted_community;
+
+/// One trial's measurements.
+struct Trial {
+    exact_frac: f64,
+    rounds: u64,
+}
+
+/// Run E1.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let sizes: &[usize] = cfg.pick(&[256, 512, 1024, 2048, 4096], &[128, 256]);
+    let alphas: &[f64] = cfg.pick(&[1.0, 0.5, 0.25, 0.125], &[0.5]);
+    let params = Params::practical();
+
+    let mut table = Table::new(
+        "E1: Zero Radius — exact communities (Theorem 3.1)",
+        &["n=m", "alpha", "exact frac", "rounds", "rounds/(ln n/a)", "solo cost"],
+    );
+    table.note("expect: exact frac ≈ 1, rounds/(ln n/α) ≈ constant as n grows");
+    table.note(format!("preset = practical, trials = {}", cfg.trials));
+
+    for &n in sizes {
+        for &alpha in alphas {
+            let k = ((alpha * n as f64) as usize).max(2);
+            let trials = run_trials(cfg.trials, cfg.seed ^ (n as u64) << 8 ^ k as u64, |seed| {
+                let inst = planted_community(n, n, k, 0, seed);
+                let community = inst.community().to_vec();
+                let engine = ProbeEngine::new(inst.truth);
+                let players: Vec<usize> = (0..n).collect();
+                let rec = reconstruct_known(&engine, &players, alpha, 0, &params, seed);
+                let outputs = dense_outputs(&rec.outputs, n, n);
+                let exact = community
+                    .iter()
+                    .filter(|&&p| &outputs[p] == engine.truth().row(p))
+                    .count();
+                let rounds = community
+                    .iter()
+                    .map(|&p| engine.probes_of(p))
+                    .max()
+                    .unwrap_or(0);
+                Trial {
+                    exact_frac: exact as f64 / community.len() as f64,
+                    rounds,
+                }
+            });
+            let exact = Summary::of(&trials.iter().map(|t| t.exact_frac).collect::<Vec<_>>());
+            let rounds = Summary::of_ints(trials.iter().map(|t| t.rounds));
+            let norm = rounds.mean / ((n as f64).ln() / alpha);
+            table.push(vec![
+                n.to_string(),
+                fnum(alpha),
+                fnum(exact.mean),
+                rounds.pm(),
+                fnum(norm),
+                n.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_expected_shape() {
+        let t = run(&ExpConfig::quick(1));
+        assert_eq!(t.columns.len(), 6);
+        assert_eq!(t.rows.len(), 2); // 2 sizes × 1 alpha
+        // Exact fraction ≈ 1 in the quick configuration.
+        for row in &t.rows {
+            let frac: f64 = row[2].parse().unwrap();
+            assert!(frac > 0.9, "exact fraction {frac} too low: {row:?}");
+            // Rounds beat solo.
+            let solo: f64 = row[5].parse().unwrap();
+            let rounds: f64 = row[3].split('±').next().unwrap().trim().parse().unwrap();
+            assert!(rounds < solo, "no leverage: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! **E2 — Select (Theorem 3.2).**
+//!
+//! Claim: Select outputs the closest candidate and spends at most
+//! `k(D+1)` probes.
+//!
+//! Workload: (a) the adversarial construction that forces each of the
+//! `k−1` wrong candidates to absorb `D+1` probes (the worst case), and
+//! (b) random candidate sets at controlled distances (the typical case,
+//! usually far below the bound). Reported per `(k, D)`: worst-case
+//! probes vs the `k(D+1)` bound, random-case mean probes, and the
+//! fraction of runs returning a true closest candidate (must be 1.0).
+
+use super::ExpConfig;
+use crate::stats::{fnum, Summary};
+use crate::table::Table;
+use crate::trials::run_trials;
+use tmwia_core::select_values;
+use tmwia_model::generators::{at_distance, select_hard_case};
+use tmwia_model::rng::{rng_for, tags};
+use tmwia_model::BitVec;
+
+fn to_rows(cands: &[BitVec]) -> Vec<Vec<bool>> {
+    cands
+        .iter()
+        .map(|c| (0..c.len()).map(|j| c.get(j)).collect())
+        .collect()
+}
+
+/// Run E2.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let ks: &[usize] = cfg.pick(&[2, 4, 8, 16], &[2, 8]);
+    let ds: &[usize] = cfg.pick(&[0, 2, 8, 32], &[0, 8]);
+    let m = if cfg.quick { 1024 } else { 4096 };
+
+    let mut table = Table::new(
+        "E2: Select — probe cost vs the k(D+1) bound (Theorem 3.2)",
+        &["k", "D", "worst probes", "bound k(D+1)", "random probes", "correct frac"],
+    );
+    table.note("expect: worst ≤ bound (typically = bound − D on this construction), correct = 1");
+
+    for &k in ks {
+        for &d in ds {
+            if (k - 1) * (d + 1) > m {
+                continue;
+            }
+            // (a) adversarial worst case.
+            let (target, cands) = select_hard_case(m, k, d, cfg.seed ^ ((k * 131 + d) as u64));
+            let r = select_values(&to_rows(&cands), |j| target.get(j), d);
+            let worst = r.probes;
+            assert!(cands[r.winner] == target, "worst case returned non-closest");
+
+            // (b) random candidates at distances d, d+1, …
+            let trials = run_trials(cfg.trials.max(3), cfg.seed ^ (k as u64) << 16 ^ d as u64, |seed| {
+                let mut rng = rng_for(seed, tags::TRIAL, 0);
+                let target = BitVec::random(m, &mut rng);
+                let cands: Vec<BitVec> = (0..k)
+                    .map(|i| at_distance(&target, d + i, &mut rng))
+                    .collect();
+                let r = select_values(&to_rows(&cands), |j| target.get(j), d);
+                let best = cands.iter().map(|c| c.hamming(&target)).min().unwrap();
+                let correct = cands[r.winner].hamming(&target) == best;
+                (r.probes as f64, correct)
+            });
+            let probes = Summary::of(&trials.iter().map(|t| t.0).collect::<Vec<_>>());
+            let correct =
+                trials.iter().filter(|t| t.1).count() as f64 / trials.len() as f64;
+            table.push(vec![
+                k.to_string(),
+                d.to_string(),
+                worst.to_string(),
+                (k * (d + 1)).to_string(),
+                fnum(probes.mean),
+                fnum(correct),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_holds_on_every_row() {
+        let t = run(&ExpConfig::quick(2));
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            let worst: usize = row[2].parse().unwrap();
+            let bound: usize = row[3].parse().unwrap();
+            assert!(worst <= bound, "bound violated: {row:?}");
+            let correct: f64 = row[5].parse().unwrap();
+            assert_eq!(correct, 1.0, "incorrect selection: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! **E3 — Random-partition success probability (Lemma 4.1).**
+//!
+//! Claim: for `M` vectors of pairwise distance ≤ `d`, a uniform random
+//! partition of the coordinates into `s` parts fails — some part lacks a
+//! `M/5`-subset agreeing exactly on it — with probability at most
+//! `10³·5⁵·d³ / (6!·s²)`; in particular `s ≥ 100·d^{3/2}` gives failure
+//! `< 1/2`.
+//!
+//! Workload: `M = 50` vectors at diameter `≤ d`, sweeping `d` and the
+//! ratio `s / d^{3/2}`. Reported: empirical success rate vs the paper's
+//! lower bound `1 − 4340·d³/s²` (clamped at 0). The empirical rate
+//! should dominate the bound everywhere and cross ½ well *before* the
+//! paper's conservative `s = 100·d^{3/2}`.
+
+use super::ExpConfig;
+use crate::stats::fnum;
+use crate::table::Table;
+use crate::trials::run_trials;
+use std::collections::HashMap;
+use tmwia_model::generators::at_distance;
+use tmwia_model::partition::uniform_parts;
+use tmwia_model::rng::{rng_for, tags};
+use tmwia_model::BitVec;
+
+/// Is the partition "successful" in the Lemma 4.1 sense? Every part
+/// must contain a subset of ≥ `M/5` vectors that agree exactly on it.
+pub fn partition_successful(vectors: &[BitVec], parts: &[Vec<usize>]) -> bool {
+    let quota = vectors.len().div_ceil(5);
+    parts.iter().all(|part| {
+        if part.is_empty() {
+            return true; // vacuous: every vector agrees on no coordinates
+        }
+        let mut groups: HashMap<BitVec, usize> = HashMap::new();
+        let mut best = 0;
+        for v in vectors {
+            let c = groups.entry(v.project(part)).or_insert(0);
+            *c += 1;
+            best = best.max(*c);
+        }
+        best >= quota
+    })
+}
+
+/// Run E3.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let ds: &[usize] = cfg.pick(&[2, 4, 8, 16], &[4]);
+    let ratios: &[f64] = cfg.pick(&[0.25, 0.5, 1.0, 2.0, 4.0, 100.0], &[0.5, 2.0]);
+    let m_coords = if cfg.quick { 512 } else { 2048 };
+    let big_m = 50usize; // number of vectors
+    let trials = if cfg.quick { 20 } else { 100 };
+
+    let mut table = Table::new(
+        "E3: random-partition success probability (Lemma 4.1)",
+        &["d", "s", "s/d^1.5", "success rate", "paper lower bound"],
+    );
+    table.note(format!("M = {big_m} vectors, {trials} trials per point"));
+    table.note("expect: success ≥ bound everywhere; ≥ 1/2 at s = 100·d^1.5 (bound column)");
+
+    for &d in ds {
+        for &ratio in ratios {
+            let s = ((ratio * (d as f64).powf(1.5)).ceil() as usize).max(1);
+            let successes = run_trials(trials, cfg.seed ^ ((d * 7919) as u64) ^ s as u64, |seed| {
+                let mut rng = rng_for(seed, tags::TRIAL, 1);
+                let center = BitVec::random(m_coords, &mut rng);
+                let vectors: Vec<BitVec> = (0..big_m)
+                    .map(|_| at_distance(&center, d / 2, &mut rng))
+                    .collect();
+                let coords: Vec<usize> = (0..m_coords).collect();
+                let parts = uniform_parts(&coords, s, &mut rng);
+                partition_successful(&vectors, &parts)
+            });
+            let rate =
+                successes.iter().filter(|&&x| x).count() as f64 / successes.len() as f64;
+            let bound = (1.0 - 4340.0 * (d as f64).powi(3) / (s as f64).powi(2)).max(0.0);
+            table.push(vec![
+                d.to_string(),
+                s.to_string(),
+                fnum(ratio),
+                fnum(rate),
+                fnum(bound),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_checker_on_hand_built_cases() {
+        // Five identical vectors: success for any partition.
+        let v = BitVec::zeros(16);
+        let vectors = vec![v.clone(); 5];
+        let parts = vec![(0..8).collect::<Vec<_>>(), (8..16).collect()];
+        assert!(partition_successful(&vectors, &parts));
+
+        // Five pairwise-distinct-on-part-0 vectors: quota 1 always met…
+        let vs: Vec<BitVec> = (0..5).map(|i| BitVec::from_fn(16, |j| j == i)).collect();
+        assert!(partition_successful(&vs, &parts));
+        // …but 10 vectors (quota 2) that are *all distinct* on part 0 —
+        // binary-encode the index into the first four coordinates — fail.
+        let vs10: Vec<BitVec> = (0..10usize)
+            .map(|i| BitVec::from_fn(16, |j| j < 4 && (i >> j) & 1 == 1))
+            .collect();
+        assert!(!partition_successful(&vs10, &parts));
+    }
+
+    #[test]
+    fn empirical_rate_dominates_paper_bound() {
+        let t = run(&ExpConfig::quick(3));
+        for row in &t.rows {
+            let rate: f64 = row[3].parse().unwrap();
+            let bound: f64 = row[4].parse().unwrap();
+            assert!(
+                rate + 0.15 >= bound,
+                "empirical {rate} far below bound {bound}: {row:?}"
+            );
+        }
+    }
+}

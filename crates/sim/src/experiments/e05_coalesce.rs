@@ -1,0 +1,116 @@
+//! **E5 — Coalesce (Theorem 5.3).**
+//!
+//! Claims: the output has (1) at most `1/α` vectors; (2) a *unique*
+//! vector closest to every member of a dense cluster `V_T`, within
+//! `d̃ ≤ 2D`; (3) at most `5D/α` `?` entries per output vector.
+//!
+//! Workload: multisets with one planted dense cluster plus uniform
+//! noise, sweeping `α` and `D`. Reported: max output-set size, the
+//! uniqueness rate, the max `d̃` from cluster members to their
+//! candidate, and the max `?` count vs the bound.
+
+use super::ExpConfig;
+use crate::stats::fnum;
+use crate::table::Table;
+use crate::trials::run_trials;
+use tmwia_core::coalesce;
+use tmwia_model::generators::at_distance;
+use tmwia_model::rng::{rng_for, tags};
+use tmwia_model::BitVec;
+
+struct Trial {
+    out_size: usize,
+    unique: bool,
+    max_dtilde: usize,
+    max_unknown: usize,
+}
+
+/// Run E5.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let alphas: &[f64] = cfg.pick(&[0.5, 0.25, 0.125], &[0.25]);
+    let ds: &[usize] = cfg.pick(&[4, 16], &[4]);
+    let m = if cfg.quick { 256 } else { 512 };
+    let n = if cfg.quick { 40 } else { 120 };
+
+    let mut table = Table::new(
+        "E5: Coalesce — candidate sets (Theorem 5.3)",
+        &["alpha", "D", "|B| max", "1/alpha", "unique frac", "max d~", "2D", "max ?", "5D/alpha"],
+    );
+    table.note(format!("n = {n} vectors over m = {m}, cluster size = ⌈αn⌉ + 4"));
+
+    for &alpha in alphas {
+        for &d in ds {
+            let trials = run_trials(cfg.trials.max(4), cfg.seed ^ (d as u64) ^ ((alpha * 256.0) as u64) << 8, |seed| {
+                let mut rng = rng_for(seed, tags::TRIAL, 2);
+                let center = BitVec::random(m, &mut rng);
+                let cluster_size = ((alpha * n as f64).ceil() as usize) + 4;
+                let cluster: Vec<BitVec> = (0..cluster_size)
+                    .map(|_| at_distance(&center, d / 2, &mut rng))
+                    .collect();
+                let mut vectors = cluster.clone();
+                vectors.extend((0..n - cluster_size).map(|_| BitVec::random(m, &mut rng)));
+                let out = coalesce(&vectors, d, alpha, 5);
+                // Closest candidate per cluster member.
+                let mut chosen = std::collections::HashSet::new();
+                let mut max_dtilde = 0usize;
+                for v in &cluster {
+                    if let Some((i, dt)) = out
+                        .iter()
+                        .enumerate()
+                        .map(|(i, u)| (i, u.dtilde_bits(v)))
+                        .min_by_key(|&(i, dt)| (dt, i))
+                    {
+                        chosen.insert(i);
+                        max_dtilde = max_dtilde.max(dt);
+                    }
+                }
+                Trial {
+                    out_size: out.len(),
+                    unique: chosen.len() == 1,
+                    max_dtilde,
+                    max_unknown: out.iter().map(|u| u.count_unknown()).max().unwrap_or(0),
+                }
+            });
+            let out_max = trials.iter().map(|t| t.out_size).max().unwrap();
+            let unique =
+                trials.iter().filter(|t| t.unique).count() as f64 / trials.len() as f64;
+            let dt_max = trials.iter().map(|t| t.max_dtilde).max().unwrap();
+            let unk_max = trials.iter().map(|t| t.max_unknown).max().unwrap();
+            table.push(vec![
+                fnum(alpha),
+                d.to_string(),
+                out_max.to_string(),
+                fnum(1.0 / alpha),
+                fnum(unique),
+                dt_max.to_string(),
+                (2 * d).to_string(),
+                unk_max.to_string(),
+                fnum(5.0 * d as f64 / alpha),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_5_3_bounds_hold() {
+        let t = run(&ExpConfig::quick(5));
+        for row in &t.rows {
+            let out_max: f64 = row[2].parse().unwrap();
+            let inv_alpha: f64 = row[3].parse().unwrap();
+            assert!(out_max <= inv_alpha + 1e-9, "|B| bound violated: {row:?}");
+            let unique: f64 = row[4].parse().unwrap();
+            assert!(unique >= 0.99, "uniqueness failed: {row:?}");
+            let dt: f64 = row[5].parse().unwrap();
+            let two_d: f64 = row[6].parse().unwrap();
+            assert!(dt <= two_d, "2D bound violated: {row:?}");
+            let unk: f64 = row[7].parse().unwrap();
+            let unk_bound: f64 = row[8].parse().unwrap();
+            assert!(unk <= unk_bound, "? bound violated: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! **E7 — RSelect (Theorem 6.1).**
+//!
+//! Claim: with no distance bound given, RSelect outputs a candidate
+//! within `O(D)` of the optimum (`D` = distance of the true closest
+//! candidate) using `O(|V|²·log n)` probes.
+//!
+//! Workload: candidate sets at geometrically spaced distances
+//! `D, 3D, 9D, …` from the player's truth, sweeping `|V|`. Reported:
+//! probes vs the `C(|V|,2)·samples` budget, and the approximation ratio
+//! `chosen distance / best distance` (expect a small constant; the 2/3
+//! majority makes factor ≲ 3 typical at these separations).
+
+use super::ExpConfig;
+use crate::stats::{fnum, Summary};
+use crate::table::Table;
+use crate::trials::run_trials;
+use tmwia_billboard::ProbeEngine;
+use tmwia_core::{rselect_bits, Params};
+use tmwia_model::generators::at_distance;
+use tmwia_model::matrix::PrefMatrix;
+use tmwia_model::rng::{rng_for, tags};
+use tmwia_model::BitVec;
+
+/// Run E7.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let params = Params::theory();
+    let ks: &[usize] = cfg.pick(&[2, 4, 8, 16], &[2, 8]);
+    let m = if cfg.quick { 1024 } else { 4096 };
+    let base_d = 4usize;
+
+    let mut table = Table::new(
+        "E7: RSelect — unbounded Choose Closest (Theorem 6.1)",
+        &["|V|", "probes", "budget |V|^2-ish", "approx ratio", "ratio max"],
+    );
+    table.note(format!(
+        "candidates at distances {base_d}·3^i from the truth, m = {m}, theory preset"
+    ));
+
+    for &k in ks {
+        let samples = params.rselect_samples(m);
+        let budget = k * (k - 1) / 2 * samples;
+        let trials = run_trials(cfg.trials.max(5), cfg.seed ^ (k as u64) << 24, |seed| {
+            let mut rng = rng_for(seed, tags::TRIAL, 3);
+            let truth_row = BitVec::random(m, &mut rng);
+            let engine = ProbeEngine::new(PrefMatrix::new(vec![truth_row.clone()]));
+            let cands: Vec<BitVec> = (0..k)
+                .map(|i| {
+                    let d = base_d * 3usize.pow(i as u32 % 8);
+                    at_distance(&truth_row, d.min(m / 2), &mut rng)
+                })
+                .collect();
+            let objects: Vec<usize> = (0..m).collect();
+            let r = rselect_bits(&engine.player(0), &objects, &cands, &params, m, seed);
+            let best = cands.iter().map(|c| c.hamming(&truth_row)).min().unwrap();
+            let chosen = cands[r.winner].hamming(&truth_row);
+            (r.probes as f64, chosen as f64 / best as f64)
+        });
+        let probes = Summary::of(&trials.iter().map(|t| t.0).collect::<Vec<_>>());
+        let ratio = Summary::of(&trials.iter().map(|t| t.1).collect::<Vec<_>>());
+        table.push(vec![
+            k.to_string(),
+            fnum(probes.mean),
+            budget.to_string(),
+            fnum(ratio.mean),
+            fnum(ratio.max),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_within_budget_and_ratio_constant() {
+        let t = run(&ExpConfig::quick(7));
+        for row in &t.rows {
+            let probes: f64 = row[1].parse().unwrap();
+            let budget: f64 = row[2].parse().unwrap();
+            assert!(probes <= budget, "budget exceeded: {row:?}");
+            let ratio_max: f64 = row[4].parse().unwrap();
+            assert!(ratio_max <= 3.0 + 1e-9, "approx ratio too big: {row:?}");
+        }
+    }
+}

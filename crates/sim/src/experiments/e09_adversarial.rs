@@ -1,0 +1,205 @@
+//! **E9 — adversarial robustness (§1, §2).**
+//!
+//! The paper's motivation: prior provable recommenders assume a
+//! generative model (few canonical types, singular-value gap); the
+//! interactive algorithm needs *no* such assumption. We run three
+//! reconstruction methods on (a) the generative-friendly instance
+//! (orthogonal types + small noise) and (b) adversarial cluster soups,
+//! all at matched per-player probe budgets. Expected shape: the spectral
+//! baseline is competitive on (a) and collapses on (b); the paper's
+//! algorithm keeps community error bounded on both.
+
+use super::{dense_outputs, ExpConfig};
+use crate::stats::{fnum, Summary};
+use crate::table::Table;
+use crate::trials::run_trials;
+use tmwia_baselines::{em_reconstruct, knn_billboard, spectral_reconstruct, EmConfig, KnnConfig, SpectralConfig};
+use tmwia_billboard::ProbeEngine;
+use tmwia_core::{reconstruct_known, Params};
+use tmwia_model::generators::{adversarial_clusters, orthogonal_types, smeared_clusters, Instance};
+use tmwia_model::metrics::CommunityReport;
+
+struct Trial {
+    tmwia_err: f64,
+    tmwia_rounds: u64,
+    spectral_err: f64,
+    em_err: f64,
+    knn_err: f64,
+    realized_d: usize,
+}
+
+fn community_mean_error(
+    engine: &ProbeEngine,
+    out: &std::collections::HashMap<usize, tmwia_model::BitVec>,
+    community: &[usize],
+    n: usize,
+    m: usize,
+) -> f64 {
+    let outputs = dense_outputs(out, n, m);
+    CommunityReport::evaluate(engine.truth(), &outputs, community).mean_error
+}
+
+fn run_instance(inst: &Instance, d_bound: usize, params: &Params, seed: u64) -> Trial {
+    let n = inst.n();
+    let m = inst.m();
+    let players: Vec<usize> = (0..n).collect();
+    let community = inst.communities[0].clone();
+    let alpha = (community.len() as f64 / n as f64).max(0.05);
+
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let rec = reconstruct_known(&engine, &players, alpha, d_bound, params, seed);
+    let tmwia_err = community_mean_error(&engine, &rec.outputs, &community, n, m);
+    let tmwia_rounds = community
+        .iter()
+        .map(|&p| engine.probes_of(p))
+        .max()
+        .unwrap_or(0);
+    // Baselines get a fixed m/4 sample budget: generous (Θ(m), not
+    // polylog) but strictly sublinear, so "probe everything" cannot
+    // trivialize the comparison. tmwia's own cost is capped at m by the
+    // probe cache regardless.
+    let budget = (m / 4).max(8);
+
+    let eng_spec = ProbeEngine::new(inst.truth.clone());
+    let spec_out = spectral_reconstruct(
+        &eng_spec,
+        &players,
+        &SpectralConfig {
+            probes_per_player: budget,
+            rank: 4,
+            iterations: 25,
+        },
+        seed,
+    );
+    let spectral_err = community_mean_error(&eng_spec, &spec_out, &community, n, m);
+
+    let eng_em = ProbeEngine::new(inst.truth.clone());
+    let em_out = em_reconstruct(
+        &eng_em,
+        &players,
+        &EmConfig {
+            probes_per_player: budget,
+            types: 4,
+            iterations: 25,
+        },
+        seed,
+    );
+    let em_err = community_mean_error(&eng_em, &em_out, &community, n, m);
+
+    let eng_knn = ProbeEngine::new(inst.truth.clone());
+    let knn_out = knn_billboard(
+        &eng_knn,
+        &players,
+        &KnnConfig {
+            probes_per_player: budget,
+            neighbours: 5,
+            min_overlap: 3,
+        },
+        seed,
+    );
+    let knn_err = community_mean_error(&eng_knn, &knn_out, &community, n, m);
+
+    Trial {
+        tmwia_err,
+        tmwia_rounds,
+        spectral_err,
+        em_err,
+        knn_err,
+        realized_d: inst.truth.diameter_of(&community),
+    }
+}
+
+/// Run E9.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let params = Params::practical();
+    let n = if cfg.quick { 128 } else { 512 };
+    let m = n;
+
+    let mut table = Table::new(
+        "E9: adversarial diversity vs generative assumptions (§1, §2)",
+        &[
+            "instance", "tmwia rounds", "baseline budget", "tmwia err", "tmwia err/D",
+            "spectral err", "em err", "knn err",
+        ],
+    );
+    table.note("mean per-member error within the primary community; baselines get m/4 probes");
+    table.note("expect: spectral/EM good on orthogonal-types only; tmwia err stays O(D) — a");
+    table.note("bounded err/D ratio — on every instance (the paper's assumption-free claim)");
+
+    // (instance label, generator, D bound handed to the algorithm)
+    type Case<'a> = (&'a str, Box<dyn Fn(u64) -> Instance + Sync>, usize);
+    let cases: Vec<Case> = vec![
+        (
+            "orthogonal-types k=4 noise=.02",
+            Box::new(move |s| orthogonal_types(n, m, 4, 0.02, s)),
+            (0.1 * m as f64) as usize,
+        ),
+        (
+            "adversarial 16 clusters D=4",
+            Box::new(move |s| adversarial_clusters(n, m, 16, 4, s)),
+            4,
+        ),
+        (
+            "smeared 8 clusters D=2+2*2",
+            Box::new(move |s| smeared_clusters(n, m, 8, 2, 2, s)),
+            6,
+        ),
+    ];
+
+    for (label, gen, d_bound) in &cases {
+        let trials = run_trials(cfg.trials, cfg.seed ^ d_bound.wrapping_mul(97) as u64, |seed| {
+            let inst = gen(seed);
+            run_instance(&inst, *d_bound, &params, seed)
+        });
+        let tm = Summary::of(&trials.iter().map(|t| t.tmwia_err).collect::<Vec<_>>());
+        let sp = Summary::of(&trials.iter().map(|t| t.spectral_err).collect::<Vec<_>>());
+        let em = Summary::of(&trials.iter().map(|t| t.em_err).collect::<Vec<_>>());
+        let kn = Summary::of(&trials.iter().map(|t| t.knn_err).collect::<Vec<_>>());
+        let rounds = Summary::of_ints(trials.iter().map(|t| t.tmwia_rounds));
+        let err_over_d = Summary::of(
+            &trials
+                .iter()
+                .map(|t| t.tmwia_err / t.realized_d.max(1) as f64)
+                .collect::<Vec<_>>(),
+        );
+        table.push(vec![
+            label.to_string(),
+            fnum(rounds.mean),
+            (m / 4).max(8).to_string(),
+            tm.pm(),
+            fnum(err_over_d.mean),
+            sp.pm(),
+            em.pm(),
+            kn.pm(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tmwia_beats_spectral_on_adversarial_rows() {
+        let t = run(&ExpConfig::quick(9));
+        assert_eq!(t.rows.len(), 3);
+        let parse = |cell: &str| -> f64 {
+            cell.split('±').next().unwrap().trim().parse().unwrap()
+        };
+        // Adversarial rows: spectral error must exceed tmwia's, and
+        // tmwia's error stays O(D).
+        for row in &t.rows[1..] {
+            let tm = parse(&row[3]);
+            let err_over_d: f64 = row[4].parse().unwrap();
+            let sp = parse(&row[5]);
+            let em = parse(&row[6]);
+            assert!(
+                sp > 1.5 * tm.max(1.0),
+                "spectral unexpectedly robust: {row:?}"
+            );
+            assert!(em > 1.5 * tm.max(1.0), "EM unexpectedly robust: {row:?}");
+            assert!(err_over_d <= 6.0, "tmwia err not O(D): {row:?}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! **E11 — community leverage (§1.1).**
+//!
+//! "Obviously, the larger is the community … the more leverage we get":
+//! with a `D = 0` community of size `k`, the oracle floor is `m/k`
+//! rounds; Zero Radius should track `O(log n / α) = O(n·log n / k)`.
+//!
+//! Workload: fixed `n = m`, sweeping the community size `k`. Reported:
+//! Zero Radius community rounds, the oracle rounds (`≈ m/k`), the solo
+//! cost (`m`), and the leverage factor `solo / rounds`.
+
+use super::{dense_outputs, ExpConfig};
+use crate::stats::{fnum, Summary};
+use crate::table::Table;
+use crate::trials::run_trials;
+use tmwia_baselines::oracle_community;
+use tmwia_billboard::ProbeEngine;
+use tmwia_core::{reconstruct_known, Params};
+use tmwia_model::generators::planted_community;
+
+/// Run E11.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let params = Params::practical();
+    let n = if cfg.quick { 256 } else { 1024 };
+    let ks: Vec<usize> = if cfg.quick {
+        vec![32, 128, 256]
+    } else {
+        vec![16, 64, 128, 256, 512, 1024]
+    };
+
+    let mut table = Table::new(
+        "E11: leverage grows with community size (§1.1)",
+        &["n=m", "k=|P*|", "alpha", "rounds", "oracle m/k", "solo", "leverage solo/rounds", "exact frac"],
+    );
+    table.note("D = 0 communities; expect rounds ∝ 1/α and leverage ∝ k up to log factors");
+
+    for &k in &ks {
+        let alpha = k as f64 / n as f64;
+        let trials = run_trials(cfg.trials, cfg.seed ^ (k as u64) << 8, |seed| {
+            let inst = planted_community(n, n, k, 0, seed);
+            let community = inst.community().to_vec();
+            let engine = ProbeEngine::new(inst.truth.clone());
+            let players: Vec<usize> = (0..n).collect();
+            let rec = reconstruct_known(&engine, &players, alpha, 0, &params, seed);
+            let outputs = dense_outputs(&rec.outputs, n, n);
+            let exact = community
+                .iter()
+                .filter(|&&p| &outputs[p] == engine.truth().row(p))
+                .count() as f64
+                / community.len() as f64;
+            let rounds = community
+                .iter()
+                .map(|&p| engine.probes_of(p))
+                .max()
+                .unwrap_or(0);
+            let eng_oracle = ProbeEngine::new(inst.truth.clone());
+            oracle_community(&eng_oracle, &community, 1, seed);
+            let oracle_rounds = community
+                .iter()
+                .map(|&p| eng_oracle.probes_of(p))
+                .max()
+                .unwrap_or(0);
+            (rounds, oracle_rounds, exact)
+        });
+        let rounds = Summary::of_ints(trials.iter().map(|t| t.0));
+        let oracle = Summary::of_ints(trials.iter().map(|t| t.1));
+        let exact = Summary::of(&trials.iter().map(|t| t.2).collect::<Vec<_>>());
+        table.push(vec![
+            n.to_string(),
+            k.to_string(),
+            fnum(alpha),
+            rounds.pm(),
+            fnum(oracle.mean),
+            n.to_string(),
+            fnum(n as f64 / rounds.mean.max(1.0)),
+            fnum(exact.mean),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_communities_need_fewer_rounds() {
+        let t = run(&ExpConfig::quick(11));
+        let rounds: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[3].split('±').next().unwrap().trim().parse().unwrap())
+            .collect();
+        // Monotone non-increasing (within a tolerance for trial noise).
+        for w in rounds.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.2,
+                "rounds did not shrink with community size: {rounds:?}"
+            );
+        }
+        // And the largest community must have real leverage.
+        let last = t.rows.last().unwrap();
+        let leverage: f64 = last[6].parse().unwrap();
+        assert!(leverage > 2.0, "no leverage at full community: {last:?}");
+    }
+}

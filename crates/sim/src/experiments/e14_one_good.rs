@@ -1,0 +1,93 @@
+//! **E14 — the weaker goal: one good object (reference \[4\], §2).**
+//!
+//! The paper cites \[4\]: for any set `P` of users sharing a liked
+//! object, `O(m + n·log|P|)` probes overall suffice for all of `P` to
+//! find *some* liked object. The sample-or-adopt baseline reproduces
+//! that shape: rounds-to-completion collapse as the sharing set grows
+//! (one lucky explorer serves everyone), while a lone searcher pays
+//! `Θ(m / likes)`. This experiment sweeps `|P|` and reports rounds and
+//! total probes against the `(m + n·log|P|)/|P|`-ish reference.
+
+use super::ExpConfig;
+use crate::stats::{fnum, Summary};
+use crate::table::Table;
+use crate::trials::run_trials;
+use tmwia_baselines::one_good_object;
+use tmwia_billboard::ProbeEngine;
+use tmwia_model::matrix::PrefMatrix;
+use tmwia_model::rng::{rng_for, tags};
+use tmwia_model::BitVec;
+
+/// Run E14.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let m = if cfg.quick { 1024 } else { 4096 };
+    let sizes: &[usize] = cfg.pick(&[1, 4, 16, 64, 256], &[1, 16]);
+
+    let mut table = Table::new(
+        "E14: one good object — sharing collapses search cost ([4], §2)",
+        &["|P|", "m", "rounds", "total probes", "(m + n·log|P|)", "found frac"],
+    );
+    table.note("one shared liked object; expect rounds ≈ m/|P| + log|P| shape");
+
+    for &k in sizes {
+        let trials = run_trials(cfg.trials.max(3), cfg.seed ^ (k as u64) << 8, |seed| {
+            let mut rng = rng_for(seed, tags::TRIAL, 14);
+            // One shared liked object at a random position; everything
+            // else disliked, so exploration pays Θ(m) alone.
+            let hot = (seed as usize) % m;
+            let _ = &mut rng;
+            let rows: Vec<BitVec> = (0..k)
+                .map(|_| BitVec::from_fn(m, |j| j == hot))
+                .collect();
+            let engine = ProbeEngine::new(PrefMatrix::new(rows));
+            let players: Vec<usize> = (0..k).collect();
+            let res = one_good_object(&engine, &players, (4 * m) as u64, seed);
+            (
+                res.rounds as f64,
+                engine.total_probes() as f64,
+                res.found.len() as f64 / k as f64,
+            )
+        });
+        let rounds = Summary::of(&trials.iter().map(|t| t.0).collect::<Vec<_>>());
+        let probes = Summary::of(&trials.iter().map(|t| t.1).collect::<Vec<_>>());
+        let found = Summary::of(&trials.iter().map(|t| t.2).collect::<Vec<_>>());
+        let reference = m as f64 + k as f64 * (k.max(2) as f64).log2();
+        table.push(vec![
+            k.to_string(),
+            m.to_string(),
+            rounds.pm(),
+            fnum(probes.mean),
+            fnum(reference),
+            fnum(found.mean),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everyone_finds_and_sharing_helps() {
+        let t = run(&ExpConfig::quick(14));
+        let parse = |cell: &str| -> f64 {
+            cell.split('±').next().unwrap().trim().parse().unwrap()
+        };
+        for row in &t.rows {
+            let found: f64 = row[5].parse().unwrap();
+            assert!(found >= 1.0 - 1e-9, "someone never found: {row:?}");
+        }
+        // Rounds for |P| = 16 are far below |P| = 1.
+        let solo = parse(&t.rows[0][2]);
+        let group = parse(&t.rows[1][2]);
+        assert!(
+            group * 3.0 < solo,
+            "sharing did not collapse cost: solo {solo}, group {group}"
+        );
+        // Total probes stay O(m + n log n)-ish, not n·m.
+        let total: f64 = parse(&t.rows[1][3]);
+        let reference: f64 = t.rows[1][4].parse().unwrap();
+        assert!(total < 8.0 * reference, "total probes {total} ≫ reference");
+    }
+}

@@ -1,0 +1,125 @@
+//! **E15 — lockstep fidelity and barrier overhead (paper abstract:
+//! "distributed randomized peer-to-peer algorithm").**
+//!
+//! The orchestrated simulation and the literal per-player lockstep
+//! execution of Zero Radius are the same algorithm (bit-identical
+//! outputs and probe charges under a shared seed — asserted here, not
+//! just in unit tests). The one quantity only the lockstep run can
+//! measure is **wall-clock rounds**: probes *plus* the barrier rounds a
+//! player idles waiting for the sibling half to finish. This experiment
+//! sweeps `n = m` and reports probes, wall-clock rounds and their ratio
+//! — the paper's synchronous-rounds model is meaningful precisely
+//! because this ratio stays a small constant (balanced random halvings
+//! keep subtree completion times aligned).
+
+use super::{dense_outputs, ExpConfig};
+use crate::stats::{fnum, Summary};
+use crate::table::Table;
+use crate::trials::run_trials;
+use tmwia_billboard::ProbeEngine;
+use tmwia_core::{lockstep_zero_radius, zero_radius, BinarySpace, Params};
+use tmwia_model::generators::planted_community;
+use tmwia_model::BitVec;
+
+struct Trial {
+    probes: u64,
+    wall_rounds: u64,
+    identical: bool,
+    exact_frac: f64,
+}
+
+/// Run E15.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let params = Params::practical();
+    let alpha = 0.5;
+    let sizes: &[usize] = cfg.pick(&[256, 512, 1024, 2048], &[128, 256]);
+
+    let mut table = Table::new(
+        "E15: lockstep P2P execution — fidelity and barrier overhead",
+        &["n=m", "max probes", "wall rounds", "rounds/probes", "identical to sim", "exact frac"],
+    );
+    table.note("expect: identical = 1 (bit-for-bit); rounds/probes a small constant");
+
+    for &n in sizes {
+        let trials = run_trials(cfg.trials, cfg.seed ^ (n as u64) << 4, |seed| {
+            let inst = planted_community(n, n, n / 2, 0, seed);
+            let players: Vec<usize> = (0..n).collect();
+            let objects: Vec<usize> = (0..n).collect();
+
+            let eng_sim = ProbeEngine::new(inst.truth.clone());
+            let orch = zero_radius(
+                &BinarySpace::new(&eng_sim),
+                &players,
+                &objects,
+                alpha,
+                &params,
+                n,
+                seed,
+            );
+            let eng_lock = ProbeEngine::new(inst.truth.clone());
+            let lock =
+                lockstep_zero_radius(&eng_lock, &players, &objects, alpha, &params, n, seed);
+
+            let identical = players.iter().all(|&p| orch[&p] == lock.outputs[&p])
+                && (0..n).all(|p| eng_sim.probes_of(p) == eng_lock.probes_of(p));
+            let community = inst.community().to_vec();
+            let probes = community
+                .iter()
+                .map(|&p| eng_lock.probes_of(p))
+                .max()
+                .unwrap_or(0);
+            let dense = dense_outputs(
+                &lock
+                    .outputs
+                    .iter()
+                    .map(|(&p, vals)| (p, BitVec::from_bools(vals)))
+                    .collect(),
+                n,
+                n,
+            );
+            let exact = community
+                .iter()
+                .filter(|&&p| &dense[p] == inst.truth.row(p))
+                .count() as f64
+                / community.len() as f64;
+            Trial {
+                probes,
+                wall_rounds: lock.rounds,
+                identical,
+                exact_frac: exact,
+            }
+        });
+        let probes = Summary::of_ints(trials.iter().map(|t| t.probes));
+        let rounds = Summary::of_ints(trials.iter().map(|t| t.wall_rounds));
+        let identical =
+            trials.iter().filter(|t| t.identical).count() as f64 / trials.len() as f64;
+        let exact = Summary::of(&trials.iter().map(|t| t.exact_frac).collect::<Vec<_>>());
+        table.push(vec![
+            n.to_string(),
+            probes.pm(),
+            rounds.pm(),
+            fnum(rounds.mean / probes.mean.max(1.0)),
+            fnum(identical),
+            fnum(exact.mean),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_holds_and_overhead_is_constant() {
+        let t = run(&ExpConfig::quick(15));
+        for row in &t.rows {
+            let identical: f64 = row[4].parse().unwrap();
+            assert_eq!(identical, 1.0, "lockstep diverged from sim: {row:?}");
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(ratio < 8.0, "barrier overhead blew up: {row:?}");
+            let exact: f64 = row[5].parse().unwrap();
+            assert!(exact > 0.9, "quality regression: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The E1–E16 experiment suite.
+//!
+//! The paper is a theory extended abstract with no empirical section, so
+//! the reproduction turns every quantitative claim into an experiment
+//! (see `DESIGN.md` §5 for the claim ↔ experiment index):
+//!
+//! | Exp | Claim |
+//! |-----|-------|
+//! | E1  | Thm 3.1 — Zero Radius: exact output, `O(log n/α)` rounds |
+//! | E2  | Thm 3.2 — Select: exact closest, `≤ k(D+1)` probes |
+//! | E3  | Lemma 4.1 — random-partition success probability |
+//! | E4  | Thm 4.4 — Small Radius: error ≤ 5D, cost scaling |
+//! | E5  | Thm 5.3 — Coalesce: ≤ 1/α candidates, unique 2D-closest |
+//! | E6  | Thm 5.4 — Large Radius: error `O(D/α)`, polylog cost |
+//! | E7  | Thm 6.1 — RSelect: `O(D)` choice, `O(|V|²·log n)` probes |
+//! | E8  | Thm 1.1 — headline: constant stretch, polylog rounds, vs solo |
+//! | E9  | §1/§2 — adversarial robustness vs spectral/kNN baselines |
+//! | E10 | §6 — anytime behaviour under unknown α |
+//! | E11 | §1.1 — leverage: community size vs cost |
+//! | E12 | ablation of the paper's constants (s, K, vote threshold) |
+//! | E13 | §1 motivation — tracking a drifting environment |
+//! | E14 | \[4\]/§2 — the weaker one-good-object goal and its cost shape |
+//! | E15 | abstract — lockstep P2P execution: fidelity + barrier overhead |
+//! | E16 | \[8\]\[9\]/§2 — the prediction-mistake model contrast |
+
+pub mod e01_zero_radius;
+pub mod e02_select;
+pub mod e03_partition;
+pub mod e04_small_radius;
+pub mod e05_coalesce;
+pub mod e06_large_radius;
+pub mod e07_rselect;
+pub mod e08_main;
+pub mod e09_adversarial;
+pub mod e10_anytime;
+pub mod e11_leverage;
+pub mod e12_ablation;
+pub mod e13_dynamic;
+pub mod e14_one_good;
+pub mod e15_lockstep;
+pub mod e16_prediction;
+
+use crate::table::Table;
+use std::collections::HashMap;
+use tmwia_billboard::PlayerId;
+use tmwia_model::BitVec;
+
+/// Shared experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Scaled-down sweep for CI/integration tests.
+    pub quick: bool,
+    /// Master seed; the whole suite is deterministic given it.
+    pub seed: u64,
+    /// Trials per configuration point.
+    pub trials: usize,
+}
+
+impl ExpConfig {
+    /// Full-scale configuration (bench binaries).
+    pub fn full(seed: u64) -> Self {
+        ExpConfig {
+            quick: false,
+            seed,
+            trials: 3,
+        }
+    }
+
+    /// Quick configuration (integration tests).
+    pub fn quick(seed: u64) -> Self {
+        ExpConfig {
+            quick: true,
+            seed,
+            trials: 2,
+        }
+    }
+
+    /// Pick a sweep by scale.
+    pub fn pick<'a, T>(&self, full: &'a [T], quick: &'a [T]) -> &'a [T] {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// An experiment registry entry: `(id, name, runner)`.
+pub type Experiment = (&'static str, &'static str, fn(&ExpConfig) -> Table);
+
+/// All experiments in order — used by the bench binaries and the docs
+/// generator.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("e1", "Zero Radius (Thm 3.1)", e01_zero_radius::run),
+        ("e2", "Select (Thm 3.2)", e02_select::run),
+        ("e3", "Partition success (Lemma 4.1)", e03_partition::run),
+        ("e4", "Small Radius (Thm 4.4)", e04_small_radius::run),
+        ("e5", "Coalesce (Thm 5.3)", e05_coalesce::run),
+        ("e6", "Large Radius (Thm 5.4)", e06_large_radius::run),
+        ("e7", "RSelect (Thm 6.1)", e07_rselect::run),
+        ("e8", "Headline (Thm 1.1)", e08_main::run),
+        ("e9", "Adversarial robustness (§1, §2)", e09_adversarial::run),
+        ("e10", "Anytime / unknown α (§6)", e10_anytime::run),
+        ("e11", "Community leverage (§1.1)", e11_leverage::run),
+        ("e12", "Constant ablation (§4, §5)", e12_ablation::run),
+        ("e13", "Dynamic tracking (§1 motivation)", e13_dynamic::run),
+        ("e14", "One good object ([4], §2)", e14_one_good::run),
+        ("e15", "Lockstep P2P fidelity (abstract)", e15_lockstep::run),
+        ("e16", "Prediction-mistake model ([8][9], §2)", e16_prediction::run),
+    ]
+}
+
+/// Convert a per-player output map into a dense `Vec` indexed by player
+/// id (players absent from the map get zero vectors) so the metrics
+/// helpers can index it.
+pub(crate) fn dense_outputs(
+    out: &HashMap<PlayerId, BitVec>,
+    n: usize,
+    m: usize,
+) -> Vec<BitVec> {
+    (0..n)
+        .map(|p| out.get(&p).cloned().unwrap_or_else(|| BitVec::zeros(m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_respects_scale() {
+        let full = [1, 2, 3];
+        let quick = [1];
+        assert_eq!(ExpConfig::full(0).pick(&full, &quick), &full);
+        assert_eq!(ExpConfig::quick(0).pick(&full, &quick), &quick);
+    }
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let a = all();
+        assert_eq!(a.len(), 16);
+        let mut ids: Vec<&str> = a.iter().map(|(id, _, _)| *id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn dense_outputs_fills_gaps() {
+        let mut map = HashMap::new();
+        map.insert(1usize, BitVec::ones(4));
+        let dense = dense_outputs(&map, 3, 4);
+        assert_eq!(dense.len(), 3);
+        assert_eq!(dense[0].count_ones(), 0);
+        assert_eq!(dense[1].count_ones(), 4);
+    }
+}

@@ -1,0 +1,22 @@
+//! # tmwia-sim
+//!
+//! Experiment harness for the reproduction: deterministic trial
+//! sweeps ([`trials`]), summary statistics ([`stats`]), plain-text /
+//! CSV tables ([`table`]), and the E1–E16 experiment suite
+//! ([`experiments`]) that regenerates every quantitative claim of the
+//! paper (the paper is a theory extended abstract — each theorem/lemma
+//! becomes one experiment; see `DESIGN.md` §5 for the index).
+//!
+//! Every experiment is a pure function `ExpConfig → Table`, so the same
+//! code backs the `tmwia-bench` binaries (full scale), the integration
+//! tests (quick scale) and any downstream notebook-style use.
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+pub mod trials;
+
+pub use experiments::ExpConfig;
+pub use stats::Summary;
+pub use table::Table;
+pub use trials::run_trials;

@@ -1,0 +1,112 @@
+//! Summary statistics for experiment tables.
+
+/// Five-number-ish summary of a sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n − 1` denominator; 0 for `n < 2`).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Empty samples yield the zero summary.
+    pub fn of(samples: &[f64]) -> Self {
+        let count = samples.len();
+        if count == 0 {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            count,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Summarize integer samples.
+    pub fn of_ints<I: IntoIterator<Item = u64>>(samples: I) -> Self {
+        let v: Vec<f64> = samples.into_iter().map(|x| x as f64).collect();
+        Summary::of(&v)
+    }
+
+    /// `"mean ± std"` with sensible precision for table cells.
+    pub fn pm(&self) -> String {
+        format!("{:.1} ± {:.1}", self.mean, self.std)
+    }
+}
+
+/// Format a float compactly for a table cell.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if (x.fract() == 0.0 && x.abs() < 1e9) || x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn of_ints_converts() {
+        let s = Summary::of_ints([2u64, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.0), "3");
+        assert_eq!(fnum(3.77159), "3.77");
+        assert_eq!(fnum(0.1234), "0.123");
+        assert_eq!(fnum(12345.6), "12346");
+        assert!(Summary::of(&[1.0, 3.0]).pm().contains("±"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text and CSV tables for experiment output.
+//!
+//! Every experiment returns a [`Table`]; the bench binaries print the
+//! aligned text form (what `EXPERIMENTS.md` records) and can dump CSV
+//! for downstream plotting.
+
+use std::fmt::Write as _;
+
+/// A titled table of string cells.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Experiment id + caption, e.g. `"E1: Zero Radius (Theorem 3.1)"`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each must match `columns.len()`.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes rendered under the table (parameters, preset,
+    /// expectations from the paper).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the header.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity {} != {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Column-aligned text rendering (markdown-flavoured).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let pad = w - cell.chars().count();
+                let _ = write!(line, " {}{} |", cell, " ".repeat(pad));
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.columns, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "> {n}");
+        }
+        out
+    }
+
+    /// CSV rendering (RFC-4180-ish: cells containing commas or quotes
+    /// are quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("E0: demo", &["n", "rounds"]);
+        t.push(vec!["256".into(), "31".into()]);
+        t.push(vec!["512".into(), "35".into()]);
+        t.note("preset = practical");
+        t
+    }
+
+    #[test]
+    fn render_is_aligned_markdown() {
+        let r = sample().render();
+        assert!(r.starts_with("## E0: demo"));
+        assert!(r.contains("| n   | rounds |"));
+        assert!(r.contains("| 256 | 31     |"));
+        assert!(r.contains("> preset = practical"));
+    }
+
+    #[test]
+    fn csv_round_trips_simple_cells() {
+        let c = sample().to_csv();
+        let mut lines = c.lines();
+        assert_eq!(lines.next(), Some("n,rounds"));
+        assert_eq!(lines.next(), Some("256,31"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a"]);
+        t.push(vec!["he said \"hi\", twice".into()]);
+        assert!(t.to_csv().contains("\"he said \"\"hi\"\", twice\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new("x", &["a", "b"]).push(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic parallel trial execution.
+//!
+//! Experiments repeat each configuration over several seeds and report
+//! summary statistics. Trials are independent, so they run under rayon;
+//! each trial's seed is derived from `(base_seed, trial index)` so the
+//! result set is identical however the scheduler interleaves them.
+
+use rayon::prelude::*;
+use tmwia_model::rng::{derive, tags};
+
+/// Run `count` independent trials of `f`, passing each a derived seed,
+/// and collect results in trial order.
+pub fn run_trials<T, F>(count: usize, base_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    (0..count)
+        .into_par_iter()
+        .map(|i| f(derive(base_seed, tags::TRIAL, i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_are_ordered_and_seeded_distinctly() {
+        let out = run_trials(16, 7, |seed| seed);
+        assert_eq!(out.len(), 16);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16, "seeds must be distinct");
+        // Determinism.
+        assert_eq!(out, run_trials(16, 7, |seed| seed));
+        // Different base → different seeds.
+        assert_ne!(out, run_trials(16, 8, |seed| seed));
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        assert!(run_trials(0, 1, |s| s).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Movie night — the anytime algorithm under unknown community
+//! structure (§6).
+//!
+//! A streaming service's users don't come labelled with their taste
+//! cluster. Some belong to a broad "likes blockbusters" community, a
+//! subset to a tighter "likes 90s action" community, a niche inside
+//! that to "likes exactly these 12 directors". The anytime algorithm
+//! doubles down on smaller α phase by phase: the longer a user keeps
+//! rating movies, the tighter the community whose collective knowledge
+//! they inherit.
+//!
+//! ```text
+//! cargo run --release --example movie_night
+//! ```
+
+use tmwia::prelude::*;
+
+fn main() {
+    // 512 users × 512 movies; nested taste communities around one
+    // profile: 256 loose (D ≤ 48), 128 medium (D ≤ 16), 64 tight (D ≤ 4).
+    let n = 512usize;
+    let specs = [(256usize, 48usize), (128, 16), (64, 4)];
+    let inst = nested_communities(n, n, &specs, 99);
+    println!("catalogue: {}", inst.descriptor);
+
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let users: Vec<PlayerId> = (0..n).collect();
+
+    // Run three doubling phases (α = 1/2, 1/4, 1/8).
+    let report = anytime(&engine, &users, 3, &Params::practical(), 99);
+
+    println!("\nwatch-history grows → recommendations sharpen:");
+    println!("{:<7} {:<8} {:<10} {:<12} {:<12} {:<12}", "phase", "alpha", "ratings", "loose Δ", "medium Δ", "tight Δ");
+    for (j, phase) in report.phases.iter().enumerate() {
+        let outputs: Vec<BitVec> = (0..n)
+            .map(|p| phase.outputs[&p].clone())
+            .collect();
+        let discs: Vec<usize> = inst
+            .communities
+            .iter()
+            .map(|c| discrepancy(engine.truth(), &outputs, c))
+            .collect();
+        println!(
+            "{:<7} {:<8.3} {:<10} {:<12} {:<12} {:<12}",
+            j + 1,
+            phase.alpha,
+            phase.rounds_after,
+            discs[0],
+            discs[1],
+            discs[2]
+        );
+    }
+
+    let final_outputs: Vec<BitVec> = (0..n)
+        .map(|p| report.final_outputs()[&p].clone())
+        .collect();
+    let tight = &inst.communities[2];
+    let tight_report = CommunityReport::evaluate(engine.truth(), &final_outputs, tight);
+    println!(
+        "\ntight community ends at stretch ρ = {:.2} (diameter {}, Δ = {})",
+        tight_report.stretch, tight_report.diameter, tight_report.discrepancy
+    );
+}

@@ -1,0 +1,74 @@
+//! # tmwia — *Tell Me Who I Am: An Interactive Recommendation System*
+//!
+//! A complete Rust implementation of Alon, Awerbuch, Azar &
+//! Patt-Shamir's SPAA 2006 paper: `n` players each hold an unknown
+//! binary preference vector over `m` objects; the only information
+//! primitive is a unit-cost *probe* of one's own vector, and probe
+//! results are shared on a public *billboard*. The paper's algorithms
+//! let every member of any community of similar-taste players
+//! reconstruct its preferences to within a constant factor of the
+//! community's diameter ("constant stretch") after only
+//! polylogarithmically many probing rounds — with **no generative
+//! assumptions** on the preference matrix.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tmwia::prelude::*;
+//!
+//! // A hidden world: 64 players over 64 objects; half of them share a
+//! // taste profile up to 4 disagreements.
+//! let inst = planted_community(64, 64, 32, 4, 7);
+//! let engine = ProbeEngine::new(inst.truth.clone());
+//! let players: Vec<PlayerId> = (0..inst.n()).collect();
+//!
+//! // Every player reconstructs its preferences (α, D known here;
+//! // see `reconstruct_unknown_d` / `anytime` for the §6 wrappers).
+//! let rec = reconstruct_known(&engine, &players, 0.5, 4, &Params::practical(), 7);
+//!
+//! // Community members are within 5·D of their hidden vectors…
+//! for &p in inst.community() {
+//!     let err = rec.outputs[&p].hamming(inst.truth.row(p));
+//!     assert!(err <= 20);
+//! }
+//! // …and nobody paid more than m probes (most paid far fewer).
+//! assert!(engine.max_probes() <= 64);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`model`] | bit-packed vectors, `{0,1,?}` vectors, metrics, generators |
+//! | [`billboard`] | probe engine with cost accounting, shared billboard |
+//! | [`core`] | the paper's algorithms (Figures 1–7, §6) |
+//! | [`baselines`] | solo / oracle / kNN / spectral comparators |
+//! | [`sim`] | experiment harness and the E1–E16 suite |
+
+pub use tmwia_baselines as baselines;
+pub use tmwia_billboard as billboard;
+pub use tmwia_core as core;
+pub use tmwia_model as model;
+pub use tmwia_sim as sim;
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use tmwia_baselines::{
+        knn_billboard, oracle_community, solo, spectral_reconstruct, KnnConfig, SpectralConfig,
+    };
+    pub use tmwia_billboard::{
+        Billboard, CostSnapshot, ObjectId, PhaseCost, PlayerHandle, PlayerId, PrefMatrix,
+        ProbeEngine,
+    };
+    pub use tmwia_core::{
+        anytime, coalesce, large_radius, reconstruct_known, reconstruct_unknown_d, rselect_bits,
+        select_bits, small_radius, zero_radius, AnytimeReport, BinarySpace, Branch, ObjectSpace,
+        Params, Reconstruction,
+    };
+    pub use tmwia_model::generators::{
+        adversarial_clusters, bernoulli_types, nested_communities, orthogonal_types,
+        planted_community, planted_with_decoys, uniform_noise, Instance,
+    };
+    pub use tmwia_model::metrics::{diameter, discrepancy, stretch, CommunityReport};
+    pub use tmwia_model::{BitVec, TernaryVec};
+}

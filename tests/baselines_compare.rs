@@ -1,0 +1,127 @@
+//! Cross-crate sanity ordering between the paper's algorithm and the
+//! baselines — the relationships every experiment table relies on.
+
+use tmwia::prelude::*;
+
+#[test]
+fn solo_is_exact_and_most_expensive() {
+    let inst = planted_community(64, 256, 32, 4, 1);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..64).collect();
+    let out = solo(&engine, &players);
+    for &p in &players {
+        assert_eq!(&out[&p], inst.truth.row(p));
+        assert_eq!(engine.probes_of(p), 256);
+    }
+}
+
+#[test]
+fn oracle_is_cheaper_than_zero_radius_but_needs_the_oracle() {
+    // Same D = 0 community, both reconstruct exactly; oracle rounds
+    // ≈ m/k beat Zero Radius's O(log n/α) only because membership is
+    // given for free.
+    let inst = planted_community(256, 256, 128, 0, 2);
+    let community = inst.community().to_vec();
+
+    let eng_zr = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..256).collect();
+    let rec = reconstruct_known(&eng_zr, &players, 0.5, 0, &Params::practical(), 2);
+    let zr_rounds = community.iter().map(|&p| eng_zr.probes_of(p)).max().unwrap();
+    for &p in &community {
+        assert_eq!(&rec.outputs[&p], inst.truth.row(p));
+    }
+
+    let eng_or = ProbeEngine::new(inst.truth.clone());
+    let out = oracle_community(&eng_or, &community, 1, 2);
+    let or_rounds = community.iter().map(|&p| eng_or.probes_of(p)).max().unwrap();
+    for &p in &community {
+        assert_eq!(&out[&p], inst.truth.row(p));
+    }
+
+    assert!(or_rounds <= zr_rounds, "oracle {or_rounds} > ZR {zr_rounds}");
+    // Both beat solo by a wide margin.
+    assert!(zr_rounds < 256 / 4);
+}
+
+#[test]
+fn spectral_wins_its_home_game_loses_away() {
+    let players: Vec<PlayerId> = (0..128).collect();
+    let cfg = SpectralConfig {
+        probes_per_player: 64,
+        rank: 4,
+        iterations: 25,
+    };
+    let mean_err = |inst: &Instance| {
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let out = spectral_reconstruct(&engine, &players, &cfg, 3);
+        players
+            .iter()
+            .map(|&p| out[&p].hamming(engine.truth().row(p)) as f64)
+            .sum::<f64>()
+            / players.len() as f64
+    };
+    let home = mean_err(&orthogonal_types(128, 256, 4, 0.02, 3));
+    let away = mean_err(&adversarial_clusters(128, 256, 16, 4, 3));
+    assert!(
+        away > 1.5 * home.max(1.0),
+        "home {home:.1} vs away {away:.1}: no contrast"
+    );
+}
+
+#[test]
+fn knn_needs_polynomial_budget() {
+    // Identical community; sparse sampling must fail, dense must work.
+    let inst = planted_community(64, 1024, 32, 0, 4);
+    let community = inst.community().to_vec();
+    let players: Vec<PlayerId> = (0..64).collect();
+    let err_at = |r: usize| {
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let out = knn_billboard(
+            &engine,
+            &players,
+            &KnnConfig {
+                probes_per_player: r,
+                neighbours: 5,
+                min_overlap: 2,
+            },
+            4,
+        );
+        community
+            .iter()
+            .map(|&p| out[&p].hamming(inst.truth.row(p)))
+            .max()
+            .unwrap()
+    };
+    let sparse = err_at(8); // ≪ √m: overlaps are empty/noise
+    let dense = err_at(512); // Θ(m): plenty of signal
+    assert!(
+        sparse > 4 * dense.max(1),
+        "sparse {sparse} vs dense {dense}: no budget cliff"
+    );
+}
+
+#[test]
+fn tmwia_matches_oracle_error_scale_without_the_oracle() {
+    // D > 0: oracle gets O(D), the paper's algorithm O(D) (Small
+    // Radius, 5D) — same scale, no membership oracle.
+    let d = 6;
+    let inst = planted_community(256, 256, 128, d, 5);
+    let community = inst.community().to_vec();
+
+    let eng_a = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..256).collect();
+    let rec = reconstruct_known(&eng_a, &players, 0.5, d, &Params::practical(), 5);
+    let ours: Vec<BitVec> = (0..256).map(|p| rec.outputs[&p].clone()).collect();
+    let our_delta = discrepancy(eng_a.truth(), &ours, &community);
+
+    let eng_b = ProbeEngine::new(inst.truth.clone());
+    let out = oracle_community(&eng_b, &community, 1, 5);
+    let theirs: Vec<BitVec> = (0..256)
+        .map(|p| out.get(&p).cloned().unwrap_or_else(|| BitVec::zeros(256)))
+        .collect();
+    let oracle_delta = discrepancy(eng_b.truth(), &theirs, &community);
+
+    assert!(our_delta <= 5 * d);
+    assert!(oracle_delta <= 3 * d);
+    assert!(our_delta <= 5 * oracle_delta.max(d), "not the same scale");
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration: full reconstructions through the public
+//! umbrella API, exercising every Figure 1 branch, the §6 wrappers and
+//! the cost accounting together.
+
+use tmwia::prelude::*;
+
+fn community_metrics(
+    engine: &ProbeEngine,
+    outputs: &std::collections::HashMap<PlayerId, BitVec>,
+    community: &[PlayerId],
+) -> (usize, u64) {
+    let n = engine.n();
+    let m = engine.m();
+    let dense: Vec<BitVec> = (0..n)
+        .map(|p| outputs.get(&p).cloned().unwrap_or_else(|| BitVec::zeros(m)))
+        .collect();
+    let delta = discrepancy(engine.truth(), &dense, community);
+    let rounds = community
+        .iter()
+        .map(|&p| engine.probes_of(p))
+        .max()
+        .unwrap_or(0);
+    (delta, rounds)
+}
+
+#[test]
+fn zero_radius_branch_exact_and_cheap() {
+    let inst = planted_community(512, 512, 256, 0, 1);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..512).collect();
+    let rec = reconstruct_known(&engine, &players, 0.5, 0, &Params::practical(), 1);
+    assert_eq!(rec.branch, Branch::ZeroRadius);
+    let (delta, rounds) = community_metrics(&engine, &rec.outputs, inst.community());
+    assert_eq!(delta, 0, "exact community must reconstruct exactly");
+    assert!(rounds < 512 / 4, "rounds {rounds} not ≪ m");
+}
+
+#[test]
+fn small_radius_branch_within_5d() {
+    let d = 6;
+    let inst = planted_community(256, 256, 128, d, 2);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..256).collect();
+    let rec = reconstruct_known(&engine, &players, 0.5, d, &Params::practical(), 2);
+    assert_eq!(rec.branch, Branch::SmallRadius);
+    let (delta, _) = community_metrics(&engine, &rec.outputs, inst.community());
+    assert!(delta <= 5 * d, "Δ = {delta} > 5D");
+}
+
+#[test]
+fn large_radius_branch_bounded_stretch() {
+    let d = 64;
+    let inst = planted_community(256, 256, 128, d, 3);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..256).collect();
+    let rec = reconstruct_known(&engine, &players, 0.5, d, &Params::practical(), 3);
+    assert_eq!(rec.branch, Branch::LargeRadius);
+    let (delta, _) = community_metrics(&engine, &rec.outputs, inst.community());
+    // Theorem 5.4: O(D/α) = O(2D); allow the implementation constant.
+    assert!(delta <= 6 * d, "Δ = {delta} ≫ D = {d}");
+}
+
+#[test]
+fn unknown_d_needs_no_diameter() {
+    let d = 10;
+    let inst = planted_community(256, 256, 128, d, 4);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..256).collect();
+    let res = reconstruct_unknown_d(&engine, &players, 0.5, &Params::practical(), 4);
+    let (delta, _) = community_metrics(&engine, &res.outputs, inst.community());
+    assert!(delta <= 15 * d, "unknown-D Δ = {delta}");
+    // The grid covered D = 0 through m.
+    assert_eq!(res.grid.first(), Some(&0));
+    assert!(*res.grid.last().unwrap() >= 256);
+}
+
+#[test]
+fn anytime_serves_every_nested_community() {
+    let inst = nested_communities(256, 256, &[(128, 16), (64, 4)], 5);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..256).collect();
+    let report = anytime(&engine, &players, 2, &Params::practical(), 5);
+    let last = report.final_outputs();
+    let (delta_loose, _) = community_metrics(&engine, last, &inst.communities[0]);
+    let (delta_tight, _) = community_metrics(&engine, last, &inst.communities[1]);
+    assert!(delta_loose <= 8 * 16, "loose Δ = {delta_loose}");
+    assert!(delta_tight <= 16 * 4, "tight Δ = {delta_tight}");
+}
+
+#[test]
+fn every_player_gets_an_output_even_outsiders() {
+    let inst = planted_community(128, 128, 32, 4, 6);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..128).collect();
+    let rec = reconstruct_known(&engine, &players, 0.25, 4, &Params::practical(), 6);
+    assert_eq!(rec.outputs.len(), 128);
+    for p in 0..128 {
+        assert_eq!(rec.outputs[&p].len(), 128);
+    }
+}
+
+#[test]
+fn probe_cache_caps_cost_at_m_for_all_branches() {
+    for (d, seed) in [(0usize, 7u64), (6, 8), (64, 9)] {
+        let inst = planted_community(128, 128, 64, d, seed);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..128).collect();
+        reconstruct_known(&engine, &players, 0.5, d, &Params::practical(), seed);
+        assert!(
+            engine.max_probes() <= 128,
+            "d={d}: max probes {} > m",
+            engine.max_probes()
+        );
+    }
+}
+
+#[test]
+fn phase_cost_accounting_is_consistent() {
+    let inst = planted_community(128, 128, 64, 0, 10);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..128).collect();
+    let before = engine.snapshot();
+    reconstruct_known(&engine, &players, 0.5, 0, &Params::practical(), 10);
+    let after = engine.snapshot();
+    let phase = before.until(&after);
+    assert_eq!(phase.total(), engine.total_probes());
+    assert_eq!(phase.rounds(), engine.max_probes());
+    assert!(phase.mean() > 0.0);
+}

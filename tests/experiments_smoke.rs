@@ -1,0 +1,39 @@
+//! Smoke test: every E-series experiment runs end-to-end at quick scale
+//! and produces a well-formed, non-empty table. (The per-experiment
+//! bound assertions live in `tmwia-sim`'s unit tests; this guards the
+//! registry and the rendering path the bench binaries use.)
+
+use tmwia::sim::experiments::{all, ExpConfig};
+
+#[test]
+fn every_experiment_produces_a_table() {
+    let cfg = ExpConfig::quick(20060730);
+    for (id, name, runner) in all() {
+        let table = runner(&cfg);
+        assert!(!table.rows.is_empty(), "{id} ({name}) produced no rows");
+        assert!(
+            table.rows.iter().all(|r| r.len() == table.columns.len()),
+            "{id}: ragged rows"
+        );
+        let rendered = table.render();
+        assert!(rendered.contains("##"), "{id}: missing title");
+        let csv = table.to_csv();
+        assert_eq!(
+            csv.lines().count(),
+            table.rows.len() + 1,
+            "{id}: CSV row count mismatch"
+        );
+    }
+}
+
+#[test]
+fn experiment_tables_are_deterministic() {
+    let cfg = ExpConfig::quick(42);
+    // Spot-check three cheap experiments for bit-identical reruns.
+    for id in ["e2", "e3", "e5"] {
+        let (_, _, runner) = all().into_iter().find(|(i, _, _)| *i == id).unwrap();
+        let a = runner(&cfg);
+        let b = runner(&cfg);
+        assert_eq!(a, b, "{id} not deterministic");
+    }
+}

@@ -1,0 +1,122 @@
+//! Direct empirical checks of the paper's combinatorial lemmas, stated
+//! as close to the proofs as possible (complementing the E3 experiment
+//! and the algorithm-level tests).
+
+use tmwia::model::generators::at_distance;
+use tmwia::model::partition::uniform_parts;
+use tmwia::model::rng::{rng_for, tags};
+use tmwia::prelude::*;
+use std::collections::HashMap;
+
+/// Lemma 4.3: given a partition `O₁…O_s` such that each part has a set
+/// `Gᵢ` of ≥ M/5 community members agreeing exactly on it, ANY vector
+/// `u` stitched from those per-part agreements satisfies
+/// `dist(u, v(p)) ≤ 5D` for every community member `p`.
+#[test]
+fn lemma_4_3_stitched_vectors_are_5d_close() {
+    let (m_coords, members, d) = (1024usize, 40usize, 12usize);
+    for seed in 0..10u64 {
+        let mut rng = rng_for(seed, tags::TRIAL, 71);
+        let center = BitVec::random(m_coords, &mut rng);
+        let vs: Vec<BitVec> = (0..members)
+            .map(|_| at_distance(&center, d / 2, &mut rng))
+            .collect();
+        // Random partition at the Small Radius scale.
+        let s = (2.0 * (d as f64).powf(1.5)).ceil() as usize;
+        let coords: Vec<usize> = (0..m_coords).collect();
+        let parts = uniform_parts(&coords, s, &mut rng);
+
+        // Per part: find the largest exactly-agreeing group; skip trials
+        // where some part lacks a M/5 group (Lemma 4.1 says those are a
+        // minority of partitions; we only *condition* on success here).
+        let mut stitched = BitVec::zeros(m_coords);
+        let mut ok = true;
+        for part in &parts {
+            if part.is_empty() {
+                continue;
+            }
+            let mut groups: HashMap<BitVec, Vec<usize>> = HashMap::new();
+            for (i, v) in vs.iter().enumerate() {
+                groups.entry(v.project(part)).or_default().push(i);
+            }
+            let (proj, grp) = groups
+                .into_iter()
+                .max_by_key(|(_, g)| g.len())
+                .expect("non-empty part");
+            if grp.len() * 5 < members {
+                ok = false;
+                break;
+            }
+            stitched.scatter_from(&proj, part);
+        }
+        if !ok {
+            continue; // unsuccessful partition — outside the lemma's premise
+        }
+        // The lemma's conclusion, for every member.
+        for (i, v) in vs.iter().enumerate() {
+            let dist = stitched.hamming(v);
+            assert!(
+                dist <= 5 * d,
+                "seed {seed}, member {i}: dist {dist} > 5D = {}",
+                5 * d
+            );
+        }
+    }
+}
+
+/// Lemma 5.5 (projection concentration): chopping the objects into
+/// `cD/log n` groups projects any two D-close players to `O(log n)`
+/// disagreements per group, with high probability over the partition.
+#[test]
+fn lemma_5_5_projected_diameters_are_logarithmic() {
+    let (m_coords, n_for_log, d) = (4096usize, 4096usize, 512usize);
+    let ln_n = (n_for_log as f64).ln();
+    let groups = ((d as f64 / ln_n).floor() as usize).max(1); // c = 1
+    for seed in 0..10u64 {
+        let mut rng = rng_for(seed, tags::TRIAL, 72);
+        let a = BitVec::random(m_coords, &mut rng);
+        let b = at_distance(&a, d, &mut rng);
+        let coords: Vec<usize> = (0..m_coords).collect();
+        let parts = uniform_parts(&coords, groups, &mut rng);
+        for (ell, part) in parts.iter().enumerate() {
+            let dist = a.hamming_on(&b, part);
+            // Expected D/groups ≈ ln n ≈ 8.3; allow a 4× Chernoff band.
+            assert!(
+                (dist as f64) <= 4.0 * ln_n,
+                "seed {seed}, group {ell}: projected distance {dist} ≫ log n"
+            );
+        }
+    }
+}
+
+/// The step-2 disjointness argument of Theorem 5.3's proof: Coalesce's
+/// ball-cover representatives claim disjoint input sets of size ≥ αn,
+/// hence |A| ≤ 1/α — checked here via the public output-size bound
+/// under *adversarial* inputs engineered to have many borderline balls.
+#[test]
+fn coalesce_size_bound_under_borderline_balls() {
+    use tmwia::core::coalesce;
+    let m_coords = 256usize;
+    for seed in 0..10u64 {
+        let mut rng = rng_for(seed, tags::TRIAL, 73);
+        // 8 cluster centers at pairwise distance ~16 (borderline for
+        // D = 8 merging thresholds), 10 vectors each.
+        let base = BitVec::random(m_coords, &mut rng);
+        let mut vectors = Vec::new();
+        for c in 0..8 {
+            let center = at_distance(&base, 2 * c, &mut rng);
+            for _ in 0..10 {
+                vectors.push(at_distance(&center, 1, &mut rng));
+            }
+        }
+        for alpha_inv in [2usize, 4, 8] {
+            let alpha = 1.0 / alpha_inv as f64;
+            let out = coalesce(&vectors, 8, alpha, 5);
+            assert!(
+                out.len() <= alpha_inv,
+                "seed {seed}, α = 1/{alpha_inv}: {} candidates",
+                out.len()
+            );
+        }
+    }
+}

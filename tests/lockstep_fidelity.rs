@@ -1,0 +1,117 @@
+//! The simulation-fidelity contract, cross-crate: the literal
+//! peer-to-peer lockstep execution and the orchestrated simulation are
+//! the *same algorithm*, and the §1.1 claims hold for players of
+//! overlapping communities.
+
+use tmwia::core::{lockstep_zero_radius, zero_radius, BinarySpace};
+use tmwia::prelude::*;
+
+#[test]
+fn lockstep_equals_orchestrated_across_scales_and_alphas() {
+    for (n, k, seed) in [(192usize, 96usize, 3u64), (256, 64, 4)] {
+        let inst = planted_community(n, n, k, 0, seed);
+        let players: Vec<PlayerId> = (0..n).collect();
+        let objects: Vec<ObjectId> = (0..n).collect();
+        let alpha = k as f64 / n as f64;
+        let params = Params::practical();
+
+        let eng_a = ProbeEngine::new(inst.truth.clone());
+        let orch = zero_radius(
+            &BinarySpace::new(&eng_a),
+            &players,
+            &objects,
+            alpha,
+            &params,
+            n,
+            seed,
+        );
+        let eng_b = ProbeEngine::new(inst.truth.clone());
+        let lock = lockstep_zero_radius(&eng_b, &players, &objects, alpha, &params, n, seed);
+
+        for &p in &players {
+            assert_eq!(orch[&p], lock.outputs[&p], "n={n} player {p}");
+        }
+        assert_eq!(eng_a.total_probes(), eng_b.total_probes());
+        assert_eq!(eng_a.max_probes(), eng_b.max_probes());
+        // Wall-clock rounds exceed probes only by barrier waits.
+        assert!(lock.rounds >= eng_b.max_probes());
+        assert!(lock.rounds <= 6 * eng_b.max_probes() + 32);
+    }
+}
+
+#[test]
+fn lockstep_works_on_object_subsets() {
+    let inst = planted_community(96, 192, 96, 0, 7);
+    let players: Vec<PlayerId> = (0..96).collect();
+    let objects: Vec<ObjectId> = (0..192).step_by(3).collect();
+    let params = Params::practical();
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let res = lockstep_zero_radius(&engine, &players, &objects, 1.0, &params, 96, 7);
+    for &p in &players {
+        for (i, &j) in objects.iter().enumerate() {
+            assert_eq!(res.outputs[&p][i], inst.truth.value(p, j));
+        }
+    }
+}
+
+#[test]
+fn overlapping_communities_each_get_their_guarantee() {
+    // A player belonging to two overlapping typical sets is served at
+    // the better of the two scales. Build overlap explicitly: communities
+    // A = {0..64}, B = {32..96} around slightly different profiles.
+    let m = 256;
+    let mut rng_seed = 11u64;
+    let mk = |seed: u64| -> Instance {
+        use tmwia::model::generators::at_distance;
+        use tmwia::model::rng::{rng_for, tags};
+        let mut rng = rng_for(seed, tags::GENERATOR, 77);
+        let center_a = BitVec::random(m, &mut rng);
+        let center_b = at_distance(&center_a, 6, &mut rng); // profiles 6 apart
+        let rows: Vec<BitVec> = (0..128)
+            .map(|p| {
+                if p < 32 {
+                    at_distance(&center_a, 1, &mut rng)
+                } else if p < 64 {
+                    // overlap zone: within 4 of both centers
+                    at_distance(&center_a, 2, &mut rng)
+                } else if p < 96 {
+                    at_distance(&center_b, 1, &mut rng)
+                } else {
+                    BitVec::random(m, &mut rng)
+                }
+            })
+            .collect();
+        Instance {
+            truth: PrefMatrix::new(rows),
+            communities: vec![(0..64).collect(), (32..96).collect()],
+            target_diameters: vec![8, 12],
+            descriptor: "overlap".into(),
+        }
+    };
+    let inst = mk(rng_seed);
+    rng_seed += 1;
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..128).collect();
+    let rec = reconstruct_known(
+        &engine,
+        &players,
+        0.25,
+        8,
+        &Params::practical(),
+        rng_seed,
+    );
+    let outputs: Vec<BitVec> = (0..128).map(|p| rec.outputs[&p].clone()).collect();
+    for (i, community) in inst.communities.iter().enumerate() {
+        let delta = discrepancy(engine.truth(), &outputs, community);
+        let d = inst.truth.diameter_of(community);
+        assert!(
+            delta <= 5 * d.max(8),
+            "community {i}: Δ = {delta} vs D = {d}"
+        );
+    }
+    // The overlap players (32..64) individually meet the tighter bound.
+    for p in 32..64 {
+        let err = outputs[p].hamming(inst.truth.row(p));
+        assert!(err <= 40, "overlap player {p}: err {err}");
+    }
+}

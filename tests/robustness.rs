@@ -1,0 +1,132 @@
+//! Robustness integration tests: decoys, pure noise, degenerate
+//! parameters, and determinism under the parallel execution engine.
+
+use tmwia::prelude::*;
+
+#[test]
+fn decoys_do_not_poison_the_community() {
+    // 16 decoys sit just outside the community (distance 30 ≫ D = 4).
+    let inst = planted_with_decoys(256, 256, 96, 4, 16, 30, 1);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..256).collect();
+    let rec = reconstruct_known(&engine, &players, 96.0 / 256.0, 4, &Params::practical(), 1);
+    let outputs: Vec<BitVec> = (0..256).map(|p| rec.outputs[&p].clone()).collect();
+    let delta = discrepancy(engine.truth(), &outputs, inst.community());
+    assert!(delta <= 20, "Δ = {delta} — decoys corrupted the community");
+}
+
+#[test]
+fn pure_noise_players_get_valid_outputs() {
+    // No community at all: the algorithm must still terminate and
+    // output full-length vectors for everyone (quality unconstrained).
+    let inst = uniform_noise(128, 128, 2);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..128).collect();
+    let rec = reconstruct_known(&engine, &players, 0.25, 8, &Params::practical(), 2);
+    assert_eq!(rec.outputs.len(), 128);
+    assert!(rec.outputs.values().all(|w| w.len() == 128));
+    assert!(engine.max_probes() <= 128);
+}
+
+#[test]
+fn tiny_populations_fall_back_to_probing() {
+    // n below every threshold: base cases everywhere, exact outputs.
+    let inst = planted_community(4, 16, 4, 0, 3);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..4).collect();
+    let rec = reconstruct_known(&engine, &players, 1.0, 0, &Params::theory(), 3);
+    for p in 0..4 {
+        assert_eq!(&rec.outputs[&p], inst.truth.row(p));
+    }
+}
+
+#[test]
+fn subset_of_players_can_run_alone() {
+    // Only half the players participate; the rest never probe.
+    let inst = planted_community(128, 128, 64, 0, 4);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let members: Vec<PlayerId> = inst.community().to_vec();
+    let rec = reconstruct_known(&engine, &members, 1.0, 0, &Params::practical(), 4);
+    assert_eq!(rec.outputs.len(), members.len());
+    for p in 0..128 {
+        if !members.contains(&p) {
+            assert_eq!(engine.probes_of(p), 0, "non-participant {p} was charged");
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_are_bit_identical() {
+    // Run the same reconstruction on thread pools of different sizes;
+    // outputs and per-player costs must match exactly.
+    let inst = planted_community(128, 128, 64, 6, 5);
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let engine = ProbeEngine::new(inst.truth.clone());
+            let players: Vec<PlayerId> = (0..128).collect();
+            let rec = reconstruct_known(&engine, &players, 0.5, 6, &Params::practical(), 5);
+            let outputs: Vec<BitVec> = (0..128).map(|p| rec.outputs[&p].clone()).collect();
+            let costs: Vec<u64> = (0..128).map(|p| engine.probes_of(p)).collect();
+            (outputs, costs)
+        })
+    };
+    let (out1, cost1) = run(1);
+    let (out8, cost8) = run(8);
+    assert_eq!(out1, out8, "outputs depend on thread count");
+    assert_eq!(cost1, cost8, "probe charges depend on thread count");
+}
+
+#[test]
+fn different_seeds_give_different_randomness_same_guarantees() {
+    let mut distinct = 0;
+    let mut last: Option<Vec<BitVec>> = None;
+    for seed in 0..3u64 {
+        let inst = planted_community(128, 128, 64, 4, 100); // same instance
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..128).collect();
+        let rec = reconstruct_known(&engine, &players, 0.5, 4, &Params::practical(), seed);
+        let outputs: Vec<BitVec> = (0..128).map(|p| rec.outputs[&p].clone()).collect();
+        let delta = discrepancy(engine.truth(), &outputs, inst.community());
+        assert!(delta <= 20, "seed {seed}: Δ = {delta}");
+        if let Some(prev) = &last {
+            if prev != &outputs {
+                distinct += 1;
+            }
+        }
+        last = Some(outputs);
+    }
+    // The algorithm is genuinely randomized: different seeds should not
+    // all coincide (they may agree on the community, not everywhere).
+    assert!(distinct >= 1, "seeds produced identical full outputs");
+}
+
+#[test]
+fn fresh_probe_mode_still_correct_just_pricier() {
+    let inst = planted_community(128, 128, 64, 0, 6);
+    let mut params = Params::practical();
+    params.fresh_probes = true;
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..128).collect();
+    let rec = reconstruct_known(&engine, &players, 0.5, 0, &params, 6);
+    for &p in inst.community() {
+        assert_eq!(&rec.outputs[&p], inst.truth.row(p));
+    }
+}
+
+#[test]
+fn alpha_one_and_smallest_alpha_extremes() {
+    let inst = planted_community(64, 64, 64, 0, 7);
+    let engine = ProbeEngine::new(inst.truth.clone());
+    let players: Vec<PlayerId> = (0..64).collect();
+    // α = 1: everyone is the community.
+    let rec = reconstruct_known(&engine, &players, 1.0, 0, &Params::practical(), 7);
+    assert_eq!(rec.outputs.len(), 64);
+    // α near the log n / n floor: still terminates.
+    let engine2 = ProbeEngine::new(inst.truth.clone());
+    let rec2 = reconstruct_known(&engine2, &players, 0.07, 0, &Params::practical(), 7);
+    assert_eq!(rec2.outputs.len(), 64);
+}

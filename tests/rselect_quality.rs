@@ -1,0 +1,68 @@
+//! Statistical quality tests for RSelect (Theorem 6.1) across many
+//! random configurations — the unbounded Choose Closest must stay
+//! within a constant factor of the optimum with high probability, and
+//! its probe spend must respect the `O(|V|²·log n)` budget.
+
+use tmwia::core::{rselect_bits, Params};
+use tmwia::model::generators::at_distance;
+use tmwia::model::rng::{rng_for, tags};
+use tmwia::prelude::*;
+
+#[test]
+fn approximation_factor_over_many_trials() {
+    let m = 2048usize;
+    let params = Params::theory();
+    let mut worst_ratio = 1.0f64;
+    let mut failures = 0usize;
+    let trials = 40;
+    for seed in 0..trials as u64 {
+        let mut rng = rng_for(seed, tags::TRIAL, 61);
+        let truth_row = BitVec::random(m, &mut rng);
+        let truth = PrefMatrix::new(vec![truth_row.clone()]);
+        let engine = ProbeEngine::new(truth);
+        // Candidates at mixed distances, best planted at 5.
+        let dists = [5usize, 15, 45, 135, 405, 1000];
+        let cands: Vec<BitVec> = dists
+            .iter()
+            .map(|&d| at_distance(&truth_row, d, &mut rng))
+            .collect();
+        let objects: Vec<usize> = (0..m).collect();
+        let r = rselect_bits(&engine.player(0), &objects, &cands, &params, m, seed);
+        let chosen = cands[r.winner].hamming(&truth_row) as f64;
+        let ratio = chosen / 5.0;
+        worst_ratio = worst_ratio.max(ratio);
+        if ratio > 3.0 {
+            failures += 1;
+        }
+        // Budget: C(6,2) duels × c·ln m samples.
+        let budget = 15 * params.rselect_samples(m);
+        assert!(r.probes <= budget, "seed {seed}: {} > {budget}", r.probes);
+    }
+    // Theorem 6.1 is a w.h.p. statement; at 3× separations the 2/3
+    // majority essentially never confuses adjacent tiers.
+    assert_eq!(
+        failures, 0,
+        "{failures}/{trials} trials above 3× (worst ratio {worst_ratio})"
+    );
+}
+
+#[test]
+fn near_ties_resolve_to_either_but_never_to_far() {
+    // Candidates at distance 10 and 12 (a near-tie) plus one at 400:
+    // either near candidate is acceptable; the far one never wins.
+    let m = 1024usize;
+    let params = Params::theory();
+    for seed in 100..130u64 {
+        let mut rng = rng_for(seed, tags::TRIAL, 62);
+        let truth_row = BitVec::random(m, &mut rng);
+        let engine = ProbeEngine::new(PrefMatrix::new(vec![truth_row.clone()]));
+        let cands = vec![
+            at_distance(&truth_row, 10, &mut rng),
+            at_distance(&truth_row, 12, &mut rng),
+            at_distance(&truth_row, 400, &mut rng),
+        ];
+        let objects: Vec<usize> = (0..m).collect();
+        let r = rselect_bits(&engine.player(0), &objects, &cands, &params, m, seed);
+        assert_ne!(r.winner, 2, "seed {seed}: far candidate won");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the substrate layers: instance
+//! serialization, random partitions, the probe engine's accounting, and
+//! the lockstep round driver.
+
+use proptest::prelude::*;
+use tmwia::billboard::{run_rounds, RoundPolicy, SoloPolicy};
+use tmwia::model::io::{read_instance, write_instance};
+use tmwia::model::partition::{assign_with_multiplicity, random_halves, uniform_parts};
+use tmwia::model::rng::rng_for;
+use tmwia::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Instance text format round-trips exactly, for arbitrary shapes.
+    #[test]
+    fn io_roundtrip(seed in any::<u64>(), n in 1usize..24, m in 1usize..70, kind in 0u8..3) {
+        let inst = match kind {
+            0 => planted_community(n, m, (n / 2).max(1), (m / 4).min(m), seed),
+            1 => uniform_noise(n, m, seed),
+            _ => adversarial_clusters(n, m, (n / 4).max(1), 0, seed),
+        };
+        let text = write_instance(&inst);
+        let back = read_instance(&text).expect("parse back");
+        prop_assert_eq!(back.truth, inst.truth);
+        prop_assert_eq!(back.communities, inst.communities);
+        prop_assert_eq!(back.target_diameters, inst.target_diameters);
+    }
+
+    /// `uniform_parts` is a partition: disjoint cover, any s.
+    #[test]
+    fn uniform_parts_partitions(seed in any::<u64>(), len in 0usize..300, s in 1usize..12) {
+        let items: Vec<usize> = (0..len).collect();
+        let mut rng = rng_for(seed, 0xAA, 0);
+        let parts = uniform_parts(&items, s, &mut rng);
+        prop_assert_eq!(parts.len(), s);
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, items);
+    }
+
+    /// `random_halves` splits evenly and covers.
+    #[test]
+    fn halves_cover(seed in any::<u64>(), len in 0usize..200) {
+        let items: Vec<usize> = (0..len).collect();
+        let mut rng = rng_for(seed, 0xAB, 0);
+        let (a, b) = random_halves(&items, &mut rng);
+        prop_assert_eq!(a.len(), len.div_ceil(2));
+        prop_assert_eq!(b.len(), len / 2);
+        let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, items);
+    }
+
+    /// Multiplicity assignment: every player appears in exactly
+    /// `min(copies, parts)` distinct parts.
+    #[test]
+    fn assignment_multiplicity(
+        seed in any::<u64>(),
+        n in 1usize..60,
+        parts in 1usize..10,
+        copies in 1usize..6,
+    ) {
+        let players: Vec<PlayerId> = (0..n).collect();
+        let mut rng = rng_for(seed, 0xAC, 0);
+        let assigned = assign_with_multiplicity(&players, parts, copies, &mut rng);
+        let expect = copies.min(parts);
+        let mut count = vec![0usize; n];
+        for (ell, part) in assigned.iter().enumerate() {
+            let mut uniq = part.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), part.len(), "duplicates in part {}", ell);
+            for &p in part {
+                count[p] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == expect));
+    }
+
+    /// Probe engine accounting: after probing an arbitrary multiset of
+    /// coordinates, per-player charge = number of distinct coordinates.
+    #[test]
+    fn probe_accounting(seed in any::<u64>(), m in 1usize..100, probes in proptest::collection::vec(0usize..100, 0..60)) {
+        let inst = uniform_noise(2, m, seed);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let h = engine.player(0);
+        let mut distinct = std::collections::HashSet::new();
+        for &j in &probes {
+            let j = j % m;
+            let v = h.probe(j);
+            prop_assert_eq!(v, inst.truth.value(0, j));
+            distinct.insert(j);
+        }
+        prop_assert_eq!(engine.probes_of(0), distinct.len() as u64);
+        prop_assert_eq!(engine.probes_of(1), 0);
+    }
+
+    /// Lockstep driver: solo policies over arbitrary sizes terminate in
+    /// exactly m rounds with exact estimates.
+    #[test]
+    fn lockstep_solo_contract(seed in any::<u64>(), n in 1usize..6, m in 1usize..50) {
+        let inst = uniform_noise(n, m, seed);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..n).collect();
+        let mut policies: Vec<Box<dyn RoundPolicy>> = (0..n)
+            .map(|_| Box::new(SoloPolicy::new(m)) as Box<dyn RoundPolicy>)
+            .collect();
+        let res = run_rounds(&engine, &players, &mut policies, (m + 5) as u64);
+        prop_assert_eq!(res.rounds, m as u64);
+        for (i, &p) in players.iter().enumerate() {
+            prop_assert_eq!(&res.estimates[i], inst.truth.row(p));
+        }
+    }
+
+    /// Stretch/discrepancy metric identities on random outputs.
+    #[test]
+    fn metric_identities(seed in any::<u64>(), n in 2usize..10, m in 1usize..80) {
+        let inst = uniform_noise(n, m, seed);
+        let outputs: Vec<BitVec> = inst.truth.rows().to_vec();
+        let players: Vec<PlayerId> = (0..n).collect();
+        // Exact outputs ⇒ zero discrepancy and stretch.
+        prop_assert_eq!(discrepancy(&inst.truth, &outputs, &players), 0);
+        prop_assert_eq!(stretch(&inst.truth, &outputs, &players), 0.0);
+        // Diameter is symmetric under player order.
+        let mut rev = players.clone();
+        rev.reverse();
+        prop_assert_eq!(
+            diameter(&inst.truth, &players),
+            diameter(&inst.truth, &rev)
+        );
+    }
+}

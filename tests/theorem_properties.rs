@@ -1,0 +1,128 @@
+//! Property-based tests (proptest) for the theorem-level invariants:
+//! whatever the adversary picks, the algorithms' contracts must hold.
+
+use proptest::prelude::*;
+use tmwia::core::{coalesce, select_values, Params};
+use tmwia::model::generators::at_distance;
+use tmwia::model::rng::rng_for;
+use tmwia::prelude::*;
+
+/// Strategy: a target vector plus k candidates at bounded distances.
+fn target_and_candidates(
+    m: usize,
+    max_k: usize,
+    max_d: usize,
+) -> impl Strategy<Value = (BitVec, Vec<BitVec>, usize)> {
+    (1..=max_k, 0..=max_d, any::<u64>()).prop_map(move |(k, d, seed)| {
+        let mut rng = rng_for(seed, 0x50524F50, 0); // "PROP"
+        let target = BitVec::random(m, &mut rng);
+        let cands: Vec<BitVec> = (0..k)
+            .map(|i| {
+                // Guarantee at least one candidate within d.
+                let dist = if i == 0 {
+                    d / 2
+                } else {
+                    (i * 7) % (2 * d.max(1) + 3)
+                };
+                at_distance(&target, dist.min(m), &mut rng)
+            })
+            .collect();
+        (target, cands, d)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.2: Select returns a closest candidate and never spends
+    /// more than k(D+1) probes, for any candidate configuration with a
+    /// candidate within D.
+    #[test]
+    fn select_contract((target, cands, d) in target_and_candidates(128, 8, 12)) {
+        let rows: Vec<Vec<bool>> = cands
+            .iter()
+            .map(|cv| (0..cv.len()).map(|j| cv.get(j)).collect())
+            .collect();
+        let mut probes = 0usize;
+        let r = select_values(&rows, |j| { probes += 1; target.get(j) }, d);
+        prop_assert_eq!(probes, r.probes);
+        prop_assert!(r.probes <= cands.len() * (d + 1));
+        let best = cands.iter().map(|c| c.hamming(&target)).min().unwrap();
+        prop_assert_eq!(cands[r.winner].hamming(&target), best);
+    }
+
+    /// Select is a pure function of its inputs: same candidates, same
+    /// target ⇒ same winner and same probe count.
+    #[test]
+    fn select_deterministic((target, cands, d) in target_and_candidates(96, 6, 8)) {
+        let rows: Vec<Vec<bool>> = cands
+            .iter()
+            .map(|cv| (0..cv.len()).map(|j| cv.get(j)).collect())
+            .collect();
+        let a = select_values(&rows, |j| target.get(j), d);
+        let b = select_values(&rows, |j| target.get(j), d);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Theorem 5.3 invariants for Coalesce on arbitrary vector soups:
+    /// |B| ≤ 1/α and pairwise output distance > 5D, for any input.
+    #[test]
+    fn coalesce_contract(
+        seed in any::<u64>(),
+        n in 4usize..40,
+        d in 0usize..10,
+        alpha_pct in 10usize..60,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let mut rng = rng_for(seed, 0x50524F50, 1);
+        let vectors: Vec<BitVec> = (0..n).map(|_| BitVec::random(64, &mut rng)).collect();
+        let out = coalesce(&vectors, d, alpha, 5);
+        prop_assert!(out.len() as f64 <= 1.0 / alpha + 1e-9);
+        for i in 0..out.len() {
+            for j in (i + 1)..out.len() {
+                prop_assert!(out[i].dtilde(&out[j]) > 5 * d);
+            }
+        }
+    }
+
+    /// Hamming distance is a metric (triangle inequality) — the
+    /// assumption every proof in the paper leans on.
+    #[test]
+    fn hamming_triangle(seed in any::<u64>(), len in 1usize..200) {
+        let mut rng = rng_for(seed, 0x50524F50, 2);
+        let a = BitVec::random(len, &mut rng);
+        let b = BitVec::random(len, &mut rng);
+        let c = BitVec::random(len, &mut rng);
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert_eq!(a.hamming(&a), 0);
+    }
+
+    /// d̃ is dominated by Hamming distance on concretizations: merging
+    /// can only hide disagreements, never invent them.
+    #[test]
+    fn dtilde_dominated(seed in any::<u64>(), len in 1usize..128) {
+        let mut rng = rng_for(seed, 0x50524F50, 3);
+        let a = BitVec::random(len, &mut rng);
+        let b = BitVec::random(len, &mut rng);
+        let c = BitVec::random(len, &mut rng);
+        let ta = TernaryVec::from_bits(&a);
+        let merged = ta.merge(&TernaryVec::from_bits(&b));
+        prop_assert!(merged.dtilde_bits(&c) <= a.hamming(&c));
+        prop_assert!(merged.dtilde_bits(&c) <= b.hamming(&c));
+    }
+
+    /// Zero Radius on a full exact community reconstructs everyone, for
+    /// random small sizes (end-to-end randomized property).
+    #[test]
+    fn zero_radius_exactness(seed in any::<u64>(), n_pow in 4u32..7) {
+        let n = 1usize << n_pow;
+        let inst = planted_community(n, n, n, 0, seed);
+        let engine = ProbeEngine::new(inst.truth.clone());
+        let players: Vec<PlayerId> = (0..n).collect();
+        let rec = reconstruct_known(&engine, &players, 1.0, 0, &Params::practical(), seed);
+        for &p in inst.community() {
+            prop_assert_eq!(&rec.outputs[&p], inst.truth.row(p));
+        }
+    }
+}
