@@ -15,11 +15,11 @@
 //! M-step); probes are charged through the engine like every other
 //! method.
 
+use rand::Rng;
 use std::collections::HashMap;
 use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
 use tmwia_model::rng::{derive, rng_for, tags};
 use tmwia_model::BitVec;
-use rand::Rng;
 
 /// Configuration for the EM baseline.
 #[derive(Clone, Debug)]
@@ -129,8 +129,7 @@ pub fn em_reconstruct(
             let w = BitVec::from_fn(m, |j| match own[j] {
                 Some(x) => x,
                 None => {
-                    let prob: f64 =
-                        (0..k).map(|t| resp[row][t] * theta[t][j]).sum();
+                    let prob: f64 = (0..k).map(|t| resp[row][t] * theta[t][j]).sum();
                     prob > 0.5
                 }
             });
@@ -144,7 +143,11 @@ mod tests {
     use super::*;
     use tmwia_model::generators::{adversarial_clusters, bernoulli_types, orthogonal_types};
 
-    fn mean_err(engine: &ProbeEngine, out: &HashMap<PlayerId, BitVec>, players: &[PlayerId]) -> f64 {
+    fn mean_err(
+        engine: &ProbeEngine,
+        out: &HashMap<PlayerId, BitVec>,
+        players: &[PlayerId],
+    ) -> f64 {
         players
             .iter()
             .map(|&p| out[&p].hamming(engine.truth().row(p)) as f64)
@@ -199,7 +202,11 @@ mod tests {
         };
         let run = |inst: &tmwia_model::generators::Instance| {
             let engine = ProbeEngine::new(inst.truth.clone());
-            mean_err(&engine, &em_reconstruct(&engine, &players, &cfg, 4), &players)
+            mean_err(
+                &engine,
+                &em_reconstruct(&engine, &players, &cfg, 4),
+                &players,
+            )
         };
         let e_easy = run(&easy);
         let e_hard = run(&hard);

@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
+use tmwia_model::kernel::masked_agreement;
 use tmwia_model::rng::{derive, rng_for, tags};
 use tmwia_model::BitVec;
 
@@ -60,10 +61,27 @@ pub fn knn_billboard(
         (idx, vals)
     });
 
+    // Scatter every player's samples onto full-width (mask, value)
+    // bit planes so peer scoring becomes word-parallel set algebra
+    // through the distance kernel instead of per-coordinate loops.
+    let scattered: Vec<(BitVec, BitVec)> = samples
+        .iter()
+        .map(|(idx, vals)| {
+            let mut mask = BitVec::zeros(m);
+            let mut full = BitVec::zeros(m);
+            for (i, &j) in idx.iter().enumerate() {
+                mask.set(j, true);
+                full.set(j, vals.get(i));
+            }
+            (mask, full)
+        })
+        .collect();
+
     // Phase 2: score peers on overlaps, majority-vote the best k.
     let outputs = par_map_players(players, |p| {
         let slot = players.iter().position(|&q| q == p).expect("player listed");
         let (my_idx, my_vals) = &samples[slot];
+        let (my_mask, my_full) = &scattered[slot];
         // Dense lookup: `my_map[j]` is Some(grade) iff this player
         // sampled object j. (A HashMap here dominates the whole
         // baseline's runtime at n ≈ 2048.)
@@ -72,22 +90,15 @@ pub fn knn_billboard(
             my_map[j] = Some(my_vals.get(i));
         }
 
-        // Agreement fraction per peer (requires min_overlap co-probes).
+        // Agreement fraction per peer (requires min_overlap co-probes):
+        // overlap = |mask_p ∩ mask_q|, agreement on the co-sampled
+        // coordinates via masked XOR popcounts.
         let mut scored: Vec<(usize, f64)> = Vec::new();
-        for (peer_slot, (peer_idx, peer_vals)) in samples.iter().enumerate() {
+        for (peer_slot, (peer_mask, peer_full)) in scattered.iter().enumerate() {
             if peer_slot == slot {
                 continue;
             }
-            let mut overlap = 0usize;
-            let mut agree = 0usize;
-            for (i, &j) in peer_idx.iter().enumerate() {
-                if let Some(mine) = my_map[j] {
-                    overlap += 1;
-                    if mine == peer_vals.get(i) {
-                        agree += 1;
-                    }
-                }
-            }
+            let (overlap, agree) = masked_agreement(my_full, my_mask, peer_full, peer_mask);
             if overlap >= config.min_overlap {
                 scored.push((peer_slot, agree as f64 / overlap as f64));
             }

@@ -30,8 +30,8 @@
 
 pub mod em;
 pub mod knn;
-pub mod one_good;
 pub mod linalg;
+pub mod one_good;
 pub mod oracle;
 pub mod prediction;
 pub mod solo;

@@ -16,12 +16,12 @@
 //! random object some other player has posted as liked. A player that
 //! probes a liked object posts it and stops.
 
+use rand::Rng;
 use std::collections::HashMap;
 use tmwia_billboard::{PlayerId, ProbeEngine};
 use tmwia_model::matrix::ObjectId;
 use tmwia_model::rng::{rng_for, tags};
 use tmwia_model::BitVec;
-use rand::Rng;
 
 /// Result of the one-good-object protocol.
 #[derive(Clone, Debug)]

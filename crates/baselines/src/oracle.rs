@@ -8,11 +8,11 @@
 //! algorithm is measured against (its stretch definition is relative to
 //! exactly this ideal).
 
+use rand::seq::SliceRandom;
 use std::collections::HashMap;
 use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
 use tmwia_model::rng::{rng_for, tags};
 use tmwia_model::BitVec;
-use rand::seq::SliceRandom;
 
 /// Run the coordinated-community protocol: the (externally provided)
 /// `community` splits the `m` objects into `|community|` random chunks;
@@ -81,10 +81,7 @@ pub fn oracle_community(
     // Everyone adopts the per-object majority (ties → 0, matching the
     // model crate's majority convention).
     let adopted = BitVec::from_fn(m, |j| votes[j].0 > votes[j].1);
-    community
-        .iter()
-        .map(|&p| (p, adopted.clone()))
-        .collect()
+    community.iter().map(|&p| (p, adopted.clone())).collect()
 }
 
 #[cfg(test)]

@@ -20,10 +20,10 @@
 //! exactly why the two models are compared by *shape*, not by a common
 //! budget.
 
+use rand::seq::SliceRandom;
 use tmwia_model::matrix::{PlayerId, PrefMatrix};
 use tmwia_model::rng::{rng_for, tags};
 use tmwia_model::BitVec;
-use rand::seq::SliceRandom;
 
 /// Result of a weighted-majority run.
 #[derive(Clone, Debug)]
@@ -45,7 +45,11 @@ impl WmResult {
         if players.is_empty() {
             return 0.0;
         }
-        players.iter().map(|&p| self.mistakes[p] as f64).sum::<f64>() / players.len() as f64
+        players
+            .iter()
+            .map(|&p| self.mistakes[p] as f64)
+            .sum::<f64>()
+            / players.len() as f64
     }
 }
 
@@ -61,9 +65,8 @@ pub fn weighted_majority(truth: &PrefMatrix, beta: f64, seed: u64) -> WmResult {
     let m = truth.m();
 
     // Reveal order: uniform over all entries.
-    let mut order: Vec<(PlayerId, usize)> = (0..n)
-        .flat_map(|p| (0..m).map(move |j| (p, j)))
-        .collect();
+    let mut order: Vec<(PlayerId, usize)> =
+        (0..n).flat_map(|p| (0..m).map(move |j| (p, j))).collect();
     order.shuffle(&mut rng_for(seed, tags::BASELINE, 5));
 
     // weights[p][q]: player p's trust in expert row q.

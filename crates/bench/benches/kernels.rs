@@ -6,8 +6,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use tmwia_core::{coalesce, select_values};
 use tmwia_model::generators::{at_distance, planted_community, select_hard_case};
+use tmwia_model::kernel::{all_pairs_scalar, bounded_masks_scalar};
 use tmwia_model::rng::{rng_for, tags};
-use tmwia_model::{BitVec, TernaryVec};
+use tmwia_model::{BitVec, DistanceKernel, TernaryVec};
 
 fn bench_hamming(c: &mut Criterion) {
     let mut group = c.benchmark_group("hamming");
@@ -53,11 +54,7 @@ fn bench_select(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("hard", format!("k{k}_d{d}")),
             &k,
-            |bench, _| {
-                bench.iter(|| {
-                    select_values(black_box(&rows), |j| target.get(j), d)
-                })
-            },
+            |bench, _| bench.iter(|| select_values(black_box(&rows), |j| target.get(j), d)),
         );
     }
     group.finish();
@@ -69,13 +66,39 @@ fn bench_coalesce(c: &mut Criterion) {
     for &(n, m) in &[(60usize, 512usize), (120, 1024)] {
         let mut rng = rng_for(4, tags::TRIAL, n as u64);
         let center = BitVec::random(m, &mut rng);
-        let mut vectors: Vec<BitVec> =
-            (0..n / 2).map(|_| at_distance(&center, 4, &mut rng)).collect();
+        let mut vectors: Vec<BitVec> = (0..n / 2)
+            .map(|_| at_distance(&center, 4, &mut rng))
+            .collect();
         vectors.extend((0..n - n / 2).map(|_| BitVec::random(m, &mut rng)));
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_m{m}")),
             &n,
             |bench, _| bench.iter(|| coalesce(black_box(&vectors), 8, 0.25, 5)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_distance_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernel");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        let m = 4096;
+        let mut rng = rng_for(5, tags::TRIAL, n as u64);
+        let vectors: Vec<BitVec> = (0..n).map(|_| BitVec::random(m, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("all_pairs", n), &n, |bench, _| {
+            bench.iter(|| DistanceKernel::new(black_box(&vectors)).all_pairs())
+        });
+        group.bench_with_input(BenchmarkId::new("all_pairs_scalar", n), &n, |bench, _| {
+            bench.iter(|| all_pairs_scalar(black_box(&vectors)))
+        });
+        group.bench_with_input(BenchmarkId::new("bounded_masks_d64", n), &n, |bench, _| {
+            bench.iter(|| DistanceKernel::new(black_box(&vectors)).bounded_masks(64))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bounded_masks_scalar_d64", n),
+            &n,
+            |bench, _| bench.iter(|| bounded_masks_scalar(black_box(&vectors), 64)),
         );
     }
     group.finish();
@@ -100,6 +123,7 @@ criterion_group!(
     bench_dtilde,
     bench_select,
     bench_coalesce,
+    bench_distance_kernel,
     bench_generators
 );
 criterion_main!(benches);

@@ -36,7 +36,9 @@ fn bench_billboard(c: &mut Criterion) {
         let mut rng = rng_for(2, tags::TRIAL, 0);
         let values: Vec<BitVec> = {
             let base = BitVec::random(512, &mut rng);
-            (0..1024).map(|i| at_distance(&base, i % 5, &mut rng)).collect()
+            (0..1024)
+                .map(|i| at_distance(&base, i % 5, &mut rng))
+                .collect()
         };
         bench.iter(|| {
             let board: Billboard<u8, BitVec> = Billboard::new();
@@ -65,8 +67,7 @@ fn bench_lockstep(c: &mut Criterion) {
                         .map(|p| {
                             let mut order: Vec<usize> = (0..m).collect();
                             order.shuffle(&mut rng_for(3, tags::BASELINE, p as u64));
-                            Box::new(CrowdPolicy::new(order, budget, m))
-                                as Box<dyn RoundPolicy>
+                            Box::new(CrowdPolicy::new(order, budget, m)) as Box<dyn RoundPolicy>
                         })
                         .collect();
                     run_rounds(&engine, &players, &mut policies, 10_000).rounds
@@ -93,8 +94,15 @@ fn bench_rselect(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
             bench.iter(|| {
                 let engine = ProbeEngine::new(truth.clone());
-                rselect_bits(&engine.player(0), &objects, black_box(&cands), &params, m, 7)
-                    .winner
+                rselect_bits(
+                    &engine.player(0),
+                    &objects,
+                    black_box(&cands),
+                    &params,
+                    m,
+                    7,
+                )
+                .winner
             })
         });
     }

@@ -10,15 +10,15 @@ fn main() {
     use tmwia_model::generators::planted_community;
     let params = Params::practical();
     for n in [512usize, 1024] {
-        for d in [0usize, 8, 64, n/2] {
-            let inst = planted_community(n, n, n/2, d, 1);
+        for d in [0usize, 8, 64, n / 2] {
+            let inst = planted_community(n, n, n / 2, d, 1);
             let engine = ProbeEngine::new(inst.truth.clone());
             let players: Vec<usize> = (0..n).collect();
             let t = Instant::now();
             reconstruct_known(&engine, &players, 0.5, d, &params, 1);
             println!("known n={n} d={d}: {:?}", t.elapsed());
         }
-        let inst = planted_community(n, n, n/2, 8, 1);
+        let inst = planted_community(n, n, n / 2, 8, 1);
         let engine = ProbeEngine::new(inst.truth.clone());
         let players: Vec<usize> = (0..n).collect();
         let t = Instant::now();

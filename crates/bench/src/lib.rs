@@ -27,12 +27,12 @@ pub struct Options {
 impl Options {
     /// Parse `--quick`, `--seed N`, `--csv DIR` from `std::env::args`.
     pub fn from_args() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_args(std::env::args().skip(1))
     }
 
     /// Parse from any argument iterator (testable core of
     /// [`Options::from_args`]).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn parse_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut opts = Options {
             quick: false,
             seed: 20060730, // SPAA'06 started July 30, 2006
@@ -86,7 +86,10 @@ fn run_with(id: &str, opts: &Options) {
         .into_iter()
         .find(|(i, _, _)| *i == id)
         .unwrap_or_else(|| panic!("unknown experiment id {id}"));
-    eprintln!("running {id}: {name} (quick={}, seed={})", opts.quick, opts.seed);
+    eprintln!(
+        "running {id}: {name} (quick={}, seed={})",
+        opts.quick, opts.seed
+    );
     let start = std::time::Instant::now();
     let table = runner(&opts.config());
     let elapsed = start.elapsed();
@@ -106,7 +109,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &str) -> Options {
-        Options::from_iter(s.split_whitespace().map(String::from))
+        Options::parse_args(s.split_whitespace().map(String::from))
     }
 
     #[test]

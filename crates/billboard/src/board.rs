@@ -93,10 +93,7 @@ impl<K: Eq + Hash + Clone, V: Clone + Ord> Billboard<K, V> {
                 *counts.entry(v).or_insert(0) += 1;
             }
         }
-        let mut out: Vec<(V, usize)> = counts
-            .into_iter()
-            .map(|(v, c)| (v.clone(), c))
-            .collect();
+        let mut out: Vec<(V, usize)> = counts.into_iter().map(|(v, c)| (v.clone(), c)).collect();
         out.sort();
         out
     }

@@ -89,11 +89,7 @@ impl PhaseCost {
     /// Maximum charge among a player subset (round complexity as
     /// experienced by, e.g., the planted community).
     pub fn rounds_of(&self, players: &[PlayerId]) -> u64 {
-        players
-            .iter()
-            .map(|&p| self.deltas[p])
-            .max()
-            .unwrap_or(0)
+        players.iter().map(|&p| self.deltas[p]).max().unwrap_or(0)
     }
 }
 

@@ -96,7 +96,10 @@ impl ProbeEngine {
 
     /// Total probes charged across all players.
     pub fn total_probes(&self) -> u64 {
-        self.counters.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Round complexity so far: the maximum per-player charge (each

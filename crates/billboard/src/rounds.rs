@@ -248,18 +248,19 @@ impl RoundPolicy for CrowdPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::seq::SliceRandom;
     use tmwia_model::generators::planted_community;
     use tmwia_model::matrix::PrefMatrix;
     use tmwia_model::rng::{rng_for, tags};
-    use rand::seq::SliceRandom;
 
     #[test]
     fn solo_policy_reconstructs_exactly_in_m_rounds() {
         let inst = planted_community(4, 32, 4, 0, 1);
         let engine = ProbeEngine::new(inst.truth.clone());
         let players: Vec<PlayerId> = (0..4).collect();
-        let mut policies: Vec<Box<dyn RoundPolicy>> =
-            (0..4).map(|_| Box::new(SoloPolicy::new(32)) as Box<dyn RoundPolicy>).collect();
+        let mut policies: Vec<Box<dyn RoundPolicy>> = (0..4)
+            .map(|_| Box::new(SoloPolicy::new(32)) as Box<dyn RoundPolicy>)
+            .collect();
         let res = run_rounds(&engine, &players, &mut policies, 1000);
         assert_eq!(res.rounds, 32);
         for (i, &p) in players.iter().enumerate() {

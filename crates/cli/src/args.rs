@@ -138,13 +138,20 @@ mod tests {
             Err(ArgError::BadValue { .. })
         ));
         let a = parse("run").unwrap();
-        assert_eq!(a.str_req("out").unwrap_err(), ArgError::Required("out".into()));
+        assert_eq!(
+            a.str_req("out").unwrap_err(),
+            ArgError::Required("out".into())
+        );
     }
 
     #[test]
     fn error_messages_name_the_flag() {
-        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
-        assert!(ArgError::Required("out".into()).to_string().contains("--out"));
+        assert!(ArgError::MissingValue("x".into())
+            .to_string()
+            .contains("--x"));
+        assert!(ArgError::Required("out".into())
+            .to_string()
+            .contains("--out"));
         assert!(ArgError::BadValue {
             flag: "n".into(),
             value: "z".into()

@@ -10,12 +10,10 @@ use tmwia_baselines::{
     SpectralConfig,
 };
 use tmwia_billboard::{PlayerId, ProbeEngine};
-use tmwia_core::{
-    anytime, community_hierarchy, reconstruct_known, reconstruct_unknown_d, Params,
-};
+use tmwia_core::{anytime, community_hierarchy, reconstruct_known, reconstruct_unknown_d, Params};
 use tmwia_model::generators::{
-    adversarial_clusters, bernoulli_types, nested_communities, orthogonal_types,
-    planted_community, uniform_noise, Instance,
+    adversarial_clusters, bernoulli_types, nested_communities, orthogonal_types, planted_community,
+    uniform_noise, Instance,
 };
 use tmwia_model::io::{read_instance, write_instance};
 use tmwia_model::metrics::CommunityReport;
@@ -166,10 +164,7 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
         inst.alpha()
     };
     let alpha: f64 = args.num_or("alpha", default_alpha)?;
-    let d: usize = args.num_or(
-        "d",
-        inst.target_diameters.first().copied().unwrap_or(8),
-    )?;
+    let d: usize = args.num_or("d", inst.target_diameters.first().copied().unwrap_or(8))?;
     let budget: usize = args.num_or("budget", (m / 4).max(8))?;
     let params = if args.has("theory") {
         Params::theory()
@@ -288,7 +283,10 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
             .map(|p| dense[p].hamming(inst.truth.row(p)) as f64)
             .sum::<f64>()
             / n as f64;
-        let _ = writeln!(s, "quality  : mean error {mean:.1} per player (no community)");
+        let _ = writeln!(
+            s,
+            "quality  : mean error {mean:.1} per player (no community)"
+        );
     }
     for (i, c) in inst.communities.iter().enumerate() {
         let report = CommunityReport::evaluate(&inst.truth, &dense, c);
@@ -313,8 +311,7 @@ pub fn cmd_communities(args: &Args) -> Result<String, CliError> {
     let inst = load_or_generate(args)?;
     let scales_raw = args.str_or("scales", "2,8,32");
     let scales: Result<Vec<usize>, _> = scales_raw.split(',').map(|x| x.trim().parse()).collect();
-    let scales =
-        scales.map_err(|_| CliError::Other(format!("bad --scales '{scales_raw}'")))?;
+    let scales = scales.map_err(|_| CliError::Other(format!("bad --scales '{scales_raw}'")))?;
     let min_size: usize = args.num_or("min-size", 3)?;
 
     // Cluster either the hidden truth (default: structure discovery on
@@ -327,7 +324,9 @@ pub fn cmd_communities(args: &Args) -> Result<String, CliError> {
         let players: Vec<PlayerId> = (0..inst.n()).collect();
         reconstruct_known(&engine, &players, alpha, d, &Params::practical(), seed).outputs
     } else {
-        (0..inst.n()).map(|p| (p, inst.truth.row(p).clone())).collect()
+        (0..inst.n())
+            .map(|p| (p, inst.truth.row(p).clone()))
+            .collect()
     };
 
     let ladder = community_hierarchy(&outputs, &scales, min_size);
@@ -421,8 +420,17 @@ mod tests {
 
     #[test]
     fn generate_every_kind() {
-        for kind in ["planted", "clusters", "types", "bernoulli", "noise", "nested"] {
-            let args = parse(&format!("generate --kind {kind} --n 32 --m 32 --k 16 --d 4"));
+        for kind in [
+            "planted",
+            "clusters",
+            "types",
+            "bernoulli",
+            "noise",
+            "nested",
+        ] {
+            let args = parse(&format!(
+                "generate --kind {kind} --n 32 --m 32 --k 16 --d 4"
+            ));
             let inst = generate_instance(&args).unwrap();
             assert_eq!(inst.n(), 32);
             assert_eq!(inst.m(), 32);
@@ -441,8 +449,18 @@ mod tests {
     #[test]
     fn run_all_algorithms_smoke() {
         for alg in [
-            "auto", "zero", "small", "large", "unknown-d", "anytime", "lockstep-zero", "solo",
-            "oracle", "knn", "spectral", "one-good",
+            "auto",
+            "zero",
+            "small",
+            "large",
+            "unknown-d",
+            "anytime",
+            "lockstep-zero",
+            "solo",
+            "oracle",
+            "knn",
+            "spectral",
+            "one-good",
         ] {
             let out = cmd_run(&parse(&format!(
                 "run --n 48 --m 48 --k 24 --d 4 --algorithm {alg} --seed 2"

@@ -17,7 +17,7 @@
 //! proof; we use `BitVec`'s word-wise order, which is deterministic and
 //! cheap.
 
-use tmwia_model::{BitVec, TernaryVec};
+use tmwia_model::{BitVec, DistanceKernel, TernaryVec};
 
 /// Run Coalesce on `vectors` with distance parameter `d`, frequency
 /// `freq` (the paper's `α`) and merge threshold `merge_mult · d`
@@ -49,35 +49,43 @@ pub fn coalesce(vectors: &[BitVec], d: usize, freq: f64, merge_mult: usize) -> V
     }
     let min_ball = ((freq * n as f64).ceil() as usize).max(1);
 
-    // Step 2: greedy dense-ball cover. `live` holds indices still in V.
-    let mut live: Vec<usize> = (0..n).collect();
+    // Step 2: greedy dense-ball cover. Ball membership is precomputed
+    // once as radius-`d` bitmasks over the input indices
+    // (`DistanceKernel::bounded_masks`), so each greedy pass maintains
+    // ball counts incrementally with word-parallel `popcount(mask ∩
+    // live)` instead of recomputing every pairwise distance against a
+    // frozen copy of V — the former worst-case O(n³) word-op loop.
+    let kernel = DistanceKernel::new(vectors);
+    let masks = kernel.bounded_masks(d);
+    // Deterministic pick order: indices sorted by (vector, index).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| vectors[a].cmp(&vectors[b]).then(a.cmp(&b)));
+
+    let mut live = BitVec::ones(n);
     let mut reps: Vec<BitVec> = Vec::new();
     loop {
         // Step 2a: drop every vector whose ball within the current V is
-        // too sparse. Repeat-until-stable is not required by the paper
-        // (one sweep per loop iteration, as written in Fig. 6).
-        let ball_size = |v: &BitVec, live: &[usize]| {
-            live.iter()
-                .filter(|&&i| vectors[i].hamming_bounded(v, d) <= d)
-                .count()
-        };
-        // The paper removes "all vectors v with |ball(v,D)| < αn" as one
-        // simultaneous step, so measure every ball against a frozen copy
-        // of the current V.
-        let frozen = live.clone();
-        live.retain(|&i| ball_size(&vectors[i], &frozen) >= min_ball);
-        if live.is_empty() {
+        // too sparse. The paper removes "all vectors v with |ball(v,D)|
+        // < αn" as one simultaneous step, so all counts are taken
+        // against the same `live` snapshot before any removal.
+        let survivors: Vec<usize> = (0..n)
+            .filter(|&i| live.get(i) && masks[i].and_count(&live) >= min_ball)
+            .collect();
+        live = BitVec::zeros(n);
+        for &i in &survivors {
+            live.set(i, true);
+        }
+        if survivors.is_empty() {
             break;
         }
         // Step 2b: lexicographically first surviving vector.
-        let &pick = live
+        let &pick = order
             .iter()
-            .min_by(|&&a, &&b| vectors[a].cmp(&vectors[b]).then(a.cmp(&b)))
+            .find(|&&i| live.get(i))
             .expect("live is non-empty");
-        let rep = vectors[pick].clone();
         // Step 2c: remove its ball.
-        live.retain(|&i| vectors[i].hamming_bounded(&rep, d) > d);
-        reps.push(rep);
+        live.subtract(&masks[pick]);
+        reps.push(vectors[pick].clone());
     }
 
     // Steps 3–4: merge near-duplicates into ?-consensus vectors.
@@ -123,22 +131,15 @@ pub fn coalesce_nonempty(
     if !out.is_empty() || vectors.is_empty() {
         return out;
     }
-    let best = vectors
-        .iter()
-        .enumerate()
-        .max_by(|(ia, a), (ib, b)| {
-            let ball = |v: &BitVec| {
-                vectors
-                    .iter()
-                    .filter(|u| u.hamming_bounded(v, d) <= d)
-                    .count()
-            };
-            ball(a)
-                .cmp(&ball(b))
-                .then_with(|| b.cmp(a)) // smaller vector wins the tie
-                .then_with(|| ib.cmp(ia))
+    let counts = DistanceKernel::new(vectors).bounded_counts(d);
+    let best = (0..vectors.len())
+        .min_by(|&a, &b| {
+            counts[b]
+                .cmp(&counts[a]) // bigger ball wins
+                .then_with(|| vectors[a].cmp(&vectors[b])) // then smaller vector
+                .then_with(|| a.cmp(&b)) // then smaller index
         })
-        .map(|(_, v)| v.clone())
+        .map(|i| vectors[i].clone())
         .expect("vectors non-empty");
     vec![TernaryVec::from_bits(&best)]
 }
@@ -161,7 +162,9 @@ mod tests {
     ) -> (Vec<BitVec>, Vec<BitVec>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let center = BitVec::random(m, &mut rng);
-        let cluster: Vec<BitVec> = (0..k).map(|_| at_distance(&center, d / 2, &mut rng)).collect();
+        let cluster: Vec<BitVec> = (0..k)
+            .map(|_| at_distance(&center, d / 2, &mut rng))
+            .collect();
         let mut all = cluster.clone();
         all.extend((0..extra).map(|_| BitVec::random(m, &mut rng)));
         (all, cluster)
@@ -247,9 +250,7 @@ mod tests {
         assert_eq!(out.len(), 1);
         // The fallback is one of the inputs, fully concrete.
         assert_eq!(out[0].count_unknown(), 0);
-        assert!(vectors
-            .iter()
-            .any(|v| TernaryVec::from_bits(v) == out[0]));
+        assert!(vectors.iter().any(|v| TernaryVec::from_bits(v) == out[0]));
     }
 
     #[test]

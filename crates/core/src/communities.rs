@@ -22,7 +22,8 @@
 
 use std::collections::HashMap;
 use tmwia_billboard::PlayerId;
-use tmwia_model::BitVec;
+use tmwia_model::kernel::iter_set_bits;
+use tmwia_model::{BitVec, DistanceKernel};
 
 /// One discovered community at a given scale.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,39 +77,47 @@ pub fn discover_communities(
     let mut players: Vec<PlayerId> = outputs.keys().copied().collect();
     players.sort_by(|&a, &b| outputs[&a].cmp(&outputs[&b]).then(a.cmp(&b)));
 
-    let mut unclaimed: Vec<PlayerId> = players.clone();
+    // Radius-`d` ball membership over the sorted positions, computed
+    // once by the blocked kernel; the greedy loop below then works
+    // entirely in word-parallel mask space (ball size within the
+    // unclaimed set = popcount(mask ∩ unclaimed)).
+    let vectors: Vec<&BitVec> = players.iter().map(|p| &outputs[p]).collect();
+    let masks = DistanceKernel::from_refs(&vectors).bounded_masks(d);
+
+    let n = players.len();
+    let mut unclaimed = BitVec::ones(n);
+    let mut remaining = n;
     let mut communities: Vec<DiscoveredCommunity> = Vec::new();
-    while !unclaimed.is_empty() {
+    while remaining > 0 {
         // Densest ball among unclaimed; ties to the earliest in the
-        // deterministic order.
-        let (seed, ball_size) = unclaimed
-            .iter()
-            .enumerate()
-            .map(|(pos, &p)| {
-                let ball = unclaimed
-                    .iter()
-                    .filter(|&&q| outputs[&p].hamming_bounded(&outputs[&q], d) <= d)
-                    .count();
-                (pos, p, ball)
-            })
-            .max_by_key(|&(pos, _, ball)| (ball, std::cmp::Reverse(pos)))
-            .map(|(_, p, ball)| (p, ball))
-            .expect("unclaimed non-empty");
+        // deterministic order (strict `>` keeps the first maximum).
+        let mut seed_pos = usize::MAX;
+        let mut ball_size = 0usize;
+        for (pos, mask) in masks.iter().enumerate() {
+            if !unclaimed.get(pos) {
+                continue;
+            }
+            let ball = mask.and_count(&unclaimed);
+            if ball > ball_size {
+                ball_size = ball;
+                seed_pos = pos;
+            }
+        }
         if ball_size < min_size {
             break; // everything left is dust
         }
         let members: Vec<PlayerId> = {
-            let mut ms: Vec<PlayerId> = unclaimed
-                .iter()
-                .copied()
-                .filter(|&q| outputs[&seed].hamming_bounded(&outputs[&q], d) <= d)
+            let mut ms: Vec<PlayerId> = iter_set_bits(&masks[seed_pos])
+                .filter(|&pos| unclaimed.get(pos))
+                .map(|pos| players[pos])
                 .collect();
             ms.sort_unstable();
             ms
         };
-        unclaimed.retain(|q| !members.contains(q));
+        remaining -= ball_size;
+        unclaimed.subtract(&masks[seed_pos]);
         communities.push(DiscoveredCommunity {
-            representative: seed,
+            representative: players[seed_pos],
             members,
         });
     }
@@ -210,8 +219,16 @@ mod tests {
             out.insert(p, at_distance(&sub2, 1, &mut rng));
         }
         let ladder = community_hierarchy(&out, &[3, 60], 2);
-        assert_eq!(ladder[0].communities.len(), 2, "tight scale: two subcommunities");
-        assert_eq!(ladder[1].communities.len(), 1, "loose scale: one supercommunity");
+        assert_eq!(
+            ladder[0].communities.len(),
+            2,
+            "tight scale: two subcommunities"
+        );
+        assert_eq!(
+            ladder[1].communities.len(),
+            1,
+            "loose scale: one supercommunity"
+        );
         assert_eq!(ladder[1].communities[0].members.len(), 16);
     }
 

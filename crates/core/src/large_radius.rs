@@ -135,7 +135,8 @@ pub fn large_radius(
         // Step 3: Coalesce the posted outputs (player order for
         // determinism).
         let inputs: Vec<BitVec> = plys.iter().map(|p| sr[p].clone()).collect();
-        let candidates = coalesce_nonempty(&inputs, coalesce_d, alpha / 4.0, params.coalesce_merge_mult);
+        let candidates =
+            coalesce_nonempty(&inputs, coalesce_d, alpha / 4.0, params.coalesce_merge_mult);
         let candidates = if candidates.is_empty() {
             vec![TernaryVec::unknowns(objs.len())]
         } else {

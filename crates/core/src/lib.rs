@@ -47,8 +47,8 @@ pub use rselect::{rselect, rselect_bits, RSelectResult};
 pub use select::{select_bits, select_rows, select_ternary, select_values, SelectResult};
 pub use small_radius::{small_radius, SrOutput};
 pub use unknown::{
-    anytime_known_d,
-    anytime, d_grid, reconstruct_unknown_d, AnytimeReport, PhaseReport, UnknownDResult,
+    anytime, anytime_known_d, d_grid, reconstruct_unknown_d, AnytimeReport, PhaseReport,
+    UnknownDResult,
 };
 pub use value::Value;
 pub use zero_radius::{zero_radius, BinarySpace, ObjectSpace, ZrOutput};

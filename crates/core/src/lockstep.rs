@@ -201,7 +201,10 @@ enum Phase {
     /// Waiting for the sibling at `path[level]` to finish posting.
     Waiting { level: usize },
     /// Running Select against the sibling's candidates.
-    Selecting { level: usize, machine: SelectMachine },
+    Selecting {
+        level: usize,
+        machine: SelectMachine,
+    },
     /// All levels merged; final output posted.
     Done,
 }
@@ -303,14 +306,7 @@ pub fn lockstep_zero_radius(
         let mut posts: Vec<(u64, PlayerId, Vec<bool>)> = Vec::new();
         for machine in &mut machines {
             let did = step(
-                machine,
-                &arena,
-                &complete,
-                &board,
-                engine,
-                alpha,
-                params,
-                &mut posts,
+                machine, &arena, &complete, &board, engine, alpha, params, &mut posts,
             );
             any_active |= did;
         }
@@ -412,7 +408,10 @@ fn step(
                     machine: machine_sel,
                 };
             }
-            Phase::Selecting { level, machine: sel } => {
+            Phase::Selecting {
+                level,
+                machine: sel,
+            } => {
                 let lvl = *level;
                 if let Some(j) = sel.next_probe() {
                     let v = engine.player(machine.p).probe(j);
@@ -528,9 +527,8 @@ mod tests {
                 run_seed,
             );
             let eng_b = ProbeEngine::new(inst.truth.clone());
-            let lock = lockstep_zero_radius(
-                &eng_b, &players, &objects, alpha, &params, n, run_seed,
-            );
+            let lock =
+                lockstep_zero_radius(&eng_b, &players, &objects, alpha, &params, n, run_seed);
 
             for &p in &players {
                 assert_eq!(orch[&p], lock.outputs[&p], "n={n} seed={seed} player {p}");
@@ -553,15 +551,8 @@ mod tests {
         let engine = ProbeEngine::new(inst.truth.clone());
         let players: Vec<PlayerId> = (0..n).collect();
         let objects: Vec<ObjectId> = (0..n).collect();
-        let res = lockstep_zero_radius(
-            &engine,
-            &players,
-            &objects,
-            0.5,
-            &Params::practical(),
-            n,
-            9,
-        );
+        let res =
+            lockstep_zero_radius(&engine, &players, &objects, 0.5, &Params::practical(), n, 9);
         let max_probes = engine.max_probes();
         assert!(res.rounds >= max_probes, "rounds can't beat probes");
         // Balanced tree ⇒ waits are a small multiple, not a blowup.
@@ -597,15 +588,7 @@ mod tests {
     fn empty_inputs_are_harmless() {
         let inst = planted_community(4, 8, 4, 0, 1);
         let engine = ProbeEngine::new(inst.truth.clone());
-        let res = lockstep_zero_radius(
-            &engine,
-            &[],
-            &[0, 1],
-            0.5,
-            &Params::practical(),
-            4,
-            0,
-        );
+        let res = lockstep_zero_radius(&engine, &[], &[0, 1], 0.5, &Params::practical(), 4, 0);
         assert!(res.outputs.is_empty());
         assert_eq!(res.rounds, 0);
     }

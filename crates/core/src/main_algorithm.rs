@@ -119,7 +119,13 @@ mod tests {
     use tmwia_model::generators::planted_community;
     use tmwia_model::metrics::discrepancy;
 
-    fn run(n: usize, m: usize, k: usize, d: usize, seed: u64) -> (ProbeEngine, Vec<PlayerId>, Reconstruction) {
+    fn run(
+        n: usize,
+        m: usize,
+        k: usize,
+        d: usize,
+        seed: u64,
+    ) -> (ProbeEngine, Vec<PlayerId>, Reconstruction) {
         let inst = planted_community(n, m, k, d, seed);
         let community = inst.community().to_vec();
         let engine = ProbeEngine::new(inst.truth);

@@ -140,8 +140,7 @@ impl Params {
 
     /// Desired players per Large Radius group.
     pub fn players_per_group(&self, n_global: usize, alpha: f64) -> usize {
-        ((self.part_players_factor * (n_global.max(2) as f64).ln() / alpha).ceil() as usize)
-            .max(1)
+        ((self.part_players_factor * (n_global.max(2) as f64).ln() / alpha).ceil() as usize).max(1)
     }
 
     /// RSelect duel sample size.

@@ -101,9 +101,7 @@ pub fn rselect(
         }
     }
 
-    let winner = (0..k)
-        .min_by_key(|&c| (losses[c], c))
-        .expect("k > 0");
+    let winner = (0..k).min_by_key(|&c| (losses[c], c)).expect("k > 0");
     RSelectResult {
         winner,
         probes,
@@ -280,13 +278,6 @@ mod tests {
     #[should_panic(expected = "at least one candidate")]
     fn empty_candidates_panic() {
         let (engine, objects) = setup(8, 13);
-        rselect(
-            &engine.player(0),
-            &objects,
-            &[],
-            &Params::theory(),
-            8,
-            0,
-        );
+        rselect(&engine.player(0), &objects, &[], &Params::theory(), 8, 0);
     }
 }

@@ -203,13 +203,17 @@ pub fn select_bits(
         .iter()
         .map(|c| (0..c.len()).map(|j| Some(c.get(j))).collect())
         .collect();
-    select_rows(&rows, |j| {
-        if fresh {
-            handle.probe_fresh(objects[j])
-        } else {
-            handle.probe(objects[j])
-        }
-    }, bound)
+    select_rows(
+        &rows,
+        |j| {
+            if fresh {
+                handle.probe_fresh(objects[j])
+            } else {
+                handle.probe(objects[j])
+            }
+        },
+        bound,
+    )
 }
 
 /// Select over ternary candidates (`?` entries never disagree), probing
@@ -230,13 +234,17 @@ pub fn select_ternary(
         .iter()
         .map(|c| (0..c.len()).map(|j| c.get(j).to_bool()).collect())
         .collect();
-    select_rows(&rows, |j| {
-        if fresh {
-            handle.probe_fresh(objects[j])
-        } else {
-            handle.probe(objects[j])
-        }
-    }, bound)
+    select_rows(
+        &rows,
+        |j| {
+            if fresh {
+                handle.probe_fresh(objects[j])
+            } else {
+                handle.probe(objects[j])
+            }
+        },
+        bound,
+    )
 }
 
 #[cfg(test)]

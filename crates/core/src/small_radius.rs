@@ -76,11 +76,8 @@ pub fn small_radius(
     // Step 1: K independent stitched candidates per player.
     let mut per_player_candidates: Vec<Vec<BitVec>> =
         vec![Vec::with_capacity(k_iters); players.len()];
-    let player_slot: HashMap<PlayerId, usize> = players
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (p, i))
-        .collect();
+    let player_slot: HashMap<PlayerId, usize> =
+        players.iter().enumerate().map(|(i, &p)| (p, i)).collect();
 
     for t in 0..k_iters {
         // Step 1a: random partition of the object view.
@@ -96,7 +93,8 @@ pub fn small_radius(
                     return (Vec::new(), vec![BitVec::zeros(0); players.len()]);
                 }
                 let part_objs: Vec<ObjectId> = part.iter().map(|&l| objects[l]).collect();
-                let part_seed = derive(seed, tags::SMALL_RADIUS_PART, ((t as u64) << 32) | i as u64);
+                let part_seed =
+                    derive(seed, tags::SMALL_RADIUS_PART, ((t as u64) << 32) | i as u64);
                 // Step 1b: Zero Radius with parameter α/5.
                 let zr = zero_radius(
                     &BinarySpace::new(engine),
@@ -163,8 +161,7 @@ where
     for &p in players {
         *counts.entry(&zr[&p]).or_insert(0) += 1;
     }
-    let mut tally: Vec<(Vec<V>, usize)> =
-        counts.into_iter().map(|(v, c)| (v.clone(), c)).collect();
+    let mut tally: Vec<(Vec<V>, usize)> = counts.into_iter().map(|(v, c)| (v.clone(), c)).collect();
     tally.sort();
     let min_votes = ((alpha * players.len() as f64 / params.zr_alpha_div).ceil() as usize).max(1);
     let mut keep: Vec<&Vec<V>> = tally
@@ -254,27 +251,9 @@ mod tests {
     fn empty_players_or_objects() {
         let inst = planted_community(8, 8, 4, 0, 1);
         let engine = ProbeEngine::new(inst.truth);
-        let out = small_radius(
-            &engine,
-            &[],
-            &[0, 1],
-            0.5,
-            2,
-            &Params::practical(),
-            8,
-            0,
-        );
+        let out = small_radius(&engine, &[], &[0, 1], 0.5, 2, &Params::practical(), 8, 0);
         assert!(out.is_empty());
-        let out2 = small_radius(
-            &engine,
-            &[0, 1],
-            &[],
-            0.5,
-            2,
-            &Params::practical(),
-            8,
-            0,
-        );
+        let out2 = small_radius(&engine, &[0, 1], &[], 0.5, 2, &Params::practical(), 8, 0);
         assert_eq!(out2[&0].len(), 0);
     }
 

@@ -67,8 +67,15 @@ pub fn reconstruct_unknown_d(
         .iter()
         .enumerate()
         .map(|(i, &d)| {
-            reconstruct_known(engine, players, alpha, d, params, derive(seed, TAG, i as u64))
-                .outputs
+            reconstruct_known(
+                engine,
+                players,
+                alpha,
+                d,
+                params,
+                derive(seed, TAG, i as u64),
+            )
+            .outputs
         })
         .collect();
 

@@ -115,7 +115,10 @@ fn recurse<S: ObjectSpace>(
     // Step 1: base case — probe everything in O.
     if players.len().min(objects.len()) < threshold {
         let rows = par_map_players(players, |p| {
-            objects.iter().map(|&j| space.probe(p, j)).collect::<Vec<_>>()
+            objects
+                .iter()
+                .map(|&j| space.probe(p, j))
+                .collect::<Vec<_>>()
         });
         let out: ZrOutput<S::Val> = players.iter().copied().zip(rows).collect();
         publish(board, node, &out, players);
@@ -129,7 +132,19 @@ fn recurse<S: ObjectSpace>(
 
     // Step 3: recurse on matched halves, in parallel.
     let (out1, out2) = rayon::join(
-        || recurse(space, &p1, &o1, alpha, params, n_global, seed, 2 * node, board),
+        || {
+            recurse(
+                space,
+                &p1,
+                &o1,
+                alpha,
+                params,
+                n_global,
+                seed,
+                2 * node,
+                board,
+            )
+        },
         || {
             recurse(
                 space,
@@ -192,11 +207,7 @@ fn publish<V: Value>(
     out: &ZrOutput<V>,
     players: &[PlayerId],
 ) {
-    board.post_batch(
-        players
-            .iter()
-            .map(|&p| (node, p, out[&p].clone())),
-    );
+    board.post_batch(players.iter().map(|&p| (node, p, out[&p].clone())));
 }
 
 /// The "popular vectors" of step 4: vectors posted at `child` by at
@@ -206,6 +217,17 @@ fn publish<V: Value>(
 /// always has a candidate — the paper's analysis makes this case
 /// `n^{-Ω(1)}`-rare for typical players; the fallback keeps atypical
 /// players well-defined.
+///
+/// The fallback cut is *tie-inclusive*: every vector with at least as
+/// many votes as the `⌈2/α⌉`-th entry is kept. Truncating a tie group
+/// lexicographically can drop the community's vector when a subtree
+/// half holds a single community member (all posts tied at one vote) —
+/// and because the losing half then adopts a wrong block which becomes
+/// the *majority* post at every ancestor, that one lexicographic
+/// coin-flip corrupts the entire community's output. With ties kept,
+/// Select (bound 0) recovers the true vector whenever at least one
+/// community member posted it, at the price of a longer candidate list
+/// only in this already-rare branch.
 ///
 /// Shared (`pub(crate)`) with the lockstep runtime so both executions
 /// compute candidate sets identically.
@@ -229,7 +251,12 @@ pub(crate) fn popular_candidates<V: Value>(
     let cap = ((2.0 / alpha).ceil() as usize).max(1);
     let mut by_votes = tally;
     by_votes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    by_votes.into_iter().take(cap).map(|(v, _)| v).collect()
+    let keep = by_votes.get(cap - 1).map_or(0, |&(_, c)| c);
+    by_votes
+        .into_iter()
+        .filter(|&(_, c)| c >= keep)
+        .map(|(v, _)| v)
+        .collect()
 }
 
 /// Each player of `players` selects (bound 0) among `candidates` —
@@ -405,6 +432,62 @@ mod tests {
             for (i, &j) in objects.iter().enumerate() {
                 assert_eq!(out[&p][i], inst.truth.value(p, j), "p={p} j={j}");
             }
+        }
+    }
+
+    #[test]
+    fn fallback_keeps_vote_ties_whole() {
+        // 8 players post 8 distinct vectors — every tally count is 1,
+        // so the α/2 threshold leaves nothing and the fallback path
+        // runs. With α = 1/2 the cap is 4, but cutting there would
+        // decide membership by vector order; the tie-inclusive cut must
+        // return all 8.
+        let board: Billboard<u64, Vec<bool>> = Billboard::new();
+        board.post_batch((0..8).map(|p| (7u64, p, vec![p & 1 != 0, p & 2 != 0, p & 4 != 0])));
+        let cands = popular_candidates(&board, 7, 8, 0.5, &Params::practical());
+        assert_eq!(cands.len(), 8, "tied fallback candidates must all survive");
+        // A genuine majority still short-circuits the fallback.
+        let board2: Billboard<u64, Vec<bool>> = Billboard::new();
+        board2.post_batch((0..8).map(|p| (7u64, p, vec![p == 7])));
+        let cands2 = popular_candidates(&board2, 7, 8, 0.5, &Params::practical());
+        assert_eq!(cands2, vec![vec![false]]);
+    }
+
+    #[test]
+    fn lone_community_member_block_does_not_corrupt_the_run() {
+        // Regression for the E1 whole-trial failures: under this exact
+        // seed the recursion produces a base-case half holding a single
+        // community member, so every post there ties at one vote. The
+        // old lexicographically-truncated fallback dropped the true
+        // vector, and the wrong adopted block then became the majority
+        // post at every ancestor — all but one community member ended
+        // with the same 5-bit-wrong output.
+        let n = 512;
+        let seed = tmwia_model::rng::derive(
+            20060730 ^ ((n as u64) << 8) ^ 256,
+            tmwia_model::rng::tags::TRIAL,
+            0,
+        );
+        let inst = planted_community(n, n, 256, 0, seed);
+        let community = inst.community().to_vec();
+        let engine = ProbeEngine::new(inst.truth);
+        let players: Vec<PlayerId> = (0..n).collect();
+        let objects: Vec<usize> = (0..n).collect();
+        let out = zero_radius(
+            &BinarySpace::new(&engine),
+            &players,
+            &objects,
+            0.5,
+            &Params::practical(),
+            n,
+            seed,
+        );
+        for &p in &community {
+            assert_eq!(
+                &to_bits(&out[&p]),
+                engine.truth().row(p),
+                "player {p} corrupted"
+            );
         }
     }
 

@@ -12,7 +12,7 @@ use rand::Rng;
 use std::fmt;
 
 /// Number of bits per storage word.
-const WORD_BITS: usize = 64;
+pub const WORD_BITS: usize = 64;
 
 /// A fixed-length bit vector over `{0,1}`.
 ///
@@ -195,6 +195,28 @@ impl BitVec {
         assert_eq!(patch.len(), coords.len());
         for (i, &j) in coords.iter().enumerate() {
             self.set(j, patch.get(i));
+        }
+    }
+
+    /// Number of positions set in both vectors (`|self ∩ other|`).
+    /// Word-parallel; the ball-cover loops use it to size a ball
+    /// within a live set as `popcount(mask ∩ live)`.
+    pub fn and_count(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Clear every position that is set in `other` (`self &= !other`).
+    /// The tail invariant is preserved: `other`'s tail bits are zero,
+    /// so `!other`'s tail cannot set bits beyond `len`.
+    pub fn subtract(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
         }
     }
 

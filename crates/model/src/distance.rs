@@ -6,6 +6,7 @@
 //! vector scans and majority votes.
 
 use crate::bitvec::BitVec;
+use crate::kernel::DistanceKernel;
 
 /// Hamming distance (`dist` of Definition 1.1). Thin free-function alias
 /// so call sites can read like the paper.
@@ -17,17 +18,11 @@ pub fn dist(x: &BitVec, y: &BitVec) -> usize {
 /// Maximum pairwise Hamming distance of a set of vectors — the paper's
 /// `D(P*)` when applied to the preference vectors of `P*`.
 /// Returns 0 for empty or singleton sets.
+///
+/// Runs through [`DistanceKernel`], so large sets get the blocked
+/// all-pairs path instead of `O(n²)` one-pair-at-a-time scans.
 pub fn set_diameter(vs: &[&BitVec]) -> usize {
-    let mut best = 0usize;
-    for i in 0..vs.len() {
-        for j in (i + 1)..vs.len() {
-            let d = vs[i].hamming(vs[j]);
-            if d > best {
-                best = d;
-            }
-        }
-    }
-    best
+    DistanceKernel::from_refs(vs).max_pair_distance()
 }
 
 /// Index of the vector in `candidates` closest to `target`, ties broken
@@ -38,19 +33,26 @@ pub fn set_diameter(vs: &[&BitVec]) -> usize {
 /// pay probes via Select/RSelect) but the analysis constantly compares
 /// against it.
 pub fn closest_index(target: &BitVec, candidates: &[BitVec]) -> Option<usize> {
-    candidates
-        .iter()
+    if candidates.is_empty() {
+        return None;
+    }
+    DistanceKernel::new(candidates)
+        .distances_to(target)
+        .into_iter()
         .enumerate()
-        .min_by_key(|(i, c)| (c.hamming(target), *i))
+        .min_by_key(|&(i, d)| (d, i))
         .map(|(i, _)| i)
 }
 
 /// Distance from `target` to the closest vector of `candidates`
 /// (`usize::MAX` if empty).
 pub fn closest_distance(target: &BitVec, candidates: &[BitVec]) -> usize {
-    candidates
-        .iter()
-        .map(|c| c.hamming(target))
+    if candidates.is_empty() {
+        return usize::MAX;
+    }
+    DistanceKernel::new(candidates)
+        .distances_to(target)
+        .into_iter()
         .min()
         .unwrap_or(usize::MAX)
 }

@@ -161,9 +161,7 @@ pub fn powerlaw_clusters(
         communities.push(c);
     }
 
-    let mut rows: Vec<BitVec> = (0..n)
-        .map(|_| BitVec::random(m, &mut rng))
-        .collect();
+    let mut rows: Vec<BitVec> = (0..n).map(|_| BitVec::random(m, &mut rng)).collect();
     for community in &communities {
         let center = BitVec::random(m, &mut rng);
         for &p in community {
@@ -178,9 +176,7 @@ pub fn powerlaw_clusters(
         truth: PrefMatrix::new(rows),
         communities,
         target_diameters: vec![d; k],
-        descriptor: format!(
-            "powerlaw-clusters(n={n}, m={m}, c={k}, zipf={exponent}, D≤{d})"
-        ),
+        descriptor: format!("powerlaw-clusters(n={n}, m={m}, c={k}, zipf={exponent}, D≤{d})"),
     }
 }
 

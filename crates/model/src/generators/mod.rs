@@ -65,8 +65,10 @@ impl Instance {
     }
 }
 
+pub use adversarial::{
+    adversarial_clusters, powerlaw_clusters, select_hard_case, smeared_clusters, uniform_noise,
+};
 pub use dynamic::{DriftConfig, DriftingWorld};
-pub use adversarial::{adversarial_clusters, powerlaw_clusters, select_hard_case, smeared_clusters, uniform_noise};
 pub use planted::{at_distance, nested_communities, planted_community, planted_with_decoys};
 pub use types::{bernoulli_types, orthogonal_types};
 

@@ -127,7 +127,9 @@ pub fn read_instance(text: &str) -> Result<Instance, IoError> {
             let ids: Result<Vec<PlayerId>, _> = it.map(|x| x.parse::<PlayerId>()).collect();
             let ids = ids.map_err(|_| IoError::Malformed(line.into()))?;
             if ids.iter().any(|&p| p >= n) {
-                return Err(IoError::Malformed(format!("player id out of range: {line}")));
+                return Err(IoError::Malformed(format!(
+                    "player id out of range: {line}"
+                )));
             }
             target_diameters.push(d);
             communities.push(ids);

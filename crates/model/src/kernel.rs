@@ -1,0 +1,732 @@
+//! `DistanceKernel` — blocked bulk Hamming-distance kernel.
+//!
+//! Every algorithm in the paper bottoms out in bulk Hamming work:
+//! Coalesce (Fig. 6) rescans all-pairs ball sizes each greedy pass,
+//! `set_diameter` and community discovery scan all pairs, and the kNN
+//! baseline scores every player pair on sample overlaps. Doing that
+//! through one-pair-at-a-time [`BitVec::hamming`] calls leaves three
+//! kinds of speed on the table, all recovered here:
+//!
+//! 1. **Contiguity** — the kernel copies the input rows into one
+//!    row-major bit-packed matrix, so tile loops stream sequential
+//!    memory instead of pointer-chasing per-`BitVec` heap allocations.
+//! 2. **Cache blocking** — all-pairs loops run over 64-row tiles
+//!    ([`TILE`]); a tile pair stays resident in L1/L2 across its
+//!    64×64 distance evaluations instead of re-streaming the whole
+//!    matrix once per outer row.
+//! 3. **Popcount batching** — the workspace compiles for baseline
+//!    `x86-64` (no `popcnt`, no AVX), so the pair-distance core picks
+//!    its implementation once at runtime: a 256-bit XOR +
+//!    `vpshufb`-nibble-lookup popcount loop when the CPU reports AVX2
+//!    ([`is_x86_feature_detected!`]), and otherwise a portable
+//!    lanewise Harley–Seal carry-save adder tree that spends one
+//!    software `count_ones` per 16 words instead of one per word.
+//!
+//! Work is distributed with rayon above [`PAR_THRESHOLD`] (the same
+//! idiom as `billboard::engine`), and falls back to the caller's
+//! thread below it. Outputs are **bit-identical** to the scalar
+//! reference paths ([`all_pairs_scalar`], [`bounded_masks_scalar`]),
+//! which stay in-tree as the ground truth for the property tests in
+//! `tests/kernel_properties.rs`.
+
+use crate::bitvec::{BitVec, WORD_BITS};
+use rayon::prelude::*;
+
+/// Rows per cache tile. 64 rows × 64 words (a 4096-bit row) is 32 KiB
+/// — one tile fits L1d, a tile pair fits L2 with room to spare.
+pub const TILE: usize = 64;
+
+/// Below this many tiles, parallel dispatch costs more than it saves
+/// (mirrors `PAR_THRESHOLD` in `tmwia-billboard`'s engine).
+const PAR_THRESHOLD: usize = 8;
+
+/// Run `f` over `0..count` preserving order, parallel above the
+/// threshold.
+fn par_map<T: Send, F: Fn(usize) -> T + Sync + Send>(count: usize, f: F) -> Vec<T> {
+    if count < PAR_THRESHOLD {
+        (0..count).map(f).collect()
+    } else {
+        (0..count).into_par_iter().map(f).collect()
+    }
+}
+
+/// SIMD width of the Harley–Seal loop, in `u64` lanes. The carry-save
+/// adds are pure lanewise XOR/AND/OR over fixed-size arrays, which
+/// LLVM auto-vectorizes on the baseline SSE2 target — important,
+/// because the *scalar* one-word-at-a-time reference already gets the
+/// vectorized-`ctpop` treatment and a sequential CSA chain loses to it.
+const LANES: usize = 2;
+
+/// Words consumed per Harley–Seal block: 16 CSA inputs × lane width.
+const BLOCK: usize = 16 * LANES;
+
+/// One vectorized accumulator group.
+type Lane = [u64; LANES];
+
+const ZERO: Lane = [0u64; LANES];
+
+/// Carry-save adder: one full-adder step, lanewise.
+/// Returns `(sum, carry)` with `a + b + c = sum + 2·carry` per bit.
+#[inline(always)]
+fn csa(a: Lane, b: Lane, c: Lane) -> (Lane, Lane) {
+    let mut s = ZERO;
+    let mut cy = ZERO;
+    for t in 0..LANES {
+        let u = a[t] ^ b[t];
+        s[t] = u ^ c[t];
+        cy[t] = (a[t] & b[t]) | (u & c[t]);
+    }
+    (s, cy)
+}
+
+/// Lanewise population count, summed.
+#[inline(always)]
+fn lane_pop(l: Lane) -> u64 {
+    l.iter().map(|w| w.count_ones() as u64).sum()
+}
+
+/// Population count of `a XOR b` over two equal-length word slices —
+/// the word-level Hamming distance. Dispatches once (at first use) to
+/// the AVX2 path when the CPU has it, else to
+/// [`xor_popcount_portable`]; both return identical values.
+#[inline]
+pub fn xor_popcount(a: &[u64], b: &[u64]) -> usize {
+    pair_fn()(a, b)
+}
+
+/// The pair-distance inner loop, selected once at first use.
+type PairFn = fn(&[u64], &[u64]) -> usize;
+
+static PAIR_FN: std::sync::OnceLock<PairFn> = std::sync::OnceLock::new();
+
+#[inline]
+fn pair_fn() -> PairFn {
+    *PAIR_FN.get_or_init(|| {
+        // The workspace targets baseline x86-64, so AVX2 is a runtime
+        // upgrade, not a compile flag — old machines fall back to the
+        // portable path with the same outputs.
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") {
+            return avx2::xor_popcount;
+        }
+        xor_popcount_portable
+    })
+}
+
+/// Portable [`xor_popcount`]: a Harley–Seal CSA tree over
+/// [`BLOCK`]-word blocks (one `count_ones` per 16 lanes instead of one
+/// per word) with a plain auto-vectorized tail. The non-AVX2 inner
+/// loop, and the reference the dispatched path is property-tested
+/// against.
+#[inline]
+pub fn xor_popcount_portable(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sixteen_pops: u64 = 0;
+    let (mut ones, mut twos, mut fours, mut eights) = (ZERO, ZERO, ZERO, ZERO);
+    let a_blocks = a.chunks_exact(BLOCK);
+    let b_blocks = b.chunks_exact(BLOCK);
+    let a_tail = a_blocks.remainder();
+    let b_tail = b_blocks.remainder();
+    for (ca, cb) in a_blocks.zip(b_blocks) {
+        let d = |k: usize| -> Lane {
+            let mut l = ZERO;
+            for t in 0..LANES {
+                l[t] = ca[k * LANES + t] ^ cb[k * LANES + t];
+            }
+            l
+        };
+        let (s, twos_a) = csa(ones, d(0), d(1));
+        let (s, twos_b) = csa(s, d(2), d(3));
+        let (t, fours_a) = csa(twos, twos_a, twos_b);
+        let (s, twos_a) = csa(s, d(4), d(5));
+        let (s, twos_b) = csa(s, d(6), d(7));
+        let (t, fours_b) = csa(t, twos_a, twos_b);
+        let (f, eights_a) = csa(fours, fours_a, fours_b);
+        let (s, twos_a) = csa(s, d(8), d(9));
+        let (s, twos_b) = csa(s, d(10), d(11));
+        let (t, fours_a) = csa(t, twos_a, twos_b);
+        let (s, twos_a) = csa(s, d(12), d(13));
+        let (s, twos_b) = csa(s, d(14), d(15));
+        let (t, fours_b) = csa(t, twos_a, twos_b);
+        let (f, eights_b) = csa(f, fours_a, fours_b);
+        let (e, sixteens) = csa(eights, eights_a, eights_b);
+        ones = s;
+        twos = t;
+        fours = f;
+        eights = e;
+        sixteen_pops += lane_pop(sixteens);
+    }
+    let mut total = 16 * sixteen_pops
+        + 8 * lane_pop(eights)
+        + 4 * lane_pop(fours)
+        + 2 * lane_pop(twos)
+        + lane_pop(ones);
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        total += (x ^ y).count_ones() as u64;
+    }
+    total as usize
+}
+
+/// Like [`xor_popcount`] but stops early once the distance exceeds
+/// `bound`, returning `bound + 1` (the [`BitVec::hamming_bounded`]
+/// contract). The check runs once per 8-word chunk, so the exact
+/// value is still returned whenever `dist ≤ bound`.
+#[inline]
+pub fn xor_popcount_bounded(a: &[u64], b: &[u64], bound: usize) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let mut total = 0usize;
+    let mut k = 0;
+    let len = a.len();
+    let csa1 = |a: u64, b: u64, c: u64| -> (u64, u64) {
+        let u = a ^ b;
+        (u ^ c, (a & b) | (u & c))
+    };
+    while k + 8 <= len {
+        // Two CSA levels halve the popcount count for the chunk.
+        let d = |i: usize| a[k + i] ^ b[k + i];
+        let (s1, c1) = csa1(d(0), d(1), d(2));
+        let (s2, c2) = csa1(d(3), d(4), d(5));
+        let (s3, c3) = csa1(s1, s2, d(6));
+        let (s4, c4) = csa1(c1, c2, c3);
+        total += (s3.count_ones() + d(7).count_ones() + 2 * s4.count_ones() + 4 * c4.count_ones())
+            as usize;
+        if total > bound {
+            return bound + 1;
+        }
+        k += 8;
+    }
+    while k < len {
+        total += (a[k] ^ b[k]).count_ones() as usize;
+        k += 1;
+    }
+    if total > bound {
+        bound + 1
+    } else {
+        total
+    }
+}
+
+/// AVX2 pair-distance path: 256-bit XOR + `vpshufb` nibble-lookup
+/// popcount (the Muła–Kurz–Lemire kernel). At the row lengths the
+/// algorithms use (a few thousand bits — one or two Harley–Seal
+/// blocks) a flat lookup loop beats a 256-bit CSA tree: the tree's
+/// carry-flush epilogue costs more than it saves on so few blocks.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Safe entry — only ever selected by `pair_fn` after
+    /// `is_x86_feature_detected!("avx2")` succeeded.
+    pub fn xor_popcount(a: &[u64], b: &[u64]) -> usize {
+        debug_assert!(is_x86_feature_detected!("avx2"));
+        // SAFETY: `pair_fn` gates this path on runtime AVX2 detection.
+        unsafe { xor_popcount_inner(a, b) }
+    }
+
+    /// # Safety
+    /// Requires AVX2 (checked by the caller at dispatch time).
+    #[target_feature(enable = "avx2")]
+    unsafe fn xor_popcount_inner(a: &[u64], b: &[u64]) -> usize {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let mut acc = _mm256_setzero_si256();
+        let mut k = 0;
+        while k + 4 <= n {
+            // `k + 4 <= n` bounds both unaligned 4-word loads.
+            let va = _mm256_loadu_si256(a.as_ptr().add(k) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(k) as *const __m256i);
+            acc = _mm256_add_epi64(acc, pop256(_mm256_xor_si256(va, vb)));
+            k += 4;
+        }
+        let mut total = hsum(acc);
+        while k < n {
+            total += (a[k] ^ b[k]).count_ones() as u64;
+            k += 1;
+        }
+        total as usize
+    }
+
+    /// Per-64-bit-lane popcount: nibble lookup via `vpshufb`, byte
+    /// sums folded with `vpsadbw`.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn pop256(v: __m256i) -> __m256i {
+        #[rustfmt::skip]
+        let lookup = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+        let cnt = _mm256_add_epi8(
+            _mm256_shuffle_epi8(lookup, lo),
+            _mm256_shuffle_epi8(lookup, hi),
+        );
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    /// Sum of the four 64-bit lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum(v: __m256i) -> u64 {
+        let s = _mm_add_epi64(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+        _mm_cvtsi128_si64(_mm_add_epi64(s, _mm_shuffle_epi32(s, 0b0100_1110))) as u64
+    }
+}
+
+/// Symmetric all-pairs Hamming distance matrix, row-major.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Number of rows/columns.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between rows `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> usize {
+        self.data[i * self.n + j] as usize
+    }
+
+    /// Row `i` of the matrix (distances from `i` to every row).
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Maximum entry — the set diameter.
+    pub fn max(&self) -> usize {
+        self.data.iter().copied().max().unwrap_or(0) as usize
+    }
+}
+
+/// Row-major bit-packed matrix view over a set of equal-length
+/// [`BitVec`]s, with blocked bulk distance operations.
+pub struct DistanceKernel {
+    words: Vec<u64>,
+    stride: usize,
+    n: usize,
+    bits: usize,
+}
+
+impl DistanceKernel {
+    /// Pack `vectors` (all the same length) into a contiguous
+    /// row-major matrix.
+    ///
+    /// # Panics
+    /// Panics if the vectors do not all share one length.
+    pub fn new(vectors: &[BitVec]) -> Self {
+        Self::from_rows(vectors.len(), |i| &vectors[i])
+    }
+
+    /// [`DistanceKernel::new`] for a slice of references.
+    pub fn from_refs(vectors: &[&BitVec]) -> Self {
+        Self::from_rows(vectors.len(), |i| vectors[i])
+    }
+
+    fn from_rows<'a>(n: usize, row: impl Fn(usize) -> &'a BitVec) -> Self {
+        if n == 0 {
+            return DistanceKernel {
+                words: Vec::new(),
+                stride: 0,
+                n: 0,
+                bits: 0,
+            };
+        }
+        let bits = row(0).len();
+        let stride = bits.div_ceil(WORD_BITS);
+        let mut words = Vec::with_capacity(n * stride);
+        for i in 0..n {
+            let r = row(i);
+            assert_eq!(r.len(), bits, "kernel rows must share one length");
+            words.extend_from_slice(r.words());
+        }
+        DistanceKernel {
+            words,
+            stride,
+            n,
+            bits,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bit length of each row.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Packed words of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Hamming distance between rows `i` and `j`.
+    #[inline]
+    pub fn pair_distance(&self, i: usize, j: usize) -> usize {
+        xor_popcount(self.row(i), self.row(j))
+    }
+
+    /// Row tiles: `(lo, hi)` half-open row ranges of height ≤ [`TILE`].
+    fn tiles(&self) -> usize {
+        self.n.div_ceil(TILE)
+    }
+
+    #[inline]
+    fn tile_range(&self, t: usize) -> (usize, usize) {
+        (t * TILE, ((t + 1) * TILE).min(self.n))
+    }
+
+    /// Full symmetric all-pairs distance matrix. Upper-triangle tiles
+    /// are computed (in parallel above the threshold), then mirrored.
+    pub fn all_pairs(&self) -> DistanceMatrix {
+        let n = self.n;
+        let tiles = self.tiles();
+        // Each band holds rows [lo, hi) × columns [0, n), upper
+        // triangle only; the mirror pass fills the rest.
+        let bands: Vec<Vec<u32>> = par_map(tiles, |ti| {
+            let (lo, hi) = self.tile_range(ti);
+            let mut band = vec![0u32; (hi - lo) * n];
+            for tj in ti..tiles {
+                let (jlo, jhi) = self.tile_range(tj);
+                for i in lo..hi {
+                    let a = self.row(i);
+                    let j0 = jlo.max(i + 1);
+                    let out = &mut band[(i - lo) * n + j0..(i - lo) * n + jhi];
+                    for (off, slot) in out.iter_mut().enumerate() {
+                        *slot = xor_popcount(a, self.row(j0 + off)) as u32;
+                    }
+                }
+            }
+            band
+        });
+        let mut data: Vec<u32> = Vec::with_capacity(n * n);
+        for band in bands {
+            data.extend_from_slice(&band);
+        }
+        // Mirror the upper triangle tile-by-tile (a blocked transpose):
+        // a naive `data[j*n+i] = data[i*n+j]` sweep strides the whole
+        // matrix column-wise and misses cache on every store once `n·n`
+        // outgrows L2; per-tile both the source rows and the transposed
+        // destination rows stay resident.
+        for ti in 0..tiles {
+            let (ilo, ihi) = self.tile_range(ti);
+            for tj in ti..tiles {
+                let (jlo, jhi) = self.tile_range(tj);
+                for j in jlo..jhi {
+                    for i in ilo..ihi.min(j) {
+                        data[j * n + i] = data[i * n + j];
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Maximum pairwise distance (the set diameter) without
+    /// materializing the matrix. 0 for empty or singleton sets.
+    pub fn max_pair_distance(&self) -> usize {
+        let tiles = self.tiles();
+        par_map(tiles, |ti| {
+            let (lo, hi) = self.tile_range(ti);
+            let mut best = 0usize;
+            for tj in ti..tiles {
+                let (jlo, jhi) = self.tile_range(tj);
+                for i in lo..hi {
+                    let a = self.row(i);
+                    for j in jlo.max(i + 1)..jhi {
+                        best = best.max(xor_popcount(a, self.row(j)));
+                    }
+                }
+            }
+            best
+        })
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+    }
+
+    /// Ball-membership masks at radius `d`: `masks[i]` is a length-`n`
+    /// bitset whose bit `j` is set iff `dist(i, j) ≤ d` (every mask
+    /// includes its own row). Upper-triangle tiles use the bounded
+    /// early-exit distance; symmetry fills the lower triangle.
+    pub fn bounded_masks(&self, d: usize) -> Vec<BitVec> {
+        let n = self.n;
+        let tiles = self.tiles();
+        let bands: Vec<Vec<BitVec>> = par_map(tiles, |ti| {
+            let (lo, hi) = self.tile_range(ti);
+            let mut band: Vec<BitVec> = (lo..hi)
+                .map(|i| {
+                    let mut m = BitVec::zeros(n);
+                    m.set(i, true);
+                    m
+                })
+                .collect();
+            for tj in ti..tiles {
+                let (jlo, jhi) = self.tile_range(tj);
+                for i in lo..hi {
+                    let a = self.row(i);
+                    let mask = &mut band[i - lo];
+                    for j in jlo.max(i + 1)..jhi {
+                        if xor_popcount_bounded(a, self.row(j), d) <= d {
+                            mask.set(j, true);
+                        }
+                    }
+                }
+            }
+            band
+        });
+        let mut masks: Vec<BitVec> = bands.into_iter().flatten().collect();
+        // Mirror: walk each row's set bits above the diagonal.
+        for i in 0..n {
+            let above: Vec<usize> = iter_set_bits(&masks[i]).filter(|&j| j > i).collect();
+            for j in above {
+                masks[j].set(i, true);
+            }
+        }
+        masks
+    }
+
+    /// Ball sizes at radius `d` (`|{j : dist(i, j) ≤ d}|`, self
+    /// included).
+    pub fn bounded_counts(&self, d: usize) -> Vec<usize> {
+        self.bounded_masks(d)
+            .iter()
+            .map(|m| m.count_ones())
+            .collect()
+    }
+
+    /// One-vs-all distance row: `out[i] = dist(target, row_i)`.
+    ///
+    /// # Panics
+    /// Panics if `target`'s length differs from the kernel rows'.
+    pub fn distances_to(&self, target: &BitVec) -> Vec<usize> {
+        assert_eq!(target.len(), self.bits, "target length mismatch");
+        let t = target.words();
+        let tiles = self.tiles();
+        let chunks: Vec<Vec<usize>> = par_map(tiles, |ti| {
+            let (lo, hi) = self.tile_range(ti);
+            (lo..hi).map(|i| xor_popcount(t, self.row(i))).collect()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+/// Indices of set bits in `v`, ascending.
+pub fn iter_set_bits(v: &BitVec) -> impl Iterator<Item = usize> + '_ {
+    v.words().iter().enumerate().flat_map(|(wi, &w)| {
+        let mut rest = w;
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                None
+            } else {
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * WORD_BITS + bit)
+            }
+        })
+    })
+}
+
+/// Overlap/agreement of two masked sample vectors: `vals_*` carry the
+/// sampled grades at the coordinates flagged in `mask_*` (zero
+/// elsewhere). Returns `(overlap, agree)` — the number of co-sampled
+/// coordinates and how many of those agree. Word-level replacement
+/// for per-coordinate scoring loops (kNN baseline).
+pub fn masked_agreement(
+    vals_a: &BitVec,
+    mask_a: &BitVec,
+    vals_b: &BitVec,
+    mask_b: &BitVec,
+) -> (usize, usize) {
+    let (va, ma) = (vals_a.words(), mask_a.words());
+    let (vb, mb) = (vals_b.words(), mask_b.words());
+    debug_assert!(va.len() == ma.len() && vb.len() == mb.len() && ma.len() == mb.len());
+    let mut overlap = 0usize;
+    let mut disagree = 0usize;
+    for k in 0..ma.len() {
+        let both = ma[k] & mb[k];
+        overlap += both.count_ones() as usize;
+        disagree += ((va[k] ^ vb[k]) & both).count_ones() as usize;
+    }
+    (overlap, overlap - disagree)
+}
+
+/// Scalar reference for [`DistanceKernel::all_pairs`]: nested
+/// [`BitVec::hamming`] loops. Kept as the ground truth the property
+/// tests and benches compare the kernel against.
+pub fn all_pairs_scalar(vectors: &[BitVec]) -> DistanceMatrix {
+    let n = vectors.len();
+    let mut data = vec![0u32; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = vectors[i].hamming(&vectors[j]) as u32;
+            data[i * n + j] = d;
+            data[j * n + i] = d;
+        }
+    }
+    DistanceMatrix { n, data }
+}
+
+/// Scalar reference for [`DistanceKernel::bounded_masks`]: nested
+/// [`BitVec::hamming_bounded`] loops.
+pub fn bounded_masks_scalar(vectors: &[BitVec], d: usize) -> Vec<BitVec> {
+    let n = vectors.len();
+    (0..n)
+        .map(|i| BitVec::from_fn(n, |j| vectors[i].hamming_bounded(&vectors[j], d) <= d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_set(n: usize, m: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| BitVec::random(m, &mut rng)).collect()
+    }
+
+    #[test]
+    fn xor_popcount_matches_hamming_across_word_boundaries() {
+        for m in [1usize, 7, 63, 64, 65, 127, 128, 129, 1000] {
+            let vs = random_set(2, m, m as u64);
+            assert_eq!(
+                xor_popcount(vs[0].words(), vs[1].words()),
+                vs[0].hamming(&vs[1]),
+                "length {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn portable_and_dispatched_paths_agree() {
+        // On AVX2 hosts this pins the SIMD path to the portable tree;
+        // elsewhere both sides run the same code and it is a tautology.
+        for m in [1usize, 31, 32, 33, 64, 129, 500, 4096] {
+            let vs = random_set(2, m, 0xA5A5 ^ m as u64);
+            let (a, b) = (vs[0].words(), vs[1].words());
+            assert_eq!(
+                xor_popcount(a, b),
+                xor_popcount_portable(a, b),
+                "length {m}"
+            );
+            assert_eq!(
+                xor_popcount_portable(a, b),
+                vs[0].hamming(&vs[1]),
+                "length {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_xor_popcount_contract() {
+        let vs = random_set(2, 300, 42);
+        let exact = vs[0].hamming(&vs[1]);
+        for bound in [0, 1, exact.saturating_sub(1), exact, exact + 1, 400] {
+            let got = xor_popcount_bounded(vs[0].words(), vs[1].words(), bound);
+            let want = vs[0].hamming_bounded(&vs[1], bound);
+            assert_eq!(got, want, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn all_pairs_matches_scalar_beyond_one_tile() {
+        // n > TILE exercises the multi-tile and mirror paths.
+        let vs = random_set(TILE + 17, 130, 7);
+        let kernel = DistanceKernel::new(&vs);
+        assert_eq!(kernel.all_pairs(), all_pairs_scalar(&vs));
+    }
+
+    #[test]
+    fn bounded_masks_match_scalar() {
+        let vs = random_set(TILE + 5, 96, 8);
+        let kernel = DistanceKernel::new(&vs);
+        for d in [0usize, 10, 48, 96] {
+            assert_eq!(
+                kernel.bounded_masks(d),
+                bounded_masks_scalar(&vs, d),
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn distances_to_matches_per_pair() {
+        let vs = random_set(40, 77, 9);
+        let kernel = DistanceKernel::new(&vs);
+        let target = &vs[3];
+        let want: Vec<usize> = vs.iter().map(|v| v.hamming(target)).collect();
+        assert_eq!(kernel.distances_to(target), want);
+    }
+
+    #[test]
+    fn empty_and_singleton_sets() {
+        let kernel = DistanceKernel::new(&[]);
+        assert_eq!(kernel.n(), 0);
+        assert_eq!(kernel.all_pairs().n(), 0);
+        assert_eq!(kernel.max_pair_distance(), 0);
+        assert!(kernel.bounded_masks(3).is_empty());
+
+        let one = vec![BitVec::ones(65)];
+        let kernel = DistanceKernel::new(&one);
+        assert_eq!(kernel.max_pair_distance(), 0);
+        let masks = kernel.bounded_masks(0);
+        assert_eq!(masks.len(), 1);
+        assert!(masks[0].get(0));
+    }
+
+    #[test]
+    fn masked_agreement_counts() {
+        // a samples {0,1,2}, b samples {1,2,3}; they agree on 1,
+        // disagree on 2.
+        let mut mask_a = BitVec::zeros(70);
+        let mut vals_a = BitVec::zeros(70);
+        let mut mask_b = BitVec::zeros(70);
+        let mut vals_b = BitVec::zeros(70);
+        for j in [0usize, 1, 2] {
+            mask_a.set(j, true);
+        }
+        for j in [1usize, 2, 3] {
+            mask_b.set(j, true);
+        }
+        vals_a.set(1, true); // a: obj1 = 1, obj2 = 0
+        vals_b.set(1, true); // b: obj1 = 1, obj2 = 0? -> set obj2 for b
+        vals_b.set(2, true); // b: obj2 = 1 (disagrees with a's 0)
+        let (overlap, agree) = masked_agreement(&vals_a, &mask_a, &vals_b, &mask_b);
+        assert_eq!(overlap, 2);
+        assert_eq!(agree, 1);
+    }
+
+    #[test]
+    fn iter_set_bits_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        for j in [0usize, 63, 64, 65, 129] {
+            v.set(j, true);
+        }
+        let got: Vec<usize> = iter_set_bits(&v).collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one length")]
+    fn mismatched_lengths_panic() {
+        DistanceKernel::new(&[BitVec::zeros(4), BitVec::zeros(5)]);
+    }
+}

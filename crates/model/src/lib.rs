@@ -28,6 +28,7 @@ pub mod bitvec;
 pub mod distance;
 pub mod generators;
 pub mod io;
+pub mod kernel;
 pub mod matrix;
 pub mod metrics;
 pub mod partition;
@@ -36,6 +37,7 @@ pub mod ternary;
 
 pub use bitvec::BitVec;
 pub use generators::Instance;
+pub use kernel::{DistanceKernel, DistanceMatrix};
 pub use matrix::{ObjectId, PlayerId, PrefMatrix};
 pub use metrics::{diameter, discrepancy, stretch, CommunityReport};
 pub use ternary::TernaryVec;

@@ -41,11 +41,7 @@ impl PrefMatrix {
 
     /// Build from a predicate `f(player, object)`.
     pub fn from_fn(n: usize, m: usize, mut f: impl FnMut(PlayerId, ObjectId) -> bool) -> Self {
-        PrefMatrix::new(
-            (0..n)
-                .map(|p| BitVec::from_fn(m, |j| f(p, j)))
-                .collect(),
-        )
+        PrefMatrix::new((0..n).map(|p| BitVec::from_fn(m, |j| f(p, j))).collect())
     }
 
     /// Number of players `n`.

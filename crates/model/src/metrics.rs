@@ -12,11 +12,17 @@
 //!   `ρ = O(1)` after polylog rounds for any `P*` of linear size.
 
 use crate::bitvec::BitVec;
+use crate::distance::set_diameter;
 use crate::matrix::{PlayerId, PrefMatrix};
 
 /// `D(P*)`: maximum pairwise Hamming distance inside the set.
+/// Gathers the players' truth rows and runs the blocked
+/// [`crate::kernel::DistanceKernel`] all-pairs path (via
+/// [`set_diameter`]) — `PrefMatrix::diameter_of` remains the scalar
+/// reference.
 pub fn diameter(truth: &PrefMatrix, players: &[PlayerId]) -> usize {
-    truth.diameter_of(players)
+    let rows: Vec<&BitVec> = players.iter().map(|&p| truth.row(p)).collect();
+    set_diameter(&rows)
 }
 
 /// `Δ(P*)`: maximum output error over the set. `outputs[p]` is `w(p)`.

@@ -23,11 +23,7 @@ use rand::Rng;
 ///
 /// # Panics
 /// Panics if `s == 0`.
-pub fn uniform_parts<T: Copy, R: Rng + ?Sized>(
-    items: &[T],
-    s: usize,
-    rng: &mut R,
-) -> Vec<Vec<T>> {
+pub fn uniform_parts<T: Copy, R: Rng + ?Sized>(items: &[T], s: usize, rng: &mut R) -> Vec<Vec<T>> {
     assert!(s > 0, "cannot partition into zero parts");
     let mut parts: Vec<Vec<T>> = vec![Vec::with_capacity(items.len() / s + 1); s];
     for &it in items {

@@ -31,7 +31,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E1: Zero Radius — exact communities (Theorem 3.1)",
-        &["n=m", "alpha", "exact frac", "rounds", "rounds/(ln n/a)", "solo cost"],
+        &[
+            "n=m",
+            "alpha",
+            "exact frac",
+            "rounds",
+            "rounds/(ln n/a)",
+            "solo cost",
+        ],
     );
     table.note("expect: exact frac ≈ 1, rounds/(ln n/α) ≈ constant as n grows");
     table.note(format!("preset = practical, trials = {}", cfg.trials));
@@ -85,7 +92,7 @@ mod tests {
         let t = run(&ExpConfig::quick(1));
         assert_eq!(t.columns.len(), 6);
         assert_eq!(t.rows.len(), 2); // 2 sizes × 1 alpha
-        // Exact fraction ≈ 1 in the quick configuration.
+                                     // Exact fraction ≈ 1 in the quick configuration.
         for row in &t.rows {
             let frac: f64 = row[2].parse().unwrap();
             assert!(frac > 0.9, "exact fraction {frac} too low: {row:?}");

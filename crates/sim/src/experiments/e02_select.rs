@@ -34,7 +34,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E2: Select — probe cost vs the k(D+1) bound (Theorem 3.2)",
-        &["k", "D", "worst probes", "bound k(D+1)", "random probes", "correct frac"],
+        &[
+            "k",
+            "D",
+            "worst probes",
+            "bound k(D+1)",
+            "random probes",
+            "correct frac",
+        ],
     );
     table.note("expect: worst ≤ bound (typically = bound − D on this construction), correct = 1");
 
@@ -50,20 +57,23 @@ pub fn run(cfg: &ExpConfig) -> Table {
             assert!(cands[r.winner] == target, "worst case returned non-closest");
 
             // (b) random candidates at distances d, d+1, …
-            let trials = run_trials(cfg.trials.max(3), cfg.seed ^ (k as u64) << 16 ^ d as u64, |seed| {
-                let mut rng = rng_for(seed, tags::TRIAL, 0);
-                let target = BitVec::random(m, &mut rng);
-                let cands: Vec<BitVec> = (0..k)
-                    .map(|i| at_distance(&target, d + i, &mut rng))
-                    .collect();
-                let r = select_values(&to_rows(&cands), |j| target.get(j), d);
-                let best = cands.iter().map(|c| c.hamming(&target)).min().unwrap();
-                let correct = cands[r.winner].hamming(&target) == best;
-                (r.probes as f64, correct)
-            });
+            let trials = run_trials(
+                cfg.trials.max(3),
+                cfg.seed ^ (k as u64) << 16 ^ d as u64,
+                |seed| {
+                    let mut rng = rng_for(seed, tags::TRIAL, 0);
+                    let target = BitVec::random(m, &mut rng);
+                    let cands: Vec<BitVec> = (0..k)
+                        .map(|i| at_distance(&target, d + i, &mut rng))
+                        .collect();
+                    let r = select_values(&to_rows(&cands), |j| target.get(j), d);
+                    let best = cands.iter().map(|c| c.hamming(&target)).min().unwrap();
+                    let correct = cands[r.winner].hamming(&target) == best;
+                    (r.probes as f64, correct)
+                },
+            );
             let probes = Summary::of(&trials.iter().map(|t| t.0).collect::<Vec<_>>());
-            let correct =
-                trials.iter().filter(|t| t.1).count() as f64 / trials.len() as f64;
+            let correct = trials.iter().filter(|t| t.1).count() as f64 / trials.len() as f64;
             table.push(vec![
                 k.to_string(),
                 d.to_string(),

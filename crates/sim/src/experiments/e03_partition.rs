@@ -69,8 +69,7 @@ pub fn run(cfg: &ExpConfig) -> Table {
                 let parts = uniform_parts(&coords, s, &mut rng);
                 partition_successful(&vectors, &parts)
             });
-            let rate =
-                successes.iter().filter(|&&x| x).count() as f64 / successes.len() as f64;
+            let rate = successes.iter().filter(|&&x| x).count() as f64 / successes.len() as f64;
             let bound = (1.0 - 4340.0 * (d as f64).powi(3) / (s as f64).powi(2)).max(0.0);
             table.push(vec![
                 d.to_string(),

@@ -61,7 +61,15 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E4: Small Radius — error ≤ 5D and cost scaling (Theorem 4.4)",
-        &["n=m", "D", "disc", "bound 5D", "within-5D frac", "rounds", "solo"],
+        &[
+            "n=m",
+            "D",
+            "disc",
+            "bound 5D",
+            "within-5D frac",
+            "rounds",
+            "solo",
+        ],
     );
     table.note("expect: disc ≤ 5D (whp), rounds grow with D until the probe cache caps at m");
 

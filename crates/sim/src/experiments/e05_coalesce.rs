@@ -34,46 +34,61 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E5: Coalesce — candidate sets (Theorem 5.3)",
-        &["alpha", "D", "|B| max", "1/alpha", "unique frac", "max d~", "2D", "max ?", "5D/alpha"],
+        &[
+            "alpha",
+            "D",
+            "|B| max",
+            "1/alpha",
+            "unique frac",
+            "max d~",
+            "2D",
+            "max ?",
+            "5D/alpha",
+        ],
     );
-    table.note(format!("n = {n} vectors over m = {m}, cluster size = ⌈αn⌉ + 4"));
+    table.note(format!(
+        "n = {n} vectors over m = {m}, cluster size = ⌈αn⌉ + 4"
+    ));
 
     for &alpha in alphas {
         for &d in ds {
-            let trials = run_trials(cfg.trials.max(4), cfg.seed ^ (d as u64) ^ ((alpha * 256.0) as u64) << 8, |seed| {
-                let mut rng = rng_for(seed, tags::TRIAL, 2);
-                let center = BitVec::random(m, &mut rng);
-                let cluster_size = ((alpha * n as f64).ceil() as usize) + 4;
-                let cluster: Vec<BitVec> = (0..cluster_size)
-                    .map(|_| at_distance(&center, d / 2, &mut rng))
-                    .collect();
-                let mut vectors = cluster.clone();
-                vectors.extend((0..n - cluster_size).map(|_| BitVec::random(m, &mut rng)));
-                let out = coalesce(&vectors, d, alpha, 5);
-                // Closest candidate per cluster member.
-                let mut chosen = std::collections::HashSet::new();
-                let mut max_dtilde = 0usize;
-                for v in &cluster {
-                    if let Some((i, dt)) = out
-                        .iter()
-                        .enumerate()
-                        .map(|(i, u)| (i, u.dtilde_bits(v)))
-                        .min_by_key(|&(i, dt)| (dt, i))
-                    {
-                        chosen.insert(i);
-                        max_dtilde = max_dtilde.max(dt);
+            let trials = run_trials(
+                cfg.trials.max(4),
+                cfg.seed ^ (d as u64) ^ ((alpha * 256.0) as u64) << 8,
+                |seed| {
+                    let mut rng = rng_for(seed, tags::TRIAL, 2);
+                    let center = BitVec::random(m, &mut rng);
+                    let cluster_size = ((alpha * n as f64).ceil() as usize) + 4;
+                    let cluster: Vec<BitVec> = (0..cluster_size)
+                        .map(|_| at_distance(&center, d / 2, &mut rng))
+                        .collect();
+                    let mut vectors = cluster.clone();
+                    vectors.extend((0..n - cluster_size).map(|_| BitVec::random(m, &mut rng)));
+                    let out = coalesce(&vectors, d, alpha, 5);
+                    // Closest candidate per cluster member.
+                    let mut chosen = std::collections::HashSet::new();
+                    let mut max_dtilde = 0usize;
+                    for v in &cluster {
+                        if let Some((i, dt)) = out
+                            .iter()
+                            .enumerate()
+                            .map(|(i, u)| (i, u.dtilde_bits(v)))
+                            .min_by_key(|&(i, dt)| (dt, i))
+                        {
+                            chosen.insert(i);
+                            max_dtilde = max_dtilde.max(dt);
+                        }
                     }
-                }
-                Trial {
-                    out_size: out.len(),
-                    unique: chosen.len() == 1,
-                    max_dtilde,
-                    max_unknown: out.iter().map(|u| u.count_unknown()).max().unwrap_or(0),
-                }
-            });
+                    Trial {
+                        out_size: out.len(),
+                        unique: chosen.len() == 1,
+                        max_dtilde,
+                        max_unknown: out.iter().map(|u| u.count_unknown()).max().unwrap_or(0),
+                    }
+                },
+            );
             let out_max = trials.iter().map(|t| t.out_size).max().unwrap();
-            let unique =
-                trials.iter().filter(|t| t.unique).count() as f64 / trials.len() as f64;
+            let unique = trials.iter().filter(|t| t.unique).count() as f64 / trials.len() as f64;
             let dt_max = trials.iter().map(|t| t.max_dtilde).max().unwrap();
             let unk_max = trials.iter().map(|t| t.max_unknown).max().unwrap();
             table.push(vec![

@@ -33,7 +33,16 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E6: Large Radius — error O(D/α), polylog cost (Theorem 5.4)",
-        &["n=m", "D", "disc", "D/alpha", "disc/(D/a)", "rounds", "rounds/ln^3.5 n", "solo"],
+        &[
+            "n=m",
+            "D",
+            "disc",
+            "D/alpha",
+            "disc/(D/a)",
+            "rounds",
+            "rounds/ln^3.5 n",
+            "solo",
+        ],
     );
     table.note("expect: disc/(D/α) ≈ constant (the Thm 5.4 error claim).");
     table.note("cost note: at these scales rounds track m/L (the per-group Small Radius");

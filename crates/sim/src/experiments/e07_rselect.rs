@@ -30,7 +30,13 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E7: RSelect — unbounded Choose Closest (Theorem 6.1)",
-        &["|V|", "probes", "budget |V|^2-ish", "approx ratio", "ratio max"],
+        &[
+            "|V|",
+            "probes",
+            "budget |V|^2-ish",
+            "approx ratio",
+            "ratio max",
+        ],
     );
     table.note(format!(
         "candidates at distances {base_d}·3^i from the truth, m = {m}, theory preset"

@@ -51,8 +51,16 @@ pub fn run(cfg: &ExpConfig) -> Table {
     let mut table = Table::new(
         "E8: headline — constant stretch after polylog rounds (Theorem 1.1)",
         &[
-            "n=m", "D", "rounds knownD", "disc knownD", "rounds unkD", "stretch unkD",
-            "solo", "oracle rounds", "oracle disc", "knn disc @knownD budget",
+            "n=m",
+            "D",
+            "rounds knownD",
+            "disc knownD",
+            "rounds unkD",
+            "stretch unkD",
+            "solo",
+            "oracle rounds",
+            "oracle disc",
+            "knn disc @knownD budget",
         ],
     );
     table.note("expect: knownD rounds flatten vs m for D∈{0,2} (polylog shape);");
@@ -137,10 +145,12 @@ pub fn run(cfg: &ExpConfig) -> Table {
             let known_rounds = Summary::of_ints(trials.iter().map(|t| t.known_rounds));
             let known_disc = Summary::of(&trials.iter().map(|t| t.known_disc).collect::<Vec<_>>());
             let unk_rounds = Summary::of_ints(trials.iter().map(|t| t.unk_rounds));
-            let unk_stretch = Summary::of(&trials.iter().map(|t| t.unk_stretch).collect::<Vec<_>>());
+            let unk_stretch =
+                Summary::of(&trials.iter().map(|t| t.unk_stretch).collect::<Vec<_>>());
             let unk_disc = Summary::of(&trials.iter().map(|t| t.unk_disc).collect::<Vec<_>>());
             let oracle_rounds = Summary::of_ints(trials.iter().map(|t| t.oracle_rounds));
-            let oracle_disc = Summary::of(&trials.iter().map(|t| t.oracle_disc).collect::<Vec<_>>());
+            let oracle_disc =
+                Summary::of(&trials.iter().map(|t| t.oracle_disc).collect::<Vec<_>>());
             let knn_disc = Summary::of(&trials.iter().map(|t| t.knn_disc).collect::<Vec<_>>());
             table.push(vec![
                 n.to_string(),
@@ -170,9 +180,8 @@ mod tests {
     #[test]
     fn headline_shapes_hold_at_quick_scale() {
         let t = run(&ExpConfig::quick(8));
-        let parse = |cell: &str| -> f64 {
-            cell.split('±').next().unwrap().trim().parse().unwrap()
-        };
+        let parse =
+            |cell: &str| -> f64 { cell.split('±').next().unwrap().trim().parse().unwrap() };
         for row in &t.rows {
             let n: f64 = row[0].parse().unwrap();
             let d: usize = row[1].parse().unwrap();

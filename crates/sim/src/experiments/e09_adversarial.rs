@@ -13,7 +13,9 @@ use super::{dense_outputs, ExpConfig};
 use crate::stats::{fnum, Summary};
 use crate::table::Table;
 use crate::trials::run_trials;
-use tmwia_baselines::{em_reconstruct, knn_billboard, spectral_reconstruct, EmConfig, KnnConfig, SpectralConfig};
+use tmwia_baselines::{
+    em_reconstruct, knn_billboard, spectral_reconstruct, EmConfig, KnnConfig, SpectralConfig,
+};
 use tmwia_billboard::ProbeEngine;
 use tmwia_core::{reconstruct_known, Params};
 use tmwia_model::generators::{adversarial_clusters, orthogonal_types, smeared_clusters, Instance};
@@ -118,8 +120,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
     let mut table = Table::new(
         "E9: adversarial diversity vs generative assumptions (§1, §2)",
         &[
-            "instance", "tmwia rounds", "baseline budget", "tmwia err", "tmwia err/D",
-            "spectral err", "em err", "knn err",
+            "instance",
+            "tmwia rounds",
+            "baseline budget",
+            "tmwia err",
+            "tmwia err/D",
+            "spectral err",
+            "em err",
+            "knn err",
         ],
     );
     table.note("mean per-member error within the primary community; baselines get m/4 probes");
@@ -147,10 +155,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
     ];
 
     for (label, gen, d_bound) in &cases {
-        let trials = run_trials(cfg.trials, cfg.seed ^ d_bound.wrapping_mul(97) as u64, |seed| {
-            let inst = gen(seed);
-            run_instance(&inst, *d_bound, &params, seed)
-        });
+        let trials = run_trials(
+            cfg.trials,
+            cfg.seed ^ d_bound.wrapping_mul(97) as u64,
+            |seed| {
+                let inst = gen(seed);
+                run_instance(&inst, *d_bound, &params, seed)
+            },
+        );
         let tm = Summary::of(&trials.iter().map(|t| t.tmwia_err).collect::<Vec<_>>());
         let sp = Summary::of(&trials.iter().map(|t| t.spectral_err).collect::<Vec<_>>());
         let em = Summary::of(&trials.iter().map(|t| t.em_err).collect::<Vec<_>>());
@@ -184,9 +196,8 @@ mod tests {
     fn tmwia_beats_spectral_on_adversarial_rows() {
         let t = run(&ExpConfig::quick(9));
         assert_eq!(t.rows.len(), 3);
-        let parse = |cell: &str| -> f64 {
-            cell.split('±').next().unwrap().trim().parse().unwrap()
-        };
+        let parse =
+            |cell: &str| -> f64 { cell.split('±').next().unwrap().trim().parse().unwrap() };
         // Adversarial rows: spectral error must exceed tmwia's, and
         // tmwia's error stays O(D).
         for row in &t.rows[1..] {

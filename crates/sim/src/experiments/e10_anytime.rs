@@ -37,7 +37,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E10: anytime output quality under unknown α (§6, known D = 0)",
-        &["phase", "alpha", "rounds", "disc big(~.55n)", "disc mid(~.27n)", "disc small(~.18n)"],
+        &[
+            "phase",
+            "alpha",
+            "rounds",
+            "disc big(~.55n)",
+            "disc mid(~.27n)",
+            "disc small(~.18n)",
+        ],
     );
     table.note(format!(
         "3 disjoint power-law clusters (zipf 1.0) with identical intra-cluster vectors, n = m = {n}"

@@ -29,7 +29,16 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E11: leverage grows with community size (§1.1)",
-        &["n=m", "k=|P*|", "alpha", "rounds", "oracle m/k", "solo", "leverage solo/rounds", "exact frac"],
+        &[
+            "n=m",
+            "k=|P*|",
+            "alpha",
+            "rounds",
+            "oracle m/k",
+            "solo",
+            "leverage solo/rounds",
+            "exact frac",
+        ],
     );
     table.note("D = 0 communities; expect rounds ∝ 1/α and leverage ∝ k up to log factors");
 

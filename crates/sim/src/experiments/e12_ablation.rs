@@ -56,7 +56,9 @@ pub fn run(cfg: &ExpConfig) -> Table {
         "E12: constant ablation on Small Radius (paper: s=100·D^1.5, K=log n, vote=α/2)",
         &["knob", "value", "disc", "bound 5D", "rounds"],
     );
-    table.note(format!("n = m = {n}, D = {d}, α = 1/2; base = practical preset"));
+    table.note(format!(
+        "n = m = {n}, D = {d}, α = 1/2; base = practical preset"
+    ));
     table.note("expect: disc flat in the knobs; rounds rise with s and K");
 
     let base = Params::practical();

@@ -35,7 +35,13 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E13: tracking a drifting world (§1 'dynamic environment' motivation)",
-        &["epoch", "fresh disc", "bound 5D", "stale disc", "rounds/epoch"],
+        &[
+            "epoch",
+            "fresh disc",
+            "bound 5D",
+            "stale disc",
+            "rounds/epoch",
+        ],
     );
     table.note(format!(
         "n = m = {n}, community n/2 at D ≤ {d}, center drift {drift}/epoch"
@@ -67,14 +73,8 @@ pub fn run(cfg: &ExpConfig) -> Table {
             }
             let community = world.community().to_vec();
             let engine = ProbeEngine::new(world.truth().clone());
-            let rec = reconstruct_known(
-                &engine,
-                &players,
-                0.5,
-                d,
-                &params,
-                seed ^ (e as u64) << 32,
-            );
+            let rec =
+                reconstruct_known(&engine, &players, 0.5, d, &params, seed ^ (e as u64) << 32);
             let fresh = dense_outputs(&rec.outputs, n, n);
             let rounds = community
                 .iter()
@@ -93,8 +93,18 @@ pub fn run(cfg: &ExpConfig) -> Table {
     });
 
     for e in 0..epochs {
-        let fresh = Summary::of(&per_epoch.iter().map(|t| t[e].fresh_disc).collect::<Vec<_>>());
-        let stale = Summary::of(&per_epoch.iter().map(|t| t[e].stale_disc).collect::<Vec<_>>());
+        let fresh = Summary::of(
+            &per_epoch
+                .iter()
+                .map(|t| t[e].fresh_disc)
+                .collect::<Vec<_>>(),
+        );
+        let stale = Summary::of(
+            &per_epoch
+                .iter()
+                .map(|t| t[e].stale_disc)
+                .collect::<Vec<_>>(),
+        );
         let rounds = Summary::of(&per_epoch.iter().map(|t| t[e].rounds).collect::<Vec<_>>());
         table.push(vec![
             e.to_string(),
@@ -114,9 +124,8 @@ mod tests {
     #[test]
     fn fresh_holds_stale_decays() {
         let t = run(&ExpConfig::quick(13));
-        let parse = |cell: &str| -> f64 {
-            cell.split('±').next().unwrap().trim().parse().unwrap()
-        };
+        let parse =
+            |cell: &str| -> f64 { cell.split('±').next().unwrap().trim().parse().unwrap() };
         for row in &t.rows {
             let fresh = parse(&row[1]);
             let bound: f64 = row[2].parse().unwrap();
@@ -125,9 +134,6 @@ mod tests {
         // Stale error at the last epoch ≫ stale error at epoch 0.
         let first = parse(&t.rows[0][3]);
         let last = parse(&t.rows.last().unwrap()[3]);
-        assert!(
-            last > first + 4.0,
-            "stale did not decay: {first} → {last}"
-        );
+        assert!(last > first + 4.0, "stale did not decay: {first} → {last}");
     }
 }

@@ -25,7 +25,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E14: one good object — sharing collapses search cost ([4], §2)",
-        &["|P|", "m", "rounds", "total probes", "(m + n·log|P|)", "found frac"],
+        &[
+            "|P|",
+            "m",
+            "rounds",
+            "total probes",
+            "(m + n·log|P|)",
+            "found frac",
+        ],
     );
     table.note("one shared liked object; expect rounds ≈ m/|P| + log|P| shape");
 
@@ -36,9 +43,7 @@ pub fn run(cfg: &ExpConfig) -> Table {
             // else disliked, so exploration pays Θ(m) alone.
             let hot = (seed as usize) % m;
             let _ = &mut rng;
-            let rows: Vec<BitVec> = (0..k)
-                .map(|_| BitVec::from_fn(m, |j| j == hot))
-                .collect();
+            let rows: Vec<BitVec> = (0..k).map(|_| BitVec::from_fn(m, |j| j == hot)).collect();
             let engine = ProbeEngine::new(PrefMatrix::new(rows));
             let players: Vec<usize> = (0..k).collect();
             let res = one_good_object(&engine, &players, (4 * m) as u64, seed);
@@ -71,9 +76,8 @@ mod tests {
     #[test]
     fn everyone_finds_and_sharing_helps() {
         let t = run(&ExpConfig::quick(14));
-        let parse = |cell: &str| -> f64 {
-            cell.split('±').next().unwrap().trim().parse().unwrap()
-        };
+        let parse =
+            |cell: &str| -> f64 { cell.split('±').next().unwrap().trim().parse().unwrap() };
         for row in &t.rows {
             let found: f64 = row[5].parse().unwrap();
             assert!(found >= 1.0 - 1e-9, "someone never found: {row:?}");

@@ -36,7 +36,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E15: lockstep P2P execution — fidelity and barrier overhead",
-        &["n=m", "max probes", "wall rounds", "rounds/probes", "identical to sim", "exact frac"],
+        &[
+            "n=m",
+            "max probes",
+            "wall rounds",
+            "rounds/probes",
+            "identical to sim",
+            "exact frac",
+        ],
     );
     table.note("expect: identical = 1 (bit-for-bit); rounds/probes a small constant");
 
@@ -57,8 +64,7 @@ pub fn run(cfg: &ExpConfig) -> Table {
                 seed,
             );
             let eng_lock = ProbeEngine::new(inst.truth.clone());
-            let lock =
-                lockstep_zero_radius(&eng_lock, &players, &objects, alpha, &params, n, seed);
+            let lock = lockstep_zero_radius(&eng_lock, &players, &objects, alpha, &params, n, seed);
 
             let identical = players.iter().all(|&p| orch[&p] == lock.outputs[&p])
                 && (0..n).all(|p| eng_sim.probes_of(p) == eng_lock.probes_of(p));
@@ -91,8 +97,7 @@ pub fn run(cfg: &ExpConfig) -> Table {
         });
         let probes = Summary::of_ints(trials.iter().map(|t| t.probes));
         let rounds = Summary::of_ints(trials.iter().map(|t| t.wall_rounds));
-        let identical =
-            trials.iter().filter(|t| t.identical).count() as f64 / trials.len() as f64;
+        let identical = trials.iter().filter(|t| t.identical).count() as f64 / trials.len() as f64;
         let exact = Summary::of(&trials.iter().map(|t| t.exact_frac).collect::<Vec<_>>());
         table.push(vec![
             n.to_string(),

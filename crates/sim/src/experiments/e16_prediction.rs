@@ -40,7 +40,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "E16: prediction-mistake model (WM, refs [8][9]) vs interactive probes (§2)",
-        &["n=m", "k=|P*|", "WM mistakes/member", "~m/(2k)+", "ZR probes/member", "ZR exact frac"],
+        &[
+            "n=m",
+            "k=|P*|",
+            "WM mistakes/member",
+            "~m/(2k)+",
+            "ZR probes/member",
+            "ZR exact frac",
+        ],
     );
     table.note("noise-free identical communities; WM gets every entry revealed free after");
     table.note("predicting; the interactive model pays per reveal. Shapes, not budgets.");
@@ -55,14 +62,7 @@ pub fn run(cfg: &ExpConfig) -> Table {
             // Interactive model on the same instance.
             let engine = ProbeEngine::new(inst.truth.clone());
             let players: Vec<usize> = (0..n).collect();
-            let rec = reconstruct_known(
-                &engine,
-                &players,
-                k as f64 / n as f64,
-                0,
-                &params,
-                seed,
-            );
+            let rec = reconstruct_known(&engine, &players, k as f64 / n as f64, 0, &params, seed);
             let probes = community
                 .iter()
                 .map(|&p| engine.probes_of(p))
@@ -97,9 +97,8 @@ mod tests {
     #[test]
     fn wm_pays_real_mistakes_zr_pays_logarithmic_probes() {
         let t = run(&ExpConfig::quick(16));
-        let parse = |cell: &str| -> f64 {
-            cell.split('±').next().unwrap().trim().parse().unwrap()
-        };
+        let parse =
+            |cell: &str| -> f64 { cell.split('±').next().unwrap().trim().parse().unwrap() };
         for row in &t.rows {
             let wm = parse(&row[2]);
             assert!(wm > 1.0, "WM implausibly free: {row:?}");

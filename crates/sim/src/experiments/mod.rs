@@ -100,25 +100,29 @@ pub fn all() -> Vec<Experiment> {
         ("e6", "Large Radius (Thm 5.4)", e06_large_radius::run),
         ("e7", "RSelect (Thm 6.1)", e07_rselect::run),
         ("e8", "Headline (Thm 1.1)", e08_main::run),
-        ("e9", "Adversarial robustness (§1, §2)", e09_adversarial::run),
+        (
+            "e9",
+            "Adversarial robustness (§1, §2)",
+            e09_adversarial::run,
+        ),
         ("e10", "Anytime / unknown α (§6)", e10_anytime::run),
         ("e11", "Community leverage (§1.1)", e11_leverage::run),
         ("e12", "Constant ablation (§4, §5)", e12_ablation::run),
         ("e13", "Dynamic tracking (§1 motivation)", e13_dynamic::run),
         ("e14", "One good object ([4], §2)", e14_one_good::run),
         ("e15", "Lockstep P2P fidelity (abstract)", e15_lockstep::run),
-        ("e16", "Prediction-mistake model ([8][9], §2)", e16_prediction::run),
+        (
+            "e16",
+            "Prediction-mistake model ([8][9], §2)",
+            e16_prediction::run,
+        ),
     ]
 }
 
 /// Convert a per-player output map into a dense `Vec` indexed by player
 /// id (players absent from the map get zero vectors) so the metrics
 /// helpers can index it.
-pub(crate) fn dense_outputs(
-    out: &HashMap<PlayerId, BitVec>,
-    n: usize,
-    m: usize,
-) -> Vec<BitVec> {
+pub(crate) fn dense_outputs(out: &HashMap<PlayerId, BitVec>, n: usize, m: usize) -> Vec<BitVec> {
     (0..n)
         .map(|p| out.get(&p).cloned().unwrap_or_else(|| BitVec::zeros(m)))
         .collect()

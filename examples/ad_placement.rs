@@ -37,11 +37,7 @@ fn main() {
     for (idx, segment) in inst.communities.iter().enumerate() {
         let outputs: Vec<BitVec> = (0..n).map(|p| res.outputs[&p].clone()).collect();
         let report = CommunityReport::evaluate(engine.truth(), &outputs, segment);
-        let rounds = segment
-            .iter()
-            .map(|&p| engine.probes_of(p))
-            .max()
-            .unwrap();
+        let rounds = segment.iter().map(|&p| engine.probes_of(p)).max().unwrap();
         println!(
             "  segment {idx}: {:>3} users, diameter {:>2} → mean err {:>6.1}, max err {:>3}, impressions/user ≤ {rounds}",
             segment.len(),
@@ -68,11 +64,7 @@ fn main() {
         })
         .collect();
     let oracle_report = CommunityReport::evaluate(eng_oracle.truth(), &oracle_outputs, seg);
-    let oracle_rounds = seg
-        .iter()
-        .map(|&p| eng_oracle.probes_of(p))
-        .max()
-        .unwrap();
+    let oracle_rounds = seg.iter().map(|&p| eng_oracle.probes_of(p)).max().unwrap();
     println!(
         "oracle      : max err {} at {} impressions/user (knows segments a priori — unrealizable)",
         oracle_report.discrepancy, oracle_rounds

@@ -82,6 +82,9 @@ fn main() {
             .iter()
             .map(|c| c.members.len())
             .collect();
-        println!("  scale D = {scale:>3}: {} communities, sizes {sizes:?}", sizes.len());
+        println!(
+            "  scale D = {scale:>3}: {} communities, sizes {sizes:?}",
+            sizes.len()
+        );
     }
 }

@@ -30,11 +30,12 @@ fn main() {
     let report = anytime(&engine, &users, 3, &Params::practical(), 99);
 
     println!("\nwatch-history grows → recommendations sharpen:");
-    println!("{:<7} {:<8} {:<10} {:<12} {:<12} {:<12}", "phase", "alpha", "ratings", "loose Δ", "medium Δ", "tight Δ");
+    println!(
+        "{:<7} {:<8} {:<10} {:<12} {:<12} {:<12}",
+        "phase", "alpha", "ratings", "loose Δ", "medium Δ", "tight Δ"
+    );
     for (j, phase) in report.phases.iter().enumerate() {
-        let outputs: Vec<BitVec> = (0..n)
-            .map(|p| phase.outputs[&p].clone())
-            .collect();
+        let outputs: Vec<BitVec> = (0..n).map(|p| phase.outputs[&p].clone()).collect();
         let discs: Vec<usize> = inst
             .communities
             .iter()
@@ -51,9 +52,7 @@ fn main() {
         );
     }
 
-    let final_outputs: Vec<BitVec> = (0..n)
-        .map(|p| report.final_outputs()[&p].clone())
-        .collect();
+    let final_outputs: Vec<BitVec> = (0..n).map(|p| report.final_outputs()[&p].clone()).collect();
     let tight = &inst.communities[2];
     let tight_report = CommunityReport::evaluate(engine.truth(), &final_outputs, tight);
     println!(

@@ -55,7 +55,11 @@ fn main() {
     // Clean world: 4 well-separated zone archetypes, light noise —
     // the regime where low-rank assumptions are valid.
     let clean = orthogonal_types(n, m, 4, 0.02, 11);
-    run_case("clean field (4 orthogonal zones)", &clean, (0.1 * m as f64) as usize);
+    run_case(
+        "clean field (4 orthogonal zones)",
+        &clean,
+        (0.1 * m as f64) as usize,
+    );
 
     // Messy world: 16 zones with arbitrary (dense random) signatures —
     // no singular-value gap for the spectral method to exploit.

@@ -1,0 +1,326 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro (with `#![proptest_config(...)]`), `any::<T>()`,
+//! integer range strategies, tuple strategies, `.prop_map`,
+//! `proptest::collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberate for an offline shim:
+//! cases are generated from a fixed per-case seed (fully
+//! deterministic across runs — no `PROPTEST_CASES` env or persisted
+//! failure files), and failing cases are reported by case number but
+//! not shrunk. Assertion macros panic like their `assert*`
+//! counterparts instead of returning `TestCaseError`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// Runner configuration (the `cases` knob is the only one the
+/// workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+
+    /// Produce one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values through `f`.
+    fn prop_map<U, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        MapStrategy { base: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Uniform strategy over all values of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<u64>() >> 63 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if end < <$t>::MAX {
+                    rng.gen_range(start..end + 1)
+                } else if start > <$t>::MIN {
+                    // Avoid overflow: sample one below then shift.
+                    rng.gen_range(start - 1..end) + 1
+                } else {
+                    // Full-domain inclusive range.
+                    rng.gen::<u64>() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a random length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element`-generated values, length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty size range for collection::vec");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Execute `f` over `config.cases` generated cases. Called by the
+/// expansion of [`proptest!`]; panics (with the case number) on the
+/// first failing case.
+pub fn run_cases<S: Strategy>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    f: impl Fn(S::Value),
+) {
+    // Per-case seeds are a pure function of (test name, case index),
+    // so every run of every test exercises the same, independent
+    // streams.
+    let name_tag: u64 = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    for case in 0..config.cases {
+        let mut rng =
+            TestRng::seed_from_u64(name_tag ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let value = strategy.generate(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest shim: {test_name} failed at case {case}/{}",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Property-test entry macro: an optional
+/// `#![proptest_config(expr)]` followed by test functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` inside [`proptest!`] into a `#[test]`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::run_cases(stringify!($name), &config, &strategy, |($($arg,)+)| $body);
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Like `assert!`, usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`, usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Everything tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds; tuple + prop_map compose.
+        fn ranges_and_maps(
+            x in 3usize..10,
+            y in 0u8..3,
+            pair in (1usize..=4, any::<u64>()).prop_map(|(k, s)| (k * 2, s)),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!(pair.0 % 2 == 0 && pair.0 <= 8);
+        }
+
+        fn vec_strategy_respects_size(v in collection::vec(0usize..100, 0..60)) {
+            prop_assert!(v.len() < 60);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use super::{run_cases, Strategy};
+        use rand::SeedableRng;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let strat = 0usize..1000;
+        let config = super::ProptestConfig::with_cases(16);
+        let collect = |out: &mut Vec<usize>| {
+            let cell = std::sync::Mutex::new(Vec::new());
+            run_cases("det", &config, &strat, |v| cell.lock().unwrap().push(v));
+            *out = cell.into_inner().unwrap();
+        };
+        collect(&mut a);
+        collect(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let _ = strat.generate(&mut super::TestRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,933 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace cannot fetch the real `rayon` (no network, no registry
+//! cache), so this crate provides the exact API subset the workspace
+//! calls: `par_iter`, `into_par_iter` (ranges and vectors),
+//! `par_chunks_mut`, `map`/`enumerate`/`for_each`/`fold`/`collect`,
+//! plus `join`, `scope`, and `ThreadPoolBuilder::install`.
+//!
+//! Execution model: work is split across `std::thread::scope` threads
+//! when the host reports more than one CPU; on a single-CPU host (or
+//! inside a `num_threads(1)` pool) everything runs sequentially on the
+//! caller's thread. Outputs are position-stable, so results are
+//! bit-identical regardless of thread count — the property
+//! `tests/robustness.rs` asserts.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by `ThreadPool::install`.
+    /// `0` means "no override: use available_parallelism".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads the current context should use.
+fn current_threads() -> usize {
+    let forced = POOL_THREADS.with(|t| t.get());
+    if forced != 0 {
+        return forced;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` on every index in `0..len`, collecting outputs in index
+/// order — the single execution primitive all combinators lower to.
+fn run_indexed<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = current_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    std::thread::scope(|s| {
+        let mut rest = out.as_mut_slice();
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let f = &f;
+            s.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(start + off));
+                }
+            });
+            rest = tail;
+            start += take;
+        }
+    });
+    out.into_iter()
+        .map(|x| x.expect("worker filled slot"))
+        .collect()
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        let mut rb = None;
+        let ra = std::thread::scope(|s| {
+            let handle = s.spawn(b);
+            let ra = a();
+            rb = Some(handle.join().expect("join closure panicked"));
+            ra
+        });
+        (ra, rb.expect("spawned closure completed"))
+    }
+}
+
+/// Scope for spawning tasks that all finish before `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: ScopeInner<'scope, 'env>,
+}
+
+enum ScopeInner<'scope, 'env: 'scope> {
+    Threaded(&'scope std::thread::Scope<'scope, 'env>),
+    Sequential,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task; it may run immediately (sequential mode) or on a
+    /// scope thread. All tasks complete before the enclosing `scope`
+    /// call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        match self.inner {
+            ScopeInner::Threaded(s) => {
+                s.spawn(move || {
+                    let nested = Scope {
+                        inner: ScopeInner::Sequential,
+                    };
+                    f(&nested);
+                });
+            }
+            ScopeInner::Sequential => f(self),
+        }
+    }
+}
+
+/// Run `f` with a [`Scope`] whose spawned tasks are joined on exit.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    if current_threads() <= 1 {
+        let s = Scope {
+            inner: ScopeInner::Sequential,
+        };
+        f(&s)
+    } else {
+        std::thread::scope(|ts| {
+            let s = Scope {
+                inner: ScopeInner::Threaded(ts),
+            };
+            f(&s)
+        })
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced by
+/// this shim, kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default, Debug)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the pool's thread count (`0` = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical thread pool: work run under [`install`](ThreadPool::install)
+/// uses this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count in effect.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads.max(1)));
+        let out = op();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            current_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// The number of threads the current context would use.
+pub fn current_num_threads() -> usize {
+    current_threads()
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+/// Lazily mapped parallel iterator.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+/// Index-tagged parallel iterator.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+/// Per-chunk fold of a parallel iterator.
+pub struct Fold<I, ID, F> {
+    base: I,
+    identity: ID,
+    fold_op: F,
+}
+
+/// Internal driver: anything that can produce its items by index.
+pub trait ParDrive: Sized + Send {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// Whether there are no items (clippy `len_without_is_empty`).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convert into an indexable producer (a boxed getter).
+    fn drive<T, F>(self, consume: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> T + Sync;
+}
+
+impl<'a, T: Sync + 'a> ParDrive for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn drive<U, F>(self, consume: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        run_indexed(self.slice.len(), |i| consume(&self.slice[i]))
+    }
+}
+
+impl ParDrive for RangeIter {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn drive<U, F>(self, consume: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        let start = self.range.start;
+        run_indexed(self.range.len(), |i| consume(start + i))
+    }
+}
+
+impl<T: Send + Sync> ParDrive for VecIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn drive<U, F>(self, consume: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        // Owned items cannot be pulled by index from shared workers
+        // without unsafe; wrap each in a Mutex<Option<T>> and take.
+        use std::sync::Mutex;
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|x| Mutex::new(Some(x)))
+            .collect();
+        run_indexed(slots.len(), |i| {
+            let item = slots[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("item taken once");
+            consume(item)
+        })
+    }
+}
+
+impl<'a, T: Send + 'a> ParDrive for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn drive<U, F>(self, consume: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        use std::sync::Mutex;
+        let slots: Vec<Mutex<Option<&'a mut [T]>>> = self
+            .chunks
+            .into_iter()
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        run_indexed(slots.len(), |i| {
+            let chunk = slots[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("chunk taken once");
+            consume(chunk)
+        })
+    }
+}
+
+impl<I, F, R> ParDrive for Map<I, F>
+where
+    I: ParDrive,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn drive<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn(Self::Item) -> U + Sync,
+    {
+        let f = self.f;
+        self.base.drive(move |item| consume(f(item)))
+    }
+}
+
+impl<I: ParDriveExt> ParDrive for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn drive<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn(Self::Item) -> U + Sync,
+    {
+        // Indices must stay paired with their items under threading,
+        // so enumerate lowers to the base's index-aware driver.
+        self.base.drive_enumerated(consume)
+    }
+}
+
+impl<I, ID, F, A> ParDrive for Fold<I, ID, F>
+where
+    I: ParDriveExt,
+    ID: Fn() -> A + Sync + Send,
+    F: Fn(A, I::Item) -> A + Sync + Send,
+    A: Send,
+{
+    type Item = A;
+
+    fn len(&self) -> usize {
+        // Number of folded chunks is execution-dependent; report the
+        // base length (callers only collect, never index).
+        self.base.len()
+    }
+
+    fn drive<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn(Self::Item) -> U + Sync,
+    {
+        let accs = self.base.drive_folded(&self.identity, &self.fold_op);
+        accs.into_iter().map(consume).collect()
+    }
+}
+
+/// Extension surface used by `Enumerate` and `Fold`: index-aware and
+/// folding drivers, implemented per concrete iterator so indices stay
+/// paired with items under threading.
+pub trait ParDriveExt: ParDrive {
+    /// Like `drive`, but hands `consume` `(index, item)` pairs.
+    fn drive_enumerated<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn((usize, Self::Item)) -> U + Sync;
+
+    /// Fold items into per-span accumulators (one per contiguous
+    /// worker span; sequential mode yields exactly one).
+    fn drive_folded<A, ID, F>(self, identity: &ID, fold_op: &F) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync;
+}
+
+impl<'a, T: Sync + 'a> ParDriveExt for SliceIter<'a, T> {
+    fn drive_enumerated<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn((usize, Self::Item)) -> U + Sync,
+    {
+        run_indexed(self.slice.len(), |i| consume((i, &self.slice[i])))
+    }
+
+    fn drive_folded<A, ID, F>(self, identity: &ID, fold_op: &F) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        fold_spans(self.slice.len(), identity, |acc, i| {
+            fold_op(acc, &self.slice[i])
+        })
+    }
+}
+
+impl ParDriveExt for RangeIter {
+    fn drive_enumerated<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn((usize, Self::Item)) -> U + Sync,
+    {
+        let start = self.range.start;
+        run_indexed(self.range.len(), |i| consume((i, start + i)))
+    }
+
+    fn drive_folded<A, ID, F>(self, identity: &ID, fold_op: &F) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        let start = self.range.start;
+        fold_spans(self.range.len(), identity, |acc, i| fold_op(acc, start + i))
+    }
+}
+
+impl<T: Send + Sync> ParDriveExt for VecIter<T> {
+    fn drive_enumerated<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn((usize, Self::Item)) -> U + Sync,
+    {
+        use std::sync::Mutex;
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|x| Mutex::new(Some(x)))
+            .collect();
+        run_indexed(slots.len(), |i| {
+            let item = slots[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("item taken once");
+            consume((i, item))
+        })
+    }
+
+    fn drive_folded<A, ID, F>(self, identity: &ID, fold_op: &F) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        use std::sync::Mutex;
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|x| Mutex::new(Some(x)))
+            .collect();
+        fold_spans(slots.len(), identity, |acc, i| {
+            let item = slots[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("item taken once");
+            fold_op(acc, item)
+        })
+    }
+}
+
+impl<'a, T: Send + 'a> ParDriveExt for ChunksMut<'a, T> {
+    fn drive_enumerated<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn((usize, Self::Item)) -> U + Sync,
+    {
+        use std::sync::Mutex;
+        let slots: Vec<Mutex<Option<&'a mut [T]>>> = self
+            .chunks
+            .into_iter()
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        run_indexed(slots.len(), |i| {
+            let chunk = slots[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("chunk taken once");
+            consume((i, chunk))
+        })
+    }
+
+    fn drive_folded<A, ID, F>(self, identity: &ID, fold_op: &F) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        use std::sync::Mutex;
+        let slots: Vec<Mutex<Option<&'a mut [T]>>> = self
+            .chunks
+            .into_iter()
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        fold_spans(slots.len(), identity, |acc, i| {
+            let chunk = slots[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("chunk taken once");
+            fold_op(acc, chunk)
+        })
+    }
+}
+
+impl<I, F, R> ParDriveExt for Map<I, F>
+where
+    I: ParDriveExt,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    fn drive_enumerated<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn((usize, Self::Item)) -> U + Sync,
+    {
+        let f = self.f;
+        self.base
+            .drive_enumerated(move |(i, item)| consume((i, f(item))))
+    }
+
+    fn drive_folded<A, ID, G>(self, identity: &ID, fold_op: &G) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        G: Fn(A, Self::Item) -> A + Sync,
+    {
+        let f = &self.f;
+        self.base
+            .drive_folded(identity, &|acc, item| fold_op(acc, f(item)))
+    }
+}
+
+impl<I: ParDriveExt> ParDriveExt for Enumerate<I> {
+    fn drive_enumerated<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn((usize, Self::Item)) -> U + Sync,
+    {
+        self.base
+            .drive_enumerated(move |(i, item)| consume((i, (i, item))))
+    }
+
+    fn drive_folded<A, ID, F>(self, identity: &ID, fold_op: &F) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        // Indices must ride along with items, so materialize the
+        // pairs (in parallel) and fold them into a single chunk —
+        // rayon's contract leaves the chunk count unspecified.
+        let pairs = self.base.drive_enumerated(|pair| pair);
+        vec![pairs.into_iter().fold(identity(), fold_op)]
+    }
+}
+
+impl<I, ID, F, A> ParDriveExt for Fold<I, ID, F>
+where
+    I: ParDriveExt,
+    ID: Fn() -> A + Sync + Send,
+    F: Fn(A, I::Item) -> A + Sync + Send,
+    A: Send,
+{
+    fn drive_enumerated<U, G>(self, consume: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn((usize, Self::Item)) -> U + Sync,
+    {
+        let accs = self.base.drive_folded(&self.identity, &self.fold_op);
+        accs.into_iter().enumerate().map(consume).collect()
+    }
+
+    fn drive_folded<B, ID2, G>(self, identity: &ID2, fold_op: &G) -> Vec<B>
+    where
+        B: Send,
+        ID2: Fn() -> B + Sync,
+        G: Fn(B, Self::Item) -> B + Sync,
+    {
+        let accs = self.base.drive_folded(&self.identity, &self.fold_op);
+        vec![accs.into_iter().fold(identity(), fold_op)]
+    }
+}
+
+/// Split `0..len` into contiguous per-worker spans and fold each span
+/// into its own accumulator; returns one accumulator per span.
+fn fold_spans<A, ID, F>(len: usize, identity: &ID, step: F) -> Vec<A>
+where
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, usize) -> A + Sync,
+{
+    let threads = current_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return vec![(0..len).fold(identity(), step)];
+    }
+    let chunk = len.div_ceil(threads);
+    let spans: Vec<Range<usize>> = (0..len)
+        .step_by(chunk)
+        .map(|s| s..(s + chunk).min(len))
+        .collect();
+    let step = &step;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|span| s.spawn(move || span.fold(identity(), step)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold worker panicked"))
+            .collect()
+    })
+}
+
+/// Combinators available on every parallel iterator in this shim.
+pub trait ParallelIterator: ParDriveExt {
+    /// Map each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Fold items into per-span accumulators (rayon semantics: an
+    /// unspecified number of accumulator chunks, ≥ 1).
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, Self::Item) -> A + Sync + Send,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Run `f` on every item (parallel when threads are available).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.drive(&f);
+    }
+
+    /// Collect all items, preserving order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter_vec(self.drive(|x| x))
+    }
+
+    /// Sum all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive(|x| x).into_iter().sum()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: ParDriveExt> ParallelIterator for T {}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T> {
+    /// Build the collection from an ordered item vector.
+    fn from_par_iter_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<K, V, S> FromParallelIterator<(K, V)> for std::collections::HashMap<K, V, S>
+where
+    K: std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_par_iter_vec(items: Vec<(K, V)>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// `&self`-based conversion to a parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator;
+
+    /// Borrowing parallel iterator over this collection.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Owning conversion to a parallel iterator (`.into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type produced.
+    type Item: Send;
+
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// Mutable chunked iteration (`.par_chunks_mut(n)`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// length `chunk_size` (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v: Vec<u32> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x as u64 * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x as u64 * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (5..25).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, (5..25).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v: Vec<String> = (0..50).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[9], 1);
+        assert_eq!(out[10], 2);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[95], 9);
+        assert_eq!(data[102], 10);
+    }
+
+    #[test]
+    fn fold_collect_partials_sum_correctly() {
+        let partials: Vec<u64> = (0..1000usize)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, i| acc + i as u64)
+            .collect();
+        assert!(!partials.is_empty());
+        let total: u64 = partials.into_iter().sum();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_spawn_completes_before_return() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn pool_install_controls_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seq: Vec<usize> = pool.install(|| (0..64).into_par_iter().map(|i| i).collect());
+        let auto: Vec<usize> = (0..64).into_par_iter().map(|i| i).collect();
+        assert_eq!(seq, auto);
+    }
+}

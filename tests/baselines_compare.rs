@@ -26,19 +26,30 @@ fn oracle_is_cheaper_than_zero_radius_but_needs_the_oracle() {
     let eng_zr = ProbeEngine::new(inst.truth.clone());
     let players: Vec<PlayerId> = (0..256).collect();
     let rec = reconstruct_known(&eng_zr, &players, 0.5, 0, &Params::practical(), 2);
-    let zr_rounds = community.iter().map(|&p| eng_zr.probes_of(p)).max().unwrap();
+    let zr_rounds = community
+        .iter()
+        .map(|&p| eng_zr.probes_of(p))
+        .max()
+        .unwrap();
     for &p in &community {
         assert_eq!(&rec.outputs[&p], inst.truth.row(p));
     }
 
     let eng_or = ProbeEngine::new(inst.truth.clone());
     let out = oracle_community(&eng_or, &community, 1, 2);
-    let or_rounds = community.iter().map(|&p| eng_or.probes_of(p)).max().unwrap();
+    let or_rounds = community
+        .iter()
+        .map(|&p| eng_or.probes_of(p))
+        .max()
+        .unwrap();
     for &p in &community {
         assert_eq!(&out[&p], inst.truth.row(p));
     }
 
-    assert!(or_rounds <= zr_rounds, "oracle {or_rounds} > ZR {zr_rounds}");
+    assert!(
+        or_rounds <= zr_rounds,
+        "oracle {or_rounds} > ZR {zr_rounds}"
+    );
     // Both beat solo by a wide margin.
     assert!(zr_rounds < 256 / 4);
 }

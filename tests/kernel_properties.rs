@@ -1,0 +1,186 @@
+//! Property tests pinning the blocked [`tmwia_model::kernel`] paths to
+//! their scalar references.
+//!
+//! The kernel is only allowed to be *faster* than one-pair-at-a-time
+//! `hamming`/`hamming_bounded` scans — every output must stay
+//! bit-identical. These properties drive the kernel across set sizes
+//! straddling the 64-row tile boundary and vector lengths straddling
+//! the 63/64/65-bit word boundary, where the Harley–Seal block loop,
+//! its scalar tail, and the mask mirroring are most likely to disagree
+//! with the reference.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tmwia_model::kernel::{
+    all_pairs_scalar, bounded_masks_scalar, iter_set_bits, masked_agreement, xor_popcount,
+    xor_popcount_bounded, xor_popcount_portable,
+};
+use tmwia_model::{BitVec, DistanceKernel};
+
+/// Deterministic vector sets: `seed` picks the bits, `n` the set size,
+/// `m` the length. Lengths mix a word-boundary-straddling band (60..70)
+/// with longer multi-block vectors so the 16-word Harley–Seal loop and
+/// its tail both run.
+fn vec_set(n: usize, m: usize, seed: u64) -> Vec<BitVec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| BitVec::random(m, &mut rng)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `all_pairs` equals the nested-`hamming` reference, entry by
+    /// entry, including both mirror triangles and the zero diagonal.
+    fn all_pairs_matches_scalar(
+        n in 0usize..80,
+        m in 60usize..70,
+        long in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let m = if long == 1 { m + 1200 } else { m };
+        let vectors = vec_set(n, m, seed);
+        let matrix = DistanceKernel::new(&vectors).all_pairs();
+        let reference = all_pairs_scalar(&vectors);
+        for i in 0..n {
+            for j in 0..n {
+                let want = vectors[i].hamming(&vectors[j]);
+                prop_assert_eq!(matrix.get(i, j), want, "kernel entry ({}, {})", i, j);
+                prop_assert_eq!(reference.get(i, j), want, "scalar entry ({}, {})", i, j);
+            }
+        }
+    }
+
+    /// `bounded_masks` equals the `hamming_bounded` reference mask for
+    /// every row and every bound, including `d = 0` (self-only balls
+    /// unless vectors collide).
+    fn bounded_masks_match_scalar(
+        n in 1usize..80,
+        m in 60usize..70,
+        d in 0usize..70,
+        seed in any::<u64>(),
+    ) {
+        let vectors = vec_set(n, m, seed);
+        let masks = DistanceKernel::new(&vectors).bounded_masks(d);
+        let reference = bounded_masks_scalar(&vectors, d);
+        for i in 0..n {
+            prop_assert_eq!(&masks[i], &reference[i], "mask row {}", i);
+        }
+    }
+
+    /// `xor_popcount` is `hamming`; `xor_popcount_bounded` keeps the
+    /// `min(hamming, bound + 1)` early-exit contract exactly.
+    fn popcount_paths_match_hamming(
+        m in 1usize..300,
+        bound in 0usize..300,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = BitVec::random(m, &mut rng);
+        let b = BitVec::random(m, &mut rng);
+        let exact = a.hamming(&b);
+        prop_assert_eq!(xor_popcount(a.words(), b.words()), exact);
+        prop_assert_eq!(xor_popcount_portable(a.words(), b.words()), exact);
+        prop_assert_eq!(
+            xor_popcount_bounded(a.words(), b.words(), bound),
+            exact.min(bound + 1)
+        );
+        prop_assert_eq!(
+            xor_popcount_bounded(a.words(), b.words(), bound),
+            a.hamming_bounded(&b, bound)
+        );
+    }
+
+    /// `distances_to` equals a plain `hamming` scan against every row.
+    fn distance_rows_match_scalar(
+        n in 0usize..70,
+        m in 60usize..70,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = BitVec::random(m, &mut rng);
+        let vectors = vec_set(n, m, seed ^ 0x9E37_79B9_7F4A_7C15);
+        let rows = DistanceKernel::new(&vectors).distances_to(&target);
+        prop_assert_eq!(rows.len(), n);
+        for (i, v) in vectors.iter().enumerate() {
+            prop_assert_eq!(rows[i], v.hamming(&target), "row {}", i);
+        }
+    }
+
+    /// `masked_agreement` equals the per-coordinate overlap/agree scan
+    /// used by the kNN baseline before the kernel rewire.
+    fn masked_agreement_matches_coordinate_scan(
+        m in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask_a = BitVec::random(m, &mut rng);
+        let vals_a = BitVec::random(m, &mut rng);
+        let mask_b = BitVec::random(m, &mut rng);
+        let vals_b = BitVec::random(m, &mut rng);
+        let (overlap, agree) = masked_agreement(&vals_a, &mask_a, &vals_b, &mask_b);
+        let mut want_overlap = 0usize;
+        let mut want_agree = 0usize;
+        for j in 0..m {
+            if mask_a.get(j) && mask_b.get(j) {
+                want_overlap += 1;
+                if vals_a.get(j) == vals_b.get(j) {
+                    want_agree += 1;
+                }
+            }
+        }
+        prop_assert_eq!(overlap, want_overlap);
+        prop_assert_eq!(agree, want_agree);
+    }
+
+    /// `iter_set_bits` round-trips the positions a `from_fn` mask was
+    /// built from.
+    fn set_bit_iteration_roundtrips(
+        m in 1usize..200,
+        stride in 1usize..7,
+        offset in 0usize..7,
+        seed in any::<u64>(),
+    ) {
+        let _ = seed;
+        let v = BitVec::from_fn(m, |j| j % stride == offset % stride);
+        let want: Vec<usize> = (0..m).filter(|j| j % stride == offset % stride).collect();
+        let got: Vec<usize> = iter_set_bits(&v).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn empty_and_singleton_sets_are_well_defined() {
+    let empty: Vec<BitVec> = Vec::new();
+    let kernel = DistanceKernel::new(&empty);
+    assert_eq!(kernel.n(), 0);
+    assert_eq!(kernel.all_pairs().n(), 0);
+    assert_eq!(kernel.max_pair_distance(), 0);
+    assert!(kernel.bounded_masks(3).is_empty());
+
+    let one = vec![BitVec::from_fn(65, |j| j == 64)];
+    let kernel = DistanceKernel::new(&one);
+    assert_eq!(kernel.all_pairs().get(0, 0), 0);
+    assert_eq!(kernel.max_pair_distance(), 0);
+    let masks = kernel.bounded_masks(0);
+    assert_eq!(iter_set_bits(&masks[0]).collect::<Vec<_>>(), vec![0]);
+    assert_eq!(kernel.distances_to(&BitVec::zeros(65)), vec![1]);
+}
+
+#[test]
+fn word_boundary_lengths_are_exact() {
+    // 63/64/65 bits: tail-only, exactly one word, one word plus tail.
+    for m in [63usize, 64, 65] {
+        let a = BitVec::from_fn(m, |j| j % 2 == 0);
+        let b = BitVec::from_fn(m, |j| j % 3 == 0);
+        let want = (0..m).filter(|&j| (j % 2 == 0) != (j % 3 == 0)).count();
+        assert_eq!(xor_popcount(a.words(), b.words()), want, "m = {m}");
+        for bound in 0..=m {
+            assert_eq!(
+                xor_popcount_bounded(a.words(), b.words(), bound),
+                want.min(bound + 1),
+                "m = {m}, bound = {bound}"
+            );
+        }
+    }
+}

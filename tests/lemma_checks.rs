@@ -2,11 +2,11 @@
 //! as close to the proofs as possible (complementing the E3 experiment
 //! and the algorithm-level tests).
 
+use std::collections::HashMap;
 use tmwia::model::generators::at_distance;
 use tmwia::model::partition::uniform_parts;
 use tmwia::model::rng::{rng_for, tags};
 use tmwia::prelude::*;
-use std::collections::HashMap;
 
 /// Lemma 4.3: given a partition `O₁…O_s` such that each part has a set
 /// `Gᵢ` of ≥ M/5 community members agreeing exactly on it, ANY vector

@@ -92,14 +92,7 @@ fn overlapping_communities_each_get_their_guarantee() {
     rng_seed += 1;
     let engine = ProbeEngine::new(inst.truth.clone());
     let players: Vec<PlayerId> = (0..128).collect();
-    let rec = reconstruct_known(
-        &engine,
-        &players,
-        0.25,
-        8,
-        &Params::practical(),
-        rng_seed,
-    );
+    let rec = reconstruct_known(&engine, &players, 0.25, 8, &Params::practical(), rng_seed);
     let outputs: Vec<BitVec> = (0..128).map(|p| rec.outputs[&p].clone()).collect();
     for (i, community) in inst.communities.iter().enumerate() {
         let delta = discrepancy(engine.truth(), &outputs, community);
@@ -110,8 +103,8 @@ fn overlapping_communities_each_get_their_guarantee() {
         );
     }
     // The overlap players (32..64) individually meet the tighter bound.
-    for p in 32..64 {
-        let err = outputs[p].hamming(inst.truth.row(p));
+    for (p, out) in outputs.iter().enumerate().take(64).skip(32) {
+        let err = out.hamming(inst.truth.row(p));
         assert!(err <= 40, "overlap player {p}: err {err}");
     }
 }
