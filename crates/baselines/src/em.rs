@@ -16,7 +16,7 @@
 //! method.
 
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
 use tmwia_model::rng::{derive, rng_for, tags};
 use tmwia_model::BitVec;
@@ -48,7 +48,7 @@ pub fn em_reconstruct(
     players: &[PlayerId],
     config: &EmConfig,
     seed: u64,
-) -> HashMap<PlayerId, BitVec> {
+) -> BTreeMap<PlayerId, BitVec> {
     let m = engine.m();
     let n = players.len();
     let r = config.probes_per_player.min(m);
@@ -83,7 +83,7 @@ pub fn em_reconstruct(
             }
             let max = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let mut z = 0.0;
-            for lp in logp.iter_mut() {
+            for lp in &mut logp {
                 *lp = (*lp - max).exp();
                 z += *lp;
             }
@@ -145,7 +145,7 @@ mod tests {
 
     fn mean_err(
         engine: &ProbeEngine,
-        out: &HashMap<PlayerId, BitVec>,
+        out: &BTreeMap<PlayerId, BitVec>,
         players: &[PlayerId],
     ) -> f64 {
         players

@@ -13,8 +13,8 @@
 //! player* — a polynomial budget — whereas the paper's algorithm spends
 //! polylog. Experiment E9/E8 exhibit exactly that gap.
 
-use std::collections::HashMap;
-use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
+use std::collections::BTreeMap;
+use tmwia_billboard::{par_map_players, par_map_range, PlayerId, ProbeEngine};
 use tmwia_model::kernel::masked_agreement;
 use tmwia_model::rng::{derive, rng_for, tags};
 use tmwia_model::BitVec;
@@ -47,7 +47,7 @@ pub fn knn_billboard(
     players: &[PlayerId],
     config: &KnnConfig,
     seed: u64,
-) -> HashMap<PlayerId, BitVec> {
+) -> BTreeMap<PlayerId, BitVec> {
     let m = engine.m();
     let r = config.probes_per_player.min(m);
 
@@ -78,12 +78,11 @@ pub fn knn_billboard(
         .collect();
 
     // Phase 2: score peers on overlaps, majority-vote the best k.
-    let outputs = par_map_players(players, |p| {
-        let slot = players.iter().position(|&q| q == p).expect("player listed");
+    let outputs = par_map_range(players.len(), |slot| {
         let (my_idx, my_vals) = &samples[slot];
         let (my_mask, my_full) = &scattered[slot];
         // Dense lookup: `my_map[j]` is Some(grade) iff this player
-        // sampled object j. (A HashMap here dominates the whole
+        // sampled object j. (A BTreeMap here dominates the whole
         // baseline's runtime at n ≈ 2048.)
         let mut my_map: Vec<Option<bool>> = vec![None; m];
         for (i, &j) in my_idx.iter().enumerate() {
@@ -103,7 +102,7 @@ pub fn knn_billboard(
                 scored.push((peer_slot, agree as f64 / overlap as f64));
             }
         }
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let top: Vec<usize> = scored
             .iter()
             .take(config.neighbours)

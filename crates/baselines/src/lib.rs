@@ -28,6 +28,8 @@
 //!   gap), and exactly the thing that breaks on adversarial diversity —
 //!   experiment E9 reproduces that contrast.
 
+#![forbid(unsafe_code)]
+
 pub mod em;
 pub mod knn;
 pub mod linalg;

@@ -17,7 +17,7 @@
 //! probes a liked object posts it and stops.
 
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::{PlayerId, ProbeEngine};
 use tmwia_model::matrix::ObjectId;
 use tmwia_model::rng::{rng_for, tags};
@@ -27,7 +27,7 @@ use tmwia_model::BitVec;
 #[derive(Clone, Debug)]
 pub struct OneGoodResult {
     /// The liked object each successful player found.
-    pub found: HashMap<PlayerId, ObjectId>,
+    pub found: BTreeMap<PlayerId, ObjectId>,
     /// Number of synchronous rounds executed.
     pub rounds: u64,
 }
@@ -42,19 +42,18 @@ pub fn one_good_object(
     seed: u64,
 ) -> OneGoodResult {
     let m = engine.m();
-    let mut found: HashMap<PlayerId, ObjectId> = HashMap::new();
+    let mut found: BTreeMap<PlayerId, ObjectId> = BTreeMap::new();
     // The billboard of posted liked objects (deduplicated, insertion
     // ordered for determinism).
     let mut liked_posts: Vec<ObjectId> = Vec::new();
     let mut posted = BitVec::zeros(m);
-    // Per-player probed-set tracking for the explore arm.
-    let mut unprobed: HashMap<PlayerId, Vec<ObjectId>> = players
+    // Per-player probed-set tracking for the explore arm, indexed by
+    // the player's slot in `players`.
+    let mut unprobed: Vec<Vec<ObjectId>> =
+        players.iter().map(|_| (0..m).collect::<Vec<_>>()).collect();
+    let mut rngs: Vec<_> = players
         .iter()
-        .map(|&p| (p, (0..m).collect::<Vec<_>>()))
-        .collect();
-    let mut rngs: HashMap<PlayerId, _> = players
-        .iter()
-        .map(|&p| (p, rng_for(seed, tags::BASELINE, 0x1_0000 + p as u64)))
+        .map(|&p| rng_for(seed, tags::BASELINE, 0x1_0000 + p as u64))
         .collect();
 
     let mut rounds = 0u64;
@@ -67,13 +66,13 @@ pub fn one_good_object(
         // players see the billboard as of the start of the round.
         let snapshot_len = liked_posts.len();
         let mut new_likes: Vec<ObjectId> = Vec::new();
-        for &p in players {
+        for (slot, &p) in players.iter().enumerate() {
             if found.contains_key(&p) {
                 continue;
             }
-            let rng = rngs.get_mut(&p).expect("rng");
+            let rng = &mut rngs[slot];
             let handle = engine.player(p);
-            let pool = unprobed.get_mut(&p).expect("pool");
+            let pool = &mut unprobed[slot];
             if pool.is_empty() {
                 continue; // probed everything; hopeless
             }

@@ -9,8 +9,8 @@
 //! exactly this ideal).
 
 use rand::seq::SliceRandom;
-use std::collections::HashMap;
-use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
+use std::collections::BTreeMap;
+use tmwia_billboard::{par_map_range, PlayerId, ProbeEngine};
 use tmwia_model::rng::{rng_for, tags};
 use tmwia_model::BitVec;
 
@@ -31,7 +31,7 @@ pub fn oracle_community(
     community: &[PlayerId],
     replication: usize,
     seed: u64,
-) -> HashMap<PlayerId, BitVec> {
+) -> BTreeMap<PlayerId, BitVec> {
     assert!(!community.is_empty(), "oracle community must be non-empty");
     assert!(replication >= 1, "replication must be positive");
     let m = engine.m();
@@ -53,9 +53,8 @@ pub fn oracle_community(
     };
 
     // Each member probes its assigned chunks and posts the grades.
-    let posts: Vec<Vec<(usize, bool)>> = par_map_players(community, |p| {
-        let slot = community.iter().position(|&q| q == p).expect("member");
-        let handle = engine.player(p);
+    let posts: Vec<Vec<(usize, bool)>> = par_map_range(community.len(), |slot| {
+        let handle = engine.player(community[slot]);
         let mut mine = Vec::new();
         for (j, &owner) in chunk_of_object.iter().enumerate() {
             let covered = (0..replication).any(|r| (owner + r) % k == slot);
@@ -125,7 +124,7 @@ mod tests {
         let out1 = oracle_community(&eng1, &community, 1, 3);
         let eng5 = ProbeEngine::new(inst.truth.clone());
         let out5 = oracle_community(&eng5, &community, 5, 3);
-        let delta = |out: &HashMap<PlayerId, BitVec>, eng: &ProbeEngine| {
+        let delta = |out: &BTreeMap<PlayerId, BitVec>, eng: &ProbeEngine| {
             let outputs: Vec<BitVec> = (0..64).map(|p| out[&p].clone()).collect();
             discrepancy(eng.truth(), &outputs, &community)
         };

@@ -1,12 +1,12 @@
 //! The "go it alone" baseline (§1.1): a linear probing budget lets a
 //! player ignore everyone else and reconstruct perfectly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
 use tmwia_model::BitVec;
 
 /// Every listed player probes all `m` objects. Zero error, `m` rounds.
-pub fn solo(engine: &ProbeEngine, players: &[PlayerId]) -> HashMap<PlayerId, BitVec> {
+pub fn solo(engine: &ProbeEngine, players: &[PlayerId]) -> BTreeMap<PlayerId, BitVec> {
     let m = engine.m();
     let rows = par_map_players(players, |p| {
         let handle = engine.player(p);

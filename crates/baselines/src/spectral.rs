@@ -15,7 +15,7 @@
 //! the contrast experiment E9 reproduces.
 
 use crate::linalg::{left_singular_subspace, rank_k_approx, Mat};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
 use tmwia_model::rng::{derive, rng_for, tags};
 use tmwia_model::BitVec;
@@ -47,7 +47,7 @@ pub fn spectral_reconstruct(
     players: &[PlayerId],
     config: &SpectralConfig,
     seed: u64,
-) -> HashMap<PlayerId, BitVec> {
+) -> BTreeMap<PlayerId, BitVec> {
     let m = engine.m();
     let r = config.probes_per_player.min(m);
     let scale = m as f64 / r as f64;
@@ -94,7 +94,7 @@ mod tests {
 
     fn mean_error(
         engine: &ProbeEngine,
-        out: &HashMap<PlayerId, BitVec>,
+        out: &BTreeMap<PlayerId, BitVec>,
         players: &[PlayerId],
     ) -> f64 {
         players

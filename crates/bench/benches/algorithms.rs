@@ -21,7 +21,7 @@ fn bench_zero_radius(c: &mut Criterion) {
             bench.iter(|| {
                 let engine = ProbeEngine::new(inst.truth.clone());
                 reconstruct_known(&engine, black_box(&players), 0.5, 0, &params, 5)
-            })
+            });
         });
     }
     group.finish();
@@ -38,7 +38,7 @@ fn bench_small_radius(c: &mut Criterion) {
             bench.iter(|| {
                 let engine = ProbeEngine::new(inst.truth.clone());
                 reconstruct_known(&engine, black_box(&players), 0.5, 4, &params, 6)
-            })
+            });
         });
     }
     group.finish();
@@ -56,7 +56,7 @@ fn bench_large_radius(c: &mut Criterion) {
             bench.iter(|| {
                 let engine = ProbeEngine::new(inst.truth.clone());
                 reconstruct_known(&engine, black_box(&players), 0.5, d, &params, 7)
-            })
+            });
         });
     }
     group.finish();
@@ -73,7 +73,7 @@ fn bench_baselines(c: &mut Criterion) {
         bench.iter(|| {
             let engine = ProbeEngine::new(inst.truth.clone());
             oracle_community(&engine, black_box(&community), 1, 8)
-        })
+        });
     });
     group.bench_function("spectral_512", |bench| {
         let cfg = SpectralConfig {
@@ -84,7 +84,7 @@ fn bench_baselines(c: &mut Criterion) {
         bench.iter(|| {
             let engine = ProbeEngine::new(inst.truth.clone());
             spectral_reconstruct(&engine, black_box(&players), &cfg, 8)
-        })
+        });
     });
     group.finish();
 }

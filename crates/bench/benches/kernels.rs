@@ -17,10 +17,10 @@ fn bench_hamming(c: &mut Criterion) {
         let a = BitVec::random(len, &mut rng);
         let b = BitVec::random(len, &mut rng);
         group.bench_with_input(BenchmarkId::new("full", len), &len, |bench, _| {
-            bench.iter(|| black_box(&a).hamming(black_box(&b)))
+            bench.iter(|| black_box(&a).hamming(black_box(&b)));
         });
         group.bench_with_input(BenchmarkId::new("bounded16", len), &len, |bench, _| {
-            bench.iter(|| black_box(&a).hamming_bounded(black_box(&b), 16))
+            bench.iter(|| black_box(&a).hamming_bounded(black_box(&b), 16));
         });
     }
     group.finish();
@@ -34,10 +34,10 @@ fn bench_dtilde(c: &mut Criterion) {
         let b = TernaryVec::from_bits(&BitVec::random(len, &mut rng));
         let bits = BitVec::random(len, &mut rng);
         group.bench_with_input(BenchmarkId::new("ternary", len), &len, |bench, _| {
-            bench.iter(|| black_box(&a).dtilde(black_box(&b)))
+            bench.iter(|| black_box(&a).dtilde(black_box(&b)));
         });
         group.bench_with_input(BenchmarkId::new("vs_bits", len), &len, |bench, _| {
-            bench.iter(|| black_box(&a).dtilde_bits(black_box(&bits)))
+            bench.iter(|| black_box(&a).dtilde_bits(black_box(&bits)));
         });
     }
     group.finish();
@@ -87,13 +87,13 @@ fn bench_distance_kernel(c: &mut Criterion) {
         let mut rng = rng_for(5, tags::TRIAL, n as u64);
         let vectors: Vec<BitVec> = (0..n).map(|_| BitVec::random(m, &mut rng)).collect();
         group.bench_with_input(BenchmarkId::new("all_pairs", n), &n, |bench, _| {
-            bench.iter(|| DistanceKernel::new(black_box(&vectors)).all_pairs())
+            bench.iter(|| DistanceKernel::new(black_box(&vectors)).all_pairs());
         });
         group.bench_with_input(BenchmarkId::new("all_pairs_scalar", n), &n, |bench, _| {
-            bench.iter(|| all_pairs_scalar(black_box(&vectors)))
+            bench.iter(|| all_pairs_scalar(black_box(&vectors)));
         });
         group.bench_with_input(BenchmarkId::new("bounded_masks_d64", n), &n, |bench, _| {
-            bench.iter(|| DistanceKernel::new(black_box(&vectors)).bounded_masks(64))
+            bench.iter(|| DistanceKernel::new(black_box(&vectors)).bounded_masks(64));
         });
         group.bench_with_input(
             BenchmarkId::new("bounded_masks_scalar_d64", n),
@@ -112,7 +112,7 @@ fn bench_generators(c: &mut Criterion) {
         bench.iter(|| {
             seed += 1;
             planted_community(1024, 1024, 512, 8, seed)
-        })
+        });
     });
     group.finish();
 }

@@ -25,7 +25,7 @@ fn bench_probe_engine(c: &mut Criterion) {
                 acc += handle.probe(black_box(j)) as u32;
             }
             acc
-        })
+        });
     });
     group.finish();
 }
@@ -46,7 +46,7 @@ fn bench_billboard(c: &mut Criterion) {
                 board.post(0, p, v.clone());
             }
             black_box(board.tally(&0).len())
-        })
+        });
     });
     group.finish();
 }
@@ -71,7 +71,7 @@ fn bench_lockstep(c: &mut Criterion) {
                         })
                         .collect();
                     run_rounds(&engine, &players, &mut policies, 10_000).rounds
-                })
+                });
             },
         );
     }
@@ -103,7 +103,7 @@ fn bench_rselect(c: &mut Criterion) {
                     7,
                 )
                 .winner
-            })
+            });
         });
     }
     group.finish();

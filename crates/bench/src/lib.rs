@@ -10,6 +10,8 @@
 //!
 //! Criterion micro-benches for the hot kernels live in `benches/`.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write as _;
 use tmwia_sim::experiments::{all, ExpConfig};
 

@@ -12,8 +12,7 @@
 //! thread-scheduling order.
 
 use parking_lot::RwLock;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 use tmwia_model::matrix::PlayerId;
 
 /// A concurrent append-only multimap `K → [(PlayerId, V)]`.
@@ -33,19 +32,19 @@ use tmwia_model::matrix::PlayerId;
 /// assert_eq!(board.popular(&"round-1", 2), vec![7]);
 /// ```
 #[derive(Debug)]
-pub struct Billboard<K: Eq + Hash, V> {
-    posts: RwLock<HashMap<K, Vec<(PlayerId, V)>>>,
+pub struct Billboard<K: Ord, V> {
+    posts: RwLock<BTreeMap<K, Vec<(PlayerId, V)>>>,
 }
 
-impl<K: Eq + Hash, V> Default for Billboard<K, V> {
+impl<K: Ord, V> Default for Billboard<K, V> {
     fn default() -> Self {
         Billboard {
-            posts: RwLock::new(HashMap::new()),
+            posts: RwLock::new(BTreeMap::new()),
         }
     }
 }
 
-impl<K: Eq + Hash + Clone, V: Clone + Ord> Billboard<K, V> {
+impl<K: Ord + Clone, V: Clone + Ord> Billboard<K, V> {
     /// Empty billboard.
     pub fn new() -> Self {
         Self::default()
@@ -82,12 +81,9 @@ impl<K: Eq + Hash + Clone, V: Clone + Ord> Billboard<K, V> {
     /// Tally of distinct values under `key`: `(value, votes)` pairs,
     /// sorted by value. The paper's vote-counting step ("vectors voted
     /// for by at least an α/2 fraction", Zero Radius step 4).
-    pub fn tally(&self, key: &K) -> Vec<(V, usize)>
-    where
-        V: Hash,
-    {
+    pub fn tally(&self, key: &K) -> Vec<(V, usize)> {
         let map = self.posts.read();
-        let mut counts: HashMap<&V, usize> = HashMap::new();
+        let mut counts: BTreeMap<&V, usize> = BTreeMap::new();
         if let Some(posts) = map.get(key) {
             for (_, v) in posts {
                 *counts.entry(v).or_insert(0) += 1;
@@ -101,10 +97,7 @@ impl<K: Eq + Hash + Clone, V: Clone + Ord> Billboard<K, V> {
     /// Values under `key` with at least `min_votes` votes, sorted —
     /// the "popular vectors" of Zero Radius step 4 / Small Radius
     /// step 1b.
-    pub fn popular(&self, key: &K, min_votes: usize) -> Vec<V>
-    where
-        V: Hash,
-    {
+    pub fn popular(&self, key: &K, min_votes: usize) -> Vec<V> {
         self.tally(key)
             .into_iter()
             .filter(|&(_, c)| c >= min_votes)

@@ -21,6 +21,8 @@
 //!   players (rayon under the hood) so "all players do X" loops use all
 //!   cores without perturbing results.
 
+#![forbid(unsafe_code)]
+
 pub mod board;
 pub mod cost;
 pub mod engine;
@@ -29,7 +31,7 @@ pub mod rounds;
 
 pub use board::Billboard;
 pub use cost::{CostSnapshot, PhaseCost};
-pub use engine::par_map_players;
+pub use engine::{par_map_players, par_map_range};
 pub use probe::{PlayerHandle, ProbeEngine};
 pub use rounds::{run_rounds, CrowdPolicy, RoundBoard, RoundPolicy, RoundsResult, SoloPolicy};
 

@@ -1,14 +1,14 @@
 //! Minimal flag parser (no external dependency): `--key value` pairs
 //! plus boolean `--key` switches, after a positional subcommand.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed command line: subcommand + flags.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The positional subcommand (first non-flag argument).
     pub command: Option<String>,
-    flags: HashMap<String, String>,
+    flags: BTreeMap<String, String>,
     switches: Vec<String>,
 }
 

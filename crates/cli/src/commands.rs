@@ -3,7 +3,7 @@
 //! unit-testable without a process boundary).
 
 use crate::args::{ArgError, Args};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use tmwia_baselines::{
     knn_billboard, one_good_object, oracle_community, solo, spectral_reconstruct, KnnConfig,
@@ -175,7 +175,7 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
     let players: Vec<PlayerId> = (0..n).collect();
     let engine = ProbeEngine::new(inst.truth.clone());
 
-    let outputs: HashMap<PlayerId, BitVec> = match algorithm.as_str() {
+    let outputs: BTreeMap<PlayerId, BitVec> = match algorithm.as_str() {
         "auto" => reconstruct_known(&engine, &players, alpha, d, &params, seed).outputs,
         "zero" => reconstruct_known(&engine, &players, alpha, 0, &params, seed).outputs,
         "small" | "large" => {
@@ -239,8 +239,7 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
                 .map(|p| {
                     res.outputs
                         .get(&p)
-                        .map(|vals| BitVec::from_bools(vals))
-                        .unwrap_or_else(|| BitVec::zeros(m))
+                        .map_or_else(|| BitVec::zeros(m), |vals| BitVec::from_bools(vals))
                 })
                 .collect();
             for (i, c) in inst.communities.iter().enumerate() {
@@ -316,7 +315,7 @@ pub fn cmd_communities(args: &Args) -> Result<String, CliError> {
 
     // Cluster either the hidden truth (default: structure discovery on
     // the generated world) or the algorithm's reconstructed outputs.
-    let outputs: HashMap<PlayerId, BitVec> = if args.flags_has_run() {
+    let outputs: BTreeMap<PlayerId, BitVec> = if args.flags_has_run() {
         let seed: u64 = args.num_or("seed", 1)?;
         let alpha: f64 = args.num_or("alpha", 0.25)?;
         let d: usize = args.num_or("d", 8)?;

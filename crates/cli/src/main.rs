@@ -1,6 +1,8 @@
 //! `tmwia` — command-line interface to the SPAA'06 interactive
 //! recommendation system. Run `tmwia help` for usage.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

@@ -82,6 +82,7 @@ pub fn coalesce(vectors: &[BitVec], d: usize, freq: f64, merge_mult: usize) -> V
         let &pick = order
             .iter()
             .find(|&&i| live.get(i))
+            // lint:allow(panic-hygiene) survivors is non-empty (checked above) and its bits were just set in live
             .expect("live is non-empty");
         // Step 2c: remove its ball.
         live.subtract(&masks[pick]);
@@ -140,6 +141,7 @@ pub fn coalesce_nonempty(
                 .then_with(|| a.cmp(&b)) // then smaller index
         })
         .map(|i| vectors[i].clone())
+        // lint:allow(panic-hygiene) the empty-vectors case returned early above
         .expect("vectors non-empty");
     vec![TernaryVec::from_bits(&best)]
 }

@@ -20,7 +20,7 @@
 //! whose representative is within the scale, which keeps memberships
 //! deterministic.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::PlayerId;
 use tmwia_model::kernel::iter_set_bits;
 use tmwia_model::{BitVec, DistanceKernel};
@@ -56,11 +56,11 @@ impl Clustering {
 /// with the densest remaining ball, claim everyone within `d`.
 ///
 /// ```
-/// use std::collections::HashMap;
+/// use std::collections::BTreeMap;
 /// use tmwia_core::discover_communities;
 /// use tmwia_model::BitVec;
 ///
-/// let mut outputs = HashMap::new();
+/// let mut outputs = BTreeMap::new();
 /// outputs.insert(0usize, BitVec::from_bools(&[true, true, false, false]));
 /// outputs.insert(1, BitVec::from_bools(&[true, true, false, true]));
 /// outputs.insert(2, BitVec::from_bools(&[false, false, true, true]));
@@ -69,7 +69,7 @@ impl Clustering {
 /// assert_eq!(c.communities[0].members, vec![0, 1]);
 /// ```
 pub fn discover_communities(
-    outputs: &HashMap<PlayerId, BitVec>,
+    outputs: &BTreeMap<PlayerId, BitVec>,
     d: usize,
     min_size: usize,
 ) -> Clustering {
@@ -137,7 +137,7 @@ pub fn discover_communities(
 /// producing the paper's on-the-fly refinement hierarchy: small scales
 /// give tight subcommunities, large scales merge them.
 pub fn community_hierarchy(
-    outputs: &HashMap<PlayerId, BitVec>,
+    outputs: &BTreeMap<PlayerId, BitVec>,
     scales: &[usize],
     min_size: usize,
 ) -> Vec<Clustering> {
@@ -161,11 +161,11 @@ mod tests {
         r: usize,
         noise: usize,
         seed: u64,
-    ) -> HashMap<PlayerId, BitVec> {
+    ) -> BTreeMap<PlayerId, BitVec> {
         let mut rng = rng_for(seed, tags::TRIAL, 7);
         let c1 = BitVec::random(m, &mut rng);
         let c2 = BitVec::random(m, &mut rng);
-        let mut out = HashMap::new();
+        let mut out = BTreeMap::new();
         for p in 0..k {
             out.insert(p, at_distance(&c1, r, &mut rng));
         }
@@ -211,7 +211,7 @@ mod tests {
         let center = BitVec::random(512, &mut rng);
         let sub1 = at_distance(&center, 10, &mut rng);
         let sub2 = at_distance(&center, 10, &mut rng);
-        let mut out = HashMap::new();
+        let mut out = BTreeMap::new();
         for p in 0..8 {
             out.insert(p, at_distance(&sub1, 1, &mut rng));
         }
@@ -248,14 +248,14 @@ mod tests {
         // Rebuild the map in a different insertion order.
         let mut pairs: Vec<_> = out.iter().map(|(&p, v)| (p, v.clone())).collect();
         pairs.reverse();
-        let out2: HashMap<PlayerId, BitVec> = pairs.into_iter().collect();
+        let out2: BTreeMap<PlayerId, BitVec> = pairs.into_iter().collect();
         let b = discover_communities(&out2, 2, 2);
         assert_eq!(a, b);
     }
 
     #[test]
     fn empty_outputs_empty_clustering() {
-        let out: HashMap<PlayerId, BitVec> = HashMap::new();
+        let out: BTreeMap<PlayerId, BitVec> = BTreeMap::new();
         let c = discover_communities(&out, 4, 1);
         assert!(c.communities.is_empty());
     }

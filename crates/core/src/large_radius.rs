@@ -26,7 +26,7 @@ use crate::coalesce::coalesce_nonempty;
 use crate::params::Params;
 use crate::select::select_ternary;
 use crate::zero_radius::{zero_radius, ObjectSpace};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::{PlayerId, ProbeEngine};
 use tmwia_model::matrix::ObjectId;
 use tmwia_model::partition::{assign_with_multiplicity, uniform_parts};
@@ -34,7 +34,7 @@ use tmwia_model::rng::{derive, rng_for, tags};
 use tmwia_model::{BitVec, TernaryVec};
 
 /// Output: per player, a full-length (`m`) estimate vector.
-pub type LrOutput = HashMap<PlayerId, BitVec>;
+pub type LrOutput = BTreeMap<PlayerId, BitVec>;
 
 /// One object group with its Coalesce candidates: the "virtual object"
 /// of step 4.
@@ -85,7 +85,7 @@ pub fn large_radius(
     let n_global = engine.n();
     let m = engine.m();
     if players.is_empty() {
-        return HashMap::new();
+        return BTreeMap::new();
     }
 
     // Step 1: random object groups and player assignment.

@@ -24,6 +24,8 @@
 //! matches the paper's literal constants, [`Params::practical`] scales
 //! them down for laptop-size experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod coalesce;
 pub mod communities;
 pub mod large_radius;

@@ -25,7 +25,7 @@
 
 use crate::params::Params;
 use crate::zero_radius::popular_candidates;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::{Billboard, PlayerId, ProbeEngine};
 use tmwia_model::matrix::ObjectId;
 use tmwia_model::partition::random_halves;
@@ -75,8 +75,8 @@ fn build_tree(
         }
     }
     // Link children by id lookup.
-    let by_id: HashMap<u64, usize> = arena.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
-    for node in arena.iter_mut() {
+    let by_id: BTreeMap<u64, usize> = arena.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+    for node in &mut arena {
         if let (Some(&l), Some(&r)) = (by_id.get(&(2 * node.id)), by_id.get(&(2 * node.id + 1))) {
             node.children = Some((l, r));
         }
@@ -190,6 +190,7 @@ impl SelectMachine {
                     .then_with(|| self.rows[a].cmp(&self.rows[b]))
                     .then_with(|| a.cmp(&b))
             })
+            // lint:allow(panic-hygiene) pool falls back to all candidate indices, and rows is non-empty by construction
             .expect("non-empty pool")
     }
 }
@@ -225,14 +226,14 @@ struct PlayerMachine {
     path: Vec<PathLevel>,
     phase: Phase,
     /// Values learned so far, keyed by object.
-    known: HashMap<ObjectId, bool>,
+    known: BTreeMap<ObjectId, bool>,
 }
 
 /// Result of a lockstep execution.
 pub struct LockstepResult {
     /// Per-player outputs over the input `objects` order — identical to
     /// the orchestrated [`mod@crate::zero_radius`] run with the same seed.
-    pub outputs: HashMap<PlayerId, Vec<bool>>,
+    pub outputs: BTreeMap<PlayerId, Vec<bool>>,
     /// Wall-clock rounds (probes + barrier waits of the slowest player).
     pub rounds: u64,
 }
@@ -288,7 +289,7 @@ pub fn lockstep_zero_radius(
                 leaf: idx,
                 path: path_rev,
                 phase: Phase::Leaf { pos: 0 },
-                known: HashMap::new(),
+                known: BTreeMap::new(),
             }
         })
         .collect();
@@ -328,12 +329,13 @@ pub fn lockstep_zero_radius(
     // Outputs: each player's root vector, reordered to the caller's
     // `objects` order.
     let root = &arena[0];
-    let pos: HashMap<ObjectId, usize> = objects.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+    let pos: BTreeMap<ObjectId, usize> = objects.iter().enumerate().map(|(i, &j)| (j, i)).collect();
     let outputs = machines
         .iter()
         .map(|m| {
             let mut row = vec![false; objects.len()];
             for &j in &root.objects {
+                // lint:allow(panic-hygiene) machines only reach Done after ascending to the root, which covers every object
                 row[pos[&j]] = *m.known.get(&j).expect("root coverage");
             }
             (m.p, row)
@@ -453,6 +455,7 @@ fn finish_level_with(
     let vec: Vec<bool> = parent
         .objects
         .iter()
+        // lint:allow(panic-hygiene) ascend runs only after `pairs` filled the sibling half; the own half was known at the previous level
         .map(|j| *machine.known.get(j).expect("parent coverage"))
         .collect();
     posts.push((parent.id, machine.p, vec));

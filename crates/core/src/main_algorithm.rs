@@ -10,7 +10,7 @@
 
 use crate::params::Params;
 use crate::zero_radius::BinarySpace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::{PlayerId, ProbeEngine};
 use tmwia_model::matrix::ObjectId;
 use tmwia_model::BitVec;
@@ -40,7 +40,7 @@ impl std::fmt::Display for Branch {
 #[derive(Clone, Debug)]
 pub struct Reconstruction {
     /// Each player's full-length output vector `w(p)`.
-    pub outputs: HashMap<PlayerId, BitVec>,
+    pub outputs: BTreeMap<PlayerId, BitVec>,
     /// Which Figure 1 branch was taken.
     pub branch: Branch,
 }

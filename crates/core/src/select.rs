@@ -154,6 +154,7 @@ pub fn select_rows<V: Value>(
                 .then_with(|| rows[a].cmp(&rows[b]))
                 .then_with(|| a.cmp(&b))
         })
+        // lint:allow(panic-hygiene) pool falls back to 0..k and k > 0 is asserted at function entry
         .expect("pool is non-empty");
 
     SelectResult { winner, probes }
@@ -207,6 +208,7 @@ pub fn select_bits(
         &rows,
         |j| {
             if fresh {
+                // lint:allow(oracle-isolation) Thm 3.2 remark: Select disregards probes made before its execution, so the strict accounting re-pays here
                 handle.probe_fresh(objects[j])
             } else {
                 handle.probe(objects[j])
@@ -238,6 +240,7 @@ pub fn select_ternary(
         &rows,
         |j| {
             if fresh {
+                // lint:allow(oracle-isolation) Thm 3.2 remark: Select disregards probes made before its execution, so the strict accounting re-pays here
                 handle.probe_fresh(objects[j])
             } else {
                 handle.probe(objects[j])

@@ -19,7 +19,7 @@ use crate::params::Params;
 use crate::select::select_bits;
 use crate::value::Value;
 use crate::zero_radius::{zero_radius, BinarySpace};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
 use tmwia_model::matrix::ObjectId;
 use tmwia_model::partition::uniform_parts;
@@ -28,7 +28,7 @@ use tmwia_model::BitVec;
 
 /// Output: each player's estimate over the `objects` view (aligned with
 /// the input slice).
-pub type SrOutput = HashMap<PlayerId, BitVec>;
+pub type SrOutput = BTreeMap<PlayerId, BitVec>;
 
 /// Run Algorithm Small Radius for the player set `players` over the
 /// object view `objects`, assuming an `(alpha, d)`-typical subset.
@@ -76,7 +76,7 @@ pub fn small_radius(
     // Step 1: K independent stitched candidates per player.
     let mut per_player_candidates: Vec<Vec<BitVec>> =
         vec![Vec::with_capacity(k_iters); players.len()];
-    let player_slot: HashMap<PlayerId, usize> =
+    let player_slot: BTreeMap<PlayerId, usize> =
         players.iter().enumerate().map(|(i, &p)| (p, i)).collect();
 
     for t in 0..k_iters {
@@ -149,7 +149,7 @@ pub fn small_radius(
 /// vectors (capped at `⌈zr_alpha_div/α⌉`) when the threshold filters
 /// everything out, so Select always has candidates.
 fn popular_vectors<V>(
-    zr: &HashMap<PlayerId, Vec<V>>,
+    zr: &BTreeMap<PlayerId, Vec<V>>,
     players: &[PlayerId],
     alpha: f64,
     params: &Params,
@@ -157,7 +157,7 @@ fn popular_vectors<V>(
 where
     V: Value + Into<bool> + Copy,
 {
-    let mut counts: HashMap<&Vec<V>, usize> = HashMap::with_capacity(players.len());
+    let mut counts: BTreeMap<&Vec<V>, usize> = BTreeMap::new();
     for &p in players {
         *counts.entry(&zr[&p]).or_insert(0) += 1;
     }

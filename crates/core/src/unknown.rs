@@ -16,7 +16,7 @@
 use crate::main_algorithm::reconstruct_known;
 use crate::params::Params;
 use crate::rselect::rselect_bits;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
 use tmwia_model::matrix::ObjectId;
 use tmwia_model::rng::derive;
@@ -42,11 +42,11 @@ pub fn d_grid(m: usize) -> Vec<usize> {
 #[derive(Clone, Debug)]
 pub struct UnknownDResult {
     /// Final per-player outputs after RSelect.
-    pub outputs: HashMap<PlayerId, BitVec>,
+    pub outputs: BTreeMap<PlayerId, BitVec>,
     /// The `D` grid that was run.
     pub grid: Vec<usize>,
     /// Index (into `grid`) of the version each player adopted.
-    pub chosen_version: HashMap<PlayerId, usize>,
+    pub chosen_version: BTreeMap<PlayerId, usize>,
 }
 
 /// Run the §6 unknown-`D` algorithm: all `O(log m)` versions of the
@@ -63,7 +63,7 @@ pub fn reconstruct_unknown_d(
     // Versions are probe-independent (results depend only on the hidden
     // truth); run them in sequence — probe caching means union cost, so
     // ordering does not change any player's total charge.
-    let versions: Vec<HashMap<PlayerId, BitVec>> = grid
+    let versions: Vec<BTreeMap<PlayerId, BitVec>> = grid
         .iter()
         .enumerate()
         .map(|(i, &d)| {
@@ -95,8 +95,8 @@ pub fn reconstruct_unknown_d(
         (r.winner, cands[r.winner].clone())
     });
 
-    let mut outputs = HashMap::with_capacity(players.len());
-    let mut chosen_version = HashMap::with_capacity(players.len());
+    let mut outputs = BTreeMap::new();
+    let mut chosen_version = BTreeMap::new();
     for (&p, (winner, w)) in players.iter().zip(picks) {
         outputs.insert(p, w);
         chosen_version.insert(p, winner);
@@ -117,7 +117,7 @@ pub struct PhaseReport {
     /// phase.
     pub rounds_after: u64,
     /// Each player's best-so-far output after the phase.
-    pub outputs: HashMap<PlayerId, BitVec>,
+    pub outputs: BTreeMap<PlayerId, BitVec>,
 }
 
 /// Full trajectory of the anytime unknown-`α` algorithm.
@@ -129,10 +129,11 @@ pub struct AnytimeReport {
 
 impl AnytimeReport {
     /// The final outputs (last phase).
-    pub fn final_outputs(&self) -> &HashMap<PlayerId, BitVec> {
+    pub fn final_outputs(&self) -> &BTreeMap<PlayerId, BitVec> {
         &self
             .phases
             .last()
+            // lint:allow(panic-hygiene) anytime_impl asserts num_phases >= 1 and pushes one report per phase
             .expect("anytime runs at least one phase")
             .outputs
     }
@@ -182,7 +183,7 @@ fn anytime_impl(
     let objects: Vec<ObjectId> = (0..m).collect();
     let alpha_floor = ((n.max(2) as f64).ln() / n as f64).min(1.0);
 
-    let mut best: Option<HashMap<PlayerId, BitVec>> = None;
+    let mut best: Option<BTreeMap<PlayerId, BitVec>> = None;
     let mut phases = Vec::with_capacity(num_phases);
     for j in 1..=num_phases {
         let alpha = (0.5f64.powi(j as i32)).max(alpha_floor);
@@ -196,7 +197,7 @@ fn anytime_impl(
             }
             None => reconstruct_unknown_d(engine, players, alpha, params, phase_seed).outputs,
         };
-        let merged: HashMap<PlayerId, BitVec> = match &best {
+        let merged: BTreeMap<PlayerId, BitVec> = match &best {
             None => phase_outputs,
             Some(prev) => {
                 let picks = par_map_players(players, |p| {

@@ -19,7 +19,7 @@
 use crate::params::Params;
 use crate::select::select_values;
 use crate::value::Value;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::{par_map_players, Billboard, PlayerId, ProbeEngine};
 use tmwia_model::partition::random_halves;
 use tmwia_model::rng::{rng_for, tags};
@@ -63,7 +63,7 @@ impl ObjectSpace for BinarySpace<'_> {
 
 /// Output of Zero Radius: for each participating player, a value per
 /// object, aligned with the `objects` slice passed in.
-pub type ZrOutput<V> = HashMap<PlayerId, Vec<V>>;
+pub type ZrOutput<V> = BTreeMap<PlayerId, Vec<V>>;
 
 /// Run Algorithm Zero Radius.
 ///
@@ -169,8 +169,8 @@ fn recurse<S: ObjectSpace>(
     let adopted2 = adopt(space, &p2, &o1, &cands_for_p2);
 
     // Reassemble full vectors in this node's object order.
-    let pos: HashMap<usize, usize> = objects.iter().enumerate().map(|(i, &j)| (j, i)).collect();
-    let mut out: ZrOutput<S::Val> = HashMap::with_capacity(players.len());
+    let pos: BTreeMap<usize, usize> = objects.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+    let mut out: ZrOutput<S::Val> = BTreeMap::new();
     let assemble = |own: &ZrOutput<S::Val>,
                     own_objs: &[usize],
                     adopted: &ZrOutput<S::Val>,
@@ -188,6 +188,7 @@ fn recurse<S: ObjectSpace>(
             out.insert(
                 p,
                 row.into_iter()
+                    // lint:allow(panic-hygiene) own_objs and adopted_objs partition this node's objects, so every slot is filled
                     .map(|v| v.expect("every object assigned"))
                     .collect(),
             );

@@ -1,0 +1,347 @@
+//! `tmwia-lint.toml` — which rules scan which paths.
+//!
+//! The parser is a deliberately tiny TOML subset (the same no-registry
+//! policy as `shims/`): `[section]` headers, `key = "string"`, and
+//! `key = ["a", "b"]` string arrays. Comments start with `#` at the
+//! beginning of a line or after whitespace outside quotes.
+
+use std::collections::BTreeMap;
+
+/// Scope of one rule: path prefixes it applies to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleScope {
+    /// Workspace-relative path prefixes scanned by this rule.
+    pub include: Vec<String>,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Path prefixes no rule ever scans (fixture trees, `target/`).
+    pub exclude: Vec<String>,
+    /// Per-rule scopes, keyed by rule id.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+/// Configuration parse errors, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number in the config file.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// The built-in default: the scopes the workspace is enforced
+    /// under when `tmwia-lint.toml` is absent. Kept in sync with the
+    /// checked-in config file by `tests/fixtures.rs`.
+    pub fn default_workspace() -> Self {
+        let mut rules = BTreeMap::new();
+        rules.insert(
+            "oracle-isolation".to_string(),
+            RuleScope {
+                include: vec!["crates/core/src".into()],
+            },
+        );
+        rules.insert(
+            "determinism".to_string(),
+            RuleScope {
+                include: vec![
+                    "crates/core/src".into(),
+                    "crates/model/src".into(),
+                    "crates/baselines/src".into(),
+                    "crates/billboard/src".into(),
+                    "crates/sim/src".into(),
+                    "crates/cli/src".into(),
+                    "crates/lint/src".into(),
+                    "src".into(),
+                ],
+            },
+        );
+        rules.insert(
+            "unsafe-hygiene".to_string(),
+            RuleScope {
+                include: vec!["crates".into(), "shims".into(), "src".into()],
+            },
+        );
+        rules.insert(
+            "panic-hygiene".to_string(),
+            RuleScope {
+                include: vec![
+                    "crates/core/src".into(),
+                    "crates/model/src".into(),
+                    "crates/baselines/src".into(),
+                    "crates/billboard/src".into(),
+                    "crates/sim/src".into(),
+                    "crates/lint/src".into(),
+                    "src".into(),
+                ],
+            },
+        );
+        Config {
+            exclude: vec!["crates/lint/tests/fixtures".into(), "target".into()],
+            rules,
+        }
+    }
+
+    /// Parse the TOML-subset text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = Config {
+            exclude: Vec::new(),
+            rules: BTreeMap::new(),
+        };
+        let mut section: Option<String> = None;
+        let lines: Vec<&str> = text.lines().collect();
+        let mut i = 0usize;
+        while i < lines.len() {
+            let lineno = (i + 1) as u32;
+            let mut line = strip_comment(lines[i]).trim().to_string();
+            // Multi-line arrays: keep appending lines until brackets
+            // close (quotes are respected by strip_comment only, so
+            // `[`/`]` inside strings would miscount — the paths this
+            // config holds contain neither).
+            while line.contains('[')
+                && !line.starts_with('[')
+                && bracket_balance(&line) > 0
+                && i + 1 < lines.len()
+            {
+                i += 1;
+                line.push(' ');
+                line.push_str(strip_comment(lines[i]).trim());
+            }
+            i += 1;
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = Some(name.trim().to_string());
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: lineno,
+                message: format!("expected `key = value`, got '{line}'"),
+            })?;
+            let key = key.trim();
+            let values = parse_string_or_array(value.trim()).ok_or_else(|| ConfigError {
+                line: lineno,
+                message: format!("expected a string or [\"…\"] array after `{key} =`"),
+            })?;
+            match section.as_deref() {
+                Some("global") => {
+                    if key == "exclude" {
+                        cfg.exclude = values;
+                    } else {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown [global] key '{key}'"),
+                        });
+                    }
+                }
+                Some(name) if name.starts_with("rules.") => {
+                    let rule = name["rules.".len()..].to_string();
+                    let scope = cfg.rules.entry(rule).or_default();
+                    if key == "include" {
+                        scope.include = values;
+                    } else {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown rule key '{key}'"),
+                        });
+                    }
+                }
+                other => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!(
+                            "key outside a [global] or [rules.<id>] section (in {other:?})"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Is `path` (workspace-relative, `/`-separated) globally excluded?
+    pub fn is_excluded(&self, path: &str) -> bool {
+        self.exclude.iter().any(|p| path_has_prefix(path, p))
+    }
+
+    /// Rule ids whose scope covers `path`, in deterministic order.
+    pub fn rules_for(&self, path: &str) -> Vec<&str> {
+        if self.is_excluded(path) {
+            return Vec::new();
+        }
+        self.rules
+            .iter()
+            .filter(|(_, scope)| scope.include.iter().any(|p| path_has_prefix(path, p)))
+            .map(|(id, _)| id.as_str())
+            .collect()
+    }
+}
+
+fn bracket_balance(s: &str) -> i32 {
+    let mut bal = 0i32;
+    let mut in_str = false;
+    for b in s.bytes() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'[' if !in_str => bal += 1,
+            b']' if !in_str => bal -= 1,
+            _ => {}
+        }
+    }
+    bal
+}
+
+/// Path-component-aware prefix test: `crates/core/src` covers
+/// `crates/core/src/foo.rs` but `crates/co` does not.
+fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    match path.strip_prefix(prefix) {
+        Some(rest) => rest.is_empty() || rest.starts_with('/'),
+        None => false,
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_string_or_array(v: &str) -> Option<Vec<String>> {
+    if let Some(inner) = v.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut out = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            out.push(parse_string(part)?);
+        }
+        Some(out)
+    } else {
+        Some(vec![parse_string(v)?])
+    }
+}
+
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn parse_string(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    // The paths this config holds never need escapes; reject rather
+    // than mis-parse.
+    if inner.contains('\\') || inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let text = r#"
+# top comment
+[global]
+exclude = ["target", "crates/lint/tests/fixtures"] # trailing
+
+[rules.determinism]
+include = ["crates/core/src", "src"]
+
+[rules.panic-hygiene]
+include = "crates/model/src"
+"#;
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(cfg.exclude.len(), 2);
+        assert_eq!(
+            cfg.rules["determinism"].include,
+            vec!["crates/core/src", "src"]
+        );
+        assert_eq!(cfg.rules["panic-hygiene"].include, vec!["crates/model/src"]);
+    }
+
+    #[test]
+    fn scoping_is_component_aware() {
+        let cfg = Config::parse("[rules.determinism]\ninclude = [\"crates/core/src\"]\n").unwrap();
+        assert_eq!(
+            cfg.rules_for("crates/core/src/coalesce.rs"),
+            vec!["determinism"]
+        );
+        assert!(cfg.rules_for("crates/core/srcs/evil.rs").is_empty());
+        assert!(cfg.rules_for("crates/core/tests/x.rs").is_empty());
+    }
+
+    #[test]
+    fn excluded_paths_match_no_rules() {
+        let mut cfg = Config::default_workspace();
+        cfg.exclude = vec!["crates/lint/tests/fixtures".into()];
+        assert!(cfg
+            .rules_for("crates/lint/tests/fixtures/panic_violation.rs")
+            .is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Config::parse("[global]\nbogus value\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = Config::parse("stray = \"x\"\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn default_covers_core_with_all_but_itself() {
+        let cfg = Config::default_workspace();
+        let rules = cfg.rules_for("crates/core/src/zero_radius.rs");
+        assert_eq!(
+            rules,
+            vec![
+                "determinism",
+                "oracle-isolation",
+                "panic-hygiene",
+                "unsafe-hygiene"
+            ]
+        );
+    }
+}

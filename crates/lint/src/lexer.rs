@@ -1,0 +1,390 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant scanning.
+//!
+//! The scanner rules only need to tell four things apart reliably:
+//! identifiers/keywords, punctuation, comments (with their text, for
+//! `// SAFETY:` and `// lint:allow(…)` recognition), and literals
+//! (whose *content* must never produce findings — a doc example or an
+//! error string mentioning `unwrap()` is not a violation). Everything
+//! subtle in real Rust lexing lives in the literal forms, so those are
+//! handled in full: string escapes, raw strings with `#` fences, byte
+//! strings, char literals vs. lifetimes, and nested block comments.
+
+/// What a token is. Literal contents are deliberately dropped — no
+/// rule may match inside them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Any literal: string, raw string, byte string, char, or number.
+    Literal,
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+    /// One punctuation character (`{`, `.`, `!`, …).
+    Punct(char),
+    /// `// …` comment, text excluding the slashes, trimmed.
+    LineComment(String),
+    /// `/* … */` comment (possibly nested), raw inner text.
+    BlockComment(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Never fails: unterminated literals or comments are
+/// closed by end of input (the scanner lints source that `rustc`
+/// already accepts, so recovery precision does not matter).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                c.bump();
+                c.bump();
+                let start = c.pos;
+                while let Some(nb) = c.peek() {
+                    if nb == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                let text = String::from_utf8_lossy(&c.src[start..c.pos])
+                    .trim()
+                    .to_string();
+                out.push(Token {
+                    kind: Tok::LineComment(text),
+                    line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let start = c.pos;
+                let mut depth = 1usize;
+                let mut end = c.pos;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            end = c.pos;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                            end = c.pos;
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = String::from_utf8_lossy(&c.src[start..end]).to_string();
+                out.push(Token {
+                    kind: Tok::BlockComment(text),
+                    line,
+                });
+            }
+            b'"' => {
+                lex_string(&mut c);
+                out.push(Token {
+                    kind: Tok::Literal,
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_prefixed_literal(&c) => {
+                lex_prefixed_literal(&mut c);
+                out.push(Token {
+                    kind: Tok::Literal,
+                    line,
+                });
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut c);
+                out.push(Token { kind, line });
+            }
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                let text = String::from_utf8_lossy(&c.src[start..c.pos]).to_string();
+                out.push(Token {
+                    kind: Tok::Ident(text),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut c);
+                out.push(Token {
+                    kind: Tok::Literal,
+                    line,
+                });
+            }
+            _ => {
+                c.bump();
+                out.push(Token {
+                    kind: Tok::Punct(b as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Does the cursor sit on `r"`, `r#`, `b"`, `b'`, `br"`, or `br#`?
+/// (Otherwise the `r`/`b` is an ordinary identifier start.)
+fn starts_prefixed_literal(c: &Cursor<'_>) -> bool {
+    let b0 = c.peek();
+    let b1 = c.peek_at(1);
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"' | b'#')) => true,
+        (Some(b'b'), Some(b'"' | b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(c.peek_at(2), Some(b'"' | b'#')),
+        _ => false,
+    }
+}
+
+fn lex_prefixed_literal(c: &mut Cursor<'_>) {
+    let mut raw = false;
+    while let Some(b) = c.peek() {
+        match b {
+            b'b' => {
+                c.bump();
+            }
+            b'r' => {
+                raw = true;
+                c.bump();
+            }
+            _ => break,
+        }
+    }
+    if raw {
+        let mut fences = 0usize;
+        while c.peek() == Some(b'#') {
+            fences += 1;
+            c.bump();
+        }
+        c.bump(); // opening quote
+        loop {
+            match c.bump() {
+                None => return,
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < fences && c.peek() == Some(b'#') {
+                        seen += 1;
+                        c.bump();
+                    }
+                    if seen == fences {
+                        return;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    } else if c.peek() == Some(b'\'') {
+        lex_quote(c);
+    } else {
+        lex_string(c);
+    }
+}
+
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    loop {
+        match c.bump() {
+            None | Some(b'"') => return,
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+fn lex_quote(c: &mut Cursor<'_>) -> Tok {
+    c.bump(); // opening quote
+    match c.peek() {
+        Some(b'\\') => {
+            // Escape sequence: definitely a char literal.
+            c.bump();
+            c.bump();
+            while let Some(b) = c.peek() {
+                c.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+            Tok::Literal
+        }
+        Some(b) if is_ident_start(b) => {
+            // `'x…`: lifetime unless a closing quote follows the ident.
+            let mut off = 0usize;
+            while c.peek_at(off).is_some_and(is_ident_continue) {
+                off += 1;
+            }
+            if c.peek_at(off) == Some(b'\'') {
+                for _ in 0..=off {
+                    c.bump();
+                }
+                Tok::Literal
+            } else {
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                Tok::Lifetime
+            }
+        }
+        Some(_) => {
+            // `'('`-style single-char literal.
+            c.bump();
+            if c.peek() == Some(b'\'') {
+                c.bump();
+            }
+            Tok::Literal
+        }
+        None => Tok::Literal,
+    }
+}
+
+fn lex_number(c: &mut Cursor<'_>) {
+    // Loose: consume alphanumerics and underscores (covers 0x/0b/0o,
+    // type suffixes, exponents), plus a `.` only when a digit follows
+    // (so `0..n` keeps its range dots).
+    while let Some(b) = c.peek() {
+        let fraction_dot = b == b'.' && c.peek_at(1).is_some_and(|d| d.is_ascii_digit());
+        // Exponent sign inside `1e-5`.
+        let exponent_sign = (b == b'+' || b == b'-')
+            && matches!(c.src.get(c.pos.wrapping_sub(1)), Some(b'e' | b'E'));
+        if b.is_ascii_alphanumeric() || b == b'_' || fraction_dot || exponent_sign {
+            c.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn literals_hide_their_contents() {
+        // None of the `unwrap` mentions below are identifier tokens.
+        let src = r###"let s = "call .unwrap() here"; let r = r#"panic!"#; let c = 'u';"###;
+        assert!(!idents(src).iter().any(|i| i == "unwrap" || i == "panic"));
+    }
+
+    #[test]
+    fn comments_keep_text_and_lines() {
+        let toks = lex("let x = 1;\n// SAFETY: fine\nfoo();");
+        let c = toks
+            .iter()
+            .find(|t| matches!(t.kind, Tok::LineComment(_)))
+            .unwrap();
+        assert_eq!(c.line, 2);
+        assert_eq!(c.kind, Tok::LineComment("SAFETY: fine".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ tail */ ident");
+        assert_eq!(idents("/* outer /* inner */ tail */ ident"), vec!["ident"]);
+        assert!(matches!(toks[0].kind, Tok::BlockComment(_)));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        let literals = toks.iter().filter(|t| t.kind == Tok::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let x = r##\"quote \"# inside\"##; after";
+        assert_eq!(idents(src), vec!["let", "x", "after"]);
+    }
+
+    #[test]
+    fn raw_string_prefix_consumed() {
+        let src = "let x = r\"abc\"; after";
+        assert_eq!(idents(src), vec!["let", "x", "after"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("for i in 0..n {}");
+        let dots = toks.iter().filter(|t| t.kind == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_literals() {
+        let toks = lex("let s = \"a\nb\nc\";\nident");
+        let id = toks.iter().find(|t| t.kind == Tok::Ident("ident".into()));
+        assert_eq!(id.unwrap().line, 4);
+    }
+}

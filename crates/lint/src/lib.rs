@@ -1,0 +1,38 @@
+//! # tmwia-lint
+//!
+//! Offline workspace invariant checker for the tmwia reproduction.
+//! Every quantitative claim the repo reproduces is a probe-cost bound
+//! (Theorems 1–5 of the SPAA'06 paper), so the things a reviewer must
+//! never miss — an algorithm reading ground truth without paying a
+//! probe, a `HashMap` iteration leaking scheduling order into a pinned
+//! experiment table, an unaudited `unsafe`, a library panic — are
+//! machine-checked here instead.
+//!
+//! Four rule families (see [`rules::RULES`]):
+//!
+//! * `oracle-isolation` — `.truth()`, raw `PrefMatrix`, and
+//!   `.probe_fresh()` are forbidden in algorithm crates outside tests.
+//! * `determinism` — no `HashMap`/`HashSet`, wall clocks, or unseeded
+//!   RNGs in fixed-seed algorithm paths.
+//! * `unsafe-hygiene` — every `unsafe` carries an adjacent
+//!   `// SAFETY:` comment.
+//! * `panic-hygiene` — no `unwrap`/`expect`/`panic!`-family macros in
+//!   library code outside tests.
+//!
+//! Findings are suppressed inline with `// lint:allow(<rule>) reason`
+//! on the offending line or the line above; the reason is mandatory,
+//! and stale suppressions are themselves findings. Scoping lives in
+//! `tmwia-lint.toml` at the workspace root (a hand-rolled TOML subset
+//! — the tool has zero dependencies, per the `shims/` policy).
+//!
+//! Run as `cargo run -p tmwia-lint -- check`; CI enforces a clean exit.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use config::{Config, ConfigError};
+pub use scan::{check_workspace, scan_source, Finding};

@@ -1,0 +1,117 @@
+//! `tmwia-lint` — run the workspace invariant checker.
+//!
+//! ```text
+//! tmwia-lint check [--root DIR] [--config FILE] [--quiet]
+//! tmwia-lint rules
+//! ```
+
+use std::path::PathBuf;
+use tmwia_lint::{check_workspace, rules, Config};
+
+const USAGE: &str = "\
+tmwia-lint — workspace invariant checker (probe accounting, determinism,
+unsafe/panic hygiene)
+
+USAGE:
+  tmwia-lint check [--root DIR] [--config FILE] [--quiet]
+      Scan the workspace; print findings; exit 1 if any remain.
+      --root defaults to the nearest ancestor containing tmwia-lint.toml
+      (or the current directory); --config defaults to ROOT/tmwia-lint.toml,
+      falling back to the built-in default scopes.
+  tmwia-lint rules
+      List rule ids and what they enforce.
+
+Suppress a finding with `// lint:allow(<rule>) reason` on the offending
+line or the line above. The reason is mandatory; unused suppressions are
+reported as findings.
+";
+
+fn run() -> Result<i32, String> {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next();
+    match cmd.as_deref() {
+        Some("check") => {}
+        Some("rules") => {
+            for (id, what) in rules::RULES {
+                println!("{id:>16}  {what}");
+            }
+            return Ok(0);
+        }
+        Some("help") | None => {
+            print!("{USAGE}");
+            return Ok(0);
+        }
+        Some(other) => return Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(
+                    args.next().ok_or("--root expects a directory")?,
+                ));
+            }
+            "--config" => {
+                config_path = Some(PathBuf::from(args.next().ok_or("--config expects a file")?));
+            }
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_root().ok_or("cannot determine workspace root (no tmwia-lint.toml found)")?,
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("tmwia-lint.toml"));
+    let config = match std::fs::read_to_string(&config_path) {
+        Ok(text) => Config::parse(&text).map_err(|e| format!("{}: {e}", config_path.display()))?,
+        Err(_) => Config::default_workspace(),
+    };
+
+    let findings = check_workspace(&root, &config);
+    if !quiet {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+    if findings.is_empty() {
+        if !quiet {
+            println!("tmwia-lint: clean ({} rules)", config.rules.len());
+        }
+        Ok(0)
+    } else {
+        println!("tmwia-lint: {} finding(s)", findings.len());
+        Ok(1)
+    }
+}
+
+/// Walk up from the current directory to the first `tmwia-lint.toml`
+/// (so `cargo run -p tmwia-lint` works from any workspace subdir);
+/// fall back to the current directory if the config is absent.
+fn find_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("tmwia-lint.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return Some(cwd.clone()),
+        }
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

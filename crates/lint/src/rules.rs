@@ -1,0 +1,241 @@
+//! The four rule families.
+//!
+//! Rules are token-pattern scanners over the output of [`crate::lexer`]
+//! — deliberately not type-aware. The discipline they enforce is
+//! structural (which *names* may appear in which crates), so name-level
+//! matching is exact enough, and anything type-level would need a full
+//! front-end. False positives have an escape hatch: the
+//! `// lint:allow(<rule>) reason` suppression handled in
+//! [`crate::scan`].
+
+use crate::lexer::{Tok, Token};
+
+/// One reported violation (before suppression filtering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    /// Rule id, e.g. `oracle-isolation`.
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// All rule ids, with one-line descriptions (for `tmwia-lint rules`).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "oracle-isolation",
+        "ground truth (`.truth()`, raw `PrefMatrix`) and probe-memo bypasses \
+         (`.probe_fresh()`) are forbidden in algorithm crates outside tests",
+    ),
+    (
+        "determinism",
+        "no `HashMap`/`HashSet`, wall clocks (`Instant`/`SystemTime`), or \
+         unseeded RNGs in fixed-seed algorithm paths",
+    ),
+    (
+        "unsafe-hygiene",
+        "every `unsafe` needs an adjacent `// SAFETY:` comment stating its \
+         preconditions",
+    ),
+    (
+        "panic-hygiene",
+        "no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in library code \
+         outside tests",
+    ),
+];
+
+/// A token view that skips comments but remembers each token's index in
+/// the full stream (the unsafe-hygiene rule needs to look back through
+/// comments).
+pub struct Sig<'a> {
+    /// `(index_in_full_stream, token)` for every non-comment token.
+    pub toks: Vec<(usize, &'a Token)>,
+}
+
+impl<'a> Sig<'a> {
+    /// Build the significant-token view.
+    pub fn new(all: &'a [Token]) -> Self {
+        Sig {
+            toks: all
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.kind, Tok::LineComment(_) | Tok::BlockComment(_)))
+                .collect(),
+        }
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        match &self.toks.get(i)?.1.kind {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, i: usize) -> Option<char> {
+        match self.toks.get(i)?.1.kind {
+            Tok::Punct(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.toks[i].1.line
+    }
+}
+
+/// Is significant token `i` a method-style call of `name` — i.e.
+/// `.name(`, `::name(`?
+fn is_call(sig: &Sig<'_>, i: usize, name: &str) -> bool {
+    sig.ident(i) == Some(name)
+        && matches!(sig.punct(i.wrapping_sub(1)), Some('.') | Some(':'))
+        && sig.punct(i + 1) == Some('(')
+}
+
+/// `oracle-isolation`: the probe is the only sanctioned channel from
+/// the hidden truth to an algorithm (every probe-cost bound in
+/// Theorems 1–5 depends on it), so algorithm crates must not name the
+/// ground-truth surface at all.
+pub fn oracle_isolation(sig: &Sig<'_>, test_mask: &[bool], out: &mut Vec<RawFinding>) {
+    for i in 0..sig.toks.len() {
+        if test_mask[sig.toks[i].0] {
+            continue;
+        }
+        if is_call(sig, i, "truth") {
+            out.push(RawFinding {
+                rule: "oracle-isolation",
+                line: sig.line(i),
+                message: "ground-truth accessor `.truth()` called in an algorithm crate; \
+                          algorithms may only learn grades via paid probes"
+                    .into(),
+            });
+        } else if is_call(sig, i, "probe_fresh") {
+            out.push(RawFinding {
+                rule: "oracle-isolation",
+                line: sig.line(i),
+                message: "`.probe_fresh()` bypasses the probe memo; each use must carry a \
+                          `lint:allow` citing the paper remark that sanctions strict re-pay \
+                          semantics"
+                    .into(),
+            });
+        } else if sig.ident(i) == Some("PrefMatrix") {
+            out.push(RawFinding {
+                rule: "oracle-isolation",
+                line: sig.line(i),
+                message: "raw `PrefMatrix` named in an algorithm crate; the hidden matrix is \
+                          reachable only through `ProbeEngine`"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `determinism`: experiment tables are pinned byte-for-byte under a
+/// fixed seed, so algorithm paths must avoid every source of run-to-run
+/// variation: randomized-iteration containers, wall clocks, and
+/// OS-entropy RNGs.
+pub fn determinism(sig: &Sig<'_>, test_mask: &[bool], out: &mut Vec<RawFinding>) {
+    for i in 0..sig.toks.len() {
+        if test_mask[sig.toks[i].0] {
+            continue;
+        }
+        let Some(id) = sig.ident(i) else { continue };
+        let message = match id {
+            "HashMap" | "HashSet" => format!(
+                "`{id}` iteration order varies run to run; use `BTree{}` or drain in \
+                 sorted order",
+                &id[4..]
+            ),
+            "Instant" | "SystemTime" => format!(
+                "wall-clock read (`{id}`) in an algorithm path breaks fixed-seed \
+                 reproducibility"
+            ),
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => format!(
+                "unseeded RNG (`{id}`); derive all randomness from the experiment seed \
+                 (`rng_for`)"
+            ),
+            _ => continue,
+        };
+        out.push(RawFinding {
+            rule: "determinism",
+            line: sig.line(i),
+            message,
+        });
+    }
+}
+
+/// `unsafe-hygiene`: each `unsafe` keyword must have a `// SAFETY:`
+/// comment (or a `# Safety` doc section) in the contiguous comment run
+/// ending within the few lines above it — attributes such as
+/// `#[target_feature]` may sit between, and long SAFETY blocks may
+/// start above the window as long as the run reaches down into it.
+pub fn unsafe_hygiene(all: &[Token], sig: &Sig<'_>, test_mask: &[bool], out: &mut Vec<RawFinding>) {
+    const WINDOW: u32 = 8;
+    for i in 0..sig.toks.len() {
+        let (full_idx, tok) = sig.toks[i];
+        if test_mask[full_idx] || !matches!(&tok.kind, Tok::Ident(s) if s == "unsafe") {
+            continue;
+        }
+        let line = tok.line;
+        // Find the contiguous comment run that ends within WINDOW lines
+        // above the `unsafe` (attributes may sit between), then search
+        // the whole run: a thorough SAFETY block may start further up
+        // than WINDOW lines even though it *ends* adjacent.
+        let mut documented = false;
+        let mut run_line: Option<u32> = None;
+        for t in all[..full_idx].iter().rev() {
+            let (Tok::LineComment(text) | Tok::BlockComment(text)) = &t.kind else {
+                continue;
+            };
+            match run_line {
+                // Nearest comment must end within the window…
+                None if t.line + WINDOW < line => break,
+                // …and earlier ones must be contiguous with the run.
+                Some(prev) if t.line + 1 < prev => break,
+                _ => {}
+            }
+            if text.contains("SAFETY:") || text.contains("# Safety") {
+                documented = true;
+                break;
+            }
+            run_line = Some(t.line);
+        }
+        if !documented {
+            out.push(RawFinding {
+                rule: "unsafe-hygiene",
+                line,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment stating the \
+                          preconditions it relies on"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `panic-hygiene`: library code reports failures through `Result` (or
+/// documented `assert!` preconditions); aborting macros and
+/// `unwrap`/`expect` are reserved for tests unless a `lint:allow`
+/// states the invariant that rules the panic out.
+pub fn panic_hygiene(sig: &Sig<'_>, test_mask: &[bool], out: &mut Vec<RawFinding>) {
+    for i in 0..sig.toks.len() {
+        if test_mask[sig.toks[i].0] {
+            continue;
+        }
+        let Some(id) = sig.ident(i) else { continue };
+        let message = match id {
+            "unwrap" | "expect" if is_call(sig, i, id) => format!(
+                "`.{id}()` in library code; propagate a `Result`, supply a default, or \
+                 `lint:allow` a documented invariant"
+            ),
+            "panic" | "unreachable" | "todo" | "unimplemented" if sig.punct(i + 1) == Some('!') => {
+                format!("`{id}!` in library code; return an error or `lint:allow` a documented invariant")
+            }
+            _ => continue,
+        };
+        out.push(RawFinding {
+            rule: "panic-hygiene",
+            line: sig.line(i),
+            message,
+        });
+    }
+}

@@ -1,0 +1,409 @@
+//! Per-file scanning: test-span masking, suppression handling, and the
+//! workspace walk.
+
+use crate::config::Config;
+use crate::lexer::{lex, Tok, Token};
+use crate::rules::{self, RawFinding, Sig};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A reported, unsuppressed violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (one of [`rules::RULES`], or `suppression` for misuse
+    /// of the suppression mechanism itself).
+    pub rule: String,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `// lint:allow(<rule>) reason` comment.
+#[derive(Debug)]
+struct Suppression {
+    rule: String,
+    line: u32,
+    has_reason: bool,
+    used: bool,
+}
+
+fn parse_suppressions(toks: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in toks {
+        let Tok::LineComment(text) = &t.kind else {
+            continue;
+        };
+        let Some(rest) = text.trim().strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some((rule, reason)) = rest.split_once(')') else {
+            continue;
+        };
+        let reason = reason.trim_start_matches([':', '-', ' ']);
+        out.push(Suppression {
+            rule: rule.trim().to_string(),
+            line: t.line,
+            has_reason: !reason.trim().is_empty(),
+            used: false,
+        });
+    }
+    out
+}
+
+/// Mark every token inside test-only items: an item (or module)
+/// annotated `#[cfg(test)]` or `#[test]`, through its closing brace or
+/// semicolon. `#[cfg(not(test))]` and other negations stay unmarked.
+fn test_mask(toks: &[Token]) -> Vec<bool> {
+    let sig: Vec<(usize, &Token)> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, Tok::LineComment(_) | Tok::BlockComment(_)))
+        .collect();
+    let mut mask = vec![false; toks.len()];
+    let punct = |i: usize| -> Option<char> {
+        match sig.get(i)?.1.kind {
+            Tok::Punct(c) => Some(c),
+            _ => None,
+        }
+    };
+
+    let mut i = 0usize;
+    while i < sig.len() {
+        // Attribute? `#[ … ]` (skip inner attributes `#![…]`).
+        if punct(i) == Some('#') && punct(i + 1) == Some('[') {
+            let attr_start = i;
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < sig.len() && depth > 0 {
+                match sig[j].1.kind {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => depth -= 1,
+                    Tok::Ident(ref s) => idents.push(s),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let first = idents.first().copied();
+            let is_test_attr = match first {
+                Some("test") => idents.len() == 1,
+                Some("cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+                _ => false,
+            };
+            if is_test_attr {
+                // Consume any further attributes, then the item itself.
+                let mut k = j;
+                while punct(k) == Some('#') && punct(k + 1) == Some('[') {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < sig.len() && d > 0 {
+                        match sig[k].1.kind {
+                            Tok::Punct('[') => d += 1,
+                            Tok::Punct(']') => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                // The item ends at its outermost `{…}` block, or at a
+                // `;` that appears before any block opens.
+                let mut end = k;
+                let mut brace = 0usize;
+                while end < sig.len() {
+                    match sig[end].1.kind {
+                        Tok::Punct('{') => brace += 1,
+                        Tok::Punct('}') => {
+                            brace -= 1;
+                            if brace == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Punct(';') if brace == 0 => break,
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                let lo = sig[attr_start].0;
+                let hi = sig.get(end).map_or(toks.len() - 1, |s| s.0);
+                for slot in &mut mask[lo..=hi] {
+                    *slot = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scan one file's source under `config`. `path` must be the
+/// workspace-relative, `/`-separated location — rule scoping and
+/// reported findings both use it verbatim.
+pub fn scan_source(path: &str, src: &str, config: &Config) -> Vec<Finding> {
+    let active = config.rules_for(path);
+    if active.is_empty() {
+        return Vec::new();
+    }
+    let toks = lex(src);
+    let mask = test_mask(&toks);
+    let sig = Sig::new(&toks);
+    let mut raw: Vec<RawFinding> = Vec::new();
+    for rule in &active {
+        match *rule {
+            "oracle-isolation" => rules::oracle_isolation(&sig, &mask, &mut raw),
+            "determinism" => rules::determinism(&sig, &mask, &mut raw),
+            "unsafe-hygiene" => rules::unsafe_hygiene(&toks, &sig, &mask, &mut raw),
+            "panic-hygiene" => rules::panic_hygiene(&sig, &mask, &mut raw),
+            other => raw.push(RawFinding {
+                rule: "suppression",
+                line: 1,
+                message: format!("config names unknown rule '{other}'"),
+            }),
+        }
+    }
+
+    let mut supps = parse_suppressions(&toks);
+    // Index: (rule, line) → suppression slot.
+    let mut by_key: BTreeMap<(String, u32), usize> = BTreeMap::new();
+    for (idx, s) in supps.iter().enumerate() {
+        by_key.insert((s.rule.clone(), s.line), idx);
+    }
+
+    let mut out: Vec<Finding> = Vec::new();
+    for f in raw {
+        let hit = by_key
+            .get(&(f.rule.to_string(), f.line))
+            .or_else(|| by_key.get(&(f.rule.to_string(), f.line.saturating_sub(1))))
+            .copied();
+        match hit {
+            Some(idx) if supps[idx].has_reason => {
+                supps[idx].used = true;
+            }
+            Some(idx) => {
+                supps[idx].used = true;
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: supps[idx].line,
+                    rule: "suppression".into(),
+                    message: format!(
+                        "lint:allow({}) must state a reason after the closing paren",
+                        supps[idx].rule
+                    ),
+                });
+            }
+            None => out.push(Finding {
+                path: path.to_string(),
+                line: f.line,
+                rule: f.rule.to_string(),
+                message: f.message,
+            }),
+        }
+    }
+    for s in &supps {
+        if !s.used {
+            out.push(Finding {
+                path: path.to_string(),
+                line: s.line,
+                rule: "suppression".into(),
+                message: format!(
+                    "lint:allow({}) suppresses nothing here (stale, misplaced, or the rule \
+                     is out of scope for this file)",
+                    s.rule
+                ),
+            });
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Recursively collect `.rs` files under `root`, returning
+/// workspace-relative `/`-separated paths in sorted (deterministic)
+/// order. Excluded prefixes are pruned during the walk.
+fn collect_rs_files(root: &Path, rel: &str, config: &Config, out: &mut Vec<String>) {
+    if config.is_excluded(rel) && !rel.is_empty() {
+        return;
+    }
+    let dir = root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR));
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut names: Vec<(bool, String)> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let is_dir = e.file_type().ok()?.is_dir();
+            Some((is_dir, name))
+        })
+        .collect();
+    names.sort();
+    for (is_dir, name) in names {
+        let child = if rel.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel}/{name}")
+        };
+        if is_dir {
+            collect_rs_files(root, &child, config, out);
+        } else if name.ends_with(".rs") && !config.is_excluded(&child) {
+            out.push(child);
+        }
+    }
+}
+
+/// Scan the whole workspace at `root` under `config`. Files a rule's
+/// scope does not cover are skipped entirely; IO failures on individual
+/// files are reported as findings rather than aborting the run.
+pub fn check_workspace(root: &Path, config: &Config) -> Vec<Finding> {
+    let mut prefixes: Vec<String> = config
+        .rules
+        .values()
+        .flat_map(|s| s.include.iter().cloned())
+        .collect();
+    prefixes.sort();
+    prefixes.dedup();
+    // Drop prefixes shadowed by a shorter one (e.g. `crates/core/src`
+    // under `crates`) so files are visited once.
+    let roots: Vec<String> = prefixes
+        .iter()
+        .filter(|p| {
+            !prefixes
+                .iter()
+                .any(|q| q.as_str() != p.as_str() && p.starts_with(&format!("{q}/")))
+        })
+        .cloned()
+        .collect();
+
+    let mut files = Vec::new();
+    for prefix in &roots {
+        let target = root.join(prefix.replace('/', std::path::MAIN_SEPARATOR_STR));
+        if target.is_file() {
+            files.push(prefix.clone());
+        } else {
+            collect_rs_files(root, prefix, config, &mut files);
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        let abs: PathBuf = root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR));
+        match std::fs::read_to_string(&abs) {
+            Ok(src) => findings.extend(scan_source(rel, &src, config)),
+            Err(e) => findings.push(Finding {
+                path: rel.clone(),
+                line: 0,
+                rule: "suppression".into(),
+                message: format!("unreadable file: {e}"),
+            }),
+        }
+    }
+    findings.sort();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::default_workspace()
+    }
+
+    #[test]
+    fn truth_call_in_core_is_caught() {
+        let src = "pub fn evil(e: &ProbeEngine) -> bool { e.truth().value(0, 0) }\n";
+        let f = scan_source("crates/core/src/evil.rs", src, &cfg());
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "oracle-isolation" && f.line == 1),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn truth_call_in_core_tests_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t(e: &ProbeEngine) { e.truth(); }\n}\n";
+        let f = scan_source("crates/core/src/ok.rs", src, &cfg());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_and_is_used() {
+        let src = "// lint:allow(oracle-isolation) Thm 3.2 remark sanctions strict re-pay\n\
+                   fn f(h: &PlayerHandle) { h.probe_fresh(0); }\n";
+        let f = scan_source("crates/core/src/s.rs", src, &cfg());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn suppression_without_reason_is_itself_a_finding() {
+        let src = "// lint:allow(oracle-isolation)\n\
+                   fn f(h: &PlayerHandle) { h.probe_fresh(0); }\n";
+        let f = scan_source("crates/core/src/s.rs", src, &cfg());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "suppression");
+    }
+
+    #[test]
+    fn stale_suppression_is_reported() {
+        let src = "// lint:allow(panic-hygiene) nothing panics below\nfn f() {}\n";
+        let f = scan_source("crates/core/src/s.rs", src, &cfg());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let f = scan_source("crates/model/src/x.rs", src, &cfg());
+        assert!(f.iter().any(|f| f.rule == "panic-hygiene"), "{f:?}");
+    }
+
+    #[test]
+    fn long_safety_block_reaching_the_window_counts() {
+        // The SAFETY: marker is 10 lines above the `unsafe`, beyond the
+        // lookback window — but the comment run is contiguous down to
+        // the line before it, so it must be accepted.
+        let mut src = String::from("// SAFETY: (1) precondition one holds because\n");
+        for i in 0..9 {
+            src.push_str(&format!("// continued explanation line {i}\n"));
+        }
+        src.push_str("fn f() { unsafe { core::hint::unreachable_unchecked() } }\n");
+        let f = scan_source("crates/model/src/u.rs", &src, &cfg());
+        assert!(!f.iter().any(|f| f.rule == "unsafe-hygiene"), "{f:?}");
+    }
+
+    #[test]
+    fn far_safety_comment_with_gap_does_not_count() {
+        let src = "// SAFETY: about something else entirely\n\
+                   fn g() {}\n\n\n\n\n\n\n\n\n\n\n\
+                   fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        let f = scan_source("crates/model/src/u.rs", src, &cfg());
+        assert!(f.iter().any(|f| f.rule == "unsafe-hygiene"), "{f:?}");
+    }
+
+    #[test]
+    fn out_of_scope_paths_produce_nothing() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(scan_source("crates/bench/src/lib.rs", src, &cfg()).is_empty());
+        assert!(scan_source("tests/end_to_end.rs", src, &cfg()).is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Fixture-driven integration tests: each rule family has a violating
+//! and a clean sample under `tests/fixtures/`, and the checker must
+//! report exactly the expected (rule, line) pairs — no more, no fewer.
+//! The fixture tree is excluded from the workspace config, so the
+//! repo's own `tmwia-lint check` never sees it; these tests scan it
+//! under in-scope pseudo-paths (and through the real binary with a
+//! dedicated config) instead.
+
+use std::path::PathBuf;
+use std::process::Command;
+use tmwia_lint::{scan_source, Config};
+
+fn crate_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn workspace_root() -> PathBuf {
+    crate_dir()
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+/// Scan a fixture under a pseudo-path inside `crates/core/src`, which
+/// the default config covers with all four rule families.
+fn scan(name: &str) -> Vec<(String, u32)> {
+    let src = std::fs::read_to_string(crate_dir().join("tests/fixtures").join(name))
+        .expect("fixture readable");
+    let mut found: Vec<(String, u32)> = scan_source(
+        &format!("crates/core/src/{name}"),
+        &src,
+        &Config::default_workspace(),
+    )
+    .into_iter()
+    .map(|f| (f.rule, f.line))
+    .collect();
+    found.sort();
+    found
+}
+
+fn all_rule(rule: &str, lines: &[u32]) -> Vec<(String, u32)> {
+    lines.iter().map(|&l| (rule.to_string(), l)).collect()
+}
+
+#[test]
+fn oracle_isolation_fixture_exact_findings() {
+    // line 4: `.truth()`, line 5: `.probe_fresh()`, line 6: `PrefMatrix`.
+    assert_eq!(
+        scan("oracle_violation.rs"),
+        all_rule("oracle-isolation", &[4, 5, 6])
+    );
+    assert_eq!(scan("oracle_clean.rs"), vec![]);
+}
+
+#[test]
+fn determinism_fixture_exact_findings() {
+    // lines 3/8: `HashMap`, lines 4/7: `Instant`.
+    assert_eq!(
+        scan("determinism_violation.rs"),
+        all_rule("determinism", &[3, 4, 7, 8])
+    );
+    assert_eq!(scan("determinism_clean.rs"), vec![]);
+}
+
+#[test]
+fn unsafe_hygiene_fixture_exact_findings() {
+    // line 5: `unsafe` with no adjacent SAFETY comment.
+    assert_eq!(
+        scan("unsafe_violation.rs"),
+        all_rule("unsafe-hygiene", &[5])
+    );
+    assert_eq!(scan("unsafe_clean.rs"), vec![]);
+}
+
+#[test]
+fn panic_hygiene_fixture_exact_findings() {
+    // line 4: `.unwrap()`, line 6: `panic!`.
+    assert_eq!(
+        scan("panic_violation.rs"),
+        all_rule("panic-hygiene", &[4, 6])
+    );
+    assert_eq!(scan("panic_clean.rs"), vec![]);
+}
+
+#[test]
+fn suppressed_fixture_is_clean() {
+    assert_eq!(scan("suppressed_clean.rs"), vec![]);
+}
+
+/// The checked-in `tmwia-lint.toml` and the built-in fallback scopes
+/// must agree, so a missing config file cannot silently weaken CI.
+#[test]
+fn workspace_config_matches_builtin_default() {
+    let text = std::fs::read_to_string(workspace_root().join("tmwia-lint.toml"))
+        .expect("workspace config present");
+    assert_eq!(
+        Config::parse(&text).expect("config parses"),
+        Config::default_workspace()
+    );
+}
+
+/// The real binary exits 0 on the actual workspace (acceptance: the
+/// lint lands green) …
+#[test]
+fn binary_exits_zero_on_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tmwia-lint"))
+        .arg("check")
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--quiet")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "workspace not clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+/// … and exits non-zero when pointed at the violating fixtures.
+#[test]
+fn binary_exits_nonzero_on_violating_fixtures() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tmwia-lint"))
+        .arg("check")
+        .arg("--root")
+        .arg(crate_dir())
+        .arg("--config")
+        .arg(crate_dir().join("tests/fixture_config.toml"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "expected findings exit code");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "oracle-isolation",
+        "determinism",
+        "unsafe-hygiene",
+        "panic-hygiene",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+/// Acceptance check from the issue: a deliberately-introduced `truth()`
+/// call in `crates/core` is caught by oracle-isolation.
+#[test]
+fn injected_truth_call_in_core_is_caught() {
+    let src = "pub fn cheat(e: &ProbeEngine) -> bool { e.truth().value(0, 0) }\n";
+    let findings = scan_source(
+        "crates/core/src/cheat.rs",
+        src,
+        &Config::default_workspace(),
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "oracle-isolation" && f.line == 1),
+        "{findings:?}"
+    );
+}
+
+/// Pseudo-paths outside every scope produce nothing even for violating
+/// content (the fixture tree itself is excluded in the default config).
+#[test]
+fn excluded_fixture_tree_is_not_scanned() {
+    let src = std::fs::read_to_string(crate_dir().join("tests/fixtures/panic_violation.rs"))
+        .expect("fixture readable");
+    let findings = scan_source(
+        "crates/lint/tests/fixtures/panic_violation.rs",
+        &src,
+        &Config::default_workspace(),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}

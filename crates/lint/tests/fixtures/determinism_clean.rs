@@ -1,0 +1,11 @@
+//! Fixture: ordered containers and seeded randomness only.
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *seen.entry(x).or_default() += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,14 @@
+//! Fixture: nondeterminism sources on an algorithm path.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let started = Instant::now();
+    let mut seen: HashMap<u32, u32> = Default::default();
+    for &x in xs {
+        *seen.entry(x).or_default() += 1;
+    }
+    let _ = started.elapsed();
+    seen.len()
+}

@@ -1,0 +1,13 @@
+//! Fixture: sanctioned probe usage — pays the unit cost per read.
+
+pub fn sample(handle: &Handle<'_>) -> bool {
+    handle.probe(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn truth_reads_in_tests_are_sanctioned(engine: &Engine) {
+        let _ = engine.truth();
+    }
+}

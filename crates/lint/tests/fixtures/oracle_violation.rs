@@ -1,0 +1,8 @@
+//! Fixture: oracle-isolation violations (one per line below).
+
+pub fn peek(engine: &Engine, handle: &Handle<'_>) -> bool {
+    let t = engine.truth();
+    let fresh = handle.probe_fresh(0);
+    let m = PrefMatrix::identity(1);
+    t.value(0, 0) && fresh && m.n() == 1
+}

@@ -1,0 +1,13 @@
+//! Fixture: failures reported through Option; tests may unwrap.
+
+pub fn first(xs: &[u8]) -> Option<u8> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first(&[3]).unwrap(), 3);
+    }
+}

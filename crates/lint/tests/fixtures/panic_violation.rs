@@ -1,0 +1,9 @@
+//! Fixture: aborting macros and unwraps in library code.
+
+pub fn first(xs: &[u8]) -> u8 {
+    let head = xs.first().unwrap();
+    if *head > 250 {
+        panic!("too big");
+    }
+    *head
+}

@@ -1,0 +1,6 @@
+//! Fixture: a finding silenced by an inline suppression with a reason.
+
+pub fn last(xs: &[u8]) -> u8 {
+    // lint:allow(panic-hygiene) fixture demonstrating suppression syntax
+    xs.last().copied().unwrap()
+}

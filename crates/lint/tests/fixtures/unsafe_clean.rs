@@ -1,0 +1,8 @@
+//! Fixture: `unsafe` with its safety argument stated adjacent.
+
+pub fn read_first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds; `&[u8]` guarantees alignment.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,6 @@
+//! Fixture: `unsafe` with no adjacent safety argument.
+
+pub fn read_first(xs: &[u8]) -> u8 {
+    let p = xs.as_ptr();
+    unsafe { *p }
+}

@@ -50,8 +50,8 @@ fn bits_to_hex(v: &BitVec) -> String {
     let mut s = String::with_capacity(nibbles);
     for i in 0..nibbles {
         let word = v.words().get(i / 16).copied().unwrap_or(0);
-        let nib = ((word >> ((i % 16) * 4)) & 0xF) as u32;
-        s.push(char::from_digit(nib, 16).expect("nibble"));
+        let nib = ((word >> ((i % 16) * 4)) & 0xF) as usize;
+        s.push(b"0123456789abcdef"[nib] as char);
     }
     s
 }

@@ -219,12 +219,24 @@ mod avx2 {
     /// `is_x86_feature_detected!("avx2")` succeeded.
     pub fn xor_popcount(a: &[u64], b: &[u64]) -> usize {
         debug_assert!(is_x86_feature_detected!("avx2"));
-        // SAFETY: `pair_fn` gates this path on runtime AVX2 detection.
+        assert_eq!(a.len(), b.len(), "xor_popcount needs equal word counts");
+        // SAFETY: (1) AVX2 availability — `pair_fn` selects this path
+        // only after `is_x86_feature_detected!("avx2")` returned true
+        // at dispatch time (runtime cpuid, not compile-time cfg), so
+        // the `#[target_feature]` contract of `xor_popcount_inner`
+        // holds. (2) Equal slice lengths — asserted above; the inner
+        // loop bounds both 4-word loads by `a.len()`, which would read
+        // past `b` if `b` were shorter. (3) Alignment — none required:
+        // the kernel uses `_mm256_loadu_si256` unaligned loads, so any
+        // `&[u64]` (8-byte aligned) is fine.
         unsafe { xor_popcount_inner(a, b) }
     }
 
     /// # Safety
-    /// Requires AVX2 (checked by the caller at dispatch time).
+    /// Requires AVX2 (callers must check `is_x86_feature_detected!`)
+    /// and `a.len() == b.len()` (both loads in the 4-word loop are
+    /// bounded by `a.len()` alone). No alignment precondition: all
+    /// loads are `loadu`.
     #[target_feature(enable = "avx2")]
     unsafe fn xor_popcount_inner(a: &[u64], b: &[u64]) -> usize {
         debug_assert_eq!(a.len(), b.len());
@@ -250,7 +262,8 @@ mod avx2 {
     /// sums folded with `vpsadbw`.
     ///
     /// # Safety
-    /// Requires AVX2.
+    /// Requires AVX2 (register-only: no memory access, so no length or
+    /// alignment preconditions).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn pop256(v: __m256i) -> __m256i {
@@ -272,7 +285,8 @@ mod avx2 {
     /// Sum of the four 64-bit lanes.
     ///
     /// # Safety
-    /// Requires AVX2.
+    /// Requires AVX2 (register-only: no memory access, so no length or
+    /// alignment preconditions).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn hsum(v: __m256i) -> u64 {

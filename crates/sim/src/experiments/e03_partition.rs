@@ -16,7 +16,7 @@ use super::ExpConfig;
 use crate::stats::fnum;
 use crate::table::Table;
 use crate::trials::run_trials;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_model::generators::at_distance;
 use tmwia_model::partition::uniform_parts;
 use tmwia_model::rng::{rng_for, tags};
@@ -30,7 +30,7 @@ pub fn partition_successful(vectors: &[BitVec], parts: &[Vec<usize>]) -> bool {
         if part.is_empty() {
             return true; // vacuous: every vector agrees on no coordinates
         }
-        let mut groups: HashMap<BitVec, usize> = HashMap::new();
+        let mut groups: BTreeMap<BitVec, usize> = BTreeMap::new();
         let mut best = 0;
         for v in vectors {
             let c = groups.entry(v.project(part)).or_insert(0);

@@ -66,7 +66,7 @@ pub fn run(cfg: &ExpConfig) -> Table {
                     vectors.extend((0..n - cluster_size).map(|_| BitVec::random(m, &mut rng)));
                     let out = coalesce(&vectors, d, alpha, 5);
                     // Closest candidate per cluster member.
-                    let mut chosen = std::collections::HashSet::new();
+                    let mut chosen = std::collections::BTreeSet::new();
                     let mut max_dtilde = 0usize;
                     for v in &cluster {
                         if let Some((i, dt)) = out
@@ -87,10 +87,10 @@ pub fn run(cfg: &ExpConfig) -> Table {
                     }
                 },
             );
-            let out_max = trials.iter().map(|t| t.out_size).max().unwrap();
+            let out_max = trials.iter().map(|t| t.out_size).max().unwrap_or(0);
             let unique = trials.iter().filter(|t| t.unique).count() as f64 / trials.len() as f64;
-            let dt_max = trials.iter().map(|t| t.max_dtilde).max().unwrap();
-            let unk_max = trials.iter().map(|t| t.max_unknown).max().unwrap();
+            let dt_max = trials.iter().map(|t| t.max_dtilde).max().unwrap_or(0);
+            let unk_max = trials.iter().map(|t| t.max_unknown).max().unwrap_or(0);
             table.push(vec![
                 fnum(alpha),
                 d.to_string(),

@@ -57,6 +57,7 @@ pub fn run(cfg: &ExpConfig) -> Table {
                 .collect();
             let objects: Vec<usize> = (0..m).collect();
             let r = rselect_bits(&engine.player(0), &objects, &cands, &params, m, seed);
+            // lint:allow(panic-hygiene) cands holds k >= 1 vectors built just above
             let best = cands.iter().map(|c| c.hamming(&truth_row)).min().unwrap();
             let chosen = cands[r.winner].hamming(&truth_row);
             (r.probes as f64, chosen as f64 / best as f64)

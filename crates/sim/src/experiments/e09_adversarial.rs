@@ -32,7 +32,7 @@ struct Trial {
 
 fn community_mean_error(
     engine: &ProbeEngine,
-    out: &std::collections::HashMap<usize, tmwia_model::BitVec>,
+    out: &std::collections::BTreeMap<usize, tmwia_model::BitVec>,
     community: &[usize],
     n: usize,
     m: usize,

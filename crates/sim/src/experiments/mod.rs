@@ -41,7 +41,7 @@ pub mod e15_lockstep;
 pub mod e16_prediction;
 
 use crate::table::Table;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tmwia_billboard::PlayerId;
 use tmwia_model::BitVec;
 
@@ -122,7 +122,7 @@ pub fn all() -> Vec<Experiment> {
 /// Convert a per-player output map into a dense `Vec` indexed by player
 /// id (players absent from the map get zero vectors) so the metrics
 /// helpers can index it.
-pub(crate) fn dense_outputs(out: &HashMap<PlayerId, BitVec>, n: usize, m: usize) -> Vec<BitVec> {
+pub(crate) fn dense_outputs(out: &BTreeMap<PlayerId, BitVec>, n: usize, m: usize) -> Vec<BitVec> {
     (0..n)
         .map(|p| out.get(&p).cloned().unwrap_or_else(|| BitVec::zeros(m)))
         .collect()
@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn dense_outputs_fills_gaps() {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         map.insert(1usize, BitVec::ones(4));
         let dense = dense_outputs(&map, 3, 4);
         assert_eq!(dense.len(), 3);

@@ -11,6 +11,8 @@
 //! code backs the `tmwia-bench` binaries (full scale), the integration
 //! tests (quick scale) and any downstream notebook-style use.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod stats;
 pub mod table;

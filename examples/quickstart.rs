@@ -67,9 +67,6 @@ fn main() {
         .map(|&p| engine.probes_of(p))
         .max()
         .unwrap();
-    println!(
-        "cost     : {} rounds for community members (solo would be {m})",
-        community_rounds
-    );
+    println!("cost     : {community_rounds} rounds for community members (solo would be {m})");
     assert!(report.discrepancy <= 5 * d, "Theorem 4.4 violated?!");
 }

@@ -30,9 +30,7 @@ fn current_threads() -> usize {
     if forced != 0 {
         return forced;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Run `f` on every index in `0..len`, collecting outputs in index

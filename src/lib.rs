@@ -45,6 +45,8 @@
 //! | [`baselines`] | solo / oracle / kNN / spectral comparators |
 //! | [`sim`] | experiment harness and the E1–E16 suite |
 
+#![forbid(unsafe_code)]
+
 pub use tmwia_baselines as baselines;
 pub use tmwia_billboard as billboard;
 pub use tmwia_core as core;

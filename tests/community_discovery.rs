@@ -35,7 +35,7 @@ fn powerlaw_marketplace_tail_is_discoverable_down_to_min_size() {
     let inst = powerlaw_clusters(240, 256, 6, 1.0, 2, 2);
     // Cluster the *truth* (oracle view) to validate the generator +
     // discovery pair independent of reconstruction noise.
-    let outputs: std::collections::HashMap<PlayerId, BitVec> = (0..inst.n())
+    let outputs: std::collections::BTreeMap<PlayerId, BitVec> = (0..inst.n())
         .map(|p| (p, inst.truth.row(p).clone()))
         .collect();
     let clustering = discover_communities(&outputs, 10, 4);

@@ -6,7 +6,7 @@ use tmwia::prelude::*;
 
 fn community_metrics(
     engine: &ProbeEngine,
-    outputs: &std::collections::HashMap<PlayerId, BitVec>,
+    outputs: &std::collections::BTreeMap<PlayerId, BitVec>,
     community: &[PlayerId],
 ) -> (usize, u64) {
     let n = engine.n();

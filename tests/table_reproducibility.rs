@@ -1,0 +1,56 @@
+//! Byte-level reproducibility regression for the experiment tables.
+//!
+//! `experiments_smoke.rs` checks same-process rerun determinism; this
+//! test is stricter: the rendered table for a pinned seed is compared
+//! byte-for-byte against a checked-in golden snapshot, so any
+//! dependence on map iteration order, thread scheduling, or platform
+//! entropy shows up as a diff even across builds and machines. (This is
+//! exactly the class of drift the `determinism` rule of `tmwia-lint`
+//! exists to prevent.)
+//!
+//! Regenerate the snapshot after an *intentional* table change with:
+//!
+//! ```text
+//! BLESS=1 cargo test --test table_reproducibility
+//! ```
+
+use std::path::PathBuf;
+use tmwia::sim::experiments::{all, ExpConfig};
+
+const SEED: u64 = 20060730;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(id: &str, file: &str) {
+    let (_, name, runner) = all()
+        .into_iter()
+        .find(|(i, _, _)| *i == id)
+        .unwrap_or_else(|| panic!("experiment {id} not registered"));
+    let rendered = runner(&ExpConfig::quick(SEED)).render();
+    let path = golden_path(file);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (run with BLESS=1)", path.display()));
+    assert_eq!(
+        rendered, expected,
+        "{id} ({name}) drifted from its golden snapshot — if the table \
+         change is intentional, re-bless with BLESS=1"
+    );
+}
+
+#[test]
+fn partition_table_matches_golden_bytes() {
+    check_golden("e3", "e03_partition_quick.txt");
+}
+
+#[test]
+fn coalesce_table_matches_golden_bytes() {
+    check_golden("e5", "e05_coalesce_quick.txt");
+}
