@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::seq::SliceRandom;
-use tmwia_billboard::{run_rounds, Billboard, CrowdPolicy, ProbeEngine, RoundPolicy};
+use tmwia_billboard::{run_rounds, Billboard, CrowdPolicy, FaultPlan, ProbeEngine, RoundPolicy};
 use tmwia_core::{rselect_bits, Params};
 use tmwia_model::generators::{at_distance, planted_community};
 use tmwia_model::matrix::PrefMatrix;
@@ -27,6 +27,51 @@ fn bench_probe_engine(c: &mut Criterion) {
             acc
         });
     });
+    group.finish();
+}
+
+/// Guard for the `--faults none` zero-overhead claim: `with_faults`
+/// normalises a none-plan to no fault state, so the probe hot path must
+/// bench identically across `new`, `with_faults(none)`, and only pay
+/// when a real plan is installed.
+fn bench_fault_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_overhead");
+    let inst = planted_community(64, 4096, 32, 0, 1);
+    let engines = [
+        ("plain", ProbeEngine::new(inst.truth.clone())),
+        (
+            "none_plan",
+            ProbeEngine::with_faults(inst.truth.clone(), FaultPlan::none()),
+        ),
+        (
+            "flip_plan",
+            ProbeEngine::with_faults(
+                inst.truth.clone(),
+                FaultPlan {
+                    seed: 7,
+                    flip_prob: 0.05,
+                    ..FaultPlan::none()
+                },
+            ),
+        ),
+    ];
+    for (label, engine) in engines {
+        assert_eq!(
+            engine.fault_state().is_some(),
+            label == "flip_plan",
+            "none-plan must normalise away"
+        );
+        group.bench_function(format!("probe_4096_{label}"), |bench| {
+            let handle = engine.player(0);
+            bench.iter(|| {
+                let mut acc = 0u32;
+                for j in 0..4096 {
+                    acc += handle.probe(black_box(j)) as u32;
+                }
+                acc
+            });
+        });
+    }
     group.finish();
 }
 
@@ -112,6 +157,7 @@ fn bench_rselect(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_probe_engine,
+    bench_fault_overhead,
     bench_billboard,
     bench_lockstep,
     bench_rselect

@@ -1,0 +1,4 @@
+//! Regenerates the E17 table of `EXPERIMENTS.md`.
+fn main() {
+    tmwia_bench::run_one("e17");
+}

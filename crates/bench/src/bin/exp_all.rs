@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E16) in order.
+//! Regenerates every experiment table (E1–E17) in order.
 fn main() {
     tmwia_bench::run_all();
 }

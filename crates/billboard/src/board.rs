@@ -13,6 +13,7 @@
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use tmwia_model::matrix::PlayerId;
 
 /// A concurrent append-only multimap `K → [(PlayerId, V)]`.
@@ -20,6 +21,15 @@ use tmwia_model::matrix::PlayerId;
 /// `K` identifies a topic (e.g. "Zero Radius output for object subset
 /// #12 at recursion depth 3"); `V` is whatever the players publish
 /// (full vectors, per-part candidate indices, …).
+///
+/// **Staleness (fault injection).** Every post is stamped with the
+/// board's current *epoch* (a counter a round-driven runtime advances
+/// once per round via [`Billboard::advance_epoch`]). A board built with
+/// [`Billboard::with_staleness`]`(lag)` hides posts newer than
+/// `current_epoch − lag` from all reads, modeling readers that see a
+/// bounded-lag cache of the billboard. With `lag = 0` (the default, and
+/// any board whose epoch is never advanced) reads behave exactly as
+/// before — posts are visible immediately.
 ///
 /// ```
 /// use tmwia_billboard::Billboard;
@@ -31,62 +41,121 @@ use tmwia_model::matrix::PlayerId;
 /// assert_eq!(board.tally(&"round-1"), vec![(7, 2), (9, 1)]);
 /// assert_eq!(board.popular(&"round-1", 2), vec![7]);
 /// ```
+/// Post storage: key → epoch-stamped `(epoch, player, value)` entries.
+type PostMap<K, V> = BTreeMap<K, Vec<(u64, PlayerId, V)>>;
+
 #[derive(Debug)]
 pub struct Billboard<K: Ord, V> {
-    posts: RwLock<BTreeMap<K, Vec<(PlayerId, V)>>>,
+    posts: RwLock<PostMap<K, V>>,
+    epoch: AtomicU64,
+    lag: u64,
 }
 
 impl<K: Ord, V> Default for Billboard<K, V> {
     fn default() -> Self {
         Billboard {
             posts: RwLock::new(BTreeMap::new()),
+            epoch: AtomicU64::new(0),
+            lag: 0,
         }
     }
 }
 
 impl<K: Ord + Clone, V: Clone + Ord> Billboard<K, V> {
-    /// Empty billboard.
+    /// Empty billboard (immediate visibility).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty billboard whose reads lag `lag` epochs behind posts: a
+    /// post made at epoch `e` is visible once the epoch reaches
+    /// `e + lag`. `lag = 0` is [`Billboard::new`].
+    pub fn with_staleness(lag: u64) -> Self {
+        Billboard {
+            lag,
+            ..Self::default()
+        }
+    }
+
+    /// Advance the epoch (a round boundary in a round-driven runtime).
+    /// Returns the new epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Is a post stamped `posted` visible at the current epoch?
+    #[inline]
+    fn visible(&self, posted: u64, now: u64) -> bool {
+        posted + self.lag <= now
     }
 
     /// Player `p` posts `value` under `key`. Posts are never retracted
     /// (the billboard is append-only, like the paper's public record).
     pub fn post(&self, key: K, p: PlayerId, value: V) {
-        self.posts.write().entry(key).or_default().push((p, value));
+        let e = self.epoch();
+        self.posts
+            .write()
+            .entry(key)
+            .or_default()
+            .push((e, p, value));
     }
 
     /// Post many values at once under distinct keys (single lock trip).
     pub fn post_batch(&self, items: impl IntoIterator<Item = (K, PlayerId, V)>) {
+        let e = self.epoch();
         let mut map = self.posts.write();
         for (key, p, value) in items {
-            map.entry(key).or_default().push((p, value));
+            map.entry(key).or_default().push((e, p, value));
         }
     }
 
-    /// All posts under `key`, sorted by `(player, value)` for
+    /// All *visible* posts under `key`, sorted by `(player, value)` for
     /// determinism. Empty if nobody posted.
     pub fn read(&self, key: &K) -> Vec<(PlayerId, V)> {
+        let now = self.epoch();
         let map = self.posts.read();
-        let mut out = map.get(key).cloned().unwrap_or_default();
+        let mut out: Vec<(PlayerId, V)> = map
+            .get(key)
+            .map(|posts| {
+                posts
+                    .iter()
+                    .filter(|&&(e, _, _)| self.visible(e, now))
+                    .map(|(_, p, v)| (*p, v.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
         out.sort();
         out
     }
 
-    /// Number of posts under `key`.
+    /// Number of visible posts under `key`.
     pub fn count(&self, key: &K) -> usize {
-        self.posts.read().get(key).map_or(0, |v| v.len())
+        let now = self.epoch();
+        self.posts.read().get(key).map_or(0, |posts| {
+            posts
+                .iter()
+                .filter(|&&(e, _, _)| self.visible(e, now))
+                .count()
+        })
     }
 
-    /// Tally of distinct values under `key`: `(value, votes)` pairs,
-    /// sorted by value. The paper's vote-counting step ("vectors voted
-    /// for by at least an α/2 fraction", Zero Radius step 4).
+    /// Tally of distinct visible values under `key`: `(value, votes)`
+    /// pairs, sorted by value. The paper's vote-counting step ("vectors
+    /// voted for by at least an α/2 fraction", Zero Radius step 4).
     pub fn tally(&self, key: &K) -> Vec<(V, usize)> {
+        let now = self.epoch();
         let map = self.posts.read();
         let mut counts: BTreeMap<&V, usize> = BTreeMap::new();
         if let Some(posts) = map.get(key) {
-            for (_, v) in posts {
-                *counts.entry(v).or_insert(0) += 1;
+            for (e, _, v) in posts {
+                if self.visible(*e, now) {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
             }
         }
         let mut out: Vec<(V, usize)> = counts.into_iter().map(|(v, c)| (v.clone(), c)).collect();
@@ -165,5 +234,41 @@ mod tests {
     fn default_is_empty() {
         let b: Billboard<u8, u8> = Billboard::default();
         assert_eq!(b.count(&0), 0);
+    }
+
+    #[test]
+    fn zero_lag_ignores_epochs() {
+        let b: Billboard<u8, u8> = Billboard::new();
+        b.post(0, 0, 1);
+        b.advance_epoch();
+        b.post(0, 1, 2);
+        // Immediate visibility regardless of when posts landed.
+        assert_eq!(b.count(&0), 2);
+        assert_eq!(b.read(&0), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn staleness_hides_recent_posts_until_lag_elapses() {
+        let b: Billboard<u8, u8> = Billboard::with_staleness(2);
+        b.post(0, 0, 1); // epoch 0, visible at epoch ≥ 2
+        assert_eq!(b.count(&0), 0, "epoch 0: too fresh");
+        b.advance_epoch();
+        assert_eq!(b.count(&0), 0, "epoch 1: still too fresh");
+        b.post(0, 1, 2); // epoch 1, visible at epoch ≥ 3
+        b.advance_epoch();
+        assert_eq!(b.read(&0), vec![(0, 1)], "epoch 2: first post only");
+        assert_eq!(b.tally(&0), vec![(1, 1)]);
+        b.advance_epoch();
+        assert_eq!(b.count(&0), 2, "epoch 3: everything visible");
+        assert_eq!(b.tally(&0), vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn epoch_counter_advances() {
+        let b: Billboard<u8, u8> = Billboard::new();
+        assert_eq!(b.epoch(), 0);
+        assert_eq!(b.advance_epoch(), 1);
+        assert_eq!(b.advance_epoch(), 2);
+        assert_eq!(b.epoch(), 2);
     }
 }

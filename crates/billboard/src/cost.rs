@@ -93,6 +93,96 @@ impl PhaseCost {
     }
 }
 
+/// Fault-attributed extension of the cost model: per-player *paid*
+/// probes (the quantity [`CostSnapshot`] tracks), the subset of those
+/// whose answers were corrupted by the active
+/// [`crate::fault::FaultPlan`], and the *denied* attempts that cost
+/// nothing. `paid − flipped` is the honest information a player
+/// actually bought; `denied` measures how hard the algorithm knocked on
+/// dead doors. Built by [`crate::ProbeEngine::ledger`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostLedger {
+    paid: Vec<u64>,
+    flipped: Vec<u64>,
+    denied: Vec<u64>,
+}
+
+impl CostLedger {
+    /// Assemble from per-player counters.
+    ///
+    /// # Panics
+    /// Panics if the three vectors disagree on player count.
+    pub fn new(paid: Vec<u64>, flipped: Vec<u64>, denied: Vec<u64>) -> Self {
+        assert!(
+            paid.len() == flipped.len() && paid.len() == denied.len(),
+            "ledger columns must cover the same players"
+        );
+        CostLedger {
+            paid,
+            flipped,
+            denied,
+        }
+    }
+
+    /// Per-player paid probes.
+    pub fn per_player(&self) -> &[u64] {
+        &self.paid
+    }
+
+    /// Paid probes of one player.
+    pub fn of(&self, p: PlayerId) -> u64 {
+        self.paid[p]
+    }
+
+    /// Corrupted paid probes of one player.
+    pub fn flipped_of(&self, p: PlayerId) -> u64 {
+        self.flipped[p]
+    }
+
+    /// Denied (free) attempts of one player.
+    pub fn denied_of(&self, p: PlayerId) -> u64 {
+        self.denied[p]
+    }
+
+    /// Total paid probes — by construction `Σ_p paid(p)`, the same
+    /// number [`crate::ProbeEngine::total_probes`] reports.
+    pub fn total(&self) -> u64 {
+        self.paid.iter().sum()
+    }
+
+    /// Total corrupted paid probes.
+    pub fn flipped_total(&self) -> u64 {
+        self.flipped.iter().sum()
+    }
+
+    /// Total denied attempts.
+    pub fn denied_total(&self) -> u64 {
+        self.denied.iter().sum()
+    }
+
+    /// Check the ledger's internal invariants: every player's flipped
+    /// count is bounded by its paid count, and (when `paid_cap` is
+    /// given, e.g. `m` under memoized probing, or the fault plan's
+    /// budget) no player exceeds the cap. Returns the first violation
+    /// as a message.
+    pub fn verify(&self, paid_cap: Option<u64>) -> Result<(), String> {
+        for p in 0..self.paid.len() {
+            if self.flipped[p] > self.paid[p] {
+                return Err(format!(
+                    "player {p}: flipped {} > paid {}",
+                    self.flipped[p], self.paid[p]
+                ));
+            }
+            if let Some(cap) = paid_cap {
+                if self.paid[p] > cap {
+                    return Err(format!("player {p}: paid {} > cap {cap}", self.paid[p]));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +231,34 @@ mod tests {
         assert_eq!(phase.total(), 0);
         assert_eq!(phase.rounds(), 0);
         assert_eq!(phase.mean(), 0.0);
+    }
+
+    #[test]
+    fn ledger_totals_and_accessors() {
+        let l = CostLedger::new(vec![5, 0, 9], vec![1, 0, 3], vec![0, 7, 2]);
+        assert_eq!(l.total(), 14);
+        assert_eq!(l.flipped_total(), 4);
+        assert_eq!(l.denied_total(), 9);
+        assert_eq!(l.of(2), 9);
+        assert_eq!(l.flipped_of(2), 3);
+        assert_eq!(l.denied_of(1), 7);
+        assert_eq!(l.per_player(), &[5, 0, 9]);
+        assert_eq!(l.total(), l.per_player().iter().sum::<u64>());
+    }
+
+    #[test]
+    fn ledger_verify_catches_violations() {
+        let ok = CostLedger::new(vec![5, 9], vec![1, 9], vec![0, 0]);
+        assert!(ok.verify(None).is_ok());
+        assert!(ok.verify(Some(9)).is_ok());
+        assert!(ok.verify(Some(8)).is_err());
+        let bad = CostLedger::new(vec![2], vec![3], vec![0]);
+        assert!(bad.verify(None).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "same players")]
+    fn ledger_mismatched_columns_panic() {
+        CostLedger::new(vec![1], vec![1, 2], vec![0]);
     }
 }

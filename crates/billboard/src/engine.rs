@@ -11,6 +11,7 @@
 //!    `(master seed, phase tag, player id)` via
 //!    [`tmwia_model::rng::derive`], never from a shared RNG.
 
+use crate::probe::ProbeEngine;
 use rayon::prelude::*;
 use tmwia_model::matrix::PlayerId;
 
@@ -44,6 +45,38 @@ where
         (0..count).map(&f).collect()
     } else {
         (0..count).into_par_iter().map(f).collect()
+    }
+}
+
+/// The subset of `players` the engine still considers live, in input
+/// order. With no fault plan installed this is all of them (a cheap
+/// copy); algorithms use it to exclude crashed/throttled players from
+/// voting steps so garbage cannot outvote survivors.
+pub fn live_players(engine: &ProbeEngine, players: &[PlayerId]) -> Vec<PlayerId> {
+    players
+        .iter()
+        .copied()
+        .filter(|&p| engine.is_live(p))
+        .collect()
+}
+
+/// Run `f` on the deterministic single-worker schedule.
+///
+/// Fault-injected runs of the *orchestrated* algorithms must use this:
+/// crash and budget deadness depend on a player's cumulative probe
+/// count, and Small/Large Radius probe the same player from several
+/// parallel parts/groups at once, so under the threaded schedule the
+/// count at which a given probe lands — and hence which probes a
+/// crashing player answers — would depend on thread interleaving.
+/// Pinning to one worker restores byte-reproducibility. Fault-free runs
+/// don't need this (memoized probe values are order-independent) and
+/// keep the parallel schedule.
+pub fn run_sequential<R>(f: impl FnOnce() -> R) -> R {
+    match rayon::ThreadPoolBuilder::new().num_threads(1).build() {
+        Ok(pool) => pool.install(f),
+        // Pool construction cannot fail in practice; run unpinned
+        // rather than abort the experiment.
+        Err(_) => f(),
     }
 }
 
@@ -86,5 +119,26 @@ mod tests {
         let par = par_map_players(&players, f);
         let seq: Vec<u64> = players.iter().map(|&p| f(p)).collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn live_players_filters_only_under_faults() {
+        use crate::fault::FaultPlan;
+        use tmwia_model::matrix::PrefMatrix;
+        use tmwia_model::BitVec;
+        let truth = PrefMatrix::new(vec![BitVec::zeros(4); 8]);
+        let players: Vec<PlayerId> = (0..8).collect();
+        let clean = ProbeEngine::new(truth.clone());
+        assert_eq!(live_players(&clean, &players), players);
+        // Crash at round 0 = dead from the start.
+        let plan = FaultPlan {
+            crash_fraction: 0.25,
+            crash_round: 0,
+            ..FaultPlan::none()
+        };
+        let faulty = ProbeEngine::with_faults(truth, plan);
+        let live = live_players(&faulty, &players);
+        assert_eq!(live.len(), 6);
+        assert!(live.iter().all(|&p| !faulty.crashed_players().contains(&p)));
     }
 }

@@ -1,0 +1,398 @@
+//! Deterministic fault injection for the probe/billboard substrate.
+//!
+//! The paper's model is fault-free: every player is alive, honest, and
+//! grades from a fixed hidden vector. Real interactive recommenders see
+//! none of that luxury — users go silent (crash-stop), mis-grade items
+//! (noisy answers), read a stale cache of the billboard, or are
+//! rate-limited. A [`FaultPlan`] describes such a regime; the
+//! [`crate::ProbeEngine`] compiles it into a [`FaultState`] whose every
+//! decision is a pure function of `(plan seed, player, object, probe
+//! count)` via the same `derive` mixing the algorithms use, so a faulty
+//! run is exactly as byte-reproducible as a clean one.
+//!
+//! Fault semantics (all deterministic):
+//!
+//! * **Crash-stop** — exactly `⌊crash_fraction · n⌋` players (the ones
+//!   ranked lowest by `derive(seed, FAULT_CRASH, p)`) stop probing after
+//!   their `crash_round`-th *paid* probe. "Round" here is the paper's
+//!   complexity measure — a player's own probe count — so crashing is
+//!   independent of scheduling.
+//! * **Noisy grades** — each `(player, object)` pair is flipped with
+//!   probability `flip_prob`, decided by thresholding
+//!   `derive(seed, FAULT_FLIP, p ‖ j)`; the flipped value is what lands
+//!   in the probe memo, so re-reads stay self-consistent (a noisy user
+//!   is *consistently* wrong about an item, as in the latent-source
+//!   noisy-preference models).
+//! * **Stale billboard** — reads lag `stale_lag` rounds behind posts in
+//!   the round-driven runtimes (see [`crate::Billboard::with_staleness`]
+//!   and the lockstep drivers).
+//! * **Throttling** — `probe_budget` caps paid probes per player; once
+//!   exhausted the player is treated exactly like a crashed one.
+//!
+//! A denied probe costs nothing and reveals nothing: the engine falls
+//! back to the player's memo (or a default `false`) so non-fault-aware
+//! callers remain total, and the denial is tallied in the
+//! [`crate::cost::CostLedger`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use tmwia_model::matrix::{ObjectId, PlayerId};
+use tmwia_model::rng::{derive, tags};
+
+/// A declarative, seed-driven fault regime. `FaultPlan::none()` is the
+/// paper's fault-free model and compiles to literally no engine state
+/// (the clean probe path is unchanged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed for every fault decision (independent of the
+    /// algorithm's seed so the two randomness domains never collide).
+    pub seed: u64,
+    /// Bernoulli probability that a `(player, object)` grade is flipped.
+    pub flip_prob: f64,
+    /// Fraction of players in the crash set (exact count `⌊f · n⌋`).
+    pub crash_fraction: f64,
+    /// Paid-probe count after which a crash-set player stops answering.
+    pub crash_round: u64,
+    /// Billboard read lag in rounds (0 or 1 = the synchronous model's
+    /// usual next-round visibility; `L > 1` delays posts `L` rounds).
+    pub stale_lag: u64,
+    /// Per-player cap on paid probes (`None` = unlimited).
+    pub probe_budget: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: no crashes, no flips, no lag, no budget.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            flip_prob: 0.0,
+            crash_fraction: 0.0,
+            crash_round: 0,
+            stale_lag: 0,
+            probe_budget: None,
+        }
+    }
+
+    /// Does this plan inject any fault at all? (The seed is irrelevant
+    /// when nothing consumes it.)
+    pub fn is_none(&self) -> bool {
+        self.flip_prob <= 0.0
+            && self.crash_fraction <= 0.0
+            && self.stale_lag == 0
+            && self.probe_budget.is_none()
+    }
+
+    /// Parse a CLI fault spec: `none`, or a comma list of
+    /// `flip=EPS`, `crash=FRAC[@ROUND]`, `lag=L`, `budget=B`,
+    /// `seed=S` — e.g. `flip=0.05,crash=0.25@8,lag=2`.
+    ///
+    /// `default_seed` seeds the plan unless `seed=` overrides it.
+    pub fn parse(spec: &str, default_seed: u64) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan {
+            seed: default_seed,
+            ..FaultPlan::none()
+        };
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "none" {
+            return Ok(plan);
+        }
+        for item in spec.split(',') {
+            let item = item.trim();
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item '{item}' is not key=value"))?;
+            match key {
+                "flip" => {
+                    let eps: f64 = value
+                        .parse()
+                        .map_err(|_| format!("bad flip probability '{value}'"))?;
+                    if !(0.0..=1.0).contains(&eps) {
+                        return Err(format!("flip probability {eps} outside [0, 1]"));
+                    }
+                    plan.flip_prob = eps;
+                }
+                "crash" => {
+                    let (frac_s, round_s) = match value.split_once('@') {
+                        Some((f, r)) => (f, Some(r)),
+                        None => (value, None),
+                    };
+                    let frac: f64 = frac_s
+                        .parse()
+                        .map_err(|_| format!("bad crash fraction '{frac_s}'"))?;
+                    if !(0.0..=1.0).contains(&frac) {
+                        return Err(format!("crash fraction {frac} outside [0, 1]"));
+                    }
+                    plan.crash_fraction = frac;
+                    plan.crash_round = match round_s {
+                        Some(r) => r.parse().map_err(|_| format!("bad crash round '{r}'"))?,
+                        None => 0,
+                    };
+                }
+                "lag" => {
+                    plan.stale_lag = value
+                        .parse()
+                        .map_err(|_| format!("bad billboard lag '{value}'"))?;
+                }
+                "budget" => {
+                    let b: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad probe budget '{value}'"))?;
+                    plan.probe_budget = Some(b);
+                }
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("bad fault seed '{value}'"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault key '{other}' (flip|crash|lag|budget|seed)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// One-line human summary for CLI/report output.
+    pub fn describe(&self) -> String {
+        if self.is_none() {
+            return "none".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.flip_prob > 0.0 {
+            parts.push(format!("flip={}", self.flip_prob));
+        }
+        if self.crash_fraction > 0.0 {
+            parts.push(format!(
+                "crash={}@{}",
+                self.crash_fraction, self.crash_round
+            ));
+        }
+        if self.stale_lag > 0 {
+            parts.push(format!("lag={}", self.stale_lag));
+        }
+        if let Some(b) = self.probe_budget {
+            parts.push(format!("budget={b}"));
+        }
+        parts.join(",")
+    }
+}
+
+/// A [`FaultPlan`] compiled against a concrete population: the crash
+/// set is materialized, the flip threshold precomputed, and per-player
+/// fault tallies allocated. Owned by the engine; all queries are pure
+/// in `(plan, player, object, count)`.
+pub struct FaultState {
+    plan: FaultPlan,
+    /// Per-player crash threshold on the paid-probe counter (`None` =
+    /// not in the crash set).
+    crash_at: Vec<Option<u64>>,
+    /// Flip iff `derive(seed, FAULT_FLIP, p ‖ j) < flip_threshold`
+    /// (0 ⇒ never; scaled so the hit rate is `flip_prob`).
+    flip_threshold: u64,
+    /// Paid probes whose answer was corrupted, per player.
+    flipped: Vec<AtomicU64>,
+    /// Probe attempts denied (crash/budget), per player. Denials are
+    /// free — they never touch the paid counters.
+    denied: Vec<AtomicU64>,
+}
+
+impl FaultState {
+    /// Compile `plan` for an `n`-player population. The crash set is
+    /// the `⌊crash_fraction · n⌋` players with the smallest
+    /// `derive(seed, FAULT_CRASH, p)` — an order-independent, exact-
+    /// count choice (ties are broken by player id, and 64-bit collisions
+    /// are negligible anyway).
+    pub(crate) fn compile(plan: FaultPlan, n: usize) -> FaultState {
+        let crash_count = (plan.crash_fraction.clamp(0.0, 1.0) * n as f64).floor() as usize;
+        let mut crash_at = vec![None; n];
+        if crash_count > 0 {
+            let mut ranked: Vec<(u64, PlayerId)> = (0..n)
+                .map(|p| (derive(plan.seed, tags::FAULT_CRASH, p as u64), p))
+                .collect();
+            ranked.sort_unstable();
+            for &(_, p) in ranked.iter().take(crash_count.min(n)) {
+                crash_at[p] = Some(plan.crash_round);
+            }
+        }
+        let flip_threshold = if plan.flip_prob <= 0.0 {
+            0
+        } else {
+            // `u64::MAX as f64` rounds to 2^64; the cast back saturates,
+            // so flip_prob = 1.0 maps to u64::MAX (flips all but one in
+            // 2^64 pairs — indistinguishable in practice).
+            (plan.flip_prob.clamp(0.0, 1.0) * u64::MAX as f64) as u64
+        };
+        FaultState {
+            plan,
+            crash_at,
+            flip_threshold,
+            flipped: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            denied: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Is the `(player, object)` grade corrupted under this plan?
+    /// Pure — independent of whether the pair was ever probed.
+    pub fn is_flipped(&self, p: PlayerId, j: ObjectId) -> bool {
+        self.flip_threshold != 0
+            && derive(
+                self.plan.seed,
+                tags::FAULT_FLIP,
+                ((p as u64) << 32) ^ j as u64,
+            ) < self.flip_threshold
+    }
+
+    /// Would a probe by `p` be denied when its paid counter reads
+    /// `count`? (Crash-set player past its crash round, or budget
+    /// exhausted.)
+    pub fn denies(&self, p: PlayerId, count: u64) -> bool {
+        self.crash_at[p].is_some_and(|r| count >= r)
+            || self.plan.probe_budget.is_some_and(|b| count >= b)
+    }
+
+    /// Players in the crash set (sorted by id). They are *scheduled* to
+    /// crash; whether each has already crashed depends on its probe
+    /// count.
+    pub fn crash_set(&self) -> Vec<PlayerId> {
+        self.crash_at
+            .iter()
+            .enumerate()
+            .filter_map(|(p, c)| c.map(|_| p))
+            .collect()
+    }
+
+    pub(crate) fn note_flip(&self, p: PlayerId) {
+        self.flipped[p].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_denial(&self, p: PlayerId) {
+        self.denied[p].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Paid probes whose answer was corrupted, per player.
+    pub fn flipped_of(&self, p: PlayerId) -> u64 {
+        self.flipped[p].load(Ordering::Relaxed)
+    }
+
+    /// Denied (free) probe attempts, per player.
+    pub fn denied_of(&self, p: PlayerId) -> u64 {
+        self.denied[p].load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for FaultState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultState")
+            .field("plan", &self.plan)
+            .field("crash_set", &self.crash_set().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        let mut p = FaultPlan::none();
+        p.flip_prob = 0.01;
+        assert!(!p.is_none());
+        let mut q = FaultPlan::none();
+        q.probe_budget = Some(5);
+        assert!(!q.is_none());
+    }
+
+    #[test]
+    fn parse_round_trips_the_grammar() {
+        let p = FaultPlan::parse("flip=0.05,crash=0.25@8,lag=2,budget=100", 7).unwrap();
+        assert_eq!(p.flip_prob, 0.05);
+        assert_eq!(p.crash_fraction, 0.25);
+        assert_eq!(p.crash_round, 8);
+        assert_eq!(p.stale_lag, 2);
+        assert_eq!(p.probe_budget, Some(100));
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.describe(), "flip=0.05,crash=0.25@8,lag=2,budget=100");
+
+        assert!(FaultPlan::parse("none", 1).unwrap().is_none());
+        assert!(FaultPlan::parse("", 1).unwrap().is_none());
+        assert_eq!(FaultPlan::parse("crash=0.1", 1).unwrap().crash_round, 0);
+        assert_eq!(FaultPlan::parse("seed=42", 1).unwrap().seed, 42);
+
+        assert!(FaultPlan::parse("flip=2.0", 1).is_err());
+        assert!(FaultPlan::parse("crash=-0.1", 1).is_err());
+        assert!(FaultPlan::parse("bogus=1", 1).is_err());
+        assert!(FaultPlan::parse("flip", 1).is_err());
+        assert!(FaultPlan::parse("lag=x", 1).is_err());
+    }
+
+    #[test]
+    fn crash_set_is_exact_and_deterministic() {
+        let plan = FaultPlan {
+            crash_fraction: 0.25,
+            crash_round: 3,
+            ..FaultPlan::none()
+        };
+        let a = FaultState::compile(plan.clone(), 64);
+        let b = FaultState::compile(plan, 64);
+        assert_eq!(a.crash_set(), b.crash_set());
+        assert_eq!(a.crash_set().len(), 16);
+        // A crashed player denies past its round, others never.
+        let victim = a.crash_set()[0];
+        assert!(!a.denies(victim, 2));
+        assert!(a.denies(victim, 3));
+        let alive = (0..64).find(|p| !a.crash_set().contains(p)).unwrap();
+        assert!(!a.denies(alive, 1_000_000));
+    }
+
+    #[test]
+    fn crash_set_scales_with_fraction() {
+        for (frac, expect) in [(0.0, 0usize), (0.1, 6), (0.5, 32), (1.0, 64)] {
+            let plan = FaultPlan {
+                crash_fraction: frac,
+                ..FaultPlan::none()
+            };
+            assert_eq!(FaultState::compile(plan, 64).crash_set().len(), expect);
+        }
+    }
+
+    #[test]
+    fn flip_rate_tracks_probability() {
+        let plan = FaultPlan {
+            seed: 99,
+            flip_prob: 0.1,
+            ..FaultPlan::none()
+        };
+        let st = FaultState::compile(plan, 4);
+        let hits = (0..4)
+            .flat_map(|p| (0..10_000).map(move |j| (p, j)))
+            .filter(|&(p, j)| st.is_flipped(p, j))
+            .count();
+        let rate = hits as f64 / 40_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "empirical flip rate {rate}");
+        // Pure: same pair, same answer.
+        assert_eq!(st.is_flipped(2, 17), st.is_flipped(2, 17));
+        // Zero probability: never flips.
+        let clean = FaultState::compile(FaultPlan::none(), 4);
+        assert!((0..4).all(|p| (0..1000).all(|j| !clean.is_flipped(p, j))));
+    }
+
+    #[test]
+    fn budget_denies_at_cap() {
+        let plan = FaultPlan {
+            probe_budget: Some(5),
+            ..FaultPlan::none()
+        };
+        let st = FaultState::compile(plan, 2);
+        assert!(!st.denies(0, 4));
+        assert!(st.denies(0, 5));
+        assert!(st.denies(1, 9));
+    }
+}

@@ -20,18 +20,26 @@
 //! * [`engine`] provides order-preserving parallel iteration over
 //!   players (rayon under the hood) so "all players do X" loops use all
 //!   cores without perturbing results.
+//! * [`fault`] is the deterministic fault-injection layer: a seeded
+//!   [`FaultPlan`] (crash-stop players, Bernoulli grade flips, stale
+//!   billboard reads, probe budgets) compiled into the engine, with the
+//!   [`cost::CostLedger`] attributing which probes the faults corrupted
+//!   or denied. `FaultPlan::none()` is bit-identical to the fault-free
+//!   engine.
 
 #![forbid(unsafe_code)]
 
 pub mod board;
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod probe;
 pub mod rounds;
 
 pub use board::Billboard;
-pub use cost::{CostSnapshot, PhaseCost};
-pub use engine::{par_map_players, par_map_range};
+pub use cost::{CostLedger, CostSnapshot, PhaseCost};
+pub use engine::{live_players, par_map_players, par_map_range, run_sequential};
+pub use fault::{FaultPlan, FaultState};
 pub use probe::{PlayerHandle, ProbeEngine};
 pub use rounds::{run_rounds, CrowdPolicy, RoundBoard, RoundPolicy, RoundsResult, SoloPolicy};
 

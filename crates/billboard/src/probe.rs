@@ -9,7 +9,8 @@
 //! is uncontended in practice but keeps the engine `Sync` without
 //! `unsafe`.
 
-use crate::cost::CostSnapshot;
+use crate::cost::{CostLedger, CostSnapshot};
+use crate::fault::{FaultPlan, FaultState};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tmwia_model::bitvec::BitVec;
@@ -47,13 +48,31 @@ pub struct ProbeEngine {
     truth: PrefMatrix,
     counters: Vec<AtomicU64>,
     caches: Vec<Mutex<PlayerCache>>,
+    /// Compiled fault regime. `None` for the fault-free model — the
+    /// clean probe path then pays only a predicted-not-taken branch
+    /// (guarded by the `substrate` bench), and `with_faults` normalizes
+    /// a no-op [`FaultPlan`] to `None` so the two constructions are the
+    /// same engine.
+    faults: Option<Box<FaultState>>,
 }
 
 impl ProbeEngine {
-    /// Wrap a hidden truth matrix.
+    /// Wrap a hidden truth matrix (fault-free model).
     pub fn new(truth: PrefMatrix) -> Self {
+        Self::with_faults(truth, FaultPlan::none())
+    }
+
+    /// Wrap a hidden truth matrix under a fault regime. A
+    /// [`FaultPlan::is_none`] plan compiles to the exact fault-free
+    /// engine (bit-identical behavior and cost to [`ProbeEngine::new`]).
+    pub fn with_faults(truth: PrefMatrix, plan: FaultPlan) -> Self {
         let n = truth.n();
         let m = truth.m();
+        let faults = if plan.is_none() {
+            None
+        } else {
+            Some(Box::new(FaultState::compile(plan, n)))
+        };
         ProbeEngine {
             truth,
             counters: (0..n).map(|_| AtomicU64::new(0)).collect(),
@@ -65,6 +84,7 @@ impl ProbeEngine {
                     })
                 })
                 .collect(),
+            faults,
         }
     }
 
@@ -130,6 +150,59 @@ impl ProbeEngine {
         &self.truth
     }
 
+    /// The compiled fault state, if any fault is active. Metric /
+    /// experiment code uses this to mask the corrupted mass; algorithms
+    /// should only ever need [`ProbeEngine::is_live`].
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_deref()
+    }
+
+    /// Has player `p` stopped answering probes — crash-set member past
+    /// its crash round, or probe budget exhausted? Always `false` in
+    /// the fault-free model.
+    pub fn is_dead(&self, p: PlayerId) -> bool {
+        match &self.faults {
+            None => false,
+            Some(f) => f.denies(p, self.counters[p].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Negation of [`ProbeEngine::is_dead`].
+    #[inline]
+    pub fn is_live(&self, p: PlayerId) -> bool {
+        !self.is_dead(p)
+    }
+
+    /// Players *scheduled* to crash under the active plan (empty when
+    /// fault-free). Sorted by id.
+    pub fn crashed_players(&self) -> Vec<PlayerId> {
+        self.faults
+            .as_ref()
+            .map_or_else(Vec::new, |f| f.crash_set())
+    }
+
+    /// Billboard read lag prescribed by the active fault plan (0 when
+    /// fault-free). Round-driven runtimes consult this so their
+    /// signatures stay fault-agnostic.
+    pub fn stale_lag(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.plan().stale_lag)
+    }
+
+    /// Full fault-attributed cost ledger: paid probes per player split
+    /// into clean vs flipped, plus free denied attempts.
+    pub fn ledger(&self) -> CostLedger {
+        let n = self.n();
+        let paid: Vec<u64> = (0..n).map(|p| self.probes_of(p)).collect();
+        let (flipped, denied) = match &self.faults {
+            None => (vec![0; n], vec![0; n]),
+            Some(f) => (
+                (0..n).map(|p| f.flipped_of(p)).collect(),
+                (0..n).map(|p| f.denied_of(p)).collect(),
+            ),
+        };
+        CostLedger::new(paid, flipped, denied)
+    }
+
     fn charge(&self, p: PlayerId) {
         self.counters[p].fetch_add(1, Ordering::Relaxed);
     }
@@ -169,26 +242,70 @@ impl<'a> PlayerHandle<'a> {
     /// Probe object `j`: reveal `v(p)[j]`, charging one unit unless this
     /// player has already probed `j` (revealed grades are public on the
     /// billboard, so re-reads are free).
+    ///
+    /// Under an active [`FaultPlan`]: an already-memoized grade is still
+    /// returned for free (it is public knowledge); a fresh probe by a
+    /// dead/throttled player is *denied* — no charge, no reveal, the
+    /// default `false` comes back and the denial is tallied — so
+    /// fault-oblivious algorithm code stays total and deterministic.
+    /// Fault-aware drivers use [`PlayerHandle::try_probe`] to observe
+    /// denials. Flips corrupt the value before it enters the memo, so a
+    /// noisy grade is consistently noisy.
     pub fn probe(&self, j: ObjectId) -> bool {
+        self.try_probe(j).unwrap_or(false)
+    }
+
+    /// Like [`PlayerHandle::probe`], but surfaces denial: `None` means
+    /// the player is dead/throttled *and* has no memoized grade for `j`
+    /// (nothing was charged or revealed).
+    pub fn try_probe(&self, j: ObjectId) -> Option<bool> {
         let mut cache = self.engine.caches[self.p].lock();
         if cache.probed.get(j) {
-            return cache.values.get(j);
+            return Some(cache.values.get(j));
         }
-        let v = self.engine.truth.value(self.p, j);
+        let mut v = self.engine.truth.value(self.p, j);
+        if let Some(f) = &self.engine.faults {
+            if f.denies(self.p, self.engine.counters[self.p].load(Ordering::Relaxed)) {
+                drop(cache);
+                f.note_denial(self.p);
+                return None;
+            }
+            if f.is_flipped(self.p, j) {
+                v = !v;
+                f.note_flip(self.p);
+            }
+        }
         cache.probed.set(j, true);
         cache.values.set(j, v);
         drop(cache);
         self.engine.charge(self.p);
-        v
+        Some(v)
     }
 
     /// Probe object `j`, always paying — the strict semantics used when
     /// a subroutine must be oblivious to earlier phases (remark after
     /// Theorem 3.2: "Select disregards probes done before its
     /// execution"). Still records the value in the memo.
+    ///
+    /// Fault semantics match [`PlayerHandle::probe`]: a denied attempt
+    /// is free and falls back to the memo (or `false`), and flips are
+    /// the same per-`(player, object)` decision, so re-paying never
+    /// changes an answer.
     pub fn probe_fresh(&self, j: ObjectId) -> bool {
-        let v = self.engine.truth.value(self.p, j);
         let mut cache = self.engine.caches[self.p].lock();
+        let mut v = self.engine.truth.value(self.p, j);
+        if let Some(f) = &self.engine.faults {
+            if f.denies(self.p, self.engine.counters[self.p].load(Ordering::Relaxed)) {
+                let fallback = cache.probed.get(j) && cache.values.get(j);
+                drop(cache);
+                f.note_denial(self.p);
+                return fallback;
+            }
+            if f.is_flipped(self.p, j) {
+                v = !v;
+                f.note_flip(self.p);
+            }
+        }
         cache.probed.set(j, true);
         cache.values.set(j, v);
         drop(cache);

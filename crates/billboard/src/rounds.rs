@@ -102,6 +102,21 @@ pub struct RoundsResult {
 /// the same board snapshot; probes are charged through `engine`; posts
 /// land on the board *after* the round, exactly as in §1.1.
 ///
+/// **Fault behavior** (driven by the engine's
+/// [`crate::fault::FaultPlan`], so the signature is fault-agnostic):
+///
+/// * *Liveness* — a dead player (crashed or out of budget) is masked to
+///   an idle choice, so the driver terminates as soon as the live
+///   players idle instead of spinning to `max_rounds`. A probe denied
+///   mid-round is simply not observed or posted.
+/// * *Staleness* — with `stale_lag = L > 1`, the posts of round `t`
+///   reach the public board only at round `t + L` (with `L ≤ 1` they
+///   appear at round `t + 1`, the fault-free synchronous semantics).
+///   Rounds in which every live player idles while lagged posts are
+///   still in flight do not count toward `rounds` (nobody probes), so
+///   the driver's `rounds == max per-player probes` invariant survives
+///   fault injection.
+///
 /// # Panics
 /// Panics if `players` and `policies` lengths differ.
 pub fn run_rounds(
@@ -115,30 +130,69 @@ pub fn run_rounds(
         policies.len(),
         "one policy per player required"
     );
+    // Effective publication delay: the fault-free model publishes at
+    // round t and readers see it at round t+1, which equals lag ≤ 1.
+    let delay = engine.stale_lag().max(1);
+    // Batches awaiting publication: (post round, that round's posts).
+    type PendingBatch = (u64, Vec<(PlayerId, ObjectId, bool)>);
+    let mut pending: std::collections::VecDeque<PendingBatch> = std::collections::VecDeque::new();
     let mut board = RoundBoard::new(engine.m());
     let mut rounds = 0u64;
     for round in 0..max_rounds {
-        // Phase 1: everyone chooses against the round-start board.
-        let choices: Vec<Option<ObjectId>> = policies
-            .iter_mut()
-            .map(|pol| pol.choose(round, &board))
+        // Phase 0: lagged batches whose delay has elapsed become public,
+        // in round order (FIFO keeps the log chronological regardless of
+        // which players survived the rounds in between).
+        while pending.front().is_some_and(|&(t, _)| t + delay <= round) {
+            if let Some((t, batch)) = pending.pop_front() {
+                for (p, j, value) in batch {
+                    board.post(t, p, j, value);
+                }
+            }
+        }
+        // Phase 1: everyone live chooses against the round-start board;
+        // dead players idle (their choices must not burn rounds).
+        let choices: Vec<Option<ObjectId>> = players
+            .iter()
+            .zip(policies.iter_mut())
+            .map(|(&p, pol)| {
+                if engine.is_dead(p) {
+                    None
+                } else {
+                    pol.choose(round, &board)
+                }
+            })
             .collect();
         if choices.iter().all(Option::is_none) {
-            break;
+            if pending.is_empty() {
+                break;
+            }
+            // Lagged posts are still in flight; let them land (a policy
+            // may wake up once it sees them). No probes ⇒ no round.
+            continue;
         }
         rounds += 1;
-        // Phase 2: probe and observe; collect posts.
+        // Phase 2: probe and observe; collect posts. A denial (the
+        // player died since its last paid probe) yields nothing.
         let mut posts: Vec<(PlayerId, ObjectId, bool)> = Vec::new();
         for ((&p, pol), choice) in players.iter().zip(policies.iter_mut()).zip(choices) {
             if let Some(j) = choice {
-                let value = engine.player(p).probe(j);
-                pol.observe(round, j, value);
-                posts.push((p, j, value));
+                if let Some(value) = engine.player(p).try_probe(j) {
+                    pol.observe(round, j, value);
+                    posts.push((p, j, value));
+                }
             }
         }
-        // Phase 3: publish after the round.
-        for (p, j, value) in posts {
-            board.post(round, p, j, value);
+        // Phase 3: queue for publication after the lag.
+        if !posts.is_empty() {
+            pending.push_back((round, posts));
+        }
+    }
+    // Flush in-flight posts so the returned board is the complete
+    // public record (estimates may then read it; the staleness already
+    // shaped every in-run decision).
+    while let Some((t, batch)) = pending.pop_front() {
+        for (p, j, value) in batch {
+            board.post(t, p, j, value);
         }
     }
     let estimates = policies.iter().map(|pol| pol.estimate(&board)).collect();

@@ -9,7 +9,7 @@ use tmwia_baselines::{
     knn_billboard, one_good_object, oracle_community, solo, spectral_reconstruct, KnnConfig,
     SpectralConfig,
 };
-use tmwia_billboard::{PlayerId, ProbeEngine};
+use tmwia_billboard::{run_sequential, FaultPlan, PlayerId, ProbeEngine};
 use tmwia_core::{anytime, community_hierarchy, reconstruct_known, reconstruct_unknown_d, Params};
 use tmwia_model::generators::{
     adversarial_clusters, bernoulli_types, nested_communities, orthogonal_types, planted_community,
@@ -59,10 +59,15 @@ USAGE:
                    [--algorithm auto|zero|small|large|unknown-d|anytime|
                                 lockstep-zero|solo|oracle|knn|spectral|one-good]
                    [--alpha 0.5] [--d 8] [--budget m/4] [--seed 1] [--theory]
+                   [--faults none|flip=EPS,crash=FRAC[@ROUND],lag=L,budget=B,seed=S]
+                   (--faults installs a deterministic fault plan: probe-
+                    answer flips, crash-stop players, stale billboard
+                    reads, probe budgets; `none` is bit-identical to no
+                    flag)
   tmwia communities --instance FILE [--scales 2,8,32] [--min-size 3]
                    (clusters the TRUE matrix rows; add --run to cluster
                     reconstructed outputs instead)
-  tmwia exp        --id e1..e16|all [--full] [--seed N]
+  tmwia exp        --id e1..e17|all [--full] [--seed N]
                    (regenerates the EXPERIMENTS.md tables; quick scale
                     by default)
   tmwia help
@@ -173,107 +178,140 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
     };
     let algorithm = args.str_or("algorithm", "auto");
     let players: Vec<PlayerId> = (0..n).collect();
-    let engine = ProbeEngine::new(inst.truth.clone());
+    let plan = FaultPlan::parse(&args.str_or("faults", "none"), seed).map_err(CliError::Other)?;
+    let engine = ProbeEngine::with_faults(inst.truth.clone(), plan);
 
-    let outputs: BTreeMap<PlayerId, BitVec> = match algorithm.as_str() {
-        "auto" => reconstruct_known(&engine, &players, alpha, d, &params, seed).outputs,
-        "zero" => reconstruct_known(&engine, &players, alpha, 0, &params, seed).outputs,
-        "small" | "large" => {
-            // Force the branch by clamping d to its regime.
-            let forced = if algorithm == "small" {
-                d.min(params.small_large_threshold(n)).max(1)
-            } else {
-                d.max(params.small_large_threshold(n) + 1)
-            };
-            reconstruct_known(&engine, &players, alpha, forced, &params, seed).outputs
-        }
-        "unknown-d" => reconstruct_unknown_d(&engine, &players, alpha, &params, seed).outputs,
-        "anytime" => {
-            let phases: usize = args.num_or("phases", 3)?;
-            anytime(&engine, &players, phases, &params, seed)
-                .final_outputs()
-                .clone()
-        }
-        "solo" => solo(&engine, &players),
-        "oracle" => {
-            if inst.communities.is_empty() {
-                return Err(CliError::Other(
-                    "oracle needs a planted community in the instance".into(),
-                ));
+    // Algorithms whose report is self-contained return text directly;
+    // the rest hand back per-player outputs for the shared report.
+    enum Computed {
+        Done(String),
+        Outputs(BTreeMap<PlayerId, BitVec>),
+    }
+    let run_alg = || -> Result<Computed, CliError> {
+        Ok(Computed::Outputs(match algorithm.as_str() {
+            "auto" => reconstruct_known(&engine, &players, alpha, d, &params, seed).outputs,
+            "zero" => reconstruct_known(&engine, &players, alpha, 0, &params, seed).outputs,
+            "small" | "large" => {
+                // Force the branch by clamping d to its regime.
+                let forced = if algorithm == "small" {
+                    d.min(params.small_large_threshold(n)).max(1)
+                } else {
+                    d.max(params.small_large_threshold(n) + 1)
+                };
+                reconstruct_known(&engine, &players, alpha, forced, &params, seed).outputs
             }
-            oracle_community(&engine, inst.community(), 1, seed)
-        }
-        "knn" => knn_billboard(
-            &engine,
-            &players,
-            &KnnConfig {
-                probes_per_player: budget,
-                neighbours: 5,
-                min_overlap: 3,
-            },
-            seed,
-        ),
-        "spectral" => spectral_reconstruct(
-            &engine,
-            &players,
-            &SpectralConfig {
-                probes_per_player: budget,
-                rank: args.num_or("rank", 4)?,
-                iterations: 25,
-            },
-            seed,
-        ),
-        "lockstep-zero" => {
-            let objects: Vec<usize> = (0..m).collect();
-            let res = tmwia_core::lockstep_zero_radius(
-                &engine, &players, &objects, alpha, &params, n, seed,
-            );
-            let mut s = describe_instance(&inst);
-            let _ = writeln!(
+            "unknown-d" => reconstruct_unknown_d(&engine, &players, alpha, &params, seed).outputs,
+            "anytime" => {
+                let phases: usize = args.num_or("phases", 3)?;
+                anytime(&engine, &players, phases, &params, seed)
+                    .final_outputs()
+                    .clone()
+            }
+            "solo" => solo(&engine, &players),
+            "oracle" => {
+                if inst.communities.is_empty() {
+                    return Err(CliError::Other(
+                        "oracle needs a planted community in the instance".into(),
+                    ));
+                }
+                oracle_community(&engine, inst.community(), 1, seed)
+            }
+            "knn" => knn_billboard(
+                &engine,
+                &players,
+                &KnnConfig {
+                    probes_per_player: budget,
+                    neighbours: 5,
+                    min_overlap: 3,
+                },
+                seed,
+            ),
+            "spectral" => spectral_reconstruct(
+                &engine,
+                &players,
+                &SpectralConfig {
+                    probes_per_player: budget,
+                    rank: args.num_or("rank", 4)?,
+                    iterations: 25,
+                },
+                seed,
+            ),
+            "lockstep-zero" => {
+                let objects: Vec<usize> = (0..m).collect();
+                let res = tmwia_core::lockstep_zero_radius(
+                    &engine, &players, &objects, alpha, &params, n, seed,
+                );
+                let mut s = describe_instance(&inst);
+                let _ = writeln!(
                 s,
                 "lockstep : {} wall-clock rounds (probes + barrier waits); max probes/player {}",
                 res.rounds,
                 engine.max_probes()
             );
-            let dense: Vec<BitVec> = (0..n)
-                .map(|p| {
-                    res.outputs
-                        .get(&p)
-                        .map_or_else(|| BitVec::zeros(m), |vals| BitVec::from_bools(vals))
-                })
-                .collect();
-            for (i, c) in inst.communities.iter().enumerate() {
-                let report = CommunityReport::evaluate(&inst.truth, &dense, c);
+                let dense: Vec<BitVec> = (0..n)
+                    .map(|p| {
+                        res.outputs
+                            .get(&p)
+                            .map_or_else(|| BitVec::zeros(m), |vals| BitVec::from_bools(vals))
+                    })
+                    .collect();
+                for (i, c) in inst.communities.iter().enumerate() {
+                    let report = CommunityReport::evaluate(&inst.truth, &dense, c);
+                    let _ = writeln!(
+                        s,
+                        "community {i}: \u{394} = {:>4}, \u{3c1} = {:>6.2}, mean err = {:>7.1}",
+                        report.discrepancy, report.stretch, report.mean_error
+                    );
+                }
+                return Ok(Computed::Done(s));
+            }
+            "one-good" => {
+                let res = one_good_object(&engine, &players, (4 * m) as u64, seed);
+                let mut s = describe_instance(&inst);
                 let _ = writeln!(
                     s,
-                    "community {i}: \u{394} = {:>4}, \u{3c1} = {:>6.2}, mean err = {:>7.1}",
-                    report.discrepancy, report.stretch, report.mean_error
+                    "one-good : {}/{} players found a liked object in {} rounds ({} total probes)",
+                    res.found.len(),
+                    n,
+                    res.rounds,
+                    engine.total_probes()
                 );
+                return Ok(Computed::Done(s));
             }
-            return Ok(s);
-        }
-        "one-good" => {
-            let res = one_good_object(&engine, &players, (4 * m) as u64, seed);
-            let mut s = describe_instance(&inst);
-            let _ = writeln!(
-                s,
-                "one-good : {}/{} players found a liked object in {} rounds ({} total probes)",
-                res.found.len(),
-                n,
-                res.rounds,
-                engine.total_probes()
-            );
-            return Ok(s);
-        }
-        other => {
-            return Err(CliError::Other(format!(
-                "unknown --algorithm '{other}' (see `tmwia help`)"
-            )))
-        }
+            other => {
+                return Err(CliError::Other(format!(
+                    "unknown --algorithm '{other}' (see `tmwia help`)"
+                )))
+            }
+        }))
+    };
+    // Fault-injected runs are pinned to the deterministic sequential
+    // schedule (crash/budget deadness is probe-count based, and the
+    // threaded part/group fan-out would make the counts
+    // interleaving-dependent); fault-free runs keep the parallel one.
+    let computed = if engine.fault_state().is_some() {
+        run_sequential(run_alg)?
+    } else {
+        run_alg()?
+    };
+    let outputs = match computed {
+        Computed::Done(s) => return Ok(s),
+        Computed::Outputs(o) => o,
     };
 
     let mut s = describe_instance(&inst);
     let _ = writeln!(s, "algorithm: {algorithm} (seed {seed})");
+    if let Some(f) = engine.fault_state() {
+        let ledger = engine.ledger();
+        let _ = writeln!(
+            s,
+            "faults   : {} — {} crashed, {} flipped, {} denied probes",
+            f.plan().describe(),
+            engine.crashed_players().len(),
+            ledger.flipped_total(),
+            ledger.denied_total()
+        );
+    }
     let dense: Vec<BitVec> = (0..n)
         .map(|p| outputs.get(&p).cloned().unwrap_or_else(|| BitVec::zeros(m)))
         .collect();
@@ -295,6 +333,27 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
             "community {i}: Δ = {:>4}, ρ = {:>6.2}, mean err = {:>7.1}, rounds ≤ {rounds}",
             report.discrepancy, report.stretch, report.mean_error
         );
+    }
+    if engine.fault_state().is_some() {
+        // The graceful-degradation promise is about survivors: crashed
+        // members can't meet any bound, so report the community metrics
+        // restricted to its non-crashed mass too.
+        let crashed = engine.crashed_players();
+        for (i, c) in inst.communities.iter().enumerate() {
+            let surv: Vec<PlayerId> = c.iter().copied().filter(|p| !crashed.contains(p)).collect();
+            if surv.is_empty() || surv.len() == c.len() {
+                continue;
+            }
+            let report = CommunityReport::evaluate(&inst.truth, &dense, &surv);
+            let _ = writeln!(
+                s,
+                "survivors {i}: |S| = {:>4}, Δ = {:>4}, ρ = {:>6.2}, mean err = {:>7.1}",
+                surv.len(),
+                report.discrepancy,
+                report.stretch,
+                report.mean_error
+            );
+        }
     }
     let _ = writeln!(
         s,
@@ -378,7 +437,7 @@ pub fn cmd_exp(args: &Args) -> Result<String, CliError> {
         let found: Vec<_> = registry.into_iter().filter(|(i, _, _)| *i == id).collect();
         if found.is_empty() {
             return Err(CliError::Other(format!(
-                "unknown experiment id '{id}' (e1..e16 or all)"
+                "unknown experiment id '{id}' (e1..e17 or all)"
             )));
         }
         found

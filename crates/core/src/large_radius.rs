@@ -69,6 +69,10 @@ impl ObjectSpace for CandidateSpace<'_> {
         let handle = self.engine.player(player);
         select_ternary(&handle, &g.objects, &g.candidates, g.bound, self.fresh).winner as u32
     }
+
+    fn is_live(&self, player: PlayerId) -> bool {
+        self.engine.is_live(player)
+    }
 }
 
 /// Run Algorithm Large Radius over the full object set, assuming an
@@ -133,8 +137,15 @@ pub fn large_radius(
             derive(seed, tags::LARGE_RADIUS_OBJ, 1 + ell as u64),
         );
         // Step 3: Coalesce the posted outputs (player order for
-        // determinism).
-        let inputs: Vec<BitVec> = plys.iter().map(|p| sr[p].clone()).collect();
+        // determinism). Dead players never posted, so only live
+        // players' vectors reach Coalesce — their junk would otherwise
+        // spawn spurious candidate clusters. Everyone is live in a
+        // fault-free run, so the inputs are unchanged there.
+        let inputs: Vec<BitVec> = plys
+            .iter()
+            .filter(|&&p| engine.is_live(p))
+            .map(|p| sr[p].clone())
+            .collect();
         let candidates =
             coalesce_nonempty(&inputs, coalesce_d, alpha / 4.0, params.coalesce_merge_mult);
         let candidates = if candidates.is_empty() {

@@ -263,8 +263,11 @@ pub fn lockstep_zero_radius(
     let arena = build_tree(players, objects, alpha, params, n_global, seed);
     // Vector billboard: node id → posted outputs (in that node's object
     // order). Uses the same Billboard type as the orchestrated run so
-    // tallies behave identically.
-    let board: Billboard<u64, Vec<bool>> = Billboard::new();
+    // tallies behave identically. Under a stale-read fault plan the
+    // board hides posts for `stale_lag` epochs; the loop below advances
+    // the epoch once per round. With lag 0 the epoch is irrelevant and
+    // the board behaves exactly as before.
+    let board: Billboard<u64, Vec<bool>> = Billboard::with_staleness(engine.stale_lag());
 
     // Locate each player's leaf and path.
     let mut machines: Vec<PlayerMachine> = players
@@ -295,12 +298,29 @@ pub fn lockstep_zero_radius(
         .collect();
 
     let mut rounds = 0u64;
-    let max_rounds = 64 * (objects.len() as u64 + 64); // generous stall guard
+    // Generous stall guard; stale reads delay every barrier by up to
+    // `lag` epochs, so scale the ceiling with the lag.
+    let max_rounds = 64 * (objects.len() as u64 + 64) * (1 + engine.stale_lag());
     loop {
-        // Round start: snapshot which nodes are fully posted.
+        // Round start: snapshot which nodes are fully posted. A node is
+        // also complete when every player it is still missing is dead —
+        // crashed players never post, and waiting for them would
+        // deadlock the sibling half. (The dead-player scan only runs
+        // under a fault plan, and only for nodes the fast path misses.)
         let complete: Vec<bool> = arena
             .iter()
-            .map(|node| board.count(&node.id) >= node.players.len())
+            .map(|node| {
+                if board.count(&node.id) >= node.players.len() {
+                    return true;
+                }
+                engine.fault_state().is_some() && {
+                    let posted: std::collections::BTreeSet<PlayerId> =
+                        board.read(&node.id).into_iter().map(|(p, _)| p).collect();
+                    node.players
+                        .iter()
+                        .all(|&p| posted.contains(&p) || engine.is_dead(p))
+                }
+            })
             .collect();
 
         let mut any_active = false;
@@ -313,8 +333,12 @@ pub fn lockstep_zero_radius(
         }
         // Publish after the round (players cannot see same-round posts;
         // the `complete` snapshot above already guarantees that for
-        // reads, and posts are buffered here for writes).
+        // reads, and posts are buffered here for writes). The epoch
+        // advance is what makes this round's posts age toward
+        // visibility under a stale-read plan; with lag 0 it is a no-op
+        // for visibility.
         board.post_batch(posts);
+        board.advance_epoch();
 
         if !any_active {
             break;
@@ -335,8 +359,11 @@ pub fn lockstep_zero_radius(
         .map(|m| {
             let mut row = vec![false; objects.len()];
             for &j in &root.objects {
-                // lint:allow(panic-hygiene) machines only reach Done after ascending to the root, which covers every object
-                row[pos[&j]] = *m.known.get(&j).expect("root coverage");
+                // A machine that ascended to the root knows every
+                // object; one that died mid-run (crash/budget faults)
+                // is missing the rest — default those to false, the
+                // same resolution a denied probe gets.
+                row[pos[&j]] = m.known.get(&j).copied().unwrap_or(false);
             }
             (m.p, row)
         })
@@ -357,6 +384,13 @@ fn step(
     params: &Params,
     posts: &mut Vec<(u64, PlayerId, Vec<bool>)>,
 ) -> bool {
+    // Crash-stop: a dead player halts where it stands and never posts
+    // again, so its junk can't reach the billboard. (Fault-free engines
+    // report everyone live and never take this branch.)
+    if engine.is_dead(machine.p) {
+        machine.phase = Phase::Done;
+        return false;
+    }
     loop {
         match &mut machine.phase {
             Phase::Leaf { pos } => {

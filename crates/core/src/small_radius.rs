@@ -20,7 +20,7 @@ use crate::select::select_bits;
 use crate::value::Value;
 use crate::zero_radius::{zero_radius, BinarySpace};
 use std::collections::BTreeMap;
-use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
+use tmwia_billboard::{live_players, par_map_players, PlayerId, ProbeEngine};
 use tmwia_model::matrix::ObjectId;
 use tmwia_model::partition::uniform_parts;
 use tmwia_model::rng::{derive, rng_for, tags};
@@ -105,11 +105,21 @@ pub fn small_radius(
                     n_global,
                     part_seed,
                 );
-                // U_i: vectors output by ≥ α·|P|/5 players.
-                let u_i = popular_vectors(&zr, players, alpha, params);
+                // U_i: vectors output by ≥ α·|voters|/5 players. Only
+                // live players vote — a crashed player's Zero Radius
+                // output is memo-or-false junk, and counting it could
+                // outvote the surviving community. Fault-free runs have
+                // every player live, so this is the old tally exactly.
+                let voters = live_players(engine, players);
+                let u_i = popular_vectors(&zr, &voters, alpha, params);
                 // Step 1c: every player adopts the closest U_i vector
-                // within bound D.
+                // within bound D. With every voter dead the candidate
+                // set is empty; fall back to all-zeros rather than
+                // handing Select nothing.
                 let picks = par_map_players(players, |p| {
+                    if u_i.is_empty() {
+                        return BitVec::zeros(part_objs.len());
+                    }
                     let handle = engine.player(p);
                     let r = select_bits(&handle, &part_objs, &u_i, d, params.fresh_probes);
                     u_i[r.winner].clone()

@@ -34,6 +34,14 @@ pub trait ObjectSpace: Sync {
     fn num_objects(&self) -> usize;
     /// Reveal the value of object `idx` for `player`, paying its cost.
     fn probe(&self, player: PlayerId, idx: usize) -> Self::Val;
+    /// Is `player` still participating? Spaces backed by a fault-injected
+    /// engine report crashed/throttled players dead so the algorithm can
+    /// keep their junk vectors off the billboard; the default (no fault
+    /// layer) is everyone-live, which leaves the fault-free path
+    /// untouched.
+    fn is_live(&self, _player: PlayerId) -> bool {
+        true
+    }
 }
 
 /// The primitive space: objects are real objects, values are grades,
@@ -58,6 +66,10 @@ impl ObjectSpace for BinarySpace<'_> {
 
     fn probe(&self, player: PlayerId, idx: usize) -> bool {
         self.engine.player(player).probe(idx)
+    }
+
+    fn is_live(&self, player: PlayerId) -> bool {
+        self.engine.is_live(player)
     }
 }
 
@@ -121,7 +133,7 @@ fn recurse<S: ObjectSpace>(
                 .collect::<Vec<_>>()
         });
         let out: ZrOutput<S::Val> = players.iter().copied().zip(rows).collect();
-        publish(board, node, &out, players);
+        publish(space, board, node, &out, players);
         return out;
     }
 
@@ -197,18 +209,29 @@ fn recurse<S: ObjectSpace>(
     assemble(&out1, &o1, &adopted1, &o2, &mut out);
     assemble(&out2, &o2, &adopted2, &o1, &mut out);
 
-    publish(board, node, &out, players);
+    publish(space, board, node, &out, players);
     out
 }
 
-/// Post every player's node output on the billboard, in player order.
-fn publish<V: Value>(
-    board: &Billboard<u64, Vec<V>>,
+/// Post every *live* player's node output on the billboard, in player
+/// order. Dead (crashed/throttled) players still compute a local
+/// default vector — they just never publish it, so their junk cannot
+/// dilute the vote tallies the surviving community relies on. In a
+/// fault-free run `is_live` is constantly true and every player posts,
+/// exactly as before.
+fn publish<S: ObjectSpace>(
+    space: &S,
+    board: &Billboard<u64, Vec<S::Val>>,
     node: u64,
-    out: &ZrOutput<V>,
+    out: &ZrOutput<S::Val>,
     players: &[PlayerId],
 ) {
-    board.post_batch(players.iter().map(|&p| (node, p, out[&p].clone())));
+    board.post_batch(
+        players
+            .iter()
+            .filter(|&&p| space.is_live(p))
+            .map(|&p| (node, p, out[&p].clone())),
+    );
 }
 
 /// The "popular vectors" of step 4: vectors posted at `child` by at

@@ -55,6 +55,10 @@ pub mod tags {
     pub const BASELINE: u64 = 0x4241_5345;
     /// Experiment trial seeds.
     pub const TRIAL: u64 = 0x5452_4941;
+    /// Fault injection: crash-set membership ranking.
+    pub const FAULT_CRASH: u64 = 0x4654_4352;
+    /// Fault injection: per-(player, object) probe-answer flips.
+    pub const FAULT_FLIP: u64 = 0x4654_464C;
 }
 
 #[cfg(test)]

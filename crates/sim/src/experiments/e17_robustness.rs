@@ -1,0 +1,210 @@
+//! **E17 — Noise/crash robustness (fault-injection layer).**
+//!
+//! The paper's theorems assume honest answers and full participation.
+//! E17 measures how the implementation degrades when neither holds:
+//! a seeded [`FaultPlan`] flips each probe answer independently with
+//! probability `ε` and crash-stops a fixed fraction of the players
+//! after their 8th probe. Reported per `(ε, crash)` cell, for the
+//! *survivors* (community members outside the crash set):
+//!
+//! * `err*` — the worst survivor's Hamming error counted only on
+//!   coordinates whose probes the plan did **not** flip for that player
+//!   (the "clean mass"; flipped coordinates are wrong by construction,
+//!   so charging them would measure the noise, not the algorithm);
+//! * `rounds` — survivor round complexity, and `Δrounds` — the extra
+//!   rounds relative to a fault-free paired run on the same instance;
+//! * `flip`/`deny` — the cost ledger's totals of corrupted paid probes
+//!   and denied (free) attempts.
+//!
+//! The `ε = 0, crash = 0` row runs the engine with `FaultPlan::none()`
+//! and must match the paired clean run exactly (`err* = 0, Δrounds =
+//! 0`) — the zero-overhead/bit-identity claim, end to end.
+//!
+//! Fault-injected runs execute on the deterministic single-worker
+//! schedule ([`tmwia_billboard::run_sequential`]): crash/budget
+//! deadness depends on per-player probe counts, which are
+//! schedule-dependent under the threaded part/group fan-out.
+
+use super::{dense_outputs, ExpConfig};
+use crate::stats::{fnum, Summary};
+use crate::table::Table;
+use crate::trials::run_trials;
+use tmwia_billboard::{run_sequential, FaultPlan, ProbeEngine};
+use tmwia_core::{reconstruct_known, Params};
+use tmwia_model::generators::planted_community;
+use tmwia_model::rng::{derive, tags};
+
+/// Community diameter: small enough for the Small Radius regime, large
+/// enough that the run exercises partitioning and Select under noise.
+const DIAMETER: usize = 4;
+/// Crashed players stop answering after this many paid probes.
+const CRASH_ROUND: u64 = 8;
+
+/// One trial's measurements.
+struct Trial {
+    survivors: usize,
+    err_clean: u64,
+    rounds: u64,
+    delta_rounds: i64,
+    flipped: u64,
+    denied: u64,
+}
+
+/// Run E17.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let sizes: &[usize] = cfg.pick(&[256], &[96]);
+    let epsilons: &[f64] = cfg.pick(&[0.0, 0.01, 0.05, 0.1], &[0.0, 0.1]);
+    let crashes: &[f64] = cfg.pick(&[0.0, 0.1, 0.25], &[0.0, 0.25]);
+    let params = Params::practical();
+    let alpha = 0.5;
+
+    let mut table = Table::new(
+        "E17: noise/crash robustness (fault-injection layer)",
+        &[
+            "n=m", "eps", "crash", "surv", "err*", "rounds", "d-rounds", "flip", "deny",
+        ],
+    );
+    table.note(
+        "err* = worst survivor error on unflipped coordinates; d-rounds vs fault-free paired run",
+    );
+    table.note(format!(
+        "D = {DIAMETER}, crash after {CRASH_ROUND} probes, alpha = {alpha}, preset = practical, trials = {}",
+        cfg.trials
+    ));
+
+    for &n in sizes {
+        for &eps in epsilons {
+            for &cf in crashes {
+                let cell_seed = cfg.seed
+                    ^ ((n as u64) << 16)
+                    ^ ((eps * 1000.0) as u64) << 8
+                    ^ (cf * 100.0) as u64;
+                let trials = run_trials(cfg.trials, cell_seed, |seed| {
+                    run_trial(n, alpha, eps, cf, &params, seed)
+                });
+                let surv = Summary::of(
+                    &trials
+                        .iter()
+                        .map(|t| t.survivors as f64)
+                        .collect::<Vec<_>>(),
+                );
+                let err = Summary::of_ints(trials.iter().map(|t| t.err_clean));
+                let rounds = Summary::of_ints(trials.iter().map(|t| t.rounds));
+                let delta = Summary::of(
+                    &trials
+                        .iter()
+                        .map(|t| t.delta_rounds as f64)
+                        .collect::<Vec<_>>(),
+                );
+                let flipped = Summary::of_ints(trials.iter().map(|t| t.flipped));
+                let denied = Summary::of_ints(trials.iter().map(|t| t.denied));
+                table.push(vec![
+                    n.to_string(),
+                    fnum(eps),
+                    fnum(cf),
+                    fnum(surv.mean),
+                    err.pm(),
+                    rounds.pm(),
+                    fnum(delta.mean),
+                    fnum(flipped.mean),
+                    fnum(denied.mean),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// One (instance, plan) trial: a faulty run and its fault-free pair.
+fn run_trial(n: usize, alpha: f64, eps: f64, cf: f64, params: &Params, seed: u64) -> Trial {
+    let k = ((alpha * n as f64) as usize).max(2);
+    let inst = planted_community(n, n, k, DIAMETER, seed);
+    let community = inst.community().to_vec();
+    let players: Vec<usize> = (0..n).collect();
+
+    // Fault-free paired run on the same instance (parallel schedule is
+    // fine: no fault layer, so probe values are order-independent).
+    let clean_engine = ProbeEngine::new(inst.truth.clone());
+    reconstruct_known(&clean_engine, &players, alpha, DIAMETER, params, seed);
+    let clean_rounds = community
+        .iter()
+        .map(|&p| clean_engine.probes_of(p))
+        .max()
+        .unwrap_or(0);
+
+    let plan = FaultPlan {
+        seed: derive(seed, tags::FAULT_CRASH, 0),
+        flip_prob: eps,
+        crash_fraction: cf,
+        crash_round: CRASH_ROUND,
+        ..FaultPlan::none()
+    };
+    let engine = ProbeEngine::with_faults(inst.truth.clone(), plan);
+    let rec =
+        run_sequential(|| reconstruct_known(&engine, &players, alpha, DIAMETER, params, seed));
+    let outputs = dense_outputs(&rec.outputs, n, n);
+
+    let crashed = engine.crashed_players();
+    let survivors: Vec<usize> = community
+        .iter()
+        .copied()
+        .filter(|p| !crashed.contains(p))
+        .collect();
+    let err_clean = survivors
+        .iter()
+        .map(|&p| {
+            (0..n)
+                .filter(|&j| {
+                    let flipped = engine.fault_state().is_some_and(|f| f.is_flipped(p, j));
+                    !flipped && outputs[p].get(j) != inst.truth.value(p, j)
+                })
+                .count() as u64
+        })
+        .max()
+        .unwrap_or(0);
+    let rounds = survivors
+        .iter()
+        .map(|&p| engine.probes_of(p))
+        .max()
+        .unwrap_or(0);
+    let ledger = engine.ledger();
+    Trial {
+        survivors: survivors.len(),
+        err_clean,
+        rounds,
+        delta_rounds: rounds as i64 - clean_rounds as i64,
+        flipped: ledger.flipped_total(),
+        denied: ledger.denied_total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_expected_shape() {
+        let t = run(&ExpConfig::quick(1));
+        assert_eq!(t.columns.len(), 9);
+        assert_eq!(t.rows.len(), 4); // 1 size × 2 eps × 2 crash
+        for row in &t.rows {
+            let eps: f64 = row[1].parse().unwrap();
+            let cf: f64 = row[2].parse().unwrap();
+            let surv: f64 = row[3].parse().unwrap();
+            if cf == 0.0 {
+                assert_eq!(surv, 48.0, "no crashes ⇒ whole community survives");
+            } else {
+                assert!(surv < 48.0, "crash fraction must bite: {row:?}");
+            }
+            if eps == 0.0 && cf == 0.0 {
+                let err: f64 = row[4].split('±').next().unwrap().trim().parse().unwrap();
+                let delta: f64 = row[6].parse().unwrap();
+                assert!(
+                    err <= (5 * DIAMETER) as f64,
+                    "none-plan run exceeds 5D: {row:?}"
+                );
+                assert_eq!(delta, 0.0, "none plan must match paired clean run: {row:?}");
+            }
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The E1–E16 experiment suite.
+//! The E1–E17 experiment suite.
 //!
 //! The paper is a theory extended abstract with no empirical section, so
 //! the reproduction turns every quantitative claim into an experiment
@@ -22,6 +22,7 @@
 //! | E14 | \[4\]/§2 — the weaker one-good-object goal and its cost shape |
 //! | E15 | abstract — lockstep P2P execution: fidelity + barrier overhead |
 //! | E16 | \[8\]\[9\]/§2 — the prediction-mistake model contrast |
+//! | E17 | fault model — noise/crash robustness, graceful degradation |
 
 pub mod e01_zero_radius;
 pub mod e02_select;
@@ -39,6 +40,7 @@ pub mod e13_dynamic;
 pub mod e14_one_good;
 pub mod e15_lockstep;
 pub mod e16_prediction;
+pub mod e17_robustness;
 
 use crate::table::Table;
 use std::collections::BTreeMap;
@@ -116,6 +118,11 @@ pub fn all() -> Vec<Experiment> {
             "Prediction-mistake model ([8][9], §2)",
             e16_prediction::run,
         ),
+        (
+            "e17",
+            "Noise/crash robustness (fault model)",
+            e17_robustness::run,
+        ),
     ]
 }
 
@@ -143,10 +150,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let a = all();
-        assert_eq!(a.len(), 16);
+        assert_eq!(a.len(), 17);
         let mut ids: Vec<&str> = a.iter().map(|(id, _, _)| *id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
     }
 
     #[test]

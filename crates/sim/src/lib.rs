@@ -2,7 +2,7 @@
 //!
 //! Experiment harness for the reproduction: deterministic trial
 //! sweeps ([`trials`]), summary statistics ([`stats`]), plain-text /
-//! CSV tables ([`table`]), and the E1–E16 experiment suite
+//! CSV tables ([`table`]), and the E1–E17 experiment suite
 //! ([`experiments`]) that regenerates every quantitative claim of the
 //! paper (the paper is a theory extended abstract — each theorem/lemma
 //! becomes one experiment; see `DESIGN.md` §5 for the index).

@@ -43,7 +43,7 @@
 //! | [`billboard`] | probe engine with cost accounting, shared billboard |
 //! | [`core`] | the paper's algorithms (Figures 1–7, §6) |
 //! | [`baselines`] | solo / oracle / kNN / spectral comparators |
-//! | [`sim`] | experiment harness and the E1–E16 suite |
+//! | [`sim`] | experiment harness and the E1–E17 suite |
 
 #![forbid(unsafe_code)]
 
@@ -59,8 +59,8 @@ pub mod prelude {
         knn_billboard, oracle_community, solo, spectral_reconstruct, KnnConfig, SpectralConfig,
     };
     pub use tmwia_billboard::{
-        Billboard, CostSnapshot, ObjectId, PhaseCost, PlayerHandle, PlayerId, PrefMatrix,
-        ProbeEngine,
+        run_sequential, Billboard, CostLedger, CostSnapshot, FaultPlan, FaultState, ObjectId,
+        PhaseCost, PlayerHandle, PlayerId, PrefMatrix, ProbeEngine,
     };
     pub use tmwia_core::{
         anytime, coalesce, large_radius, reconstruct_known, reconstruct_unknown_d, rselect_bits,

@@ -1,0 +1,150 @@
+//! Cost-ledger invariants under random fault plans (satellite 3).
+//!
+//! For any `(instance, FaultPlan, workload)`:
+//!
+//! * `ledger.total() == engine.total_probes() == Σ per-player paid`;
+//! * no player pays more than `m` probes (memoisation) nor more than
+//!   its budget/crash allowance (denied probes are free);
+//! * fault-recovery tags sum consistently: `flipped_of(p) ≤ paid(p)`
+//!   and `ledger.verify` accepts the ledger;
+//! * flipped answers are *consistently* noisy — re-probing a flipped
+//!   coordinate returns the same (wrong) cached value.
+
+use proptest::prelude::*;
+use tmwia::prelude::*;
+
+/// Build a plan from integer draws (the proptest shim generates
+/// integers; floats are derived).
+fn plan_from(seed: u64, eps_pct: u8, crash_pct: u8, crash_round: u8, budget: u8) -> FaultPlan {
+    FaultPlan {
+        seed,
+        flip_prob: f64::from(eps_pct % 31) / 100.0, // 0.00..0.30
+        crash_fraction: f64::from(crash_pct % 51) / 100.0, // 0.00..0.50
+        crash_round: u64::from(crash_round % 20),
+        stale_lag: 0,
+        probe_budget: if budget == 0 {
+            None
+        } else {
+            Some(u64::from(budget % 60) + 1)
+        },
+    }
+}
+
+/// Unpack the four fault knobs from one integer draw (the shim's tuple
+/// strategies cap out at six elements).
+fn plan_from_knobs(seed: u64, knobs: u64) -> FaultPlan {
+    let [eps, crash, round, budget, ..] = knobs.to_le_bytes();
+    plan_from(seed, eps, crash, round, budget)
+}
+
+/// Check every ledger invariant against the engine's own accounting.
+/// The `prop_assert*` shim macros panic on failure, so this returns
+/// nothing.
+fn check_ledger(engine: &ProbeEngine, plan: &FaultPlan) {
+    let ledger = engine.ledger();
+    let n = engine.n();
+    let m = engine.m() as u64;
+    prop_assert_eq!(
+        ledger.total(),
+        engine.total_probes(),
+        "ledger vs engine total"
+    );
+    prop_assert_eq!(
+        ledger.total(),
+        ledger.per_player().iter().sum::<u64>(),
+        "total must be the column sum"
+    );
+    let cap = plan.probe_budget.map_or(m, |b| b.min(m));
+    for p in 0..n {
+        prop_assert_eq!(ledger.of(p), engine.probes_of(p));
+        prop_assert!(ledger.of(p) <= m, "player {} paid over m", p);
+        prop_assert!(
+            ledger.of(p) <= cap,
+            "player {} paid {} over its allowance {}",
+            p,
+            ledger.of(p),
+            cap
+        );
+        prop_assert!(
+            ledger.flipped_of(p) <= ledger.of(p),
+            "player {} has more flips than paid probes",
+            p
+        );
+        if engine.crashed_players().contains(&p) {
+            prop_assert!(
+                ledger.of(p) <= plan.crash_round,
+                "crashed player {} paid past its crash round",
+                p
+            );
+        }
+    }
+    if let Err(e) = ledger.verify(Some(cap)) {
+        prop_assert!(false, "ledger.verify rejected a live ledger: {}", e);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Direct-probe workload: arbitrary probe multisets per player.
+    #[test]
+    fn direct_workload_ledger_invariants(
+        seed in any::<u64>(),
+        n in 2usize..12,
+        m in 4usize..48,
+        knobs in any::<u64>(),
+        probes in proptest::collection::vec(0usize..48, 0..120),
+    ) {
+        let inst = uniform_noise(n, m, seed);
+        let plan = plan_from_knobs(seed, knobs);
+        let engine = ProbeEngine::with_faults(inst.truth.clone(), plan.clone());
+        let mut answers = std::collections::BTreeMap::new();
+        for (i, &j) in probes.iter().enumerate() {
+            let p = i % n;
+            let j = j % m;
+            let h = engine.player(p);
+            if let Some(v) = h.try_probe(j) {
+                // Memoised consistency: the first answer (flipped or
+                // not) is the answer forever.
+                let prev = answers.insert((p, j), v);
+                prop_assert!(prev.is_none_or(|old| old == v), "answer changed on re-probe");
+            }
+        }
+        check_ledger(&engine, &plan);
+        // Tag consistency: flipped coordinates that were paid for must
+        // disagree with the truth, unflipped ones must agree.
+        if let Some(f) = engine.fault_state() {
+            for (&(p, j), &v) in &answers {
+                prop_assert_eq!(
+                    v != inst.truth.value(p, j),
+                    f.is_flipped(p, j),
+                    "flip tag inconsistent at ({}, {})", p, j
+                );
+            }
+        }
+    }
+
+    /// Orchestrated workload: a full reconstruction under a random
+    /// plan keeps every invariant (pinned to the sequential schedule).
+    #[test]
+    fn reconstruction_ledger_invariants(seed in any::<u64>(), knobs in any::<u64>()) {
+        let n = 48;
+        let inst = planted_community(n, n, n / 2, 0, seed);
+        let plan = plan_from_knobs(seed, knobs);
+        let engine = ProbeEngine::with_faults(inst.truth.clone(), plan.clone());
+        let players: Vec<PlayerId> = (0..n).collect();
+        run_sequential(|| reconstruct_known(&engine, &players, 0.5, 0, &Params::practical(), seed));
+        check_ledger(&engine, &plan);
+    }
+}
+
+#[test]
+fn verify_rejects_inconsistent_ledgers() {
+    // More flips than paid probes.
+    let bad = CostLedger::new(vec![2, 1], vec![3, 0], vec![0, 0]);
+    assert!(bad.verify(None).is_err());
+    // Paid over the cap.
+    let over = CostLedger::new(vec![5, 1], vec![0, 0], vec![0, 0]);
+    assert!(over.verify(Some(4)).is_err());
+    assert!(over.verify(Some(5)).is_ok());
+}

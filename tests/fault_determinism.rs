@@ -1,0 +1,184 @@
+//! Determinism contract of the fault-injection layer (satellite 1):
+//!
+//! * identical `(seed, FaultPlan)` ⇒ byte-identical outputs, billboard
+//!   history, and cost ledger across independent runs;
+//! * `FaultPlan::none()` ⇒ bit-identical to the pre-fault engine on
+//!   representative E1/E4/E6-style configurations, so the layer is
+//!   provably invisible when disabled.
+//!
+//! Fault-injected orchestrated runs are pinned to the single-worker
+//! schedule (`run_sequential`) because crash/budget deadness depends on
+//! per-player probe *counts*, which are interleaving-dependent under
+//! the threaded part/group fan-out. Fault-free runs stay parallel.
+
+use std::collections::BTreeMap;
+use tmwia::billboard::{run_rounds, CrowdPolicy, RoundPolicy};
+use tmwia::model::rng::rng_for;
+use tmwia::prelude::*;
+
+/// A comparable fingerprint of one faulty run.
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    outputs: BTreeMap<PlayerId, BitVec>,
+    paid: Vec<u64>,
+    flipped: Vec<u64>,
+    denied: Vec<u64>,
+    crashed: Vec<PlayerId>,
+}
+
+fn faulty_reconstruct(n: usize, d: usize, plan: &FaultPlan, seed: u64) -> Fingerprint {
+    let inst = planted_community(n, n, n / 2, d, seed);
+    let engine = ProbeEngine::with_faults(inst.truth.clone(), plan.clone());
+    let players: Vec<PlayerId> = (0..n).collect();
+    let rec =
+        run_sequential(|| reconstruct_known(&engine, &players, 0.5, d, &Params::practical(), seed));
+    let ledger = engine.ledger();
+    Fingerprint {
+        outputs: rec.outputs,
+        paid: ledger.per_player().to_vec(),
+        flipped: (0..n).map(|p| ledger.flipped_of(p)).collect(),
+        denied: (0..n).map(|p| ledger.denied_of(p)).collect(),
+        crashed: engine.crashed_players(),
+    }
+}
+
+#[test]
+fn identical_plans_reproduce_byte_identically() {
+    for (d, plan) in [
+        (
+            0,
+            FaultPlan {
+                seed: 11,
+                flip_prob: 0.05,
+                crash_fraction: 0.25,
+                crash_round: 8,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            6,
+            FaultPlan {
+                seed: 12,
+                flip_prob: 0.02,
+                crash_fraction: 0.1,
+                crash_round: 16,
+                probe_budget: Some(48),
+                ..FaultPlan::none()
+            },
+        ),
+    ] {
+        let a = faulty_reconstruct(96, d, &plan, 41);
+        let b = faulty_reconstruct(96, d, &plan, 41);
+        assert_eq!(a, b, "D = {d}: same (seed, plan) diverged");
+        assert!(
+            !a.crashed.is_empty(),
+            "D = {d}: crash fraction did not bite"
+        );
+    }
+}
+
+#[test]
+fn none_plan_is_bit_identical_to_plain_engine() {
+    // Zero, small, and large radius configs (E1/E4/E6 quick shapes).
+    for (n, d, seed) in [(128, 0, 1u64), (256, 0, 2), (128, 6, 3), (96, 24, 4)] {
+        let inst = planted_community(n, n, n / 2, d, seed);
+        let run = |engine: &ProbeEngine| {
+            let players: Vec<PlayerId> = (0..n).collect();
+            let rec = reconstruct_known(engine, &players, 0.5, d, &Params::practical(), seed);
+            let costs: Vec<u64> = (0..n).map(|p| engine.probes_of(p)).collect();
+            (rec.outputs, costs)
+        };
+        let plain = ProbeEngine::new(inst.truth.clone());
+        let gated = ProbeEngine::with_faults(inst.truth.clone(), FaultPlan::none());
+        assert!(
+            gated.fault_state().is_none(),
+            "a none-plan must normalise to no fault state"
+        );
+        assert!(gated.crashed_players().is_empty());
+        let (out_plain, cost_plain) = run(&plain);
+        let (out_gated, cost_gated) = run(&gated);
+        assert_eq!(out_plain, out_gated, "n={n} D={d}: outputs differ");
+        assert_eq!(cost_plain, cost_gated, "n={n} D={d}: costs differ");
+        let ledger = gated.ledger();
+        assert_eq!(ledger.flipped_total(), 0);
+        assert_eq!(ledger.denied_total(), 0);
+        assert_eq!(ledger.per_player(), &cost_gated[..]);
+    }
+}
+
+#[test]
+fn lockstep_faulty_runs_reproduce() {
+    let n = 64;
+    let inst = planted_community(n, n, n / 2, 0, 5);
+    let plan = FaultPlan {
+        seed: 21,
+        flip_prob: 0.05,
+        crash_fraction: 0.25,
+        crash_round: 8,
+        stale_lag: 1,
+        ..FaultPlan::none()
+    };
+    let players: Vec<PlayerId> = (0..n).collect();
+    let objects: Vec<ObjectId> = (0..n).collect();
+    let run = || {
+        let engine = ProbeEngine::with_faults(inst.truth.clone(), plan.clone());
+        let res = tmwia::core::lockstep_zero_radius(
+            &engine,
+            &players,
+            &objects,
+            0.5,
+            &Params::practical(),
+            n,
+            5,
+        );
+        let ledger = engine.ledger();
+        (
+            res.outputs,
+            res.rounds,
+            ledger.per_player().to_vec(),
+            ledger.flipped_total(),
+            ledger.denied_total(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "lockstep faulty runs diverged");
+    assert!(a.3 > 0, "flip probability did not bite");
+}
+
+#[test]
+fn round_driver_history_is_byte_identical() {
+    // The round driver's full board log — every (round, player, object,
+    // value) post — must reproduce under an aggressive fault plan.
+    let n = 32;
+    let m = 64;
+    let inst = planted_community(n, m, n / 2, 0, 6);
+    let plan = FaultPlan {
+        seed: 31,
+        flip_prob: 0.1,
+        crash_fraction: 0.25,
+        crash_round: 4,
+        stale_lag: 2,
+        probe_budget: Some(40),
+    };
+    let run = || {
+        let engine = ProbeEngine::with_faults(inst.truth.clone(), plan.clone());
+        let players: Vec<PlayerId> = (0..n).collect();
+        let mut policies: Vec<Box<dyn RoundPolicy>> = (0..n)
+            .map(|p| {
+                let mut order: Vec<ObjectId> = (0..m).collect();
+                use rand::seq::SliceRandom;
+                order.shuffle(&mut rng_for(6, 0xE17, p as u64));
+                Box::new(CrowdPolicy::new(order, 24, m)) as Box<dyn RoundPolicy>
+            })
+            .collect();
+        let res = run_rounds(&engine, &players, &mut policies, 1_000);
+        (res.rounds, res.estimates, res.board.log().to_vec())
+    };
+    let (rounds_a, est_a, log_a) = run();
+    let (rounds_b, est_b, log_b) = run();
+    assert_eq!(rounds_a, rounds_b);
+    assert_eq!(est_a, est_b);
+    assert_eq!(log_a, log_b, "board history diverged between reruns");
+    assert!(!log_a.is_empty());
+}

@@ -1,6 +1,9 @@
 //! Robustness integration tests: decoys, pure noise, degenerate
-//! parameters, and determinism under the parallel execution engine.
+//! parameters, determinism under the parallel execution engine, and
+//! graceful degradation under the fault-injection layer.
 
+use tmwia::billboard::{run_rounds, CrowdPolicy, RoundPolicy};
+use tmwia::model::rng::rng_for;
 use tmwia::prelude::*;
 
 #[test]
@@ -115,6 +118,145 @@ fn fresh_probe_mode_still_correct_just_pricier() {
     for &p in inst.community() {
         assert_eq!(&rec.outputs[&p], inst.truth.row(p));
     }
+}
+
+/// The harshest crash plan the E17 sweep uses: a quarter of the
+/// players stop answering after their very first probe.
+fn quarter_crash_at_round_one(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        crash_fraction: 0.25,
+        crash_round: 1,
+        ..FaultPlan::none()
+    }
+}
+
+#[test]
+fn every_regime_terminates_with_quarter_crash_at_round_one() {
+    // Zero, small, and large radius: with 25% of players crash-stopped
+    // after one probe, the reconstruction must still return (no
+    // deadlock, no panic) within the memoisation round ceiling — every
+    // player pays at most m probes, so max survivor rounds ≤ m. This
+    // is an explicit round-count bound, not a wall-clock timeout.
+    for (n, d, seed) in [(96usize, 0usize, 10u64), (96, 4, 11), (96, 32, 12)] {
+        let inst = planted_community(n, n, n / 2, d, seed);
+        let engine = ProbeEngine::with_faults(inst.truth.clone(), quarter_crash_at_round_one(seed));
+        let players: Vec<PlayerId> = (0..n).collect();
+        let rec = run_sequential(|| {
+            reconstruct_known(&engine, &players, 0.5, d, &Params::practical(), seed)
+        });
+        assert_eq!(rec.outputs.len(), n, "D = {d}: some player got no output");
+        assert_eq!(engine.crashed_players().len(), n / 4);
+        assert!(
+            engine.max_probes() <= n as u64,
+            "D = {d}: round ceiling m = {n} exceeded"
+        );
+        for &p in &engine.crashed_players() {
+            assert!(
+                engine.probes_of(p) <= 1,
+                "crashed player {p} paid past its crash round"
+            );
+        }
+    }
+}
+
+#[test]
+fn lockstep_terminates_with_quarter_crash_at_round_one() {
+    let n = 64;
+    let inst = planted_community(n, n, n / 2, 0, 13);
+    let engine = ProbeEngine::with_faults(inst.truth.clone(), quarter_crash_at_round_one(13));
+    let players: Vec<PlayerId> = (0..n).collect();
+    let objects: Vec<ObjectId> = (0..n).collect();
+    let res = tmwia::core::lockstep_zero_radius(
+        &engine,
+        &players,
+        &objects,
+        0.5,
+        &Params::practical(),
+        n,
+        13,
+    );
+    assert_eq!(res.outputs.len(), n);
+    // Completed before the driver's stall ceiling, i.e. genuinely
+    // converged rather than being cut off.
+    let stall_ceiling = 64 * (n as u64 + 64);
+    assert!(
+        res.rounds < stall_ceiling,
+        "lockstep hit the stall ceiling: {} rounds",
+        res.rounds
+    );
+}
+
+#[test]
+fn round_driver_terminates_with_quarter_crash_at_round_one() {
+    let n = 32;
+    let m = 64;
+    let inst = planted_community(n, m, n / 2, 0, 14);
+    let engine = ProbeEngine::with_faults(inst.truth.clone(), quarter_crash_at_round_one(14));
+    let players: Vec<PlayerId> = (0..n).collect();
+    let mut policies: Vec<Box<dyn RoundPolicy>> = (0..n)
+        .map(|p| {
+            let mut order: Vec<ObjectId> = (0..m).collect();
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut rng_for(14, 0xE17, p as u64));
+            Box::new(CrowdPolicy::new(order, 24, m)) as Box<dyn RoundPolicy>
+        })
+        .collect();
+    let budget = 2 * m as u64;
+    let res = run_rounds(&engine, &players, &mut policies, budget);
+    assert!(
+        res.rounds < budget,
+        "round driver ran to its budget: crashed players stalled it"
+    );
+    assert_eq!(res.estimates.len(), n);
+    assert!(res.estimates.iter().all(|e| e.len() == m));
+}
+
+#[test]
+fn round_driver_schedule_is_independent_of_player_order_under_dropout() {
+    // Regression for iteration-order dependence in the round driver's
+    // scheduling (audit, satellite 4): with players dropping out
+    // mid-run, presenting the same population in a different order must
+    // not change any player's estimate, cost, or the set of posts.
+    let n = 24;
+    let m = 48;
+    let inst = planted_community(n, m, n / 2, 0, 15);
+    let plan = FaultPlan {
+        seed: 15,
+        crash_fraction: 0.25,
+        crash_round: 3,
+        probe_budget: Some(30),
+        ..FaultPlan::none()
+    };
+    let run = |players: &[PlayerId]| {
+        let engine = ProbeEngine::with_faults(inst.truth.clone(), plan.clone());
+        let mut policies: Vec<Box<dyn RoundPolicy>> = players
+            .iter()
+            .map(|&p| {
+                let mut order: Vec<ObjectId> = (0..m).collect();
+                use rand::seq::SliceRandom;
+                order.shuffle(&mut rng_for(15, 0xE17, p as u64));
+                Box::new(CrowdPolicy::new(order, 20, m)) as Box<dyn RoundPolicy>
+            })
+            .collect();
+        let res = run_rounds(&engine, players, &mut policies, 1_000);
+        let per_player: std::collections::BTreeMap<PlayerId, (BitVec, u64)> = players
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, (res.estimates[i].clone(), engine.probes_of(p))))
+            .collect();
+        let mut log = res.board.log().to_vec();
+        log.sort_unstable();
+        (res.rounds, per_player, log)
+    };
+    let forward: Vec<PlayerId> = (0..n).collect();
+    let mut backward = forward.clone();
+    backward.reverse();
+    let (rounds_f, per_f, log_f) = run(&forward);
+    let (rounds_b, per_b, log_b) = run(&backward);
+    assert_eq!(rounds_f, rounds_b, "round count depends on player order");
+    assert_eq!(per_f, per_b, "estimates/costs depend on player order");
+    assert_eq!(log_f, log_b, "posted history depends on player order");
 }
 
 #[test]

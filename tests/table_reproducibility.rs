@@ -54,3 +54,10 @@ fn partition_table_matches_golden_bytes() {
 fn coalesce_table_matches_golden_bytes() {
     check_golden("e5", "e05_coalesce_quick.txt");
 }
+
+#[test]
+fn robustness_table_matches_golden_bytes() {
+    // E17 runs the fault-injection layer end to end; its snapshot also
+    // pins the fault layer's seeded crash/flip draws byte-for-byte.
+    check_golden("e17", "e17_robustness_quick.txt");
+}
