@@ -15,6 +15,8 @@ use crate::probe::ProbeEngine;
 use rayon::prelude::*;
 use tmwia_model::matrix::PlayerId;
 
+pub use crate::fault::LivenessEpoch;
+
 /// Threshold below which parallel dispatch costs more than it saves.
 const PAR_THRESHOLD: usize = 8;
 
@@ -48,29 +50,62 @@ where
     }
 }
 
-/// The subset of `players` the engine still considers live, in input
-/// order. With no fault plan installed this is all of them (a cheap
-/// copy); algorithms use it to exclude crashed/throttled players from
-/// voting steps so garbage cannot outvote survivors.
-pub fn live_players(engine: &ProbeEngine, players: &[PlayerId]) -> Vec<PlayerId> {
-    players
-        .iter()
-        .copied()
-        .filter(|&p| engine.is_live(p))
-        .collect()
+/// Like [`par_map_range`], but the iterations form *bulk-synchronous
+/// phases* when the engine carries a fault plan: they run one at a
+/// time, in index order, each starting only after the previous one's
+/// probes have all landed.
+///
+/// Use this for fan-outs whose iterations probe **overlapping player
+/// sets** (Small Radius runs one Zero Radius per object part with *all*
+/// players in every part; Large Radius assigns players to several
+/// groups). Under a fault plan, a player's crash/budget deadness is
+/// defined on its cumulative paid-probe count, so *which object* gets
+/// a crashing player's last paid probe depends on how its probes from
+/// concurrent iterations interleave — phasing the outer loop removes
+/// that dependence while keeping the full per-player parallelism
+/// *inside* each iteration (disjoint players there, so each player's
+/// own probe sequence is schedule-independent). Each iteration boundary
+/// is a barrier at which [`ProbeEngine::begin_round`] epochs may be
+/// captured.
+///
+/// Fault-free engines take the fully parallel path unchanged: with no
+/// plan there is no deadness, and memoized probe values are
+/// order-independent.
+pub fn par_map_phased<T, F>(engine: &ProbeEngine, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    if engine.fault_state().is_some() {
+        (0..count).map(&f).collect()
+    } else {
+        par_map_range(count, f)
+    }
 }
 
-/// Run `f` on the deterministic single-worker schedule.
+/// The subset of `players` the engine considers live at call time, in
+/// input order. With no fault plan installed this is all of them (a
+/// cheap copy); algorithms use it to exclude crashed/throttled players
+/// from voting steps so garbage cannot outvote survivors.
 ///
-/// Fault-injected runs of the *orchestrated* algorithms must use this:
-/// crash and budget deadness depend on a player's cumulative probe
-/// count, and Small/Large Radius probe the same player from several
-/// parallel parts/groups at once, so under the threaded schedule the
-/// count at which a given probe lands — and hence which probes a
-/// crashing player answers — would depend on thread interleaving.
-/// Pinning to one worker restores byte-reproducibility. Fault-free runs
-/// don't need this (memoized probe values are order-independent) and
-/// keep the parallel schedule.
+/// This captures a [`ProbeEngine::begin_round`] epoch at the call —
+/// call it at a phase barrier where `players` are quiescent (see
+/// [`LivenessEpoch`]); keep the epoch itself if you need more than one
+/// consistent read.
+pub fn live_players(engine: &ProbeEngine, players: &[PlayerId]) -> Vec<PlayerId> {
+    engine.begin_round().live_players(players)
+}
+
+/// Run `f` on the deterministic single-worker schedule (a
+/// `num_threads(1)` pool install).
+///
+/// This is a **test oracle**, not a production path: the epoch-snapshot
+/// schedule (phased outer fan-outs via [`par_map_phased`], cross-player
+/// liveness frozen per round via [`ProbeEngine::begin_round`]) makes
+/// fault-injected parallel runs byte-identical to this single-worker
+/// execution, and `tests/fault_determinism.rs` pins that equivalence by
+/// running every fault regime both ways. Nothing outside tests should
+/// need to pin the schedule anymore.
 pub fn run_sequential<R>(f: impl FnOnce() -> R) -> R {
     match rayon::ThreadPoolBuilder::new().num_threads(1).build() {
         Ok(pool) => pool.install(f),

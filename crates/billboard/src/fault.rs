@@ -38,6 +38,76 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use tmwia_model::matrix::{ObjectId, PlayerId};
 use tmwia_model::rng::{derive, tags};
 
+/// A frozen snapshot of every player's liveness, captured at a phase
+/// barrier (see [`crate::ProbeEngine::begin_round`]).
+///
+/// Cross-player fault observations — "which players may vote?", "whose
+/// posts reach Coalesce?", "is the sibling half done or dead?" — must
+/// never read the live probe counters: other workers mutate them
+/// concurrently, so the answer would depend on thread interleaving.
+/// Instead a driver captures an epoch at a point where the players it
+/// will ask about are quiescent (a bulk-synchronous phase barrier) and
+/// resolves every such read against the snapshot. A player's *own*
+/// deadness at probe time still uses its own counter, which only its
+/// own probes advance and is therefore schedule-independent.
+///
+/// The snapshot is an immutable value object: once captured it cannot
+/// race with anything. For a fault-free engine the epoch is the cheap
+/// constant "everyone live" and allocates nothing.
+#[derive(Debug, Clone)]
+pub struct LivenessEpoch {
+    /// `None` = fault-free engine: everyone is live forever.
+    frozen: Option<FrozenEpoch>,
+}
+
+#[derive(Debug, Clone)]
+struct FrozenEpoch {
+    dead: Vec<bool>,
+    paid: Vec<u64>,
+    stale_lag: u64,
+}
+
+impl LivenessEpoch {
+    /// The constant all-live epoch of a fault-free engine.
+    pub fn all_live() -> Self {
+        LivenessEpoch { frozen: None }
+    }
+
+    /// Was `p` dead (crashed or out of budget) when the epoch was
+    /// captured?
+    #[inline]
+    pub fn is_dead(&self, p: PlayerId) -> bool {
+        self.frozen.as_ref().is_some_and(|f| f.dead[p])
+    }
+
+    /// Negation of [`LivenessEpoch::is_dead`].
+    #[inline]
+    pub fn is_live(&self, p: PlayerId) -> bool {
+        !self.is_dead(p)
+    }
+
+    /// Paid probes of `p` at capture time (0 for an all-live epoch,
+    /// which belongs to an engine that never consults the figure).
+    pub fn paid(&self, p: PlayerId) -> u64 {
+        self.frozen.as_ref().map_or(0, |f| f.paid[p])
+    }
+
+    /// Billboard read lag of the plan active at capture time.
+    pub fn stale_lag(&self) -> u64 {
+        self.frozen.as_ref().map_or(0, |f| f.stale_lag)
+    }
+
+    /// The subset of `players` live at capture time, in input order.
+    /// All of them (a cheap copy) for an all-live epoch.
+    pub fn live_players(&self, players: &[PlayerId]) -> Vec<PlayerId> {
+        players
+            .iter()
+            .copied()
+            .filter(|&p| self.is_live(p))
+            .collect()
+    }
+}
+
 /// A declarative, seed-driven fault regime. `FaultPlan::none()` is the
 /// paper's fault-free model and compiles to literally no engine state
 /// (the clean probe path is unchanged).
@@ -256,6 +326,25 @@ impl FaultState {
             || self.plan.probe_budget.is_some_and(|b| count >= b)
     }
 
+    /// Freeze a [`LivenessEpoch`] from a vector of per-player paid
+    /// counts (one entry per player, captured by the engine at a phase
+    /// barrier). Deadness is the same `denies` predicate probe-time
+    /// denial uses, evaluated against the frozen counts.
+    pub(crate) fn freeze(&self, paid: Vec<u64>) -> LivenessEpoch {
+        let dead = paid
+            .iter()
+            .enumerate()
+            .map(|(p, &count)| self.denies(p, count))
+            .collect();
+        LivenessEpoch {
+            frozen: Some(FrozenEpoch {
+                dead,
+                paid,
+                stale_lag: self.plan.stale_lag,
+            }),
+        }
+    }
+
     /// Players in the crash set (sorted by id). They are *scheduled* to
     /// crash; whether each has already crashed depends on its probe
     /// count.
@@ -382,6 +471,33 @@ mod tests {
         // Zero probability: never flips.
         let clean = FaultState::compile(FaultPlan::none(), 4);
         assert!((0..4).all(|p| (0..1000).all(|j| !clean.is_flipped(p, j))));
+    }
+
+    #[test]
+    fn frozen_epoch_is_immutable_and_matches_denies() {
+        let plan = FaultPlan {
+            crash_fraction: 0.25,
+            crash_round: 3,
+            stale_lag: 2,
+            probe_budget: Some(10),
+            ..FaultPlan::none()
+        };
+        let st = FaultState::compile(plan, 8);
+        let victim = st.crash_set()[0];
+        let paid: Vec<u64> = (0..8).map(|p| if p == victim { 3 } else { 1 }).collect();
+        let epoch = st.freeze(paid);
+        assert!(epoch.is_dead(victim));
+        assert_eq!(epoch.paid(victim), 3);
+        assert_eq!(epoch.stale_lag(), 2);
+        let players: Vec<PlayerId> = (0..8).collect();
+        let live = epoch.live_players(&players);
+        assert_eq!(live.len(), 7);
+        assert!(!live.contains(&victim));
+        // The all-live epoch never reports anyone dead.
+        let all = LivenessEpoch::all_live();
+        assert!(players.iter().all(|&p| all.is_live(p)));
+        assert_eq!(all.live_players(&players), players);
+        assert_eq!(all.stale_lag(), 0);
     }
 
     #[test]

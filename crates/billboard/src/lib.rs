@@ -25,7 +25,9 @@
 //!   billboard reads, probe budgets) compiled into the engine, with the
 //!   [`cost::CostLedger`] attributing which probes the faults corrupted
 //!   or denied. `FaultPlan::none()` is bit-identical to the fault-free
-//!   engine.
+//!   engine. Cross-player liveness is observed through frozen
+//!   [`LivenessEpoch`] snapshots ([`ProbeEngine::begin_round`]) so
+//!   fault-injected runs stay byte-reproducible on any schedule.
 
 #![forbid(unsafe_code)]
 
@@ -38,8 +40,8 @@ pub mod rounds;
 
 pub use board::Billboard;
 pub use cost::{CostLedger, CostSnapshot, PhaseCost};
-pub use engine::{live_players, par_map_players, par_map_range, run_sequential};
-pub use fault::{FaultPlan, FaultState};
+pub use engine::{live_players, par_map_phased, par_map_players, par_map_range, run_sequential};
+pub use fault::{FaultPlan, FaultState, LivenessEpoch};
 pub use probe::{PlayerHandle, ProbeEngine};
 pub use rounds::{run_rounds, CrowdPolicy, RoundBoard, RoundPolicy, RoundsResult, SoloPolicy};
 

@@ -10,7 +10,7 @@
 //! `unsafe`.
 
 use crate::cost::{CostLedger, CostSnapshot};
-use crate::fault::{FaultPlan, FaultState};
+use crate::fault::{FaultPlan, FaultState, LivenessEpoch};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tmwia_model::bitvec::BitVec;
@@ -160,10 +160,40 @@ impl ProbeEngine {
     /// Has player `p` stopped answering probes — crash-set member past
     /// its crash round, or probe budget exhausted? Always `false` in
     /// the fault-free model.
+    ///
+    /// This is an *instantaneous* read of `p`'s live counter. It is
+    /// schedule-independent only when nothing else can be probing `p`
+    /// concurrently (e.g. the caller is the single thread simulating
+    /// `p`, or the engine is quiescent). Drivers asking about *other*
+    /// players mid-phase must capture a [`ProbeEngine::begin_round`]
+    /// epoch at a barrier and read that instead.
     pub fn is_dead(&self, p: PlayerId) -> bool {
         match &self.faults {
             None => false,
             Some(f) => f.denies(p, self.counters[p].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Capture a frozen [`LivenessEpoch`]: a snapshot of every player's
+    /// paid-probe count and the deadness it implies, taken at a phase
+    /// barrier of a bulk-synchronous driver. All cross-player liveness
+    /// observations during the following phase resolve against the
+    /// snapshot, so they cannot depend on how worker threads interleave
+    /// within the phase. Fault-free engines return the constant
+    /// all-live epoch without touching any counter.
+    ///
+    /// The snapshot equals the live counters only for players that are
+    /// quiescent at capture time — capture at a barrier where the
+    /// players you will ask about have finished their phase.
+    pub fn begin_round(&self) -> LivenessEpoch {
+        match &self.faults {
+            None => LivenessEpoch::all_live(),
+            Some(f) => f.freeze(
+                self.counters
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+            ),
         }
     }
 
@@ -409,5 +439,33 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_player_panics() {
         engine(2, 8, 6).player(2);
+    }
+
+    #[test]
+    fn begin_round_freezes_liveness_against_later_probes() {
+        use crate::fault::FaultPlan;
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows: Vec<BitVec> = (0..4).map(|_| BitVec::random(16, &mut rng)).collect();
+        let plan = FaultPlan {
+            probe_budget: Some(2),
+            ..FaultPlan::none()
+        };
+        let eng = ProbeEngine::with_faults(PrefMatrix::new(rows.clone()), plan);
+        let before = eng.begin_round();
+        assert!((0..4).all(|p| before.is_live(p)));
+        // Exhaust player 0's budget. The live view changes; the epoch
+        // captured before the probes does not.
+        eng.player(0).probe(0);
+        eng.player(0).probe(1);
+        assert!(eng.is_dead(0));
+        assert!(before.is_live(0), "epoch must stay frozen");
+        let after = eng.begin_round();
+        assert!(after.is_dead(0));
+        assert_eq!(after.paid(0), 2);
+        // Fault-free engines hand out the constant all-live epoch.
+        let clean = ProbeEngine::new(PrefMatrix::new(rows));
+        clean.player(1).probe(0);
+        assert!(clean.begin_round().is_live(1));
+        assert_eq!(clean.begin_round().paid(1), 0);
     }
 }

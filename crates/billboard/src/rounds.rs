@@ -29,8 +29,10 @@ use tmwia_model::BitVec;
 pub struct RoundBoard {
     /// `(round, player, object, value)` in posting order.
     log: Vec<(u64, PlayerId, ObjectId, bool)>,
-    /// Per-object `(ones, zeros)` tallies.
-    votes: Vec<(u32, u32)>,
+    /// Per-object `(ones, zeros)` tallies. `u64`: the ROADMAP targets
+    /// millions of players over long horizons, where a per-object tally
+    /// can exceed `u32::MAX` posts.
+    votes: Vec<(u64, u64)>,
 }
 
 impl RoundBoard {
@@ -56,7 +58,7 @@ impl RoundBoard {
     }
 
     /// `(likes, dislikes)` posted for object `j`.
-    pub fn votes(&self, j: ObjectId) -> (u32, u32) {
+    pub fn votes(&self, j: ObjectId) -> (u64, u64) {
         self.votes[j]
     }
 
@@ -105,10 +107,18 @@ pub struct RoundsResult {
 /// **Fault behavior** (driven by the engine's
 /// [`crate::fault::FaultPlan`], so the signature is fault-agnostic):
 ///
-/// * *Liveness* — a dead player (crashed or out of budget) is masked to
-///   an idle choice, so the driver terminates as soon as the live
-///   players idle instead of spinning to `max_rounds`. A probe denied
-///   mid-round is simply not observed or posted.
+/// * *Liveness* — each round starts by freezing a
+///   [`crate::fault::LivenessEpoch`] via [`ProbeEngine::begin_round`],
+///   and every cross-player deadness check in the round resolves
+///   against that snapshot; a player the epoch marks dead (crashed or
+///   out of budget) is masked to an idle choice, so the driver
+///   terminates as soon as the live players idle instead of spinning to
+///   `max_rounds`. A probe denied at probe time (the player's own
+///   counter crossed its limit) is simply not observed or posted.
+/// * *Round accounting* — a round counts toward `rounds` only when at
+///   least one probe is **paid**: memoized re-probes are free and
+///   denials charge nothing, so an all-free round must not inflate the
+///   `rounds == max per-player probes` invariant.
 /// * *Staleness* — with `stale_lag = L > 1`, the posts of round `t`
 ///   reach the public board only at round `t + L` (with `L ≤ 1` they
 ///   appear at round `t + 1`, the fault-free synchronous semantics).
@@ -151,11 +161,14 @@ pub fn run_rounds(
         }
         // Phase 1: everyone live chooses against the round-start board;
         // dead players idle (their choices must not burn rounds).
+        // Liveness is frozen at the round boundary so the mask is
+        // independent of how Phase 2's probes would interleave.
+        let epoch = engine.begin_round();
         let choices: Vec<Option<ObjectId>> = players
             .iter()
             .zip(policies.iter_mut())
             .map(|(&p, pol)| {
-                if engine.is_dead(p) {
+                if epoch.is_dead(p) {
                     None
                 } else {
                     pol.choose(round, &board)
@@ -170,9 +183,9 @@ pub fn run_rounds(
             // may wake up once it sees them). No probes ⇒ no round.
             continue;
         }
-        rounds += 1;
         // Phase 2: probe and observe; collect posts. A denial (the
         // player died since its last paid probe) yields nothing.
+        let paid_before = engine.total_probes();
         let mut posts: Vec<(PlayerId, ObjectId, bool)> = Vec::new();
         for ((&p, pol), choice) in players.iter().zip(policies.iter_mut()).zip(choices) {
             if let Some(j) = choice {
@@ -181,6 +194,12 @@ pub fn run_rounds(
                     posts.push((p, j, value));
                 }
             }
+        }
+        // A round counts only if somebody *paid*: memo hits are free
+        // and denials charge nothing, and free rounds would break the
+        // `rounds == max per-player probes` invariant.
+        if engine.total_probes() > paid_before {
+            rounds += 1;
         }
         // Phase 3: queue for publication after the lag.
         if !posts.is_empty() {
@@ -422,6 +441,51 @@ mod tests {
         assert_eq!(board.majority(1), None);
         board.post(1, 3, 1, false);
         assert_eq!(board.majority(1), Some(false));
+    }
+
+    #[test]
+    fn free_rounds_do_not_count() {
+        // Regression: a round in which no probe is *paid* (every chosen
+        // probe is a free memo hit, or denied under faults) must not
+        // increment `rounds`, or the `rounds == max per-player probes`
+        // invariant breaks.
+        struct Reprober {
+            remaining: u32,
+        }
+        impl RoundPolicy for Reprober {
+            fn choose(&mut self, _round: u64, _board: &RoundBoard) -> Option<ObjectId> {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            fn observe(&mut self, _round: u64, _j: ObjectId, _value: bool) {}
+            fn estimate(&self, _board: &RoundBoard) -> BitVec {
+                BitVec::zeros(4)
+            }
+        }
+        let engine = ProbeEngine::new(PrefMatrix::new(vec![BitVec::zeros(4)]));
+        let mut policies: Vec<Box<dyn RoundPolicy>> = vec![Box::new(Reprober { remaining: 5 })];
+        let res = run_rounds(&engine, &[0], &mut policies, 100);
+        // Five choices of the same object: only the first is paid.
+        assert_eq!(engine.probes_of(0), 1);
+        assert_eq!(res.rounds, 1);
+        assert_eq!(res.rounds, engine.max_probes());
+    }
+
+    #[test]
+    fn vote_counters_survive_u32_overflow() {
+        // Tallies past u32::MAX must keep counting (posting 2^32 times
+        // is too slow for a test, so seed the tally directly).
+        let mut board = RoundBoard {
+            log: Vec::new(),
+            votes: vec![(u64::from(u32::MAX), 0)],
+        };
+        board.post(0, 0, 0, true);
+        assert_eq!(board.votes(0), (u64::from(u32::MAX) + 1, 0));
+        assert_eq!(board.majority(0), Some(true));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use tmwia_baselines::{
     knn_billboard, one_good_object, oracle_community, solo, spectral_reconstruct, KnnConfig,
     SpectralConfig,
 };
-use tmwia_billboard::{run_sequential, FaultPlan, PlayerId, ProbeEngine};
+use tmwia_billboard::{FaultPlan, PlayerId, ProbeEngine};
 use tmwia_core::{anytime, community_hierarchy, reconstruct_known, reconstruct_unknown_d, Params};
 use tmwia_model::generators::{
     adversarial_clusters, bernoulli_types, nested_communities, orthogonal_types, planted_community,
@@ -285,15 +285,12 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
             }
         }))
     };
-    // Fault-injected runs are pinned to the deterministic sequential
-    // schedule (crash/budget deadness is probe-count based, and the
-    // threaded part/group fan-out would make the counts
-    // interleaving-dependent); fault-free runs keep the parallel one.
-    let computed = if engine.fault_state().is_some() {
-        run_sequential(run_alg)?
-    } else {
-        run_alg()?
-    };
+    // Fault-injected runs use the same parallel schedule as clean ones:
+    // crash/budget deadness resolves against per-round LivenessEpoch
+    // snapshots and the part/group fan-outs phase themselves under a
+    // fault plan, so the output is schedule-independent (byte-identical
+    // to the single-worker oracle; see tests/fault_determinism.rs).
+    let computed = run_alg()?;
     let outputs = match computed {
         Computed::Done(s) => return Ok(s),
         Computed::Outputs(o) => o,

@@ -1,0 +1,67 @@
+//! Binary-level contract for `--faults` spec parsing: a malformed spec
+//! must exit with a clear error message (dispatch failure, exit code
+//! 1), never a panic or a silent fall-back to the default plan; a
+//! well-formed spec must run.
+
+use std::process::{Command, Output};
+
+/// Run the `tmwia` binary with `run` + the given extra args on a tiny
+/// generated instance (kept small so a *successful* parse still
+/// finishes fast).
+fn run_tmwia(extra: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tmwia"));
+    cmd.args(["run", "--n", "16", "--m", "16", "--d", "0", "--seed", "3"]);
+    cmd.args(extra);
+    cmd.output().expect("spawn tmwia")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn out_of_range_flip_probability_is_rejected() {
+    let out = run_tmwia(&["--faults", "flip=2.0"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("flip probability") && err.contains("outside [0, 1]"),
+        "unhelpful error: {err}"
+    );
+}
+
+#[test]
+fn malformed_crash_spec_is_rejected() {
+    // `crash=@` splits into an empty fraction and an empty round.
+    let out = run_tmwia(&["--faults", "crash=@"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("bad crash fraction"), "unhelpful error: {err}");
+}
+
+#[test]
+fn unknown_fault_key_is_rejected_with_the_valid_keys() {
+    let out = run_tmwia(&["--faults", "jitter=3"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("unknown fault key 'jitter'") && err.contains("flip|crash|lag|budget|seed"),
+        "unhelpful error: {err}"
+    );
+}
+
+#[test]
+fn missing_equals_sign_is_rejected() {
+    let out = run_tmwia(&["--faults", "flip"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("not key=value"), "unhelpful error: {err}");
+}
+
+#[test]
+fn well_formed_spec_still_runs() {
+    let out = run_tmwia(&["--faults", "flip=0.05,crash=0.25@4,seed=9"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("faults   :"), "fault line missing:\n{text}");
+}

@@ -70,8 +70,8 @@ impl ObjectSpace for CandidateSpace<'_> {
         select_ternary(&handle, &g.objects, &g.candidates, g.bound, self.fresh).winner as u32
     }
 
-    fn is_live(&self, player: PlayerId) -> bool {
-        self.engine.is_live(player)
+    fn begin_round(&self) -> tmwia_billboard::LivenessEpoch {
+        self.engine.begin_round()
     }
 }
 
@@ -113,8 +113,12 @@ pub fn large_radius(
     // within 2·coalesce_d of its candidate (Theorem 5.3).
     let virt_bound = 2 * coalesce_d;
 
-    // Steps 2–3 per group, groups in parallel.
-    let groups: Vec<Group> = tmwia_billboard::engine::par_map_range(l, |ell| {
+    // Steps 2–3 per group, groups in parallel. Player assignments
+    // overlap across groups (multiplicity ≥ 1), so under a fault plan
+    // the groups run as ordered phases (see `par_map_phased`) to keep
+    // each player's cumulative probe sequence — and hence its crash
+    // point — schedule-independent; fault-free runs stay parallel.
+    let groups: Vec<Group> = tmwia_billboard::engine::par_map_phased(engine, l, |ell| {
         let objs = &object_groups[ell];
         let plys = &player_groups[ell];
         if objs.is_empty() {
@@ -139,11 +143,15 @@ pub fn large_radius(
         // Step 3: Coalesce the posted outputs (player order for
         // determinism). Dead players never posted, so only live
         // players' vectors reach Coalesce — their junk would otherwise
-        // spawn spurious candidate clusters. Everyone is live in a
-        // fault-free run, so the inputs are unchanged there.
+        // spawn spurious candidate clusters. Liveness is frozen *after*
+        // this group's Small Radius: under the phased fault schedule
+        // every player is quiescent here, so the epoch is exact and
+        // schedule-independent. Everyone is live in a fault-free run,
+        // so the inputs are unchanged there.
+        let epoch = engine.begin_round();
         let inputs: Vec<BitVec> = plys
             .iter()
-            .filter(|&&p| engine.is_live(p))
+            .filter(|&&p| epoch.is_live(p))
             .map(|p| sr[p].clone())
             .collect();
         let candidates =

@@ -302,8 +302,13 @@ pub fn lockstep_zero_radius(
     // `lag` epochs, so scale the ceiling with the lag.
     let max_rounds = 64 * (objects.len() as u64 + 64) * (1 + engine.stale_lag());
     loop {
-        // Round start: snapshot which nodes are fully posted. A node is
-        // also complete when every player it is still missing is dead —
+        // Round start: freeze liveness for the whole round (every
+        // cross-player deadness read below resolves against this one
+        // snapshot; a player probes at most once per round, so its own
+        // counter cannot move between the snapshot and its step).
+        let epoch = engine.begin_round();
+        // Snapshot which nodes are fully posted. A node is also
+        // complete when every player it is still missing is dead —
         // crashed players never post, and waiting for them would
         // deadlock the sibling half. (The dead-player scan only runs
         // under a fault plan, and only for nodes the fast path misses.)
@@ -318,7 +323,7 @@ pub fn lockstep_zero_radius(
                         board.read(&node.id).into_iter().map(|(p, _)| p).collect();
                     node.players
                         .iter()
-                        .all(|&p| posted.contains(&p) || engine.is_dead(p))
+                        .all(|&p| posted.contains(&p) || epoch.is_dead(p))
                 }
             })
             .collect();
@@ -327,7 +332,7 @@ pub fn lockstep_zero_radius(
         let mut posts: Vec<(u64, PlayerId, Vec<bool>)> = Vec::new();
         for machine in &mut machines {
             let did = step(
-                machine, &arena, &complete, &board, engine, alpha, params, &mut posts,
+                machine, &arena, &complete, &board, engine, &epoch, alpha, params, &mut posts,
             );
             any_active |= did;
         }
@@ -380,14 +385,17 @@ fn step(
     complete: &[bool],
     board: &Billboard<u64, Vec<bool>>,
     engine: &ProbeEngine,
+    epoch: &tmwia_billboard::LivenessEpoch,
     alpha: f64,
     params: &Params,
     posts: &mut Vec<(u64, PlayerId, Vec<bool>)>,
 ) -> bool {
     // Crash-stop: a dead player halts where it stands and never posts
-    // again, so its junk can't reach the billboard. (Fault-free engines
-    // report everyone live and never take this branch.)
-    if engine.is_dead(machine.p) {
+    // again, so its junk can't reach the billboard. Deadness comes from
+    // the round-start epoch, like every other fault observation this
+    // round. (Fault-free epochs report everyone live and never take
+    // this branch.)
+    if epoch.is_dead(machine.p) {
         machine.phase = Phase::Done;
         return false;
     }

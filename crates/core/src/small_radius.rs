@@ -20,7 +20,7 @@ use crate::select::select_bits;
 use crate::value::Value;
 use crate::zero_radius::{zero_radius, BinarySpace};
 use std::collections::BTreeMap;
-use tmwia_billboard::{live_players, par_map_players, PlayerId, ProbeEngine};
+use tmwia_billboard::{par_map_players, PlayerId, ProbeEngine};
 use tmwia_model::matrix::ObjectId;
 use tmwia_model::partition::uniform_parts;
 use tmwia_model::rng::{derive, rng_for, tags};
@@ -85,9 +85,13 @@ pub fn small_radius(
         let local: Vec<usize> = (0..objects.len()).collect();
         let parts = uniform_parts(&local, s, &mut rng);
 
-        // Steps 1b–1c per part, parts in parallel.
+        // Steps 1b–1c per part, parts in parallel. Every part probes
+        // the *same* player set, so under a fault plan the parts run as
+        // ordered phases (see `par_map_phased`) to keep each player's
+        // cumulative probe sequence — and hence its crash point —
+        // schedule-independent; fault-free runs keep the parallel loop.
         let part_results: Vec<(Vec<usize>, Vec<BitVec>)> =
-            tmwia_billboard::engine::par_map_range(parts.len(), |i| {
+            tmwia_billboard::engine::par_map_phased(engine, parts.len(), |i| {
                 let part = &parts[i];
                 if part.is_empty() {
                     return (Vec::new(), vec![BitVec::zeros(0); players.len()]);
@@ -108,9 +112,13 @@ pub fn small_radius(
                 // U_i: vectors output by ≥ α·|voters|/5 players. Only
                 // live players vote — a crashed player's Zero Radius
                 // output is memo-or-false junk, and counting it could
-                // outvote the surviving community. Fault-free runs have
-                // every player live, so this is the old tally exactly.
-                let voters = live_players(engine, players);
+                // outvote the surviving community. Liveness is frozen
+                // *after* this part's Zero Radius: under the phased
+                // fault schedule every player is quiescent here, so the
+                // epoch is exact and schedule-independent. Fault-free
+                // runs have every player live, the old tally exactly.
+                let epoch = engine.begin_round();
+                let voters = epoch.live_players(players);
                 let u_i = popular_vectors(&zr, &voters, alpha, params);
                 // Step 1c: every player adopts the closest U_i vector
                 // within bound D. With every voter dead the candidate

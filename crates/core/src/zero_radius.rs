@@ -20,7 +20,7 @@ use crate::params::Params;
 use crate::select::select_values;
 use crate::value::Value;
 use std::collections::BTreeMap;
-use tmwia_billboard::{par_map_players, Billboard, PlayerId, ProbeEngine};
+use tmwia_billboard::{par_map_players, Billboard, LivenessEpoch, PlayerId, ProbeEngine};
 use tmwia_model::partition::random_halves;
 use tmwia_model::rng::{rng_for, tags};
 
@@ -34,13 +34,16 @@ pub trait ObjectSpace: Sync {
     fn num_objects(&self) -> usize;
     /// Reveal the value of object `idx` for `player`, paying its cost.
     fn probe(&self, player: PlayerId, idx: usize) -> Self::Val;
-    /// Is `player` still participating? Spaces backed by a fault-injected
-    /// engine report crashed/throttled players dead so the algorithm can
-    /// keep their junk vectors off the billboard; the default (no fault
-    /// layer) is everyone-live, which leaves the fault-free path
-    /// untouched.
-    fn is_live(&self, _player: PlayerId) -> bool {
-        true
+    /// Freeze every player's liveness for one bulk-synchronous phase.
+    /// Spaces backed by a fault-injected engine snapshot the paid-probe
+    /// counters so crashed/throttled players read as dead — the
+    /// algorithm keeps their junk vectors off the billboard. Call this
+    /// only at phase barriers where the players being read are
+    /// quiescent; the snapshot is then schedule-independent. The
+    /// default (no fault layer) is the everyone-live constant, which
+    /// leaves the fault-free path untouched.
+    fn begin_round(&self) -> LivenessEpoch {
+        LivenessEpoch::all_live()
     }
 }
 
@@ -68,8 +71,8 @@ impl ObjectSpace for BinarySpace<'_> {
         self.engine.player(player).probe(idx)
     }
 
-    fn is_live(&self, player: PlayerId) -> bool {
-        self.engine.is_live(player)
+    fn begin_round(&self) -> LivenessEpoch {
+        self.engine.begin_round()
     }
 }
 
@@ -216,9 +219,15 @@ fn recurse<S: ObjectSpace>(
 /// Post every *live* player's node output on the billboard, in player
 /// order. Dead (crashed/throttled) players still compute a local
 /// default vector — they just never publish it, so their junk cannot
-/// dilute the vote tallies the surviving community relies on. In a
-/// fault-free run `is_live` is constantly true and every player posts,
-/// exactly as before.
+/// dilute the vote tallies the surviving community relies on.
+///
+/// Liveness comes from a [`LivenessEpoch`] frozen here, at the node's
+/// join point: every player in `players` has finished its probes for
+/// this subtree (base case, or both children joined and adopted), so
+/// the snapshot of their counters is exact regardless of what disjoint
+/// sibling subtrees are doing concurrently. In a fault-free run the
+/// epoch is the everyone-live constant and every player posts, exactly
+/// as before.
 fn publish<S: ObjectSpace>(
     space: &S,
     board: &Billboard<u64, Vec<S::Val>>,
@@ -226,10 +235,11 @@ fn publish<S: ObjectSpace>(
     out: &ZrOutput<S::Val>,
     players: &[PlayerId],
 ) {
+    let epoch = space.begin_round();
     board.post_batch(
         players
             .iter()
-            .filter(|&&p| space.is_live(p))
+            .filter(|&&p| epoch.is_live(p))
             .map(|&p| (node, p, out[&p].clone())),
     );
 }

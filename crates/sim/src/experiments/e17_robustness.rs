@@ -20,16 +20,19 @@
 //! and must match the paired clean run exactly (`err* = 0, Δrounds =
 //! 0`) — the zero-overhead/bit-identity claim, end to end.
 //!
-//! Fault-injected runs execute on the deterministic single-worker
-//! schedule ([`tmwia_billboard::run_sequential`]): crash/budget
-//! deadness depends on per-player probe counts, which are
-//! schedule-dependent under the threaded part/group fan-out.
+//! Fault-injected runs use the ordinary parallel schedule: crash and
+//! budget deadness resolve against per-round
+//! [`tmwia_billboard::LivenessEpoch`] snapshots, and the part/group
+//! fan-outs phase themselves under a fault plan, so the numbers are
+//! schedule-independent (byte-identical to the
+//! [`tmwia_billboard::run_sequential`] oracle — pinned by
+//! `tests/fault_determinism.rs`).
 
 use super::{dense_outputs, ExpConfig};
 use crate::stats::{fnum, Summary};
 use crate::table::Table;
 use crate::trials::run_trials;
-use tmwia_billboard::{run_sequential, FaultPlan, ProbeEngine};
+use tmwia_billboard::{FaultPlan, ProbeEngine};
 use tmwia_core::{reconstruct_known, Params};
 use tmwia_model::generators::planted_community;
 use tmwia_model::rng::{derive, tags};
@@ -140,8 +143,7 @@ fn run_trial(n: usize, alpha: f64, eps: f64, cf: f64, params: &Params, seed: u64
         ..FaultPlan::none()
     };
     let engine = ProbeEngine::with_faults(inst.truth.clone(), plan);
-    let rec =
-        run_sequential(|| reconstruct_known(&engine, &players, alpha, DIAMETER, params, seed));
+    let rec = reconstruct_known(&engine, &players, alpha, DIAMETER, params, seed);
     let outputs = dense_outputs(&rec.outputs, n, n);
 
     let crashed = engine.crashed_players();

@@ -3,8 +3,10 @@
 /// Five-number-ish summary of a sample.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Summary {
-    /// Sample size.
+    /// Number of finite samples the statistics are computed over.
     pub count: usize,
+    /// Number of NaN samples excluded from the statistics.
+    pub nan: usize,
     /// Arithmetic mean.
     pub mean: f64,
     /// Sample standard deviation (`n − 1` denominator; 0 for `n < 2`).
@@ -17,27 +19,37 @@ pub struct Summary {
 
 impl Summary {
     /// Summarize a sample. Empty samples yield the zero summary.
+    ///
+    /// NaN samples are excluded and counted in `nan` instead of being
+    /// averaged: folding them in would poison `mean`/`std` while the
+    /// `f64::min`/`f64::max` folds silently drop them, yielding an
+    /// internally inconsistent summary. All-NaN input reduces to the
+    /// zero summary (with `nan` recording the discard).
     pub fn of(samples: &[f64]) -> Self {
-        let count = samples.len();
+        let finite: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        let nan = samples.len() - finite.len();
+        let count = finite.len();
         if count == 0 {
             return Summary {
                 count: 0,
+                nan,
                 mean: 0.0,
                 std: 0.0,
                 min: 0.0,
                 max: 0.0,
             };
         }
-        let mean = samples.iter().sum::<f64>() / count as f64;
+        let mean = finite.iter().sum::<f64>() / count as f64;
         let var = if count < 2 {
             0.0
         } else {
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+            finite.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
         };
-        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Summary {
             count,
+            nan,
             mean,
             std: var.sqrt(),
             min,
@@ -98,6 +110,26 @@ mod tests {
     fn of_ints_converts() {
         let s = Summary::of_ints([2u64, 4, 6]);
         assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_samples_are_excluded_and_counted() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.nan, 1);
+        assert!((s.mean - 2.0).abs() < 1e-12, "mean poisoned: {}", s.mean);
+        assert!(s.std.is_finite());
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        // Internally consistent: the mean lies between min and max.
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        // All-NaN reduces to the zero summary, with the discard visible.
+        let all = Summary::of(&[f64::NAN, f64::NAN]);
+        assert_eq!(all.count, 0);
+        assert_eq!(all.nan, 2);
+        assert_eq!(all.mean, 0.0);
+        // Clean samples report nan = 0 — the fast path is unchanged.
+        assert_eq!(Summary::of(&[1.0, 2.0]).nan, 0);
     }
 
     #[test]

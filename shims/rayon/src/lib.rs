@@ -24,11 +24,30 @@ thread_local! {
     static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
-/// Number of worker threads the current context should use.
+/// Global default read once from `RAYON_NUM_THREADS` (real rayon honors
+/// it for the global pool). `0` means "unset/invalid: use
+/// available_parallelism".
+fn env_threads() -> usize {
+    static ENV_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Number of worker threads the current context should use: an
+/// installed pool wins, then `RAYON_NUM_THREADS`, then the host CPU
+/// count.
 fn current_threads() -> usize {
     let forced = POOL_THREADS.with(|t| t.get());
     if forced != 0 {
         return forced;
+    }
+    let env = env_threads();
+    if env != 0 {
+        return env;
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }

@@ -1,20 +1,29 @@
-//! Determinism contract of the fault-injection layer (satellite 1):
+//! Determinism contract of the fault-injection layer:
 //!
 //! * identical `(seed, FaultPlan)` ⇒ byte-identical outputs, billboard
 //!   history, and cost ledger across independent runs;
+//! * the ordinary **parallel** schedule produces the same bytes as the
+//!   single-worker `run_sequential` **oracle** for every fault regime —
+//!   cross-player liveness resolves against per-round `LivenessEpoch`
+//!   snapshots and the part/group fan-outs phase themselves under a
+//!   fault plan, so no fault observation can see a thread interleaving;
 //! * `FaultPlan::none()` ⇒ bit-identical to the pre-fault engine on
 //!   representative E1/E4/E6-style configurations, so the layer is
 //!   provably invisible when disabled.
-//!
-//! Fault-injected orchestrated runs are pinned to the single-worker
-//! schedule (`run_sequential`) because crash/budget deadness depends on
-//! per-player probe *counts*, which are interleaving-dependent under
-//! the threaded part/group fan-out. Fault-free runs stay parallel.
 
 use std::collections::BTreeMap;
 use tmwia::billboard::{run_rounds, CrowdPolicy, RoundPolicy};
 use tmwia::model::rng::rng_for;
 use tmwia::prelude::*;
+
+/// Which execution schedule to run a faulty reconstruction on.
+#[derive(Clone, Copy, Debug)]
+enum Schedule {
+    /// The production path: the ordinary thread pool.
+    Parallel,
+    /// The `run_sequential` single-worker test oracle.
+    SequentialOracle,
+}
 
 /// A comparable fingerprint of one faulty run.
 #[derive(PartialEq, Debug)]
@@ -26,12 +35,21 @@ struct Fingerprint {
     crashed: Vec<PlayerId>,
 }
 
-fn faulty_reconstruct(n: usize, d: usize, plan: &FaultPlan, seed: u64) -> Fingerprint {
+fn faulty_reconstruct(
+    n: usize,
+    d: usize,
+    plan: &FaultPlan,
+    seed: u64,
+    schedule: Schedule,
+) -> Fingerprint {
     let inst = planted_community(n, n, n / 2, d, seed);
     let engine = ProbeEngine::with_faults(inst.truth.clone(), plan.clone());
     let players: Vec<PlayerId> = (0..n).collect();
-    let rec =
-        run_sequential(|| reconstruct_known(&engine, &players, 0.5, d, &Params::practical(), seed));
+    let run = || reconstruct_known(&engine, &players, 0.5, d, &Params::practical(), seed);
+    let rec = match schedule {
+        Schedule::Parallel => run(),
+        Schedule::SequentialOracle => run_sequential(run),
+    };
     let ledger = engine.ledger();
     Fingerprint {
         outputs: rec.outputs,
@@ -42,9 +60,11 @@ fn faulty_reconstruct(n: usize, d: usize, plan: &FaultPlan, seed: u64) -> Finger
     }
 }
 
-#[test]
-fn identical_plans_reproduce_byte_identically() {
-    for (d, plan) in [
+/// One fault regime per algorithm tier: Zero Radius (d = 0), Small
+/// Radius (d = 6), Large Radius (d = 24), each with crashes, flips, and
+/// (where marked) budgets in play.
+fn regimes() -> Vec<(usize, FaultPlan)> {
+    vec![
         (
             0,
             FaultPlan {
@@ -66,9 +86,44 @@ fn identical_plans_reproduce_byte_identically() {
                 ..FaultPlan::none()
             },
         ),
-    ] {
-        let a = faulty_reconstruct(96, d, &plan, 41);
-        let b = faulty_reconstruct(96, d, &plan, 41);
+        (
+            24,
+            FaultPlan {
+                seed: 13,
+                flip_prob: 0.02,
+                crash_fraction: 0.2,
+                crash_round: 12,
+                probe_budget: Some(64),
+                ..FaultPlan::none()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn parallel_schedule_matches_sequential_oracle() {
+    // The tentpole acceptance gate: for the same (seed, FaultPlan), the
+    // parallel schedule and the single-worker oracle must agree on
+    // every byte — outputs, per-player paid/flipped/denied counts, and
+    // the crash set — in each algorithm regime.
+    for (d, plan) in regimes() {
+        let par = faulty_reconstruct(96, d, &plan, 41, Schedule::Parallel);
+        let seq = faulty_reconstruct(96, d, &plan, 41, Schedule::SequentialOracle);
+        assert_eq!(par, seq, "D = {d}: parallel diverged from the oracle");
+        assert!(
+            !par.crashed.is_empty(),
+            "D = {d}: crash fraction did not bite"
+        );
+    }
+}
+
+#[test]
+fn identical_plans_reproduce_byte_identically() {
+    // Rerun-to-rerun reproducibility on the production (parallel)
+    // schedule itself — no oracle involved.
+    for (d, plan) in regimes() {
+        let a = faulty_reconstruct(96, d, &plan, 41, Schedule::Parallel);
+        let b = faulty_reconstruct(96, d, &plan, 41, Schedule::Parallel);
         assert_eq!(a, b, "D = {d}: same (seed, plan) diverged");
         assert!(
             !a.crashed.is_empty(),
