@@ -163,6 +163,30 @@ impl<K: Ord + Clone, V: Clone + Ord> Billboard<K, V> {
         out
     }
 
+    /// Every key with at least one *visible* post, paired with its
+    /// posts sorted by `(player, value)` — the whole-board analogue of
+    /// [`Billboard::read`]. Snapshot builders (the serving layer's
+    /// copy-on-write seal) use this to materialize a consistent view in
+    /// one lock trip instead of a read per key.
+    pub fn visible_posts(&self) -> Vec<(K, Vec<(PlayerId, V)>)> {
+        let now = self.epoch();
+        let map = self.posts.read();
+        let mut out = Vec::with_capacity(map.len());
+        for (key, posts) in map.iter() {
+            let mut entries: Vec<(PlayerId, V)> = posts
+                .iter()
+                .filter(|&&(e, _, _)| self.visible(e, now))
+                .map(|(_, p, v)| (*p, v.clone()))
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            entries.sort();
+            out.push((key.clone(), entries));
+        }
+        out
+    }
+
     /// Values under `key` with at least `min_votes` votes, sorted —
     /// the "popular vectors" of Zero Radius step 4 / Small Radius
     /// step 1b.

@@ -73,6 +73,22 @@ impl LivenessEpoch {
         LivenessEpoch { frozen: None }
     }
 
+    /// Assemble an epoch from externally tracked liveness. The serving
+    /// layer's session registry reuses the fault layer's snapshot
+    /// semantics for churn: a departed (or never-admitted) player slot
+    /// is "dead" exactly like a crashed one, and the epoch is sealed at
+    /// the tick barrier, so readers never observe a half-open session.
+    pub fn from_parts(dead: Vec<bool>, paid: Vec<u64>, stale_lag: u64) -> Self {
+        debug_assert_eq!(dead.len(), paid.len());
+        LivenessEpoch {
+            frozen: Some(FrozenEpoch {
+                dead,
+                paid,
+                stale_lag,
+            }),
+        }
+    }
+
     /// Was `p` dead (crashed or out of budget) when the epoch was
     /// captured?
     #[inline]

@@ -67,9 +67,22 @@ USAGE:
   tmwia communities --instance FILE [--scales 2,8,32] [--min-size 3]
                    (clusters the TRUE matrix rows; add --run to cluster
                     reconstructed outputs instead)
-  tmwia exp        --id e1..e17|all [--full] [--seed N]
+  tmwia exp        --id e1..e18|all [--full] [--seed N]
                    (regenerates the EXPERIMENTS.md tables; quick scale
                     by default)
+  tmwia serve      [--port 4206] [--batch 64] [--queue 256] [--seed 1]
+                   [--max-ticks 0] [--tick-ms 1] (generation flags as
+                    above) — serve the billboard over TCP; --max-ticks 0
+                    runs until a Shutdown request; --port 0 picks an
+                    ephemeral port (printed on the first line)
+  tmwia load       [--sessions 8] [--requests 32] [--seed 1]
+                   [--mix probe=0.6,post=0.2,read=0.1,recommend=0.1]
+                   [--addr HOST:PORT] [--shutdown]
+                   — closed-loop load generator. With --addr: drive a
+                    live server over TCP (wall-clock latencies; add
+                    --shutdown to stop the server afterwards). Without:
+                    run in-process on a generated instance — output is
+                    deterministic and byte-identical across thread pools
   tmwia help
 
 Instances use the plain-text `tmwia-instance v1` format.
@@ -434,7 +447,7 @@ pub fn cmd_exp(args: &Args) -> Result<String, CliError> {
         let found: Vec<_> = registry.into_iter().filter(|(i, _, _)| *i == id).collect();
         if found.is_empty() {
             return Err(CliError::Other(format!(
-                "unknown experiment id '{id}' (e1..e17 or all)"
+                "unknown experiment id '{id}' (e1..e18 or all)"
             )));
         }
         found
@@ -446,11 +459,149 @@ pub fn cmd_exp(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Shared serve/load service construction from generation flags.
+fn build_service(args: &Args) -> Result<tmwia_service::Service, CliError> {
+    use tmwia_service::{Service, ServiceConfig};
+    let inst = load_or_generate(args)?;
+    let cfg = ServiceConfig {
+        batch_size: args.num_or("batch", 64usize)?,
+        queue_capacity: args.num_or("queue", 256usize)?,
+        seed: args.num_or("seed", 1u64)?,
+        ..ServiceConfig::default()
+    };
+    Service::new(inst.truth.clone(), cfg).map_err(|e| CliError::Other(e.to_string()))
+}
+
+/// `tmwia serve` — run the TCP serving layer.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    use std::io::Write as _;
+    use tmwia_service::{serve, ServeOptions};
+    let port: u16 = args.num_or("port", 4206u16)?;
+    let opts = ServeOptions {
+        tick_interval: std::time::Duration::from_millis(args.num_or("tick-ms", 1u64)?.max(1)),
+        max_ticks: args.num_or("max-ticks", 0u64)?,
+    };
+    let svc = std::sync::Arc::new(build_service(args)?);
+    let (n, m) = (svc.n(), svc.m());
+    let server = serve(svc, &format!("127.0.0.1:{port}"), opts)
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    // Announce the address immediately (and flush: CI pipes stdout to a
+    // file, so block buffering would starve the port scraper).
+    println!(
+        "tmwia-service listening on {} (n = {n}, m = {m})",
+        server.local_addr()
+    );
+    let _ = std::io::stdout().flush();
+    let summary = server.join();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} requests ({} rejected) across {} ticks, {} sessions",
+        summary.served, summary.rejected, summary.ticks, summary.sessions
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        if summary.clean {
+            "clean shutdown"
+        } else {
+            "unclean shutdown (a server thread panicked)"
+        }
+    );
+    Ok(out)
+}
+
+/// `tmwia load` — the closed-loop load generator.
+pub fn cmd_load(args: &Args) -> Result<String, CliError> {
+    use tmwia_service::{run_deterministic, run_tcp, ClientMix, LoadConfig};
+    use tmwia_sim::LatencyHistogram;
+    let mix_spec = args.str_or("mix", "probe=0.6,post=0.2,read=0.1,recommend=0.1");
+    let mix = ClientMix::parse(&mix_spec).map_err(CliError::Other)?;
+    let cfg = LoadConfig {
+        sessions: args.num_or("sessions", 8usize)?,
+        requests: args.num_or("requests", 32usize)?,
+        mix,
+        seed: args.num_or("seed", 1u64)?,
+        recommend_count: args.num_or("recommend", 8u16)?,
+        objects: args.num_or("m", args.num_or("n", 512usize)?)?,
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "load: {} sessions x {} requests, mix {} (seed {})",
+        cfg.sessions,
+        cfg.requests,
+        cfg.mix.describe(),
+        cfg.seed
+    );
+    if let Ok(addr) = args.str_req("addr") {
+        // TCP mode: wall-clock latencies against a live server.
+        let res = run_tcp(&addr, &cfg).map_err(|e| CliError::Other(e.to_string()))?;
+        let mut hist = LatencyHistogram::new();
+        hist.record_all(res.samples.iter().copied());
+        let (p50, p90, p99) = hist.percentiles();
+        let wall = res.wall_micros.unwrap_or(0).max(1);
+        let throughput = res.submitted as f64 / (wall as f64 / 1e6);
+        let _ = writeln!(
+            out,
+            "submitted {} ok {} busy {} errors {}",
+            res.submitted, res.ok, res.busy, res.errors
+        );
+        let _ = writeln!(
+            out,
+            "wall {:.1} ms, throughput {throughput:.0} req/s",
+            wall as f64 / 1e3
+        );
+        let _ = writeln!(
+            out,
+            "latency us: p50 {p50} p90 {p90} p99 {p99} max {} mean {:.1}",
+            hist.max(),
+            hist.mean()
+        );
+        if args.has("shutdown") {
+            use tmwia_service::{Request, TcpTransport, Transport as _};
+            let mut t = TcpTransport::connect(&addr).map_err(|e| CliError::Other(e.to_string()))?;
+            t.send(0, &Request::Shutdown)
+                .map_err(|e| CliError::Other(e.to_string()))?;
+            let _ = t.recv();
+            let _ = writeln!(out, "shutdown requested");
+        }
+    } else {
+        // In-process mode: deterministic — tick latencies, no wall
+        // clock, byte-identical across thread pools.
+        let svc = std::sync::Arc::new(build_service(args)?);
+        let res = run_deterministic(&svc, &cfg);
+        let mut hist = LatencyHistogram::new();
+        hist.record_all(res.samples.iter().copied());
+        let (p50, p90, p99) = hist.percentiles();
+        let _ = writeln!(
+            out,
+            "submitted {} ok {} busy {} errors {} over {} ticks",
+            res.submitted, res.ok, res.busy, res.errors, res.ticks
+        );
+        let _ = writeln!(
+            out,
+            "latency ticks: p50 {p50} p90 {p90} p99 {p99} max {} mean {:.2}",
+            hist.max(),
+            hist.mean()
+        );
+        for (kind, count) in &res.by_kind {
+            let _ = writeln!(out, "  {kind}: {count}");
+        }
+        if !args.has("quiet") {
+            out.push_str(&res.transcript);
+        }
+    }
+    Ok(out)
+}
+
 /// Dispatch a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_deref() {
         Some("generate") => cmd_generate(args),
         Some("exp") => cmd_exp(args),
+        Some("serve") => cmd_serve(args),
+        Some("load") => cmd_load(args),
         Some("inspect") => {
             let inst = load_or_generate(args)?;
             Ok(describe_instance(&inst))

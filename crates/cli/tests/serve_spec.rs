@@ -1,0 +1,131 @@
+//! Binary-level contract for `tmwia serve` / `tmwia load` flag
+//! parsing: bad ports, zero batch sizes, and malformed client mixes
+//! must exit 1 with a clear message (never a panic, never a silent
+//! default); well-formed invocations must run.
+
+use std::process::{Command, Output};
+
+fn run_tmwia(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tmwia"))
+        .args(args)
+        .output()
+        .expect("spawn tmwia")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn non_numeric_port_is_rejected() {
+    let out = run_tmwia(&["serve", "--n", "16", "--port", "notaport"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--port") && err.contains("cannot parse 'notaport'"),
+        "unhelpful error: {err}"
+    );
+}
+
+#[test]
+fn out_of_range_port_is_rejected() {
+    // 99999 overflows u16, so the numeric parse itself must fail.
+    let out = run_tmwia(&["serve", "--n", "16", "--port", "99999"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--port") && err.contains("cannot parse '99999'"),
+        "unhelpful error: {err}"
+    );
+}
+
+#[test]
+fn zero_batch_size_is_rejected() {
+    let out = run_tmwia(&["serve", "--n", "16", "--port", "0", "--batch", "0"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("batch size must be at least 1"),
+        "unhelpful error: {err}"
+    );
+    // Same validation on the load side (it builds a service too).
+    let out = run_tmwia(&["load", "--n", "16", "--batch", "0"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("batch size must be at least 1"));
+}
+
+#[test]
+fn malformed_client_mix_is_rejected() {
+    // Missing '=' separator.
+    let out = run_tmwia(&["load", "--n", "16", "--mix", "probe0.6"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("not kind=weight"),
+        "unhelpful error: {}",
+        stderr_of(&out)
+    );
+    // Unknown request kind.
+    let out = run_tmwia(&["load", "--n", "16", "--mix", "frobnicate=1.0"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("unknown request kind 'frobnicate'") && err.contains("probe|post|read"),
+        "unhelpful error: {err}"
+    );
+    // Out-of-range weight.
+    let out = run_tmwia(&["load", "--n", "16", "--mix", "probe=7"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("outside [0, 1]"));
+}
+
+#[test]
+fn serve_with_tick_bound_runs_and_shuts_down_cleanly() {
+    let out = run_tmwia(&[
+        "serve",
+        "--n",
+        "16",
+        "--m",
+        "16",
+        "--port",
+        "0",
+        "--max-ticks",
+        "3",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let text = stdout_of(&out);
+    assert!(
+        text.contains("listening on 127.0.0.1:"),
+        "missing address line: {text}"
+    );
+    assert!(text.contains("clean shutdown"), "unclean: {text}");
+}
+
+#[test]
+fn in_process_load_reports_percentiles_without_wall_clock() {
+    let out = run_tmwia(&[
+        "load",
+        "--n",
+        "32",
+        "--m",
+        "32",
+        "--sessions",
+        "3",
+        "--requests",
+        "5",
+        "--seed",
+        "9",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let text = stdout_of(&out);
+    assert!(text.contains("p50"), "missing percentiles: {text}");
+    assert!(text.contains("latency ticks:"), "wrong unit: {text}");
+    assert!(
+        !text.contains("throughput"),
+        "deterministic mode must not print wall-clock numbers: {text}"
+    );
+    assert!(text.contains("errors 0"), "load errored: {text}");
+}

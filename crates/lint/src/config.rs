@@ -61,6 +61,7 @@ impl Config {
                     "crates/baselines/src".into(),
                     "crates/billboard/src".into(),
                     "crates/sim/src".into(),
+                    "crates/service/src".into(),
                     "crates/cli/src".into(),
                     "crates/lint/src".into(),
                     "src".into(),
@@ -82,6 +83,7 @@ impl Config {
                     "crates/baselines/src".into(),
                     "crates/billboard/src".into(),
                     "crates/sim/src".into(),
+                    "crates/service/src".into(),
                     "crates/lint/src".into(),
                     "src".into(),
                 ],

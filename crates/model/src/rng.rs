@@ -59,6 +59,12 @@ pub mod tags {
     pub const FAULT_CRASH: u64 = 0x4654_4352;
     /// Fault injection: per-(player, object) probe-answer flips.
     pub const FAULT_FLIP: u64 = 0x4654_464C;
+    /// Serving layer: in-tick execution order of batched requests.
+    pub const SERVICE_TICK: u64 = 0x5356_544B;
+    /// Serving layer: per-client request stream of the load generator.
+    pub const SERVICE_LOAD: u64 = 0x5356_4C44;
+    /// Serving layer: per-(client, round) churn draws (E18).
+    pub const SERVICE_CHURN: u64 = 0x5356_4348;
 }
 
 #[cfg(test)]

@@ -1,0 +1,51 @@
+//! # tmwia-service — the online billboard serving layer
+//!
+//! The paper's model is an offline, synchronous game: `n` players are
+//! fixed up front and rounds advance in lockstep. This crate puts that
+//! machinery behind a request/response service so players can **arrive,
+//! probe, post, read, and depart online** while the billboard keeps
+//! running:
+//!
+//! * [`registry`] — session bookkeeping: dynamic player-slot
+//!   allocation (slots are never reused), per-session cost ledgers,
+//!   churn expressed through the fault layer's [`LivenessEpoch`]
+//!   sealed at tick barriers.
+//! * [`service`] — the core: a bounded request queue drained in
+//!   deterministic **batch ticks** (serial control pass, seeded
+//!   player-grouped parallel data pass via `par_map_phased`, snapshot
+//!   seal, arrival-order delivery). Byte-reproducible under any
+//!   thread count.
+//! * [`snapshot`] — copy-on-write versioned board views: reads are
+//!   served lock-free from the latest sealed epoch and never block
+//!   writers.
+//! * [`wire`] — the length-prefixed binary frame codec shared by both
+//!   transports; typed decode errors, no panics on hostile bytes.
+//! * [`transport`] / [`tcp`] — one [`Transport`] trait, two backends:
+//!   an in-process channel pair (deterministic tests) and a std-only
+//!   TCP stream (real sockets, zero external deps). Queues are
+//!   bounded; overload answers [`Response::Busy`] with a retry hint.
+//! * [`load`] — a closed-loop, seeded load generator with a
+//!   deterministic in-process driver and a wall-clock TCP driver.
+//!
+//! [`LivenessEpoch`]: tmwia_billboard::LivenessEpoch
+
+#![forbid(unsafe_code)]
+
+pub mod load;
+pub mod registry;
+pub mod service;
+pub mod snapshot;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use load::{run_deterministic, run_tcp, ClientMix, LoadConfig, LoadOutcome, RequestKind};
+pub use registry::{LeaveReceipt, SessionRegistry, SessionState};
+pub use service::{ReplySender, Service, ServiceConfig, ServiceError, TickReport};
+pub use snapshot::{BoardSnapshot, SnapshotCell};
+pub use tcp::{serve, ServeOptions, ServeSummary, TcpServer, TcpTransport};
+pub use transport::{InProcTransport, Transport, TransportError};
+pub use wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, ErrorCode,
+    Request, Response, SessionId, WireError,
+};

@@ -1,0 +1,572 @@
+//! The closed-loop load generator.
+//!
+//! Two drivers over the same seeded client model:
+//!
+//! * [`run_deterministic`] — in-process transports, caller-driven
+//!   ticks, latencies measured in **ticks**. Single-threaded driver +
+//!   deterministic service ⇒ the whole outcome (transcript included)
+//!   is byte-identical under any rayon pool size.
+//! * [`run_tcp`] — one thread per session against a live TCP server,
+//!   latencies measured in **microseconds** of wall clock. Throughput
+//!   numbers come from here; they are *not* deterministic and the CLI
+//!   never prints them in the in-process mode.
+//!
+//! Client `c`'s request stream is a pure function of `(seed, c)`:
+//! request kinds come from `derive(seed, SERVICE_LOAD, (c << 32) | i)`
+//! against the client mix, probe targets walk `(offset_c + probes) % m`
+//! sequentially, and posts replay a previously probed grade. Both
+//! drivers consume the identical stream (the TCP driver is told `m`
+//! via [`LoadConfig::objects`], since it cannot inspect the server).
+
+use crate::service::Service;
+use crate::tcp::TcpTransport;
+use crate::transport::{InProcTransport, Transport, TransportError};
+use crate::wire::{Request, Response};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tmwia_model::rng::{derive, tags};
+
+/// The four client-visible request kinds the generator mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Pay-and-reveal a coordinate (shared to the billboard).
+    Probe,
+    /// Re-post a previously revealed grade.
+    Post,
+    /// Snapshot tally of one object.
+    Read,
+    /// Snapshot top-k recommendation.
+    Recommend,
+}
+
+impl RequestKind {
+    /// Stable display / bucketing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Probe => "probe",
+            RequestKind::Post => "post",
+            RequestKind::Read => "read",
+            RequestKind::Recommend => "recommend",
+        }
+    }
+}
+
+/// A request-kind distribution in per-mille weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientMix {
+    weights: [u32; 4], // probe, post, read, recommend — per mille
+}
+
+impl ClientMix {
+    /// The CLI default: 60% probe, 20% post, 10% read, 10% recommend.
+    pub fn default_mix() -> Self {
+        ClientMix {
+            weights: [600, 200, 100, 100],
+        }
+    }
+
+    /// Parse `"probe=0.6,post=0.2,read=0.1,recommend=0.1"`. Unlisted
+    /// kinds get weight zero; weights are fractions in `[0, 1]`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut weights = [0u32; 4];
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let Some((kind, weight)) = item.split_once('=') else {
+                return Err(format!("client-mix item '{item}' is not kind=weight"));
+            };
+            let slot = match kind.trim() {
+                "probe" => 0,
+                "post" => 1,
+                "read" => 2,
+                "recommend" => 3,
+                other => {
+                    return Err(format!(
+                        "unknown request kind '{other}' (probe|post|read|recommend)"
+                    ));
+                }
+            };
+            let w: f64 = weight
+                .trim()
+                .parse()
+                .map_err(|_| format!("client-mix weight '{}' is not a number", weight.trim()))?;
+            if !(0.0..=1.0).contains(&w) {
+                return Err(format!("client-mix weight '{w}' is outside [0, 1]"));
+            }
+            weights[slot] = (w * 1000.0).round() as u32;
+        }
+        if weights.iter().sum::<u32>() == 0 {
+            return Err("client mix has zero total weight".into());
+        }
+        Ok(ClientMix { weights })
+    }
+
+    /// Map a uniform draw to a kind by weighted walk.
+    pub fn pick(&self, r: u64) -> RequestKind {
+        let total = u64::from(self.weights.iter().sum::<u32>());
+        let mut x = r % total;
+        for (slot, &w) in self.weights.iter().enumerate() {
+            let w = u64::from(w);
+            if x < w {
+                return match slot {
+                    0 => RequestKind::Probe,
+                    1 => RequestKind::Post,
+                    2 => RequestKind::Read,
+                    _ => RequestKind::Recommend,
+                };
+            }
+            x -= w;
+        }
+        RequestKind::Recommend
+    }
+
+    /// Human-readable per-mille summary.
+    pub fn describe(&self) -> String {
+        format!(
+            "probe={}m post={}m read={}m recommend={}m",
+            self.weights[0], self.weights[1], self.weights[2], self.weights[3]
+        )
+    }
+}
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client sessions.
+    pub sessions: usize,
+    /// Requests per session (after the Join, before the Leave).
+    pub requests: usize,
+    /// Request-kind distribution.
+    pub mix: ClientMix,
+    /// Seed for every client stream.
+    pub seed: u64,
+    /// `count` carried by Recommend requests.
+    pub recommend_count: u16,
+    /// Object universe size the streams draw from. The deterministic
+    /// driver overrides this with the service's own `m`; the TCP driver
+    /// trusts it (pass the server's `--m`).
+    pub objects: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            sessions: 8,
+            requests: 32,
+            mix: ClientMix::default_mix(),
+            seed: 1,
+            recommend_count: 8,
+            objects: 64,
+        }
+    }
+}
+
+/// What a load run produced.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOutcome {
+    /// Requests submitted (Joins and Leaves included).
+    pub submitted: u64,
+    /// Requests answered with a success response.
+    pub ok: u64,
+    /// Requests answered `Busy` (backpressure; retried on TCP).
+    pub busy: u64,
+    /// Requests answered with a protocol error, plus driver failures.
+    pub errors: u64,
+    /// Per-request latency samples — ticks for the deterministic
+    /// driver, microseconds for the TCP driver.
+    pub samples: Vec<u64>,
+    /// Service ticks consumed (deterministic driver only; 0 for TCP).
+    pub ticks: u64,
+    /// Wall-clock duration of the run in µs (TCP driver only).
+    pub wall_micros: Option<u64>,
+    /// Submissions bucketed by request kind.
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Deterministic per-request trace (deterministic driver only) —
+    /// the byte-identity tests diff this string across thread pools.
+    pub transcript: String,
+}
+
+impl LoadOutcome {
+    fn count(&mut self, kind: &'static str) {
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+        self.submitted += 1;
+    }
+
+    fn absorb(&mut self, resp: &Response) {
+        match resp {
+            Response::Busy { .. } => self.busy += 1,
+            Response::Error { .. } | Response::ShuttingDown => self.errors += 1,
+            _ => self.ok += 1,
+        }
+    }
+
+    fn merge(&mut self, other: LoadOutcome) {
+        self.submitted += other.submitted;
+        self.ok += other.ok;
+        self.busy += other.busy;
+        self.errors += other.errors;
+        self.samples.extend(other.samples);
+        for (k, v) in other.by_kind {
+            *self.by_kind.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+/// Per-client seeded stream state, shared by both drivers.
+struct ClientScript {
+    c: u64,
+    offset: u64,
+    probes_done: u64,
+    /// Last revealed `(object, grade)` — the Post replay source.
+    last_grade: Option<(u32, bool)>,
+    counter: u64,
+}
+
+impl ClientScript {
+    fn new(seed: u64, c: u64, m: usize) -> Self {
+        ClientScript {
+            c,
+            offset: derive(seed, tags::SERVICE_LOAD, c ^ 0x4F66_6673) % m.max(1) as u64,
+            probes_done: 0,
+            last_grade: None,
+            counter: 0,
+        }
+    }
+
+    /// The next request in this client's stream.
+    fn next(
+        &mut self,
+        seed: u64,
+        mix: &ClientMix,
+        m: usize,
+        rec: u16,
+        session: u64,
+    ) -> (RequestKind, Request) {
+        let m = m.max(1) as u64;
+        let draw = derive(seed, tags::SERVICE_LOAD, (self.c << 32) | self.counter);
+        self.counter += 1;
+        let mut kind = mix.pick(draw);
+        if kind == RequestKind::Post && self.last_grade.is_none() {
+            kind = RequestKind::Probe; // nothing revealed yet to re-post
+        }
+        let req = match kind {
+            RequestKind::Probe => {
+                let object = ((self.offset + self.probes_done) % m) as u32;
+                self.probes_done += 1;
+                Request::Probe {
+                    session,
+                    object,
+                    share: true,
+                }
+            }
+            RequestKind::Post => {
+                let (object, grade) = self.last_grade.unwrap_or((0, false));
+                Request::Post {
+                    session,
+                    object,
+                    grade,
+                }
+            }
+            RequestKind::Read => {
+                let jump = derive(seed, tags::SERVICE_LOAD, (self.c << 40) | self.counter);
+                Request::Read {
+                    object: ((self.offset + jump % m) % m) as u32,
+                }
+            }
+            RequestKind::Recommend => Request::Recommend { count: rec },
+        };
+        (kind, req)
+    }
+
+    /// Remember revealed grades so Posts have something to replay.
+    fn observe(&mut self, resp: &Response) {
+        if let Response::Grade { object, value, .. } = resp {
+            self.last_grade = Some((*object, *value));
+        }
+    }
+}
+
+fn resp_brief(resp: &Response) -> String {
+    match resp {
+        Response::Joined { session, player } => format!("joined s={session} p={player}"),
+        Response::Left { probes, posts, .. } => format!("left probes={probes} posts={posts}"),
+        Response::Grade {
+            object,
+            value,
+            charged,
+            posted,
+        } => format!("grade obj={object} v={value} charged={charged} posted={posted}"),
+        Response::Posted { object, .. } => format!("posted obj={object}"),
+        Response::Board {
+            object,
+            likes,
+            dislikes,
+            ..
+        } => format!("board obj={object} +{likes} -{dislikes}"),
+        Response::Recommended { objects, .. } => format!("rec {objects:?}"),
+        Response::Stats { .. } => "stats".into(),
+        Response::Busy { retry_after_ticks } => format!("busy retry={retry_after_ticks}"),
+        Response::Error { code, detail } => format!("error {code:?}: {detail}"),
+        Response::ShuttingDown => "shutting-down".into(),
+    }
+}
+
+const PUMP_CAP: usize = 10_000;
+
+/// Tick until this client's next response lands (bounded).
+fn pump(svc: &Arc<Service>, t: &InProcTransport, out: &mut LoadOutcome) -> Option<(u64, Response)> {
+    for _ in 0..PUMP_CAP {
+        if let Some(pair) = t.try_recv() {
+            return Some(pair);
+        }
+        svc.tick();
+    }
+    out.errors += 1;
+    None
+}
+
+/// Drive the full client mix in-process with explicit ticks. The
+/// outcome — including the transcript — is byte-identical under any
+/// rayon pool size.
+pub fn run_deterministic(svc: &Arc<Service>, cfg: &LoadConfig) -> LoadOutcome {
+    let m = svc.m();
+    let mut out = LoadOutcome::default();
+    let mut transports: Vec<InProcTransport> = (0..cfg.sessions)
+        .map(|_| InProcTransport::connect(svc))
+        .collect();
+    let mut scripts: Vec<ClientScript> = (0..cfg.sessions)
+        .map(|c| ClientScript::new(cfg.seed, c as u64, m))
+        .collect();
+    let mut sessions: Vec<Option<u64>> = vec![None; cfg.sessions];
+
+    // Join round.
+    for (c, t) in transports.iter_mut().enumerate() {
+        let _ = t.send(c as u64, &Request::Join);
+        out.count("join");
+    }
+    svc.tick();
+    for (c, t) in transports.iter().enumerate() {
+        if let Some((_, resp)) = pump(svc, t, &mut out) {
+            if let Response::Joined { session, .. } = resp {
+                sessions[c] = Some(session);
+            }
+            out.absorb(&resp);
+            let _ = writeln!(out.transcript, "c{c} join -> {}", resp_brief(&resp));
+        }
+    }
+
+    // Request rounds: all clients send, one tick, then per-client pump.
+    for round in 0..cfg.requests {
+        let mut pending: Vec<Option<(u64, &'static str)>> = vec![None; cfg.sessions];
+        for c in 0..cfg.sessions {
+            let Some(session) = sessions[c] else { continue };
+            let (kind, req) = scripts[c].next(cfg.seed, &cfg.mix, m, cfg.recommend_count, session);
+            let id = ((c as u64) << 32) | (round as u64 + 1);
+            let submit_tick = svc.current_tick();
+            let _ = transports[c].send(id, &req);
+            out.count(kind.name());
+            pending[c] = Some((submit_tick, kind.name()));
+        }
+        svc.tick();
+        for c in 0..cfg.sessions {
+            let Some((submit_tick, kind)) = pending[c] else {
+                continue;
+            };
+            let Some((_, resp)) = pump(svc, &transports[c], &mut out) else {
+                continue;
+            };
+            scripts[c].observe(&resp);
+            out.absorb(&resp);
+            // Reads are answered pre-tick, so they can come out at the
+            // submit tick itself: latency 0.
+            out.samples
+                .push(svc.current_tick().saturating_sub(submit_tick));
+            let _ = writeln!(
+                out.transcript,
+                "c{c} r{round} {kind} -> {}",
+                resp_brief(&resp)
+            );
+        }
+    }
+
+    // Leave round.
+    for c in 0..cfg.sessions {
+        let Some(session) = sessions[c] else { continue };
+        let _ = transports[c].send(u64::MAX, &Request::Leave { session });
+        out.count("leave");
+    }
+    svc.tick();
+    for (c, t) in transports.iter().enumerate() {
+        if sessions[c].is_none() {
+            continue;
+        }
+        if let Some((_, resp)) = pump(svc, t, &mut out) {
+            out.absorb(&resp);
+            let _ = writeln!(out.transcript, "c{c} leave -> {}", resp_brief(&resp));
+        }
+    }
+
+    out.ticks = svc.current_tick();
+    out
+}
+
+/// Maximum Busy-retries per request before counting it as an error.
+const TCP_RETRY_CAP: usize = 100;
+
+/// Drive the same seeded client mix against a live TCP server, one
+/// thread per session. Latencies are wall-clock microseconds.
+pub fn run_tcp(addr: &str, cfg: &LoadConfig) -> Result<LoadOutcome, TransportError> {
+    // lint:allow(determinism) wall-clock timing is the point of the TCP driver; the deterministic driver never touches Instant
+    let started = std::time::Instant::now();
+    let mut handles = Vec::with_capacity(cfg.sessions);
+    for c in 0..cfg.sessions {
+        let addr = addr.to_string();
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            tcp_client(&addr, &cfg, c as u64)
+        }));
+    }
+    let mut out = LoadOutcome::default();
+    for h in handles {
+        match h.join() {
+            Ok(Ok(part)) => out.merge(part),
+            Ok(Err(_)) | Err(_) => out.errors += 1,
+        }
+    }
+    let wall = started.elapsed().as_micros();
+    out.wall_micros = Some(u64::try_from(wall).unwrap_or(u64::MAX));
+    Ok(out)
+}
+
+/// One closed-loop TCP client session.
+fn tcp_client(addr: &str, cfg: &LoadConfig, c: u64) -> Result<LoadOutcome, TransportError> {
+    let mut t = TcpTransport::connect(addr)?;
+    let mut out = LoadOutcome::default();
+    let mut script = ClientScript::new(cfg.seed, c, cfg.objects);
+
+    t.send(c, &Request::Join)?;
+    out.count("join");
+    let (_, joined) = t.recv()?;
+    out.absorb(&joined);
+    let Response::Joined { session, .. } = joined else {
+        return Ok(out); // capacity-rejected: report and stop cleanly
+    };
+
+    for round in 0..cfg.requests {
+        let (kind, req) = script.next(
+            cfg.seed,
+            &cfg.mix,
+            cfg.objects,
+            cfg.recommend_count,
+            session,
+        );
+        let id = (c << 32) | (round as u64 + 1);
+        // lint:allow(determinism) TCP latency measurement
+        let t0 = std::time::Instant::now();
+        let mut resp;
+        let mut attempts = 0usize;
+        loop {
+            t.send(id, &req)?;
+            let (_, r) = t.recv()?;
+            resp = r;
+            if let Response::Busy { retry_after_ticks } = resp {
+                attempts += 1;
+                if attempts > TCP_RETRY_CAP {
+                    break;
+                }
+                out.busy += 1;
+                std::thread::sleep(std::time::Duration::from_millis(
+                    u64::from(retry_after_ticks).max(1) * 2,
+                ));
+                continue;
+            }
+            break;
+        }
+        out.count(kind.name());
+        script.observe(&resp);
+        out.absorb(&resp);
+        let us = t0.elapsed().as_micros();
+        out.samples.push(u64::try_from(us).unwrap_or(u64::MAX));
+        if matches!(resp, Response::ShuttingDown) {
+            return Ok(out);
+        }
+    }
+
+    t.send(u64::MAX, &Request::Leave { session })?;
+    out.count("leave");
+    let (_, left) = t.recv()?;
+    out.absorb(&left);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use tmwia_model::generators::planted_community;
+
+    #[test]
+    fn mix_parse_round_trip_and_errors() {
+        let mix = ClientMix::parse("probe=0.5,post=0.5").unwrap();
+        assert_eq!(mix.describe(), "probe=500m post=500m read=0m recommend=0m");
+        assert!(ClientMix::parse("probe0.5")
+            .unwrap_err()
+            .contains("not kind=weight"));
+        assert!(ClientMix::parse("zap=0.5")
+            .unwrap_err()
+            .contains("unknown request kind"));
+        assert!(ClientMix::parse("probe=2.0")
+            .unwrap_err()
+            .contains("outside"));
+        assert!(ClientMix::parse("probe=x")
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(ClientMix::parse("probe=0.0")
+            .unwrap_err()
+            .contains("zero total"));
+    }
+
+    #[test]
+    fn mix_pick_respects_zero_weights() {
+        let mix = ClientMix::parse("read=1.0").unwrap();
+        for r in 0..100u64 {
+            assert_eq!(mix.pick(r), RequestKind::Read);
+        }
+    }
+
+    #[test]
+    fn deterministic_run_is_closed_loop() {
+        let inst = planted_community(16, 16, 8, 2, 3);
+        let svc = Arc::new(Service::new(inst.truth.clone(), ServiceConfig::default()).unwrap());
+        let cfg = LoadConfig {
+            sessions: 4,
+            requests: 8,
+            ..LoadConfig::default()
+        };
+        let out = run_deterministic(&svc, &cfg);
+        // 4 joins + 4×8 requests + 4 leaves.
+        assert_eq!(out.submitted, 4 + 32 + 4);
+        assert_eq!(out.ok + out.busy + out.errors, out.submitted);
+        assert_eq!(out.errors, 0, "{}", out.transcript);
+        assert_eq!(out.samples.len(), 32, "one latency sample per request");
+        assert_eq!(svc.sessions_live(), 0, "all sessions left");
+        assert!(out.transcript.contains("c0 join -> joined"));
+    }
+
+    #[test]
+    fn deterministic_run_reproduces_exactly() {
+        let run = || {
+            let inst = planted_community(16, 16, 8, 2, 3);
+            let svc = Arc::new(Service::new(inst.truth.clone(), ServiceConfig::default()).unwrap());
+            let cfg = LoadConfig {
+                sessions: 3,
+                ..LoadConfig::default()
+            };
+            run_deterministic(&svc, &cfg).transcript
+        };
+        assert_eq!(run(), run());
+    }
+}

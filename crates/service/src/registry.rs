@@ -1,0 +1,238 @@
+//! The session registry: online arrival and departure of players.
+//!
+//! The paper's model fixes the player set up front; the serving layer
+//! lets players arrive and leave while the billboard keeps running. A
+//! session binds a registry-minted [`SessionId`] to a **fresh** player
+//! slot. Two invariants make churn safe:
+//!
+//! 1. **Slots are never reused.** A departing player's probe memo and
+//!    cost counter stay attached to its slot; handing the slot to a new
+//!    arrival would leak the predecessor's revealed grades (free
+//!    re-probes of coordinates the newcomer never paid for) and corrupt
+//!    per-player cost accounting. Admission is therefore a *lifetime*
+//!    bound: once `capacity` slots have been minted, `Join` is rejected
+//!    with [`ErrorCode::Capacity`].
+//! 2. **Liveness is observed through sealed epochs.** The registry
+//!    reuses the fault layer's [`LivenessEpoch`] to describe which slots
+//!    are live: a slot not currently bound to an open session is "dead"
+//!    exactly like a crashed player. The epoch is captured at the tick
+//!    barrier (after control requests, before the snapshot seal), so
+//!    readers of a snapshot never observe a half-open session.
+//!
+//! Each open session carries a cost ledger (probes since join, posts,
+//! requests served) reported back on `Leave`.
+
+use crate::wire::{ErrorCode, SessionId};
+use std::collections::BTreeMap;
+use tmwia_billboard::{LivenessEpoch, PlayerId};
+
+/// Per-session ledger and binding.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// The player slot bound to this session.
+    pub player: PlayerId,
+    /// Tick at which the session was admitted.
+    pub joined_tick: u64,
+    /// Player-slot probe count at admission (always 0 today — slots are
+    /// fresh — kept explicit so the ledger stays correct if a future
+    /// layer pre-warms slots).
+    pub probes_at_join: u64,
+    /// Billboard posts contributed by this session.
+    pub posts: u64,
+    /// Queued requests executed for this session.
+    pub served: u64,
+}
+
+/// What a closing session takes home.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaveReceipt {
+    /// The slot the session was bound to.
+    pub player: PlayerId,
+    /// Probes charged while the session was open.
+    pub probes: u64,
+    /// Posts contributed.
+    pub posts: u64,
+    /// Ticks the session was open.
+    pub ticks: u64,
+}
+
+/// Online session bookkeeping. Not internally synchronized — the
+/// service wraps it in a mutex and only touches it in the serial
+/// control pass of a tick, which is what makes its decisions (slot
+/// assignment order, admission) independent of thread scheduling.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    capacity: usize,
+    next_player: PlayerId,
+    next_session: SessionId,
+    open: BTreeMap<SessionId, SessionState>,
+    retired: u64,
+}
+
+impl SessionRegistry {
+    /// Registry over `capacity` player slots (the engine's `n`).
+    pub fn new(capacity: usize) -> Self {
+        SessionRegistry {
+            capacity,
+            next_player: 0,
+            next_session: 1,
+            open: BTreeMap::new(),
+            retired: 0,
+        }
+    }
+
+    /// Admit a session: bind the lowest unminted slot. Rejects with
+    /// [`ErrorCode::Capacity`] once all slots have been minted.
+    pub fn join(&mut self, tick: u64) -> Result<(SessionId, PlayerId), ErrorCode> {
+        if self.next_player >= self.capacity {
+            return Err(ErrorCode::Capacity);
+        }
+        let player = self.next_player;
+        self.next_player += 1;
+        let session = self.next_session;
+        self.next_session += 1;
+        self.open.insert(
+            session,
+            SessionState {
+                player,
+                joined_tick: tick,
+                probes_at_join: 0,
+                posts: 0,
+                served: 0,
+            },
+        );
+        Ok((session, player))
+    }
+
+    /// Close a session, reporting its cost. `probes_now` is the bound
+    /// slot's current probe counter.
+    pub fn leave(
+        &mut self,
+        session: SessionId,
+        tick: u64,
+        probes_now: u64,
+    ) -> Result<LeaveReceipt, ErrorCode> {
+        let Some(st) = self.open.remove(&session) else {
+            return Err(ErrorCode::UnknownSession);
+        };
+        self.retired += 1;
+        Ok(LeaveReceipt {
+            player: st.player,
+            probes: probes_now.saturating_sub(st.probes_at_join),
+            posts: st.posts,
+            ticks: tick.saturating_sub(st.joined_tick),
+        })
+    }
+
+    /// The player slot bound to an open session.
+    pub fn player_of(&self, session: SessionId) -> Option<PlayerId> {
+        self.open.get(&session).map(|st| st.player)
+    }
+
+    /// Mutable ledger access for an open session.
+    pub fn state_mut(&mut self, session: SessionId) -> Option<&mut SessionState> {
+        self.open.get_mut(&session)
+    }
+
+    /// Open sessions right now.
+    pub fn live_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Player slots minted so far (open + retired).
+    pub fn slots_minted(&self) -> usize {
+        self.next_player
+    }
+
+    /// Sessions that have departed.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Total player slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Seal the current liveness as a fault-layer epoch: a slot is live
+    /// iff it is bound to an open session. `paid` is the per-slot probe
+    /// counter vector captured at the same barrier.
+    pub fn liveness(&self, paid: Vec<u64>) -> LivenessEpoch {
+        let mut dead = vec![true; self.capacity];
+        for st in self.open.values() {
+            dead[st.player] = false;
+        }
+        LivenessEpoch::from_parts(dead, paid, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_assigns_fresh_slots_in_order() {
+        let mut reg = SessionRegistry::new(3);
+        let (s1, p1) = reg.join(0).unwrap();
+        let (s2, p2) = reg.join(1).unwrap();
+        assert_eq!((p1, p2), (0, 1));
+        assert_ne!(s1, s2);
+        assert_eq!(reg.live_count(), 2);
+        assert_eq!(reg.slots_minted(), 2);
+    }
+
+    #[test]
+    fn slots_are_never_reused_after_leave() {
+        let mut reg = SessionRegistry::new(2);
+        let (s1, p1) = reg.join(0).unwrap();
+        let receipt = reg.leave(s1, 5, 9).unwrap();
+        assert_eq!(receipt.player, p1);
+        assert_eq!(receipt.probes, 9);
+        assert_eq!(receipt.ticks, 5);
+        // The freed slot is NOT handed out again.
+        let (_, p2) = reg.join(6).unwrap();
+        assert_ne!(p2, p1);
+        // Capacity is a lifetime bound: both slots minted, so reject.
+        assert_eq!(reg.join(7), Err(ErrorCode::Capacity));
+        assert_eq!(reg.retired(), 1);
+    }
+
+    #[test]
+    fn unknown_sessions_are_rejected() {
+        let mut reg = SessionRegistry::new(1);
+        assert_eq!(reg.leave(42, 0, 0), Err(ErrorCode::UnknownSession));
+        assert_eq!(reg.player_of(42), None);
+        let (s, _) = reg.join(0).unwrap();
+        reg.leave(s, 1, 0).unwrap();
+        // Double-leave is unknown, not a panic.
+        assert_eq!(reg.leave(s, 2, 0), Err(ErrorCode::UnknownSession));
+    }
+
+    #[test]
+    fn liveness_epoch_marks_unbound_slots_dead() {
+        let mut reg = SessionRegistry::new(4);
+        let (s1, p1) = reg.join(0).unwrap();
+        let (_s2, p2) = reg.join(0).unwrap();
+        reg.leave(s1, 1, 3).unwrap();
+        let epoch = reg.liveness(vec![3, 1, 0, 0]);
+        assert!(epoch.is_dead(p1), "departed slot is dead");
+        assert!(epoch.is_live(p2), "open session is live");
+        assert!(epoch.is_dead(2), "never-minted slot is dead");
+        assert!(epoch.is_dead(3));
+        assert_eq!(epoch.paid(p1), 3, "cost survives departure");
+        assert_eq!(epoch.live_players(&[0, 1, 2, 3]), vec![p2]);
+    }
+
+    #[test]
+    fn ledger_accumulates_posts_and_served() {
+        let mut reg = SessionRegistry::new(1);
+        let (s, _) = reg.join(0).unwrap();
+        {
+            let st = reg.state_mut(s).unwrap();
+            st.posts += 2;
+            st.served += 3;
+        }
+        let receipt = reg.leave(s, 10, 7).unwrap();
+        assert_eq!(receipt.posts, 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! Copy-on-write versioned billboard snapshots.
+//!
+//! Reads (`Read`, `Recommend`) are served from the **latest sealed
+//! snapshot** — an immutable value built once per tick, after the
+//! tick's posts have landed and its epoch has been stamped. Readers
+//! never take the billboard's write lock and writers never wait for
+//! readers: the only shared state is one [`SnapshotCell`], a pointer
+//! swap under a lock held for nanoseconds on either side.
+//!
+//! Consistency model: a snapshot is a prefix of billboard history at a
+//! tick barrier. A read served at epoch `e` sees *every* post sealed at
+//! or before `e` and *none* after — never a torn mid-tick state. This
+//! is the serving-layer analogue of the round-driven runtimes' "posts
+//! become visible at the next round boundary".
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tmwia_billboard::{Billboard, LivenessEpoch, PlayerId};
+
+/// One sealed, immutable view of the billboard.
+#[derive(Debug, Clone)]
+pub struct BoardSnapshot {
+    /// Billboard epoch at the seal.
+    pub epoch: u64,
+    /// Tick that sealed the snapshot.
+    pub tick: u64,
+    /// Every object with visible posts, each sorted by `(player,
+    /// grade)` — deterministic regardless of post arrival order.
+    pub posts: BTreeMap<u32, Vec<(PlayerId, bool)>>,
+    /// Objects ranked by net likes (descending), object id ascending on
+    /// ties — the recommendation order.
+    pub ranked: Vec<u32>,
+    /// Player-slot liveness sealed at the same barrier (registry churn
+    /// expressed in fault-layer epochs).
+    pub liveness: LivenessEpoch,
+    /// Open sessions at the seal.
+    pub live: u32,
+}
+
+impl BoardSnapshot {
+    /// The pre-first-tick snapshot: empty board, epoch 0. Liveness is
+    /// the constant all-live epoch — with no posts there is nothing a
+    /// reader could mis-attribute.
+    pub fn empty() -> Self {
+        BoardSnapshot {
+            epoch: 0,
+            tick: 0,
+            posts: BTreeMap::new(),
+            ranked: Vec::new(),
+            liveness: LivenessEpoch::all_live(),
+            live: 0,
+        }
+    }
+
+    /// Seal the billboard's current visible state. Called by the tick
+    /// pipeline at the barrier after posts land and the epoch advances;
+    /// the board is quiescent there, so the copy is consistent.
+    pub fn build(
+        board: &Billboard<u32, bool>,
+        liveness: LivenessEpoch,
+        live: u32,
+        epoch: u64,
+        tick: u64,
+    ) -> Self {
+        let posts: BTreeMap<u32, Vec<(PlayerId, bool)>> =
+            board.visible_posts().into_iter().collect();
+        let mut scored: Vec<(i64, u32)> = posts
+            .iter()
+            .map(|(&j, entries)| {
+                let likes = entries.iter().filter(|&&(_, v)| v).count() as i64;
+                let net = 2 * likes - entries.len() as i64;
+                (net, j)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let ranked = scored.into_iter().map(|(_, j)| j).collect();
+        BoardSnapshot {
+            epoch,
+            tick,
+            posts,
+            ranked,
+            liveness,
+            live,
+        }
+    }
+
+    /// `(likes, dislikes)` for one object; `(0, 0)` if never posted.
+    pub fn tally(&self, object: u32) -> (u32, u32) {
+        self.posts.get(&object).map_or((0, 0), |entries| {
+            let likes = entries.iter().filter(|&&(_, v)| v).count() as u32;
+            (likes, entries.len() as u32 - likes)
+        })
+    }
+
+    /// Majority grade for one object: `None` on a tie or no posts.
+    pub fn majority(&self, object: u32) -> Option<bool> {
+        let (likes, dislikes) = self.tally(object);
+        match likes.cmp(&dislikes) {
+            std::cmp::Ordering::Greater => Some(true),
+            std::cmp::Ordering::Less => Some(false),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// The top `count` objects by net likes.
+    pub fn recommend(&self, count: usize) -> Vec<u32> {
+        self.ranked.iter().take(count).copied().collect()
+    }
+
+    /// Deterministic textual rendering: the byte-identity tests compare
+    /// this across thread pools.
+    pub fn digest(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "snapshot epoch={} tick={} live={} objects={}",
+            self.epoch,
+            self.tick,
+            self.live,
+            self.posts.len()
+        );
+        for (&j, entries) in &self.posts {
+            let (likes, dislikes) = self.tally(j);
+            let _ = writeln!(s, "  obj {j}: +{likes} -{dislikes} posts={}", entries.len());
+        }
+        let _ = writeln!(s, "  ranked: {:?}", self.ranked);
+        s
+    }
+}
+
+/// The single shared cell the read path goes through: a swap-on-seal
+/// `Arc` holder. Readers clone the `Arc` (a refcount bump under a read
+/// lock); the sealer builds the next snapshot entirely off to the side
+/// and swaps the pointer, so reads never block a tick and a tick never
+/// blocks reads.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    inner: RwLock<Arc<BoardSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Cell holding an initial snapshot.
+    pub fn new(initial: BoardSnapshot) -> Self {
+        SnapshotCell {
+            inner: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The latest sealed snapshot.
+    pub fn load(&self) -> Arc<BoardSnapshot> {
+        self.inner.read().clone()
+    }
+
+    /// Publish a newly sealed snapshot.
+    pub fn store(&self, snapshot: BoardSnapshot) {
+        *self.inner.write() = Arc::new(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn board_with(posts: &[(u32, PlayerId, bool)]) -> Billboard<u32, bool> {
+        let b = Billboard::new();
+        for &(j, p, v) in posts {
+            b.post(j, p, v);
+        }
+        b
+    }
+
+    #[test]
+    fn build_sorts_and_ranks() {
+        let b = board_with(&[
+            (2, 1, true),
+            (2, 0, true),
+            (5, 0, false),
+            (5, 1, false),
+            (3, 2, true),
+            (3, 1, false),
+        ]);
+        let snap = BoardSnapshot::build(&b, LivenessEpoch::all_live(), 3, 1, 1);
+        assert_eq!(snap.tally(2), (2, 0));
+        assert_eq!(snap.tally(5), (0, 2));
+        assert_eq!(snap.tally(3), (1, 1));
+        assert_eq!(snap.tally(99), (0, 0));
+        // net: obj2 = +2, obj3 = 0, obj5 = −2.
+        assert_eq!(snap.ranked, vec![2, 3, 5]);
+        assert_eq!(snap.recommend(2), vec![2, 3]);
+        assert_eq!(snap.majority(2), Some(true));
+        assert_eq!(snap.majority(5), Some(false));
+        assert_eq!(snap.majority(3), None, "tie has no majority");
+        // Posts are (player, grade)-sorted regardless of arrival order.
+        assert_eq!(snap.posts[&2], vec![(0, true), (1, true)]);
+    }
+
+    #[test]
+    fn rank_ties_break_by_object_id() {
+        let b = board_with(&[(9, 0, true), (4, 1, true)]);
+        let snap = BoardSnapshot::build(&b, LivenessEpoch::all_live(), 2, 1, 1);
+        assert_eq!(snap.ranked, vec![4, 9]);
+    }
+
+    #[test]
+    fn snapshots_are_immune_to_later_posts() {
+        let b = board_with(&[(1, 0, true)]);
+        let snap = BoardSnapshot::build(&b, LivenessEpoch::all_live(), 1, 1, 1);
+        b.post(1, 1, false);
+        b.post(7, 2, true);
+        assert_eq!(snap.tally(1), (1, 0), "sealed view must not move");
+        assert_eq!(snap.tally(7), (0, 0));
+    }
+
+    #[test]
+    fn cell_swaps_atomically() {
+        let cell = SnapshotCell::new(BoardSnapshot::empty());
+        let before = cell.load();
+        assert_eq!(before.epoch, 0);
+        let b = board_with(&[(0, 0, true)]);
+        cell.store(BoardSnapshot::build(&b, LivenessEpoch::all_live(), 1, 5, 2));
+        assert_eq!(cell.load().epoch, 5);
+        // The old Arc is still valid for readers that grabbed it.
+        assert_eq!(before.epoch, 0);
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let b = board_with(&[(1, 1, true), (1, 0, false)]);
+        let s1 = BoardSnapshot::build(&b, LivenessEpoch::all_live(), 1, 1, 1).digest();
+        let s2 = BoardSnapshot::build(&b, LivenessEpoch::all_live(), 1, 1, 1).digest();
+        assert_eq!(s1, s2);
+        assert!(s1.contains("obj 1: +1 -1"), "{s1}");
+    }
+}

@@ -1,0 +1,241 @@
+//! The std-only TCP backend: a listener + ticker pair on the server
+//! side, a framed stream on the client side.
+//!
+//! No async runtime and no external I/O crates — just `std::net` with
+//! a non-blocking acceptor, one thread per connection, and the
+//! length-prefixed codec from [`crate::wire`]. The ticker thread paces
+//! batch ticks with `thread::sleep` (the vendored `parking_lot` shim
+//! has no condvar, and a fixed cadence is exactly what the batching
+//! design wants anyway).
+//!
+//! Connection lifecycle is churn-safe: when a client disconnects —
+//! cleanly or mid-request — the connection handler submits a `Leave`
+//! for every session the connection had opened and not closed, so
+//! abandoned sessions never pin slots as phantom "live" players.
+
+use crate::service::Service;
+use crate::transport::{Transport, TransportError};
+use crate::wire::{
+    decode_request, decode_response, encode_response, read_frame, ErrorCode, Request, Response,
+};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server pacing knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Sleep between batch ticks.
+    pub tick_interval: Duration,
+    /// Stop after this many ticks (`0` = run until a `Shutdown`
+    /// request arrives).
+    pub max_ticks: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            tick_interval: Duration::from_millis(1),
+            max_ticks: 0,
+        }
+    }
+}
+
+/// What a finished server reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Batch ticks executed.
+    pub ticks: u64,
+    /// Requests served (writes executed + snapshot reads).
+    pub served: u64,
+    /// Requests rejected with `Busy`.
+    pub rejected: u64,
+    /// Sessions ever admitted.
+    pub sessions: usize,
+    /// Both server threads joined without panicking.
+    pub clean: bool,
+}
+
+/// A running TCP server: ticker + acceptor threads over a shared
+/// [`Service`].
+pub struct TcpServer {
+    addr: std::net::SocketAddr,
+    ticker: JoinHandle<u64>,
+    acceptor: JoinHandle<()>,
+    svc: Arc<Service>,
+}
+
+impl TcpServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Block until shutdown completes, then summarize. Connection
+    /// threads are detached; they exit when their peer hangs up.
+    pub fn join(self) -> ServeSummary {
+        let mut clean = true;
+        let ticks = self.ticker.join().unwrap_or_else(|_| {
+            clean = false;
+            0
+        });
+        if self.acceptor.join().is_err() {
+            clean = false;
+        }
+        ServeSummary {
+            ticks,
+            served: self.svc.served_total(),
+            rejected: self.svc.rejected_total(),
+            sessions: self.svc.sessions_minted(),
+            clean,
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving.
+pub fn serve(
+    svc: Arc<Service>,
+    bind: &str,
+    opts: ServeOptions,
+) -> Result<TcpServer, TransportError> {
+    let listener = TcpListener::bind(bind).map_err(io_err)?;
+    let addr = listener.local_addr().map_err(io_err)?;
+    listener.set_nonblocking(true).map_err(io_err)?;
+
+    let ticker = {
+        let svc = Arc::clone(&svc);
+        let interval = opts.tick_interval;
+        let max_ticks = opts.max_ticks;
+        thread::spawn(move || {
+            let mut ticks = 0u64;
+            loop {
+                svc.tick();
+                ticks += 1;
+                if max_ticks > 0 && ticks >= max_ticks {
+                    svc.request_shutdown();
+                }
+                if svc.is_shutdown() && svc.queue_len() == 0 {
+                    break;
+                }
+                thread::sleep(interval);
+            }
+            ticks
+        })
+    };
+
+    let acceptor = {
+        let svc = Arc::clone(&svc);
+        thread::spawn(move || loop {
+            if svc.is_shutdown() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let svc = Arc::clone(&svc);
+                    thread::spawn(move || handle_conn(&svc, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => break,
+            }
+        })
+    };
+
+    Ok(TcpServer {
+        addr,
+        ticker,
+        acceptor,
+        svc,
+    })
+}
+
+/// One connection: lockstep request/response over the framed stream.
+fn handle_conn(svc: &Arc<Service>, mut stream: TcpStream) {
+    let (tx, rx) = channel();
+    let mut open: Vec<u64> = Vec::new();
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => break, // clean EOF between frames
+            Err(_) => break,   // torn frame or socket error
+        };
+        let (id, req) = match decode_request(&body) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // Malformed but complete frame: answer in-band, then
+                // drop the connection (framing can no longer be
+                // trusted).
+                let resp = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: format!("undecodable request: {e}"),
+                };
+                let _ = stream.write_all(&encode_response(0, &resp));
+                break;
+            }
+        };
+        let leaving = match req {
+            Request::Leave { session } => Some(session),
+            _ => None,
+        };
+        svc.submit(id, req, &tx);
+        let Ok((rid, resp)) = rx.recv() else { break };
+        match &resp {
+            Response::Joined { session, .. } => open.push(*session),
+            Response::Left { .. } => {
+                if let Some(s) = leaving {
+                    open.retain(|&x| x != s);
+                }
+            }
+            _ => {}
+        }
+        let shutting_down = matches!(resp, Response::ShuttingDown);
+        if stream.write_all(&encode_response(rid, &resp)).is_err() {
+            break;
+        }
+        if shutting_down {
+            break;
+        }
+    }
+    // Churn-safe teardown: close whatever the peer left open.
+    let (sink, _drain) = channel();
+    for session in open {
+        svc.submit(u64::MAX, Request::Leave { session }, &sink);
+    }
+}
+
+fn io_err(e: std::io::Error) -> TransportError {
+    TransportError::Wire(crate::wire::WireError::Io(e.to_string()))
+}
+
+/// The TCP client backend: a framed stream speaking the wire codec.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connect to a serving address (e.g. `"127.0.0.1:4206"`).
+    pub fn connect(addr: &str) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, id: u64, req: &Request) -> Result<(), TransportError> {
+        self.stream
+            .write_all(&crate::wire::encode_request(id, req))
+            .map_err(io_err)
+    }
+
+    fn recv(&mut self) -> Result<(u64, Response), TransportError> {
+        match read_frame(&mut self.stream)? {
+            Some(body) => Ok(decode_response(&body)?),
+            None => Err(TransportError::Closed),
+        }
+    }
+}

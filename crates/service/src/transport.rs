@@ -1,0 +1,121 @@
+//! The transport abstraction: one trait, two backends.
+//!
+//! * [`InProcTransport`] — an in-process channel pair straight into
+//!   [`Service::submit`]. No serialization, no sockets, no threads:
+//!   the caller drives ticks explicitly, which is what makes the
+//!   deterministic test suite and the in-process load generator
+//!   byte-reproducible under any thread count.
+//! * [`crate::tcp::TcpTransport`] — the same trait over a TCP stream
+//!   with the length-prefixed binary frame codec from [`crate::wire`].
+//!
+//! Both backends speak the same `(id, Request) → (id, Response)`
+//! protocol, so client code (the load generator, the CLI) is written
+//! once against the trait.
+
+use crate::service::Service;
+use crate::wire::{Request, Response, WireError};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// Transport-level failures (distinct from protocol-level
+/// [`Response::Error`], which travels in-band).
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer is gone: socket closed, channel disconnected.
+    Closed,
+    /// A frame failed to encode, decode, or cross the wire.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "transport closed"),
+            TransportError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+/// A bidirectional request/response pipe to a service. Responses carry
+/// the id of the request they answer; reads can overtake queued writes,
+/// so ids are how a pipelining client re-associates them.
+pub trait Transport {
+    /// Submit one request under an id.
+    fn send(&mut self, id: u64, req: &Request) -> Result<(), TransportError>;
+    /// Block until the next response arrives.
+    fn recv(&mut self) -> Result<(u64, Response), TransportError>;
+}
+
+/// The in-process backend: submits directly into a shared [`Service`].
+///
+/// `recv` blocks on the channel — with no server thread, a response to
+/// a queued write only materializes when someone calls
+/// [`Service::tick`]. Deterministic drivers interleave
+/// `send → tick → recv` (or use [`InProcTransport::try_recv`]) and
+/// never block.
+pub struct InProcTransport {
+    svc: Arc<Service>,
+    tx: Sender<(u64, Response)>,
+    rx: Receiver<(u64, Response)>,
+}
+
+impl InProcTransport {
+    /// Open a fresh channel pair onto the service.
+    pub fn connect(svc: &Arc<Service>) -> Self {
+        let (tx, rx) = channel();
+        InProcTransport {
+            svc: Arc::clone(svc),
+            tx,
+            rx,
+        }
+    }
+
+    /// Non-blocking receive: `None` when no response is ready yet.
+    pub fn try_recv(&self) -> Option<(u64, Response)> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&mut self, id: u64, req: &Request) -> Result<(), TransportError> {
+        self.svc.submit(id, req.clone(), &self.tx);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<(u64, Response), TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use tmwia_model::generators::planted_community;
+
+    #[test]
+    fn in_proc_round_trip() {
+        let inst = planted_community(8, 8, 4, 2, 7);
+        let svc = Arc::new(Service::new(inst.truth.clone(), ServiceConfig::default()).unwrap());
+        let mut t = InProcTransport::connect(&svc);
+        t.send(10, &Request::Join).unwrap();
+        assert!(t.try_recv().is_none(), "no response before the tick");
+        svc.tick();
+        let (id, resp) = t.recv().unwrap();
+        assert_eq!(id, 10);
+        assert!(matches!(resp, Response::Joined { .. }), "{resp:?}");
+        // Reads bypass the queue: response is immediate.
+        t.send(11, &Request::Read { object: 0 }).unwrap();
+        let (id, resp) = t.recv().unwrap();
+        assert_eq!(id, 11);
+        assert!(matches!(resp, Response::Board { .. }), "{resp:?}");
+    }
+}

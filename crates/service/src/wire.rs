@@ -1,0 +1,743 @@
+//! The serving layer's wire protocol: a length-prefixed binary frame
+//! codec with **no external dependencies** (shims policy — everything
+//! is hand-rolled little-endian fixed-width fields).
+//!
+//! Frame layout:
+//!
+//! ```text
+//! ┌────────────┬───────────────────────────────────────────┐
+//! │ len: u32 LE│ body (len bytes, at most MAX_FRAME)       │
+//! └────────────┴───────────────────────────────────────────┘
+//! body = request id: u64 LE │ tag: u8 │ tag-specific fields
+//! ```
+//!
+//! The request id is chosen by the client and echoed verbatim in the
+//! response: snapshot reads are answered out of band (they bypass the
+//! batch queue), so a pipelining client can observe a read response
+//! overtaking a queued write and must match on id, not order.
+//!
+//! Decoding is **total**: truncated, oversized, or corrupt input
+//! returns a typed [`WireError`], never a panic — pinned by the
+//! proptest suite in `tests/codec.rs`.
+
+use tmwia_model::matrix::ObjectId;
+
+/// Hard cap on a frame's body size. Nothing the protocol carries comes
+/// close (the largest variable field is a recommendation list); the cap
+/// exists so a corrupt or hostile length prefix cannot make the server
+/// allocate gigabytes.
+pub const MAX_FRAME: usize = 1 << 16;
+
+/// Opaque session handle minted by the registry (never 0).
+pub type SessionId = u64;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open a session: allocate a fresh player slot.
+    Join,
+    /// Close a session; the response reports its cost ledger.
+    Leave {
+        /// Session to close.
+        session: SessionId,
+    },
+    /// Probe one object (queued; executed at the next batch tick).
+    /// With `share` the revealed grade is posted to the billboard in
+    /// the same tick — the paper's "post the results of their probes".
+    Probe {
+        /// Probing session.
+        session: SessionId,
+        /// Object to probe.
+        object: u32,
+        /// Also post the revealed grade to the billboard.
+        share: bool,
+    },
+    /// Post a grade the session already knows (queued).
+    Post {
+        /// Posting session.
+        session: SessionId,
+        /// Graded object.
+        object: u32,
+        /// The grade.
+        grade: bool,
+    },
+    /// Read one object's tally from the latest sealed snapshot
+    /// (answered immediately; never queued, never blocks writers).
+    Read {
+        /// Object to read.
+        object: u32,
+    },
+    /// Top objects by net likes from the latest sealed snapshot
+    /// (immediate, like `Read`).
+    Recommend {
+        /// How many objects (capped by the server).
+        count: u16,
+    },
+    /// Service counters (immediate).
+    Stats,
+    /// Begin a clean shutdown: drain the queue, seal, stop ticking.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Session opened.
+    Joined {
+        /// The new session's handle.
+        session: SessionId,
+        /// Player slot bound to it (never reused after Leave).
+        player: u32,
+    },
+    /// Session closed; its cost ledger.
+    Left {
+        /// Probes charged to the session's player slot.
+        probes: u64,
+        /// Posts it contributed to the billboard.
+        posts: u64,
+        /// Ticks the session was open.
+        ticks: u64,
+    },
+    /// A probe executed.
+    Grade {
+        /// Probed object.
+        object: u32,
+        /// Revealed grade.
+        value: bool,
+        /// Whether a probe unit was charged (re-probes are free).
+        charged: bool,
+        /// Whether the grade was also posted to the billboard.
+        posted: bool,
+    },
+    /// A post landed.
+    Posted {
+        /// Graded object.
+        object: u32,
+        /// Billboard epoch the post was stamped with.
+        epoch: u64,
+    },
+    /// One object's tally from the sealed snapshot.
+    Board {
+        /// The object.
+        object: u32,
+        /// Epoch of the snapshot that served the read.
+        epoch: u64,
+        /// Visible `true` grades.
+        likes: u32,
+        /// Visible `false` grades.
+        dislikes: u32,
+    },
+    /// Ranked objects from the sealed snapshot.
+    Recommended {
+        /// Epoch of the snapshot that served the read.
+        epoch: u64,
+        /// Objects by net likes (descending), id ascending on ties.
+        objects: Vec<u32>,
+    },
+    /// Service counters.
+    Stats {
+        /// Latest sealed billboard epoch.
+        epoch: u64,
+        /// Ticks executed.
+        tick: u64,
+        /// Open sessions.
+        live: u32,
+        /// Requests served (queued writes executed + snapshot reads).
+        served: u64,
+        /// Requests rejected with `Busy`.
+        rejected: u64,
+        /// Total probes charged across all player slots.
+        probes: u64,
+    },
+    /// Backpressure: the batch queue is full; retry after the given
+    /// number of ticks. Nothing was enqueued.
+    Busy {
+        /// Suggested retry delay in ticks.
+        retry_after_ticks: u32,
+    },
+    /// Request-level failure.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The service is shutting down; writes are no longer accepted.
+    ShuttingDown,
+}
+
+/// Machine-readable request failure causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The session handle is unknown (never minted, or already left).
+    UnknownSession,
+    /// No free player slots (slots are never reused, so capacity is a
+    /// lifetime admission bound).
+    Capacity,
+    /// Object id out of range.
+    BadObject,
+    /// The request is malformed or not valid in this position.
+    BadRequest,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::UnknownSession => 1,
+            ErrorCode::Capacity => 2,
+            ErrorCode::BadObject => 3,
+            ErrorCode::BadRequest => 4,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            1 => Ok(ErrorCode::UnknownSession),
+            2 => Ok(ErrorCode::Capacity),
+            3 => Ok(ErrorCode::BadObject),
+            4 => Ok(ErrorCode::BadRequest),
+            other => Err(WireError::BadEnum {
+                what: "error code",
+                value: other,
+            }),
+        }
+    }
+}
+
+/// Typed decode/stream failures. Every malformed input maps to one of
+/// these; the codec never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before a field was complete.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that were left.
+        have: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge {
+        /// Claimed body length.
+        len: usize,
+    },
+    /// Unknown message tag byte.
+    UnknownTag(u8),
+    /// A one-byte enum field held an unassigned value.
+    BadEnum {
+        /// Which field.
+        what: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// Bytes remained after the message was fully decoded.
+    Trailing {
+        /// How many.
+        extra: usize,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Underlying stream error (TCP transport only).
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated frame: field needs {needed} bytes, {have} left"
+                )
+            }
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame body of {len} bytes exceeds cap {MAX_FRAME}")
+            }
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::BadEnum { what, value } => {
+                write!(f, "invalid {what} byte {value:#04x}")
+            }
+            WireError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after message")
+            }
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::Io(e) => write!(f, "stream error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------- put/take
+
+/// Byte-sink for encoding.
+struct Sink(Vec<u8>);
+
+impl Sink {
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn put_bool(&mut self, v: bool) {
+        self.0.push(u8::from(v));
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Checked cursor for decoding.
+struct Take<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Take<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let have = self.buf.len() - self.pos;
+        if have < n {
+            return Err(WireError::Truncated { needed: n, have });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::BadEnum {
+                what: "bool",
+                value: other,
+            }),
+        }
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn finish(self) -> Result<(), WireError> {
+        let extra = self.buf.len() - self.pos;
+        if extra == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Trailing { extra })
+        }
+    }
+}
+
+// ---------------------------------------------------------------- encode
+
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encode a request as a complete frame (length prefix included).
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut s = Sink(Vec::with_capacity(32));
+    s.put_u64(id);
+    match req {
+        Request::Join => s.put_u8(0x01),
+        Request::Leave { session } => {
+            s.put_u8(0x02);
+            s.put_u64(*session);
+        }
+        Request::Probe {
+            session,
+            object,
+            share,
+        } => {
+            s.put_u8(0x03);
+            s.put_u64(*session);
+            s.put_u32(*object);
+            s.put_bool(*share);
+        }
+        Request::Post {
+            session,
+            object,
+            grade,
+        } => {
+            s.put_u8(0x04);
+            s.put_u64(*session);
+            s.put_u32(*object);
+            s.put_bool(*grade);
+        }
+        Request::Read { object } => {
+            s.put_u8(0x05);
+            s.put_u32(*object);
+        }
+        Request::Recommend { count } => {
+            s.put_u8(0x06);
+            s.put_u16(*count);
+        }
+        Request::Stats => s.put_u8(0x07),
+        Request::Shutdown => s.put_u8(0x08),
+    }
+    frame(s.0)
+}
+
+/// Encode a response as a complete frame (length prefix included).
+pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+    let mut s = Sink(Vec::with_capacity(32));
+    s.put_u64(id);
+    match resp {
+        Response::Joined { session, player } => {
+            s.put_u8(0x81);
+            s.put_u64(*session);
+            s.put_u32(*player);
+        }
+        Response::Left {
+            probes,
+            posts,
+            ticks,
+        } => {
+            s.put_u8(0x82);
+            s.put_u64(*probes);
+            s.put_u64(*posts);
+            s.put_u64(*ticks);
+        }
+        Response::Grade {
+            object,
+            value,
+            charged,
+            posted,
+        } => {
+            s.put_u8(0x83);
+            s.put_u32(*object);
+            s.put_bool(*value);
+            s.put_bool(*charged);
+            s.put_bool(*posted);
+        }
+        Response::Posted { object, epoch } => {
+            s.put_u8(0x84);
+            s.put_u32(*object);
+            s.put_u64(*epoch);
+        }
+        Response::Board {
+            object,
+            epoch,
+            likes,
+            dislikes,
+        } => {
+            s.put_u8(0x85);
+            s.put_u32(*object);
+            s.put_u64(*epoch);
+            s.put_u32(*likes);
+            s.put_u32(*dislikes);
+        }
+        Response::Recommended { epoch, objects } => {
+            s.put_u8(0x86);
+            s.put_u64(*epoch);
+            // The server caps recommendation lists far below u16::MAX;
+            // saturate rather than wrap if a future caller does not.
+            let count = u16::try_from(objects.len()).unwrap_or(u16::MAX);
+            s.put_u16(count);
+            for &j in objects.iter().take(count as usize) {
+                s.put_u32(j);
+            }
+        }
+        Response::Stats {
+            epoch,
+            tick,
+            live,
+            served,
+            rejected,
+            probes,
+        } => {
+            s.put_u8(0x87);
+            s.put_u64(*epoch);
+            s.put_u64(*tick);
+            s.put_u32(*live);
+            s.put_u64(*served);
+            s.put_u64(*rejected);
+            s.put_u64(*probes);
+        }
+        Response::Busy { retry_after_ticks } => {
+            s.put_u8(0x88);
+            s.put_u32(*retry_after_ticks);
+        }
+        Response::Error { code, detail } => {
+            s.put_u8(0x89);
+            s.put_u8(code.to_u8());
+            let bytes = detail.as_bytes();
+            let len = u16::try_from(bytes.len()).unwrap_or(u16::MAX);
+            s.put_u16(len);
+            s.0.extend_from_slice(&bytes[..len as usize]);
+        }
+        Response::ShuttingDown => s.put_u8(0x8A),
+    }
+    frame(s.0)
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Decode a request from a frame *body* (length prefix already
+/// stripped, e.g. by [`read_frame`]). Returns the echoed request id and
+/// the message; rejects trailing bytes.
+pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
+    let mut t = Take { buf: body, pos: 0 };
+    let id = t.u64()?;
+    let tag = t.u8()?;
+    let req = match tag {
+        0x01 => Request::Join,
+        0x02 => Request::Leave { session: t.u64()? },
+        0x03 => Request::Probe {
+            session: t.u64()?,
+            object: t.u32()?,
+            share: t.bool()?,
+        },
+        0x04 => Request::Post {
+            session: t.u64()?,
+            object: t.u32()?,
+            grade: t.bool()?,
+        },
+        0x05 => Request::Read { object: t.u32()? },
+        0x06 => Request::Recommend { count: t.u16()? },
+        0x07 => Request::Stats,
+        0x08 => Request::Shutdown,
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    t.finish()?;
+    Ok((id, req))
+}
+
+/// Decode a response from a frame *body*. Mirror of [`decode_request`].
+pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
+    let mut t = Take { buf: body, pos: 0 };
+    let id = t.u64()?;
+    let tag = t.u8()?;
+    let resp = match tag {
+        0x81 => Response::Joined {
+            session: t.u64()?,
+            player: t.u32()?,
+        },
+        0x82 => Response::Left {
+            probes: t.u64()?,
+            posts: t.u64()?,
+            ticks: t.u64()?,
+        },
+        0x83 => Response::Grade {
+            object: t.u32()?,
+            value: t.bool()?,
+            charged: t.bool()?,
+            posted: t.bool()?,
+        },
+        0x84 => Response::Posted {
+            object: t.u32()?,
+            epoch: t.u64()?,
+        },
+        0x85 => Response::Board {
+            object: t.u32()?,
+            epoch: t.u64()?,
+            likes: t.u32()?,
+            dislikes: t.u32()?,
+        },
+        0x86 => {
+            let epoch = t.u64()?;
+            let count = t.u16()? as usize;
+            let mut objects = Vec::with_capacity(count.min(MAX_FRAME / 4));
+            for _ in 0..count {
+                objects.push(t.u32()?);
+            }
+            Response::Recommended { epoch, objects }
+        }
+        0x87 => Response::Stats {
+            epoch: t.u64()?,
+            tick: t.u64()?,
+            live: t.u32()?,
+            served: t.u64()?,
+            rejected: t.u64()?,
+            probes: t.u64()?,
+        },
+        0x88 => Response::Busy {
+            retry_after_ticks: t.u32()?,
+        },
+        0x89 => {
+            let code = ErrorCode::from_u8(t.u8()?)?;
+            let len = t.u16()? as usize;
+            let bytes = t.bytes(len)?;
+            let detail = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Response::Error { code, detail }
+        }
+        0x8A => Response::ShuttingDown,
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    t.finish()?;
+    Ok((id, resp))
+}
+
+// ---------------------------------------------------------------- streams
+
+/// Read one frame from a byte stream; returns the body with the length
+/// prefix stripped. `Ok(None)` signals a clean EOF *between* frames
+/// (the peer closed the connection); EOF mid-frame is an error.
+pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    let mut rest = [0u8; 3];
+    r.read_exact(&mut rest)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { len });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    Ok(Some(body))
+}
+
+/// Convenience bound check shared by request executors: is `object` a
+/// valid [`ObjectId`] for an instance with `m` objects?
+pub fn object_in_range(object: u32, m: usize) -> Option<ObjectId> {
+    let j = object as usize;
+    if j < m {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let cases = [
+            Request::Join,
+            Request::Leave { session: 7 },
+            Request::Probe {
+                session: 1,
+                object: 42,
+                share: true,
+            },
+            Request::Post {
+                session: 2,
+                object: 3,
+                grade: false,
+            },
+            Request::Read { object: 9 },
+            Request::Recommend { count: 5 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for (i, req) in cases.iter().enumerate() {
+            let f = encode_request(i as u64, req);
+            let (id, back) = decode_request(&f[4..]).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let cases = [
+            Response::Joined {
+                session: 1,
+                player: 0,
+            },
+            Response::Left {
+                probes: 10,
+                posts: 4,
+                ticks: 7,
+            },
+            Response::Recommended {
+                epoch: 3,
+                objects: vec![5, 1, 9],
+            },
+            Response::Error {
+                code: ErrorCode::UnknownSession,
+                detail: "session 9 was never minted".into(),
+            },
+            Response::Busy {
+                retry_after_ticks: 2,
+            },
+            Response::ShuttingDown,
+        ];
+        for resp in &cases {
+            let f = encode_response(99, resp);
+            let (id, back) = decode_response(&f[4..]).unwrap();
+            assert_eq!(id, 99);
+            assert_eq!(&back, resp);
+        }
+    }
+
+    #[test]
+    fn stream_round_trip_and_clean_eof() {
+        let mut bytes = encode_request(1, &Request::Stats);
+        bytes.extend_from_slice(&encode_request(2, &Request::Join));
+        let mut cur = std::io::Cursor::new(bytes);
+        let b1 = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(decode_request(&b1).unwrap().1, Request::Stats);
+        let b2 = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(decode_request(&b2).unwrap().1, Request::Join);
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected() {
+        let mut cur = std::io::Cursor::new(vec![0xFF, 0xFF, 0xFF, 0x00]);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_typed_errors() {
+        let f = encode_request(5, &Request::Leave { session: 77 });
+        let body = &f[4..];
+        for cut in 0..body.len() {
+            assert!(
+                matches!(
+                    decode_request(&body[..cut]),
+                    Err(WireError::Truncated { .. })
+                ),
+                "prefix of {cut} bytes must be Truncated"
+            );
+        }
+        let mut extended = body.to_vec();
+        extended.push(0);
+        assert_eq!(
+            decode_request(&extended),
+            Err(WireError::Trailing { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn object_range_check() {
+        assert_eq!(object_in_range(3, 4), Some(3));
+        assert_eq!(object_in_range(4, 4), None);
+    }
+}

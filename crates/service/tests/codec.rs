@@ -1,0 +1,165 @@
+//! Property coverage for the wire codec: every encodable frame decodes
+//! back byte-identically, and hostile bytes (truncations, corrupt
+//! tags, trailing garbage) produce typed errors — never panics.
+
+use proptest::prelude::*;
+use tmwia_service::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response, WireError,
+};
+
+/// Arbitrary requests, built by mapping integer tuples (the vendored
+/// proptest shim has no enum strategies).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u8..8,
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<u16>(),
+    )
+        .prop_map(|(tag, session, object, flag, count)| match tag {
+            0 => Request::Join,
+            1 => Request::Leave { session },
+            2 => Request::Probe {
+                session,
+                object,
+                share: flag,
+            },
+            3 => Request::Post {
+                session,
+                object,
+                grade: flag,
+            },
+            4 => Request::Read { object },
+            5 => Request::Recommend { count },
+            6 => Request::Stats,
+            _ => Request::Shutdown,
+        })
+}
+
+/// Arbitrary responses, same construction. The `detail` string and the
+/// object list stress the variable-length paths.
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        (0u8..10, any::<u64>(), any::<u32>(), any::<bool>()),
+        (any::<u64>(), any::<u32>(), any::<u16>()),
+        proptest::collection::vec(any::<u32>(), 0..20),
+        proptest::collection::vec(any::<u8>(), 0..40),
+    )
+        .prop_map(|((tag, a, b, flag), (c, d, e), objects, text_bytes)| {
+            // The shim has no regex string strategy; project raw bytes
+            // onto lowercase ASCII instead.
+            let text: String = text_bytes
+                .iter()
+                .map(|&b| char::from(b'a' + b % 26))
+                .collect();
+            match tag {
+                0 => Response::Joined {
+                    session: a,
+                    player: b,
+                },
+                1 => Response::Left {
+                    probes: a,
+                    posts: c,
+                    ticks: u64::from(d),
+                },
+                2 => Response::Grade {
+                    object: b,
+                    value: flag,
+                    charged: !flag,
+                    posted: flag,
+                },
+                3 => Response::Posted {
+                    object: b,
+                    epoch: a,
+                },
+                4 => Response::Board {
+                    object: b,
+                    epoch: a,
+                    likes: d,
+                    dislikes: e as u32,
+                },
+                5 => Response::Recommended { epoch: a, objects },
+                6 => Response::Stats {
+                    epoch: a,
+                    tick: c,
+                    live: d,
+                    served: u64::from(e),
+                    rejected: 0,
+                    probes: c,
+                },
+                7 => Response::Busy {
+                    retry_after_ticks: d,
+                },
+                8 => Response::Error {
+                    code: tmwia_service::ErrorCode::BadRequest,
+                    detail: text,
+                },
+                _ => Response::ShuttingDown,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip(id in any::<u64>(), req in arb_request()) {
+        let frame = encode_request(id, &req);
+        let (rid, back) = decode_request(&frame[4..]).expect("round trip");
+        prop_assert_eq!(rid, id);
+        prop_assert_eq!(back, req.clone());
+        // Encoding is canonical: re-encoding is byte-identical.
+        prop_assert_eq!(encode_request(id, &back), frame);
+    }
+
+    #[test]
+    fn responses_round_trip(id in any::<u64>(), resp in arb_response()) {
+        let frame = encode_response(id, &resp);
+        let (rid, back) = decode_response(&frame[4..]).expect("round trip");
+        prop_assert_eq!(rid, id);
+        prop_assert_eq!(back, resp.clone());
+        prop_assert_eq!(encode_response(id, &back), frame);
+    }
+
+    #[test]
+    fn truncated_requests_never_panic(req in arb_request(), cut in any::<u16>()) {
+        let frame = encode_request(7, &req);
+        let body = &frame[4..];
+        let cut = (cut as usize) % body.len().max(1);
+        // Every proper prefix is a typed Truncated error.
+        match decode_request(&body[..cut]) {
+            Err(WireError::Truncated { .. }) => {}
+            other => prop_assert!(false, "cut at {cut}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(resp in arb_response(), extra in 1usize..8) {
+        let frame = encode_response(7, &resp);
+        let mut body = frame[4..].to_vec();
+        body.extend(std::iter::repeat_n(0xAB, extra));
+        match decode_response(&body) {
+            Err(WireError::Trailing { .. }) => {}
+            other => prop_assert!(false, "trailing bytes accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_tags_are_typed_errors(id in any::<u64>(), tag in 9u8..0x80) {
+        // Request tags stop at 0x08; everything in [0x09, 0x80) is junk.
+        let mut body = id.to_le_bytes().to_vec();
+        body.push(tag);
+        match decode_request(&body) {
+            Err(WireError::UnknownTag(t)) => prop_assert_eq!(t, tag),
+            other => prop_assert!(false, "junk tag accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Outcome is irrelevant; absence of panics is the property.
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+}

@@ -1,0 +1,71 @@
+//! The serving layer's headline guarantee, enforced: the in-process
+//! pipeline is **byte-identical** across worker-pool sizes. One scripted
+//! load run (sessions, probes, posts, reads, churn) is executed under
+//! the default rayon pool and under explicit 1- and 4-thread pools; the
+//! full observable state — load transcript, snapshot digest, service
+//! counters — must match to the byte.
+
+use std::sync::Arc;
+use tmwia_model::generators::planted_community;
+use tmwia_service::{run_deterministic, LoadConfig, Service, ServiceConfig};
+
+/// One complete scripted run, rendered to a single comparison string.
+fn scripted_run() -> String {
+    let inst = planted_community(48, 48, 24, 4, 77);
+    let svc = Arc::new(
+        Service::new(
+            inst.truth.clone(),
+            ServiceConfig {
+                batch_size: 16,
+                queue_capacity: 64,
+                seed: 9,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid config"),
+    );
+    let out = run_deterministic(
+        &svc,
+        &LoadConfig {
+            sessions: 12,
+            requests: 24,
+            seed: 9,
+            ..LoadConfig::default()
+        },
+    );
+    format!(
+        "{}counters: submitted={} ok={} busy={} errors={} ticks={} served={} rejected={}\n\
+         samples: {:?}\n{}",
+        out.transcript,
+        out.submitted,
+        out.ok,
+        out.busy,
+        out.errors,
+        out.ticks,
+        svc.served_total(),
+        svc.rejected_total(),
+        out.samples,
+        svc.snapshot().digest(),
+    )
+}
+
+#[test]
+fn pipeline_is_byte_identical_across_pools() {
+    let default_pool = scripted_run();
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool");
+        let under_pool = pool.install(scripted_run);
+        assert_eq!(
+            default_pool, under_pool,
+            "tick pipeline output diverged under a {threads}-thread pool"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    assert_eq!(scripted_run(), scripted_run());
+}

@@ -1,0 +1,164 @@
+//! End-to-end TCP contract: a real listener on an ephemeral port, a
+//! real client socket, the full session lifecycle over the framed
+//! codec, and a clean shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tmwia_model::generators::planted_community;
+use tmwia_service::{
+    serve, Request, Response, ServeOptions, Service, ServiceConfig, TcpTransport, Transport as _,
+};
+
+#[test]
+fn full_session_lifecycle_over_tcp() {
+    let inst = planted_community(16, 16, 8, 2, 5);
+    let svc =
+        Arc::new(Service::new(inst.truth.clone(), ServiceConfig::default()).expect("valid config"));
+    let server = serve(
+        Arc::clone(&svc),
+        "127.0.0.1:0",
+        ServeOptions {
+            tick_interval: Duration::from_millis(1),
+            max_ticks: 0,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    let mut t = TcpTransport::connect(&addr).expect("connect");
+
+    // Join: ids echo back.
+    t.send(41, &Request::Join).expect("send join");
+    let (id, resp) = t.recv().expect("recv join");
+    assert_eq!(id, 41);
+    let Response::Joined { session, player } = resp else {
+        panic!("expected Joined, got {resp:?}");
+    };
+    assert_eq!(player, 0);
+
+    // Probe with share: charged, then visible through a snapshot read.
+    t.send(
+        42,
+        &Request::Probe {
+            session,
+            object: 3,
+            share: true,
+        },
+    )
+    .expect("send probe");
+    let (id, resp) = t.recv().expect("recv probe");
+    assert_eq!(id, 42);
+    let Response::Grade { charged, value, .. } = resp else {
+        panic!("expected Grade, got {resp:?}");
+    };
+    assert!(charged);
+
+    t.send(43, &Request::Read { object: 3 }).expect("send read");
+    let (id, resp) = t.recv().expect("recv read");
+    assert_eq!(id, 43);
+    let Response::Board {
+        likes, dislikes, ..
+    } = resp
+    else {
+        panic!("expected Board, got {resp:?}");
+    };
+    assert_eq!(likes + dislikes, 1);
+    assert_eq!(likes > 0, value, "board reflects the shared grade");
+
+    // Recommend from the sealed snapshot.
+    t.send(44, &Request::Recommend { count: 4 })
+        .expect("send rec");
+    let (_, resp) = t.recv().expect("recv rec");
+    let Response::Recommended { objects, .. } = resp else {
+        panic!("expected Recommended, got {resp:?}");
+    };
+    assert_eq!(objects, vec![3], "the one posted object leads the ranking");
+
+    // Leave: the ledger comes home.
+    t.send(45, &Request::Leave { session }).expect("send leave");
+    let (_, resp) = t.recv().expect("recv leave");
+    let Response::Left { probes, posts, .. } = resp else {
+        panic!("expected Left, got {resp:?}");
+    };
+    assert_eq!(probes, 1);
+    assert_eq!(posts, 1);
+
+    // Shutdown: acknowledged, then the server winds down.
+    t.send(46, &Request::Shutdown).expect("send shutdown");
+    let (_, resp) = t.recv().expect("recv shutdown");
+    assert_eq!(resp, Response::ShuttingDown);
+
+    let summary = server.join();
+    assert!(summary.clean, "server threads must join cleanly");
+    assert_eq!(summary.sessions, 1);
+    assert!(summary.served >= 6, "all six requests served: {summary:?}");
+    assert_eq!(svc.sessions_live(), 0);
+}
+
+#[test]
+fn dropped_connection_reclaims_its_sessions() {
+    let inst = planted_community(8, 8, 4, 2, 6);
+    let svc =
+        Arc::new(Service::new(inst.truth.clone(), ServiceConfig::default()).expect("valid config"));
+    let server = serve(Arc::clone(&svc), "127.0.0.1:0", ServeOptions::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    {
+        let mut t = TcpTransport::connect(&addr).expect("connect");
+        t.send(1, &Request::Join).expect("send join");
+        let (_, resp) = t.recv().expect("recv join");
+        assert!(matches!(resp, Response::Joined { .. }));
+        // Drop the socket without a Leave: churn-unsafe client.
+    }
+
+    // The handler's teardown submits the Leave; give the ticker a
+    // moment to drain it.
+    for _ in 0..200 {
+        if svc.sessions_live() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        svc.sessions_live(),
+        0,
+        "abandoned session must be reclaimed by the connection teardown"
+    );
+
+    svc.request_shutdown();
+    let summary = server.join();
+    assert!(summary.clean);
+}
+
+#[test]
+fn undecodable_frame_gets_in_band_error() {
+    let inst = planted_community(8, 8, 4, 2, 7);
+    let svc =
+        Arc::new(Service::new(inst.truth.clone(), ServiceConfig::default()).expect("valid config"));
+    let server = serve(Arc::clone(&svc), "127.0.0.1:0", ServeOptions::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    use std::io::{Read as _, Write as _};
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect raw");
+    // A framed body that is too short to even hold an id.
+    raw.write_all(&3u32.to_le_bytes()).expect("len prefix");
+    raw.write_all(&[1, 2, 3]).expect("junk body");
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).expect("server reply then close");
+    let (_, resp) = tmwia_service::decode_response(&buf[4..]).expect("decodable error frame");
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: tmwia_service::ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+
+    svc.request_shutdown();
+    assert!(server.join().clean);
+}

@@ -1,0 +1,334 @@
+//! **E18 — Online arrival/churn (serving layer).**
+//!
+//! The paper's game is offline: all `n` players are present from round
+//! one. E18 measures what the serving layer (`tmwia-service`) preserves
+//! when the same planted-community population instead **arrives over
+//! time and churns**: clients join at a configurable arrival rate,
+//! probe sequentially (sharing every grade to the billboard) up to a
+//! budget of `m/4` coordinates, and each round may abandon the session
+//! with probability `churn`. More clients are scripted than the
+//! service has player slots, so the tail exercises the capacity-reject
+//! path.
+//!
+//! Each client predicts its full preference row as *own probed grades
+//! where available, billboard majority otherwise* — the serving-layer
+//! analogue of the paper's "let the community fill in the rest".
+//! Reported per `(arrival rate, churn)` cell:
+//!
+//! * `joined` — sessions admitted (capacity-bounded);
+//! * `done` — clients that completed their probe budget;
+//! * `probes` — mean paid probes per completed client (the Leave
+//!   receipt's ledger, ≈ the budget);
+//! * `disc` — the worst completed community member's Hamming distance
+//!   between its prediction and its true row (the discrepancy the
+//!   billboard majority leaves behind at `m/4` coverage);
+//! * `rej` — `Busy` backpressure responses observed.
+//!
+//! Everything is driven through [`InProcTransport`] with explicit
+//! ticks, so the whole table is byte-identical under any rayon pool —
+//! pinned by the golden file and `tests/service_determinism.rs`.
+
+use super::ExpConfig;
+use crate::stats::{fnum, Summary};
+use crate::table::Table;
+use crate::trials::run_trials;
+use std::sync::Arc;
+use tmwia_model::generators::planted_community;
+use tmwia_model::rng::{derive, tags};
+use tmwia_service::{
+    ErrorCode, InProcTransport, Request, Response, Service, ServiceConfig, Transport as _,
+};
+
+/// Planted community diameter.
+const DIAMETER: usize = 4;
+
+/// A scripted client's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Not yet due to arrive.
+    Waiting,
+    /// Join submitted, response pending.
+    Joining,
+    /// Session open, probing.
+    Active,
+    /// Leave submitted after finishing the budget.
+    Finishing,
+    /// Leave submitted after a churn draw.
+    Churning,
+    /// Final states.
+    Done,
+    Churned,
+    Rejected,
+}
+
+struct Client {
+    transport: InProcTransport,
+    phase: Phase,
+    session: u64,
+    player: Option<usize>,
+    offset: u64,
+    probes_done: u64,
+    in_flight: bool,
+    grades: Vec<Option<bool>>,
+    paid: u64,
+}
+
+/// One trial's measurements.
+struct Trial {
+    joined: u64,
+    done: u64,
+    probes_mean: f64,
+    disc: u64,
+    rejected: u64,
+}
+
+/// Run E18.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let sizes: &[usize] = cfg.pick(&[256], &[96]);
+    let arrivals: &[usize] = cfg.pick(&[8, 32, 128], &[8, 32]);
+    let churns: &[f64] = cfg.pick(&[0.0, 0.02, 0.1], &[0.0, 0.05]);
+
+    let mut table = Table::new(
+        "E18: online arrival/churn (serving layer)",
+        &[
+            "n", "arrive", "churn", "joined", "done", "probes", "disc", "rej",
+        ],
+    );
+    table.note(
+        "disc = worst completed community member's Hamming error; prediction = own probes + board majority",
+    );
+    table.note(format!(
+        "D = {DIAMETER}, budget = m/4, clients = n + n/8 (tail exercises capacity rejects), trials = {}",
+        cfg.trials
+    ));
+
+    for &n in sizes {
+        for &arrive in arrivals {
+            for &churn in churns {
+                let cell_seed = cfg.seed
+                    ^ ((n as u64) << 16)
+                    ^ ((arrive as u64) << 8)
+                    ^ ((churn * 1000.0) as u64);
+                let trials = run_trials(cfg.trials, cell_seed, |seed| {
+                    run_trial(n, arrive, churn, seed)
+                });
+                let joined = Summary::of_ints(trials.iter().map(|t| t.joined));
+                let done = Summary::of_ints(trials.iter().map(|t| t.done));
+                let probes = Summary::of(&trials.iter().map(|t| t.probes_mean).collect::<Vec<_>>());
+                let disc = Summary::of_ints(trials.iter().map(|t| t.disc));
+                let rej = Summary::of_ints(trials.iter().map(|t| t.rejected));
+                table.push(vec![
+                    n.to_string(),
+                    arrive.to_string(),
+                    fnum(churn),
+                    fnum(joined.mean),
+                    fnum(done.mean),
+                    probes.pm(),
+                    disc.pm(),
+                    fnum(rej.mean),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// One trial: script `n + n/8` clients through the serving layer.
+fn run_trial(n: usize, arrive: usize, churn: f64, seed: u64) -> Trial {
+    let m = n;
+    let budget = (m / 4).max(1) as u64;
+    let clients_total = n + n / 8;
+    let inst = planted_community(n, m, (n / 2).max(2), DIAMETER, seed);
+    let Ok(svc) = Service::new(
+        inst.truth.clone(),
+        ServiceConfig {
+            batch_size: clients_total.max(1),
+            queue_capacity: 2 * n,
+            seed,
+            ..ServiceConfig::default()
+        },
+    ) else {
+        // Unreachable for n ≥ 1; a zero trial keeps the harness total.
+        return Trial {
+            joined: 0,
+            done: 0,
+            probes_mean: 0.0,
+            disc: 0,
+            rejected: 0,
+        };
+    };
+    let svc = Arc::new(svc);
+    let churn_scaled = (churn * 1_000_000.0) as u64;
+
+    let mut clients: Vec<Client> = (0..clients_total)
+        .map(|c| Client {
+            transport: InProcTransport::connect(&svc),
+            phase: Phase::Waiting,
+            session: 0,
+            player: None,
+            offset: derive(seed, tags::SERVICE_LOAD, c as u64) % m as u64,
+            probes_done: 0,
+            in_flight: false,
+            grades: vec![None; m],
+            paid: 0,
+        })
+        .collect();
+
+    let mut rejected_busy = 0u64;
+    let tick_cap = (clients_total as u64) * budget * 4 + 256;
+    for round in 0..tick_cap {
+        // Submit phase: each client at most one request in flight.
+        let mut any_open = false;
+        for (c, cl) in clients.iter_mut().enumerate() {
+            match cl.phase {
+                Phase::Done | Phase::Churned | Phase::Rejected => continue,
+                _ => any_open = true,
+            }
+            if cl.in_flight {
+                continue;
+            }
+            match cl.phase {
+                Phase::Waiting if round >= (c / arrive.max(1)) as u64 => {
+                    let _ = cl.transport.send(c as u64, &Request::Join);
+                    cl.phase = Phase::Joining;
+                    cl.in_flight = true;
+                }
+                Phase::Active => {
+                    let draw = derive(seed, tags::SERVICE_CHURN, ((c as u64) << 20) | round);
+                    if draw % 1_000_000 < churn_scaled {
+                        let _ = cl.transport.send(
+                            c as u64,
+                            &Request::Leave {
+                                session: cl.session,
+                            },
+                        );
+                        cl.phase = Phase::Churning;
+                        cl.in_flight = true;
+                    } else if cl.probes_done >= budget {
+                        let _ = cl.transport.send(
+                            c as u64,
+                            &Request::Leave {
+                                session: cl.session,
+                            },
+                        );
+                        cl.phase = Phase::Finishing;
+                        cl.in_flight = true;
+                    } else {
+                        let object = ((cl.offset + cl.probes_done) % m as u64) as u32;
+                        let _ = cl.transport.send(
+                            c as u64,
+                            &Request::Probe {
+                                session: cl.session,
+                                object,
+                                share: true,
+                            },
+                        );
+                        cl.in_flight = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !any_open {
+            break;
+        }
+        svc.tick();
+        // Drain phase.
+        for cl in &mut clients {
+            while let Some((_, resp)) = cl.transport.try_recv() {
+                cl.in_flight = false;
+                match resp {
+                    Response::Joined { session, player } => {
+                        cl.session = session;
+                        cl.player = Some(player as usize);
+                        cl.phase = Phase::Active;
+                    }
+                    Response::Error {
+                        code: ErrorCode::Capacity,
+                        ..
+                    } => cl.phase = Phase::Rejected,
+                    Response::Grade { object, value, .. } => {
+                        if let Some(slot) = cl.grades.get_mut(object as usize) {
+                            *slot = Some(value);
+                        }
+                        cl.probes_done += 1;
+                    }
+                    Response::Left { probes, .. } => {
+                        cl.paid = probes;
+                        cl.phase = match cl.phase {
+                            Phase::Churning => Phase::Churned,
+                            _ => Phase::Done,
+                        };
+                    }
+                    Response::Busy { .. } => rejected_busy += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Predictions: own probed grades, billboard majority elsewhere.
+    let snap = svc.snapshot();
+    let community = inst.community();
+    let mut disc = 0u64;
+    for cl in &clients {
+        if cl.phase != Phase::Done {
+            continue;
+        }
+        let Some(p) = cl.player else { continue };
+        if !community.contains(&p) {
+            continue;
+        }
+        let errs = (0..m)
+            .filter(|&j| {
+                let pred = cl.grades[j].unwrap_or_else(|| snap.majority(j as u32).unwrap_or(false));
+                pred != inst.truth.value(p, j)
+            })
+            .count() as u64;
+        disc = disc.max(errs);
+    }
+
+    let done: Vec<&Client> = clients.iter().filter(|c| c.phase == Phase::Done).collect();
+    let probes_mean = if done.is_empty() {
+        0.0
+    } else {
+        done.iter().map(|c| c.paid as f64).sum::<f64>() / done.len() as f64
+    };
+    Trial {
+        joined: clients.iter().filter(|c| c.player.is_some()).count() as u64,
+        done: done.len() as u64,
+        probes_mean,
+        disc,
+        rejected: rejected_busy
+            + clients
+                .iter()
+                .filter(|c| c.phase == Phase::Rejected)
+                .count() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_expected_shape() {
+        let t = run(&ExpConfig::quick(1));
+        assert_eq!(t.columns.len(), 8);
+        assert_eq!(t.rows.len(), 4); // 1 size × 2 arrivals × 2 churns
+        for row in &t.rows {
+            let churn: f64 = row[2].parse().unwrap();
+            let joined: f64 = row[3].parse().unwrap();
+            let done: f64 = row[4].parse().unwrap();
+            let probes: f64 = row[5].split('±').next().unwrap().trim().parse().unwrap();
+            let disc: f64 = row[6].split('±').next().unwrap().trim().parse().unwrap();
+            assert!(joined <= 96.0, "slots bound admission: {row:?}");
+            assert!(done <= joined, "{row:?}");
+            if churn == 0.0 {
+                assert_eq!(done, joined, "no churn ⇒ everyone finishes: {row:?}");
+                assert!((probes - 24.0).abs() < 1e-9, "budget m/4 = 24: {row:?}");
+            }
+            assert!(disc <= 96.0, "disc bounded by m: {row:?}");
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The E1–E17 experiment suite.
+//! The E1–E18 experiment suite.
 //!
 //! The paper is a theory extended abstract with no empirical section, so
 //! the reproduction turns every quantitative claim into an experiment
@@ -23,6 +23,7 @@
 //! | E15 | abstract — lockstep P2P execution: fidelity + barrier overhead |
 //! | E16 | \[8\]\[9\]/§2 — the prediction-mistake model contrast |
 //! | E17 | fault model — noise/crash robustness, graceful degradation |
+//! | E18 | serving layer — online arrival/churn, probe cost + discrepancy |
 
 pub mod e01_zero_radius;
 pub mod e02_select;
@@ -41,6 +42,7 @@ pub mod e14_one_good;
 pub mod e15_lockstep;
 pub mod e16_prediction;
 pub mod e17_robustness;
+pub mod e18_arrival;
 
 use crate::table::Table;
 use std::collections::BTreeMap;
@@ -123,6 +125,11 @@ pub fn all() -> Vec<Experiment> {
             "Noise/crash robustness (fault model)",
             e17_robustness::run,
         ),
+        (
+            "e18",
+            "Online arrival/churn (serving layer)",
+            e18_arrival::run,
+        ),
     ]
 }
 
@@ -150,10 +157,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let a = all();
-        assert_eq!(a.len(), 17);
+        assert_eq!(a.len(), 18);
         let mut ids: Vec<&str> = a.iter().map(|(id, _, _)| *id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
     }
 
     #[test]

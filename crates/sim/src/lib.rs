@@ -19,6 +19,6 @@ pub mod table;
 pub mod trials;
 
 pub use experiments::ExpConfig;
-pub use stats::Summary;
+pub use stats::{LatencyHistogram, Summary};
 pub use table::Table;
 pub use trials::run_trials;

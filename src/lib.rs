@@ -43,7 +43,8 @@
 //! | [`billboard`] | probe engine with cost accounting, shared billboard |
 //! | [`core`] | the paper's algorithms (Figures 1–7, §6) |
 //! | [`baselines`] | solo / oracle / kNN / spectral comparators |
-//! | [`sim`] | experiment harness and the E1–E17 suite |
+//! | [`sim`] | experiment harness and the E1–E18 suite |
+//! | [`service`] | online serving layer: sessions, batch ticks, snapshots, TCP |
 
 #![forbid(unsafe_code)]
 
@@ -51,6 +52,7 @@ pub use tmwia_baselines as baselines;
 pub use tmwia_billboard as billboard;
 pub use tmwia_core as core;
 pub use tmwia_model as model;
+pub use tmwia_service as service;
 pub use tmwia_sim as sim;
 
 /// Everything a typical user needs, in one import.

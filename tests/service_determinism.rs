@@ -1,0 +1,67 @@
+//! Workspace-level pin of the serving layer's schedule independence:
+//! the E18 table and an in-process load run must render byte-identically
+//! under the default rayon pool and under explicit 1- and 4-thread
+//! pools. (The service crate's own `tests/determinism.rs` covers the
+//! raw pipeline; this test covers the two user-facing surfaces that CI
+//! also byte-diffs across `RAYON_NUM_THREADS` settings.)
+
+use std::sync::Arc;
+use tmwia::model::generators::planted_community;
+use tmwia::service::{run_deterministic, LoadConfig, Service, ServiceConfig};
+use tmwia::sim::experiments::{all, ExpConfig};
+
+fn e18_render() -> String {
+    let (_, _, runner) = all()
+        .into_iter()
+        .find(|(id, _, _)| *id == "e18")
+        .expect("e18 registered");
+    runner(&ExpConfig::quick(20060730)).render()
+}
+
+fn load_render() -> String {
+    let inst = planted_community(32, 32, 16, 4, 11);
+    let svc =
+        Arc::new(Service::new(inst.truth.clone(), ServiceConfig::default()).expect("valid config"));
+    let out = run_deterministic(
+        &svc,
+        &LoadConfig {
+            sessions: 6,
+            requests: 10,
+            seed: 4,
+            ..LoadConfig::default()
+        },
+    );
+    format!("{}{}", out.transcript, svc.snapshot().digest())
+}
+
+#[test]
+fn e18_table_is_pool_independent() {
+    let default_pool = e18_render();
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool");
+        assert_eq!(
+            default_pool,
+            pool.install(e18_render),
+            "E18 diverged under a {threads}-thread pool"
+        );
+    }
+}
+
+#[test]
+fn load_generator_is_pool_independent() {
+    let default_pool = load_render();
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool");
+        assert_eq!(
+            default_pool,
+            pool.install(load_render),
+            "load run diverged under a {threads}-thread pool"
+        );
+    }
+}

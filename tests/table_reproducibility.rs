@@ -61,3 +61,11 @@ fn robustness_table_matches_golden_bytes() {
     // pins the fault layer's seeded crash/flip draws byte-for-byte.
     check_golden("e17", "e17_robustness_quick.txt");
 }
+
+#[test]
+fn arrival_table_matches_golden_bytes() {
+    // E18 drives the serving layer (sessions, batch ticks, snapshots)
+    // end to end; its snapshot pins the whole tick pipeline's
+    // determinism byte-for-byte.
+    check_golden("e18", "e18_arrival_quick.txt");
+}
