@@ -1,0 +1,3 @@
+fn main() {
+    tmwia_bench::run_one("e19");
+}

@@ -1,6 +1,6 @@
 //! # tmwia-bench
 //!
-//! Runner glue for the E1–E18 experiment binaries. Each binary in
+//! Runner glue for the E1–E19 experiment binaries. Each binary in
 //! `src/bin/` regenerates one table of `EXPERIMENTS.md`:
 //!
 //! ```text
@@ -68,7 +68,7 @@ impl Options {
     }
 }
 
-/// Run one experiment by id (`"e1"` … `"e18"`), print its table, and
+/// Run one experiment by id (`"e1"` … `"e19"`), print its table, and
 /// optionally dump CSV.
 pub fn run_one(id: &str) {
     let opts = Options::from_args();

@@ -114,6 +114,18 @@ impl ProbeEngine {
         self.counters[p].load(Ordering::Relaxed)
     }
 
+    /// Objects player `p` has already paid for, ascending — the probe
+    /// memo's key set. Serving-layer crash recovery persists this and
+    /// re-probes on restore (values re-derive from the truth matrix).
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn probed_objects(&self, p: PlayerId) -> Vec<ObjectId> {
+        assert!(p < self.n(), "player {p} out of range {}", self.n());
+        let cache = self.caches[p].lock();
+        (0..self.m()).filter(|&j| cache.probed.get(j)).collect()
+    }
+
     /// Total probes charged across all players.
     pub fn total_probes(&self) -> u64 {
         self.counters

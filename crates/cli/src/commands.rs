@@ -67,22 +67,32 @@ USAGE:
   tmwia communities --instance FILE [--scales 2,8,32] [--min-size 3]
                    (clusters the TRUE matrix rows; add --run to cluster
                     reconstructed outputs instead)
-  tmwia exp        --id e1..e18|all [--full] [--seed N]
+  tmwia exp        --id e1..e19|all [--full] [--seed N]
                    (regenerates the EXPERIMENTS.md tables; quick scale
                     by default)
   tmwia serve      [--port 4206] [--batch 64] [--queue 256] [--seed 1]
-                   [--max-ticks 0] [--tick-ms 1] (generation flags as
-                    above) — serve the billboard over TCP; --max-ticks 0
-                    runs until a Shutdown request; --port 0 picks an
-                    ephemeral port (printed on the first line)
+                   [--max-ticks 0] [--tick-ms 1] [--wal-dir DIR]
+                   [--snapshot-every 64] (generation flags as above)
+                   — serve the billboard over TCP; --max-ticks 0 runs
+                    until a Shutdown request; --port 0 picks an
+                    ephemeral port (printed on the first line);
+                    --wal-dir makes ticks durable: every batch is
+                    logged (and state snapshotted every K ticks) before
+                    execution, and a restart with the same directory
+                    recovers the pre-crash state byte-identically
   tmwia load       [--sessions 8] [--requests 32] [--seed 1]
                    [--mix probe=0.6,post=0.2,read=0.1,recommend=0.1]
-                   [--addr HOST:PORT] [--shutdown]
+                   [--addr HOST:PORT] [--shutdown] [--wal-dir DIR]
+                   [--halt-after 0]
                    — closed-loop load generator. With --addr: drive a
                     live server over TCP (wall-clock latencies; add
                     --shutdown to stop the server afterwards). Without:
                     run in-process on a generated instance — output is
-                    deterministic and byte-identical across thread pools
+                    deterministic and byte-identical across thread
+                    pools. --wal-dir logs the run and, on restart,
+                    replays it to the crash point and finishes it (the
+                    recovery-time metric is printed); --halt-after R
+                    abandons the run after R rounds to simulate a crash
   tmwia help
 
 Instances use the plain-text `tmwia-instance v1` format.
@@ -447,7 +457,7 @@ pub fn cmd_exp(args: &Args) -> Result<String, CliError> {
         let found: Vec<_> = registry.into_iter().filter(|(i, _, _)| *i == id).collect();
         if found.is_empty() {
             return Err(CliError::Other(format!(
-                "unknown experiment id '{id}' (e1..e18 or all)"
+                "unknown experiment id '{id}' (e1..e19 or all)"
             )));
         }
         found
@@ -459,9 +469,22 @@ pub fn cmd_exp(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Shared serve/load service construction from generation flags.
-fn build_service(args: &Args) -> Result<tmwia_service::Service, CliError> {
-    use tmwia_service::{Service, ServiceConfig};
+/// Shared serve/load service construction from generation flags. With
+/// `--wal-dir` the service recovers from (and keeps logging to) a
+/// write-ahead log; the report says what was replayed, and the third
+/// element is the wall-clock recovery time in milliseconds.
+fn build_service(
+    args: &Args,
+    capture: bool,
+) -> Result<
+    (
+        tmwia_service::Service,
+        Option<tmwia_service::RecoveryReport>,
+        u128,
+    ),
+    CliError,
+> {
+    use tmwia_service::{Durability, RecoverOptions, Service, ServiceConfig};
     let inst = load_or_generate(args)?;
     let cfg = ServiceConfig {
         batch_size: args.num_or("batch", 64usize)?,
@@ -469,7 +492,37 @@ fn build_service(args: &Args) -> Result<tmwia_service::Service, CliError> {
         seed: args.num_or("seed", 1u64)?,
         ..ServiceConfig::default()
     };
-    Service::new(inst.truth.clone(), cfg).map_err(|e| CliError::Other(e.to_string()))
+    if let Ok(dir) = args.str_req("wal-dir") {
+        let durability = Durability {
+            dir: std::path::PathBuf::from(dir),
+            snapshot_every: args.num_or("snapshot-every", 64u64)?,
+        };
+        // lint:allow(determinism) the recovery-time metric is wall-clock by nature
+        let t0 = std::time::Instant::now();
+        let (svc, report) = Service::recover(
+            inst.truth.clone(),
+            cfg,
+            &durability,
+            RecoverOptions {
+                use_snapshot: true,
+                capture,
+            },
+        )
+        .map_err(|e| CliError::Other(e.to_string()))?;
+        Ok((svc, Some(report), t0.elapsed().as_millis()))
+    } else {
+        Service::new(inst.truth.clone(), cfg)
+            .map(|svc| (svc, None, 0))
+            .map_err(|e| CliError::Other(e.to_string()))
+    }
+}
+
+/// The `recovery: …` summary line both durable commands print.
+fn recovery_line(report: &tmwia_service::RecoveryReport, ms: u128) -> String {
+    format!(
+        "recovery: replayed {} ticks / {} requests ({} torn bytes dropped), snapshot tick {}, in {ms} ms\n",
+        report.replayed_ticks, report.replayed_requests, report.truncated_bytes, report.snapshot_tick
+    )
 }
 
 /// `tmwia serve` — run the TCP serving layer.
@@ -481,12 +534,22 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         tick_interval: std::time::Duration::from_millis(args.num_or("tick-ms", 1u64)?.max(1)),
         max_ticks: args.num_or("max-ticks", 0u64)?,
     };
-    let svc = std::sync::Arc::new(build_service(args)?);
+    let (svc, report, recovery_ms) = build_service(args, false)?;
+    let svc = std::sync::Arc::new(svc);
     let (n, m) = (svc.n(), svc.m());
-    let server = serve(svc, &format!("127.0.0.1:{port}"), opts)
-        .map_err(|e| CliError::Other(e.to_string()))?;
+    let server = serve(
+        std::sync::Arc::clone(&svc),
+        &format!("127.0.0.1:{port}"),
+        opts,
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
     // Announce the address immediately (and flush: CI pipes stdout to a
     // file, so block buffering would starve the port scraper).
+    if let Some(report) = &report {
+        if report.replayed_ticks > 0 || report.truncated_bytes > 0 {
+            print!("{}", recovery_line(report, recovery_ms));
+        }
+    }
     println!(
         "tmwia-service listening on {} (n = {n}, m = {m})",
         server.local_addr()
@@ -499,6 +562,9 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         "served {} requests ({} rejected) across {} ticks, {} sessions",
         summary.served, summary.rejected, summary.ticks, summary.sessions
     );
+    if let Some(err) = svc.wal_health() {
+        let _ = writeln!(out, "wal: persistence FAILED and stopped: {err}");
+    }
     let _ = writeln!(
         out,
         "{}",
@@ -513,7 +579,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
 
 /// `tmwia load` — the closed-loop load generator.
 pub fn cmd_load(args: &Args) -> Result<String, CliError> {
-    use tmwia_service::{run_deterministic, run_tcp, ClientMix, LoadConfig};
+    use tmwia_service::{run_deterministic, run_durable, run_tcp, ClientMix, LoadConfig};
     use tmwia_sim::LatencyHistogram;
     let mix_spec = args.str_or("mix", "probe=0.6,post=0.2,read=0.1,recommend=0.1");
     let mix = ClientMix::parse(&mix_spec).map_err(CliError::Other)?;
@@ -524,6 +590,10 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
         seed: args.num_or("seed", 1u64)?,
         recommend_count: args.num_or("recommend", 8u16)?,
         objects: args.num_or("m", args.num_or("n", 512usize)?)?,
+        halt_after_rounds: match args.num_or("halt-after", 0usize)? {
+            0 => None,
+            r => Some(r),
+        },
     };
     let mut out = String::new();
     let _ = writeln!(
@@ -568,9 +638,21 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
         }
     } else {
         // In-process mode: deterministic — tick latencies, no wall
-        // clock, byte-identical across thread pools.
-        let svc = std::sync::Arc::new(build_service(args)?);
-        let res = run_deterministic(&svc, &cfg);
+        // clock, byte-identical across thread pools. With --wal-dir,
+        // already-logged rounds are re-derived from the recovered log
+        // and the run continues from the crash point; the merged output
+        // is byte-identical to an uninterrupted run.
+        let (svc, report, recovery_ms) = build_service(args, true)?;
+        let svc = std::sync::Arc::new(svc);
+        let res = match &report {
+            Some(report) => {
+                if report.replayed_ticks > 0 || report.truncated_bytes > 0 {
+                    out.push_str(&recovery_line(report, recovery_ms));
+                }
+                run_durable(&svc, &cfg, report).map_err(CliError::Other)?
+            }
+            None => run_deterministic(&svc, &cfg),
+        };
         let mut hist = LatencyHistogram::new();
         hist.record_all(res.samples.iter().copied());
         let (p50, p90, p99) = hist.percentiles();
@@ -587,6 +669,17 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
         );
         for (kind, count) in &res.by_kind {
             let _ = writeln!(out, "  {kind}: {count}");
+        }
+        // A fingerprint of the full durable state (registry, memos,
+        // snapshot): recovery is correct iff a resumed run prints the
+        // same line as an uninterrupted one.
+        let _ = writeln!(
+            out,
+            "state fnv64 {:016x}",
+            tmwia_service::wal::fnv64(svc.state_digest().as_bytes())
+        );
+        if let Some(err) = svc.wal_health() {
+            let _ = writeln!(out, "wal: persistence FAILED and stopped: {err}");
         }
         if !args.has("quiet") {
             out.push_str(&res.transcript);
@@ -699,6 +792,41 @@ mod tests {
         assert!(dispatch(&parse("help")).unwrap().contains("USAGE"));
         assert!(dispatch(&Args::default()).unwrap().contains("USAGE"));
         assert!(dispatch(&parse("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn load_with_wal_dir_resumes_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("tmwia-cli-wal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let base = "load --kind planted --n 16 --m 16 --k 8 --d 2 \
+                    --sessions 4 --requests 10 --batch 16 --queue 64";
+        let reference = cmd_load(&parse(base)).unwrap();
+
+        // Crash: abandon after 4 of 10 rounds, logged to the WAL.
+        let crashed = cmd_load(&parse(&format!(
+            "{base} --wal-dir {} --halt-after 4",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(
+            !crashed.contains("recovery:"),
+            "fresh log, nothing replayed"
+        );
+
+        // Resume: replays the log, finishes the run, reports recovery.
+        let resumed = cmd_load(&parse(&format!("{base} --wal-dir {}", dir.display()))).unwrap();
+        assert!(resumed.contains("recovery: replayed"), "{resumed}");
+        let stripped: String = resumed
+            .lines()
+            .filter(|l| !l.starts_with("recovery:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(
+            stripped, reference,
+            "resumed output (minus the recovery line) must be byte-identical"
+        );
+        assert!(reference.contains("state fnv64 "), "{reference}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

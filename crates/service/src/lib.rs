@@ -26,6 +26,11 @@
 //!   bounded; overload answers [`Response::Busy`] with a retry hint.
 //! * [`load`] — a closed-loop, seeded load generator with a
 //!   deterministic in-process driver and a wall-clock TCP driver.
+//! * [`wal`] — the durability layer: an append-only write-ahead tick
+//!   log (wire-codec frames, per-record CRC, fsync at seal) plus
+//!   periodic sealed-state snapshots. [`Service::recover`] rebuilds a
+//!   byte-identical pre-crash state by replaying the log through the
+//!   normal tick path.
 //!
 //! [`LivenessEpoch`]: tmwia_billboard::LivenessEpoch
 
@@ -37,14 +42,21 @@ pub mod service;
 pub mod snapshot;
 pub mod tcp;
 pub mod transport;
+pub mod wal;
 pub mod wire;
 
-pub use load::{run_deterministic, run_tcp, ClientMix, LoadConfig, LoadOutcome, RequestKind};
+pub use load::{
+    run_deterministic, run_durable, run_tcp, ClientMix, LoadConfig, LoadOutcome, RequestKind,
+};
 pub use registry::{LeaveReceipt, SessionRegistry, SessionState};
-pub use service::{ReplySender, Service, ServiceConfig, ServiceError, TickReport};
+pub use service::{
+    Durability, RecoverError, RecoverOptions, RecoveryReport, ReplayedTick, ReplySender, Service,
+    ServiceConfig, ServiceError, TickReport,
+};
 pub use snapshot::{BoardSnapshot, SnapshotCell};
 pub use tcp::{serve, ServeOptions, ServeSummary, TcpServer, TcpTransport};
 pub use transport::{InProcTransport, Transport, TransportError};
+pub use wal::{PersistedState, WalError, WalHeader, WalWriter};
 pub use wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, ErrorCode,
     Request, Response, SessionId, WireError,

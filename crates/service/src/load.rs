@@ -18,10 +18,11 @@
 //! drivers consume the identical stream (the TCP driver is told `m`
 //! via [`LoadConfig::objects`], since it cannot inspect the server).
 
-use crate::service::Service;
+use crate::service::{RecoveryReport, ReplayedTick, Service};
+use crate::snapshot::BoardSnapshot;
 use crate::tcp::TcpTransport;
 use crate::transport::{InProcTransport, Transport, TransportError};
-use crate::wire::{Request, Response};
+use crate::wire::{ErrorCode, Request, Response};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -52,17 +53,23 @@ impl RequestKind {
     }
 }
 
-/// A request-kind distribution in per-mille weights.
+/// Fixed-point scale for mix weights: parts per million. Fine enough
+/// that any weight a CLI user can plausibly type survives quantization;
+/// weights that still round to zero are a hard parse error, never a
+/// silent drop from the mix.
+const MIX_SCALE: f64 = 1_000_000.0;
+
+/// A request-kind distribution in parts-per-million weights.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientMix {
-    weights: [u32; 4], // probe, post, read, recommend — per mille
+    weights: [u32; 4], // probe, post, read, recommend — ppm
 }
 
 impl ClientMix {
     /// The CLI default: 60% probe, 20% post, 10% read, 10% recommend.
     pub fn default_mix() -> Self {
         ClientMix {
-            weights: [600, 200, 100, 100],
+            weights: [600_000, 200_000, 100_000, 100_000],
         }
     }
 
@@ -96,7 +103,16 @@ impl ClientMix {
             if !(0.0..=1.0).contains(&w) {
                 return Err(format!("client-mix weight '{w}' is outside [0, 1]"));
             }
-            weights[slot] = (w * 1000.0).round() as u32;
+            let q = (w * MIX_SCALE).round() as u32;
+            if q == 0 && w > 0.0 {
+                // A nonzero weight must never silently vanish from the
+                // mix — the run would quietly stop exercising that kind.
+                return Err(format!(
+                    "client-mix weight '{w}' is too small to represent (minimum {})",
+                    1.0 / MIX_SCALE
+                ));
+            }
+            weights[slot] = q;
         }
         if weights.iter().sum::<u32>() == 0 {
             return Err("client mix has zero total weight".into());
@@ -123,10 +139,10 @@ impl ClientMix {
         RequestKind::Recommend
     }
 
-    /// Human-readable per-mille summary.
+    /// Human-readable parts-per-million summary.
     pub fn describe(&self) -> String {
         format!(
-            "probe={}m post={}m read={}m recommend={}m",
+            "probe={}ppm post={}ppm read={}ppm recommend={}ppm",
             self.weights[0], self.weights[1], self.weights[2], self.weights[3]
         )
     }
@@ -149,6 +165,10 @@ pub struct LoadConfig {
     /// driver overrides this with the service's own `m`; the TCP driver
     /// trusts it (pass the server's `--m`).
     pub objects: usize,
+    /// Abandon the run after this many completed request rounds: no
+    /// Leave round, sessions stay open. Simulates a client-side crash
+    /// for the durability experiments; `None` runs to completion.
+    pub halt_after_rounds: Option<usize>,
 }
 
 impl Default for LoadConfig {
@@ -160,6 +180,7 @@ impl Default for LoadConfig {
             seed: 1,
             recommend_count: 8,
             objects: 64,
+            halt_after_rounds: None,
         }
     }
 }
@@ -332,7 +353,155 @@ fn pump(svc: &Arc<Service>, t: &InProcTransport, out: &mut LoadOutcome) -> Optio
 /// outcome — including the transcript — is byte-identical under any
 /// rayon pool size.
 pub fn run_deterministic(svc: &Arc<Service>, cfg: &LoadConfig) -> LoadOutcome {
+    match drive(svc, cfg, &[]) {
+        Ok(out) => out,
+        Err(e) => LoadOutcome {
+            errors: 1,
+            transcript: format!("driver error: {e}\n"),
+            ..LoadOutcome::default()
+        },
+    }
+}
+
+/// The resume-aware deterministic driver: first re-derive the rounds
+/// that the recovered write-ahead log already executed (consuming the
+/// logged responses instead of re-submitting), then continue the run
+/// live from exactly where the crash cut it. The merged outcome —
+/// transcript, counters, samples — is byte-identical to an
+/// uninterrupted [`run_deterministic`] of the same config.
+///
+/// Errors when the log does not correspond to this config (different
+/// seed/mix/sessions), or when the service's batching cannot keep each
+/// round inside one logged tick.
+pub fn run_durable(
+    svc: &Arc<Service>,
+    cfg: &LoadConfig,
+    report: &RecoveryReport,
+) -> Result<LoadOutcome, String> {
+    drive(svc, cfg, &report.replay)
+}
+
+/// Lockstep cursor over recovered WAL ticks. Each load round maps to at
+/// most one logged tick (all-read rounds are never logged); the cursor
+/// checks a round's writes against the record entry by entry before
+/// handing back the logged responses, so any config drift surfaces as a
+/// typed divergence error instead of silently corrupted state.
+struct Replayer<'a> {
+    records: &'a [ReplayedTick],
+    idx: usize,
+    /// What `svc.current_tick()` read at this point of the original run.
+    sim_tick: u64,
+    /// Snapshot visible to reads at the current simulated tick.
+    snap: Option<Arc<BoardSnapshot>>,
+}
+
+impl<'a> Replayer<'a> {
+    fn new(records: &'a [ReplayedTick]) -> Self {
+        Replayer {
+            records,
+            idx: 0,
+            sim_tick: 0,
+            snap: None,
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.idx >= self.records.len()
+    }
+
+    /// Consume the next record for a round that submitted `writes`,
+    /// returning the logged responses keyed by request id.
+    fn consume(&mut self, writes: &[(u64, Request)]) -> Result<BTreeMap<u64, Response>, String> {
+        let Some(rec) = self.records.get(self.idx) else {
+            return Err("write-ahead log ended in the middle of a round".into());
+        };
+        if rec.tick != self.sim_tick + 1 {
+            return Err(format!(
+                "log diverges: this round would be tick {} but the next record is tick {}",
+                self.sim_tick + 1,
+                rec.tick
+            ));
+        }
+        if rec.requests.len() != writes.len() {
+            return Err(format!(
+                "log diverges at tick {}: round has {} writes, record has {}",
+                rec.tick,
+                writes.len(),
+                rec.requests.len()
+            ));
+        }
+        for ((want_id, want_req), (got_id, got_req)) in writes.iter().zip(&rec.requests) {
+            if want_id != got_id || want_req != got_req {
+                return Err(format!(
+                    "log diverges at tick {}: expected id {want_id:#x} {want_req:?}, \
+                     logged id {got_id:#x} {got_req:?}",
+                    rec.tick
+                ));
+            }
+        }
+        self.idx += 1;
+        self.sim_tick = rec.tick;
+        self.snap = Some(Arc::clone(&rec.snapshot));
+        Ok(rec.responses.iter().cloned().collect())
+    }
+}
+
+/// Answer a snapshot read exactly as [`Service::submit`] would have —
+/// reconstruction replays writes through the service but reads were
+/// never queued, so their responses are re-synthesized from the
+/// snapshot the original run saw.
+fn answer_read(snap: &BoardSnapshot, cap: u16, req: &Request) -> Response {
+    match *req {
+        Request::Read { object } => {
+            let (likes, dislikes) = snap.tally(object);
+            Response::Board {
+                object,
+                epoch: snap.epoch,
+                likes,
+                dislikes,
+            }
+        }
+        Request::Recommend { count } => Response::Recommended {
+            epoch: snap.epoch,
+            objects: snap.recommend(count.min(cap) as usize),
+        },
+        _ => Response::Error {
+            code: ErrorCode::BadRequest,
+            detail: "not a snapshot read".into(),
+        },
+    }
+}
+
+/// The unified in-process driver: reconstruction over `replay` while
+/// records last, then live submission. `replay` empty ⇒ fully live.
+#[allow(clippy::too_many_lines)]
+fn drive(
+    svc: &Arc<Service>,
+    cfg: &LoadConfig,
+    replay: &[ReplayedTick],
+) -> Result<LoadOutcome, String> {
     let m = svc.m();
+    if svc.is_durable() || !replay.is_empty() {
+        // Round atomicity: recovery maps one load round to one logged
+        // tick, which holds only if a whole round fits in one batch and
+        // no request inside a round can bounce off a full queue.
+        let sc = svc.config();
+        if sc.batch_size < cfg.sessions {
+            return Err(format!(
+                "durable load needs batch-size >= sessions ({} < {}): \
+                 every round must land in one logged tick",
+                sc.batch_size, cfg.sessions
+            ));
+        }
+        if sc.queue_capacity < cfg.sessions {
+            return Err(format!(
+                "durable load needs queue-capacity >= sessions ({} < {}): \
+                 a Busy inside a round would tear it across ticks",
+                sc.queue_capacity, cfg.sessions
+            ));
+        }
+    }
+
     let mut out = LoadOutcome::default();
     let mut transports: Vec<InProcTransport> = (0..cfg.sessions)
         .map(|_| InProcTransport::connect(svc))
@@ -341,76 +510,206 @@ pub fn run_deterministic(svc: &Arc<Service>, cfg: &LoadConfig) -> LoadOutcome {
         .map(|c| ClientScript::new(cfg.seed, c as u64, m))
         .collect();
     let mut sessions: Vec<Option<u64>> = vec![None; cfg.sessions];
+    let mut rp = Replayer::new(replay);
+    let mut live = replay.is_empty();
 
     // Join round.
-    for (c, t) in transports.iter_mut().enumerate() {
-        let _ = t.send(c as u64, &Request::Join);
-        out.count("join");
-    }
-    svc.tick();
-    for (c, t) in transports.iter().enumerate() {
-        if let Some((_, resp)) = pump(svc, t, &mut out) {
-            if let Response::Joined { session, .. } = resp {
-                sessions[c] = Some(session);
+    if live {
+        for (c, t) in transports.iter_mut().enumerate() {
+            let _ = t.send((c as u64) << 32, &Request::Join);
+            out.count("join");
+        }
+        svc.tick();
+        for (c, t) in transports.iter().enumerate() {
+            if let Some((_, resp)) = pump(svc, t, &mut out) {
+                if let Response::Joined { session, .. } = resp {
+                    sessions[c] = Some(session);
+                }
+                out.absorb(&resp);
+                let _ = writeln!(out.transcript, "c{c} join -> {}", resp_brief(&resp));
             }
-            out.absorb(&resp);
-            let _ = writeln!(out.transcript, "c{c} join -> {}", resp_brief(&resp));
+        }
+    } else {
+        let writes: Vec<(u64, Request)> = (0..cfg.sessions)
+            .map(|c| ((c as u64) << 32, Request::Join))
+            .collect();
+        for _ in 0..cfg.sessions {
+            out.count("join");
+        }
+        let resp_map = rp.consume(&writes)?;
+        for c in 0..cfg.sessions {
+            let id = (c as u64) << 32;
+            let resp = resp_map
+                .get(&id)
+                .ok_or_else(|| format!("log has no response for join id {id:#x}"))?;
+            if let Response::Joined { session, .. } = resp {
+                sessions[c] = Some(*session);
+            }
+            out.absorb(resp);
+            let _ = writeln!(out.transcript, "c{c} join -> {}", resp_brief(resp));
         }
     }
 
     // Request rounds: all clients send, one tick, then per-client pump.
+    let mut halted = false;
     for round in 0..cfg.requests {
-        let mut pending: Vec<Option<(u64, &'static str)>> = vec![None; cfg.sessions];
-        for c in 0..cfg.sessions {
-            let Some(session) = sessions[c] else { continue };
-            let (kind, req) = scripts[c].next(cfg.seed, &cfg.mix, m, cfg.recommend_count, session);
-            let id = ((c as u64) << 32) | (round as u64 + 1);
-            let submit_tick = svc.current_tick();
-            let _ = transports[c].send(id, &req);
-            out.count(kind.name());
-            pending[c] = Some((submit_tick, kind.name()));
+        if cfg.halt_after_rounds.is_some_and(|h| round >= h) {
+            halted = true;
+            break;
         }
-        svc.tick();
-        for c in 0..cfg.sessions {
-            let Some((submit_tick, kind)) = pending[c] else {
-                continue;
-            };
-            let Some((_, resp)) = pump(svc, &transports[c], &mut out) else {
-                continue;
-            };
-            scripts[c].observe(&resp);
-            out.absorb(&resp);
-            // Reads are answered pre-tick, so they can come out at the
-            // submit tick itself: latency 0.
-            out.samples
-                .push(svc.current_tick().saturating_sub(submit_tick));
-            let _ = writeln!(
-                out.transcript,
-                "c{c} r{round} {kind} -> {}",
-                resp_brief(&resp)
-            );
+        if !live && rp.exhausted() {
+            // The crash point: everything on disk has been re-derived;
+            // line the service's tick counter up with the simulated one
+            // (trailing all-read rounds are not logged) and go live.
+            svc.fast_forward_tick(rp.sim_tick);
+            live = true;
+        }
+        if live {
+            let mut pending: Vec<Option<(u64, &'static str)>> = vec![None; cfg.sessions];
+            for c in 0..cfg.sessions {
+                let Some(session) = sessions[c] else { continue };
+                let (kind, req) =
+                    scripts[c].next(cfg.seed, &cfg.mix, m, cfg.recommend_count, session);
+                let id = ((c as u64) << 32) | (round as u64 + 1);
+                let submit_tick = svc.current_tick();
+                let _ = transports[c].send(id, &req);
+                out.count(kind.name());
+                pending[c] = Some((submit_tick, kind.name()));
+            }
+            svc.tick();
+            for c in 0..cfg.sessions {
+                let Some((submit_tick, kind)) = pending[c] else {
+                    continue;
+                };
+                let Some((_, resp)) = pump(svc, &transports[c], &mut out) else {
+                    continue;
+                };
+                scripts[c].observe(&resp);
+                out.absorb(&resp);
+                // Reads are answered pre-tick, so they can come out at
+                // the submit tick itself: latency 0.
+                out.samples
+                    .push(svc.current_tick().saturating_sub(submit_tick));
+                let _ = writeln!(
+                    out.transcript,
+                    "c{c} r{round} {kind} -> {}",
+                    resp_brief(&resp)
+                );
+            }
+        } else {
+            let mut pending: Vec<Option<&'static str>> = vec![None; cfg.sessions];
+            let mut writes: Vec<(u64, Request)> = Vec::new();
+            let mut reads: Vec<(u64, Request)> = Vec::new();
+            for c in 0..cfg.sessions {
+                let Some(session) = sessions[c] else { continue };
+                let (kind, req) =
+                    scripts[c].next(cfg.seed, &cfg.mix, m, cfg.recommend_count, session);
+                let id = ((c as u64) << 32) | (round as u64 + 1);
+                out.count(kind.name());
+                pending[c] = Some(kind.name());
+                match req {
+                    Request::Read { .. } | Request::Recommend { .. } => reads.push((id, req)),
+                    other => writes.push((id, other)),
+                }
+            }
+            // Reads were answered pre-tick, from the snapshot sealed by
+            // the previous round — synthesize before consuming the
+            // record so they see the same epoch the original run saw.
+            let mut resp_map: BTreeMap<u64, Response> = BTreeMap::new();
+            if !reads.is_empty() {
+                let snap = rp
+                    .snap
+                    .clone()
+                    .ok_or("log diverges: a read round before any logged tick")?;
+                let cap = svc.config().recommend_cap;
+                for (id, req) in &reads {
+                    resp_map.insert(*id, answer_read(&snap, cap, req));
+                }
+            }
+            if writes.is_empty() {
+                rp.sim_tick += 1; // empty ticks are never logged
+            } else {
+                resp_map.extend(rp.consume(&writes)?);
+            }
+            for c in 0..cfg.sessions {
+                let Some(kind) = pending[c] else { continue };
+                let id = ((c as u64) << 32) | (round as u64 + 1);
+                let resp = resp_map
+                    .get(&id)
+                    .ok_or_else(|| format!("log has no response for request id {id:#x}"))?;
+                scripts[c].observe(resp);
+                out.absorb(resp);
+                // With a whole round per tick every request takes
+                // exactly one tick, matching the live sample formula.
+                out.samples.push(1);
+                let _ = writeln!(
+                    out.transcript,
+                    "c{c} r{round} {kind} -> {}",
+                    resp_brief(resp)
+                );
+            }
         }
     }
 
-    // Leave round.
-    for c in 0..cfg.sessions {
-        let Some(session) = sessions[c] else { continue };
-        let _ = transports[c].send(u64::MAX, &Request::Leave { session });
-        out.count("leave");
-    }
-    svc.tick();
-    for (c, t) in transports.iter().enumerate() {
-        if sessions[c].is_none() {
-            continue;
+    // Leave round (skipped when halting mid-run: the "crash" abandons
+    // its sessions on purpose).
+    if !halted {
+        if !live && rp.exhausted() {
+            svc.fast_forward_tick(rp.sim_tick);
+            live = true;
         }
-        if let Some((_, resp)) = pump(svc, t, &mut out) {
-            out.absorb(&resp);
-            let _ = writeln!(out.transcript, "c{c} leave -> {}", resp_brief(&resp));
+        if live {
+            for c in 0..cfg.sessions {
+                let Some(session) = sessions[c] else { continue };
+                let id = ((c as u64) << 32) | 0xFFFF_FFFF;
+                let _ = transports[c].send(id, &Request::Leave { session });
+                out.count("leave");
+            }
+            svc.tick();
+            for (c, t) in transports.iter().enumerate() {
+                if sessions[c].is_none() {
+                    continue;
+                }
+                if let Some((_, resp)) = pump(svc, t, &mut out) {
+                    out.absorb(&resp);
+                    let _ = writeln!(out.transcript, "c{c} leave -> {}", resp_brief(&resp));
+                }
+            }
+        } else {
+            let mut writes: Vec<(u64, Request)> = Vec::new();
+            for (c, slot) in sessions.iter().enumerate() {
+                let Some(session) = *slot else { continue };
+                writes.push((((c as u64) << 32) | 0xFFFF_FFFF, Request::Leave { session }));
+                out.count("leave");
+            }
+            if writes.is_empty() {
+                rp.sim_tick += 1;
+            } else {
+                let resp_map = rp.consume(&writes)?;
+                for (c, slot) in sessions.iter().enumerate() {
+                    if slot.is_none() {
+                        continue;
+                    }
+                    let id = ((c as u64) << 32) | 0xFFFF_FFFF;
+                    let resp = resp_map
+                        .get(&id)
+                        .ok_or_else(|| format!("log has no response for leave id {id:#x}"))?;
+                    out.absorb(resp);
+                    let _ = writeln!(out.transcript, "c{c} leave -> {}", resp_brief(resp));
+                }
+            }
         }
     }
 
-    out.ticks = svc.current_tick();
-    out
+    if live {
+        out.ticks = svc.current_tick();
+    } else {
+        // The whole run came off the log; leave the service's counter
+        // at the simulated position for whatever comes next.
+        svc.fast_forward_tick(rp.sim_tick);
+        out.ticks = rp.sim_tick;
+    }
+    Ok(out)
 }
 
 /// Maximum Busy-retries per request before counting it as an error.
@@ -447,7 +746,7 @@ fn tcp_client(addr: &str, cfg: &LoadConfig, c: u64) -> Result<LoadOutcome, Trans
     let mut out = LoadOutcome::default();
     let mut script = ClientScript::new(cfg.seed, c, cfg.objects);
 
-    t.send(c, &Request::Join)?;
+    t.send(c << 32, &Request::Join)?;
     out.count("join");
     let (_, joined) = t.recv()?;
     out.absorb(&joined);
@@ -456,6 +755,9 @@ fn tcp_client(addr: &str, cfg: &LoadConfig, c: u64) -> Result<LoadOutcome, Trans
     };
 
     for round in 0..cfg.requests {
+        if cfg.halt_after_rounds.is_some_and(|h| round >= h) {
+            return Ok(out); // simulated crash: abandon without a Leave
+        }
         let (kind, req) = script.next(
             cfg.seed,
             &cfg.mix,
@@ -495,7 +797,7 @@ fn tcp_client(addr: &str, cfg: &LoadConfig, c: u64) -> Result<LoadOutcome, Trans
         }
     }
 
-    t.send(u64::MAX, &Request::Leave { session })?;
+    t.send((c << 32) | 0xFFFF_FFFF, &Request::Leave { session })?;
     out.count("leave");
     let (_, left) = t.recv()?;
     out.absorb(&left);
@@ -511,7 +813,10 @@ mod tests {
     #[test]
     fn mix_parse_round_trip_and_errors() {
         let mix = ClientMix::parse("probe=0.5,post=0.5").unwrap();
-        assert_eq!(mix.describe(), "probe=500m post=500m read=0m recommend=0m");
+        assert_eq!(
+            mix.describe(),
+            "probe=500000ppm post=500000ppm read=0ppm recommend=0ppm"
+        );
         assert!(ClientMix::parse("probe0.5")
             .unwrap_err()
             .contains("not kind=weight"));
@@ -527,6 +832,23 @@ mod tests {
         assert!(ClientMix::parse("probe=0.0")
             .unwrap_err()
             .contains("zero total"));
+    }
+
+    #[test]
+    fn tiny_nonzero_mix_weight_is_an_error_not_a_silent_drop() {
+        // Regression: per-mille quantization used to floor 0.0004 to a
+        // zero weight, silently removing the kind from the mix.
+        let err = ClientMix::parse("probe=0.5,post=0.0000004").unwrap_err();
+        assert!(err.contains("too small to represent"), "{err}");
+        // A small-but-representable weight survives quantization.
+        let mix = ClientMix::parse("probe=0.5,post=0.0004").unwrap();
+        assert_eq!(
+            mix.describe(),
+            "probe=500000ppm post=400ppm read=0ppm recommend=0ppm"
+        );
+        // And the picker can actually land on it.
+        let total = 500_000u64 + 400;
+        assert_eq!(mix.pick(total - 1), RequestKind::Post);
     }
 
     #[test]

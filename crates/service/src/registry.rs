@@ -154,6 +154,52 @@ impl SessionRegistry {
         self.capacity
     }
 
+    /// Iterate the open sessions in handle order (snapshot capture).
+    pub fn iter_open(&self) -> impl Iterator<Item = (SessionId, &SessionState)> {
+        self.open.iter().map(|(&s, st)| (s, st))
+    }
+
+    /// Next session handle to be minted (snapshot capture).
+    pub fn next_session_id(&self) -> SessionId {
+        self.next_session
+    }
+
+    /// Rebuild a registry from persisted parts (crash recovery).
+    /// Validates the parts' internal consistency; a snapshot that fails
+    /// here is treated as corrupt by the caller.
+    pub fn restore(
+        capacity: usize,
+        next_player: PlayerId,
+        next_session: SessionId,
+        retired: u64,
+        sessions: Vec<(SessionId, SessionState)>,
+    ) -> Result<Self, String> {
+        if next_player > capacity {
+            return Err(format!(
+                "next_player {next_player} exceeds capacity {capacity}"
+            ));
+        }
+        let mut open = BTreeMap::new();
+        for (session, st) in sessions {
+            if session == 0 || session >= next_session {
+                return Err(format!("session handle {session} out of minted range"));
+            }
+            if st.player >= next_player {
+                return Err(format!("player slot {} was never minted", st.player));
+            }
+            if open.insert(session, st).is_some() {
+                return Err(format!("duplicate session handle {session}"));
+            }
+        }
+        Ok(SessionRegistry {
+            capacity,
+            next_player,
+            next_session,
+            open,
+            retired,
+        })
+    }
+
     /// Seal the current liveness as a fault-layer epoch: a slot is live
     /// iff it is bound to an open session. `paid` is the per-slot probe
     /// counter vector captured at the same barrier.

@@ -35,11 +35,13 @@
 //! bound. Reads (`Read`/`Recommend`/`Stats`) bypass the queue entirely
 //! and are answered from the latest sealed snapshot.
 
-use crate::registry::SessionRegistry;
+use crate::registry::{SessionRegistry, SessionState};
 use crate::snapshot::{BoardSnapshot, SnapshotCell};
-use crate::wire::{object_in_range, ErrorCode, Request, Response};
+use crate::wal::{self, PersistedState, SessionDump, WalError, WalHeader, WalWriter};
+use crate::wire::{object_in_range, ErrorCode, Request, Response, SessionId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
@@ -97,6 +99,100 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Durability knobs for a WAL-backed service.
+#[derive(Debug, Clone)]
+pub struct Durability {
+    /// Directory holding `ticks.wal` and `snapshot.bin` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Persist a sealed-state snapshot every this many ticks; 0
+    /// disables snapshots (recovery then replays the whole log).
+    pub snapshot_every: u64,
+}
+
+/// How [`Service::recover`] should rebuild state.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverOptions {
+    /// Start from the latest valid snapshot and replay only the log
+    /// tail. Ignored (treated as `false`) when `capture` is set, and
+    /// when the snapshot is sealed past the last valid log record — a
+    /// full replay is the only way to honour either case.
+    pub use_snapshot: bool,
+    /// Capture each replayed tick's requests, responses, and sealed
+    /// snapshot in the report (costs memory; used by `tmwia load`
+    /// resume, which needs every tick's responses to rebuild the
+    /// transcript — so `capture` forces a full log replay).
+    pub capture: bool,
+}
+
+/// One replayed tick, as captured during recovery.
+#[derive(Debug, Clone)]
+pub struct ReplayedTick {
+    /// Absolute tick number.
+    pub tick: u64,
+    /// The logged batch: `(request id, request)` in drain order.
+    pub requests: Vec<(u64, Request)>,
+    /// Responses the replayed tick produced, in delivery order.
+    pub responses: Vec<(u64, Response)>,
+    /// The snapshot sealed by this tick.
+    pub snapshot: Arc<BoardSnapshot>,
+}
+
+/// What [`Service::recover`] did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Tick of the snapshot the recovery started from (0 = none).
+    pub snapshot_tick: u64,
+    /// Log records replayed through the tick path.
+    pub replayed_ticks: u64,
+    /// Requests re-executed during replay.
+    pub replayed_requests: u64,
+    /// Torn-tail bytes chopped off the log.
+    pub truncated_bytes: u64,
+    /// Tick counter after recovery (the recovered state's position).
+    pub recovered_tick: u64,
+    /// Per-tick capture (empty unless [`RecoverOptions::capture`]).
+    pub replay: Vec<ReplayedTick>,
+}
+
+/// Recovery failures: construction or durability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The service configuration itself is invalid.
+    Service(ServiceError),
+    /// The WAL directory cannot be used.
+    Wal(WalError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Service(e) => write!(f, "{e}"),
+            RecoverError::Wal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<WalError> for RecoverError {
+    fn from(e: WalError) -> Self {
+        RecoverError::Wal(e)
+    }
+}
+
+/// The attached durability machinery. The first append/snapshot error
+/// is latched and stops further persistence (a half-written log must
+/// not keep growing past the damage); [`Service::wal_health`] surfaces
+/// it.
+struct DurableState {
+    writer: Mutex<WalWriter>,
+    dir: PathBuf,
+    snapshot_every: u64,
+    last_snapshot: AtomicU64,
+    error: Mutex<Option<String>>,
+}
+
 /// What one tick did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TickReport {
@@ -131,9 +227,14 @@ pub struct Service {
     snapshot: SnapshotCell,
     tick: AtomicU64,
     next_seq: AtomicU64,
+    /// Next seq as of the last *executed* batch (what snapshots
+    /// persist: queued-but-unexecuted requests are not durable and get
+    /// byte-identical seqs when resubmitted after recovery).
+    sealed_seq: AtomicU64,
     served: AtomicU64,
     rejected: AtomicU64,
     shutdown: AtomicBool,
+    durable: Option<DurableState>,
 }
 
 impl std::fmt::Debug for Service {
@@ -169,10 +270,217 @@ impl Service {
             snapshot: SnapshotCell::new(BoardSnapshot::empty()),
             tick: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
+            sealed_seq: AtomicU64::new(0),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            durable: None,
         })
+    }
+
+    /// Stand up a WAL-backed service, recovering whatever state the WAL
+    /// directory holds: open (or create) the log, validate its header
+    /// against `cfg`, chop any torn tail, optionally load the latest
+    /// valid snapshot, and replay the remaining records through the
+    /// normal tick path. The recovered state is **byte-identical** to
+    /// the pre-crash sealed state (pinned by `tests/recovery.rs`);
+    /// subsequent ticks keep appending to the same log.
+    pub fn recover(
+        truth: PrefMatrix,
+        cfg: ServiceConfig,
+        durability: &Durability,
+        opts: RecoverOptions,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let header = WalHeader {
+            seed: cfg.seed,
+            batch_size: cfg.batch_size as u64,
+            n: truth.n() as u64,
+            m: truth.m() as u64,
+        };
+        let (writer, contents) = WalWriter::open(&durability.dir, &header)?;
+        let log_tick = contents.records.last().map_or(0, |r| r.tick);
+        // Two cases force a full log replay even when a snapshot exists:
+        //
+        // * `capture` — a captured replay exists so a resuming load
+        //   driver can rebuild the whole transcript, which needs every
+        //   logged tick's responses; a snapshot elides exactly those
+        //   ticks, so it cannot be the starting point.
+        // * a snapshot "from the future" — sealed past the last
+        //   surviving log record (a torn tail removed ticks it had
+        //   already seen). Resuming FROM it would silently re-execute
+        //   those ticks on top of a state that already holds them,
+        //   while replaying the log alone always yields a consistent
+        //   prefix state (the lost rounds are simply re-executed live).
+        let snapshot_state = if opts.use_snapshot && !opts.capture {
+            wal::read_snapshot(&durability.dir)?.filter(|st| st.tick <= log_tick)
+        } else {
+            None
+        };
+        let mut svc = Service::new(truth, cfg).map_err(RecoverError::Service)?;
+        svc.durable = Some(DurableState {
+            writer: Mutex::new(writer),
+            dir: durability.dir.clone(),
+            snapshot_every: durability.snapshot_every,
+            last_snapshot: AtomicU64::new(0),
+            error: Mutex::new(None),
+        });
+
+        let mut report = RecoveryReport {
+            truncated_bytes: contents.truncated_bytes,
+            ..RecoveryReport::default()
+        };
+        let mut base_tick = 0u64;
+        if let Some(st) = snapshot_state {
+            svc.restore_state(&st)?;
+            base_tick = st.tick;
+            report.snapshot_tick = st.tick;
+            if let Some(d) = &svc.durable {
+                d.last_snapshot.store(st.tick, Ordering::Relaxed);
+            }
+        }
+
+        // Replay the tail through the normal tick path. Replayed
+        // appends are no-ops (the writer's high-water mark covers
+        // them), so the log is not double-written.
+        let (tx, rx) = std::sync::mpsc::channel();
+        for rec in &contents.records {
+            if rec.tick <= base_tick {
+                continue;
+            }
+            svc.fast_forward_tick(rec.tick - 1);
+            for e in &rec.entries {
+                svc.enqueue_replay(e.seq, e.id, e.req.clone(), &tx);
+            }
+            svc.tick();
+            report.replayed_ticks += 1;
+            report.replayed_requests += rec.entries.len() as u64;
+            if opts.capture {
+                let mut responses = Vec::with_capacity(rec.entries.len());
+                while let Ok(pair) = rx.try_recv() {
+                    responses.push(pair);
+                }
+                report.replay.push(ReplayedTick {
+                    tick: rec.tick,
+                    requests: rec.entries.iter().map(|e| (e.id, e.req.clone())).collect(),
+                    responses,
+                    snapshot: svc.snapshot(),
+                });
+            } else {
+                while rx.try_recv().is_ok() {}
+            }
+        }
+        // Recovery must not inflate the served counter: replayed
+        // requests were already counted by the original run.
+        svc.served.store(0, Ordering::Relaxed);
+        // A replayed `Shutdown` set the flag during replay (the log
+        // faithfully ends with it when the previous run was stopped via
+        // the wire). Restarting is an explicit operator decision that
+        // supersedes that shutdown — the recovered service comes back
+        // accepting requests.
+        svc.shutdown.store(false, Ordering::SeqCst);
+        report.recovered_tick = svc.current_tick();
+        Ok((svc, report))
+    }
+
+    /// Rebuild in-memory state from a persisted snapshot. Only valid on
+    /// a freshly constructed service.
+    fn restore_state(&self, st: &PersistedState) -> Result<(), RecoverError> {
+        let n = self.n();
+        let m = self.m();
+        let corrupt = |why: String| RecoverError::Wal(WalError::Corrupt(why));
+        if st.capacity as usize != n {
+            return Err(corrupt(format!(
+                "snapshot capacity {} does not match instance n {n}",
+                st.capacity
+            )));
+        }
+        if st.probed.len() > n {
+            return Err(corrupt(format!(
+                "snapshot has probe memos for {} players, instance has {n}",
+                st.probed.len()
+            )));
+        }
+        let sessions: Vec<(SessionId, SessionState)> = st
+            .sessions
+            .iter()
+            .map(|d| {
+                (
+                    d.session,
+                    SessionState {
+                        player: d.player as PlayerId,
+                        joined_tick: d.joined_tick,
+                        probes_at_join: d.probes_at_join,
+                        posts: d.posts,
+                        served: d.served,
+                    },
+                )
+            })
+            .collect();
+        let restored = SessionRegistry::restore(
+            n,
+            st.next_player as PlayerId,
+            st.next_session,
+            st.retired,
+            sessions,
+        )
+        .map_err(corrupt)?;
+
+        // Probe memo: re-probing a fresh engine restores the memo and
+        // the per-player counters (values re-derive from the truth).
+        for (p, objs) in st.probed.iter().enumerate() {
+            let handle = self.engine.player(p);
+            for &j in objs {
+                let Some(j) = object_in_range(j, m) else {
+                    return Err(corrupt(format!("probed object {j} out of range (m = {m})")));
+                };
+                handle.probe(j);
+            }
+        }
+
+        // Billboard: repost the visible entries (all stamped at the
+        // current epoch 0, which stays visible at lag 0), then advance
+        // the epoch counter to the sealed value.
+        let mut posts: Vec<(u32, PlayerId, bool)> = Vec::new();
+        for (object, entries) in &st.posts {
+            if object_in_range(*object, m).is_none() {
+                return Err(corrupt(format!(
+                    "posted object {object} out of range (m = {m})"
+                )));
+            }
+            for &(player, grade) in entries {
+                if player as usize >= n {
+                    return Err(corrupt(format!("posting player {player} out of range")));
+                }
+                posts.push((*object, player as PlayerId, grade));
+            }
+        }
+        if !posts.is_empty() {
+            self.board.post_batch(posts);
+        }
+        while self.board.epoch() < st.epoch {
+            self.board.advance_epoch();
+        }
+
+        let reg_guard = {
+            let mut reg = self.registry.lock();
+            *reg = restored;
+            reg
+        };
+        self.tick.store(st.tick, Ordering::Relaxed);
+        self.next_seq.store(st.next_seq, Ordering::Relaxed);
+        self.sealed_seq.store(st.next_seq, Ordering::Relaxed);
+        self.shutdown.store(st.shutdown, Ordering::Relaxed);
+        let paid: Vec<u64> = (0..n).map(|p| self.engine.probes_of(p)).collect();
+        let liveness = reg_guard.liveness(paid);
+        let live = reg_guard.live_count() as u32;
+        self.snapshot.store(BoardSnapshot::build(
+            &self.board,
+            liveness,
+            live,
+            st.epoch,
+            st.tick,
+        ));
+        Ok(())
     }
 
     /// Player-slot capacity (the instance's `n`).
@@ -195,15 +503,40 @@ impl Service {
         self.snapshot.load()
     }
 
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Is a write-ahead log attached?
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The first durability failure, if any. Once an append or a
+    /// snapshot write fails, persistence stops (the log must not grow
+    /// past the damage) but serving continues; callers decide whether
+    /// that is fatal.
+    pub fn wal_health(&self) -> Option<String> {
+        self.durable.as_ref().and_then(|d| d.error.lock().clone())
+    }
+
     /// Has a shutdown been requested?
     pub fn is_shutdown(&self) -> bool {
-        self.shutdown.load(Ordering::Relaxed)
+        self.shutdown.load(Ordering::SeqCst)
     }
 
     /// Request a shutdown from outside the protocol (e.g. a tick-count
     /// bound). Queued writes still drain; new writes are refused.
+    ///
+    /// The flag is stored while holding the queue lock, and `submit`
+    /// reads it under the same lock: the mutex totally orders every
+    /// enqueue against the flag flip, so a request is either enqueued
+    /// strictly before shutdown (and will be drained) or observes the
+    /// flag and is refused — never silently stranded.
     pub fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        let _queue = self.queue.lock();
+        self.shutdown.store(true, Ordering::SeqCst);
     }
 
     /// Requests currently queued.
@@ -283,11 +616,16 @@ impl Service {
             | Request::Probe { .. }
             | Request::Post { .. }
             | Request::Shutdown => {
+                let mut queue = self.queue.lock();
+                // Checked under the queue lock: the shutdown flag is
+                // also stored under it, so "enqueued before shutdown"
+                // and "refused after" are the only possible outcomes
+                // (see `request_shutdown`).
                 if self.is_shutdown() && !matches!(req, Request::Shutdown) {
+                    drop(queue);
                     let _ = reply.send((id, Response::ShuttingDown));
                     return;
                 }
-                let mut queue = self.queue.lock();
                 if queue.len() >= self.cfg.queue_capacity {
                     drop(queue);
                     self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -310,6 +648,90 @@ impl Service {
         }
     }
 
+    /// Enqueue a churn-teardown `Leave` for an abandoned session (the
+    /// TCP handler's disconnect path). Exempt from both queue capacity
+    /// and the shutdown refusal: a teardown that bounced off a full
+    /// queue would pin the slot as a phantom live player forever, which
+    /// is strictly worse than briefly exceeding the capacity bound by a
+    /// handful of entries (one per dying connection).
+    pub fn submit_teardown(&self, session: SessionId) {
+        let (reply, _discard) = std::sync::mpsc::channel();
+        let mut queue = self.queue.lock();
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        queue.push_back(Pending {
+            seq,
+            id: u64::MAX,
+            req: Request::Leave { session },
+            reply,
+        });
+    }
+
+    /// Recovery-only enqueue: restore a logged request with its
+    /// original sequence number, bypassing capacity and shutdown checks
+    /// (records after a logged Shutdown legitimately exist — they were
+    /// queued before the flag flipped and drained after).
+    pub(crate) fn enqueue_replay(&self, seq: u64, id: u64, req: Request, reply: &ReplySender) {
+        let mut queue = self.queue.lock();
+        self.next_seq.store(seq + 1, Ordering::Relaxed);
+        queue.push_back(Pending {
+            seq,
+            id,
+            req,
+            reply: reply.clone(),
+        });
+    }
+
+    /// Advance the tick counter without executing (recovery/resume:
+    /// empty ticks are not logged, so replay jumps over the gaps).
+    /// Never moves backwards.
+    pub(crate) fn fast_forward_tick(&self, to: u64) {
+        if to > self.tick.load(Ordering::Relaxed) {
+            self.tick.store(to, Ordering::Relaxed);
+        }
+    }
+
+    /// A deterministic rendering of the full durable state: tick/seq
+    /// position, registry (sessions + ledgers), per-player probe memos,
+    /// and the sealed snapshot digest. Process-local statistics
+    /// (`served`/`rejected` totals) are excluded — snapshot reads are
+    /// not replayed, so they reset on restart by design. Byte-equality
+    /// of two digests is the recovery acceptance criterion.
+    pub fn state_digest(&self) -> String {
+        use std::fmt::Write as _;
+        let reg = self.registry.lock();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "state tick={} seq={} shutdown={} minted={} retired={} live={}",
+            self.current_tick(),
+            self.next_seq.load(Ordering::Relaxed),
+            self.is_shutdown(),
+            reg.slots_minted(),
+            reg.retired(),
+            reg.live_count(),
+        );
+        for (session, st) in reg.iter_open() {
+            let _ = writeln!(
+                s,
+                "  session {session}: player={} joined={} posts={} served={}",
+                st.player, st.joined_tick, st.posts, st.served
+            );
+        }
+        for p in 0..self.n() {
+            let probed = self.engine.probed_objects(p);
+            if !probed.is_empty() {
+                let _ = writeln!(
+                    s,
+                    "  player {p}: probes={} memo={probed:?}",
+                    self.engine.probes_of(p)
+                );
+            }
+        }
+        drop(reg);
+        s.push_str(&self.snapshot().digest());
+        s
+    }
+
     /// Execute one batch tick (see module docs for the pipeline).
     /// Exactly one driver thread may call this at a time.
     pub fn tick(&self) -> TickReport {
@@ -327,6 +749,23 @@ impl Service {
                 remaining,
                 sealed_epoch: None,
             };
+        }
+
+        // Write-ahead: the canonical batch is durable (fsynced) before
+        // anything executes. Replayed ticks are already on disk and are
+        // skipped by the writer's high-water mark; empty ticks are not
+        // logged at all (recovery fast-forwards over the gaps).
+        if let Some(d) = &self.durable {
+            if d.error.lock().is_none() {
+                let entries: Vec<(u64, u64, &Request)> =
+                    batch.iter().map(|p| (p.seq, p.id, &p.req)).collect();
+                if let Err(e) = d.writer.lock().append(tick_no, &entries) {
+                    *d.error.lock() = Some(e.to_string());
+                }
+            }
+        }
+        if let Some(last) = batch.last() {
+            self.sealed_seq.store(last.seq + 1, Ordering::Relaxed);
         }
 
         let mut responses: Vec<Option<Response>> = Vec::with_capacity(batch.len());
@@ -369,7 +808,13 @@ impl Service {
                         });
                     }
                     Request::Shutdown => {
-                        self.shutdown.store(true, Ordering::Relaxed);
+                        // Stored under the queue lock, like
+                        // `request_shutdown`, so no submit can slip an
+                        // unseen write past the flag.
+                        {
+                            let _queue = self.queue.lock();
+                            self.shutdown.store(true, Ordering::SeqCst);
+                        }
                         responses[i] = Some(Response::ShuttingDown);
                     }
                     Request::Probe { session, .. } | Request::Post { session, .. } => {
@@ -495,6 +940,22 @@ impl Service {
                 epoch,
                 tick_no,
             ));
+
+            // Periodic sealed-state persistence: capture under the
+            // registry lock (the same barrier the snapshot seals at),
+            // write-tmp-then-rename off to the side.
+            if let Some(d) = &self.durable {
+                let due = d.snapshot_every > 0
+                    && tick_no.saturating_sub(d.last_snapshot.load(Ordering::Relaxed))
+                        >= d.snapshot_every;
+                if due && d.error.lock().is_none() {
+                    let state = self.capture_state(&reg, epoch, tick_no);
+                    match wal::write_snapshot(&d.dir, &state) {
+                        Ok(()) => d.last_snapshot.store(tick_no, Ordering::Relaxed),
+                        Err(e) => *d.error.lock() = Some(e.to_string()),
+                    }
+                }
+            }
             epoch
         };
 
@@ -517,6 +978,56 @@ impl Service {
             executed,
             remaining,
             sealed_epoch: Some(sealed_epoch),
+        }
+    }
+
+    /// Serialize the sealed state for persistence. Called at the seal
+    /// barrier with the registry lock held.
+    fn capture_state(&self, reg: &SessionRegistry, epoch: u64, tick_no: u64) -> PersistedState {
+        let n = self.n();
+        PersistedState {
+            tick: tick_no,
+            epoch,
+            next_seq: self.sealed_seq.load(Ordering::Relaxed),
+            shutdown: self.is_shutdown(),
+            capacity: reg.capacity() as u64,
+            next_player: reg.slots_minted() as u64,
+            next_session: reg.next_session_id(),
+            retired: reg.retired(),
+            sessions: reg
+                .iter_open()
+                .map(|(session, st)| SessionDump {
+                    session,
+                    player: st.player as u64,
+                    joined_tick: st.joined_tick,
+                    probes_at_join: st.probes_at_join,
+                    posts: st.posts,
+                    served: st.served,
+                })
+                .collect(),
+            probed: (0..n)
+                .map(|p| {
+                    self.engine
+                        .probed_objects(p)
+                        .into_iter()
+                        .map(|j| j as u32)
+                        .collect()
+                })
+                .collect(),
+            posts: self
+                .board
+                .visible_posts()
+                .into_iter()
+                .map(|(object, entries)| {
+                    (
+                        object,
+                        entries
+                            .into_iter()
+                            .map(|(player, grade)| (player as u64, grade))
+                            .collect(),
+                    )
+                })
+                .collect(),
         }
     }
 }
@@ -747,6 +1258,61 @@ mod tests {
         s.submit(4, Request::Read { object: 0 }, &tx);
         let (_, board) = recv1(&rx);
         assert!(matches!(board, Response::Board { .. }));
+    }
+
+    #[test]
+    fn teardown_bypasses_capacity_and_shutdown() {
+        let s = svc(
+            8,
+            ServiceConfig {
+                queue_capacity: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let (tx, rx) = channel();
+        s.submit(1, Request::Join, &tx);
+        s.tick();
+        let (_, joined) = recv1(&rx);
+        let Response::Joined { session, .. } = joined else {
+            panic!("expected Joined, got {joined:?}");
+        };
+
+        // Fill the one-slot queue, then try to leave the ordinary way:
+        // the Leave bounces with Busy.
+        s.submit(
+            2,
+            Request::Probe {
+                session,
+                object: 0,
+                share: false,
+            },
+            &tx,
+        );
+        s.submit(3, Request::Leave { session }, &tx);
+        let (_, busy) = recv1(&rx);
+        assert!(matches!(busy, Response::Busy { .. }), "{busy:?}");
+
+        // Regression: the connection-teardown path used to take that
+        // same bouncing route (into a throwaway channel, so nobody
+        // retried) and the slot stayed a phantom live player forever.
+        s.submit_teardown(session);
+        assert_eq!(s.queue_len(), 2, "teardown enqueued past capacity");
+        s.tick();
+        assert_eq!(s.sessions_live(), 0, "teardown survived the full queue");
+        let (_, grade) = recv1(&rx);
+        assert!(matches!(grade, Response::Grade { .. }), "{grade:?}");
+
+        // Also exempt from the shutdown refusal.
+        s.submit(4, Request::Join, &tx);
+        s.tick();
+        let (_, joined) = recv1(&rx);
+        let Response::Joined { session, .. } = joined else {
+            panic!("expected Joined, got {joined:?}");
+        };
+        s.request_shutdown();
+        s.submit_teardown(session);
+        s.tick();
+        assert_eq!(s.sessions_live(), 0, "teardown survived shutdown");
     }
 
     #[test]

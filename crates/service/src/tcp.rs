@@ -109,21 +109,7 @@ pub fn serve(
         let svc = Arc::clone(&svc);
         let interval = opts.tick_interval;
         let max_ticks = opts.max_ticks;
-        thread::spawn(move || {
-            let mut ticks = 0u64;
-            loop {
-                svc.tick();
-                ticks += 1;
-                if max_ticks > 0 && ticks >= max_ticks {
-                    svc.request_shutdown();
-                }
-                if svc.is_shutdown() && svc.queue_len() == 0 {
-                    break;
-                }
-                thread::sleep(interval);
-            }
-            ticks
-        })
+        thread::spawn(move || ticker_loop(&svc, interval, max_ticks))
     };
 
     let acceptor = {
@@ -153,6 +139,33 @@ pub fn serve(
     })
 }
 
+/// The ticker: pace batch ticks until shutdown, then **drain before
+/// breaking**. The shutdown flag is stored under the queue lock and
+/// `submit` checks it under the same lock, so once the flag is
+/// observed here every write is either already queued (drained by the
+/// loop below) or was refused with `ShuttingDown` — a request can no
+/// longer slip in between the emptiness check and the break and hang
+/// its client forever.
+fn ticker_loop(svc: &Service, interval: Duration, max_ticks: u64) -> u64 {
+    let mut ticks = 0u64;
+    loop {
+        svc.tick();
+        ticks += 1;
+        if max_ticks > 0 && ticks >= max_ticks {
+            svc.request_shutdown();
+        }
+        if svc.is_shutdown() {
+            while svc.queue_len() > 0 {
+                svc.tick();
+                ticks += 1;
+            }
+            break;
+        }
+        thread::sleep(interval);
+    }
+    ticks
+}
+
 /// One connection: lockstep request/response over the framed stream.
 fn handle_conn(svc: &Arc<Service>, mut stream: TcpStream) {
     let (tx, rx) = channel();
@@ -173,7 +186,7 @@ fn handle_conn(svc: &Arc<Service>, mut stream: TcpStream) {
                     code: ErrorCode::BadRequest,
                     detail: format!("undecodable request: {e}"),
                 };
-                let _ = stream.write_all(&encode_response(0, &resp));
+                let _ = stream.write_all(&encode_or_error(0, &resp));
                 break;
             }
         };
@@ -193,17 +206,37 @@ fn handle_conn(svc: &Arc<Service>, mut stream: TcpStream) {
             _ => {}
         }
         let shutting_down = matches!(resp, Response::ShuttingDown);
-        if stream.write_all(&encode_response(rid, &resp)).is_err() {
+        if stream.write_all(&encode_or_error(rid, &resp)).is_err() {
             break;
         }
         if shutting_down {
             break;
         }
     }
-    // Churn-safe teardown: close whatever the peer left open.
-    let (sink, _drain) = channel();
+    // Churn-safe teardown: close whatever the peer left open. The
+    // capacity-exempt path matters — a teardown bounced off a full
+    // queue with `Busy` (into this fire-and-forget channel, so nobody
+    // would retry) would pin the slot as a phantom live player forever.
     for session in open {
-        svc.submit(u64::MAX, Request::Leave { session }, &sink);
+        svc.submit_teardown(session);
+    }
+}
+
+/// Encode a response, substituting an in-band error frame if the
+/// response itself does not fit the wire format (e.g. a recommendation
+/// list past the count field). The substitute is tiny and always
+/// encodes.
+fn encode_or_error(id: u64, resp: &Response) -> Vec<u8> {
+    match encode_response(id, resp) {
+        Ok(frame) => frame,
+        Err(e) => encode_response(
+            id,
+            &Response::Error {
+                code: ErrorCode::BadRequest,
+                detail: format!("response does not fit the wire format: {e}"),
+            },
+        )
+        .unwrap_or_default(),
     }
 }
 
@@ -237,5 +270,75 @@ impl Transport for TcpTransport {
             Some(body) => Ok(decode_response(&body)?),
             None => Err(TransportError::Closed),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use std::sync::mpsc::channel;
+    use tmwia_model::generators::planted_community;
+
+    /// Regression for the shutdown/enqueue race: the old ticker broke
+    /// as soon as it saw `is_shutdown() && queue_len() == 0`, so a
+    /// request enqueued between that check and the break was never
+    /// answered. The loop must keep ticking until the queue is truly
+    /// drained after the flag is observed.
+    #[test]
+    fn ticker_drains_queued_writes_after_shutdown_flag() {
+        let inst = planted_community(8, 8, 4, 2, 11);
+        let svc = Arc::new(
+            Service::new(
+                inst.truth.clone(),
+                ServiceConfig {
+                    batch_size: 2,
+                    queue_capacity: 16,
+                    ..ServiceConfig::default()
+                },
+            )
+            .expect("valid config"),
+        );
+        let (tx, rx) = channel();
+        svc.submit(1, Request::Join, &tx);
+        svc.tick();
+        let (_, joined) = rx.try_recv().expect("join answered");
+        let Response::Joined { session, .. } = joined else {
+            panic!("expected Joined, got {joined:?}");
+        };
+
+        // Pile up writes around a Shutdown: with batch size 2, the flag
+        // flips mid-drain while requests are still queued — including
+        // one queued *after* the Shutdown request itself.
+        for id in 2..7 {
+            svc.submit(
+                id,
+                Request::Probe {
+                    session,
+                    object: (id % 4) as u32,
+                    share: false,
+                },
+                &tx,
+            );
+        }
+        svc.submit(7, Request::Shutdown, &tx);
+        svc.submit(
+            8,
+            Request::Probe {
+                session,
+                object: 0,
+                share: false,
+            },
+            &tx,
+        );
+
+        ticker_loop(&svc, Duration::ZERO, 0);
+
+        assert_eq!(svc.queue_len(), 0, "ticker drained everything");
+        let mut answered = 0;
+        while rx.try_recv().is_ok() {
+            answered += 1;
+        }
+        assert_eq!(answered, 7, "every queued request was answered");
     }
 }

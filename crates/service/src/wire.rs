@@ -236,6 +236,14 @@ pub enum WireError {
     },
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// A variable-length field holds more items than its on-wire count
+    /// field can represent (encode-side; decoding cannot produce this).
+    CountOverflow {
+        /// Which field.
+        what: &'static str,
+        /// The item count that does not fit.
+        count: usize,
+    },
     /// Underlying stream error (TCP transport only).
     Io(String),
 }
@@ -260,6 +268,12 @@ impl std::fmt::Display for WireError {
                 write!(f, "{extra} trailing bytes after message")
             }
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::CountOverflow { what, count } => {
+                write!(
+                    f,
+                    "{what} holds {count} items, more than the wire format can carry"
+                )
+            }
             WireError::Io(e) => write!(f, "stream error: {e}"),
         }
     }
@@ -269,35 +283,39 @@ impl std::error::Error for WireError {}
 
 // ---------------------------------------------------------------- put/take
 
-/// Byte-sink for encoding.
-struct Sink(Vec<u8>);
+/// Byte-sink for encoding. Shared with the WAL module, which reuses
+/// the same fixed-width little-endian conventions for its records.
+pub(crate) struct Sink(pub(crate) Vec<u8>);
 
 impl Sink {
-    fn put_u8(&mut self, v: u8) {
+    pub(crate) fn put_u8(&mut self, v: u8) {
         self.0.push(v);
     }
-    fn put_bool(&mut self, v: bool) {
+    pub(crate) fn put_bool(&mut self, v: bool) {
         self.0.push(u8::from(v));
     }
-    fn put_u16(&mut self, v: u16) {
+    pub(crate) fn put_u16(&mut self, v: u16) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn put_u32(&mut self, v: u32) {
+    pub(crate) fn put_u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn put_u64(&mut self, v: u64) {
+    pub(crate) fn put_u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
 }
 
-/// Checked cursor for decoding.
-struct Take<'a> {
+/// Checked cursor for decoding. Shared with the WAL module.
+pub(crate) struct Take<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Take<'a> {
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Take { buf, pos: 0 }
+    }
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let have = self.buf.len() - self.pos;
         if have < n {
             return Err(WireError::Truncated { needed: n, have });
@@ -306,10 +324,10 @@ impl<'a> Take<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.bytes(1)?[0])
     }
-    fn bool(&mut self) -> Result<bool, WireError> {
+    pub(crate) fn bool(&mut self) -> Result<bool, WireError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -319,21 +337,24 @@ impl<'a> Take<'a> {
             }),
         }
     }
-    fn u16(&mut self) -> Result<u16, WireError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
         let b = self.bytes(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         let b = self.bytes(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.bytes(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
-    fn finish(self) -> Result<(), WireError> {
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    pub(crate) fn finish(self) -> Result<(), WireError> {
         let extra = self.buf.len() - self.pos;
         if extra == 0 {
             Ok(())
@@ -351,6 +372,13 @@ fn frame(body: Vec<u8>) -> Vec<u8> {
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(&body);
     out
+}
+
+fn frame_checked(body: Vec<u8>) -> Result<Vec<u8>, WireError> {
+    if body.len() > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { len: body.len() });
+    }
+    Ok(frame(body))
 }
 
 /// Encode a request as a complete frame (length prefix included).
@@ -398,7 +426,13 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
 }
 
 /// Encode a response as a complete frame (length prefix included).
-pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+///
+/// Encoding is as total as decoding: a response whose variable-length
+/// fields do not fit the wire format (a recommendation list past
+/// `u16::MAX` entries, an error detail past `u16::MAX` bytes, or a body
+/// past [`MAX_FRAME`]) returns a typed [`WireError`] instead of being
+/// silently truncated.
+pub fn encode_response(id: u64, resp: &Response) -> Result<Vec<u8>, WireError> {
     let mut s = Sink(Vec::with_capacity(32));
     s.put_u64(id);
     match resp {
@@ -449,11 +483,12 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
         Response::Recommended { epoch, objects } => {
             s.put_u8(0x86);
             s.put_u64(*epoch);
-            // The server caps recommendation lists far below u16::MAX;
-            // saturate rather than wrap if a future caller does not.
-            let count = u16::try_from(objects.len()).unwrap_or(u16::MAX);
+            let count = u16::try_from(objects.len()).map_err(|_| WireError::CountOverflow {
+                what: "recommendation list",
+                count: objects.len(),
+            })?;
             s.put_u16(count);
-            for &j in objects.iter().take(count as usize) {
+            for &j in objects {
                 s.put_u32(j);
             }
         }
@@ -481,13 +516,16 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             s.put_u8(0x89);
             s.put_u8(code.to_u8());
             let bytes = detail.as_bytes();
-            let len = u16::try_from(bytes.len()).unwrap_or(u16::MAX);
+            let len = u16::try_from(bytes.len()).map_err(|_| WireError::CountOverflow {
+                what: "error detail",
+                count: bytes.len(),
+            })?;
             s.put_u16(len);
-            s.0.extend_from_slice(&bytes[..len as usize]);
+            s.0.extend_from_slice(bytes);
         }
         Response::ShuttingDown => s.put_u8(0x8A),
     }
-    frame(s.0)
+    frame_checked(s.0)
 }
 
 // ---------------------------------------------------------------- decode
@@ -686,11 +724,63 @@ mod tests {
             Response::ShuttingDown,
         ];
         for resp in &cases {
-            let f = encode_response(99, resp);
+            let f = encode_response(99, resp).expect("in-range response encodes");
             let (id, back) = decode_response(&f[4..]).unwrap();
             assert_eq!(id, 99);
             assert_eq!(&back, resp);
         }
+    }
+
+    #[test]
+    fn recommendation_encode_boundaries_are_typed_errors() {
+        // Largest list whose body fits MAX_FRAME: 8 (id) + 1 (tag) +
+        // 8 (epoch) + 2 (count) + 4k ≤ 65536 ⇒ k ≤ 16379.
+        let fits = Response::Recommended {
+            epoch: 1,
+            objects: (0..16379).collect(),
+        };
+        let f = encode_response(7, &fits).expect("16379 objects fit the frame cap");
+        let (_, back) = decode_response(&f[4..]).unwrap();
+        assert_eq!(back, fits, "boundary frame round-trips losslessly");
+
+        // One more object overflows the frame cap.
+        let too_big = Response::Recommended {
+            epoch: 1,
+            objects: (0..16380).collect(),
+        };
+        assert!(matches!(
+            encode_response(7, &too_big),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+
+        // Past the u16 count field entirely: a count overflow, never a
+        // silent `.take(65535)`.
+        let past_count = Response::Recommended {
+            epoch: 1,
+            objects: vec![0; 65536],
+        };
+        assert_eq!(
+            encode_response(7, &past_count),
+            Err(WireError::CountOverflow {
+                what: "recommendation list",
+                count: 65536,
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_error_detail_is_a_typed_error() {
+        let resp = Response::Error {
+            code: ErrorCode::BadRequest,
+            detail: "x".repeat(65536),
+        };
+        assert_eq!(
+            encode_response(7, &resp),
+            Err(WireError::CountOverflow {
+                what: "error detail",
+                count: 65536,
+            })
+        );
     }
 
     #[test]

@@ -115,11 +115,11 @@ proptest! {
 
     #[test]
     fn responses_round_trip(id in any::<u64>(), resp in arb_response()) {
-        let frame = encode_response(id, &resp);
+        let frame = encode_response(id, &resp).expect("in-range response encodes");
         let (rid, back) = decode_response(&frame[4..]).expect("round trip");
         prop_assert_eq!(rid, id);
         prop_assert_eq!(back, resp.clone());
-        prop_assert_eq!(encode_response(id, &back), frame);
+        prop_assert_eq!(encode_response(id, &back).expect("re-encode"), frame);
     }
 
     #[test]
@@ -136,7 +136,7 @@ proptest! {
 
     #[test]
     fn trailing_bytes_are_rejected(resp in arb_response(), extra in 1usize..8) {
-        let frame = encode_response(7, &resp);
+        let frame = encode_response(7, &resp).expect("in-range response encodes");
         let mut body = frame[4..].to_vec();
         body.extend(std::iter::repeat_n(0xAB, extra));
         match decode_response(&body) {

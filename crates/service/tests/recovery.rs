@@ -1,0 +1,236 @@
+//! End-to-end crash/recovery coverage: a run killed mid-flight and
+//! resumed from its write-ahead log produces a byte-identical outcome —
+//! transcript, counters, latency samples, and full state digest — to an
+//! uninterrupted run of the same config. Also: snapshot-plus-tail
+//! recovery equals full log replay, and a torn tail (the log chopped
+//! mid-record) recovers the valid prefix and re-executes the rest.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tmwia_model::generators::planted_community;
+use tmwia_service::{
+    run_durable, Durability, LoadConfig, RecoverOptions, RecoveryReport, Service, ServiceConfig,
+};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch directory per call (no wall clock: pid + counter).
+fn scratch_dir() -> PathBuf {
+    let id = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tmwia-recovery-test-{}-{id}", std::process::id()))
+}
+
+fn svc_cfg() -> ServiceConfig {
+    ServiceConfig {
+        batch_size: 16,
+        queue_capacity: 64,
+        seed: 9,
+        ..ServiceConfig::default()
+    }
+}
+
+fn load_cfg() -> LoadConfig {
+    LoadConfig {
+        sessions: 8,
+        requests: 12,
+        seed: 7,
+        ..LoadConfig::default()
+    }
+}
+
+/// Build (or recover) a durable service over the shared test instance.
+fn open_service(
+    dir: &Path,
+    snapshot_every: u64,
+    use_snapshot: bool,
+    capture: bool,
+) -> (Arc<Service>, RecoveryReport) {
+    let inst = planted_community(16, 16, 8, 2, 3);
+    let durability = Durability {
+        dir: dir.to_path_buf(),
+        snapshot_every,
+    };
+    let (svc, report) = Service::recover(
+        inst.truth.clone(),
+        svc_cfg(),
+        &durability,
+        RecoverOptions {
+            use_snapshot,
+            capture,
+        },
+    )
+    .expect("recover");
+    (Arc::new(svc), report)
+}
+
+/// The uninterrupted reference: full run on a fresh log.
+fn reference() -> (tmwia_service::LoadOutcome, String) {
+    let dir = scratch_dir();
+    let (svc, report) = open_service(&dir, 0, true, true);
+    assert_eq!(report.replayed_ticks, 0, "fresh log has nothing to replay");
+    let out = run_durable(&svc, &load_cfg(), &report).expect("reference run");
+    let digest = svc.state_digest();
+    std::fs::remove_dir_all(&dir).ok();
+    (out, digest)
+}
+
+#[test]
+fn crashed_run_resumes_byte_identically() {
+    let (ref_out, ref_digest) = reference();
+    assert_eq!(ref_out.errors, 0, "{}", ref_out.transcript);
+
+    // Crash: same config, abandoned after 5 of 12 rounds.
+    let dir = scratch_dir();
+    let (svc, report) = open_service(&dir, 0, true, true);
+    let mut crash_cfg = load_cfg();
+    crash_cfg.halt_after_rounds = Some(5);
+    let partial = run_durable(&svc, &crash_cfg, &report).expect("crashed run");
+    assert!(partial.submitted < ref_out.submitted);
+    drop(svc);
+
+    // Resume: replay the log, then run the SAME full config to the end.
+    let (svc, report) = open_service(&dir, 0, true, true);
+    assert!(report.replayed_ticks > 0, "crash left ticks to replay");
+    assert_eq!(report.truncated_bytes, 0, "clean kill, no torn tail");
+    let resumed = run_durable(&svc, &load_cfg(), &report).expect("resumed run");
+
+    assert_eq!(resumed.transcript, ref_out.transcript);
+    assert_eq!(resumed.submitted, ref_out.submitted);
+    assert_eq!(resumed.ok, ref_out.ok);
+    assert_eq!(resumed.busy, ref_out.busy);
+    assert_eq!(resumed.errors, ref_out.errors);
+    assert_eq!(resumed.samples, ref_out.samples);
+    assert_eq!(resumed.ticks, ref_out.ticks);
+    assert_eq!(svc.state_digest(), ref_digest);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_plus_tail_replay_equals_full_replay() {
+    // Crash with a snapshot cadence of 2 ticks.
+    let dir = scratch_dir();
+    let (svc, report) = open_service(&dir, 2, true, true);
+    let mut crash_cfg = load_cfg();
+    crash_cfg.halt_after_rounds = Some(7);
+    run_durable(&svc, &crash_cfg, &report).expect("crashed run");
+    drop(svc);
+
+    // Recovery is read-only over already-logged ticks (the writer's
+    // high-water mark skips replayed appends), so recovering the same
+    // directory several times is safe. State-only (serve-style,
+    // capture:false) recovery may start from the snapshot; the digests
+    // must agree with a full log replay.
+    let (via_snapshot, rep_snap) = open_service(&dir, 2, true, false);
+    let (via_log, rep_full) = open_service(&dir, 2, false, false);
+    assert!(rep_snap.snapshot_tick > 0, "a snapshot was taken and used");
+    assert_eq!(rep_full.snapshot_tick, 0, "full replay ignores snapshots");
+    assert!(
+        rep_snap.replayed_ticks < rep_full.replayed_ticks,
+        "snapshot recovery replays only the tail ({} vs {})",
+        rep_snap.replayed_ticks,
+        rep_full.replayed_ticks
+    );
+    assert_eq!(via_snapshot.state_digest(), via_log.state_digest());
+
+    // A capturing (load-resume) recovery needs every tick's responses
+    // to rebuild the transcript, so it must ignore the snapshot even
+    // when asked to use it.
+    let (_, rep_capture) = open_service(&dir, 2, true, true);
+    assert_eq!(rep_capture.snapshot_tick, 0, "capture forces full replay");
+    assert_eq!(rep_capture.replayed_ticks, rep_full.replayed_ticks);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replayed_shutdown_does_not_keep_the_recovered_service_down() {
+    use tmwia_service::{Request, Response};
+
+    // A served run stopped over the wire logs its final `Shutdown`
+    // tick. Replay re-executes it faithfully — but a restart is an
+    // operator decision that supersedes the old shutdown, so the
+    // recovered service must come back accepting requests.
+    let dir = scratch_dir();
+    let (svc, _) = open_service(&dir, 0, true, false);
+    let (tx, rx) = std::sync::mpsc::channel();
+    svc.submit(1, Request::Join, &tx);
+    svc.tick();
+    svc.submit(2, Request::Shutdown, &tx);
+    svc.tick();
+    assert!(svc.is_shutdown(), "shutdown executed and flagged");
+    drop(svc);
+
+    let (svc, report) = open_service(&dir, 0, true, false);
+    assert_eq!(report.replayed_ticks, 2, "join and shutdown ticks replay");
+    assert!(!svc.is_shutdown(), "restart supersedes the logged shutdown");
+    while rx.try_recv().is_ok() {}
+    svc.submit(3, Request::Join, &tx);
+    svc.tick();
+    let (_, resp) = rx.try_recv().expect("recovered service serves");
+    assert!(matches!(resp, Response::Joined { .. }), "{resp:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_ahead_of_torn_log_is_discarded() {
+    let (ref_out, ref_digest) = reference();
+
+    // Cadence 3, halted after 8 rounds: ticks run 1 (join) + 8, so the
+    // final tick 9 is itself a snapshot tick. Tearing that record
+    // leaves the snapshot sealed PAST the surviving log — starting
+    // from it would silently re-execute the lost tick on top of a
+    // state that already holds it.
+    let dir = scratch_dir();
+    let (svc, report) = open_service(&dir, 3, true, true);
+    let mut crash_cfg = load_cfg();
+    crash_cfg.halt_after_rounds = Some(8);
+    run_durable(&svc, &crash_cfg, &report).expect("crashed run");
+    drop(svc);
+
+    let wal_path = dir.join("ticks.wal");
+    let bytes = std::fs::read(&wal_path).expect("read log");
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).expect("tear");
+
+    // Serve-style recovery must refuse the unanchored snapshot and
+    // fall back to a full log replay.
+    let (state_svc, rep) = open_service(&dir, 3, true, false);
+    assert!(rep.truncated_bytes > 0, "torn record was dropped");
+    assert_eq!(rep.snapshot_tick, 0, "ahead-of-log snapshot is discarded");
+    assert_eq!(rep.replayed_ticks, 8, "every surviving tick is replayed");
+    drop(state_svc);
+
+    // And the resumed run still lands byte-identical to the reference.
+    let (svc, report) = open_service(&dir, 3, true, true);
+    let resumed = run_durable(&svc, &load_cfg(), &report).expect("resumed run");
+    assert_eq!(resumed.transcript, ref_out.transcript);
+    assert_eq!(svc.state_digest(), ref_digest);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_tail_is_truncated_and_re_executed() {
+    let (ref_out, ref_digest) = reference();
+
+    let dir = scratch_dir();
+    let (svc, report) = open_service(&dir, 0, true, true);
+    let mut crash_cfg = load_cfg();
+    crash_cfg.halt_after_rounds = Some(7);
+    run_durable(&svc, &crash_cfg, &report).expect("crashed run");
+    drop(svc);
+
+    // Tear the tail mid-record: chop 5 bytes off the log.
+    let wal_path = dir.join("ticks.wal");
+    let bytes = std::fs::read(&wal_path).expect("read log");
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).expect("tear");
+
+    let (svc, report) = open_service(&dir, 0, true, true);
+    assert!(report.truncated_bytes > 0, "torn record was dropped");
+    let resumed = run_durable(&svc, &load_cfg(), &report).expect("resumed run");
+
+    // The lost tail rounds are simply re-executed live; determinism
+    // makes the merged outcome identical anyway.
+    assert_eq!(resumed.transcript, ref_out.transcript);
+    assert_eq!(resumed.ticks, ref_out.ticks);
+    assert_eq!(svc.state_digest(), ref_digest);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -132,6 +132,108 @@ fn dropped_connection_reclaims_its_sessions() {
 }
 
 #[test]
+fn dropped_connections_reclaim_even_with_a_full_queue() {
+    // Regression: with the queue at capacity, the teardown Leave used
+    // to bounce with Busy into a fire-and-forget channel — nobody
+    // retried, and the slot stayed a phantom live player forever. A
+    // one-slot queue plus several simultaneous drops makes the old
+    // code lose at least one session with near certainty.
+    let inst = planted_community(8, 8, 4, 2, 13);
+    let svc = Arc::new(
+        Service::new(
+            inst.truth.clone(),
+            ServiceConfig {
+                queue_capacity: 1,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid config"),
+    );
+    let server = serve(Arc::clone(&svc), "127.0.0.1:0", ServeOptions::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    let mut clients = Vec::new();
+    for c in 0..4u64 {
+        let mut t = TcpTransport::connect(&addr).expect("connect");
+        t.send(c, &Request::Join).expect("send join");
+        let (_, resp) = t.recv().expect("recv join");
+        assert!(matches!(resp, Response::Joined { .. }), "{resp:?}");
+        clients.push(t);
+    }
+    assert_eq!(svc.sessions_live(), 4);
+    drop(clients); // all four vanish at once, no Leaves
+
+    for _ in 0..200 {
+        if svc.sessions_live() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        svc.sessions_live(),
+        0,
+        "every abandoned session must be reclaimed despite the full queue"
+    );
+
+    svc.request_shutdown();
+    assert!(server.join().clean);
+}
+
+#[test]
+fn in_flight_request_at_shutdown_is_answered_not_orphaned() {
+    // Regression for the shutdown/enqueue race: a write submitted just
+    // as another client triggers shutdown must be answered — either
+    // executed by the drain or refused with ShuttingDown — never left
+    // hanging (the old ticker could break with it still queued, and
+    // this test would hang on `recv`).
+    for round in 0..8u64 {
+        let inst = planted_community(8, 8, 4, 2, 17 + round);
+        let svc = Arc::new(
+            Service::new(inst.truth.clone(), ServiceConfig::default()).expect("valid config"),
+        );
+        let server = serve(Arc::clone(&svc), "127.0.0.1:0", ServeOptions::default())
+            .expect("bind ephemeral port");
+        let addr = server.local_addr().to_string();
+
+        let mut a = TcpTransport::connect(&addr).expect("connect a");
+        a.send(1, &Request::Join).expect("send join");
+        let (_, resp) = a.recv().expect("recv join");
+        let Response::Joined { session, .. } = resp else {
+            panic!("expected Joined, got {resp:?}");
+        };
+
+        let shutter = std::thread::spawn(move || {
+            let mut b = TcpTransport::connect(&addr).expect("connect b");
+            b.send(99, &Request::Shutdown).expect("send shutdown");
+            let _ = b.recv();
+        });
+
+        a.send(
+            2,
+            &Request::Probe {
+                session,
+                object: round as u32 % 4,
+                share: false,
+            },
+        )
+        .expect("send probe");
+        let (id, resp) = a.recv().expect("the racing write must be answered");
+        assert_eq!(id, 2);
+        assert!(
+            matches!(
+                resp,
+                Response::Grade { .. } | Response::ShuttingDown | Response::Busy { .. }
+            ),
+            "{resp:?}"
+        );
+
+        shutter.join().expect("shutter thread");
+        assert!(server.join().clean);
+    }
+}
+
+#[test]
 fn undecodable_frame_gets_in_band_error() {
     let inst = planted_community(8, 8, 4, 2, 7);
     let svc =

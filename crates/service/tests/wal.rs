@@ -1,0 +1,167 @@
+//! Property coverage for the write-ahead tick log: every appended batch
+//! reads back byte-identically, and a torn tail — the log chopped at
+//! any byte offset — recovers exactly the longest valid record prefix,
+//! after which the log accepts new appends.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tmwia_service::wal::{WalWriter, HEADER_LEN};
+use tmwia_service::{Request, WalHeader};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch directory per case (no wall clock: pid + counter).
+fn scratch_dir() -> PathBuf {
+    let id = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tmwia-wal-test-{}-{id}", std::process::id()))
+}
+
+fn header() -> WalHeader {
+    WalHeader {
+        seed: 9,
+        batch_size: 16,
+        n: 8,
+        m: 16,
+    }
+}
+
+/// Arbitrary *write* requests — the only kind the service ever logs.
+/// Integer-tuple construction, same idiom as the codec tests (the
+/// vendored proptest shim has no enum strategies).
+fn arb_write_request() -> impl Strategy<Value = Request> {
+    (0u8..5, any::<u64>(), any::<u32>(), any::<bool>()).prop_map(|(tag, session, object, flag)| {
+        match tag {
+            0 => Request::Join,
+            1 => Request::Leave { session },
+            2 => Request::Probe {
+                session,
+                object,
+                share: flag,
+            },
+            3 => Request::Post {
+                session,
+                object,
+                grade: flag,
+            },
+            _ => Request::Shutdown,
+        }
+    })
+}
+
+/// A log's worth of batches: per record a tick gap (empty ticks are
+/// never logged, so consecutive records may skip numbers) and a
+/// non-empty batch.
+fn arb_batches() -> impl Strategy<Value = Vec<(u64, Vec<Request>)>> {
+    proptest::collection::vec(
+        (
+            1u64..4,
+            proptest::collection::vec(arb_write_request(), 1..6),
+        ),
+        1..8,
+    )
+}
+
+/// Write `batches` into a fresh log, returning the directory and the
+/// (tick, entries) shape that went in. Seqs are globally sequential,
+/// as the service's enqueue counter guarantees.
+fn write_log(dir: &Path, batches: &[(u64, Vec<Request>)]) -> Vec<(u64, Vec<(u64, u64)>)> {
+    let (mut writer, contents) = WalWriter::open(dir, &header()).expect("fresh log opens");
+    assert!(contents.records.is_empty());
+    let mut tick = 0u64;
+    let mut seq = 0u64;
+    let mut shape = Vec::new();
+    for (gap, reqs) in batches {
+        tick += gap;
+        let entries: Vec<(u64, u64, &Request)> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (seq + i as u64, (tick << 8) | i as u64, r))
+            .collect();
+        writer.append(tick, &entries).expect("append");
+        shape.push((tick, entries.iter().map(|&(s, id, _)| (s, id)).collect()));
+        seq += reqs.len() as u64;
+    }
+    shape
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn appended_batches_read_back_identically(batches in arb_batches()) {
+        let dir = scratch_dir();
+        let shape = write_log(&dir, &batches);
+
+        let (_, contents) = WalWriter::open(&dir, &header()).expect("reopen");
+        prop_assert_eq!(contents.truncated_bytes, 0);
+        prop_assert_eq!(contents.records.len(), batches.len());
+        for (rec, ((tick, ids), (_, reqs))) in
+            contents.records.iter().zip(shape.iter().zip(&batches))
+        {
+            prop_assert_eq!(rec.tick, *tick);
+            prop_assert_eq!(rec.entries.len(), reqs.len());
+            for (e, ((seq, id), req)) in rec.entries.iter().zip(ids.iter().zip(reqs)) {
+                prop_assert_eq!(e.seq, *seq);
+                prop_assert_eq!(e.id, *id);
+                prop_assert_eq!(&e.req, req);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_recovers_longest_valid_prefix(
+        batches in arb_batches(),
+        cut_pick in any::<u64>(),
+    ) {
+        let dir = scratch_dir();
+        write_log(&dir, &batches);
+        let wal_path = dir.join("ticks.wal");
+        let bytes = std::fs::read(&wal_path).expect("read log");
+
+        // Chop anywhere from just after the header to just before the
+        // end (chopping at the end is the clean-log case above).
+        let span = bytes.len() - HEADER_LEN;
+        let cut = HEADER_LEN + (cut_pick as usize) % span;
+        std::fs::write(&wal_path, &bytes[..cut]).expect("tear");
+
+        let (mut writer, torn) = WalWriter::open(&dir, &header()).expect("reopen torn");
+        // Survivors are a strict prefix of what was written, verbatim.
+        prop_assert!(torn.records.len() <= batches.len());
+        for (i, rec) in torn.records.iter().enumerate() {
+            prop_assert_eq!(rec.entries.len(), batches[i].1.len());
+            for (e, req) in rec.entries.iter().zip(&batches[i].1) {
+                prop_assert_eq!(&e.req, req);
+            }
+        }
+        // Torn bytes + surviving bytes account for the whole cut file.
+        let after = std::fs::metadata(&wal_path).expect("meta").len();
+        prop_assert_eq!(after + torn.truncated_bytes, cut as u64);
+
+        // The truncated log accepts new appends past its high-water mark.
+        let next_tick = torn.records.last().map_or(0, |r| r.tick) + 1;
+        let req = Request::Join;
+        writer
+            .append(next_tick, &[(u64::MAX - 1, 7, &req)])
+            .expect("append after truncation");
+        let (_, healed) = WalWriter::open(&dir, &header()).expect("reopen healed");
+        prop_assert_eq!(healed.truncated_bytes, 0);
+        prop_assert_eq!(healed.records.len(), torn.records.len() + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_mismatch_is_refused(seed in 1u64..1000) {
+        let dir = scratch_dir();
+        write_log(&dir, &[(1, vec![Request::Join])]);
+        let other = WalHeader { seed: seed + 1000, ..header() };
+        match WalWriter::open(&dir, &other) {
+            Err(tmwia_service::WalError::ConfigMismatch { field, .. }) => {
+                prop_assert_eq!(field, "seed");
+            }
+            other => prop_assert!(false, "mismatched header accepted: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

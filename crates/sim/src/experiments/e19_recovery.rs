@@ -1,0 +1,265 @@
+//! **E19 — Crash recovery (write-ahead tick log).**
+//!
+//! The serving layer's durability claim is exact: a service killed
+//! mid-run and restarted from its write-ahead log must reach a state
+//! **byte-identical** to one that never crashed — same transcript, same
+//! registry, same probe memos, same sealed snapshot. E19 measures that
+//! claim across the crash/recovery parameter grid:
+//!
+//! * `cut` — fraction of the load run completed before the simulated
+//!   crash (the rest is re-executed live after replay);
+//! * `snap` — snapshot cadence in ticks (`0` = log-only recovery; a
+//!   snapshot lets serve-style recovery replay just the tail);
+//! * `chop` — bytes torn off the log's final record (a mid-`write`
+//!   power cut; recovery truncates to the longest valid prefix and
+//!   re-executes what was lost).
+//!
+//! Each trial recovers the crashed directory twice: serve-style
+//! (snapshot + tail, state only — the source of `replayed` and `torn`)
+//! and load-resume (full log replay, capturing every tick so the
+//! driver can finish the run). `match` is the fraction of trials in
+//! which the serve-style state digest equals the resume's post-replay
+//! digest **and** the finished run's transcript and final digest are
+//! byte-identical to an uninterrupted reference. The durability design
+//! is correct iff `match` is `1.00` everywhere.
+//!
+//! Scratch WAL directories live under the system temp dir, keyed by
+//! process id and a counter (no wall clock — the table itself stays
+//! deterministic).
+
+use super::ExpConfig;
+use crate::stats::{fnum, Summary};
+use crate::table::Table;
+use crate::trials::run_trials;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tmwia_model::generators::planted_community;
+use tmwia_service::{
+    run_durable, Durability, LoadConfig, RecoverOptions, RecoveryReport, Service, ServiceConfig,
+};
+
+/// Planted community diameter (service behaviour does not depend on it,
+/// but the instance shape should match the rest of the E-series).
+const DIAMETER: usize = 4;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let id = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tmwia-e19-{}-{id}", std::process::id()))
+}
+
+/// One trial's measurements.
+struct Trial {
+    replayed: u64,
+    torn: u64,
+    matched: bool,
+}
+
+/// Open (or recover) a durable service for this trial's instance.
+fn open_service(
+    n: usize,
+    seed: u64,
+    dir: &Path,
+    snapshot_every: u64,
+    opts: RecoverOptions,
+) -> Option<(Arc<Service>, RecoveryReport)> {
+    let inst = planted_community(n, n, (n / 2).max(2), DIAMETER, seed);
+    let durability = Durability {
+        dir: dir.to_path_buf(),
+        snapshot_every,
+    };
+    let (svc, report) = Service::recover(
+        inst.truth.clone(),
+        ServiceConfig {
+            seed,
+            ..ServiceConfig::default()
+        },
+        &durability,
+        opts,
+    )
+    .ok()?;
+    Some((Arc::new(svc), report))
+}
+
+/// Load-resume recovery: capture every replayed tick (forces a full log
+/// replay — the driver rebuilds the whole transcript from it).
+const RESUME: RecoverOptions = RecoverOptions {
+    use_snapshot: true,
+    capture: true,
+};
+
+/// Serve-style recovery: state only, snapshot plus tail replay.
+const STATE_ONLY: RecoverOptions = RecoverOptions {
+    use_snapshot: true,
+    capture: false,
+};
+
+/// Run E19.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let sizes: &[usize] = cfg.pick(&[64], &[24]);
+    let cuts: &[f64] = cfg.pick(&[0.25, 0.5, 0.9], &[0.25, 0.75]);
+    let snaps: &[u64] = cfg.pick(&[0, 8, 32], &[0, 4]);
+    let chops: &[u64] = cfg.pick(&[0, 5], &[0, 3]);
+
+    let mut table = Table::new(
+        "E19: crash recovery (write-ahead tick log)",
+        &["n", "cut", "snap", "chop", "replayed", "torn", "match"],
+    );
+    table.note(
+        "match = fraction of trials where snapshot recovery, full-log recovery, and the resumed run's transcript + state digest all agreed byte-for-byte with an uninterrupted run",
+    );
+    table.note(format!(
+        "cut = crashed after this fraction of rounds; snap = snapshot cadence in ticks (0 = log-only); chop = bytes torn off the log tail; replayed/torn are from the serve-style (snapshot + tail) recovery; trials = {}",
+        cfg.trials
+    ));
+
+    for &n in sizes {
+        for &cut in cuts {
+            for &snap in snaps {
+                for &chop in chops {
+                    let cell_seed = cfg.seed
+                        ^ ((n as u64) << 24)
+                        ^ (((cut * 100.0) as u64) << 16)
+                        ^ (snap << 8)
+                        ^ chop;
+                    let trials = run_trials(cfg.trials, cell_seed, |seed| {
+                        run_trial(n, cut, snap, chop, seed)
+                    });
+                    let replayed = Summary::of_ints(trials.iter().map(|t| t.replayed));
+                    let torn = Summary::of_ints(trials.iter().map(|t| t.torn));
+                    let matched = trials.iter().filter(|t| t.matched).count() as f64
+                        / trials.len().max(1) as f64;
+                    table.push(vec![
+                        n.to_string(),
+                        fnum(cut),
+                        snap.to_string(),
+                        chop.to_string(),
+                        replayed.pm(),
+                        fnum(torn.mean),
+                        fnum(matched),
+                    ]);
+                }
+            }
+        }
+    }
+    table
+}
+
+/// One trial: reference run, crashed-and-torn run, two recoveries
+/// (serve-style and load-resume), compare everything.
+fn run_trial(n: usize, cut: f64, snapshot_every: u64, chop: u64, seed: u64) -> Trial {
+    let failed = Trial {
+        replayed: 0,
+        torn: 0,
+        matched: false,
+    };
+    let load = LoadConfig {
+        sessions: (n / 4).clamp(2, 8),
+        requests: 16,
+        seed,
+        objects: n,
+        ..LoadConfig::default()
+    };
+
+    // Reference: uninterrupted run on its own fresh log.
+    let ref_dir = scratch_dir();
+    let Some((ref_svc, ref_report)) = open_service(n, seed, &ref_dir, snapshot_every, RESUME)
+    else {
+        return failed;
+    };
+    let Ok(ref_out) = run_durable(&ref_svc, &load, &ref_report) else {
+        std::fs::remove_dir_all(&ref_dir).ok();
+        return failed;
+    };
+    let ref_digest = ref_svc.state_digest();
+    std::fs::remove_dir_all(&ref_dir).ok();
+
+    // Crash: same config, abandoned after `cut` of the rounds.
+    let dir = scratch_dir();
+    let Some((svc, report)) = open_service(n, seed, &dir, snapshot_every, RESUME) else {
+        return failed;
+    };
+    let mut crash_cfg = load.clone();
+    crash_cfg.halt_after_rounds = Some(((load.requests as f64) * cut).floor() as usize);
+    if run_durable(&svc, &crash_cfg, &report).is_err() {
+        std::fs::remove_dir_all(&dir).ok();
+        return failed;
+    }
+    drop(svc);
+
+    // Tear the tail: a power cut mid-write chops the final record.
+    if chop > 0 {
+        let wal_path = dir.join("ticks.wal");
+        if let Ok(bytes) = std::fs::read(&wal_path) {
+            let keep = bytes.len().saturating_sub(chop as usize);
+            if std::fs::write(&wal_path, &bytes[..keep]).is_err() {
+                std::fs::remove_dir_all(&dir).ok();
+                return failed;
+            }
+        }
+    }
+
+    // Serve-style recovery (snapshot + tail): this is where the `snap`
+    // axis shows — `replayed` shrinks to the tail past the snapshot.
+    // Recovery is read-only over already-logged ticks, so recovering
+    // the same directory again below is safe.
+    let Some((state_svc, state_report)) = open_service(n, seed, &dir, snapshot_every, STATE_ONLY)
+    else {
+        std::fs::remove_dir_all(&dir).ok();
+        return failed;
+    };
+    let replayed = state_report.replayed_ticks;
+    let torn = state_report.truncated_bytes;
+    let state_digest = state_svc.state_digest();
+    drop(state_svc);
+
+    // Load-resume recovery: full log replay, then finish the run. The
+    // resumed state must pass THROUGH the serve-style recovered state
+    // (digest equality at the crash point) and end byte-identical to
+    // the uninterrupted reference.
+    let Some((svc, report)) = open_service(n, seed, &dir, snapshot_every, RESUME) else {
+        std::fs::remove_dir_all(&dir).ok();
+        return failed;
+    };
+    let state_matched = svc.state_digest() == state_digest;
+    let Ok(out) = run_durable(&svc, &load, &report) else {
+        std::fs::remove_dir_all(&dir).ok();
+        return failed;
+    };
+    let matched =
+        state_matched && out.transcript == ref_out.transcript && svc.state_digest() == ref_digest;
+    std::fs::remove_dir_all(&dir).ok();
+    Trial {
+        replayed,
+        torn,
+        matched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_recovers_byte_identically_everywhere() {
+        let t = run(&ExpConfig::quick(1));
+        assert_eq!(t.columns.len(), 7);
+        assert_eq!(t.rows.len(), 8); // 1 size × 2 cuts × 2 snaps × 2 chops
+        for row in &t.rows {
+            let matched: f64 = row[6].parse().unwrap();
+            assert!(
+                (matched - 1.0).abs() < 1e-9,
+                "recovery must be byte-identical: {row:?}"
+            );
+            // With a snapshot cadence, the serve-style tail can
+            // legitimately be empty (snapshot sealed at the log's last
+            // tick) — but log-only recovery always replays something.
+            if row[2] == "0" {
+                let replayed: f64 = row[4].split('±').next().unwrap().trim().parse().unwrap();
+                assert!(replayed > 0.0, "log-only recovery replays ticks: {row:?}");
+            }
+        }
+    }
+}

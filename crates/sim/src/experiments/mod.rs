@@ -1,4 +1,4 @@
-//! The E1–E18 experiment suite.
+//! The E1–E19 experiment suite.
 //!
 //! The paper is a theory extended abstract with no empirical section, so
 //! the reproduction turns every quantitative claim into an experiment
@@ -24,6 +24,7 @@
 //! | E16 | \[8\]\[9\]/§2 — the prediction-mistake model contrast |
 //! | E17 | fault model — noise/crash robustness, graceful degradation |
 //! | E18 | serving layer — online arrival/churn, probe cost + discrepancy |
+//! | E19 | durability — crash recovery from the write-ahead tick log |
 
 pub mod e01_zero_radius;
 pub mod e02_select;
@@ -43,6 +44,7 @@ pub mod e15_lockstep;
 pub mod e16_prediction;
 pub mod e17_robustness;
 pub mod e18_arrival;
+pub mod e19_recovery;
 
 use crate::table::Table;
 use std::collections::BTreeMap;
@@ -130,6 +132,11 @@ pub fn all() -> Vec<Experiment> {
             "Online arrival/churn (serving layer)",
             e18_arrival::run,
         ),
+        (
+            "e19",
+            "Crash recovery (write-ahead tick log)",
+            e19_recovery::run,
+        ),
     ]
 }
 
@@ -157,10 +164,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let a = all();
-        assert_eq!(a.len(), 18);
+        assert_eq!(a.len(), 19);
         let mut ids: Vec<&str> = a.iter().map(|(id, _, _)| *id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
     }
 
     #[test]

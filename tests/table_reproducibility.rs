@@ -69,3 +69,11 @@ fn arrival_table_matches_golden_bytes() {
     // determinism byte-for-byte.
     check_golden("e18", "e18_arrival_quick.txt");
 }
+
+#[test]
+fn recovery_table_matches_golden_bytes() {
+    // E19 exercises the durability layer (write-ahead log, snapshots,
+    // crash recovery); its snapshot pins the WAL encode/replay path and
+    // the resume driver byte-for-byte.
+    check_golden("e19", "e19_recovery_quick.txt");
+}
