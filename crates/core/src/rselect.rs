@@ -81,7 +81,7 @@ pub fn rselect(
             for &j in &picked {
                 let truth = if params.fresh_probes {
                     // lint:allow(oracle-isolation) RSelect's sampled duels re-pay probes under the paper's strict accounting (cf. Thm 3.2 remark)
-                    handle.probe_fresh(objects[j])
+                    handle.probe_fresh(objects[j]) // lint:allow(oracle-taint) same Thm 3.2 re-pay: probe_fresh is itself the paid channel here, charged per call
                 } else {
                     handle.probe(objects[j])
                 };

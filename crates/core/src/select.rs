@@ -209,7 +209,7 @@ pub fn select_bits(
         |j| {
             if fresh {
                 // lint:allow(oracle-isolation) Thm 3.2 remark: Select disregards probes made before its execution, so the strict accounting re-pays here
-                handle.probe_fresh(objects[j])
+                handle.probe_fresh(objects[j]) // lint:allow(oracle-taint) same Thm 3.2 re-pay: probe_fresh is itself the paid channel here, charged per call
             } else {
                 handle.probe(objects[j])
             }
@@ -241,7 +241,7 @@ pub fn select_ternary(
         |j| {
             if fresh {
                 // lint:allow(oracle-isolation) Thm 3.2 remark: Select disregards probes made before its execution, so the strict accounting re-pays here
-                handle.probe_fresh(objects[j])
+                handle.probe_fresh(objects[j]) // lint:allow(oracle-taint) same Thm 3.2 re-pay: probe_fresh is itself the paid channel here, charged per call
             } else {
                 handle.probe(objects[j])
             }

@@ -1,0 +1,463 @@
+//! Conservative call graph over the resolved workspace.
+//!
+//! Call sites are recognised syntactically inside each fn body:
+//!
+//! * `self.m(…)` — if the enclosing `impl` owner defines `m`, the edge
+//!   goes there precisely; otherwise to every method named `m`.
+//! * `Qual::m(…)` — resolved in order: `Self`, a workspace type named
+//!   `Qual`, a module whose last segment is `Qual`, a known external
+//!   (std/shim) qualifier (no edge), else every fn named `m`.
+//! * `recv.m(…)` — every workspace method named `m` (receiver types
+//!   are unknown without a type system), pruned by arity: Rust has no
+//!   default or variadic arguments, so a two-parameter method can never
+//!   be the callee of a one-argument call. Argument counting bails out
+//!   (keeping the full fan-out) when a top-level `|`, `<`, or `>`
+//!   appears in the argument list — closure parameters and comparison
+//!   operators carry commas/brackets that naive counting would misread.
+//! * `m(…)` — every free fn named `m` (locals and tuple-struct
+//!   constructors resolve to nothing and drop out naturally).
+//!
+//! Macro invocations (`name!(…)`) are never call edges; function
+//! *references* passed as values (`.map(helper)`) are a documented
+//! blind spot (DESIGN.md §7). Candidate sets make the graph an
+//! over-approximation everywhere else: reachability rules may flag a
+//! chain the type system would rule out (suppressible with a reason),
+//! but a resolvable call is never silently dropped.
+
+use crate::parse::KEYWORDS;
+use crate::resolve::{FnInfo, Workspace};
+use crate::rules::Sig;
+use std::collections::BTreeSet;
+
+/// Qualifiers that refer to std / vendored-shim types: calls through
+/// them leave the workspace, so they produce no edges instead of
+/// falling back to every same-named fn.
+const EXTERNAL_QUALIFIERS: &[&str] = &[
+    "Arc", "AtomicBool", "AtomicU32", "AtomicU64", "AtomicUsize", "BTreeMap", "BTreeSet", "Box",
+    "Cell", "Command", "Condvar", "Cursor", "Default", "Drop", "Duration", "File", "From",
+    "HashMap", "HashSet", "Instant", "Into", "Iterator", "Mutex", "NonZeroUsize", "OnceLock",
+    "OpenOptions", "Option", "Ordering", "Path", "PathBuf", "Rc", "RefCell", "Result", "RwLock",
+    "String", "SystemTime", "TcpListener", "TcpStream", "TryFrom", "UdpSocket", "Vec", "VecDeque",
+    "Wrapping",
+];
+
+/// First path segments that name external crates (std and the offline
+/// shims, which are not part of the analysed graph).
+const EXTERNAL_CRATES: &[&str] = &[
+    "std", "core", "alloc", "rand", "rayon", "parking_lot", "proptest", "criterion", "libc",
+];
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Call {
+    /// Callee fn id.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// Forward adjacency, indexed by fn id.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `edges[f]` — calls made by fn `f`, in source order.
+    pub edges: Vec<Vec<Call>>,
+}
+
+impl CallGraph {
+    /// Build the graph. `sigs[file]` must be the significant-token view
+    /// of the file the workspace indexed under the same id.
+    pub fn build(ws: &Workspace, sigs: &[Sig<'_>]) -> Self {
+        let mut edges: Vec<Vec<Call>> = vec![Vec::new(); ws.fns.len()];
+        for (id, f) in ws.fns.iter().enumerate() {
+            let Some((lo, hi)) = f.body else { continue };
+            let sig = &sigs[f.file];
+            for i in lo..hi.min(sig.len()) {
+                let Some(site) = call_site(sig, i) else {
+                    continue;
+                };
+                let mut cands: Vec<usize> = resolve(ws, f, &site);
+                cands.sort_unstable();
+                cands.dedup();
+                let line = sig.line(i);
+                for callee in cands {
+                    edges[id].push(Call { callee, line });
+                }
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// Reverse adjacency (caller lists per callee).
+    pub fn reversed(&self) -> Vec<Vec<usize>> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.edges.len()];
+        for (caller, outs) in self.edges.iter().enumerate() {
+            for c in outs {
+                rev[c.callee].push(caller);
+            }
+        }
+        rev
+    }
+
+    /// BFS from `start`, returning for each reached fn the `(parent,
+    /// call line in parent)` that discovered it (`start` maps to
+    /// itself). Unreached fns are absent.
+    pub fn bfs_parents(&self, start: usize) -> Vec<Option<(usize, u32)>> {
+        let mut parent: Vec<Option<(usize, u32)>> = vec![None; self.edges.len()];
+        parent[start] = Some((start, 0));
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(f) = queue.pop_front() {
+            for c in &self.edges[f] {
+                if parent[c.callee].is_none() {
+                    parent[c.callee] = Some((f, c.line));
+                    queue.push_back(c.callee);
+                }
+            }
+        }
+        parent
+    }
+}
+
+/// A syntactic call site.
+#[derive(Debug)]
+enum Site {
+    /// `recv.name(…)`; `self_recv` when the receiver is literally
+    /// `self`; `args` is the argument count when it could be counted
+    /// reliably (`None` disables arity pruning for this site).
+    Method {
+        name: String,
+        self_recv: bool,
+        args: Option<usize>,
+    },
+    /// `a::b::name(…)` with the path segments before `name`.
+    Qualified { segments: Vec<String>, name: String },
+    /// `name(…)` with no receiver or path.
+    Bare { name: String },
+}
+
+/// Recognise a call whose name ident sits at significant index `i`.
+fn call_site(sig: &Sig<'_>, i: usize) -> Option<Site> {
+    let name = sig.ident(i)?;
+    if sig.punct(i + 1) != Some('(') || KEYWORDS.contains(&name) {
+        return None;
+    }
+    // Definition, not a call: `fn name(`.
+    if sig.ident(i.wrapping_sub(1)) == Some("fn") {
+        return None;
+    }
+    match sig.punct(i.wrapping_sub(1)) {
+        Some('.') => {
+            let self_recv = sig.ident(i.wrapping_sub(2)) == Some("self")
+                && sig.punct(i.wrapping_sub(3)) != Some('.');
+            Some(Site::Method {
+                name: name.to_string(),
+                self_recv,
+                args: count_args(sig, i + 1),
+            })
+        }
+        Some(':') if sig.punct(i.wrapping_sub(2)) == Some(':') => {
+            let mut segments: Vec<String> = Vec::new();
+            let mut k = i.wrapping_sub(3);
+            loop {
+                let Some(seg) = sig.ident(k) else { break };
+                segments.push(seg.to_string());
+                if sig.punct(k.wrapping_sub(1)) == Some(':')
+                    && sig.punct(k.wrapping_sub(2)) == Some(':')
+                {
+                    k = k.wrapping_sub(3);
+                } else {
+                    break;
+                }
+            }
+            segments.reverse();
+            Some(Site::Qualified {
+                segments,
+                name: name.to_string(),
+            })
+        }
+        _ => Some(Site::Bare {
+            name: name.to_string(),
+        }),
+    }
+}
+
+/// Best-effort argument count for the call whose `(` sits at `open`.
+/// Commas are separators only at the top nesting level; `None` means
+/// counting could be confounded — a top-level `|` (closure parameters
+/// carry commas), `<`/`>` (comparisons, shifts, casts to generic
+/// types), or an unclosed list — which disables arity pruning for the
+/// site rather than risking a dropped edge.
+fn count_args(sig: &Sig<'_>, open: usize) -> Option<usize> {
+    let mut args = 0usize;
+    let mut seg_started = false;
+    let mut depth = 0usize;
+    let mut i = open + 1;
+    while i < sig.len() {
+        match sig.punct(i) {
+            Some(')') if depth == 0 => {
+                if seg_started {
+                    args += 1;
+                }
+                return Some(args);
+            }
+            Some(',') if depth == 0 => {
+                if seg_started {
+                    args += 1;
+                    seg_started = false;
+                }
+            }
+            Some('|') | Some('<') | Some('>') if depth == 0 => return None,
+            Some('(') | Some('[') | Some('{') => {
+                seg_started = true;
+                depth += 1;
+            }
+            Some(')') | Some(']') | Some('}') => {
+                seg_started = true;
+                depth -= 1;
+            }
+            _ => seg_started = true,
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Candidate callee ids for `site` occurring inside `caller`.
+fn resolve(ws: &Workspace, caller: &FnInfo, site: &Site) -> Vec<usize> {
+    match site {
+        Site::Method {
+            name,
+            self_recv,
+            args,
+        } => {
+            let fits = |id: &usize| args.map_or(true, |n| ws.fns[*id].arity == n);
+            if *self_recv {
+                if let Some(owner) = &caller.owner {
+                    let own: Vec<usize> =
+                        ws.of_owner(owner, name).iter().filter(|id| fits(id)).copied().collect();
+                    if !own.is_empty() {
+                        return own;
+                    }
+                }
+            }
+            ws.methods_named(name).iter().filter(|id| fits(id)).copied().collect()
+        }
+        Site::Qualified { segments, name } => {
+            let qual = segments.last().map(String::as_str);
+            if qual == Some("Self") {
+                if let Some(owner) = &caller.owner {
+                    return ws.of_owner(owner, name).to_vec();
+                }
+                return Vec::new();
+            }
+            if let Some(q) = qual {
+                let owned = ws.of_owner(q, name);
+                if !owned.is_empty() {
+                    return owned.to_vec();
+                }
+                let in_mod = ws.in_module(q, name);
+                if !in_mod.is_empty() {
+                    return in_mod.to_vec();
+                }
+            }
+            let first = segments.first().map(String::as_str).unwrap_or("");
+            if EXTERNAL_CRATES.contains(&first)
+                || qual.is_some_and(|q| EXTERNAL_QUALIFIERS.contains(&q))
+            {
+                return Vec::new();
+            }
+            ws.named(name).to_vec()
+        }
+        Site::Bare { name } => ws.free_named(name).to_vec(),
+    }
+}
+
+/// Reconstruct the path `start → … → target` from [`CallGraph::bfs_parents`]
+/// output as `(fn id, line of the call made *from* that fn)` hops; the
+/// final element is `(target, 0)`.
+pub fn chain_to(parents: &[Option<(usize, u32)>], start: usize, target: usize) -> Vec<(usize, u32)> {
+    if start == target {
+        return vec![(start, 0)];
+    }
+    let mut nodes = vec![target];
+    let mut lines: Vec<u32> = Vec::new();
+    let mut cur = target;
+    let mut guard: BTreeSet<usize> = BTreeSet::new();
+    while cur != start {
+        let Some((p, line)) = parents[cur] else {
+            return Vec::new();
+        };
+        if !guard.insert(cur) {
+            return Vec::new();
+        }
+        lines.push(line);
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    lines.reverse();
+    // `lines[i]` is now the line where `nodes[i]` calls `nodes[i+1]`.
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, lines.get(i).copied().unwrap_or(0)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+    use crate::scan::test_mask;
+
+    fn graph(files: &[(&str, &str)]) -> (Workspace, Vec<Vec<Call>>) {
+        let toks: Vec<Vec<crate::lexer::Token>> =
+            files.iter().map(|(_, src)| lex(src)).collect();
+        let mut parsed = Vec::new();
+        for ((path, _), t) in files.iter().zip(&toks) {
+            let mask = test_mask(t);
+            let sig = Sig::new(t);
+            parsed.push(((*path).to_string(), parse_file(&sig, &mask)));
+        }
+        let ws = Workspace::build(&parsed);
+        let sigs: Vec<Sig> = toks.iter().map(|t| Sig::new(t)).collect();
+        let cg = CallGraph::build(&ws, &sigs);
+        (ws, cg.edges)
+    }
+
+    fn fqn(ws: &Workspace, id: usize) -> String {
+        ws.fns[id].fqn()
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_owner_first() {
+        let (ws, edges) = graph(&[(
+            "crates/a/src/lib.rs",
+            r#"
+struct A;
+impl A {
+    fn row(&self) -> u8 { 0 }
+    fn go(&self) -> u8 { self.row() }
+}
+struct B;
+impl B { fn row(&self) -> u8 { 1 } }
+"#,
+        )]);
+        let go = ws.matching("A::go")[0];
+        let callees: Vec<String> = edges[go].iter().map(|c| fqn(&ws, c.callee)).collect();
+        assert_eq!(callees, vec!["tmwia_a::A::row"]);
+    }
+
+    #[test]
+    fn unqualified_method_calls_fan_out_to_all_candidates() {
+        let (ws, edges) = graph(&[(
+            "crates/a/src/lib.rs",
+            r#"
+struct A;
+impl A { fn row(&self) -> u8 { 0 } }
+struct B;
+impl B { fn row(&self) -> u8 { 1 } }
+fn go(x: &A) -> u8 { x.row() }
+"#,
+        )]);
+        let go = ws.matching("go")[0];
+        assert_eq!(edges[go].len(), 2, "both `row` methods are candidates");
+    }
+
+    #[test]
+    fn module_qualified_and_external_calls() {
+        let (ws, edges) = graph(&[
+            ("crates/a/src/util.rs", "pub fn helper() {}"),
+            (
+                "crates/b/src/lib.rs",
+                r#"
+fn go() {
+    util::helper();
+    std::fs::read("x");
+    Vec::new();
+}
+"#,
+            ),
+        ]);
+        let go = ws.matching("go")[0];
+        let callees: Vec<String> = edges[go].iter().map(|c| fqn(&ws, c.callee)).collect();
+        assert_eq!(callees, vec!["tmwia_a::util::helper"]);
+    }
+
+    #[test]
+    fn arity_prunes_method_fan_out() {
+        let (ws, edges) = graph(&[(
+            "crates/a/src/lib.rs",
+            r#"
+struct Handle;
+impl Handle { fn probe(&self, j: usize) -> bool { true } }
+struct Space;
+impl Space { fn probe(&self, p: usize, j: usize) -> u32 { 0 } }
+fn go(h: &Handle) -> bool { h.probe(3) }
+"#,
+        )]);
+        let go = ws.matching("go")[0];
+        let callees: Vec<String> = edges[go].iter().map(|c| fqn(&ws, c.callee)).collect();
+        assert_eq!(
+            callees,
+            vec!["tmwia_a::Handle::probe"],
+            "the two-parameter Space::probe cannot take a one-argument call"
+        );
+    }
+
+    #[test]
+    fn closure_arguments_disable_arity_pruning() {
+        let (ws, edges) = graph(&[(
+            "crates/a/src/lib.rs",
+            r#"
+struct A;
+impl A { fn apply(&self, f: u8) -> u8 { f } }
+struct B;
+impl B { fn apply(&self, f: u8, g: u8) -> u8 { f } }
+fn go(x: &A) -> u8 { x.apply(|a, b| a) }
+"#,
+        )]);
+        let go = ws.matching("go")[0];
+        assert_eq!(
+            edges[go].len(),
+            2,
+            "a closure argument's commas make the count unreliable; keep the full fan-out"
+        );
+    }
+
+    #[test]
+    fn macros_and_definitions_are_not_edges() {
+        let (ws, edges) = graph(&[(
+            "crates/a/src/lib.rs",
+            r#"
+fn log() {}
+fn go() { println!("x"); }
+"#,
+        )]);
+        let go = ws.matching("go")[0];
+        assert!(edges[go].is_empty());
+        let log = ws.matching("log")[0];
+        assert!(edges[log].is_empty());
+    }
+
+    #[test]
+    fn bfs_chains_carry_call_lines() {
+        let (ws, _) = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn c() {}\nfn b() { c(); }\nfn a() { b(); }\n",
+        )]);
+        let sigs_src = "fn c() {}\nfn b() { c(); }\nfn a() { b(); }\n";
+        let toks = lex(sigs_src);
+        let sig = Sig::new(&toks);
+        let cg = CallGraph::build(&ws, &[sig]);
+        let a = ws.matching("a")[0];
+        let c = ws.matching("c")[0];
+        let parents = cg.bfs_parents(a);
+        assert!(parents[c].is_some(), "a reaches c");
+        let chain = chain_to(&parents, a, c);
+        let names: Vec<&str> = chain.iter().map(|&(id, _)| ws.fns[id].name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(chain[0].1, 3, "a calls b on line 3");
+        assert_eq!(chain[1].1, 2, "b calls c on line 2");
+    }
+}

@@ -7,11 +7,21 @@
 
 use std::collections::BTreeMap;
 
-/// Scope of one rule: path prefixes it applies to.
+/// Scope of one rule: path prefixes it applies to, plus the
+/// interprocedural knobs (entry points, taint sources, sanctioned
+/// boundary functions) the call-graph rules read.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuleScope {
     /// Workspace-relative path prefixes scanned by this rule.
     pub include: Vec<String>,
+    /// FQN suffix patterns (`*` matches one segment) selecting the
+    /// reachability roots, e.g. `experiments::*::run`.
+    pub entry: Vec<String>,
+    /// FQN suffix patterns for taint sources (oracle-taint).
+    pub source: Vec<String>,
+    /// FQN suffix patterns for sanctioned channels that *cut* taint
+    /// propagation (oracle-taint), e.g. the paid-probe API.
+    pub boundary: Vec<String>,
 }
 
 /// Parsed configuration.
@@ -50,6 +60,7 @@ impl Config {
             "oracle-isolation".to_string(),
             RuleScope {
                 include: vec!["crates/core/src".into()],
+                ..RuleScope::default()
             },
         );
         rules.insert(
@@ -66,12 +77,14 @@ impl Config {
                     "crates/lint/src".into(),
                     "src".into(),
                 ],
+                ..RuleScope::default()
             },
         );
         rules.insert(
             "unsafe-hygiene".to_string(),
             RuleScope {
                 include: vec!["crates".into(), "shims".into(), "src".into()],
+                ..RuleScope::default()
             },
         );
         rules.insert(
@@ -87,6 +100,61 @@ impl Config {
                     "crates/lint/src".into(),
                     "src".into(),
                 ],
+                ..RuleScope::default()
+            },
+        );
+        rules.insert(
+            "oracle-taint".to_string(),
+            RuleScope {
+                include: vec!["crates/core/src".into()],
+                source: vec![
+                    "ProbeEngine::truth".into(),
+                    "PlayerHandle::probe_fresh".into(),
+                    "DynamicTruth::truth".into(),
+                    "PrefMatrix::value".into(),
+                    "PrefMatrix::row".into(),
+                    "PrefMatrix::rows".into(),
+                    "PrefMatrix::player_dist".into(),
+                    "PrefMatrix::diameter_of".into(),
+                ],
+                boundary: vec![
+                    "PlayerHandle::probe".into(),
+                    "PlayerHandle::already_probed".into(),
+                ],
+                ..RuleScope::default()
+            },
+        );
+        rules.insert(
+            "determinism-reach".to_string(),
+            RuleScope {
+                include: vec!["crates/sim/src".into(), "crates/service/src".into()],
+                entry: vec!["experiments::*::run".into(), "Service::tick".into()],
+                ..RuleScope::default()
+            },
+        );
+        rules.insert(
+            "panic-reach".to_string(),
+            RuleScope {
+                include: vec!["crates/service/src".into()],
+                entry: vec![
+                    "Service::tick".into(),
+                    "Service::submit".into(),
+                    "Service::submit_teardown".into(),
+                    "Service::recover".into(),
+                    "WalWriter::open".into(),
+                    "WalWriter::append".into(),
+                    "tcp::serve".into(),
+                    "tcp::handle_conn".into(),
+                    "tcp::ticker_loop".into(),
+                ],
+                ..RuleScope::default()
+            },
+        );
+        rules.insert(
+            "wal-protocol".to_string(),
+            RuleScope {
+                include: vec!["crates/service/src/wal.rs".into()],
+                ..RuleScope::default()
             },
         );
         Config {
@@ -151,13 +219,17 @@ impl Config {
                 Some(name) if name.starts_with("rules.") => {
                     let rule = name["rules.".len()..].to_string();
                     let scope = cfg.rules.entry(rule).or_default();
-                    if key == "include" {
-                        scope.include = values;
-                    } else {
-                        return Err(ConfigError {
-                            line: lineno,
-                            message: format!("unknown rule key '{key}'"),
-                        });
+                    match key {
+                        "include" => scope.include = values,
+                        "entry" => scope.entry = values,
+                        "source" => scope.source = values,
+                        "boundary" => scope.boundary = values,
+                        _ => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown rule key '{key}'"),
+                            });
+                        }
                     }
                 }
                 other => {
@@ -341,6 +413,7 @@ include = "crates/model/src"
             vec![
                 "determinism",
                 "oracle-isolation",
+                "oracle-taint",
                 "panic-hygiene",
                 "unsafe-hygiene"
             ]

@@ -8,7 +8,7 @@
 //! experiment table, an unaudited `unsafe`, a library panic — are
 //! machine-checked here instead.
 //!
-//! Four rule families (see [`rules::RULES`]):
+//! File-local rule families (see [`rules::RULES`]):
 //!
 //! * `oracle-isolation` — `.truth()`, raw `PrefMatrix`, and
 //!   `.probe_fresh()` are forbidden in algorithm crates outside tests.
@@ -19,20 +19,41 @@
 //! * `panic-hygiene` — no `unwrap`/`expect`/`panic!`-family macros in
 //!   library code outside tests.
 //!
+//! On top of those, a static-analysis pass — item-level parser
+//! ([`parse`]), workspace symbol resolution ([`resolve`]), and a
+//! conservative call graph ([`callgraph`]) — drives four
+//! interprocedural rules with call-chain traces:
+//!
+//! * `oracle-taint` — no call chain from an algorithm crate reaches
+//!   the hidden truth except through the paid probe (catches
+//!   helper-function laundering).
+//! * `determinism-reach` — experiment entry points and `Service::tick`
+//!   must not transitively touch wall clocks, unseeded RNGs, or
+//!   unordered containers.
+//! * `panic-reach` — serving hot paths must not transitively reach
+//!   `unwrap`/`expect`/`panic!`.
+//! * `wal-protocol` — inside `wal.rs`, state mutation is ordered
+//!   strictly after the fsync of the buffered append.
+//!
 //! Findings are suppressed inline with `// lint:allow(<rule>) reason`
 //! on the offending line or the line above; the reason is mandatory,
-//! and stale suppressions are themselves findings. Scoping lives in
-//! `tmwia-lint.toml` at the workspace root (a hand-rolled TOML subset
-//! — the tool has zero dependencies, per the `shims/` policy).
+//! and stale suppressions are themselves findings — in every file, even
+//! ones no rule currently covers. Scoping lives in `tmwia-lint.toml`
+//! at the workspace root (a hand-rolled TOML subset — the tool's only
+//! dependency is the vendored rayon shim, per the `shims/` policy).
 //!
-//! Run as `cargo run -p tmwia-lint -- check`; CI enforces a clean exit.
+//! Run as `cargo run -p tmwia-lint -- check` (`--format json` for the
+//! CI artifact); CI enforces a clean exit.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parse;
+pub mod resolve;
 pub mod rules;
 pub mod scan;
 
 pub use config::{Config, ConfigError};
-pub use scan::{check_workspace, scan_source, Finding};
+pub use scan::{check_workspace, findings_to_json, scan_source, Finding};

@@ -2,22 +2,29 @@
 //!
 //! ```text
 //! tmwia-lint check [--root DIR] [--config FILE] [--quiet]
+//!                  [--format text|json] [--budget-ms N]
 //! tmwia-lint rules
 //! ```
 
 use std::path::PathBuf;
-use tmwia_lint::{check_workspace, rules, Config};
+use tmwia_lint::{check_workspace, findings_to_json, rules, Config};
 
 const USAGE: &str = "\
 tmwia-lint — workspace invariant checker (probe accounting, determinism,
-unsafe/panic hygiene)
+unsafe/panic hygiene, call-graph taint/reachability)
 
 USAGE:
   tmwia-lint check [--root DIR] [--config FILE] [--quiet]
+                   [--format text|json] [--budget-ms N]
       Scan the workspace; print findings; exit 1 if any remain.
       --root defaults to the nearest ancestor containing tmwia-lint.toml
       (or the current directory); --config defaults to ROOT/tmwia-lint.toml,
       falling back to the built-in default scopes.
+      --format json writes a machine-readable report to stdout (the CI
+      artifact); text (default) prints one finding per line with its
+      call-chain trace.
+      --budget-ms N exits 3 if the full analysis takes longer than N
+      milliseconds (CI performance gate).
   tmwia-lint rules
       List rule ids and what they enforce.
 
@@ -33,7 +40,7 @@ fn run() -> Result<i32, String> {
         Some("check") => {}
         Some("rules") => {
             for (id, what) in rules::RULES {
-                println!("{id:>16}  {what}");
+                println!("{id:>17}  {what}");
             }
             return Ok(0);
         }
@@ -47,6 +54,8 @@ fn run() -> Result<i32, String> {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut json = false;
+    let mut budget_ms: Option<u64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => {
@@ -58,6 +67,18 @@ fn run() -> Result<i32, String> {
                 config_path = Some(PathBuf::from(args.next().ok_or("--config expects a file")?));
             }
             "--quiet" => quiet = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--budget-ms" => {
+                budget_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--budget-ms expects a millisecond count")?,
+                );
+            }
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
@@ -72,19 +93,34 @@ fn run() -> Result<i32, String> {
         Err(_) => Config::default_workspace(),
     };
 
+    // lint:allow(determinism) wall-clock here measures the lint run itself (CI budget gate), not an algorithm path
+    let started = std::time::Instant::now();
     let findings = check_workspace(&root, &config);
-    if !quiet {
+    let elapsed = started.elapsed();
+
+    if json {
+        print!("{}", findings_to_json(&findings));
+    } else if !quiet {
         for f in &findings {
             println!("{f}");
         }
     }
+    if let Some(budget) = budget_ms {
+        let took = elapsed.as_millis() as u64;
+        if took > budget {
+            eprintln!("tmwia-lint: analysis took {took}ms, over the {budget}ms budget");
+            return Ok(3);
+        }
+    }
     if findings.is_empty() {
-        if !quiet {
+        if !quiet && !json {
             println!("tmwia-lint: clean ({} rules)", config.rules.len());
         }
         Ok(0)
     } else {
-        println!("tmwia-lint: {} finding(s)", findings.len());
+        if !json {
+            println!("tmwia-lint: {} finding(s)", findings.len());
+        }
         Ok(1)
     }
 }

@@ -1,0 +1,593 @@
+//! Item-level recursive-descent parser over the significant-token view.
+//!
+//! This is deliberately *not* a Rust front-end: it recognises just
+//! enough structure — `mod` trees, `fn` items with their brace-delimited
+//! bodies, `impl`/`trait` blocks and the type they attach methods to —
+//! to anchor every function body in the file and name it well enough
+//! for workspace-wide resolution ([`crate::resolve`]). Everything else
+//! (expressions, types, generics, attributes) is skipped with balanced
+//! bracket counting. The parser is total: malformed input degrades to
+//! "fewer functions recognised", never to a panic, which keeps the
+//! analyzer conservative in the safe direction for taint (a missed
+//! function cannot *create* a false alarm) and honest about it in the
+//! docs (DESIGN.md §7 lists the blind spots).
+
+use crate::rules::Sig;
+
+/// One `fn` item recognised in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// The function's own name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type (last path segment), if any —
+    /// `impl Service { fn tick … }` records `Service`.
+    pub owner: Option<String>,
+    /// Inline `mod` path inside the file (file-system modules are the
+    /// resolver's job).
+    pub module: Vec<String>,
+    /// 1-based line of the function name.
+    pub line: u32,
+    /// Half-open significant-token range strictly inside the body
+    /// braces; `None` for bodyless declarations (trait methods,
+    /// `extern` fns).
+    pub body: Option<(usize, usize)>,
+    /// Inside a `#[cfg(test)]`/`#[test]` span.
+    pub is_test: bool,
+    /// Number of parameters, excluding any `self` receiver. Rust has
+    /// no default or variadic arguments, so a call whose argument count
+    /// differs can never land here — the call graph uses this to prune
+    /// name-collision fan-out without a type system.
+    pub arity: usize,
+}
+
+/// Parsed shape of one file: every recognised function.
+#[derive(Debug, Clone, Default)]
+pub struct FileAst {
+    /// Functions in source order.
+    pub fns: Vec<FnDef>,
+}
+
+/// Parse `sig` (with its test mask over *full* token indices) into an
+/// item-level AST.
+pub fn parse_file(sig: &Sig<'_>, mask: &[bool]) -> FileAst {
+    let mut p = Parser {
+        sig,
+        mask,
+        module: Vec::new(),
+        owner: None,
+        fns: Vec::new(),
+    };
+    p.items(0, sig.len());
+    FileAst { fns: p.fns }
+}
+
+struct Parser<'a, 's> {
+    sig: &'a Sig<'s>,
+    mask: &'a [bool],
+    module: Vec<String>,
+    owner: Option<String>,
+    fns: Vec<FnDef>,
+}
+
+/// Identifiers that can never be a called function's name.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "move", "let", "mut", "ref", "fn", "impl", "dyn", "where", "use", "pub", "crate", "super",
+    "self", "Self", "unsafe", "async", "await", "box", "static", "const", "type", "trait", "mod",
+    "struct", "enum", "union", "extern",
+];
+
+impl Parser<'_, '_> {
+    fn punct(&self, i: usize) -> Option<char> {
+        self.sig.punct(i)
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        self.sig.ident(i)
+    }
+
+    /// Index of the `}` matching the `{` at `open`, or `end` if the
+    /// file is truncated.
+    fn close_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 1usize;
+        let mut i = open + 1;
+        while i < end {
+            match self.punct(i) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skip a balanced `(…)` / `[…]` / `{…}` group whose opener sits at
+    /// `i`; returns the index just past the closer.
+    fn skip_group(&self, i: usize, end: usize) -> usize {
+        let (open, close) = match self.punct(i) {
+            Some('(') => ('(', ')'),
+            Some('[') => ('[', ']'),
+            Some('{') => ('{', '}'),
+            _ => return i + 1,
+        };
+        let mut depth = 1usize;
+        let mut j = i + 1;
+        while j < end && depth > 0 {
+            match self.punct(j) {
+                Some(c) if c == open => depth += 1,
+                Some(c) if c == close => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Skip a balanced generic argument list whose `<` sits at `i`,
+    /// ignoring `->` arrows (their `>` is not a closer). Returns the
+    /// index just past the matching `>`.
+    fn skip_angles(&self, i: usize, end: usize) -> usize {
+        let mut depth = 1usize;
+        let mut j = i + 1;
+        while j < end && depth > 0 {
+            match self.punct(j) {
+                Some('-') if self.punct(j + 1) == Some('>') => j += 1,
+                Some('<') => depth += 1,
+                Some('>') => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Skip an attribute at `i` (`#[…]` or `#![…]`); returns the index
+    /// just past the closing `]`.
+    fn skip_attr(&self, i: usize, end: usize) -> usize {
+        let mut j = i + 1;
+        if self.punct(j) == Some('!') {
+            j += 1;
+        }
+        if self.punct(j) == Some('[') {
+            self.skip_group(j, end)
+        } else {
+            i + 1
+        }
+    }
+
+    /// Parse items in `[i, end)` under the current module/owner.
+    fn items(&mut self, mut i: usize, end: usize) {
+        while i < end {
+            if self.punct(i) == Some('#') {
+                i = self.skip_attr(i, end);
+                continue;
+            }
+            // Stray block at item level (e.g. an `extern "C" { … }`
+            // body we chose not to model): skip it wholesale.
+            if self.punct(i) == Some('{') {
+                i = self.close_brace(i, end) + 1;
+                continue;
+            }
+            let Some(id) = self.ident(i) else {
+                i += 1;
+                continue;
+            };
+            match id {
+                // Visibility / fn qualifiers: step over, keep looking
+                // for the item keyword. `pub(crate)` carries a group.
+                "pub" => {
+                    i += 1;
+                    if self.punct(i) == Some('(') {
+                        i = self.skip_group(i, end);
+                    }
+                }
+                "unsafe" | "async" | "default" => i += 1,
+                "extern" => {
+                    // `extern "C" fn` / `extern crate foo;` — step over
+                    // the keyword (and ABI string, handled as a
+                    // non-ident token by the outer loop).
+                    i += 1;
+                }
+                "const" | "static" => {
+                    // `const fn` is a qualifier; `const NAME: … = …;`
+                    // is an item whose value may hold `{…}` blocks.
+                    if self.ident(i + 1) == Some("fn") || self.ident(i + 1) == Some("unsafe") {
+                        i += 1;
+                    } else {
+                        i = self.skip_to_semicolon(i + 1, end);
+                    }
+                }
+                "use" | "type" => i = self.skip_to_semicolon(i + 1, end),
+                "macro_rules" => {
+                    // `macro_rules! name { … }`
+                    let mut j = i + 1;
+                    while j < end && !matches!(self.punct(j), Some('{') | Some('(') | Some('[')) {
+                        j += 1;
+                    }
+                    i = self.skip_group(j, end);
+                }
+                "mod" => i = self.item_mod(i, end),
+                "fn" => i = self.item_fn(i, end),
+                "impl" => i = self.item_impl(i, end),
+                "trait" => i = self.item_trait(i, end),
+                "struct" | "enum" | "union" => i = self.item_adt(i, end),
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Skip to just past the next `;` at brace depth 0, skipping
+    /// balanced `{…}` (struct-literal or block initialisers).
+    fn skip_to_semicolon(&self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            match self.punct(i) {
+                Some(';') => return i + 1,
+                Some('{') => i = self.close_brace(i, end) + 1,
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    fn item_mod(&mut self, i: usize, end: usize) -> usize {
+        let Some(name) = self.ident(i + 1).map(str::to_string) else {
+            return i + 1;
+        };
+        match self.punct(i + 2) {
+            Some(';') => i + 3,
+            Some('{') => {
+                let close = self.close_brace(i + 2, end);
+                self.module.push(name);
+                let saved_owner = self.owner.take();
+                self.items(i + 3, close);
+                self.owner = saved_owner;
+                self.module.pop();
+                close + 1
+            }
+            _ => i + 2,
+        }
+    }
+
+    fn item_fn(&mut self, i: usize, end: usize) -> usize {
+        let Some(name) = self.ident(i + 1).map(str::to_string) else {
+            return i + 1;
+        };
+        let line = self.sig.line(i + 1);
+        let is_test = self.mask[self.sig.toks[i].0];
+        let mut j = i + 2;
+        if self.punct(j) == Some('<') {
+            j = self.skip_angles(j, end);
+        }
+        let mut arity = 0;
+        if self.punct(j) == Some('(') {
+            let past = self.skip_group(j, end);
+            arity = self.count_params(j + 1, past.saturating_sub(1));
+            j = past;
+        }
+        // Return type / where clause: scan to the body `{` or a
+        // bodyless `;`, stepping over nested groups and generics.
+        loop {
+            match self.punct(j) {
+                None if j >= end => return end,
+                Some(';') => {
+                    self.push_fn(name, line, None, is_test, arity);
+                    return j + 1;
+                }
+                Some('{') => {
+                    let close = self.close_brace(j, end);
+                    self.push_fn(name, line, Some((j + 1, close)), is_test, arity);
+                    return close + 1;
+                }
+                Some('<') => j = self.skip_angles(j, end),
+                Some('(') | Some('[') => j = self.skip_group(j, end),
+                Some('-') if self.punct(j + 1) == Some('>') => j += 2,
+                _ => j += 1,
+            }
+        }
+    }
+
+    fn push_fn(
+        &mut self,
+        name: String,
+        line: u32,
+        body: Option<(usize, usize)>,
+        is_test: bool,
+        arity: usize,
+    ) {
+        self.fns.push(FnDef {
+            name,
+            owner: self.owner.clone(),
+            module: self.module.clone(),
+            line,
+            body,
+            is_test,
+            arity,
+        });
+    }
+
+    /// Count the parameters declared in `[lo, hi)` — the tokens strictly
+    /// between a fn's parentheses. Commas inside nested groups and
+    /// generic argument lists are not separators; a leading `self`
+    /// receiver (`self`, `&mut self`, `self: Box<Self>`, …) is excluded.
+    fn count_params(&self, lo: usize, hi: usize) -> usize {
+        let mut params = 0usize;
+        let mut seg_started = false;
+        let mut receiver = false;
+        let mut i = lo;
+        while i < hi {
+            match self.punct(i) {
+                Some(',') => {
+                    if seg_started {
+                        params += 1;
+                        seg_started = false;
+                    }
+                    i += 1;
+                }
+                Some('(') | Some('[') | Some('{') => {
+                    seg_started = true;
+                    i = self.skip_group(i, hi);
+                }
+                Some('<') => {
+                    seg_started = true;
+                    i = self.skip_angles(i, hi);
+                }
+                _ => {
+                    if params == 0 && self.ident(i) == Some("self") {
+                        receiver = true;
+                    }
+                    seg_started = true;
+                    i += 1;
+                }
+            }
+        }
+        if seg_started {
+            params += 1;
+        }
+        if receiver {
+            params = params.saturating_sub(1);
+        }
+        params
+    }
+
+    fn item_impl(&mut self, i: usize, end: usize) -> usize {
+        let mut j = i + 1;
+        if self.punct(j) == Some('<') {
+            j = self.skip_angles(j, end);
+        }
+        // Collect the self-type's path idents at angle depth 0; for
+        // `impl Trait for Type` the idents after `for` win.
+        let mut path: Vec<String> = Vec::new();
+        let mut after_for = false;
+        while j < end {
+            match self.punct(j) {
+                Some('{') => break,
+                Some('<') => {
+                    j = self.skip_angles(j, end);
+                    continue;
+                }
+                Some('(') => {
+                    j = self.skip_group(j, end);
+                    continue;
+                }
+                _ => {}
+            }
+            if let Some(id) = self.ident(j) {
+                match id {
+                    "for" => {
+                        after_for = true;
+                        path.clear();
+                    }
+                    "where" => {
+                        // Bounds may mention many types; stop collecting.
+                        while j < end && self.punct(j) != Some('{') {
+                            if self.punct(j) == Some('<') {
+                                j = self.skip_angles(j, end);
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        break;
+                    }
+                    "mut" | "dyn" | "const" => {}
+                    _ => path.push(id.to_string()),
+                }
+            }
+            j += 1;
+        }
+        let _ = after_for;
+        if self.punct(j) != Some('{') {
+            return j;
+        }
+        let close = self.close_brace(j, end);
+        let saved = self.owner.take();
+        self.owner = path.pop();
+        self.items(j + 1, close);
+        self.owner = saved;
+        close + 1
+    }
+
+    fn item_trait(&mut self, i: usize, end: usize) -> usize {
+        let Some(name) = self.ident(i + 1).map(str::to_string) else {
+            return i + 1;
+        };
+        let mut j = i + 2;
+        while j < end && !matches!(self.punct(j), Some('{') | Some(';')) {
+            if self.punct(j) == Some('<') {
+                j = self.skip_angles(j, end);
+            } else {
+                j += 1;
+            }
+        }
+        if self.punct(j) != Some('{') {
+            return j + 1;
+        }
+        let close = self.close_brace(j, end);
+        let saved = self.owner.take();
+        self.owner = Some(name);
+        self.items(j + 1, close);
+        self.owner = saved;
+        close + 1
+    }
+
+    /// Skip a `struct`/`enum`/`union` item: either `{…}`-bodied or a
+    /// tuple/unit declaration ending in `;`.
+    fn item_adt(&mut self, i: usize, end: usize) -> usize {
+        let mut j = i + 1;
+        while j < end {
+            match self.punct(j) {
+                Some('{') => return self.close_brace(j, end) + 1,
+                Some(';') => return j + 1,
+                Some('(') => j = self.skip_group(j, end),
+                Some('<') => j = self.skip_angles(j, end),
+                _ => j += 1,
+            }
+        }
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> FileAst {
+        let toks = lex(src);
+        let mask = crate::scan::test_mask(&toks);
+        let sig = Sig::new(&toks);
+        parse_file(&sig, &mask)
+    }
+
+    #[test]
+    fn free_fns_impl_methods_and_trait_impls() {
+        let src = r#"
+pub fn free(x: u8) -> u8 { x }
+struct S { a: u8 }
+impl S {
+    pub(crate) fn method(&self) -> u8 { self.a }
+}
+impl std::fmt::Display for S {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+}
+trait T { fn decl(&self); fn with_default(&self) { } }
+"#;
+        let ast = parse(src);
+        let names: Vec<(String, Option<String>)> = ast
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None),
+                ("method".into(), Some("S".into())),
+                ("fmt".into(), Some("S".into())),
+                ("decl".into(), Some("T".into())),
+                ("with_default".into(), Some("T".into())),
+            ]
+        );
+        assert!(ast.fns[3].body.is_none(), "bodyless trait decl");
+        assert!(ast.fns[4].body.is_some(), "defaulted trait method");
+    }
+
+    #[test]
+    fn inline_modules_and_test_mask() {
+        let src = r#"
+mod inner {
+    pub fn deep() {}
+}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+"#;
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 2);
+        assert_eq!(ast.fns[0].module, vec!["inner".to_string()]);
+        assert!(!ast.fns[0].is_test);
+        assert!(ast.fns[1].is_test);
+    }
+
+    #[test]
+    fn generics_where_clauses_and_fn_arrows_do_not_derail() {
+        let src = r#"
+pub fn map<F, T>(xs: Vec<T>, f: F) -> Vec<T>
+where
+    F: Fn(T) -> T + Send,
+{
+    helper(xs, f)
+}
+impl<'a, T: Clone> Wrapper<'a, T> {
+    fn get(&self) -> &T { &self.0 }
+}
+"#;
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 2);
+        assert_eq!(ast.fns[0].name, "map");
+        assert!(ast.fns[0].body.is_some());
+        assert_eq!(ast.fns[1].owner.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn impl_for_reference_types_uses_the_concrete_type() {
+        let src = "impl Render for &mut Board { fn draw(&self) {} }";
+        let ast = parse(src);
+        assert_eq!(ast.fns[0].owner.as_deref(), Some("Board"));
+    }
+
+    #[test]
+    fn arity_excludes_receivers_and_survives_generic_commas() {
+        let src = r#"
+fn zero() {}
+fn one(x: u8) -> u8 { x }
+fn generic_commas(m: BTreeMap<u32, Vec<u8>>, n: u8) {}
+fn tuple_pat((a, b): (u8, u8)) {}
+fn fnptr(f: fn(u8, u8) -> u8, x: u8) {}
+fn trailing(x: u8, y: u8,) {}
+impl S {
+    fn by_ref(&self) {}
+    fn by_arc(self: Arc<Self>, j: usize) {}
+    fn two(&mut self, a: u8, b: u8) {}
+}
+trait T { fn decl(&self, j: usize); }
+"#;
+        let ast = parse(src);
+        let arities: Vec<(String, usize)> =
+            ast.fns.iter().map(|f| (f.name.clone(), f.arity)).collect();
+        assert_eq!(
+            arities,
+            vec![
+                ("zero".into(), 0),
+                ("one".into(), 1),
+                ("generic_commas".into(), 2),
+                ("tuple_pat".into(), 1),
+                ("fnptr".into(), 2),
+                ("trailing".into(), 2),
+                ("by_ref".into(), 0),
+                ("by_arc".into(), 1),
+                ("two".into(), 2),
+                ("decl".into(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn const_items_and_macros_are_skipped_without_losing_later_fns() {
+        let src = r#"
+const TABLE: &[(&str, u8)] = &[("a", 1)];
+static BLOCK: u8 = { 40 + 2 };
+macro_rules! noise { ($x:expr) => { $x }; }
+fn after() {}
+"#;
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 1);
+        assert_eq!(ast.fns[0].name, "after");
+    }
+}

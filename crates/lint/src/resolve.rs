@@ -1,0 +1,268 @@
+//! Workspace symbol resolution: turn per-file ASTs into a single
+//! fully-qualified function table with the lookup indices the call
+//! graph needs.
+//!
+//! Resolution is *name-based and conservative*, not type-aware (same
+//! policy as the token rules — see DESIGN.md §7 for the soundness
+//! trade-offs). A function's fully-qualified name is derived purely
+//! from its file-system location plus inline `mod` nesting:
+//!
+//! ```text
+//! crates/service/src/wal.rs  →  tmwia_service::wal::WalWriter::append
+//! crates/sim/src/experiments/e01_basic.rs
+//!                            →  tmwia_sim::experiments::e01_basic::run
+//! src/lib.rs                 →  tmwia::…
+//! ```
+//!
+//! `use` declarations are deliberately ignored: lookups go by trailing
+//! path segments (owner type, last module segment, bare name), which
+//! over-approximates aliasing instead of modelling it. That is the safe
+//! direction for reachability rules — extra candidate edges can only
+//! *add* findings, never hide one.
+
+use crate::parse::FileAst;
+use std::collections::BTreeMap;
+
+/// One function in the workspace table.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Index into the scanned file list.
+    pub file: usize,
+    /// Workspace-relative `/`-separated path of that file.
+    pub path: String,
+    /// Index of this fn inside its file's [`FileAst::fns`].
+    pub local: usize,
+    /// Function name.
+    pub name: String,
+    /// `impl`/`trait` owner type, if any.
+    pub owner: Option<String>,
+    /// Full module path: crate segment, file-system mods, inline mods.
+    pub module: Vec<String>,
+    /// 1-based definition line.
+    pub line: u32,
+    /// Body significant-token range (half-open), if the fn has one.
+    pub body: Option<(usize, usize)>,
+    /// Defined inside a test span.
+    pub is_test: bool,
+    /// Parameter count excluding any `self` receiver (see
+    /// [`crate::parse::FnDef::arity`]).
+    pub arity: usize,
+}
+
+impl FnInfo {
+    /// `crate::mods::Owner::name` — the display / pattern-match form.
+    pub fn fqn(&self) -> String {
+        let mut parts: Vec<&str> = self.module.iter().map(String::as_str).collect();
+        if let Some(o) = &self.owner {
+            parts.push(o);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+
+    /// Short display form for chain traces: `Owner::name` or `name`.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The resolved workspace: every recognised function plus indices for
+/// the resolution strategies in [`crate::callgraph`].
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All functions, in (file, source) order.
+    pub fns: Vec<FnInfo>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    methods: BTreeMap<String, Vec<usize>>,
+    free: BTreeMap<String, Vec<usize>>,
+    by_owner: BTreeMap<(String, String), Vec<usize>>,
+    by_module: BTreeMap<(String, String), Vec<usize>>,
+}
+
+/// Map a workspace-relative file path to its module path (crate
+/// segment first). Unrecognised layouts fall back to the path
+/// components themselves so fixtures in odd places still resolve.
+pub fn module_path_of(path: &str) -> Vec<String> {
+    let parts: Vec<&str> = path.split('/').collect();
+    let (crate_seg, rest): (String, &[&str]) = match parts.as_slice() {
+        ["crates", name, "src", rest @ ..] => (format!("tmwia_{}", name.replace('-', "_")), rest),
+        ["src", rest @ ..] => ("tmwia".to_string(), rest),
+        other => {
+            // e.g. fixture trees: use every component as-is.
+            let mut out: Vec<String> = other
+                .iter()
+                .map(|s| s.trim_end_matches(".rs").replace('-', "_"))
+                .collect();
+            if let Some(last) = out.last() {
+                if last == "lib" || last == "main" || last == "mod" {
+                    out.pop();
+                }
+            }
+            return out;
+        }
+    };
+    let mut out = vec![crate_seg];
+    for (i, seg) in rest.iter().enumerate() {
+        let is_last = i + 1 == rest.len();
+        if is_last {
+            let stem = seg.trim_end_matches(".rs");
+            match stem {
+                "lib" | "main" | "mod" => {}
+                _ => {
+                    // `src/bin/name.rs` is its own root; keep `name`
+                    // as the distinguishing segment either way.
+                    out.push(stem.replace('-', "_"));
+                }
+            }
+        } else if *seg != "bin" {
+            out.push(seg.replace('-', "_"));
+        }
+    }
+    out
+}
+
+impl Workspace {
+    /// Build the table from parsed files. `files` pairs each relative
+    /// path with its AST; order defines the deterministic fn ids.
+    pub fn build(files: &[(String, FileAst)]) -> Self {
+        let mut ws = Workspace::default();
+        for (fi, (path, ast)) in files.iter().enumerate() {
+            let fs_mods = module_path_of(path);
+            for (li, def) in ast.fns.iter().enumerate() {
+                let mut module = fs_mods.clone();
+                module.extend(def.module.iter().cloned());
+                let id = ws.fns.len();
+                let info = FnInfo {
+                    file: fi,
+                    path: path.clone(),
+                    local: li,
+                    name: def.name.clone(),
+                    owner: def.owner.clone(),
+                    module,
+                    line: def.line,
+                    body: def.body,
+                    is_test: def.is_test,
+                    arity: def.arity,
+                };
+                ws.by_name.entry(info.name.clone()).or_default().push(id);
+                match &info.owner {
+                    Some(o) => {
+                        ws.methods.entry(info.name.clone()).or_default().push(id);
+                        ws.by_owner
+                            .entry((o.clone(), info.name.clone()))
+                            .or_default()
+                            .push(id);
+                    }
+                    None => {
+                        ws.free.entry(info.name.clone()).or_default().push(id);
+                        if let Some(last_mod) = info.module.last() {
+                            ws.by_module
+                                .entry((last_mod.clone(), info.name.clone()))
+                                .or_default()
+                                .push(id);
+                        }
+                    }
+                }
+                ws.fns.push(info);
+            }
+        }
+        ws
+    }
+
+    /// Every fn named `name`, any kind.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Methods (owner-attached fns) named `name`.
+    pub fn methods_named(&self, name: &str) -> &[usize] {
+        self.methods.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Free fns named `name`.
+    pub fn free_named(&self, name: &str) -> &[usize] {
+        self.free.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Methods of `owner` named `name`.
+    pub fn of_owner(&self, owner: &str, name: &str) -> &[usize] {
+        self.by_owner
+            .get(&(owner.to_string(), name.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Free fns named `name` in a module whose last segment is `seg`.
+    pub fn in_module(&self, seg: &str, name: &str) -> &[usize] {
+        self.by_module
+            .get(&(seg.to_string(), name.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Function ids whose FQN suffix-matches `pattern` (segments split
+    /// on `::`; `*` matches exactly one segment). Test fns never match.
+    pub fn matching(&self, pattern: &str) -> Vec<usize> {
+        let pat: Vec<&str> = pattern.split("::").collect();
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test && fqn_suffix_matches(&f.fqn(), &pat))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Does `fqn`'s trailing segments match `pat` (with `*` wildcards)?
+pub fn fqn_suffix_matches(fqn: &str, pat: &[&str]) -> bool {
+    let segs: Vec<&str> = fqn.split("::").collect();
+    if pat.len() > segs.len() {
+        return false;
+    }
+    segs[segs.len() - pat.len()..]
+        .iter()
+        .zip(pat)
+        .all(|(s, p)| *p == "*" || s == p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_paths_follow_the_cargo_layout() {
+        assert_eq!(module_path_of("crates/service/src/wal.rs"), ["tmwia_service", "wal"]);
+        assert_eq!(module_path_of("crates/core/src/lib.rs"), ["tmwia_core"]);
+        assert_eq!(
+            module_path_of("crates/sim/src/experiments/mod.rs"),
+            ["tmwia_sim", "experiments"]
+        );
+        assert_eq!(
+            module_path_of("crates/sim/src/experiments/e01_basic.rs"),
+            ["tmwia_sim", "experiments", "e01_basic"]
+        );
+        assert_eq!(
+            module_path_of("crates/bench/src/bin/kernel.rs"),
+            ["tmwia_bench", "kernel"]
+        );
+        assert_eq!(module_path_of("src/main.rs"), ["tmwia"]);
+    }
+
+    #[test]
+    fn suffix_patterns_with_wildcards() {
+        assert!(fqn_suffix_matches(
+            "tmwia_sim::experiments::e01_basic::run",
+            &["experiments", "*", "run"]
+        ));
+        assert!(fqn_suffix_matches(
+            "tmwia_service::service::Service::tick",
+            &["Service", "tick"]
+        ));
+        assert!(!fqn_suffix_matches(
+            "tmwia_sim::experiments::e01_basic::run_inner",
+            &["experiments", "*", "run"]
+        ));
+        assert!(!fqn_suffix_matches("run", &["experiments", "*", "run"]));
+    }
+}

@@ -1,14 +1,37 @@
-//! The four rule families.
+//! The rule families: file-local token patterns and workspace
+//! call-graph rules.
 //!
-//! Rules are token-pattern scanners over the output of [`crate::lexer`]
-//! — deliberately not type-aware. The discipline they enforce is
-//! structural (which *names* may appear in which crates), so name-level
-//! matching is exact enough, and anything type-level would need a full
-//! front-end. False positives have an escape hatch: the
+//! The file-local rules are token-pattern scanners over the output of
+//! [`crate::lexer`] — deliberately not type-aware. The discipline they
+//! enforce is structural (which *names* may appear in which crates),
+//! so name-level matching is exact enough, and anything type-level
+//! would need a full front-end. The interprocedural rules layer a
+//! conservative call graph ([`crate::callgraph`]) on top and check
+//! *reachability*: a helper function can no longer launder a
+//! ground-truth access or a wall-clock read past a per-file scan.
+//! False positives have an escape hatch either way: the
 //! `// lint:allow(<rule>) reason` suppression handled in
 //! [`crate::scan`].
 
+use crate::callgraph::{chain_to, CallGraph};
+use crate::config::{Config, RuleScope};
 use crate::lexer::{Tok, Token};
+use crate::parse::FileAst;
+use crate::resolve::Workspace;
+use std::collections::{BTreeSet, VecDeque};
+
+/// One hop of a call-chain trace: `func` makes the next call at
+/// `path:line` (the final hop's line is the sink/source line, or 0
+/// when it has none).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChainHop {
+    /// Display name (`Owner::name` or `name`).
+    pub func: String,
+    /// Workspace-relative file of `func`.
+    pub path: String,
+    /// 1-based line of the call this hop makes (or of the sink).
+    pub line: u32,
+}
 
 /// One reported violation (before suppression filtering).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +42,20 @@ pub struct RawFinding {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Call-chain trace for interprocedural findings (empty for
+    /// file-local rules).
+    pub chain: Vec<ChainHop>,
+}
+
+impl RawFinding {
+    fn new(rule: &'static str, line: u32, message: String) -> Self {
+        RawFinding {
+            rule,
+            line,
+            message,
+            chain: Vec::new(),
+        }
+    }
 }
 
 /// All rule ids, with one-line descriptions (for `tmwia-lint rules`).
@@ -43,6 +80,28 @@ pub const RULES: &[(&str, &str)] = &[
         "no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in library code \
          outside tests",
     ),
+    (
+        "oracle-taint",
+        "no call chain from an algorithm crate may reach the hidden truth \
+         (`ProbeEngine::truth`, `PrefMatrix` row/value accessors, \
+         `probe_fresh`) except through the paid-probe boundary — catches \
+         helper-function laundering the file-local rule misses",
+    ),
+    (
+        "determinism-reach",
+        "nothing reachable from an experiment `run` or `Service::tick` may \
+         touch wall clocks, unseeded RNGs, or unordered-iteration containers",
+    ),
+    (
+        "panic-reach",
+        "serving hot paths (tick/submit, WAL append/recover, TCP dispatch) \
+         must not transitively reach `unwrap`/`expect`/`panic!`",
+    ),
+    (
+        "wal-protocol",
+        "inside `wal.rs`, writer state may be mutated only after the buffered \
+         append has been fsynced (write-ahead ordering, checked per function)",
+    ),
 ];
 
 /// A token view that skips comments but remembers each token's index in
@@ -65,28 +124,41 @@ impl<'a> Sig<'a> {
         }
     }
 
-    fn ident(&self, i: usize) -> Option<&str> {
+    /// The identifier at significant index `i`, if any.
+    pub fn ident(&self, i: usize) -> Option<&str> {
         match &self.toks.get(i)?.1.kind {
             Tok::Ident(s) => Some(s),
             _ => None,
         }
     }
 
-    fn punct(&self, i: usize) -> Option<char> {
+    /// The punctuation character at significant index `i`, if any.
+    pub fn punct(&self, i: usize) -> Option<char> {
         match self.toks.get(i)?.1.kind {
             Tok::Punct(c) => Some(c),
             _ => None,
         }
     }
 
-    fn line(&self, i: usize) -> u32 {
+    /// 1-based source line of significant index `i`.
+    pub fn line(&self, i: usize) -> u32 {
         self.toks[i].1.line
+    }
+
+    /// Number of significant tokens.
+    pub fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    /// Whether the view holds no significant tokens.
+    pub fn is_empty(&self) -> bool {
+        self.toks.is_empty()
     }
 }
 
 /// Is significant token `i` a method-style call of `name` — i.e.
 /// `.name(`, `::name(`?
-fn is_call(sig: &Sig<'_>, i: usize, name: &str) -> bool {
+pub(crate) fn is_call(sig: &Sig<'_>, i: usize, name: &str) -> bool {
     sig.ident(i) == Some(name)
         && matches!(sig.punct(i.wrapping_sub(1)), Some('.') | Some(':'))
         && sig.punct(i + 1) == Some('(')
@@ -102,30 +174,30 @@ pub fn oracle_isolation(sig: &Sig<'_>, test_mask: &[bool], out: &mut Vec<RawFind
             continue;
         }
         if is_call(sig, i, "truth") {
-            out.push(RawFinding {
-                rule: "oracle-isolation",
-                line: sig.line(i),
-                message: "ground-truth accessor `.truth()` called in an algorithm crate; \
-                          algorithms may only learn grades via paid probes"
+            out.push(RawFinding::new(
+                "oracle-isolation",
+                sig.line(i),
+                "ground-truth accessor `.truth()` called in an algorithm crate; \
+                 algorithms may only learn grades via paid probes"
                     .into(),
-            });
+            ));
         } else if is_call(sig, i, "probe_fresh") {
-            out.push(RawFinding {
-                rule: "oracle-isolation",
-                line: sig.line(i),
-                message: "`.probe_fresh()` bypasses the probe memo; each use must carry a \
-                          `lint:allow` citing the paper remark that sanctions strict re-pay \
-                          semantics"
+            out.push(RawFinding::new(
+                "oracle-isolation",
+                sig.line(i),
+                "`.probe_fresh()` bypasses the probe memo; each use must carry a \
+                 `lint:allow` citing the paper remark that sanctions strict re-pay \
+                 semantics"
                     .into(),
-            });
+            ));
         } else if sig.ident(i) == Some("PrefMatrix") {
-            out.push(RawFinding {
-                rule: "oracle-isolation",
-                line: sig.line(i),
-                message: "raw `PrefMatrix` named in an algorithm crate; the hidden matrix is \
-                          reachable only through `ProbeEngine`"
+            out.push(RawFinding::new(
+                "oracle-isolation",
+                sig.line(i),
+                "raw `PrefMatrix` named in an algorithm crate; the hidden matrix is \
+                 reachable only through `ProbeEngine`"
                     .into(),
-            });
+            ));
         }
     }
 }
@@ -156,11 +228,7 @@ pub fn determinism(sig: &Sig<'_>, test_mask: &[bool], out: &mut Vec<RawFinding>)
             ),
             _ => continue,
         };
-        out.push(RawFinding {
-            rule: "determinism",
-            line: sig.line(i),
-            message,
-        });
+        out.push(RawFinding::new("determinism", sig.line(i), message));
     }
 }
 
@@ -201,13 +269,13 @@ pub fn unsafe_hygiene(all: &[Token], sig: &Sig<'_>, test_mask: &[bool], out: &mu
             run_line = Some(t.line);
         }
         if !documented {
-            out.push(RawFinding {
-                rule: "unsafe-hygiene",
+            out.push(RawFinding::new(
+                "unsafe-hygiene",
                 line,
-                message: "`unsafe` without an adjacent `// SAFETY:` comment stating the \
-                          preconditions it relies on"
+                "`unsafe` without an adjacent `// SAFETY:` comment stating the \
+                 preconditions it relies on"
                     .into(),
-            });
+            ));
         }
     }
 }
@@ -232,10 +300,383 @@ pub fn panic_hygiene(sig: &Sig<'_>, test_mask: &[bool], out: &mut Vec<RawFinding
             }
             _ => continue,
         };
-        out.push(RawFinding {
-            rule: "panic-hygiene",
-            line: sig.line(i),
-            message,
-        });
+        out.push(RawFinding::new("panic-hygiene", sig.line(i), message));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural rules (call-graph layer)
+// ---------------------------------------------------------------------------
+
+/// A finding attributed to a specific workspace file.
+#[derive(Debug, Clone)]
+pub struct WsFinding {
+    /// Workspace-relative path the finding anchors to (the caller /
+    /// entry-point file, where a suppression would go).
+    pub path: String,
+    /// The finding itself.
+    pub raw: RawFinding,
+}
+
+/// Determinism sinks inside a significant-token range: `(line, ident)`.
+fn det_sinks(sig: &Sig<'_>, lo: usize, hi: usize) -> Vec<(u32, &'static str)> {
+    let mut out = Vec::new();
+    for i in lo..hi.min(sig.len()) {
+        let Some(id) = sig.ident(i) else { continue };
+        let hit = match id {
+            "HashMap" => "HashMap",
+            "HashSet" => "HashSet",
+            "Instant" => "Instant",
+            "SystemTime" => "SystemTime",
+            "thread_rng" => "thread_rng",
+            "from_entropy" => "from_entropy",
+            "OsRng" => "OsRng",
+            "getrandom" => "getrandom",
+            _ => continue,
+        };
+        out.push((sig.line(i), hit));
+    }
+    out
+}
+
+/// Panic sinks inside a significant-token range: `(line, ident)`.
+/// `assert!` is deliberately excluded — the workspace treats asserts as
+/// documented preconditions (see panic-hygiene), and this rule targets
+/// abort paths a malformed request could drive, not invariant checks.
+fn panic_sinks(sig: &Sig<'_>, lo: usize, hi: usize) -> Vec<(u32, &'static str)> {
+    let mut out = Vec::new();
+    for i in lo..hi.min(sig.len()) {
+        let Some(id) = sig.ident(i) else { continue };
+        let hit = match id {
+            "unwrap" if is_call(sig, i, "unwrap") => "unwrap",
+            "expect" if is_call(sig, i, "expect") => "expect",
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if sig.punct(i + 1) == Some('!') =>
+            {
+                match id {
+                    "panic" => "panic!",
+                    "unreachable" => "unreachable!",
+                    "todo" => "todo!",
+                    _ => "unimplemented!",
+                }
+            }
+            _ => continue,
+        };
+        out.push((sig.line(i), hit));
+    }
+    out
+}
+
+/// Function ids matching any of `patterns`, restricted to files the
+/// rule's scope covers when `scoped` is set.
+fn select_fns(ws: &Workspace, patterns: &[String], scope: Option<(&Config, &str)>) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for pat in patterns {
+        out.extend(ws.matching(pat));
+    }
+    out.sort_unstable();
+    out.dedup();
+    if let Some((config, rule)) = scope {
+        out.retain(|&id| config.rules_for(&ws.fns[id].path).contains(&rule));
+    }
+    out
+}
+
+/// Render the hops for `chain` fn-id/line pairs.
+fn hops(ws: &Workspace, chain: &[(usize, u32)]) -> Vec<ChainHop> {
+    chain
+        .iter()
+        .map(|&(id, line)| ChainHop {
+            func: ws.fns[id].display(),
+            path: ws.fns[id].path.clone(),
+            line,
+        })
+        .collect()
+}
+
+/// `oracle-taint`: reverse-reachability from the ground-truth surface.
+/// A function is *tainted* if some call chain from it reaches a source
+/// without passing through a sanctioned boundary fn (the paid probe).
+/// Reported: every call edge from a non-test fn in the rule's scope to
+/// a tainted fn outside the scope (direct in-scope source usage is the
+/// file-local `oracle-isolation` rule's job).
+pub fn oracle_taint(
+    ws: &Workspace,
+    cg: &CallGraph,
+    scope: &RuleScope,
+    config: &Config,
+    out: &mut Vec<WsFinding>,
+) {
+    let sources: BTreeSet<usize> = select_fns(ws, &scope.source, None).into_iter().collect();
+    let boundary: BTreeSet<usize> = select_fns(ws, &scope.boundary, None).into_iter().collect();
+    if sources.is_empty() {
+        return;
+    }
+    // Reverse closure from the sources, never expanding *through* a
+    // boundary fn (its callers stay clean — that channel is sanctioned).
+    let rev = cg.reversed();
+    let mut tainted: BTreeSet<usize> = sources.clone();
+    let mut queue: VecDeque<usize> = sources.iter().copied().collect();
+    while let Some(f) = queue.pop_front() {
+        for &caller in &rev[f] {
+            if boundary.contains(&caller) || tainted.contains(&caller) {
+                continue;
+            }
+            tainted.insert(caller);
+            queue.push_back(caller);
+        }
+    }
+    let in_scope =
+        |id: usize| -> bool { config.rules_for(&ws.fns[id].path).contains(&"oracle-taint") };
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test || !in_scope(id) {
+            continue;
+        }
+        let mut seen: BTreeSet<(u32, usize)> = BTreeSet::new();
+        for call in &cg.edges[id] {
+            let callee = call.callee;
+            if !tainted.contains(&callee) || boundary.contains(&callee) || in_scope(callee) {
+                continue;
+            }
+            if !seen.insert((call.line, callee)) {
+                continue;
+            }
+            // Forward path from the callee to the nearest source,
+            // staying inside the tainted set.
+            let trace = taint_trace(ws, cg, callee, &sources, &boundary);
+            let source_name = trace
+                .last()
+                .map(|h: &ChainHop| h.func.clone())
+                .unwrap_or_else(|| ws.fns[callee].display());
+            let mut chain = vec![ChainHop {
+                func: f.display(),
+                path: f.path.clone(),
+                line: call.line,
+            }];
+            chain.extend(trace);
+            out.push(WsFinding {
+                path: f.path.clone(),
+                raw: RawFinding {
+                    rule: "oracle-taint",
+                    line: call.line,
+                    message: format!(
+                        "`{}` reaches the hidden truth (`{}`) through `{}`; the paid probe \
+                         is the only sanctioned channel (Theorems 1–5 cost accounting)",
+                        f.display(),
+                        source_name,
+                        ws.fns[callee].display(),
+                    ),
+                    chain,
+                },
+            });
+        }
+    }
+}
+
+/// BFS from `start` restricted to tainted fns, stopping at the first
+/// source; returns the hop list `start → … → source`.
+fn taint_trace(
+    ws: &Workspace,
+    cg: &CallGraph,
+    start: usize,
+    sources: &BTreeSet<usize>,
+    boundary: &BTreeSet<usize>,
+) -> Vec<ChainHop> {
+    let mut parent: Vec<Option<(usize, u32)>> = vec![None; cg.edges.len()];
+    parent[start] = Some((start, 0));
+    let mut queue = VecDeque::from([start]);
+    while let Some(f) = queue.pop_front() {
+        if sources.contains(&f) {
+            return hops(ws, &chain_to(&parent, start, f));
+        }
+        for c in &cg.edges[f] {
+            if parent[c.callee].is_none() && !boundary.contains(&c.callee) {
+                parent[c.callee] = Some((f, c.line));
+                queue.push_back(c.callee);
+            }
+        }
+    }
+    hops(ws, &[(start, 0)])
+}
+
+/// Shared driver for the two forward-reachability rules: from each
+/// entry point, BFS the call graph and report every reached fn whose
+/// body contains a sink.
+fn reach_rule(
+    rule: &'static str,
+    ws: &Workspace,
+    cg: &CallGraph,
+    sigs: &[Sig<'_>],
+    scope: &RuleScope,
+    config: &Config,
+    sink_fn: fn(&Sig<'_>, usize, usize) -> Vec<(u32, &'static str)>,
+    describe: fn(&str, &str, u32, &str) -> String,
+    out: &mut Vec<WsFinding>,
+) {
+    let entries = select_fns(ws, &scope.entry, Some((config, rule)));
+    if entries.is_empty() {
+        return;
+    }
+    // Sinks per fn, computed once.
+    let sinks: Vec<Vec<(u32, &'static str)>> = ws
+        .fns
+        .iter()
+        .map(|f| match f.body {
+            Some((lo, hi)) if !f.is_test => sink_fn(&sigs[f.file], lo, hi),
+            _ => Vec::new(),
+        })
+        .collect();
+    for &entry in &entries {
+        let parents = cg.bfs_parents(entry);
+        for (target, p) in parents.iter().enumerate() {
+            if p.is_none() || target == entry || sinks[target].is_empty() {
+                continue;
+            }
+            let (sink_line, sink_name) = sinks[target][0];
+            let chain = chain_to(&parents, entry, target);
+            let anchor = chain.first().map_or(ws.fns[entry].line, |&(_, l)| l);
+            let mut chain = hops(ws, &chain);
+            if let Some(last) = chain.last_mut() {
+                last.line = sink_line;
+            }
+            out.push(WsFinding {
+                path: ws.fns[entry].path.clone(),
+                raw: RawFinding {
+                    rule,
+                    line: anchor,
+                    message: describe(
+                        &ws.fns[entry].display(),
+                        &ws.fns[target].display(),
+                        sink_line,
+                        sink_name,
+                    ),
+                    chain,
+                },
+            });
+        }
+    }
+}
+
+/// `determinism-reach`: see [`RULES`].
+pub fn determinism_reach(
+    ws: &Workspace,
+    cg: &CallGraph,
+    sigs: &[Sig<'_>],
+    scope: &RuleScope,
+    config: &Config,
+    out: &mut Vec<WsFinding>,
+) {
+    reach_rule(
+        "determinism-reach",
+        ws,
+        cg,
+        sigs,
+        scope,
+        config,
+        det_sinks,
+        |entry, target, line, sink| {
+            format!(
+                "`{entry}` transitively reaches non-deterministic `{sink}` in `{target}` \
+                 (line {line}); fixed-seed tables require every reachable path to be \
+                 deterministic"
+            )
+        },
+        out,
+    );
+}
+
+/// `panic-reach`: see [`RULES`]. Suppressed file-local panics still
+/// count as sinks here — a `lint:allow(panic-hygiene)` justifies the
+/// panic *locally*, not its reachability from a serving entry point.
+pub fn panic_reach(
+    ws: &Workspace,
+    cg: &CallGraph,
+    sigs: &[Sig<'_>],
+    scope: &RuleScope,
+    config: &Config,
+    out: &mut Vec<WsFinding>,
+) {
+    reach_rule(
+        "panic-reach",
+        ws,
+        cg,
+        sigs,
+        scope,
+        config,
+        panic_sinks,
+        |entry, target, line, sink| {
+            format!(
+                "serving entry `{entry}` can reach `{sink}` in `{target}` (line {line}); \
+                 a malformed request must never crash-stop a live node — return a typed \
+                 error instead"
+            )
+        },
+        out,
+    );
+}
+
+/// `wal-protocol`: intra-function write-ahead ordering. Within each fn
+/// of the scoped file(s), after a buffered write (`write_all` /
+/// `set_len`) the code must fsync (`sync_data` / `sync_all`) before any
+/// `self.field = …` state mutation, and must not leave the fn dirty.
+/// This is a token-order dataflow approximation: early `?` returns on
+/// the write itself are fine (the write failed, nothing was buffered).
+pub fn wal_protocol(sig: &Sig<'_>, ast: &FileAst, out: &mut Vec<RawFinding>) {
+    for f in &ast.fns {
+        let Some((lo, hi)) = f.body else { continue };
+        if f.is_test {
+            continue;
+        }
+        let mut dirty: Option<u32> = None;
+        for i in lo..hi.min(sig.len()) {
+            if sig.punct(i + 1) == Some('(') && sig.punct(i.wrapping_sub(1)) == Some('.') {
+                match sig.ident(i) {
+                    Some("write_all" | "set_len") => {
+                        dirty = Some(sig.line(i));
+                        continue;
+                    }
+                    Some("sync_data" | "sync_all") => {
+                        dirty = None;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // `self.field =` / `self.field op=` while a write is unsynced.
+            if sig.ident(i) == Some("self")
+                && sig.punct(i + 1) == Some('.')
+                && sig.ident(i + 2).is_some()
+            {
+                let op = sig.punct(i + 3);
+                let is_assign = (op == Some('=') && sig.punct(i + 4) != Some('='))
+                    || (matches!(op, Some('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'))
+                        && sig.punct(i + 4) == Some('='));
+                if is_assign {
+                    if let Some(write_line) = dirty {
+                        out.push(RawFinding::new(
+                            "wal-protocol",
+                            sig.line(i),
+                            format!(
+                                "`{}` mutates writer state before the buffered write at line \
+                                 {write_line} is fsynced; recovery must never observe state \
+                                 ahead of the durable log",
+                                f.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(write_line) = dirty {
+            out.push(RawFinding::new(
+                "wal-protocol",
+                write_line,
+                format!(
+                    "`{}` returns with the buffered write at line {write_line} not fsynced; \
+                     append must be durable before the tick executes",
+                    f.name
+                ),
+            ));
+        }
     }
 }

@@ -1,11 +1,20 @@
-//! Per-file scanning: test-span masking, suppression handling, and the
-//! workspace walk.
+//! The scan pipeline: per-file lexing/parsing/token rules (in
+//! parallel), the workspace call-graph pass, suppression handling, and
+//! output rendering (text and JSON).
 
 use crate::config::Config;
 use crate::lexer::{lex, Tok, Token};
-use crate::rules::{self, RawFinding, Sig};
+use crate::parse::{parse_file, FileAst};
+use crate::resolve::Workspace;
+use crate::rules::{self, ChainHop, RawFinding, Sig, WsFinding};
+use crate::callgraph::CallGraph;
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+/// Rules that need the whole-workspace call graph; they are skipped by
+/// the per-file dispatch and run once after every file is parsed.
+const GRAPH_RULES: &[&str] = &["oracle-taint", "determinism-reach", "panic-reach"];
 
 /// A reported, unsuppressed violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -19,6 +28,8 @@ pub struct Finding {
     pub rule: String,
     /// Explanation.
     pub message: String,
+    /// Call-chain trace (interprocedural rules only).
+    pub chain: Vec<ChainHop>,
 }
 
 impl std::fmt::Display for Finding {
@@ -27,8 +38,80 @@ impl std::fmt::Display for Finding {
             f,
             "{}:{}: [{}] {}",
             self.path, self.line, self.rule, self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            let trace: Vec<String> = self
+                .chain
+                .iter()
+                .map(|h| {
+                    if h.line == 0 {
+                        h.func.clone()
+                    } else {
+                        format!("{} ({}:{})", h.func, h.path, h.line)
+                    }
+                })
+                .collect();
+            write!(f, "\n    chain: {}", trace.join(" → "))?;
+        }
+        Ok(())
     }
+}
+
+/// Render findings as the machine-readable JSON report CI archives.
+/// Hand-rolled (no serde under the shims policy); strings are escaped
+/// per RFC 8259.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        s.push_str(&format!(
+            "\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"",
+            json_esc(&f.path),
+            f.line,
+            json_esc(&f.rule),
+            json_esc(&f.message)
+        ));
+        if !f.chain.is_empty() {
+            s.push_str(", \"chain\": [");
+            for (j, h) in f.chain.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{{\"fn\": \"{}\", \"path\": \"{}\", \"line\": {}}}",
+                    json_esc(&h.func),
+                    json_esc(&h.path),
+                    h.line
+                ));
+            }
+            s.push(']');
+        }
+        s.push('}');
+    }
+    s.push_str(&format!(
+        "\n  ],\n  \"count\": {}\n}}\n",
+        findings.len()
+    ));
+    s
+}
+
+fn json_esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A parsed `// lint:allow(<rule>) reason` comment.
@@ -66,7 +149,7 @@ fn parse_suppressions(toks: &[Token]) -> Vec<Suppression> {
 /// Mark every token inside test-only items: an item (or module)
 /// annotated `#[cfg(test)]` or `#[test]`, through its closing brace or
 /// semicolon. `#[cfg(not(test))]` and other negations stay unmarked.
-fn test_mask(toks: &[Token]) -> Vec<bool> {
+pub(crate) fn test_mask(toks: &[Token]) -> Vec<bool> {
     let sig: Vec<(usize, &Token)> = toks
         .iter()
         .enumerate()
@@ -152,33 +235,39 @@ fn test_mask(toks: &[Token]) -> Vec<bool> {
     mask
 }
 
-/// Scan one file's source under `config`. `path` must be the
-/// workspace-relative, `/`-separated location — rule scoping and
-/// reported findings both use it verbatim.
-pub fn scan_source(path: &str, src: &str, config: &Config) -> Vec<Finding> {
-    let active = config.rules_for(path);
-    if active.is_empty() {
-        return Vec::new();
-    }
-    let toks = lex(src);
-    let mask = test_mask(&toks);
-    let sig = Sig::new(&toks);
+/// Run the file-local rules (including the intra-function
+/// `wal-protocol` dataflow check) over one lexed file. Returns the raw
+/// findings and the parsed item AST (reused by the workspace pass).
+fn scan_file(path: &str, toks: &[Token], config: &Config) -> (Vec<RawFinding>, FileAst) {
+    let mask = test_mask(toks);
+    let sig = Sig::new(toks);
+    let ast = parse_file(&sig, &mask);
     let mut raw: Vec<RawFinding> = Vec::new();
-    for rule in &active {
-        match *rule {
+    for rule in config.rules_for(path) {
+        match rule {
             "oracle-isolation" => rules::oracle_isolation(&sig, &mask, &mut raw),
             "determinism" => rules::determinism(&sig, &mask, &mut raw),
-            "unsafe-hygiene" => rules::unsafe_hygiene(&toks, &sig, &mask, &mut raw),
+            "unsafe-hygiene" => rules::unsafe_hygiene(toks, &sig, &mask, &mut raw),
             "panic-hygiene" => rules::panic_hygiene(&sig, &mask, &mut raw),
+            "wal-protocol" => rules::wal_protocol(&sig, &ast, &mut raw),
+            r if GRAPH_RULES.contains(&r) => {} // workspace pass
             other => raw.push(RawFinding {
                 rule: "suppression",
                 line: 1,
                 message: format!("config names unknown rule '{other}'"),
+                chain: Vec::new(),
             }),
         }
     }
+    (raw, ast)
+}
 
-    let mut supps = parse_suppressions(&toks);
+/// Match raw findings against the file's `lint:allow` comments and
+/// audit the suppressions themselves. Every file is audited even when
+/// no rule fired (or none is in scope): a `lint:allow` that suppresses
+/// nothing is stale and must be removed, not silently ignored.
+fn apply_suppressions(path: &str, toks: &[Token], raw: Vec<RawFinding>) -> Vec<Finding> {
+    let mut supps = parse_suppressions(toks);
     // Index: (rule, line) → suppression slot.
     let mut by_key: BTreeMap<(String, u32), usize> = BTreeMap::new();
     for (idx, s) in supps.iter().enumerate() {
@@ -205,6 +294,7 @@ pub fn scan_source(path: &str, src: &str, config: &Config) -> Vec<Finding> {
                         "lint:allow({}) must state a reason after the closing paren",
                         supps[idx].rule
                     ),
+                    chain: Vec::new(),
                 });
             }
             None => out.push(Finding {
@@ -212,6 +302,7 @@ pub fn scan_source(path: &str, src: &str, config: &Config) -> Vec<Finding> {
                 line: f.line,
                 rule: f.rule.to_string(),
                 message: f.message,
+                chain: f.chain,
             }),
         }
     }
@@ -226,9 +317,21 @@ pub fn scan_source(path: &str, src: &str, config: &Config) -> Vec<Finding> {
                      is out of scope for this file)",
                     s.rule
                 ),
+                chain: Vec::new(),
             });
         }
     }
+    out
+}
+
+/// Scan one file's source under `config`. `path` must be the
+/// workspace-relative, `/`-separated location — rule scoping and
+/// reported findings both use it verbatim. Runs the file-local rules
+/// only; the call-graph rules need [`check_workspace`].
+pub fn scan_source(path: &str, src: &str, config: &Config) -> Vec<Finding> {
+    let toks = lex(src);
+    let (raw, _ast) = scan_file(path, &toks, config);
+    let mut out = apply_suppressions(path, &toks, raw);
     out.sort();
     out
 }
@@ -267,15 +370,39 @@ fn collect_rs_files(root: &Path, rel: &str, config: &Config, out: &mut Vec<Strin
     }
 }
 
-/// Scan the whole workspace at `root` under `config`. Files a rule's
-/// scope does not cover are skipped entirely; IO failures on individual
-/// files are reported as findings rather than aborting the run.
+/// Is `rel` part of the analysed call graph? Library/binary sources
+/// only — integration tests, benches and the vendored shims are not
+/// serving or experiment code and would only add name-collision edges.
+fn is_analysis_path(rel: &str) -> bool {
+    rel.ends_with(".rs") && (rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/")))
+}
+
+struct LoadedFile {
+    rel: String,
+    toks: Vec<Token>,
+}
+
+/// Scan the whole workspace at `root` under `config`: parallel
+/// per-file pass, then the call-graph rules over every parsed source
+/// file. Output order is deterministic (sorted by path, line, rule) so
+/// CI diffs are stable. IO failures on individual files are reported
+/// as findings rather than aborting the run.
 pub fn check_workspace(root: &Path, config: &Config) -> Vec<Finding> {
+    let graph_active = config
+        .rules
+        .keys()
+        .any(|k| GRAPH_RULES.contains(&k.as_str()));
     let mut prefixes: Vec<String> = config
         .rules
         .values()
         .flat_map(|s| s.include.iter().cloned())
         .collect();
+    if graph_active {
+        // The call graph spans the whole workspace regardless of where
+        // the graph rules *report*.
+        prefixes.push("crates".into());
+        prefixes.push("src".into());
+    }
     prefixes.sort();
     prefixes.dedup();
     // Drop prefixes shadowed by a shorter one (e.g. `crates/core/src`
@@ -302,18 +429,71 @@ pub fn check_workspace(root: &Path, config: &Config) -> Vec<Finding> {
     files.sort();
     files.dedup();
 
-    let mut findings = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut loaded: Vec<LoadedFile> = Vec::new();
     for rel in &files {
         let abs: PathBuf = root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR));
         match std::fs::read_to_string(&abs) {
-            Ok(src) => findings.extend(scan_source(rel, &src, config)),
+            Ok(src) => loaded.push(LoadedFile {
+                rel: rel.clone(),
+                toks: lex(&src),
+            }),
             Err(e) => findings.push(Finding {
                 path: rel.clone(),
                 line: 0,
                 rule: "suppression".into(),
                 message: format!("unreadable file: {e}"),
+                chain: Vec::new(),
             }),
         }
+    }
+
+    // Per-file pass, parallel over files. Results are collected in
+    // input (sorted-path) order, so the output stays deterministic
+    // under any thread count.
+    let mut per_file: Vec<(Vec<RawFinding>, FileAst)> = loaded
+        .par_iter()
+        .map(|f| scan_file(&f.rel, &f.toks, config))
+        .collect();
+
+    // Workspace pass: resolve symbols over every analysed file, build
+    // the call graph, run the interprocedural rules.
+    if graph_active {
+        let analysis: Vec<usize> = (0..loaded.len())
+            .filter(|&i| is_analysis_path(&loaded[i].rel))
+            .collect();
+        let parsed: Vec<(String, FileAst)> = analysis
+            .iter()
+            .map(|&i| (loaded[i].rel.clone(), per_file[i].1.clone()))
+            .collect();
+        let ws = Workspace::build(&parsed);
+        let sigs: Vec<Sig<'_>> = analysis.iter().map(|&i| Sig::new(&loaded[i].toks)).collect();
+        let cg = CallGraph::build(&ws, &sigs);
+
+        let mut ws_findings: Vec<WsFinding> = Vec::new();
+        if let Some(scope) = config.rules.get("oracle-taint") {
+            rules::oracle_taint(&ws, &cg, scope, config, &mut ws_findings);
+        }
+        if let Some(scope) = config.rules.get("determinism-reach") {
+            rules::determinism_reach(&ws, &cg, &sigs, scope, config, &mut ws_findings);
+        }
+        if let Some(scope) = config.rules.get("panic-reach") {
+            rules::panic_reach(&ws, &cg, &sigs, scope, config, &mut ws_findings);
+        }
+        let by_path: BTreeMap<&str, usize> = loaded
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.rel.as_str(), i))
+            .collect();
+        for wf in ws_findings {
+            if let Some(&i) = by_path.get(wf.path.as_str()) {
+                per_file[i].0.push(wf.raw);
+            }
+        }
+    }
+
+    for (f, (raw, _ast)) in loaded.iter().zip(per_file) {
+        findings.extend(apply_suppressions(&f.rel, &f.toks, raw));
     }
     findings.sort();
     findings
@@ -371,6 +551,17 @@ mod tests {
     }
 
     #[test]
+    fn stale_suppression_in_file_with_no_active_rules_is_still_reported() {
+        // `crates/bench/src` is outside every rule scope; the allow is
+        // stale all the same and must be surfaced (regression: the old
+        // scanner returned early when no rule was active).
+        let src = "// lint:allow(panic-hygiene) stale excuse\nfn f() {}\n";
+        let f = scan_source("crates/bench/src/lib.rs", src, &cfg());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("suppresses nothing"), "{f:?}");
+    }
+
+    #[test]
     fn cfg_not_test_is_not_masked() {
         let src = "#[cfg(not(test))]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
         let f = scan_source("crates/model/src/x.rs", src, &cfg());
@@ -405,5 +596,69 @@ mod tests {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert!(scan_source("crates/bench/src/lib.rs", src, &cfg()).is_empty());
         assert!(scan_source("tests/end_to_end.rs", src, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn wal_protocol_flags_mutation_before_fsync() {
+        let src = "\
+struct W { through: u64, file: std::fs::File }
+impl W {
+    fn bad(&mut self, tick: u64, buf: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(buf)?;
+        self.through = tick;
+        self.file.sync_data()
+    }
+    fn good(&mut self, tick: u64, buf: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(buf)?;
+        self.file.sync_data()?;
+        self.through = tick;
+        Ok(())
+    }
+}
+";
+        let f = scan_source("crates/service/src/wal.rs", src, &cfg());
+        let wal: Vec<&Finding> = f.iter().filter(|f| f.rule == "wal-protocol").collect();
+        assert_eq!(wal.len(), 1, "{f:?}");
+        assert_eq!(wal[0].line, 5, "mutation line, not write line: {wal:?}");
+        assert!(wal[0].message.contains("bad"));
+    }
+
+    #[test]
+    fn wal_protocol_flags_unsynced_write_at_return() {
+        let src = "\
+struct W { file: std::fs::File }
+impl W {
+    fn leaky(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(buf)
+    }
+}
+";
+        let f = scan_source("crates/service/src/wal.rs", src, &cfg());
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "wal-protocol" && f.message.contains("not fsynced")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let findings = vec![Finding {
+            path: "a\\b.rs".into(),
+            line: 3,
+            rule: "panic-hygiene".into(),
+            message: "say \"no\"".into(),
+            chain: vec![ChainHop {
+                func: "Service::tick".into(),
+                path: "s.rs".into(),
+                line: 7,
+            }],
+        }];
+        let j = findings_to_json(&findings);
+        assert!(j.contains("\"count\": 1"), "{j}");
+        assert!(j.contains("a\\\\b.rs"), "{j}");
+        assert!(j.contains("say \\\"no\\\""), "{j}");
+        assert!(j.contains("\"chain\": [{\"fn\": \"Service::tick\""), "{j}");
+        assert!(findings_to_json(&[]).contains("\"count\": 0"));
     }
 }

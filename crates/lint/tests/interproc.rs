@@ -1,0 +1,272 @@
+//! Interprocedural fixtures: each call-graph rule gets a miniature
+//! multi-file workspace materialised in a temp directory and checked
+//! end-to-end through [`check_workspace`], with exact (rule, file,
+//! call-chain) assertions. The violating fixtures pin the true
+//! positives the rules exist for (helper-laundered truth access,
+//! transitive wall clocks, panics reachable from serving entries,
+//! mutate-before-fsync); the clean fixtures pin the false positives
+//! the analysis must *not* produce (boundary cuts, trait-object
+//! dispatch landing on clean impls, checked error paths).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tmwia_lint::{check_workspace, Config, Finding};
+
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+/// Write `files` (workspace-relative path, contents) under a fresh
+/// temp root and return it.
+fn materialize(files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "tmwia-lint-interproc-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, src) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, src).unwrap();
+    }
+    root
+}
+
+fn check(files: &[(&str, &str)], config_toml: &str) -> Vec<Finding> {
+    let root = materialize(files);
+    let config = Config::parse(config_toml).expect("fixture config parses");
+    let findings = check_workspace(&root, &config);
+    let _ = std::fs::remove_dir_all(&root);
+    findings
+}
+
+/// `(func, path)` pairs of a finding's chain, for exact comparison.
+fn chain_of(f: &Finding) -> Vec<(String, String)> {
+    f.chain
+        .iter()
+        .map(|h| (h.func.clone(), h.path.clone()))
+        .collect()
+}
+
+const ENGINE: &str = r#"pub struct PrefMatrix;
+impl PrefMatrix {
+    pub fn value(&self, i: usize, j: usize) -> bool {
+        i == j
+    }
+}
+pub struct PlayerHandle;
+impl PlayerHandle {
+    pub fn probe(&self, j: usize) -> bool {
+        j == 0
+    }
+}
+"#;
+
+/// A helper in an out-of-scope crate reads the truth on behalf of an
+/// in-scope algorithm — the laundering pattern the file-local
+/// oracle-isolation rule cannot see.
+#[test]
+fn laundered_truth_access_is_caught_across_crates() {
+    let findings = check(
+        &[
+            ("crates/engine/src/lib.rs", ENGINE),
+            (
+                "crates/engine/src/launder.rs",
+                "pub fn shortcut(m: &PrefMatrix, i: usize, j: usize) -> bool {\n    m.value(i, j)\n}\n",
+            ),
+            (
+                "crates/algo/src/lib.rs",
+                "pub fn decide(m: &PrefMatrix, h: &PlayerHandle) -> bool {\n    let a = launder::shortcut(m, 2, 2);\n    let b = h.probe(0);\n    a && b\n}\n",
+            ),
+        ],
+        r#"
+[rules.oracle-taint]
+include = ["crates/algo/src"]
+source = ["PrefMatrix::value"]
+boundary = ["PlayerHandle::probe"]
+"#,
+    );
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    let f = &findings[0];
+    assert_eq!(
+        (f.rule.as_str(), f.path.as_str(), f.line),
+        ("oracle-taint", "crates/algo/src/lib.rs", 2),
+        "anchored at the laundered call, not the probe"
+    );
+    assert_eq!(
+        chain_of(f),
+        vec![
+            ("decide".to_string(), "crates/algo/src/lib.rs".to_string()),
+            ("shortcut".to_string(), "crates/engine/src/launder.rs".to_string()),
+            ("PrefMatrix::value".to_string(), "crates/engine/src/lib.rs".to_string()),
+        ]
+    );
+}
+
+/// Trait-object dispatch fans out to every same-named method; when the
+/// impls only use the sanctioned probe the boundary must cut the taint
+/// — a `dyn` call site alone is not a violation.
+#[test]
+fn trait_object_dispatch_through_the_boundary_is_clean() {
+    let findings = check(
+        &[
+            ("crates/engine/src/lib.rs", ENGINE),
+            (
+                "crates/algo/src/lib.rs",
+                r#"pub trait Scorer {
+    fn score(&self, j: usize) -> bool;
+}
+pub struct Probing;
+impl Scorer for Probing {
+    fn score(&self, j: usize) -> bool {
+        PlayerHandle.probe(j)
+    }
+}
+pub fn decide_dyn(s: &dyn Scorer) -> bool {
+    s.score(3)
+}
+"#,
+            ),
+        ],
+        r#"
+[rules.oracle-taint]
+include = ["crates/algo/src"]
+source = ["PrefMatrix::value"]
+boundary = ["PlayerHandle::probe"]
+"#,
+    );
+    assert_eq!(findings, vec![], "boundary must cut taint through dyn dispatch");
+}
+
+/// A wall clock two hops below the entry point: invisible to the
+/// file-local determinism rule when the helper lives outside its
+/// scope, caught by reachability.
+#[test]
+fn determinism_reach_flags_transitive_wall_clock() {
+    let findings = check(
+        &[(
+            "crates/svc/src/lib.rs",
+            r#"pub struct Engine;
+impl Engine {
+    pub fn tick(&self) -> u64 {
+        helper()
+    }
+    pub fn calm(&self) -> u64 {
+        7
+    }
+}
+fn helper() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+"#,
+        )],
+        r#"
+[rules.determinism-reach]
+include = ["crates/svc/src"]
+entry = ["Engine::tick", "Engine::calm"]
+"#,
+    );
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    let f = &findings[0];
+    assert_eq!(
+        (f.rule.as_str(), f.path.as_str(), f.line),
+        ("determinism-reach", "crates/svc/src/lib.rs", 4),
+        "anchored at the entry's first hop; `calm` stays clean"
+    );
+    assert_eq!(
+        chain_of(f),
+        vec![
+            ("Engine::tick".to_string(), "crates/svc/src/lib.rs".to_string()),
+            ("helper".to_string(), "crates/svc/src/lib.rs".to_string()),
+        ]
+    );
+    assert_eq!(f.chain.last().unwrap().line, 11, "last hop points at the sink");
+}
+
+/// A locally-suppressed panic is still a sink for reachability: the
+/// file-local allow justifies the panic where it is, not its
+/// reachability from a serving entry. The checked sibling path shows
+/// the rule distinguishes real sinks from `unwrap_or`-style idioms.
+#[test]
+fn panic_reach_flags_suppressed_local_panic_but_not_checked_paths() {
+    let findings = check(
+        &[(
+            "crates/svc/src/lib.rs",
+            r#"pub struct Server;
+impl Server {
+    pub fn handle(&self, v: &[u8]) -> u8 {
+        first(v)
+    }
+    pub fn safe(&self, v: &[u8]) -> u8 {
+        checked(v)
+    }
+}
+fn first(v: &[u8]) -> u8 {
+    // lint:allow(panic-hygiene) fixture: precondition documented at the call sites
+    *v.first().unwrap()
+}
+fn checked(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or(0)
+}
+"#,
+        )],
+        r#"
+[rules.panic-hygiene]
+include = ["crates/svc/src"]
+
+[rules.panic-reach]
+include = ["crates/svc/src"]
+entry = ["Server::handle", "Server::safe"]
+"#,
+    );
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    let f = &findings[0];
+    assert_eq!(
+        (f.rule.as_str(), f.path.as_str(), f.line),
+        ("panic-reach", "crates/svc/src/lib.rs", 4)
+    );
+    assert_eq!(
+        chain_of(f),
+        vec![
+            ("Server::handle".to_string(), "crates/svc/src/lib.rs".to_string()),
+            ("first".to_string(), "crates/svc/src/lib.rs".to_string()),
+        ]
+    );
+    assert_eq!(f.chain.last().unwrap().line, 12, "last hop points at the unwrap");
+}
+
+/// Write-ahead ordering: a writer-state mutation between the buffered
+/// write and its fsync is flagged; the properly-ordered sibling is not.
+#[test]
+fn wal_protocol_flags_mutation_between_write_and_fsync() {
+    let findings = check(
+        &[(
+            "crates/store/src/wal.rs",
+            r#"impl Writer {
+    pub fn bad(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(buf)?;
+        self.offset += buf.len() as u64;
+        self.file.sync_data()
+    }
+    pub fn good(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(buf)?;
+        self.file.sync_data()?;
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+}
+"#,
+        )],
+        r#"
+[rules.wal-protocol]
+include = ["crates/store/src/wal.rs"]
+"#,
+    );
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    let f = &findings[0];
+    assert_eq!(
+        (f.rule.as_str(), f.path.as_str(), f.line),
+        ("wal-protocol", "crates/store/src/wal.rs", 4),
+        "only the mutation before the fsync is flagged"
+    );
+}

@@ -226,17 +226,19 @@ fn handle_conn(svc: &Arc<Service>, mut stream: TcpStream) {
 /// response itself does not fit the wire format (e.g. a recommendation
 /// list past the count field). The substitute is tiny and always
 /// encodes.
+/// Encode `resp`, substituting a typed error frame when the response
+/// exceeds the wire limits. The substitute encoder is infallible by
+/// construction; the previous fallback (`unwrap_or_default()`) could
+/// degrade to an *empty* write, which is not a frame at all — the
+/// client would block forever waiting for a length prefix.
 fn encode_or_error(id: u64, resp: &Response) -> Vec<u8> {
     match encode_response(id, resp) {
         Ok(frame) => frame,
-        Err(e) => encode_response(
+        Err(e) => crate::wire::encode_error_frame(
             id,
-            &Response::Error {
-                code: ErrorCode::BadRequest,
-                detail: format!("response does not fit the wire format: {e}"),
-            },
-        )
-        .unwrap_or_default(),
+            ErrorCode::BadRequest,
+            &format!("response does not fit the wire format: {e}"),
+        ),
     }
 }
 
@@ -279,6 +281,33 @@ mod tests {
     use crate::service::ServiceConfig;
     use std::sync::mpsc::channel;
     use tmwia_model::generators::planted_community;
+
+    /// Regression for the empty-frame fallback: a response that cannot
+    /// be encoded (here an error whose detail overflows the u16 detail
+    /// cap) must still produce a complete, decodable frame. The old
+    /// `unwrap_or_default()` wrote zero bytes, leaving the client
+    /// blocked on a length prefix that never arrived.
+    #[test]
+    fn unencodable_response_still_yields_a_complete_error_frame() {
+        let resp = Response::Error {
+            code: ErrorCode::BadRequest,
+            detail: "x".repeat(u16::MAX as usize + 1),
+        };
+        let bytes = encode_or_error(42, &resp);
+        assert!(bytes.len() > 4, "a real frame, not an empty write");
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        assert_eq!(len, bytes.len() - 4, "length prefix covers the body");
+        let (id, decoded) =
+            crate::wire::decode_response(&bytes[4..]).expect("substitute frame decodes");
+        assert_eq!(id, 42);
+        match decoded {
+            Response::Error { code, detail } => {
+                assert_eq!(code, ErrorCode::BadRequest);
+                assert!(detail.contains("does not fit the wire format"), "{detail}");
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    }
 
     /// Regression for the shutdown/enqueue race: the old ticker broke
     /// as soon as it saw `is_shutdown() && queue_len() == 0`, so a

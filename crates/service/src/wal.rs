@@ -328,10 +328,14 @@ impl WalWriter {
                 let Some((rec, consumed)) = parse_record(&bytes, pos) else {
                     break;
                 };
-                // Ticks strictly increase and seqs are globally
-                // monotone; a violation means mid-log damage that
-                // tail-chopping cannot have caused.
-                if rec.tick <= last_tick && last_tick != 0 {
+                // Ticks start at 1 (the writer appends `tick + 1`) and
+                // strictly increase, and seqs are globally monotone; a
+                // tick-0 record or an order violation is mid-log damage
+                // that happened to checksum clean, so the valid prefix
+                // ends here. The old `last_tick != 0` carve-out let a
+                // crafted run of tick-0 records through as "valid" and
+                // then silently ignored them at replay.
+                if rec.tick <= last_tick {
                     break;
                 }
                 let mut monotone = true;

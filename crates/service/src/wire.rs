@@ -381,6 +381,27 @@ fn frame_checked(body: Vec<u8>) -> Result<Vec<u8>, WireError> {
     Ok(frame(body))
 }
 
+/// Encode an error response as a frame, infallibly: the detail is
+/// clipped (on a char boundary) far under both the u16 detail cap and
+/// [`MAX_FRAME`], so the result always fits. Serving paths substitute
+/// this when a real response exceeds the wire limits — the
+/// alternative, falling back to an empty buffer, is not a frame at
+/// all and leaves the peer blocked waiting for a length prefix.
+pub(crate) fn encode_error_frame(id: u64, code: ErrorCode, detail: &str) -> Vec<u8> {
+    let mut end = detail.len().min(512);
+    while !detail.is_char_boundary(end) {
+        end -= 1;
+    }
+    let clipped = &detail[..end];
+    let mut s = Sink(Vec::with_capacity(16 + clipped.len()));
+    s.put_u64(id);
+    s.put_u8(0x89);
+    s.put_u8(code.to_u8());
+    s.put_u16(clipped.len() as u16);
+    s.0.extend_from_slice(clipped.as_bytes());
+    frame(s.0)
+}
+
 /// Encode a request as a complete frame (length prefix included).
 pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
     let mut s = Sink(Vec::with_capacity(32));
@@ -669,6 +690,26 @@ pub fn object_in_range(object: u32, m: usize) -> Option<ObjectId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The infallible error frame clips its detail on a char boundary
+    /// and always stays under the frame cap, whatever is thrown at it.
+    #[test]
+    fn error_frame_clips_detail_without_splitting_chars() {
+        let detail = "é".repeat(MAX_FRAME); // 2 bytes per char
+        let bytes = encode_error_frame(9, ErrorCode::Capacity, &detail);
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        assert!(len <= MAX_FRAME);
+        let (id, resp) = decode_response(&bytes[4..]).expect("clipped frame decodes");
+        assert_eq!(id, 9);
+        match resp {
+            Response::Error { code, detail } => {
+                assert_eq!(code, ErrorCode::Capacity);
+                assert!(!detail.is_empty() && detail.len() <= 512);
+                assert!(detail.chars().all(|c| c == 'é'), "no torn char at the clip");
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    }
 
     #[test]
     fn request_frames_round_trip() {

@@ -165,3 +165,48 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+/// A CRC-valid record carrying tick 0 can only be crafted or flipped-in
+/// damage — the writer appends `tick + 1` and never logs tick 0. The
+/// open-time parser must end the valid prefix there (truncating it as
+/// damage) instead of accepting a record that replay then silently
+/// ignores.
+#[test]
+fn crc_valid_tick_zero_record_is_treated_as_damage() {
+    let dir = scratch_dir();
+    // A fresh log: header only, no records yet.
+    let (writer, _) = WalWriter::open(&dir, &header()).expect("create");
+    let wal_path = writer.path().to_path_buf();
+    drop(writer);
+    let before = std::fs::metadata(&wal_path).expect("meta").len();
+
+    // Hand-encode an empty tick-0 record as the log's *first* record:
+    // magic ("TKRC"), tick, entry count, then the CRC the parser
+    // checks — all little-endian. The pre-fix parser's
+    // `last_tick != 0` carve-out accepted exactly this prefix.
+    let mut rec = Vec::new();
+    rec.extend_from_slice(&0x4352_4B54u32.to_le_bytes());
+    rec.extend_from_slice(&0u64.to_le_bytes());
+    rec.extend_from_slice(&0u32.to_le_bytes());
+    let crc = tmwia_service::wal::crc32(&rec);
+    rec.extend_from_slice(&crc.to_le_bytes());
+
+    let mut bytes = std::fs::read(&wal_path).expect("read");
+    bytes.extend_from_slice(&rec);
+    std::fs::write(&wal_path, &bytes).expect("inject");
+
+    let (_, contents) = WalWriter::open(&dir, &header()).expect("reopen");
+    assert_eq!(
+        contents.records.len(),
+        0,
+        "a tick the writer cannot produce is damage, not a valid record: {:?}",
+        contents.records
+    );
+    assert_eq!(contents.truncated_bytes, rec.len() as u64);
+    assert_eq!(
+        std::fs::metadata(&wal_path).expect("meta").len(),
+        before,
+        "the crafted record is chopped back off the file"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
