@@ -12,6 +12,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use std::io::Write as _;
 use tmwia_sim::experiments::{all, ExpConfig};
 

@@ -43,7 +43,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags whose presence alone is meaningful (no value follows).
-const SWITCHES: &[&str] = &["theory", "quiet", "help", "shutdown"];
+const SWITCHES: &[&str] = &["theory", "quiet", "help", "shutdown", "no-pipeline"];
 
 impl Args {
     /// Parse from an iterator of arguments (without the program name).

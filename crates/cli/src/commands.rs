@@ -28,6 +28,24 @@ pub enum CliError {
     Io(String),
     /// Anything else with a message.
     Other(String),
+    /// A gate that must exit with a specific process status (the bench
+    /// `--compare` contract: 3 = unusable baseline, 4 = regression).
+    Status {
+        /// Process exit code.
+        code: i32,
+        /// What to print on stderr.
+        message: String,
+    },
+}
+
+impl CliError {
+    /// The process exit code this error maps to (generic errors: 1).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Status { code, .. } => *code,
+            _ => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -36,6 +54,7 @@ impl std::fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Other(e) => write!(f, "{e}"),
+            CliError::Status { message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -93,6 +112,18 @@ USAGE:
                     replays it to the crash point and finishes it (the
                     recovery-time metric is printed); --halt-after R
                     abandons the run after R rounds to simulate a crash
+  tmwia bench      [--label smoke] [--seed 20060730] [--scale quick|full]
+                   [--out FILE] [--compare BASELINE.json]
+                   [--threshold-pct 25]
+                   — serving-layer benchmark harness: load-style
+                    workloads plus seal / WAL / recommend-kernel
+                    micro-benches, written as schema-versioned JSON
+                    (deterministic fields first, wall-clock timings in
+                    a single trailing \"timing\" object). --compare
+                    gates against a baseline report: exit 3 if the
+                    baseline is unusable (unparseable, wrong schema or
+                    config), exit 4 on regression (any deterministic
+                    field drift, or timings beyond --threshold-pct)
   tmwia help
 
 Instances use the plain-text `tmwia-instance v1` format.
@@ -490,6 +521,7 @@ fn build_service(
         batch_size: args.num_or("batch", 64usize)?,
         queue_capacity: args.num_or("queue", 256usize)?,
         seed: args.num_or("seed", 1u64)?,
+        pipeline: !args.has("no-pipeline"),
         ..ServiceConfig::default()
     };
     if let Ok(dir) = args.str_req("wal-dir") {
@@ -688,6 +720,74 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `tmwia bench` — the serving-layer benchmark harness.
+pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
+    use tmwia_bench::perf;
+    let label = args.str_or("label", "bench");
+    let opts = perf::BenchOptions {
+        label: label.clone(),
+        seed: args.num_or("seed", 20060730u64)?,
+        quick: args.str_or("scale", "quick") != "full",
+    };
+    let threshold: f64 = args.num_or("threshold-pct", 25.0f64)?;
+    let out_path = args.str_or("out", &format!("BENCH_{label}.json"));
+
+    // Scratch directory for the WAL micro-bench, removed afterwards.
+    let scratch = std::env::temp_dir().join(format!("tmwia-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let report = perf::run(&opts, &scratch).map_err(CliError::Other)?;
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let json = report.render();
+    std::fs::write(&out_path, &json)
+        .map_err(|e| CliError::Io(format!("writing {out_path}: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench: label {label}, seed {}, scale {}",
+        opts.seed,
+        if opts.quick { "quick" } else { "full" }
+    );
+    out.push_str(&report.summary());
+    let _ = writeln!(out, "wrote {out_path}");
+
+    if let Ok(baseline_path) = args.str_req("compare") {
+        let baseline = std::fs::read_to_string(&baseline_path).map_err(|e| CliError::Status {
+            code: 3,
+            message: format!("unusable baseline {baseline_path}: {e}"),
+        })?;
+        match perf::compare(&json, &baseline, threshold) {
+            Err(e) => {
+                return Err(CliError::Status {
+                    code: 3,
+                    message: e.to_string(),
+                })
+            }
+            Ok(rep) if rep.violations.is_empty() => {
+                let _ = writeln!(
+                    out,
+                    "compare: PASS ({} checks vs {baseline_path}, threshold {threshold}%)",
+                    rep.checked
+                );
+            }
+            Ok(rep) => {
+                let mut message = format!(
+                    "compare: FAIL vs {baseline_path} ({} of {} checks regressed)",
+                    rep.violations.len(),
+                    rep.checked
+                );
+                for v in &rep.violations {
+                    message.push_str("\n  ");
+                    message.push_str(v);
+                }
+                return Err(CliError::Status { code: 4, message });
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Dispatch a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_deref() {
@@ -695,6 +795,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("exp") => cmd_exp(args),
         Some("serve") => cmd_serve(args),
         Some("load") => cmd_load(args),
+        Some("bench") => cmd_bench(args),
         Some("inspect") => {
             let inst = load_or_generate(args)?;
             Ok(describe_instance(&inst))

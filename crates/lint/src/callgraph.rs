@@ -33,18 +33,63 @@ use std::collections::BTreeSet;
 /// them leave the workspace, so they produce no edges instead of
 /// falling back to every same-named fn.
 const EXTERNAL_QUALIFIERS: &[&str] = &[
-    "Arc", "AtomicBool", "AtomicU32", "AtomicU64", "AtomicUsize", "BTreeMap", "BTreeSet", "Box",
-    "Cell", "Command", "Condvar", "Cursor", "Default", "Drop", "Duration", "File", "From",
-    "HashMap", "HashSet", "Instant", "Into", "Iterator", "Mutex", "NonZeroUsize", "OnceLock",
-    "OpenOptions", "Option", "Ordering", "Path", "PathBuf", "Rc", "RefCell", "Result", "RwLock",
-    "String", "SystemTime", "TcpListener", "TcpStream", "TryFrom", "UdpSocket", "Vec", "VecDeque",
+    "Arc",
+    "AtomicBool",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "BTreeMap",
+    "BTreeSet",
+    "Box",
+    "Cell",
+    "Command",
+    "Condvar",
+    "Cursor",
+    "Default",
+    "Drop",
+    "Duration",
+    "File",
+    "From",
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "Into",
+    "Iterator",
+    "Mutex",
+    "NonZeroUsize",
+    "OnceLock",
+    "OpenOptions",
+    "Option",
+    "Ordering",
+    "Path",
+    "PathBuf",
+    "Rc",
+    "RefCell",
+    "Result",
+    "RwLock",
+    "String",
+    "SystemTime",
+    "TcpListener",
+    "TcpStream",
+    "TryFrom",
+    "UdpSocket",
+    "Vec",
+    "VecDeque",
     "Wrapping",
 ];
 
 /// First path segments that name external crates (std and the offline
 /// shims, which are not part of the analysed graph).
 const EXTERNAL_CRATES: &[&str] = &[
-    "std", "core", "alloc", "rand", "rayon", "parking_lot", "proptest", "criterion", "libc",
+    "std",
+    "core",
+    "alloc",
+    "rand",
+    "rayon",
+    "parking_lot",
+    "proptest",
+    "criterion",
+    "libc",
 ];
 
 /// One resolved call edge.
@@ -157,8 +202,7 @@ fn call_site(sig: &Sig<'_>, i: usize) -> Option<Site> {
         Some(':') if sig.punct(i.wrapping_sub(2)) == Some(':') => {
             let mut segments: Vec<String> = Vec::new();
             let mut k = i.wrapping_sub(3);
-            loop {
-                let Some(seg) = sig.ident(k) else { break };
+            while let Some(seg) = sig.ident(k) {
                 segments.push(seg.to_string());
                 if sig.punct(k.wrapping_sub(1)) == Some(':')
                     && sig.punct(k.wrapping_sub(2)) == Some(':')
@@ -229,17 +273,25 @@ fn resolve(ws: &Workspace, caller: &FnInfo, site: &Site) -> Vec<usize> {
             self_recv,
             args,
         } => {
-            let fits = |id: &usize| args.map_or(true, |n| ws.fns[*id].arity == n);
+            let fits = |id: &usize| args.is_none_or(|n| ws.fns[*id].arity == n);
             if *self_recv {
                 if let Some(owner) = &caller.owner {
-                    let own: Vec<usize> =
-                        ws.of_owner(owner, name).iter().filter(|id| fits(id)).copied().collect();
+                    let own: Vec<usize> = ws
+                        .of_owner(owner, name)
+                        .iter()
+                        .filter(|id| fits(id))
+                        .copied()
+                        .collect();
                     if !own.is_empty() {
                         return own;
                     }
                 }
             }
-            ws.methods_named(name).iter().filter(|id| fits(id)).copied().collect()
+            ws.methods_named(name)
+                .iter()
+                .filter(|id| fits(id))
+                .copied()
+                .collect()
         }
         Site::Qualified { segments, name } => {
             let qual = segments.last().map(String::as_str);
@@ -259,7 +311,7 @@ fn resolve(ws: &Workspace, caller: &FnInfo, site: &Site) -> Vec<usize> {
                     return in_mod.to_vec();
                 }
             }
-            let first = segments.first().map(String::as_str).unwrap_or("");
+            let first = segments.first().map_or("", String::as_str);
             if EXTERNAL_CRATES.contains(&first)
                 || qual.is_some_and(|q| EXTERNAL_QUALIFIERS.contains(&q))
             {
@@ -274,7 +326,11 @@ fn resolve(ws: &Workspace, caller: &FnInfo, site: &Site) -> Vec<usize> {
 /// Reconstruct the path `start → … → target` from [`CallGraph::bfs_parents`]
 /// output as `(fn id, line of the call made *from* that fn)` hops; the
 /// final element is `(target, 0)`.
-pub fn chain_to(parents: &[Option<(usize, u32)>], start: usize, target: usize) -> Vec<(usize, u32)> {
+pub fn chain_to(
+    parents: &[Option<(usize, u32)>],
+    start: usize,
+    target: usize,
+) -> Vec<(usize, u32)> {
     if start == target {
         return vec![(start, 0)];
     }
@@ -311,8 +367,7 @@ mod tests {
     use crate::scan::test_mask;
 
     fn graph(files: &[(&str, &str)]) -> (Workspace, Vec<Vec<Call>>) {
-        let toks: Vec<Vec<crate::lexer::Token>> =
-            files.iter().map(|(_, src)| lex(src)).collect();
+        let toks: Vec<Vec<crate::lexer::Token>> = files.iter().map(|(_, src)| lex(src)).collect();
         let mut parsed = Vec::new();
         for ((path, _), t) in files.iter().zip(&toks) {
             let mask = test_mask(t);
@@ -455,7 +510,10 @@ fn go() { println!("x"); }
         let parents = cg.bfs_parents(a);
         assert!(parents[c].is_some(), "a reaches c");
         let chain = chain_to(&parents, a, c);
-        let names: Vec<&str> = chain.iter().map(|&(id, _)| ws.fns[id].name.as_str()).collect();
+        let names: Vec<&str> = chain
+            .iter()
+            .map(|&(id, _)| ws.fns[id].name.as_str())
+            .collect();
         assert_eq!(names, vec!["a", "b", "c"]);
         assert_eq!(chain[0].1, 3, "a calls b on line 3");
         assert_eq!(chain[1].1, 2, "b calls c on line 2");

@@ -232,7 +232,10 @@ mod tests {
 
     #[test]
     fn module_paths_follow_the_cargo_layout() {
-        assert_eq!(module_path_of("crates/service/src/wal.rs"), ["tmwia_service", "wal"]);
+        assert_eq!(
+            module_path_of("crates/service/src/wal.rs"),
+            ["tmwia_service", "wal"]
+        );
         assert_eq!(module_path_of("crates/core/src/lib.rs"), ["tmwia_core"]);
         assert_eq!(
             module_path_of("crates/sim/src/experiments/mod.rs"),

@@ -350,9 +350,7 @@ fn panic_sinks(sig: &Sig<'_>, lo: usize, hi: usize) -> Vec<(u32, &'static str)> 
         let hit = match id {
             "unwrap" if is_call(sig, i, "unwrap") => "unwrap",
             "expect" if is_call(sig, i, "expect") => "expect",
-            "panic" | "unreachable" | "todo" | "unimplemented"
-                if sig.punct(i + 1) == Some('!') =>
-            {
+            "panic" | "unreachable" | "todo" | "unimplemented" if sig.punct(i + 1) == Some('!') => {
                 match id {
                     "panic" => "panic!",
                     "unreachable" => "unreachable!",
@@ -446,8 +444,7 @@ pub fn oracle_taint(
             let trace = taint_trace(ws, cg, callee, &sources, &boundary);
             let source_name = trace
                 .last()
-                .map(|h: &ChainHop| h.func.clone())
-                .unwrap_or_else(|| ws.fns[callee].display());
+                .map_or_else(|| ws.fns[callee].display(), |h: &ChainHop| h.func.clone());
             let mut chain = vec![ChainHop {
                 func: f.display(),
                 path: f.path.clone(),
@@ -502,6 +499,7 @@ fn taint_trace(
 /// Shared driver for the two forward-reachability rules: from each
 /// entry point, BFS the call graph and report every reached fn whose
 /// body contains a sink.
+#[allow(clippy::too_many_arguments)] // a plain parameter list beats a one-shot config struct here
 fn reach_rule(
     rule: &'static str,
     ws: &Workspace,

@@ -2,12 +2,12 @@
 //! parallel), the workspace call-graph pass, suppression handling, and
 //! output rendering (text and JSON).
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::lexer::{lex, Tok, Token};
 use crate::parse::{parse_file, FileAst};
 use crate::resolve::Workspace;
 use crate::rules::{self, ChainHop, RawFinding, Sig, WsFinding};
-use crate::callgraph::CallGraph;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -91,10 +91,7 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
         }
         s.push('}');
     }
-    s.push_str(&format!(
-        "\n  ],\n  \"count\": {}\n}}\n",
-        findings.len()
-    ));
+    s.push_str(&format!("\n  ],\n  \"count\": {}\n}}\n", findings.len()));
     s
 }
 
@@ -374,7 +371,8 @@ fn collect_rs_files(root: &Path, rel: &str, config: &Config, out: &mut Vec<Strin
 /// only — integration tests, benches and the vendored shims are not
 /// serving or experiment code and would only add name-collision edges.
 fn is_analysis_path(rel: &str) -> bool {
-    rel.ends_with(".rs") && (rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/")))
+    rel.ends_with(".rs")
+        && (rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/")))
 }
 
 struct LoadedFile {
@@ -467,7 +465,10 @@ pub fn check_workspace(root: &Path, config: &Config) -> Vec<Finding> {
             .map(|&i| (loaded[i].rel.clone(), per_file[i].1.clone()))
             .collect();
         let ws = Workspace::build(&parsed);
-        let sigs: Vec<Sig<'_>> = analysis.iter().map(|&i| Sig::new(&loaded[i].toks)).collect();
+        let sigs: Vec<Sig<'_>> = analysis
+            .iter()
+            .map(|&i| Sig::new(&loaded[i].toks))
+            .collect();
         let cg = CallGraph::build(&ws, &sigs);
 
         let mut ws_findings: Vec<WsFinding> = Vec::new();

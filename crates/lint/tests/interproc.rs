@@ -96,8 +96,14 @@ boundary = ["PlayerHandle::probe"]
         chain_of(f),
         vec![
             ("decide".to_string(), "crates/algo/src/lib.rs".to_string()),
-            ("shortcut".to_string(), "crates/engine/src/launder.rs".to_string()),
-            ("PrefMatrix::value".to_string(), "crates/engine/src/lib.rs".to_string()),
+            (
+                "shortcut".to_string(),
+                "crates/engine/src/launder.rs".to_string()
+            ),
+            (
+                "PrefMatrix::value".to_string(),
+                "crates/engine/src/lib.rs".to_string()
+            ),
         ]
     );
 }
@@ -134,7 +140,11 @@ source = ["PrefMatrix::value"]
 boundary = ["PlayerHandle::probe"]
 "#,
     );
-    assert_eq!(findings, vec![], "boundary must cut taint through dyn dispatch");
+    assert_eq!(
+        findings,
+        vec![],
+        "boundary must cut taint through dyn dispatch"
+    );
 }
 
 /// A wall clock two hops below the entry point: invisible to the
@@ -176,11 +186,18 @@ entry = ["Engine::tick", "Engine::calm"]
     assert_eq!(
         chain_of(f),
         vec![
-            ("Engine::tick".to_string(), "crates/svc/src/lib.rs".to_string()),
+            (
+                "Engine::tick".to_string(),
+                "crates/svc/src/lib.rs".to_string()
+            ),
             ("helper".to_string(), "crates/svc/src/lib.rs".to_string()),
         ]
     );
-    assert_eq!(f.chain.last().unwrap().line, 11, "last hop points at the sink");
+    assert_eq!(
+        f.chain.last().unwrap().line,
+        11,
+        "last hop points at the sink"
+    );
 }
 
 /// A locally-suppressed panic is still a sink for reachability: the
@@ -228,11 +245,18 @@ entry = ["Server::handle", "Server::safe"]
     assert_eq!(
         chain_of(f),
         vec![
-            ("Server::handle".to_string(), "crates/svc/src/lib.rs".to_string()),
+            (
+                "Server::handle".to_string(),
+                "crates/svc/src/lib.rs".to_string()
+            ),
             ("first".to_string(), "crates/svc/src/lib.rs".to_string()),
         ]
     );
-    assert_eq!(f.chain.last().unwrap().line, 12, "last hop points at the unwrap");
+    assert_eq!(
+        f.chain.last().unwrap().line,
+        12,
+        "last hop points at the unwrap"
+    );
 }
 
 /// Write-ahead ordering: a writer-state mutation between the buffered

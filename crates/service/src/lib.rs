@@ -53,7 +53,7 @@ pub use service::{
     Durability, RecoverError, RecoverOptions, RecoveryReport, ReplayedTick, ReplySender, Service,
     ServiceConfig, ServiceError, TickReport,
 };
-pub use snapshot::{BoardSnapshot, SnapshotCell};
+pub use snapshot::{BoardSnapshot, PostCell, SnapshotCell};
 pub use tcp::{serve, ServeOptions, ServeSummary, TcpServer, TcpTransport};
 pub use transport::{InProcTransport, Transport, TransportError};
 pub use wal::{PersistedState, WalError, WalHeader, WalWriter};

@@ -60,6 +60,28 @@ pub struct LeaveReceipt {
 /// service wraps it in a mutex and only touches it in the serial
 /// control pass of a tick, which is what makes its decisions (slot
 /// assignment order, admission) independent of thread scheduling.
+///
+/// ## Staged control decisions (tick pipelining)
+///
+/// The pipelined service prepares tick `T+1`'s control pass while tick
+/// `T`'s data pass is still running. Those decisions must bind (so
+/// later requests in the same prepared batch resolve against them) but
+/// must **not** become visible to tick `T`'s seal — a snapshot sealed
+/// at `T` has to show exactly the sessions that were open through `T`.
+/// The registry therefore keeps a two-phase view:
+///
+/// * [`SessionRegistry::stage_join`] / [`SessionRegistry::stage_leave`]
+///   record admissions and closures in staging maps. Staged joins are
+///   invisible to [`SessionRegistry::liveness`] / `live_count`; staged
+///   closures stay *live* there (they were open through the sealing
+///   tick, and their receipt has not been issued).
+/// * [`SessionRegistry::commit_staged_joins`] +
+///   [`SessionRegistry::finish_close`] promote the staged batch when
+///   its tick actually executes — after the previous tick sealed, which
+///   is exactly when the unpipelined control pass would have run.
+///
+/// The unpipelined path uses the same stage-then-commit calls
+/// back-to-back, so both paths make byte-identical decisions.
 #[derive(Debug)]
 pub struct SessionRegistry {
     capacity: usize,
@@ -67,6 +89,12 @@ pub struct SessionRegistry {
     next_session: SessionId,
     open: BTreeMap<SessionId, SessionState>,
     retired: u64,
+    /// Admitted by a staged control pass; open for resolution inside
+    /// that batch, not yet open for sealing.
+    staged_joins: BTreeMap<SessionId, SessionState>,
+    /// Closed by a staged control pass; gone for resolution inside that
+    /// batch, still live for sealing until the receipt is issued.
+    staged_closes: BTreeMap<SessionId, SessionState>,
 }
 
 impl SessionRegistry {
@@ -78,12 +106,43 @@ impl SessionRegistry {
             next_session: 1,
             open: BTreeMap::new(),
             retired: 0,
+            staged_joins: BTreeMap::new(),
+            staged_closes: BTreeMap::new(),
         }
     }
 
     /// Admit a session: bind the lowest unminted slot. Rejects with
-    /// [`ErrorCode::Capacity`] once all slots have been minted.
+    /// [`ErrorCode::Capacity`] once all slots have been minted. This is
+    /// stage + immediate commit — the unpipelined shape.
     pub fn join(&mut self, tick: u64) -> Result<(SessionId, PlayerId), ErrorCode> {
+        let (session, player) = self.stage_join(tick)?;
+        if let Some(st) = self.staged_joins.remove(&session) {
+            self.open.insert(session, st);
+        }
+        Ok((session, player))
+    }
+
+    /// Close a session, reporting its cost. `probes_now` is the bound
+    /// slot's current probe counter. Stage + immediate receipt — the
+    /// unpipelined shape.
+    pub fn leave(
+        &mut self,
+        session: SessionId,
+        tick: u64,
+        probes_now: u64,
+    ) -> Result<LeaveReceipt, ErrorCode> {
+        self.stage_leave(session)?;
+        self.finish_close(session, tick, probes_now)
+            .ok_or(ErrorCode::UnknownSession)
+    }
+
+    /// Stage an admission for a batch that has not executed yet. Mints
+    /// the slot and handle immediately (later requests in the same
+    /// batch must resolve the new session, and a concurrent seal must
+    /// never hand out the same slot twice), but the session stays out
+    /// of `open` — and therefore out of the liveness seal — until
+    /// [`SessionRegistry::commit_staged_joins`].
+    pub fn stage_join(&mut self, tick: u64) -> Result<(SessionId, PlayerId), ErrorCode> {
         if self.next_player >= self.capacity {
             return Err(ErrorCode::Capacity);
         }
@@ -91,7 +150,7 @@ impl SessionRegistry {
         self.next_player += 1;
         let session = self.next_session;
         self.next_session += 1;
-        self.open.insert(
+        self.staged_joins.insert(
             session,
             SessionState {
                 player,
@@ -104,19 +163,61 @@ impl SessionRegistry {
         Ok((session, player))
     }
 
-    /// Close a session, reporting its cost. `probes_now` is the bound
-    /// slot's current probe counter.
-    pub fn leave(
+    /// Stage a closure. The session disappears for batch-internal
+    /// resolution (a later request in the same batch sees
+    /// `UnknownSession`, exactly as if the leave had executed) but its
+    /// slot stays live for the in-flight seal; the receipt is deferred
+    /// to [`SessionRegistry::finish_close`] so the probe ledger is read
+    /// at execute time, not staging time.
+    pub fn stage_leave(&mut self, session: SessionId) -> Result<PlayerId, ErrorCode> {
+        // A join and leave staged in the same batch cancel out before
+        // the session was ever live.
+        let st = match self.staged_joins.remove(&session) {
+            Some(st) => st,
+            None => match self.open.remove(&session) {
+                Some(st) => st,
+                None => return Err(ErrorCode::UnknownSession),
+            },
+        };
+        let player = st.player;
+        self.staged_closes.insert(session, st);
+        Ok(player)
+    }
+
+    /// Resolve a session as the staged control pass sees it: staged
+    /// closures are gone, staged admissions and open sessions resolve.
+    pub fn staged_player_of(&self, session: SessionId) -> Option<PlayerId> {
+        if self.staged_closes.contains_key(&session) {
+            return None;
+        }
+        self.open
+            .get(&session)
+            .or_else(|| self.staged_joins.get(&session))
+            .map(|st| st.player)
+    }
+
+    /// Promote every staged admission to open. Called when the staged
+    /// batch's tick executes — the previous tick has sealed, so the new
+    /// sessions become visible exactly one seal after they were minted,
+    /// same as the unpipelined path.
+    pub fn commit_staged_joins(&mut self) {
+        while let Some((session, st)) = self.staged_joins.pop_first() {
+            self.open.insert(session, st);
+        }
+    }
+
+    /// Issue the deferred receipt for a staged closure. `probes_now` is
+    /// the bound slot's probe counter *at execute time*, which matches
+    /// when the unpipelined control pass would have read it.
+    pub fn finish_close(
         &mut self,
         session: SessionId,
         tick: u64,
         probes_now: u64,
-    ) -> Result<LeaveReceipt, ErrorCode> {
-        let Some(st) = self.open.remove(&session) else {
-            return Err(ErrorCode::UnknownSession);
-        };
+    ) -> Option<LeaveReceipt> {
+        let st = self.staged_closes.remove(&session)?;
         self.retired += 1;
-        Ok(LeaveReceipt {
+        Some(LeaveReceipt {
             player: st.player,
             probes: probes_now.saturating_sub(st.probes_at_join),
             posts: st.posts,
@@ -129,14 +230,25 @@ impl SessionRegistry {
         self.open.get(&session).map(|st| st.player)
     }
 
-    /// Mutable ledger access for an open session.
+    /// Mutable ledger access for a session. Staged closures are still
+    /// reachable (their ledger accumulates until the receipt is
+    /// issued), as are staged admissions (defensively — a staged batch
+    /// never executes data requests before it commits).
     pub fn state_mut(&mut self, session: SessionId) -> Option<&mut SessionState> {
-        self.open.get_mut(&session)
+        if self.open.contains_key(&session) {
+            return self.open.get_mut(&session);
+        }
+        if self.staged_closes.contains_key(&session) {
+            return self.staged_closes.get_mut(&session);
+        }
+        self.staged_joins.get_mut(&session)
     }
 
-    /// Open sessions right now.
+    /// Sessions live for sealing purposes: open plus staged-to-close
+    /// (still live until their receipt is issued). Staged admissions
+    /// are not yet live.
     pub fn live_count(&self) -> usize {
-        self.open.len()
+        self.open.len() + self.staged_closes.len()
     }
 
     /// Player slots minted so far (open + retired).
@@ -197,15 +309,20 @@ impl SessionRegistry {
             next_session,
             open,
             retired,
+            staged_joins: BTreeMap::new(),
+            staged_closes: BTreeMap::new(),
         })
     }
 
     /// Seal the current liveness as a fault-layer epoch: a slot is live
-    /// iff it is bound to an open session. `paid` is the per-slot probe
-    /// counter vector captured at the same barrier.
+    /// iff it is bound to an open session — including sessions staged
+    /// to close by a not-yet-executed batch (they were open through the
+    /// sealing tick), and excluding staged admissions (not yet open).
+    /// `paid` is the per-slot probe counter vector captured at the same
+    /// barrier.
     pub fn liveness(&self, paid: Vec<u64>) -> LivenessEpoch {
         let mut dead = vec![true; self.capacity];
-        for st in self.open.values() {
+        for st in self.open.values().chain(self.staged_closes.values()) {
             dead[st.player] = false;
         }
         LivenessEpoch::from_parts(dead, paid, 0)
@@ -280,5 +397,68 @@ mod tests {
         }
         let receipt = reg.leave(s, 10, 7).unwrap();
         assert_eq!(receipt.posts, 2);
+    }
+
+    #[test]
+    fn staged_join_is_resolvable_but_not_live_until_commit() {
+        let mut reg = SessionRegistry::new(2);
+        let (s, p) = reg.stage_join(4).unwrap();
+        // Batch-internal resolution sees the new session...
+        assert_eq!(reg.staged_player_of(s), Some(p));
+        // ...but the seal does not: not open, not live.
+        assert_eq!(reg.player_of(s), None);
+        assert_eq!(reg.live_count(), 0);
+        assert!(reg.liveness(vec![0, 0]).is_dead(p));
+        // The slot IS minted — a concurrent seal must never see it
+        // handed out again.
+        assert_eq!(reg.slots_minted(), 1);
+        reg.commit_staged_joins();
+        assert_eq!(reg.player_of(s), Some(p));
+        assert_eq!(reg.live_count(), 1);
+        assert!(reg.liveness(vec![0, 0]).is_live(p));
+    }
+
+    #[test]
+    fn staged_leave_stays_live_until_receipt() {
+        let mut reg = SessionRegistry::new(1);
+        let (s, p) = reg.join(0).unwrap();
+        assert_eq!(reg.stage_leave(s), Ok(p));
+        // Batch-internal resolution: gone.
+        assert_eq!(reg.staged_player_of(s), None);
+        // Seal view: still live, ledger still reachable.
+        assert_eq!(reg.live_count(), 1);
+        assert!(reg.liveness(vec![0]).is_live(p));
+        reg.state_mut(s).unwrap().posts += 1;
+        assert_eq!(reg.retired(), 0);
+        // Receipt at execute time reads the deferred ledger.
+        let receipt = reg.finish_close(s, 7, 3).unwrap();
+        assert_eq!((receipt.player, receipt.probes, receipt.posts), (p, 3, 1));
+        assert_eq!(receipt.ticks, 7);
+        assert_eq!(reg.retired(), 1);
+        assert_eq!(reg.live_count(), 0);
+    }
+
+    #[test]
+    fn same_batch_join_then_leave_cancels_before_liveness() {
+        let mut reg = SessionRegistry::new(2);
+        let (s, p) = reg.stage_join(2).unwrap();
+        assert_eq!(reg.stage_leave(s), Ok(p));
+        // Never open, so never live — but the slot stays minted and the
+        // closure still produces a receipt and a retirement.
+        assert_eq!(reg.live_count(), 1, "staged closure counts as live");
+        assert_eq!(reg.slots_minted(), 1);
+        let receipt = reg.finish_close(s, 2, 0).unwrap();
+        assert_eq!((receipt.player, receipt.ticks), (p, 0));
+        // Double-staging the same closure is UnknownSession, not a panic.
+        assert_eq!(reg.stage_leave(s), Err(ErrorCode::UnknownSession));
+        assert_eq!(reg.finish_close(s, 3, 0), None);
+    }
+
+    #[test]
+    fn double_stage_leave_is_unknown() {
+        let mut reg = SessionRegistry::new(1);
+        let (s, _) = reg.join(0).unwrap();
+        reg.stage_leave(s).unwrap();
+        assert_eq!(reg.stage_leave(s), Err(ErrorCode::UnknownSession));
     }
 }

@@ -27,13 +27,32 @@
 //!   amortization); the snapshot sorts per key, so post arrival order
 //!   is invisible;
 //! * the *seal* happens at a barrier after every group has finished:
-//!   epoch advance, then one [`BoardSnapshot`] built and swapped in;
+//!   epoch advance, then one [`BoardSnapshot`] sealed **incrementally**
+//!   (the previous snapshot plus exactly this tick's posts — untouched
+//!   objects carry over as `Arc` bumps) and swapped in;
 //! * *delivery* walks the batch in arrival order.
+//!
+//! ## Pipelining
+//!
+//! With [`ServiceConfig::pipeline`] on (the default), the serial
+//! control pass for tick `T+1` runs on a helper thread **while tick
+//! `T`'s parallel data pass is still executing**: the queue is drained
+//! into a [`PreparedBatch`] whose control decisions are *staged* in the
+//! registry (see `registry.rs` — staged joins resolve inside the batch
+//! but stay invisible to `T`'s seal; staged leaves stay live for it).
+//! The staged batch is committed at the top of tick `T+1`, which is
+//! exactly when the unpipelined control pass would have run, so every
+//! transcript is **byte-identical** to the unpipelined path — the same
+//! discipline the fault layer's `LivenessEpoch` schedule-equivalence
+//! uses. Requests that arrive after staging top the batch up at commit
+//! time, so batch composition matches the unpipelined drain exactly.
 //!
 //! Backpressure is explicit: `submit` on a full queue returns
 //! [`Response::Busy`] with a retry hint instead of buffering without
-//! bound. Reads (`Read`/`Recommend`/`Stats`) bypass the queue entirely
-//! and are answered from the latest sealed snapshot.
+//! bound; a staged batch still counts against the queue bound (it is
+//! merely queued work whose control pass ran early). Reads
+//! (`Read`/`Recommend`/`Stats`) bypass the queue entirely and are
+//! answered from the latest sealed snapshot.
 
 use crate::registry::{SessionRegistry, SessionState};
 use crate::snapshot::{BoardSnapshot, SnapshotCell};
@@ -42,7 +61,7 @@ use crate::wire::{object_in_range, ErrorCode, Request, Response, SessionId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use tmwia_billboard::{par_map_phased, Billboard, PlayerId, ProbeEngine};
@@ -68,6 +87,10 @@ pub struct ServiceConfig {
     pub retry_after_ticks: u32,
     /// Upper bound on `Recommend` list length.
     pub recommend_cap: u16,
+    /// Overlap tick `T+1`'s control pass with tick `T`'s data pass.
+    /// Transcripts are byte-identical either way (see module docs);
+    /// off is useful as the equivalence oracle and for debugging.
+    pub pipeline: bool,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +101,7 @@ impl Default for ServiceConfig {
             seed: 1,
             retry_after_ticks: 1,
             recommend_cap: 32,
+            pipeline: true,
         }
     }
 }
@@ -215,6 +239,46 @@ struct Pending {
     reply: ReplySender,
 }
 
+/// A drained batch whose serial control pass has already run. Built
+/// either just-in-time at the top of a tick (unpipelined, or nothing
+/// was staged) or ahead of time on the staging thread while the
+/// previous tick's data pass executes. Registry effects are *staged*
+/// (see `registry.rs`) and commit when the batch executes.
+struct PreparedBatch {
+    /// The tick this batch will execute as. Staged batches are built
+    /// for `current + 1`; the counter only advances in `tick`, so the
+    /// next tick call picks the staged batch up under that number.
+    tick_no: u64,
+    batch: Vec<Pending>,
+    /// Control-pass responses by batch index (`None` = data request or
+    /// deferred leave, filled in later).
+    responses: Vec<Option<Response>>,
+    /// Data requests grouped by resolved player slot (unsorted; the
+    /// seeded tick order is applied at execute time, after any top-up).
+    groups: BTreeMap<PlayerId, Vec<usize>>,
+    /// Successfully staged leaves: `(batch index, session, player)`.
+    /// Their receipts read the probe ledger at execute time, which is
+    /// when the unpipelined control pass would have read it.
+    deferred_leaves: Vec<(usize, SessionId, PlayerId)>,
+    /// Batch contains a `Shutdown`; the flag flips at execute time.
+    shutdown: bool,
+}
+
+impl PreparedBatch {
+    fn new(tick_no: u64, batch: Vec<Pending>) -> Self {
+        let mut responses = Vec::with_capacity(batch.len());
+        responses.resize_with(batch.len(), || None);
+        PreparedBatch {
+            tick_no,
+            batch,
+            responses,
+            groups: BTreeMap::new(),
+            deferred_leaves: Vec::new(),
+            shutdown: false,
+        }
+    }
+}
+
 /// The long-lived serving state. `Sync`: transports submit from any
 /// thread; one driver (the in-process test harness or the TCP ticker)
 /// calls [`Service::tick`].
@@ -235,6 +299,13 @@ pub struct Service {
     rejected: AtomicU64,
     shutdown: AtomicBool,
     durable: Option<DurableState>,
+    /// The next tick's batch, control pass already staged.
+    staged: Mutex<Option<PreparedBatch>>,
+    /// Requests held in `staged`. Maintained under the queue lock so
+    /// `queue.len() + staged_len` — the quantity backpressure and drain
+    /// loops observe — always equals what the unpipelined queue length
+    /// would be.
+    staged_len: AtomicUsize,
 }
 
 impl std::fmt::Debug for Service {
@@ -275,6 +346,8 @@ impl Service {
             rejected: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             durable: None,
+            staged: Mutex::new(None),
+            staged_len: AtomicUsize::new(0),
         })
     }
 
@@ -539,9 +612,13 @@ impl Service {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Requests currently queued.
+    /// Requests currently queued, including a staged-but-unexecuted
+    /// batch — staged work is still pending work, so drain loops
+    /// (`while queue_len() > 0 { tick() }`) and backpressure see the
+    /// same count the unpipelined service would report.
     pub fn queue_len(&self) -> usize {
-        self.queue.lock().len()
+        let queue = self.queue.lock();
+        queue.len() + self.staged_len.load(Ordering::Relaxed)
     }
 
     /// Requests served (queued writes executed + snapshot reads).
@@ -626,7 +703,8 @@ impl Service {
                     let _ = reply.send((id, Response::ShuttingDown));
                     return;
                 }
-                if queue.len() >= self.cfg.queue_capacity {
+                if queue.len() + self.staged_len.load(Ordering::Relaxed) >= self.cfg.queue_capacity
+                {
                     drop(queue);
                     self.rejected.fetch_add(1, Ordering::Relaxed);
                     let _ = reply.send((
@@ -735,21 +813,152 @@ impl Service {
     /// Execute one batch tick (see module docs for the pipeline).
     /// Exactly one driver thread may call this at a time.
     pub fn tick(&self) -> TickReport {
-        let (batch, remaining) = {
+        let staged = self.staged.lock().take();
+        let (pb, remaining) = if let Some(mut pb) = staged {
+            // A batch staged at the previous tick's barrier. Top it up
+            // to batch_size with requests that arrived after staging
+            // and clear the staged occupancy — together this is the
+            // moment the unpipelined drain would have happened, and it
+            // reconstructs that drain's batch composition exactly.
+            let (extras, remaining) = {
+                let mut queue = self.queue.lock();
+                let take = (self.cfg.batch_size - pb.batch.len()).min(queue.len());
+                let extras: Vec<Pending> = queue.drain(..take).collect();
+                self.staged_len.store(0, Ordering::Relaxed);
+                (extras, queue.len())
+            };
+            // The counter only advances here, so it lands on the value
+            // the batch was staged for (`pb.tick_no`).
+            let _ = self.tick.fetch_add(1, Ordering::Relaxed);
+            if !extras.is_empty() {
+                let from = pb.batch.len();
+                pb.batch.extend(extras);
+                pb.responses.resize_with(pb.batch.len(), || None);
+                let mut reg = self.registry.lock();
+                self.control_pass(&mut pb, &mut reg, from);
+            }
+            (pb, remaining)
+        } else {
+            let (batch, remaining) = {
+                let mut queue = self.queue.lock();
+                let take = self.cfg.batch_size.min(queue.len());
+                let batch: Vec<Pending> = queue.drain(..take).collect();
+                (batch, queue.len())
+            };
+            let tick_no = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            if batch.is_empty() {
+                return TickReport {
+                    tick: tick_no,
+                    executed: 0,
+                    remaining,
+                    sealed_epoch: None,
+                };
+            }
+            let mut pb = PreparedBatch::new(tick_no, batch);
+            {
+                let mut reg = self.registry.lock();
+                self.control_pass(&mut pb, &mut reg, 0);
+            }
+            (pb, remaining)
+        };
+        self.execute(pb, remaining)
+    }
+
+    /// Phase 1 — the serial control pass over `pb.batch[from..]`, in
+    /// arrival (sequence) order. Registry effects are *staged*: joins
+    /// resolve for later requests in this batch but stay invisible to
+    /// any seal that runs before the batch commits; leaves disappear
+    /// for later requests but stay live for that seal, their receipts
+    /// deferred to execute time. Groups data requests by player slot
+    /// as resolved AFTER the controls, so a Join and a Probe on the
+    /// new session in one batch compose.
+    fn control_pass(&self, pb: &mut PreparedBatch, reg: &mut SessionRegistry, from: usize) {
+        for i in from..pb.batch.len() {
+            match &pb.batch[i].req {
+                Request::Join => {
+                    pb.responses[i] = Some(match reg.stage_join(pb.tick_no) {
+                        Ok((session, player)) => Response::Joined {
+                            session,
+                            player: player as u32,
+                        },
+                        Err(code) => Response::Error {
+                            code,
+                            detail: "no free player slots (slots are never reused)".into(),
+                        },
+                    });
+                }
+                Request::Leave { session } => match reg.stage_leave(*session) {
+                    Ok(player) => pb.deferred_leaves.push((i, *session, player)),
+                    Err(code) => {
+                        pb.responses[i] = Some(Response::Error {
+                            code,
+                            detail: format!("session {session} is not open"),
+                        });
+                    }
+                },
+                Request::Shutdown => {
+                    // The flag flips at execute time (never observable
+                    // earlier: the batch ahead of it executes first).
+                    pb.shutdown = true;
+                    pb.responses[i] = Some(Response::ShuttingDown);
+                }
+                Request::Probe { session, .. } | Request::Post { session, .. } => {
+                    match reg.staged_player_of(*session) {
+                        Some(player) => pb.groups.entry(player).or_default().push(i),
+                        None => {
+                            pb.responses[i] = Some(Response::Error {
+                                code: ErrorCode::UnknownSession,
+                                detail: format!("session {session} is not open"),
+                            });
+                        }
+                    }
+                }
+                // Reads never reach the queue (submit answers them).
+                Request::Read { .. } | Request::Recommend { .. } | Request::Stats => {
+                    pb.responses[i] = Some(Response::Error {
+                        code: ErrorCode::BadRequest,
+                        detail: "read requests are never queued".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drain and prepare the next tick's batch. Runs on the staging
+    /// thread while the current tick's data pass executes; the drained
+    /// requests keep counting against the queue bound via `staged_len`.
+    fn stage_next(&self, current_tick: u64) {
+        let batch: Vec<Pending> = {
             let mut queue = self.queue.lock();
             let take = self.cfg.batch_size.min(queue.len());
-            let batch: Vec<Pending> = queue.drain(..take).collect();
-            (batch, queue.len())
+            if take == 0 {
+                return;
+            }
+            let batch = queue.drain(..take).collect();
+            self.staged_len.store(take, Ordering::Relaxed);
+            batch
         };
-        let tick_no = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        if batch.is_empty() {
-            return TickReport {
-                tick: tick_no,
-                executed: 0,
-                remaining,
-                sealed_epoch: None,
-            };
+        let mut pb = PreparedBatch::new(current_tick + 1, batch);
+        {
+            let mut reg = self.registry.lock();
+            self.control_pass(&mut pb, &mut reg, 0);
         }
+        *self.staged.lock() = Some(pb);
+    }
+
+    /// Phases 2–4 for a prepared batch (never empty): commit the staged
+    /// controls, write-ahead, data pass (overlapped with staging the
+    /// next batch), incremental seal, delivery. `remaining` is the
+    /// queue length captured at the drain.
+    fn execute(&self, pb: PreparedBatch, remaining: usize) -> TickReport {
+        let PreparedBatch {
+            tick_no,
+            batch,
+            mut responses,
+            mut groups,
+            deferred_leaves,
+            shutdown,
+        } = pb;
 
         // Write-ahead: the canonical batch is durable (fsynced) before
         // anything executes. Replayed ticks are already on disk and are
@@ -768,80 +977,41 @@ impl Service {
             self.sealed_seq.store(last.seq + 1, Ordering::Relaxed);
         }
 
-        let mut responses: Vec<Option<Response>> = Vec::with_capacity(batch.len());
-        responses.resize_with(batch.len(), || None);
-
-        // Phase 1 — control pass: serial, arrival order. Groups data
-        // requests by player slot as resolved AFTER the controls, so a
-        // Join and a Probe on the new session in one batch compose.
-        let mut groups: BTreeMap<PlayerId, Vec<usize>> = BTreeMap::new();
+        // Commit the staged control decisions — this is when the
+        // unpipelined control pass would have run: joins become open
+        // (visible to this tick's seal), leave receipts read the probe
+        // ledger as of this barrier.
         {
             let mut reg = self.registry.lock();
-            for (i, p) in batch.iter().enumerate() {
-                match &p.req {
-                    Request::Join => {
-                        responses[i] = Some(match reg.join(tick_no) {
-                            Ok((session, player)) => Response::Joined {
-                                session,
-                                player: player as u32,
-                            },
-                            Err(code) => Response::Error {
-                                code,
-                                detail: "no free player slots (slots are never reused)".into(),
-                            },
-                        });
-                    }
-                    Request::Leave { session } => {
-                        let probes_now = reg
-                            .player_of(*session)
-                            .map_or(0, |player| self.engine.probes_of(player));
-                        responses[i] = Some(match reg.leave(*session, tick_no, probes_now) {
-                            Ok(receipt) => Response::Left {
-                                probes: receipt.probes,
-                                posts: receipt.posts,
-                                ticks: receipt.ticks,
-                            },
-                            Err(code) => Response::Error {
-                                code,
-                                detail: format!("session {session} is not open"),
-                            },
-                        });
-                    }
-                    Request::Shutdown => {
-                        // Stored under the queue lock, like
-                        // `request_shutdown`, so no submit can slip an
-                        // unseen write past the flag.
-                        {
-                            let _queue = self.queue.lock();
-                            self.shutdown.store(true, Ordering::SeqCst);
-                        }
-                        responses[i] = Some(Response::ShuttingDown);
-                    }
-                    Request::Probe { session, .. } | Request::Post { session, .. } => {
-                        match reg.player_of(*session) {
-                            Some(player) => groups.entry(player).or_default().push(i),
-                            None => {
-                                responses[i] = Some(Response::Error {
-                                    code: ErrorCode::UnknownSession,
-                                    detail: format!("session {session} is not open"),
-                                });
-                            }
-                        }
-                    }
-                    // Reads never reach the queue (submit answers them).
-                    Request::Read { .. } | Request::Recommend { .. } | Request::Stats => {
-                        responses[i] = Some(Response::Error {
-                            code: ErrorCode::BadRequest,
-                            detail: "read requests are never queued".into(),
-                        });
-                    }
-                }
+            reg.commit_staged_joins();
+            for &(i, session, player) in &deferred_leaves {
+                let probes_now = self.engine.probes_of(player);
+                responses[i] = Some(match reg.finish_close(session, tick_no, probes_now) {
+                    Some(receipt) => Response::Left {
+                        probes: receipt.probes,
+                        posts: receipt.posts,
+                        ticks: receipt.ticks,
+                    },
+                    None => Response::Error {
+                        code: ErrorCode::UnknownSession,
+                        detail: format!("session {session} is not open"),
+                    },
+                });
             }
+        }
+        if shutdown {
+            // Stored under the queue lock, like `request_shutdown`, so
+            // no submit can slip an unseen write past the flag.
+            let _queue = self.queue.lock();
+            self.shutdown.store(true, Ordering::SeqCst);
         }
 
         // Phase 2 — data pass. Seeded tick order within each player's
         // group; groups in ascending player order, executed in parallel
-        // (disjoint player state ⇒ schedule-independent).
+        // (disjoint player state ⇒ schedule-independent). While it
+        // runs, the staging thread prepares the NEXT tick's control
+        // pass — except when this tick owes a persisted snapshot, whose
+        // capture must see a registry with no staged decisions in it.
         for idxs in groups.values_mut() {
             idxs.sort_by_key(|&i| {
                 (
@@ -851,66 +1021,31 @@ impl Service {
             });
         }
         let group_list: Vec<(PlayerId, Vec<usize>)> = groups.into_iter().collect();
-        let m = self.m();
-        let results: Vec<Vec<(usize, Response, u64)>> =
-            par_map_phased(&self.engine, group_list.len(), |g| {
-                let (player, idxs) = &group_list[g];
-                let handle = self.engine.player(*player);
-                let mut out = Vec::with_capacity(idxs.len());
-                let mut posts: Vec<(u32, PlayerId, bool)> = Vec::new();
-                for &i in idxs {
-                    match &batch[i].req {
-                        Request::Probe { object, share, .. } => {
-                            let Some(j) = object_in_range(*object, m) else {
-                                out.push((i, object_error(*object, m), 0));
-                                continue;
-                            };
-                            let charged = !handle.already_probed(j);
-                            let value = handle.probe(j);
-                            if *share {
-                                posts.push((*object, *player, value));
-                            }
-                            out.push((
-                                i,
-                                Response::Grade {
-                                    object: *object,
-                                    value,
-                                    charged,
-                                    posted: *share,
-                                },
-                                u64::from(*share),
-                            ));
-                        }
-                        Request::Post { object, grade, .. } => {
-                            if object_in_range(*object, m).is_none() {
-                                out.push((i, object_error(*object, m), 0));
-                                continue;
-                            }
-                            posts.push((*object, *player, *grade));
-                            out.push((
-                                i,
-                                Response::Posted {
-                                    object: *object,
-                                    epoch: self.board.epoch(),
-                                },
-                                1,
-                            ));
-                        }
-                        _ => {}
-                    }
+        let snapshot_due = self.durable.as_ref().is_some_and(|d| {
+            d.snapshot_every > 0
+                && tick_no.saturating_sub(d.last_snapshot.load(Ordering::Relaxed))
+                    >= d.snapshot_every
+        });
+        let results = if self.cfg.pipeline && !snapshot_due {
+            std::thread::scope(|s| {
+                let stager = s.spawn(|| self.stage_next(tick_no));
+                let results = self.data_pass(&batch, &group_list);
+                match stager.join() {
+                    Ok(()) => results,
+                    Err(panic) => std::panic::resume_unwind(panic),
                 }
-                if !posts.is_empty() {
-                    // One lock trip per (player, tick) — the hot path's
-                    // lock amortization.
-                    self.board.post_batch(posts);
-                }
-                out
-            });
+            })
+        } else {
+            self.data_pass(&batch, &group_list)
+        };
 
-        // Phase 3 — bookkeeping + seal at the post-data barrier.
+        // Phase 3 — bookkeeping + incremental seal at the post-data
+        // barrier. Liveness and live counts read through the staged
+        // overlay: sessions the just-staged batch will close are still
+        // live here, sessions it admits are not yet.
         let sealed_epoch = {
             let mut reg = self.registry.lock();
-            for group in &results {
+            for (group, _) in &results {
                 for &(i, _, posted) in group {
                     if let Request::Probe { session, .. } | Request::Post { session, .. } =
                         &batch[i].req
@@ -922,10 +1057,12 @@ impl Service {
                     }
                 }
             }
-            for group in results {
+            let mut tick_posts: Vec<(u32, PlayerId, bool)> = Vec::new();
+            for (group, posts) in results {
                 for (i, resp, _) in group {
                     responses[i] = Some(resp);
                 }
+                tick_posts.extend(posts);
             }
             let epoch = self.board.advance_epoch();
             let paid: Vec<u64> = (0..self.engine.n())
@@ -933,8 +1070,10 @@ impl Service {
                 .collect();
             let liveness = reg.liveness(paid);
             let live = reg.live_count() as u32;
-            self.snapshot.store(BoardSnapshot::build(
-                &self.board,
+            let prev = self.snapshot.load();
+            self.snapshot.store(BoardSnapshot::build_delta(
+                &prev,
+                &tick_posts,
                 liveness,
                 live,
                 epoch,
@@ -943,12 +1082,11 @@ impl Service {
 
             // Periodic sealed-state persistence: capture under the
             // registry lock (the same barrier the snapshot seals at),
-            // write-tmp-then-rename off to the side.
+            // write-tmp-then-rename off to the side. Staging stalled
+            // for this tick, so the captured registry is exactly the
+            // sealed state.
             if let Some(d) = &self.durable {
-                let due = d.snapshot_every > 0
-                    && tick_no.saturating_sub(d.last_snapshot.load(Ordering::Relaxed))
-                        >= d.snapshot_every;
-                if due && d.error.lock().is_none() {
+                if snapshot_due && d.error.lock().is_none() {
                     let state = self.capture_state(&reg, epoch, tick_no);
                     match wal::write_snapshot(&d.dir, &state) {
                         Ok(()) => d.last_snapshot.store(tick_no, Ordering::Relaxed),
@@ -979,6 +1117,72 @@ impl Service {
             remaining,
             sealed_epoch: Some(sealed_epoch),
         }
+    }
+
+    /// The per-player parallel pass. Returns, per group, the responses
+    /// (tagged with batch index and a posted flag) and the posts the
+    /// group contributed — the seal's delta input.
+    #[allow(clippy::type_complexity)]
+    fn data_pass(
+        &self,
+        batch: &[Pending],
+        group_list: &[(PlayerId, Vec<usize>)],
+    ) -> Vec<(Vec<(usize, Response, u64)>, Vec<(u32, PlayerId, bool)>)> {
+        let m = self.m();
+        par_map_phased(&self.engine, group_list.len(), |g| {
+            let (player, idxs) = &group_list[g];
+            let handle = self.engine.player(*player);
+            let mut out = Vec::with_capacity(idxs.len());
+            let mut posts: Vec<(u32, PlayerId, bool)> = Vec::new();
+            for &i in idxs {
+                match &batch[i].req {
+                    Request::Probe { object, share, .. } => {
+                        let Some(j) = object_in_range(*object, m) else {
+                            out.push((i, object_error(*object, m), 0));
+                            continue;
+                        };
+                        let charged = !handle.already_probed(j);
+                        let value = handle.probe(j);
+                        if *share {
+                            posts.push((*object, *player, value));
+                        }
+                        out.push((
+                            i,
+                            Response::Grade {
+                                object: *object,
+                                value,
+                                charged,
+                                posted: *share,
+                            },
+                            u64::from(*share),
+                        ));
+                    }
+                    Request::Post { object, grade, .. } => {
+                        if object_in_range(*object, m).is_none() {
+                            out.push((i, object_error(*object, m), 0));
+                            continue;
+                        }
+                        posts.push((*object, *player, *grade));
+                        out.push((
+                            i,
+                            Response::Posted {
+                                object: *object,
+                                epoch: self.board.epoch(),
+                            },
+                            1,
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            if !posts.is_empty() {
+                // One lock trip per (player, tick) — the hot path's
+                // lock amortization. The same posts also feed the
+                // incremental seal, so keep a copy.
+                self.board.post_batch(posts.clone());
+            }
+            (out, posts)
+        })
     }
 
     /// Serialize the sealed state for persistence. Called at the seal

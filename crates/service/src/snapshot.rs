@@ -19,6 +19,35 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use tmwia_billboard::{Billboard, LivenessEpoch, PlayerId};
 
+/// One object's sealed post list. The entries live behind an `Arc` so
+/// an incremental seal can carry every *untouched* object from the
+/// previous snapshot into the next one with a refcount bump instead of
+/// a clone, and the like count is stored so re-ranking never rescans
+/// entry lists the tick didn't touch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostCell {
+    /// Visible posts for this object, sorted by `(player, grade)` —
+    /// deterministic regardless of post arrival order.
+    pub entries: Arc<Vec<(PlayerId, bool)>>,
+    /// How many of `entries` are likes (grade `true`).
+    pub likes: u32,
+}
+
+impl PostCell {
+    fn from_entries(entries: Vec<(PlayerId, bool)>) -> Self {
+        let likes = entries.iter().filter(|&&(_, v)| v).count() as u32;
+        PostCell {
+            entries: Arc::new(entries),
+            likes,
+        }
+    }
+
+    /// Net score: likes minus dislikes.
+    fn net(&self) -> i64 {
+        2 * i64::from(self.likes) - self.entries.len() as i64
+    }
+}
+
 /// One sealed, immutable view of the billboard.
 #[derive(Debug, Clone)]
 pub struct BoardSnapshot {
@@ -26,9 +55,8 @@ pub struct BoardSnapshot {
     pub epoch: u64,
     /// Tick that sealed the snapshot.
     pub tick: u64,
-    /// Every object with visible posts, each sorted by `(player,
-    /// grade)` — deterministic regardless of post arrival order.
-    pub posts: BTreeMap<u32, Vec<(PlayerId, bool)>>,
+    /// Every object with visible posts.
+    pub posts: BTreeMap<u32, PostCell>,
     /// Objects ranked by net likes (descending), object id ascending on
     /// ties — the recommendation order.
     pub ranked: Vec<u32>,
@@ -64,16 +92,59 @@ impl BoardSnapshot {
         epoch: u64,
         tick: u64,
     ) -> Self {
-        let posts: BTreeMap<u32, Vec<(PlayerId, bool)>> =
-            board.visible_posts().into_iter().collect();
-        let mut scored: Vec<(i64, u32)> = posts
-            .iter()
-            .map(|(&j, entries)| {
-                let likes = entries.iter().filter(|&&(_, v)| v).count() as i64;
-                let net = 2 * likes - entries.len() as i64;
-                (net, j)
-            })
+        let posts: BTreeMap<u32, PostCell> = board
+            .visible_posts()
+            .into_iter()
+            .map(|(j, entries)| (j, PostCell::from_entries(entries)))
             .collect();
+        Self::assemble(posts, liveness, live, epoch, tick)
+    }
+
+    /// Seal incrementally: the previous snapshot plus exactly this
+    /// tick's posts. Untouched objects are carried over as `Arc` bumps;
+    /// touched objects re-sort only their own entry list; the rank
+    /// order is recomputed from the stored like counts without
+    /// rescanning any entries.
+    ///
+    /// Correctness precondition (the service's seal invariant): the
+    /// billboard has zero visibility lag and `prev` sealed *all* of its
+    /// visible posts, so `prev + tick_posts` is the board's exact
+    /// visible state at this barrier. Entry lists are fully re-sorted
+    /// after the append, so the result is byte-identical to
+    /// [`BoardSnapshot::build`] — the same `(player, grade)` multiset
+    /// under the same total order. The incremental-snapshot suite pins
+    /// this equality across multi-epoch runs.
+    pub fn build_delta(
+        prev: &BoardSnapshot,
+        tick_posts: &[(u32, PlayerId, bool)],
+        liveness: LivenessEpoch,
+        live: u32,
+        epoch: u64,
+        tick: u64,
+    ) -> Self {
+        let mut posts = prev.posts.clone();
+        let mut by_obj: BTreeMap<u32, Vec<(PlayerId, bool)>> = BTreeMap::new();
+        for &(j, p, v) in tick_posts {
+            by_obj.entry(j).or_default().push((p, v));
+        }
+        for (j, fresh) in by_obj {
+            let cell = posts.entry(j).or_default();
+            let mut entries: Vec<(PlayerId, bool)> = (*cell.entries).clone();
+            entries.extend(fresh);
+            entries.sort();
+            *cell = PostCell::from_entries(entries);
+        }
+        Self::assemble(posts, liveness, live, epoch, tick)
+    }
+
+    fn assemble(
+        posts: BTreeMap<u32, PostCell>,
+        liveness: LivenessEpoch,
+        live: u32,
+        epoch: u64,
+        tick: u64,
+    ) -> Self {
+        let mut scored: Vec<(i64, u32)> = posts.iter().map(|(&j, cell)| (cell.net(), j)).collect();
         scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let ranked = scored.into_iter().map(|(_, j)| j).collect();
         BoardSnapshot {
@@ -88,9 +159,8 @@ impl BoardSnapshot {
 
     /// `(likes, dislikes)` for one object; `(0, 0)` if never posted.
     pub fn tally(&self, object: u32) -> (u32, u32) {
-        self.posts.get(&object).map_or((0, 0), |entries| {
-            let likes = entries.iter().filter(|&&(_, v)| v).count() as u32;
-            (likes, entries.len() as u32 - likes)
+        self.posts.get(&object).map_or((0, 0), |cell| {
+            (cell.likes, cell.entries.len() as u32 - cell.likes)
         })
     }
 
@@ -121,9 +191,13 @@ impl BoardSnapshot {
             self.live,
             self.posts.len()
         );
-        for (&j, entries) in &self.posts {
+        for (&j, cell) in &self.posts {
             let (likes, dislikes) = self.tally(j);
-            let _ = writeln!(s, "  obj {j}: +{likes} -{dislikes} posts={}", entries.len());
+            let _ = writeln!(
+                s,
+                "  obj {j}: +{likes} -{dislikes} posts={}",
+                cell.entries.len()
+            );
         }
         let _ = writeln!(s, "  ranked: {:?}", self.ranked);
         s
@@ -193,7 +267,45 @@ mod tests {
         assert_eq!(snap.majority(5), Some(false));
         assert_eq!(snap.majority(3), None, "tie has no majority");
         // Posts are (player, grade)-sorted regardless of arrival order.
-        assert_eq!(snap.posts[&2], vec![(0, true), (1, true)]);
+        assert_eq!(*snap.posts[&2].entries, vec![(0, true), (1, true)]);
+        assert_eq!(snap.posts[&2].likes, 2);
+    }
+
+    #[test]
+    fn delta_seal_matches_full_build() {
+        let b = board_with(&[(2, 1, true), (5, 0, false)]);
+        let prev = BoardSnapshot::build(&b, LivenessEpoch::all_live(), 2, 1, 1);
+        // One tick's worth of posts: a touched object, a fresh object,
+        // and an out-of-order player on the touched one.
+        let tick_posts: &[(u32, PlayerId, bool)] = &[(2, 0, false), (7, 3, true), (2, 2, true)];
+        for &(j, p, v) in tick_posts {
+            b.post(j, p, v);
+        }
+        let full = BoardSnapshot::build(&b, LivenessEpoch::all_live(), 3, 2, 2);
+        let delta =
+            BoardSnapshot::build_delta(&prev, tick_posts, LivenessEpoch::all_live(), 3, 2, 2);
+        assert_eq!(delta.posts, full.posts);
+        assert_eq!(delta.ranked, full.ranked);
+        assert_eq!(delta.digest(), full.digest());
+        // Untouched objects are shared, not copied.
+        assert!(Arc::ptr_eq(
+            &prev.posts[&5].entries,
+            &delta.posts[&5].entries
+        ));
+    }
+
+    #[test]
+    fn delta_seal_with_no_posts_restamps_only_headers() {
+        let b = board_with(&[(1, 0, true)]);
+        let prev = BoardSnapshot::build(&b, LivenessEpoch::all_live(), 1, 1, 1);
+        let delta = BoardSnapshot::build_delta(&prev, &[], LivenessEpoch::all_live(), 1, 2, 2);
+        assert_eq!(delta.posts, prev.posts);
+        assert_eq!(delta.ranked, prev.ranked);
+        assert_eq!((delta.epoch, delta.tick), (2, 2));
+        assert!(Arc::ptr_eq(
+            &prev.posts[&1].entries,
+            &delta.posts[&1].entries
+        ));
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! The incremental seal's contract, end to end: chaining
+//! [`BoardSnapshot::build_delta`] epoch after epoch stays byte-equal
+//! to a full [`BoardSnapshot::build`] of the same board; empty ticks
+//! leave the previous sealed snapshot in place (same `Arc`, not a
+//! copy); and seals replayed from the WAL during recovery reproduce
+//! the pre-crash snapshot exactly.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tmwia_billboard::{Billboard, LivenessEpoch, PlayerId};
+use tmwia_model::generators::planted_community;
+use tmwia_model::rng::{derive, splitmix64};
+use tmwia_service::wal::fnv64;
+use tmwia_service::{BoardSnapshot, Durability, RecoverOptions, Request, Service, ServiceConfig};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let id = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tmwia-isnap-{}-{id}", std::process::id()))
+}
+
+/// Seeded post stream for epoch `e`: a mix of repeat posters on hot
+/// objects and fresh objects, some epochs empty.
+fn tick_posts(seed: u64, e: u64) -> Vec<(u32, PlayerId, bool)> {
+    if e % 7 == 3 {
+        return Vec::new(); // an empty tick mid-stream
+    }
+    let count = 1 + (splitmix64(derive(seed, 0x4953_4E50, e)) % 12);
+    (0..count)
+        .map(|i| {
+            let r = splitmix64(derive(seed, 0x4953_4E50, (e << 16) | i));
+            ((r % 24) as u32, ((r >> 24) % 16) as PlayerId, r & 1 == 1)
+        })
+        .collect()
+}
+
+#[test]
+fn chained_delta_seals_match_full_builds_over_many_epochs() {
+    let seed = 42;
+    let board: Billboard<u32, bool> = Billboard::new();
+    let mut prev = BoardSnapshot::empty();
+    for e in 1..=64u64 {
+        let posts = tick_posts(seed, e);
+        board.post_batch(posts.clone());
+        let live = 16 + (e % 5) as u32; // the live count may drift between epochs
+        let full = BoardSnapshot::build(&board, LivenessEpoch::all_live(), live, e, e);
+        let delta =
+            BoardSnapshot::build_delta(&prev, &posts, LivenessEpoch::all_live(), live, e, e);
+        assert_eq!(delta.posts, full.posts, "posts diverged at epoch {e}");
+        assert_eq!(delta.ranked, full.ranked, "ranking diverged at epoch {e}");
+        assert_eq!(
+            delta.digest(),
+            full.digest(),
+            "digest diverged at epoch {e}"
+        );
+        if posts.is_empty() {
+            // An empty tick re-stamps headers but copies no cells.
+            for (j, cell) in &prev.posts {
+                assert!(
+                    Arc::ptr_eq(&cell.entries, &delta.posts[j].entries),
+                    "empty tick copied object {j} at epoch {e}"
+                );
+            }
+        } else {
+            // Untouched objects must be shared with the previous seal,
+            // not rebuilt — that is the whole point of the delta.
+            let touched: std::collections::BTreeSet<u32> =
+                posts.iter().map(|&(j, _, _)| j).collect();
+            for (j, cell) in &prev.posts {
+                if !touched.contains(j) {
+                    assert!(
+                        Arc::ptr_eq(&cell.entries, &delta.posts[j].entries),
+                        "delta copied untouched object {j} at epoch {e}"
+                    );
+                }
+            }
+        }
+        prev = delta;
+    }
+}
+
+/// Build a small service and submit a fixed write script, ticking
+/// every `batch` requests. Returns the service.
+fn driven_service(pipeline: bool, wal_dir: Option<&PathBuf>) -> Arc<Service> {
+    let inst = planted_community(32, 32, 16, 4, 7);
+    let cfg = ServiceConfig {
+        batch_size: 8,
+        queue_capacity: 64,
+        seed: 21,
+        pipeline,
+        ..ServiceConfig::default()
+    };
+    let svc = match wal_dir {
+        None => Arc::new(Service::new(inst.truth, cfg).expect("valid config")),
+        Some(dir) => {
+            let (svc, _) = Service::recover(
+                inst.truth,
+                cfg,
+                &Durability {
+                    dir: dir.clone(),
+                    snapshot_every: 0, // log only: recovery replays every tick
+                },
+                RecoverOptions {
+                    use_snapshot: false,
+                    capture: false,
+                },
+            )
+            .expect("durable service");
+            Arc::new(svc)
+        }
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut id = 0u64;
+    for _ in 0..8 {
+        svc.submit(id, Request::Join, &tx);
+        id += 1;
+    }
+    svc.tick();
+    for round in 0u64..5 {
+        for s in 1..=8u64 {
+            svc.submit(
+                id,
+                Request::Probe {
+                    session: s,
+                    object: ((s * 3 + round) % 32) as u32,
+                    share: true,
+                },
+                &tx,
+            );
+            id += 1;
+        }
+        svc.tick();
+    }
+    while svc.queue_len() > 0 {
+        svc.tick();
+    }
+    drop(rx);
+    svc
+}
+
+#[test]
+fn empty_ticks_leave_the_sealed_snapshot_in_place() {
+    let svc = driven_service(true, None);
+    let before = svc.snapshot();
+    let report = svc.tick();
+    assert_eq!(report.sealed_epoch, None, "an empty tick seals nothing");
+    let after = svc.snapshot();
+    assert!(
+        Arc::ptr_eq(&before, &after),
+        "empty tick must not replace the sealed snapshot"
+    );
+}
+
+#[test]
+fn recovery_replays_to_the_same_sealed_snapshot() {
+    let dir = scratch_dir();
+    let original = driven_service(true, Some(&dir));
+    let want_digest = original.snapshot().digest();
+    let want_state = fnv64(original.state_digest().as_bytes());
+    drop(original);
+
+    // Recover from the log alone; the replayed ticks run through the
+    // same (delta-sealing) tick path.
+    let inst = planted_community(32, 32, 16, 4, 7);
+    let (recovered, report) = Service::recover(
+        inst.truth,
+        ServiceConfig {
+            batch_size: 8,
+            queue_capacity: 64,
+            seed: 21,
+            pipeline: true,
+            ..ServiceConfig::default()
+        },
+        &Durability {
+            dir: dir.clone(),
+            snapshot_every: 0,
+        },
+        RecoverOptions {
+            use_snapshot: false,
+            capture: false,
+        },
+    )
+    .expect("recovery succeeds");
+    assert!(report.replayed_ticks > 0, "the log must not be empty");
+    assert_eq!(
+        recovered.snapshot().digest(),
+        want_digest,
+        "replayed seals must reproduce the pre-crash snapshot"
+    );
+    assert_eq!(
+        fnv64(recovered.state_digest().as_bytes()),
+        want_state,
+        "replayed state must match the pre-crash state"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn durable_pipelined_and_unpipelined_seal_identically() {
+    let dir_a = scratch_dir();
+    let dir_b = scratch_dir();
+    let a = driven_service(true, Some(&dir_a));
+    let b = driven_service(false, Some(&dir_b));
+    assert_eq!(a.snapshot().digest(), b.snapshot().digest());
+    assert_eq!(
+        fnv64(a.state_digest().as_bytes()),
+        fnv64(b.state_digest().as_bytes())
+    );
+    let wal_a = std::fs::read(dir_a.join("ticks.wal")).expect("wal a");
+    let wal_b = std::fs::read(dir_b.join("ticks.wal")).expect("wal b");
+    assert_eq!(wal_a, wal_b, "WAL bytes must match across pipeline modes");
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}

@@ -1,0 +1,358 @@
+//! The tick pipeline's headline guarantee, enforced end to end: a
+//! service with `pipeline: true` (tick T+1's control pass staged
+//! concurrently with tick T's data pass, incremental snapshot seals)
+//! is **byte-identical** to the unpipelined path — same responses in
+//! the same order, same sealed snapshots, same state fingerprint, same
+//! WAL bytes — over scripted load runs, randomized request streams,
+//! durable and non-durable services, and 1/4/default-width worker
+//! pools.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tmwia_model::generators::planted_community;
+use tmwia_service::wal::fnv64;
+use tmwia_service::{
+    run_deterministic, Durability, LoadConfig, RecoverOptions, Request, Service, ServiceConfig,
+};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch directory per run (no wall clock: pid + counter).
+fn scratch_dir() -> PathBuf {
+    let id = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tmwia-pipeq-{}-{id}", std::process::id()))
+}
+
+/// Build a service over a small planted instance. `batch_size` stays
+/// below the session counts used here, so the pipelined path exercises
+/// both the staged batch and the execute-time top-up.
+fn build(pipeline: bool, wal_dir: Option<&PathBuf>) -> Arc<Service> {
+    let inst = planted_community(40, 40, 20, 4, 5);
+    let cfg = ServiceConfig {
+        batch_size: 8,
+        queue_capacity: 64,
+        seed: 13,
+        pipeline,
+        ..ServiceConfig::default()
+    };
+    let svc = match wal_dir {
+        None => Service::new(inst.truth, cfg).expect("valid config"),
+        Some(dir) => {
+            let durability = Durability {
+                dir: dir.clone(),
+                // Small interval so persisted snapshots (and the
+                // pipelined path's staging stall) trigger mid-run.
+                snapshot_every: 4,
+            };
+            let (svc, _) = Service::recover(
+                inst.truth,
+                cfg,
+                &durability,
+                RecoverOptions {
+                    use_snapshot: true,
+                    capture: false,
+                },
+            )
+            .expect("fresh durable service");
+            svc
+        }
+    };
+    Arc::new(svc)
+}
+
+/// One scripted operation against the raw submit/tick API.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Submit this request.
+    Send(Request),
+    /// Run one batch tick.
+    Tick,
+}
+
+/// Drive `ops` against a fresh service and render every observable —
+/// per-request responses (in id order), tick reports, sealed snapshot
+/// digests, final counters, state fingerprint, and WAL bytes — into
+/// one comparison string.
+fn drive(pipeline: bool, ops: &[Op], wal: bool) -> String {
+    let dir = wal.then(scratch_dir);
+    let svc = build(pipeline, dir.as_ref());
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut out = String::new();
+    let mut next_id = 0u64;
+    for op in ops {
+        match op {
+            Op::Send(req) => {
+                svc.submit(next_id, req.clone(), &tx);
+                next_id += 1;
+            }
+            Op::Tick => {
+                let report = svc.tick();
+                out.push_str(&format!(
+                    "tick {} sealed={:?} executed={} remaining={}\n",
+                    report.tick, report.sealed_epoch, report.executed, report.remaining
+                ));
+                out.push_str(&format!("  digest {}\n", svc.snapshot().digest()));
+            }
+        }
+    }
+    // Drain whatever is still queued or staged, as the tcp ticker does.
+    while svc.queue_len() > 0 {
+        let report = svc.tick();
+        out.push_str(&format!(
+            "drain {} sealed={:?} executed={} remaining={}\n",
+            report.tick, report.sealed_epoch, report.executed, report.remaining
+        ));
+    }
+    // One more tick flushes a staged-but-empty pipeline edge, if any.
+    let report = svc.tick();
+    out.push_str(&format!(
+        "final {} sealed={:?} executed={}\n",
+        report.tick, report.sealed_epoch, report.executed
+    ));
+
+    let mut responses: Vec<(u64, String)> = rx
+        .try_iter()
+        .map(|(id, r)| (id, format!("{r:?}")))
+        .collect();
+    responses.sort();
+    for (id, resp) in &responses {
+        out.push_str(&format!("resp {id}: {resp}\n"));
+    }
+    out.push_str(&format!(
+        "counters served={} rejected={}\n",
+        svc.served_total(),
+        svc.rejected_total()
+    ));
+    out.push_str(&format!("snapshot {}\n", svc.snapshot().digest()));
+    out.push_str(&format!(
+        "state fnv64 {:016x}\n",
+        fnv64(svc.state_digest().as_bytes())
+    ));
+    if let Some(dir) = &dir {
+        let bytes = std::fs::read(dir.join("ticks.wal")).expect("wal file");
+        out.push_str(&format!(
+            "wal {} bytes fnv64 {:016x}\n",
+            bytes.len(),
+            fnv64(&bytes)
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+    out
+}
+
+/// Assert pipelined and unpipelined drives of `ops` match to the byte.
+fn assert_equivalent(ops: &[Op], wal: bool) -> String {
+    let with = drive(true, ops, wal);
+    let without = drive(false, ops, wal);
+    assert_eq!(
+        with, without,
+        "pipelined transcript diverged from the unpipelined oracle (wal={wal})"
+    );
+    with
+}
+
+/// A deterministic scripted mix: a join wave, interleaved writes and
+/// ticks with a backlog bigger than one batch, churn (leaves and
+/// rejoins), invalid sessions, and a trailing teardown.
+fn scripted_ops() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for _ in 0..12 {
+        ops.push(Op::Send(Request::Join));
+    }
+    ops.push(Op::Tick);
+    ops.push(Op::Tick);
+    // Sessions 1..=12 now exist. Backlog > batch_size engages staging.
+    for round in 0u64..6 {
+        for s in 1..=12u64 {
+            let object = ((s + round) % 40) as u32;
+            if s % 3 == 0 {
+                ops.push(Op::Send(Request::Post {
+                    session: s,
+                    object,
+                    grade: (s + round) % 2 == 0,
+                }));
+            } else {
+                ops.push(Op::Send(Request::Probe {
+                    session: s,
+                    object,
+                    share: s % 2 == 0,
+                }));
+            }
+        }
+        ops.push(Op::Tick);
+        if round == 2 {
+            // Churn mid-run: close three sessions, open two, and hit
+            // an unknown session — all within one batch.
+            ops.push(Op::Send(Request::Leave { session: 1 }));
+            ops.push(Op::Send(Request::Leave { session: 2 }));
+            ops.push(Op::Send(Request::Leave { session: 3 }));
+            ops.push(Op::Send(Request::Join));
+            ops.push(Op::Send(Request::Join));
+            ops.push(Op::Send(Request::Leave { session: 999 }));
+            ops.push(Op::Tick);
+        }
+    }
+    for s in 4..=12u64 {
+        ops.push(Op::Send(Request::Leave { session: s }));
+    }
+    ops
+}
+
+#[test]
+fn scripted_mix_is_equivalent() {
+    assert_equivalent(&scripted_ops(), false);
+}
+
+#[test]
+fn scripted_mix_is_equivalent_with_wal() {
+    assert_equivalent(&scripted_ops(), true);
+}
+
+#[test]
+fn scripted_mix_is_equivalent_across_pools() {
+    let reference = assert_equivalent(&scripted_ops(), false);
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool");
+        let under_pool = pool.install(|| assert_equivalent(&scripted_ops(), false));
+        assert_eq!(
+            reference, under_pool,
+            "equivalent pair diverged under a {threads}-thread pool"
+        );
+    }
+}
+
+#[test]
+fn shutdown_mid_stream_is_equivalent() {
+    let mut ops = Vec::new();
+    for _ in 0..6 {
+        ops.push(Op::Send(Request::Join));
+    }
+    ops.push(Op::Tick);
+    for s in 1..=6u64 {
+        ops.push(Op::Send(Request::Probe {
+            session: s,
+            object: s as u32,
+            share: true,
+        }));
+    }
+    ops.push(Op::Send(Request::Shutdown));
+    // Everything after the shutdown must answer ShuttingDown in both
+    // modes — including requests already staged for the next tick.
+    for s in 1..=6u64 {
+        ops.push(Op::Send(Request::Post {
+            session: s,
+            object: s as u32,
+            grade: true,
+        }));
+    }
+    ops.push(Op::Tick);
+    ops.push(Op::Send(Request::Join));
+    assert_equivalent(&ops, false);
+}
+
+/// The high-level load driver (join round, request rounds, leave
+/// round) with a batch size smaller than the session count: the
+/// pipelined path stages partial batches and tops them up every tick.
+#[test]
+fn load_driver_run_is_equivalent() {
+    let render = |pipeline: bool| {
+        let inst = planted_community(48, 48, 24, 4, 77);
+        let svc = Arc::new(
+            Service::new(
+                inst.truth,
+                ServiceConfig {
+                    batch_size: 16,
+                    queue_capacity: 64,
+                    seed: 9,
+                    pipeline,
+                    ..ServiceConfig::default()
+                },
+            )
+            .expect("valid config"),
+        );
+        let out = run_deterministic(
+            &svc,
+            &LoadConfig {
+                sessions: 24,
+                requests: 20,
+                seed: 9,
+                ..LoadConfig::default()
+            },
+        );
+        format!(
+            "{}counters: submitted={} ok={} busy={} errors={} ticks={}\nsamples: {:?}\n{}\nstate fnv64 {:016x}\n",
+            out.transcript,
+            out.submitted,
+            out.ok,
+            out.busy,
+            out.errors,
+            out.ticks,
+            out.samples,
+            svc.snapshot().digest(),
+            fnv64(svc.state_digest().as_bytes()),
+        )
+    };
+    assert_eq!(
+        render(true),
+        render(false),
+        "load-driver transcript diverged between pipelined and unpipelined"
+    );
+}
+
+/// Decode one proptest-generated integer tuple into an operation.
+/// Sessions are drawn from a small range so streams routinely mix
+/// valid, stale (already closed), and never-opened ids; tag weights
+/// favour writes, with joins/leaves/ticks common enough for churn and
+/// batch boundaries to move around.
+fn decode_op(tag: u8, a: u8, b: u8, flag: bool) -> Op {
+    let session = u64::from(a % 24);
+    let object = u32::from(b % 40);
+    match tag {
+        0..=1 => Op::Send(Request::Join),
+        2..=3 => Op::Send(Request::Leave { session }),
+        4..=8 => Op::Send(Request::Probe {
+            session,
+            object,
+            share: flag,
+        }),
+        9..=12 => Op::Send(Request::Post {
+            session,
+            object,
+            grade: flag,
+        }),
+        _ => Op::Tick,
+    }
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..16, any::<u8>(), any::<u8>(), any::<bool>()), 1..120).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(tag, a, b, flag)| decode_op(tag, a, b, flag))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_streams_are_equivalent(ops in arb_ops()) {
+        let with = drive(true, &ops, false);
+        let without = drive(false, &ops, false);
+        prop_assert_eq!(with, without);
+    }
+
+    #[test]
+    fn random_streams_are_equivalent_with_wal(ops in arb_ops()) {
+        let with = drive(true, &ops, true);
+        let without = drive(false, &ops, true);
+        prop_assert_eq!(with, without);
+    }
+}

@@ -310,6 +310,73 @@ mod tests {
     }
 
     #[test]
+    fn histogram_single_sample_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentiles(), (42, 42, 42));
+        assert_eq!(h.percentile(1.0), 42);
+        assert_eq!(h.percentile(100.0), 42);
+        assert_eq!(h.max(), 42);
+        assert!((h.mean() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_all_equal_samples_collapse() {
+        let mut h = LatencyHistogram::new();
+        h.record_all(std::iter::repeat_n(7u64, 1000));
+        assert_eq!(h.percentiles(), (7, 7, 7));
+        assert_eq!(h.max(), 7);
+        assert!((h.mean() - 7.0).abs() < 1e-12);
+        // All 1000 land in one log₂ bucket: 7 needs 3 bits.
+        assert_eq!(h.bucket(3), 1000);
+    }
+
+    #[test]
+    fn histogram_small_n_nearest_rank_is_exact() {
+        // Nearest rank: rank = ceil(q/100 · n), clamped to [1, n].
+        // n = 2: p50 → rank 1, p90/p99 → rank 2.
+        let mut h = LatencyHistogram::new();
+        h.record_all([10, 20]);
+        assert_eq!(h.percentiles(), (10, 20, 20));
+        // n = 3: p50 → rank 2 (ceil(1.5)), p90 → rank 3 (ceil(2.7)).
+        let mut h = LatencyHistogram::new();
+        h.record_all([30, 10, 20]); // insertion order must not matter
+        assert_eq!(h.percentiles(), (20, 30, 30));
+        // n = 10: p50 → rank 5, p90 → rank 9, p99 → rank 10.
+        let mut h = LatencyHistogram::new();
+        h.record_all((1..=10u64).rev());
+        assert_eq!(h.percentiles(), (5, 9, 10));
+        // n = 4, p25 → rank 1 exactly (q/100 · n is integral).
+        let mut h = LatencyHistogram::new();
+        h.record_all([1, 2, 3, 4]);
+        assert_eq!(h.percentile(25.0), 1);
+        assert_eq!(h.percentile(75.0), 3);
+    }
+
+    #[test]
+    fn histogram_extreme_values_saturate_without_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        // The running sum saturates at u64::MAX instead of wrapping,
+        // so the mean under-reports (MAX/3 here) but never goes
+        // negative or tiny the way a wrapped sum would.
+        assert_eq!(h.max(), u64::MAX);
+        assert!((h.mean() - u64::MAX as f64 / 3.0).abs() < 1.0);
+        assert!(h.mean() > 0.0 && h.mean() <= h.max() as f64);
+        // Sorted [MAX-1, MAX, MAX]: p50 → rank ceil(1.5) = 2 → MAX.
+        assert_eq!(h.percentiles(), (u64::MAX, u64::MAX, u64::MAX));
+        // Both giants land in the saturating top bucket.
+        assert_eq!(h.bucket(63), 3);
+        // Percentile queries outside [0, 100] clamp to the extremes
+        // instead of indexing out of bounds.
+        assert_eq!(h.percentile(0.0), u64::MAX - 1);
+        assert_eq!(h.percentile(1000.0), u64::MAX);
+    }
+
+    #[test]
     fn formatting() {
         assert_eq!(fnum(0.0), "0");
         assert_eq!(fnum(3.0), "3");
