@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod perf;
+pub mod shard;
 
 use std::io::Write as _;
 use tmwia_sim::experiments::{all, ExpConfig};

@@ -91,18 +91,24 @@ USAGE:
                     by default)
   tmwia serve      [--port 4206] [--batch 64] [--queue 256] [--seed 1]
                    [--max-ticks 0] [--tick-ms 1] [--wal-dir DIR]
-                   [--snapshot-every 64] (generation flags as above)
+                   [--snapshot-every 64] [--shards N]
+                   (generation flags as above)
                    — serve the billboard over TCP; --max-ticks 0 runs
                     until a Shutdown request; --port 0 picks an
                     ephemeral port (printed on the first line);
                     --wal-dir makes ticks durable: every batch is
                     logged (and state snapshotted every K ticks) before
                     execution, and a restart with the same directory
-                    recovers the pre-crash state byte-identically
+                    recovers the pre-crash state byte-identically;
+                    --shards N runs N shard worker processes behind a
+                    state-free relay (seeded object partition, per-tick
+                    control-checksum desync gate); with --wal-dir each
+                    shard logs to DIR/shard-i and a relay restart
+                    re-handshakes and resumes from the shards' WALs
   tmwia load       [--sessions 8] [--requests 32] [--seed 1]
                    [--mix probe=0.6,post=0.2,read=0.1,recommend=0.1]
                    [--addr HOST:PORT] [--shutdown] [--wal-dir DIR]
-                   [--halt-after 0]
+                   [--halt-after 0] [--shards N]
                    — closed-loop load generator. With --addr: drive a
                     live server over TCP (wall-clock latencies; add
                     --shutdown to stop the server afterwards). Without:
@@ -111,10 +117,13 @@ USAGE:
                     pools. --wal-dir logs the run and, on restart,
                     replays it to the crash point and finishes it (the
                     recovery-time metric is printed); --halt-after R
-                    abandons the run after R rounds to simulate a crash
+                    abandons the run after R rounds to simulate a crash;
+                    --shards N drives an in-process sharded topology —
+                    identical output plus a trailing shardsum/shardstate
+                    checksum block
   tmwia bench      [--label smoke] [--seed 20060730] [--scale quick|full]
                    [--out FILE] [--compare BASELINE.json]
-                   [--threshold-pct 25]
+                   [--threshold-pct 25] [--scenario core|shard]
                    — serving-layer benchmark harness: load-style
                     workloads plus seal / WAL / recommend-kernel
                     micro-benches, written as schema-versioned JSON
@@ -123,7 +132,10 @@ USAGE:
                     gates against a baseline report: exit 3 if the
                     baseline is unusable (unparseable, wrong schema or
                     config), exit 4 on regression (any deterministic
-                    field drift, or timings beyond --threshold-pct)
+                    field drift, or timings beyond --threshold-pct).
+                    --scenario shard runs 1/2/4-shard topologies
+                    against a single-process reference (equivalence is
+                    a hard error) and writes BENCH_shard.json
   tmwia help
 
 Instances use the plain-text `tmwia-instance v1` format.
@@ -557,14 +569,108 @@ fn recovery_line(report: &tmwia_service::RecoveryReport, ms: u128) -> String {
     )
 }
 
+/// Parse `--shards` when present. `None` means no flag (single-process
+/// path); `--shards 1` still runs through the relay, which is what the
+/// equivalence checks in CI diff against.
+fn shards_flag(args: &Args) -> Result<Option<usize>, CliError> {
+    match args.str_req("shards") {
+        Err(_) => Ok(None),
+        Ok(raw) => {
+            let shards: usize = raw
+                .parse()
+                .map_err(|_| CliError::Other(format!("--shards: cannot parse '{raw}'")))?;
+            if shards == 0 || shards > 64 {
+                return Err(CliError::Other(format!(
+                    "--shards must be in 1..=64, got {shards}"
+                )));
+            }
+            Ok(Some(shards))
+        }
+    }
+}
+
+/// Build the N identical shard services plus the relay view of their
+/// configuration (the in-process `tmwia load --shards` topology; the
+/// multi-process `tmwia serve --shards` builds its services in the
+/// child processes instead).
+fn build_shard_services(
+    args: &Args,
+    shards: usize,
+) -> Result<
+    (
+        Vec<std::sync::Arc<tmwia_service::Service>>,
+        tmwia_service::RelayConfig,
+    ),
+    CliError,
+> {
+    use tmwia_service::{RelayConfig, Service, ServiceConfig};
+    let inst = load_or_generate(args)?;
+    let cfg = ServiceConfig {
+        batch_size: args.num_or("batch", 64usize)?,
+        queue_capacity: args.num_or("queue", 256usize)?,
+        seed: args.num_or("seed", 1u64)?,
+        pipeline: !args.has("no-pipeline"),
+        ..ServiceConfig::default()
+    };
+    let services = (0..shards)
+        .map(|_| {
+            Service::new(inst.truth.clone(), cfg.clone())
+                .map(std::sync::Arc::new)
+                .map_err(|e| CliError::Other(e.to_string()))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let relay_cfg = RelayConfig::for_service(&cfg, shards, inst.n(), inst.m());
+    Ok((services, relay_cfg))
+}
+
+/// The flags a `tmwia shard` child must inherit so it builds a service
+/// byte-identical to its siblings (plus its own WAL subdirectory).
+fn shard_child_args(args: &Args, shard: usize) -> Result<Vec<String>, CliError> {
+    let mut v = Vec::new();
+    for key in [
+        "kind",
+        "n",
+        "m",
+        "k",
+        "d",
+        "clusters",
+        "noise",
+        "seed",
+        "instance",
+        "batch",
+        "queue",
+        "snapshot-every",
+    ] {
+        if let Ok(val) = args.str_req(key) {
+            v.push(format!("--{key}"));
+            v.push(val);
+        }
+    }
+    if args.has("no-pipeline") {
+        v.push("--no-pipeline".into());
+    }
+    if let Ok(dir) = args.str_req("wal-dir") {
+        let sub = std::path::Path::new(&dir).join(format!("shard-{shard}"));
+        std::fs::create_dir_all(&sub)
+            .map_err(|e| CliError::Io(format!("creating {}: {e}", sub.display())))?;
+        v.push("--wal-dir".into());
+        v.push(sub.display().to_string());
+    }
+    Ok(v)
+}
+
 /// `tmwia serve` — run the TCP serving layer.
 pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     use std::io::Write as _;
     use tmwia_service::{serve, ServeOptions};
+    if let Some(shards) = shards_flag(args)? {
+        return cmd_serve_sharded(args, shards);
+    }
     let port: u16 = args.num_or("port", 4206u16)?;
     let opts = ServeOptions {
         tick_interval: std::time::Duration::from_millis(args.num_or("tick-ms", 1u64)?.max(1)),
         max_ticks: args.num_or("max-ticks", 0u64)?,
+        tick_hook: None,
     };
     let (svc, report, recovery_ms) = build_service(args, false)?;
     let svc = std::sync::Arc::new(svc);
@@ -597,16 +703,196 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     if let Some(err) = svc.wal_health() {
         let _ = writeln!(out, "wal: persistence FAILED and stopped: {err}");
     }
+    if let Some(panic) = &summary.ticker_panic {
+        let _ = writeln!(out, "unclean shutdown (ticker thread panicked: {panic})");
+    } else if summary.clean {
+        let _ = writeln!(out, "clean shutdown");
+    } else {
+        let _ = writeln!(out, "unclean shutdown (a server thread panicked)");
+    }
+    Ok(out)
+}
+
+/// `tmwia serve --shards N` — the multi-process topology: this process
+/// is the state-free relay (public TCP front + canonical batch
+/// ordering + desync gate); each shard is a `tmwia shard` child built
+/// from the same flags, connected back over an internal loopback
+/// listener. With `--wal-dir DIR` each child logs to `DIR/shard-i`, so
+/// killing the relay loses nothing: a restart re-handshakes with
+/// freshly recovered shards and resumes at their maximum position.
+fn cmd_serve_sharded(args: &Args, shards: usize) -> Result<String, CliError> {
+    use std::io::Write as _;
+    use tmwia_service::{
+        serve, Relay, RelayConfig, ServeOptions, ServiceConfig, ShardedService, TcpLink,
+    };
+    let port: u16 = args.num_or("port", 4206u16)?;
+    let opts = ServeOptions {
+        tick_interval: std::time::Duration::from_millis(args.num_or("tick-ms", 1u64)?.max(1)),
+        max_ticks: args.num_or("max-ticks", 0u64)?,
+        tick_hook: None,
+    };
+    // The relay only needs the instance's shape, not a Service.
+    let inst = load_or_generate(args)?;
+    let scfg = ServiceConfig {
+        batch_size: args.num_or("batch", 64usize)?,
+        queue_capacity: args.num_or("queue", 256usize)?,
+        seed: args.num_or("seed", 1u64)?,
+        pipeline: !args.has("no-pipeline"),
+        ..ServiceConfig::default()
+    };
+    let relay_cfg = RelayConfig::for_service(&scfg, shards, inst.n(), inst.m());
+    let (n, m) = (inst.n(), inst.m());
+    drop(inst);
+
+    // Internal rendezvous listener the shard children dial back to.
+    let internal = std::net::TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| CliError::Io(format!("binding the shard listener: {e}")))?;
+    let internal_addr = internal
+        .local_addr()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Io(format!("resolving the tmwia binary: {e}")))?;
+    let mut children = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("shard")
+            .arg("--relay")
+            .arg(internal_addr.to_string())
+            .arg("--shard")
+            .arg(i.to_string())
+            .arg("--shards")
+            .arg(shards.to_string())
+            .args(shard_child_args(args, i)?)
+            .stdout(std::process::Stdio::null());
+        children.push(
+            cmd.spawn()
+                .map_err(|e| CliError::Io(format!("spawning shard {i}: {e}")))?,
+        );
+    }
+    let kill_all = |children: &mut Vec<std::process::Child>| {
+        for c in children.iter_mut() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    };
+    // Accept one connection per shard; a child that dies before
+    // dialing in (bad flags, WAL refusal) fails the launch instead of
+    // hanging it.
+    // lint:allow(determinism) the launch deadline is operational, not on a determinism path
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    internal
+        .set_nonblocking(true)
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    let mut links = Vec::with_capacity(shards);
+    while links.len() < shards {
+        match internal.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| CliError::Io(e.to_string()))?;
+                let _ = stream.set_nodelay(true);
+                links.push(TcpLink::new(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                for (i, c) in children.iter_mut().enumerate() {
+                    if let Ok(Some(status)) = c.try_wait() {
+                        kill_all(&mut children);
+                        return Err(CliError::Other(format!(
+                            "shard {i} exited during launch with {status}"
+                        )));
+                    }
+                }
+                // lint:allow(determinism) launch-deadline check, not an algorithm path
+                if std::time::Instant::now() > deadline {
+                    kill_all(&mut children);
+                    return Err(CliError::Other(
+                        "timed out waiting for the shards to connect".into(),
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => {
+                kill_all(&mut children);
+                return Err(CliError::Io(format!("accepting a shard link: {e}")));
+            }
+        }
+    }
+    let relay = match Relay::connect(links, relay_cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            kill_all(&mut children);
+            return Err(CliError::Other(format!("shard handshake failed: {e}")));
+        }
+    };
+    use tmwia_service::Serving as _;
+    let svc = std::sync::Arc::new(ShardedService::new(relay));
+    let tick0 = svc.current_tick();
+    let server = match serve(
+        std::sync::Arc::clone(&svc),
+        &format!("127.0.0.1:{port}"),
+        opts,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            svc.disconnect();
+            kill_all(&mut children);
+            return Err(CliError::Other(e.to_string()));
+        }
+    };
+    if tick0 > 0 {
+        println!("resumed at tick {tick0} ({shards} shards re-handshaked)");
+    }
+    println!(
+        "tmwia-relay listening on {} (n = {n}, m = {m}, {shards} shards)",
+        server.local_addr()
+    );
+    let _ = std::io::stdout().flush();
+    let summary = server.join();
+    let mut out = String::new();
     let _ = writeln!(
         out,
-        "{}",
-        if summary.clean {
-            "clean shutdown"
-        } else {
-            "unclean shutdown (a server thread panicked)"
-        }
+        "served {} requests ({} rejected) across {} ticks, {} sessions",
+        summary.served, summary.rejected, summary.ticks, summary.sessions
     );
+    if let Some(fault) = svc.health() {
+        let _ = writeln!(out, "fault: {fault}");
+    }
+    for line in svc.checksum_log() {
+        let _ = writeln!(out, "{line}");
+    }
+    // Drop the links so every child observes EOF and exits, then reap.
+    svc.disconnect();
+    for mut c in children {
+        let _ = c.wait();
+    }
+    if let Some(panic) = &summary.ticker_panic {
+        let _ = writeln!(out, "unclean shutdown (ticker thread panicked: {panic})");
+    } else if summary.clean {
+        let _ = writeln!(out, "clean shutdown");
+    } else {
+        let _ = writeln!(out, "unclean shutdown (a server thread panicked)");
+    }
     Ok(out)
+}
+
+/// `tmwia shard` — the hidden worker subcommand `tmwia serve --shards`
+/// spawns. Builds the shard's service (recovering from its own WAL
+/// when `--wal-dir` is set), dials the relay, and serves broadcast
+/// batches until the link closes. Not part of the public usage text:
+/// its flag contract is owned by [`cmd_serve_sharded`].
+fn cmd_shard(args: &Args) -> Result<String, CliError> {
+    use tmwia_service::{run_shard_worker, TcpLink};
+    let relay_addr = args.str_req("relay")?;
+    let shard: u32 = args.num_or("shard", 0u32)?;
+    let shards: u32 = args.num_or("shards", 1u32)?;
+    let (svc, _report, _ms) = build_service(args, false)?;
+    let stream = std::net::TcpStream::connect(&relay_addr)
+        .map_err(|e| CliError::Io(format!("shard {shard} dialing {relay_addr}: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    let mut link = TcpLink::new(stream);
+    run_shard_worker(&svc, shard, shards, &mut link)
+        .map_err(|e| CliError::Other(format!("shard {shard}: {e}")))?;
+    Ok(format!("shard {shard} exited cleanly\n"))
 }
 
 /// `tmwia load` — the closed-loop load generator.
@@ -673,17 +959,57 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
         // clock, byte-identical across thread pools. With --wal-dir,
         // already-logged rounds are re-derived from the recovered log
         // and the run continues from the crash point; the merged output
-        // is byte-identical to an uninterrupted run.
-        let (svc, report, recovery_ms) = build_service(args, true)?;
-        let svc = std::sync::Arc::new(svc);
-        let res = match &report {
-            Some(report) => {
-                if report.replayed_ticks > 0 || report.truncated_bytes > 0 {
-                    out.push_str(&recovery_line(report, recovery_ms));
-                }
-                run_durable(&svc, &cfg, report).map_err(CliError::Other)?
+        // is byte-identical to an uninterrupted run. With --shards N
+        // the same driver runs against an in-process sharded topology,
+        // and everything except the appended shardsum/shardstate
+        // checksum lines must be byte-identical to the single process.
+        let (res, state_fnv, wal_line, checksums) = if let Some(shards) = shards_flag(args)? {
+            if args.str_req("wal-dir").is_ok() {
+                return Err(CliError::Other(
+                    "--wal-dir does not combine with in-process --shards \
+                     (per-shard WALs belong to `tmwia serve --shards`)"
+                        .into(),
+                ));
             }
-            None => run_deterministic(&svc, &cfg),
+            let (services, relay_cfg) = build_shard_services(args, shards)?;
+            let topo = tmwia_service::spawn_local(services, relay_cfg)
+                .map_err(|e| CliError::Other(e.to_string()))?;
+            let res = tmwia_service::run_serving(topo.service.as_ref(), &cfg);
+            if let Some(fault) = topo.service.health() {
+                return Err(CliError::Other(format!("sharded topology fault: {fault}")));
+            }
+            let digest = topo
+                .service
+                .merged_state_digest()
+                .map_err(|e| CliError::Other(e.to_string()))?;
+            let checksums = topo.service.checksum_log();
+            for result in topo.shutdown() {
+                result.map_err(|e| CliError::Other(format!("shard worker failed: {e}")))?;
+            }
+            (
+                res,
+                tmwia_service::wal::fnv64(digest.as_bytes()),
+                None,
+                checksums,
+            )
+        } else {
+            let (svc, report, recovery_ms) = build_service(args, true)?;
+            let svc = std::sync::Arc::new(svc);
+            let res = match &report {
+                Some(report) => {
+                    if report.replayed_ticks > 0 || report.truncated_bytes > 0 {
+                        out.push_str(&recovery_line(report, recovery_ms));
+                    }
+                    run_durable(&svc, &cfg, report).map_err(CliError::Other)?
+                }
+                None => run_deterministic(&svc, &cfg),
+            };
+            (
+                res,
+                tmwia_service::wal::fnv64(svc.state_digest().as_bytes()),
+                svc.wal_health(),
+                Vec::new(),
+            )
         };
         let mut hist = LatencyHistogram::new();
         hist.record_all(res.samples.iter().copied());
@@ -704,17 +1030,20 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
         }
         // A fingerprint of the full durable state (registry, memos,
         // snapshot): recovery is correct iff a resumed run prints the
-        // same line as an uninterrupted one.
-        let _ = writeln!(
-            out,
-            "state fnv64 {:016x}",
-            tmwia_service::wal::fnv64(svc.state_digest().as_bytes())
-        );
-        if let Some(err) = svc.wal_health() {
+        // same line as an uninterrupted one, and a sharded run is
+        // correct iff its merged digest prints the same line as the
+        // single process.
+        let _ = writeln!(out, "state fnv64 {state_fnv:016x}");
+        if let Some(err) = wal_line {
             let _ = writeln!(out, "wal: persistence FAILED and stopped: {err}");
         }
         if !args.has("quiet") {
             out.push_str(&res.transcript);
+        }
+        // The desync audit trail, last so byte-diffs against a
+        // single-process run only have to filter a trailing block.
+        for line in checksums {
+            let _ = writeln!(out, "{line}");
         }
     }
     Ok(out)
@@ -723,6 +1052,15 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
 /// `tmwia bench` — the serving-layer benchmark harness.
 pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
     use tmwia_bench::perf;
+    match args.str_or("scenario", "core").as_str() {
+        "core" => {}
+        "shard" => return cmd_bench_shard(args),
+        other => {
+            return Err(CliError::Other(format!(
+                "--scenario must be core or shard, got '{other}'"
+            )))
+        }
+    }
     let label = args.str_or("label", "bench");
     let opts = perf::BenchOptions {
         label: label.clone(),
@@ -788,12 +1126,78 @@ pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `tmwia bench --scenario shard` — the sharded-topology scenario:
+/// 1/2/4-shard in-process topologies against a single-process
+/// reference, with the equivalence contract enforced as a hard error.
+/// The report is its own JSON document (`BENCH_shard.json`); --compare
+/// gates on byte-equality of the deterministic prefix.
+fn cmd_bench_shard(args: &Args) -> Result<String, CliError> {
+    use tmwia_bench::{perf, shard};
+    let label = args.str_or("label", "bench");
+    let seed: u64 = args.num_or("seed", 20060730u64)?;
+    let quick = args.str_or("scale", "quick") != "full";
+    let out_path = args.str_or("out", "BENCH_shard.json");
+
+    let report = shard::run_shard(&label, seed, quick).map_err(CliError::Other)?;
+    let json = report.render();
+    std::fs::write(&out_path, &json)
+        .map_err(|e| CliError::Io(format!("writing {out_path}: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench: scenario shard, label {label}, seed {seed}, scale {}",
+        if quick { "quick" } else { "full" }
+    );
+    out.push_str(&report.summary());
+    let _ = writeln!(out, "wrote {out_path}");
+
+    if let Ok(baseline_path) = args.str_req("compare") {
+        let baseline = std::fs::read_to_string(&baseline_path).map_err(|e| CliError::Status {
+            code: 3,
+            message: format!("unusable baseline {baseline_path}: {e}"),
+        })?;
+        if !baseline.contains("\"shard_schema\"") {
+            return Err(CliError::Status {
+                code: 3,
+                message: format!("unusable baseline {baseline_path}: not a shard-scenario report"),
+            });
+        }
+        // Label lines differ between runs by design; everything else in
+        // the deterministic prefix must match byte-for-byte.
+        let strip = |text: &str| -> String {
+            perf::deterministic_prefix(text)
+                .lines()
+                .filter(|l| !l.contains("\"label\""))
+                .map(|l| format!("{l}\n"))
+                .collect()
+        };
+        if strip(&json) == strip(&baseline) {
+            let _ = writeln!(
+                out,
+                "compare: PASS (deterministic prefix matches {baseline_path})"
+            );
+        } else {
+            return Err(CliError::Status {
+                code: 4,
+                message: format!(
+                    "compare: FAIL vs {baseline_path} (deterministic shard-scenario fields drifted)"
+                ),
+            });
+        }
+    }
+    Ok(out)
+}
+
 /// Dispatch a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_deref() {
         Some("generate") => cmd_generate(args),
         Some("exp") => cmd_exp(args),
         Some("serve") => cmd_serve(args),
+        // Hidden: one shard worker process, launched by
+        // `tmwia serve --shards N` — not part of the public surface.
+        Some("shard") => cmd_shard(args),
         Some("load") => cmd_load(args),
         Some("bench") => cmd_bench(args),
         Some("inspect") => {
@@ -928,6 +1332,58 @@ mod tests {
         );
         assert!(reference.contains("state fnv64 "), "{reference}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_with_shards_is_byte_identical_plus_checksum_block() {
+        let base = "load --kind planted --n 24 --m 24 --k 12 --d 2 \
+                    --sessions 4 --requests 10 --batch 16 --queue 64";
+        let reference = cmd_load(&parse(base)).unwrap();
+        let mut shardsum_streams = Vec::new();
+        for shards in [1usize, 3] {
+            let sharded = cmd_load(&parse(&format!("{base} --shards {shards}"))).unwrap();
+            let stripped: String = sharded
+                .lines()
+                .filter(|l| !l.starts_with("shardsum ") && !l.starts_with("shardstate "))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            assert_eq!(
+                stripped, reference,
+                "--shards {shards} output (minus checksums) must be byte-identical"
+            );
+            let stream: Vec<&str> = sharded
+                .lines()
+                .filter(|l| l.starts_with("shardsum "))
+                .collect();
+            assert!(
+                !stream.is_empty(),
+                "--shards {shards} printed its audit trail"
+            );
+            shardsum_streams.push(stream.join("\n"));
+        }
+        assert_eq!(
+            shardsum_streams[0], shardsum_streams[1],
+            "control checksums must not depend on the shard count"
+        );
+    }
+
+    #[test]
+    fn load_rejects_wal_dir_combined_with_in_process_shards() {
+        let err = cmd_load(&parse(
+            "load --kind planted --n 16 --m 16 --shards 2 --wal-dir /tmp/nope",
+        ))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("--wal-dir"),
+            "typed refusal names the conflicting flag: {err}"
+        );
+    }
+
+    #[test]
+    fn shards_flag_rejects_zero_and_garbage() {
+        assert!(cmd_load(&parse("load --n 16 --m 16 --shards 0")).is_err());
+        assert!(cmd_load(&parse("load --n 16 --m 16 --shards x")).is_err());
+        assert!(cmd_load(&parse("load --n 16 --m 16 --shards 65")).is_err());
     }
 
     #[test]

@@ -128,7 +128,12 @@ impl Config {
             "determinism-reach".to_string(),
             RuleScope {
                 include: vec!["crates/sim/src".into(), "crates/service/src".into()],
-                entry: vec!["experiments::*::run".into(), "Service::tick".into()],
+                entry: vec![
+                    "experiments::*::run".into(),
+                    "Service::tick".into(),
+                    "Relay::tick".into(),
+                    "run_shard_worker".into(),
+                ],
                 ..RuleScope::default()
             },
         );

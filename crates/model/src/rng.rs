@@ -65,6 +65,8 @@ pub mod tags {
     pub const SERVICE_LOAD: u64 = 0x5356_4C44;
     /// Serving layer: per-(client, round) churn draws (E18).
     pub const SERVICE_CHURN: u64 = 0x5356_4348;
+    /// Serving layer: object → shard ownership partition of the relay.
+    pub const SERVICE_SHARD: u64 = 0x5356_5348;
 }
 
 #[cfg(test)]

@@ -31,14 +31,23 @@
 //!   periodic sealed-state snapshots. [`Service::recover`] rebuilds a
 //!   byte-identical pre-crash state by replaying the log through the
 //!   normal tick path.
+//! * [`shard`] / [`relay`] — the multi-process topology: a state-free
+//!   relay partitions writes across object-owning shard services
+//!   (seeded S5 partition), broadcasts canonical per-tick batches over
+//!   [`ShardLink`]s, and cross-checks per-tick control checksums as a
+//!   desync gate. The relay holds no durable state: restart is
+//!   re-handshake plus resume at the shards' maximum position.
 //!
 //! [`LivenessEpoch`]: tmwia_billboard::LivenessEpoch
+//! [`ShardLink`]: shard::ShardLink
 
 #![forbid(unsafe_code)]
 
 pub mod load;
 pub mod registry;
+pub mod relay;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 pub mod tcp;
 pub mod transport;
@@ -46,12 +55,21 @@ pub mod wal;
 pub mod wire;
 
 pub use load::{
-    run_deterministic, run_durable, run_tcp, ClientMix, LoadConfig, LoadOutcome, RequestKind,
+    run_deterministic, run_durable, run_serving, run_tcp, ClientMix, LoadConfig, LoadOutcome,
+    RequestKind,
 };
 pub use registry::{LeaveReceipt, SessionRegistry, SessionState};
+pub use relay::{
+    merge_digest_parts, spawn_local, LocalTopology, Relay, RelayConfig, ShardError, ShardedService,
+};
 pub use service::{
-    Durability, RecoverError, RecoverOptions, RecoveryReport, ReplayedTick, ReplySender, Service,
-    ServiceConfig, ServiceError, TickReport,
+    render_digest, DigestParts, Durability, PlayerDigest, RecoverError, RecoverOptions,
+    RecoveryReport, ReplayedTick, ReplySender, Service, ServiceConfig, ServiceError, Serving,
+    SessionDigest, TickReport,
+};
+pub use shard::{
+    channel_pair, run_shard_worker, service_fingerprint, topology_fingerprint, ChannelLink,
+    ShardLink, ShardMsg, TcpLink,
 };
 pub use snapshot::{BoardSnapshot, PostCell, SnapshotCell};
 pub use tcp::{serve, ServeOptions, ServeSummary, TcpServer, TcpTransport};

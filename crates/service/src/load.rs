@@ -18,13 +18,14 @@
 //! drivers consume the identical stream (the TCP driver is told `m`
 //! via [`LoadConfig::objects`], since it cannot inspect the server).
 
-use crate::service::{RecoveryReport, ReplayedTick, Service};
+use crate::service::{RecoveryReport, ReplayedTick, ReplySender, Service, Serving};
 use crate::snapshot::BoardSnapshot;
 use crate::tcp::TcpTransport;
-use crate::transport::{InProcTransport, Transport, TransportError};
+use crate::transport::{Transport, TransportError};
 use crate::wire::{ErrorCode, Request, Response};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use tmwia_model::rng::{derive, tags};
 
@@ -269,37 +270,44 @@ impl ClientScript {
         let m = m.max(1) as u64;
         let draw = derive(seed, tags::SERVICE_LOAD, (self.c << 32) | self.counter);
         self.counter += 1;
-        let mut kind = mix.pick(draw);
-        if kind == RequestKind::Post && self.last_grade.is_none() {
-            kind = RequestKind::Probe; // nothing revealed yet to re-post
-        }
-        let req = match kind {
-            RequestKind::Probe => {
-                let object = ((self.offset + self.probes_done) % m) as u32;
-                self.probes_done += 1;
-                Request::Probe {
-                    session,
-                    object,
-                    share: true,
-                }
-            }
-            RequestKind::Post => {
-                let (object, grade) = self.last_grade.unwrap_or((0, false));
+        // A Post can only replay a grade some earlier probe revealed.
+        // Matching on the `(pick, last_grade)` pair makes the downgrade
+        // structural: before the first reveal a scheduled Post becomes a
+        // probe, and no arm can invent a grade for object 0.
+        match (mix.pick(draw), self.last_grade) {
+            (RequestKind::Post, Some((object, grade))) => (
+                RequestKind::Post,
                 Request::Post {
                     session,
                     object,
                     grade,
-                }
+                },
+            ),
+            (RequestKind::Probe | RequestKind::Post, _) => {
+                let object = ((self.offset + self.probes_done) % m) as u32;
+                self.probes_done += 1;
+                (
+                    RequestKind::Probe,
+                    Request::Probe {
+                        session,
+                        object,
+                        share: true,
+                    },
+                )
             }
-            RequestKind::Read => {
+            (RequestKind::Read, _) => {
                 let jump = derive(seed, tags::SERVICE_LOAD, (self.c << 40) | self.counter);
-                Request::Read {
-                    object: ((self.offset + jump % m) % m) as u32,
-                }
+                (
+                    RequestKind::Read,
+                    Request::Read {
+                        object: ((self.offset + jump % m) % m) as u32,
+                    },
+                )
             }
-            RequestKind::Recommend => Request::Recommend { count: rec },
-        };
-        (kind, req)
+            (RequestKind::Recommend, _) => {
+                (RequestKind::Recommend, Request::Recommend { count: rec })
+            }
+        }
     }
 
     /// Remember revealed grades so Posts have something to replay.
@@ -338,9 +346,13 @@ fn resp_brief(resp: &Response) -> String {
 const PUMP_CAP: usize = 10_000;
 
 /// Tick until this client's next response lands (bounded).
-fn pump(svc: &Arc<Service>, t: &InProcTransport, out: &mut LoadOutcome) -> Option<(u64, Response)> {
+fn pump<S: Serving + ?Sized>(
+    svc: &S,
+    rx: &Receiver<(u64, Response)>,
+    out: &mut LoadOutcome,
+) -> Option<(u64, Response)> {
     for _ in 0..PUMP_CAP {
-        if let Some(pair) = t.try_recv() {
+        if let Ok(pair) = rx.try_recv() {
             return Some(pair);
         }
         svc.tick();
@@ -353,7 +365,17 @@ fn pump(svc: &Arc<Service>, t: &InProcTransport, out: &mut LoadOutcome) -> Optio
 /// outcome — including the transcript — is byte-identical under any
 /// rayon pool size.
 pub fn run_deterministic(svc: &Arc<Service>, cfg: &LoadConfig) -> LoadOutcome {
-    match drive(svc, cfg, &[]) {
+    run_serving(svc.as_ref(), cfg)
+}
+
+/// The same deterministic driver over any [`Serving`] backend — the
+/// single-process [`Service`] or the sharded relay handle
+/// [`crate::relay::ShardedService`]. Because the driver is written
+/// against the trait, a sharded run and a single-process run of the
+/// same config produce byte-identical transcripts whenever the
+/// backends themselves agree.
+pub fn run_serving<S: Serving + ?Sized>(svc: &S, cfg: &LoadConfig) -> LoadOutcome {
+    match drive(svc, cfg, &[], &|_| {}) {
         Ok(out) => out,
         Err(e) => LoadOutcome {
             errors: 1,
@@ -378,7 +400,12 @@ pub fn run_durable(
     cfg: &LoadConfig,
     report: &RecoveryReport,
 ) -> Result<LoadOutcome, String> {
-    drive(svc, cfg, &report.replay)
+    // Fast-forwarding past unlogged all-read rounds is a replay-only
+    // concern, so it stays off the `Serving` trait and rides in as a
+    // hook only this entry point wires up.
+    drive(svc.as_ref(), cfg, &report.replay, &|tick| {
+        svc.fast_forward_tick(tick);
+    })
 }
 
 /// Lockstep cursor over recovered WAL ticks. Each load round maps to at
@@ -474,38 +501,41 @@ fn answer_read(snap: &BoardSnapshot, cap: u16, req: &Request) -> Response {
 
 /// The unified in-process driver: reconstruction over `replay` while
 /// records last, then live submission. `replay` empty ⇒ fully live.
+/// `fast_forward` realigns the backend's tick counter after unlogged
+/// all-read rounds; it is only ever called on the replay path.
 #[allow(clippy::too_many_lines)]
-fn drive(
-    svc: &Arc<Service>,
+fn drive<S: Serving + ?Sized>(
+    svc: &S,
     cfg: &LoadConfig,
     replay: &[ReplayedTick],
+    fast_forward: &dyn Fn(u64),
 ) -> Result<LoadOutcome, String> {
     let m = svc.m();
     if svc.is_durable() || !replay.is_empty() {
         // Round atomicity: recovery maps one load round to one logged
         // tick, which holds only if a whole round fits in one batch and
         // no request inside a round can bounce off a full queue.
-        let sc = svc.config();
-        if sc.batch_size < cfg.sessions {
+        if svc.batch_size() < cfg.sessions {
             return Err(format!(
                 "durable load needs batch-size >= sessions ({} < {}): \
                  every round must land in one logged tick",
-                sc.batch_size, cfg.sessions
+                svc.batch_size(),
+                cfg.sessions
             ));
         }
-        if sc.queue_capacity < cfg.sessions {
+        if svc.queue_capacity() < cfg.sessions {
             return Err(format!(
                 "durable load needs queue-capacity >= sessions ({} < {}): \
                  a Busy inside a round would tear it across ticks",
-                sc.queue_capacity, cfg.sessions
+                svc.queue_capacity(),
+                cfg.sessions
             ));
         }
     }
 
     let mut out = LoadOutcome::default();
-    let mut transports: Vec<InProcTransport> = (0..cfg.sessions)
-        .map(|_| InProcTransport::connect(svc))
-        .collect();
+    let pipes: Vec<(ReplySender, Receiver<(u64, Response)>)> =
+        (0..cfg.sessions).map(|_| channel()).collect();
     let mut scripts: Vec<ClientScript> = (0..cfg.sessions)
         .map(|c| ClientScript::new(cfg.seed, c as u64, m))
         .collect();
@@ -515,13 +545,13 @@ fn drive(
 
     // Join round.
     if live {
-        for (c, t) in transports.iter_mut().enumerate() {
-            let _ = t.send((c as u64) << 32, &Request::Join);
+        for (c, (tx, _)) in pipes.iter().enumerate() {
+            svc.submit((c as u64) << 32, Request::Join, tx);
             out.count("join");
         }
         svc.tick();
-        for (c, t) in transports.iter().enumerate() {
-            if let Some((_, resp)) = pump(svc, t, &mut out) {
+        for (c, (_, rx)) in pipes.iter().enumerate() {
+            if let Some((_, resp)) = pump(svc, rx, &mut out) {
                 if let Response::Joined { session, .. } = resp {
                     sessions[c] = Some(session);
                 }
@@ -561,7 +591,7 @@ fn drive(
             // The crash point: everything on disk has been re-derived;
             // line the service's tick counter up with the simulated one
             // (trailing all-read rounds are not logged) and go live.
-            svc.fast_forward_tick(rp.sim_tick);
+            fast_forward(rp.sim_tick);
             live = true;
         }
         if live {
@@ -572,7 +602,7 @@ fn drive(
                     scripts[c].next(cfg.seed, &cfg.mix, m, cfg.recommend_count, session);
                 let id = ((c as u64) << 32) | (round as u64 + 1);
                 let submit_tick = svc.current_tick();
-                let _ = transports[c].send(id, &req);
+                svc.submit(id, req, &pipes[c].0);
                 out.count(kind.name());
                 pending[c] = Some((submit_tick, kind.name()));
             }
@@ -581,7 +611,7 @@ fn drive(
                 let Some((submit_tick, kind)) = pending[c] else {
                     continue;
                 };
-                let Some((_, resp)) = pump(svc, &transports[c], &mut out) else {
+                let Some((_, resp)) = pump(svc, &pipes[c].1, &mut out) else {
                     continue;
                 };
                 scripts[c].observe(&resp);
@@ -621,7 +651,7 @@ fn drive(
                     .snap
                     .clone()
                     .ok_or("log diverges: a read round before any logged tick")?;
-                let cap = svc.config().recommend_cap;
+                let cap = svc.recommend_cap();
                 for (id, req) in &reads {
                     resp_map.insert(*id, answer_read(&snap, cap, req));
                 }
@@ -655,22 +685,22 @@ fn drive(
     // its sessions on purpose).
     if !halted {
         if !live && rp.exhausted() {
-            svc.fast_forward_tick(rp.sim_tick);
+            fast_forward(rp.sim_tick);
             live = true;
         }
         if live {
             for c in 0..cfg.sessions {
                 let Some(session) = sessions[c] else { continue };
                 let id = ((c as u64) << 32) | 0xFFFF_FFFF;
-                let _ = transports[c].send(id, &Request::Leave { session });
+                svc.submit(id, Request::Leave { session }, &pipes[c].0);
                 out.count("leave");
             }
             svc.tick();
-            for (c, t) in transports.iter().enumerate() {
+            for (c, (_, rx)) in pipes.iter().enumerate() {
                 if sessions[c].is_none() {
                     continue;
                 }
-                if let Some((_, resp)) = pump(svc, t, &mut out) {
+                if let Some((_, resp)) = pump(svc, rx, &mut out) {
                     out.absorb(&resp);
                     let _ = writeln!(out.transcript, "c{c} leave -> {}", resp_brief(&resp));
                 }
@@ -706,7 +736,7 @@ fn drive(
     } else {
         // The whole run came off the log; leave the service's counter
         // at the simulated position for whatever comes next.
-        svc.fast_forward_tick(rp.sim_tick);
+        fast_forward(rp.sim_tick);
         out.ticks = rp.sim_tick;
     }
     Ok(out)
@@ -876,6 +906,76 @@ mod tests {
         assert_eq!(out.samples.len(), 32, "one latency sample per request");
         assert_eq!(svc.sessions_live(), 0, "all sessions left");
         assert!(out.transcript.contains("c0 join -> joined"));
+    }
+
+    #[test]
+    fn post_only_mix_never_fabricates_a_grade() {
+        // Regression: a Post scheduled before any probe completed used
+        // to fall back to `last_grade.unwrap_or((0, false))`, posting an
+        // invented dislike of object 0. Under a post-heavy mix the
+        // stream must substitute probes until a grade is revealed, and
+        // every Post after that must replay an actually-revealed pair.
+        let mix = ClientMix::parse("post=1.0").unwrap();
+        let mut script = ClientScript::new(11, 0, 16);
+        let mut revealed = std::collections::BTreeSet::new();
+        for step in 0..32 {
+            let (kind, req) = script.next(11, &mix, 16, 4, 1);
+            match req {
+                Request::Probe { object, .. } => {
+                    assert_eq!(kind, RequestKind::Probe);
+                    assert_eq!(
+                        step, 0,
+                        "once a grade is revealed, a post-only mix never probes again"
+                    );
+                    // Reveal the grade, as the service's Grade response would.
+                    script.observe(&Response::Grade {
+                        object,
+                        value: object % 2 == 0,
+                        charged: true,
+                        posted: false,
+                    });
+                    revealed.insert((object, object % 2 == 0));
+                }
+                Request::Post { object, grade, .. } => {
+                    assert_eq!(kind, RequestKind::Post);
+                    assert!(
+                        revealed.contains(&(object, grade)),
+                        "step {step} posted ({object}, {grade}) which no probe revealed"
+                    );
+                }
+                other => panic!("post-only mix produced {other:?}"),
+            }
+        }
+        assert!(!revealed.is_empty(), "at least one substituted probe ran");
+    }
+
+    #[test]
+    fn post_heavy_load_runs_clean_and_every_post_is_grounded() {
+        // End-to-end shape of the same regression: a 90%-post mix on a
+        // fresh service starts with substituted probes and finishes with
+        // no errors and no ungrounded `posted obj=0` on the transcript's
+        // first effective request.
+        let inst = planted_community(16, 16, 8, 2, 3);
+        let svc = Arc::new(Service::new(inst.truth.clone(), ServiceConfig::default()).unwrap());
+        let cfg = LoadConfig {
+            sessions: 3,
+            requests: 8,
+            mix: ClientMix::parse("post=0.9,probe=0.1").unwrap(),
+            ..LoadConfig::default()
+        };
+        let out = run_deterministic(&svc, &cfg);
+        assert_eq!(out.errors, 0, "{}", out.transcript);
+        for c in 0..3 {
+            let first = out
+                .transcript
+                .lines()
+                .find(|l| l.starts_with(&format!("c{c} r0 ")))
+                .expect("round 0 line");
+            assert!(
+                first.contains("probe ->"),
+                "client {c}'s first request must be a substituted probe: {first}"
+            );
+        }
     }
 
     #[test]

@@ -424,7 +424,12 @@ impl Service {
             for e in &rec.entries {
                 svc.enqueue_replay(e.seq, e.id, e.req.clone(), &tx);
             }
-            svc.tick();
+            // `tick_sealed`, not `tick`: single-process logs never hold
+            // empty records (empty ticks are not logged), but a shard's
+            // log seals every broadcast tick — replaying an empty
+            // record must re-advance the epoch exactly as the original
+            // sealed tick did.
+            svc.tick_sealed();
             report.replayed_ticks += 1;
             report.replayed_requests += rec.entries.len() as u64;
             if opts.capture {
@@ -775,14 +780,83 @@ impl Service {
     /// not replayed, so they reset on restart by design. Byte-equality
     /// of two digests is the recovery acceptance criterion.
     pub fn state_digest(&self) -> String {
+        render_digest(&self.digest_parts())
+    }
+
+    /// The raw components [`render_digest`] renders. Exposed so the
+    /// sharded relay can sum per-shard parts into one global digest
+    /// that is byte-identical to the single-process
+    /// [`Service::state_digest`] (see `relay::merge_digest_parts`).
+    pub fn digest_parts(&self) -> DigestParts {
+        let reg = self.registry.lock();
+        let sessions = reg
+            .iter_open()
+            .map(|(session, st)| SessionDigest {
+                session,
+                player: st.player as u64,
+                joined_tick: st.joined_tick,
+                posts: st.posts,
+                served: st.served,
+            })
+            .collect();
+        let minted = reg.slots_minted() as u64;
+        let retired = reg.retired();
+        let live = reg.live_count() as u64;
+        drop(reg);
+        let players = (0..self.n())
+            .filter_map(|p| {
+                let probed = self.engine.probed_objects(p);
+                if probed.is_empty() {
+                    return None;
+                }
+                Some(PlayerDigest {
+                    player: p as u64,
+                    probes: self.engine.probes_of(p),
+                    memo: probed.into_iter().map(|j| j as u64).collect(),
+                })
+            })
+            .collect();
+        let snap = self.snapshot();
+        DigestParts {
+            tick: self.current_tick(),
+            seq: self.next_seq.load(Ordering::Relaxed),
+            shutdown: self.is_shutdown(),
+            minted,
+            retired,
+            live,
+            sessions,
+            players,
+            epoch: snap.epoch,
+            snap_tick: snap.tick,
+            snap_live: snap.live,
+            posts: snap
+                .posts
+                .iter()
+                .map(|(&j, cell)| {
+                    let entries = cell.entries.iter().map(|&(p, g)| (p as u64, g)).collect();
+                    (j, entries, cell.likes)
+                })
+                .collect(),
+        }
+    }
+
+    /// A deterministic rendering of the *control plane* only: tick/epoch
+    /// position, shutdown flag, and the session registry's bindings —
+    /// everything the relay replicates identically onto every shard.
+    /// Shard-local quantities (per-session posts/served ledgers, probe
+    /// memos, the board) are excluded, so in a healthy topology this
+    /// string — and its `fnv64` — is byte-identical on every shard
+    /// after every tick. The relay cross-checks exactly that as the
+    /// desync gate.
+    pub fn control_digest(&self) -> String {
         use std::fmt::Write as _;
         let reg = self.registry.lock();
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "state tick={} seq={} shutdown={} minted={} retired={} live={}",
+            "control tick={} epoch={} shutdown={} minted={} retired={} live={}",
             self.current_tick(),
-            self.next_seq.load(Ordering::Relaxed),
+            self.snapshot().epoch,
             self.is_shutdown(),
             reg.slots_minted(),
             reg.retired(),
@@ -791,28 +865,39 @@ impl Service {
         for (session, st) in reg.iter_open() {
             let _ = writeln!(
                 s,
-                "  session {session}: player={} joined={} posts={} served={}",
-                st.player, st.joined_tick, st.posts, st.served
+                "  session {session}: player={} joined={}",
+                st.player, st.joined_tick
             );
         }
-        for p in 0..self.n() {
-            let probed = self.engine.probed_objects(p);
-            if !probed.is_empty() {
-                let _ = writeln!(
-                    s,
-                    "  player {p}: probes={} memo={probed:?}",
-                    self.engine.probes_of(p)
-                );
-            }
-        }
-        drop(reg);
-        s.push_str(&self.snapshot().digest());
         s
+    }
+
+    /// The next sequence number this service would mint. On a freshly
+    /// recovered shard this is the resume point the relay collects at
+    /// handshake (it restarts global minting at the max across shards).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
     }
 
     /// Execute one batch tick (see module docs for the pipeline).
     /// Exactly one driver thread may call this at a time.
     pub fn tick(&self) -> TickReport {
+        self.tick_inner(false)
+    }
+
+    /// Like [`Service::tick`], but an empty drain still runs the full
+    /// execute path: the epoch advances and a fresh snapshot is sealed
+    /// (headers restamped, post cells carried over by `Arc` bump), and
+    /// a durable service logs an empty record. This is the shard tick:
+    /// the relay broadcasts every global tick to every shard, and a
+    /// shard whose sub-batch is empty must stay in epoch lockstep with
+    /// the rest of the topology (see `relay.rs`). Recovery replays
+    /// through this path for the same reason.
+    pub fn tick_sealed(&self) -> TickReport {
+        self.tick_inner(true)
+    }
+
+    fn tick_inner(&self, seal_empty: bool) -> TickReport {
         let staged = self.staged.lock().take();
         let (pb, remaining) = if let Some(mut pb) = staged {
             // A batch staged at the previous tick's barrier. Top it up
@@ -846,7 +931,7 @@ impl Service {
                 (batch, queue.len())
             };
             let tick_no = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-            if batch.is_empty() {
+            if batch.is_empty() && !seal_empty {
                 return TickReport {
                     tick: tick_no,
                     executed: 0,
@@ -855,7 +940,7 @@ impl Service {
                 };
             }
             let mut pb = PreparedBatch::new(tick_no, batch);
-            {
+            if !pb.batch.is_empty() {
                 let mut reg = self.registry.lock();
                 self.control_pass(&mut pb, &mut reg, 0);
             }
@@ -962,8 +1047,11 @@ impl Service {
 
         // Write-ahead: the canonical batch is durable (fsynced) before
         // anything executes. Replayed ticks are already on disk and are
-        // skipped by the writer's high-water mark; empty ticks are not
-        // logged at all (recovery fast-forwards over the gaps).
+        // skipped by the writer's high-water mark. Empty ticks reach
+        // this point only via `tick_sealed` (shard mode), which logs
+        // them as zero-entry records so replay re-seals every epoch;
+        // ordinary `tick` never logs empty ticks (recovery
+        // fast-forwards over the gaps).
         if let Some(d) = &self.durable {
             if d.error.lock().is_none() {
                 let entries: Vec<(u64, u64, &Request)> =
@@ -1240,6 +1328,202 @@ fn object_error(object: u32, m: usize) -> Response {
     Response::Error {
         code: ErrorCode::BadObject,
         detail: format!("object {object} out of range (m = {m})"),
+    }
+}
+
+/// One open session, as digested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionDigest {
+    /// Session handle.
+    pub session: SessionId,
+    /// Bound player slot.
+    pub player: u64,
+    /// Tick the session joined at.
+    pub joined_tick: u64,
+    /// Posts ledger (summed across shards when merging).
+    pub posts: u64,
+    /// Served ledger (summed across shards when merging).
+    pub served: u64,
+}
+
+/// One player's probe memo, as digested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlayerDigest {
+    /// Player slot.
+    pub player: u64,
+    /// Paid-probe counter.
+    pub probes: u64,
+    /// Probed objects, ascending.
+    pub memo: Vec<u64>,
+}
+
+/// One visible post as digested: `(object, entries (player, grade),
+/// likes)`.
+pub type DigestPost = (u32, Vec<(u64, bool)>, u32);
+
+/// The raw components of a [`Service::state_digest`], separable so the
+/// relay can merge per-shard parts (disjoint memos/posts union, ledgers
+/// sum, control fields assert-equal) and re-render one global digest
+/// through the same [`render_digest`] — byte-identity by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestParts {
+    /// Tick counter.
+    pub tick: u64,
+    /// Next sequence number to mint.
+    pub seq: u64,
+    /// Shutdown flag.
+    pub shutdown: bool,
+    /// Player slots ever minted.
+    pub minted: u64,
+    /// Sessions departed.
+    pub retired: u64,
+    /// Sessions open.
+    pub live: u64,
+    /// Open sessions in handle order.
+    pub sessions: Vec<SessionDigest>,
+    /// Players with non-empty memos, in slot order.
+    pub players: Vec<PlayerDigest>,
+    /// Sealed snapshot epoch.
+    pub epoch: u64,
+    /// Tick that sealed the snapshot.
+    pub snap_tick: u64,
+    /// Live count the snapshot sealed with.
+    pub snap_live: u32,
+    /// Visible posts in object order.
+    pub posts: Vec<DigestPost>,
+}
+
+/// Render digest parts exactly as [`Service::state_digest`] always has:
+/// state header, open sessions, probe memos, then the snapshot digest.
+/// The ranking line is recomputed from the posts (net likes descending,
+/// object id ascending on ties — the same order `BoardSnapshot`
+/// maintains), so merged parts rank globally with no extra plumbing.
+pub fn render_digest(parts: &DigestParts) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "state tick={} seq={} shutdown={} minted={} retired={} live={}",
+        parts.tick, parts.seq, parts.shutdown, parts.minted, parts.retired, parts.live,
+    );
+    for sess in &parts.sessions {
+        let _ = writeln!(
+            s,
+            "  session {}: player={} joined={} posts={} served={}",
+            sess.session, sess.player, sess.joined_tick, sess.posts, sess.served
+        );
+    }
+    for pl in &parts.players {
+        let _ = writeln!(
+            s,
+            "  player {}: probes={} memo={:?}",
+            pl.player, pl.probes, pl.memo
+        );
+    }
+    let _ = writeln!(
+        s,
+        "snapshot epoch={} tick={} live={} objects={}",
+        parts.epoch,
+        parts.snap_tick,
+        parts.snap_live,
+        parts.posts.len()
+    );
+    let mut scored: Vec<(i64, u32)> = Vec::with_capacity(parts.posts.len());
+    for (j, entries, likes) in &parts.posts {
+        let dislikes = entries.len() as u32 - likes;
+        let _ = writeln!(s, "  obj {j}: +{likes} -{dislikes} posts={}", entries.len());
+        scored.push((2 * i64::from(*likes) - entries.len() as i64, *j));
+    }
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let ranked: Vec<u32> = scored.into_iter().map(|(_, j)| j).collect();
+    let _ = writeln!(s, "  ranked: {ranked:?}");
+    s
+}
+
+/// What a serving backend looks like to the generic drivers (the load
+/// generator in `load.rs` and the TCP front in `tcp.rs`): the
+/// submit/tick surface of [`Service`], also implemented by the sharded
+/// relay handle (`relay::ShardedService`), so the exact same driver
+/// code runs single-process and sharded.
+pub trait Serving: Send + Sync {
+    /// Submit a request; exactly one `(id, response)` arrives on
+    /// `reply`.
+    fn submit(&self, id: u64, req: Request, reply: &ReplySender);
+    /// Enqueue a churn-teardown `Leave` for an abandoned session.
+    fn submit_teardown(&self, session: SessionId);
+    /// Execute one batch tick.
+    fn tick(&self);
+    /// Ticks executed so far.
+    fn current_tick(&self) -> u64;
+    /// Objects in the instance.
+    fn m(&self) -> usize;
+    /// Is a write-ahead log attached (directly, not via shards)?
+    fn is_durable(&self) -> bool;
+    /// Queued requests executed per tick.
+    fn batch_size(&self) -> usize;
+    /// Bounded queue capacity.
+    fn queue_capacity(&self) -> usize;
+    /// Upper bound on `Recommend` list length.
+    fn recommend_cap(&self) -> u16;
+    /// Has a shutdown been requested?
+    fn is_shutdown(&self) -> bool;
+    /// Request a shutdown from outside the protocol.
+    fn request_shutdown(&self);
+    /// Requests currently queued.
+    fn queue_len(&self) -> usize;
+    /// Requests served.
+    fn served_total(&self) -> u64;
+    /// Requests rejected with `Busy`.
+    fn rejected_total(&self) -> u64;
+    /// Sessions ever admitted.
+    fn sessions_minted(&self) -> usize;
+}
+
+impl Serving for Service {
+    fn submit(&self, id: u64, req: Request, reply: &ReplySender) {
+        Service::submit(self, id, req, reply);
+    }
+    fn submit_teardown(&self, session: SessionId) {
+        Service::submit_teardown(self, session);
+    }
+    fn tick(&self) {
+        let _ = Service::tick(self);
+    }
+    fn current_tick(&self) -> u64 {
+        Service::current_tick(self)
+    }
+    fn m(&self) -> usize {
+        Service::m(self)
+    }
+    fn is_durable(&self) -> bool {
+        Service::is_durable(self)
+    }
+    fn batch_size(&self) -> usize {
+        self.cfg.batch_size
+    }
+    fn queue_capacity(&self) -> usize {
+        self.cfg.queue_capacity
+    }
+    fn recommend_cap(&self) -> u16 {
+        self.cfg.recommend_cap
+    }
+    fn is_shutdown(&self) -> bool {
+        Service::is_shutdown(self)
+    }
+    fn request_shutdown(&self) {
+        Service::request_shutdown(self);
+    }
+    fn queue_len(&self) -> usize {
+        Service::queue_len(self)
+    }
+    fn served_total(&self) -> u64 {
+        Service::served_total(self)
+    }
+    fn rejected_total(&self) -> u64 {
+        Service::rejected_total(self)
+    }
+    fn sessions_minted(&self) -> usize {
+        Service::sessions_minted(self)
     }
 }
 

@@ -13,7 +13,7 @@
 //! for every session the connection had opened and not closed, so
 //! abandoned sessions never pin slots as phantom "live" players.
 
-use crate::service::Service;
+use crate::service::Serving;
 use crate::transport::{Transport, TransportError};
 use crate::wire::{
     decode_request, decode_response, encode_response, read_frame, ErrorCode, Request, Response,
@@ -33,6 +33,11 @@ pub struct ServeOptions {
     /// Stop after this many ticks (`0` = run until a `Shutdown`
     /// request arrives).
     pub max_ticks: u64,
+    /// Test seam: called after every tick with the running tick count.
+    /// A hook that panics simulates a ticker-thread crash (the
+    /// injected-panic test drives `ServeSummary::ticker_panic` through
+    /// it); `None` — the only production value — costs one branch.
+    pub tick_hook: Option<fn(u64)>,
 }
 
 impl Default for ServeOptions {
@@ -40,6 +45,7 @@ impl Default for ServeOptions {
         ServeOptions {
             tick_interval: Duration::from_millis(1),
             max_ticks: 0,
+            tick_hook: None,
         }
     }
 }
@@ -57,18 +63,23 @@ pub struct ServeSummary {
     pub sessions: usize,
     /// Both server threads joined without panicking.
     pub clean: bool,
+    /// The ticker thread's panic payload, if it died. When set, `ticks`
+    /// is 0 — the true count died with the thread — and `clean` is
+    /// false. The old `unwrap_or_else(|_| 0)` swallowed the payload and
+    /// reported the truncated count as if it were real.
+    pub ticker_panic: Option<String>,
 }
 
 /// A running TCP server: ticker + acceptor threads over a shared
-/// [`Service`].
-pub struct TcpServer {
+/// serving backend (a single-process `Service` or the sharded relay).
+pub struct TcpServer<S: Serving + 'static> {
     addr: std::net::SocketAddr,
     ticker: JoinHandle<u64>,
     acceptor: JoinHandle<()>,
-    svc: Arc<Service>,
+    svc: Arc<S>,
 }
 
-impl TcpServer {
+impl<S: Serving + 'static> TcpServer<S> {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.addr
@@ -78,10 +89,15 @@ impl TcpServer {
     /// threads are detached; they exit when their peer hangs up.
     pub fn join(self) -> ServeSummary {
         let mut clean = true;
-        let ticks = self.ticker.join().unwrap_or_else(|_| {
-            clean = false;
-            0
-        });
+        let mut ticker_panic = None;
+        let ticks = match self.ticker.join() {
+            Ok(ticks) => ticks,
+            Err(panic) => {
+                clean = false;
+                ticker_panic = Some(panic_message(panic.as_ref()));
+                0
+            }
+        };
         if self.acceptor.join().is_err() {
             clean = false;
         }
@@ -91,16 +107,29 @@ impl TcpServer {
             rejected: self.svc.rejected_total(),
             sessions: self.svc.sessions_minted(),
             clean,
+            ticker_panic,
         }
     }
 }
 
+/// Extract the human-readable payload `panic!` carries (a `&str` or
+/// `String` in practice; anything else gets a stable placeholder).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving.
-pub fn serve(
-    svc: Arc<Service>,
+pub fn serve<S: Serving + 'static>(
+    svc: Arc<S>,
     bind: &str,
     opts: ServeOptions,
-) -> Result<TcpServer, TransportError> {
+) -> Result<TcpServer<S>, TransportError> {
     let listener = TcpListener::bind(bind).map_err(io_err)?;
     let addr = listener.local_addr().map_err(io_err)?;
     listener.set_nonblocking(true).map_err(io_err)?;
@@ -109,7 +138,8 @@ pub fn serve(
         let svc = Arc::clone(&svc);
         let interval = opts.tick_interval;
         let max_ticks = opts.max_ticks;
-        thread::spawn(move || ticker_loop(&svc, interval, max_ticks))
+        let hook = opts.tick_hook;
+        thread::spawn(move || ticker_loop(&*svc, interval, max_ticks, hook))
     };
 
     let acceptor = {
@@ -121,7 +151,7 @@ pub fn serve(
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     let svc = Arc::clone(&svc);
-                    thread::spawn(move || handle_conn(&svc, stream));
+                    thread::spawn(move || handle_conn(&*svc, stream));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     thread::sleep(Duration::from_millis(1));
@@ -146,11 +176,19 @@ pub fn serve(
 /// loop below) or was refused with `ShuttingDown` — a request can no
 /// longer slip in between the emptiness check and the break and hang
 /// its client forever.
-fn ticker_loop(svc: &Service, interval: Duration, max_ticks: u64) -> u64 {
+fn ticker_loop<S: Serving>(
+    svc: &S,
+    interval: Duration,
+    max_ticks: u64,
+    hook: Option<fn(u64)>,
+) -> u64 {
     let mut ticks = 0u64;
     loop {
         svc.tick();
         ticks += 1;
+        if let Some(hook) = hook {
+            hook(ticks);
+        }
         if max_ticks > 0 && ticks >= max_ticks {
             svc.request_shutdown();
         }
@@ -167,7 +205,7 @@ fn ticker_loop(svc: &Service, interval: Duration, max_ticks: u64) -> u64 {
 }
 
 /// One connection: lockstep request/response over the framed stream.
-fn handle_conn(svc: &Arc<Service>, mut stream: TcpStream) {
+fn handle_conn<S: Serving>(svc: &S, mut stream: TcpStream) {
     let (tx, rx) = channel();
     let mut open: Vec<u64> = Vec::new();
     loop {
@@ -278,7 +316,7 @@ impl Transport for TcpTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::service::ServiceConfig;
+    use crate::service::{Service, ServiceConfig};
     use std::sync::mpsc::channel;
     use tmwia_model::generators::planted_community;
 
@@ -361,7 +399,7 @@ mod tests {
             &tx,
         );
 
-        ticker_loop(&svc, Duration::ZERO, 0);
+        ticker_loop(&*svc, Duration::ZERO, 0, None);
 
         assert_eq!(svc.queue_len(), 0, "ticker drained everything");
         let mut answered = 0;
@@ -369,5 +407,38 @@ mod tests {
             answered += 1;
         }
         assert_eq!(answered, 7, "every queued request was answered");
+    }
+
+    /// Regression for the swallowed ticker panic: `join` used to map a
+    /// panicked ticker to `ticks = 0` with `unwrap_or_else`, silently
+    /// reporting a truncated count as a normal summary. The panic
+    /// payload must surface in `ServeSummary::ticker_panic` and the
+    /// summary must be marked unclean.
+    #[test]
+    fn ticker_panic_surfaces_in_the_summary() {
+        let inst = planted_community(8, 8, 4, 2, 11);
+        let svc = Arc::new(
+            Service::new(inst.truth.clone(), ServiceConfig::default()).expect("valid config"),
+        );
+        let server = serve(
+            Arc::clone(&svc),
+            "127.0.0.1:0",
+            ServeOptions {
+                tick_interval: Duration::ZERO,
+                max_ticks: 0,
+                // Unconditional: the first tick must die before the
+                // shutdown below can let the ticker exit cleanly.
+                tick_hook: Some(|_| panic!("injected ticker panic")),
+            },
+        )
+        .expect("binds");
+        // The dead ticker can no longer observe a shutdown and drain;
+        // stop the acceptor directly so `join` completes.
+        svc.request_shutdown();
+        let summary = server.join();
+        assert!(!summary.clean);
+        assert_eq!(summary.ticks, 0, "the true count died with the thread");
+        let payload = summary.ticker_panic.expect("panic payload propagated");
+        assert!(payload.contains("injected ticker panic"), "{payload}");
     }
 }

@@ -46,6 +46,13 @@ pub const WAL_FILE: &str = "ticks.wal";
 /// Snapshot file name inside a WAL directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 
+/// Hard cap on entries in one tick record. Far above any real batch
+/// (a tick executes at most `batch_size` requests, a few hundred in
+/// practice) but comfortably under `u32::MAX`: the on-wire
+/// `count: u32` field can never wrap, and a corrupt count read back
+/// from disk can never drive a giant up-front allocation.
+pub const MAX_RECORD_ENTRIES: usize = 1 << 20;
+
 const HEADER_MAGIC: u32 = 0x4C57_4D54; // "TMWL" little-endian
 const RECORD_MAGIC: u32 = 0x4352_4B54; // "TKRC"
 const SNAPSHOT_MAGIC: u32 = 0x5353_4D54; // "TMSS"
@@ -113,6 +120,14 @@ pub enum WalError {
         /// Value the recovering service was configured with.
         configured: u64,
     },
+    /// A tick batch exceeded [`MAX_RECORD_ENTRIES`]; encoding it would
+    /// wrap the record's `u32` entry count and corrupt the log.
+    OversizedBatch {
+        /// How many entries the rejected batch held.
+        entries: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for WalError {
@@ -127,6 +142,10 @@ impl std::fmt::Display for WalError {
             } => write!(
                 f,
                 "wal config mismatch: {field} is {on_disk} on disk but {configured} configured"
+            ),
+            WalError::OversizedBatch { entries, max } => write!(
+                f,
+                "wal record rejected: {entries} entries exceeds the {max}-entry cap"
             ),
         }
     }
@@ -228,6 +247,11 @@ fn parse_record(bytes: &[u8], pos: usize) -> Option<(TickRecord, usize)> {
     }
     let tick = t.u64().ok()?;
     let count = t.u32().ok()? as usize;
+    if count > MAX_RECORD_ENTRIES {
+        // No writer produces such a record (append rejects the batch),
+        // so a huge count is corruption — treat it as a torn tail.
+        return None;
+    }
     let mut entries = Vec::with_capacity(count.min(4096));
     for _ in 0..count {
         let seq = t.u64().ok()?;
@@ -392,6 +416,12 @@ impl WalWriter {
     pub fn append(&mut self, tick: u64, entries: &[(u64, u64, &Request)]) -> Result<(), WalError> {
         if tick <= self.logged_through {
             return Ok(());
+        }
+        if entries.len() > MAX_RECORD_ENTRIES {
+            return Err(WalError::OversizedBatch {
+                entries: entries.len(),
+                max: MAX_RECORD_ENTRIES,
+            });
         }
         let rec = encode_record(tick, entries);
         self.file.write_all(&rec).map_err(|e| io_err(&e))?;
@@ -658,6 +688,52 @@ mod tests {
                 "bit flip at byte {i} must not parse"
             );
         }
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_before_touching_the_log() {
+        let dir = std::env::temp_dir().join(format!("tmwia-wal-oversize-{}", std::process::id()));
+        let header = WalHeader {
+            seed: 1,
+            batch_size: 4,
+            n: 2,
+            m: 2,
+        };
+        let (mut w, _) = WalWriter::open(&dir, &header).expect("fresh log opens");
+        let req = Request::Join;
+        let oversized: Vec<(u64, u64, &Request)> = (0..=MAX_RECORD_ENTRIES as u64)
+            .map(|i| (i, i, &req))
+            .collect();
+        assert_eq!(
+            w.append(1, &oversized),
+            Err(WalError::OversizedBatch {
+                entries: MAX_RECORD_ENTRIES + 1,
+                max: MAX_RECORD_ENTRIES,
+            })
+        );
+        // The rejection happened before any bytes hit the file: the log
+        // is still empty and a normal append at the same tick succeeds.
+        assert_eq!(w.logged_through(), 0);
+        w.append(1, &[(0, 7, &req)]).expect("normal append works");
+        assert_eq!(w.logged_through(), 1);
+        let (_, contents) = WalWriter::open(&dir, &header).expect("reopens");
+        assert_eq!(contents.records.len(), 1);
+        assert_eq!(contents.records[0].entries.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_giant_entry_count_reads_as_torn_tail() {
+        let req = Request::Join;
+        let mut bytes = encode_record(1, &[(0, 0, &req)]);
+        // Rewrite the count field (offset 12, after magic + tick) to a
+        // value above the cap and re-seal the CRC so only the guard —
+        // not the checksum — can reject it.
+        let body_len = bytes.len() - 4;
+        bytes[12..16].copy_from_slice(&((MAX_RECORD_ENTRIES as u32 + 1).to_le_bytes()));
+        let crc = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        assert!(parse_record(&bytes, 0).is_none());
     }
 
     #[test]

@@ -28,6 +28,12 @@ use tmwia_model::matrix::ObjectId;
 /// allocate gigabytes.
 pub const MAX_FRAME: usize = 1 << 16;
 
+/// Frame cap for the relay ↔ shard control channel. Shard batches and
+/// digest exchanges bundle many client-sized messages into one frame,
+/// so the internal link gets a larger (but still hard) ceiling than
+/// the public client protocol.
+pub const SHARD_MAX_FRAME: usize = 1 << 22;
+
 /// Opaque session handle minted by the registry (never 0).
 pub type SessionId = u64;
 
@@ -215,7 +221,9 @@ pub enum WireError {
         /// Bytes that were left.
         have: usize,
     },
-    /// The length prefix exceeds [`MAX_FRAME`].
+    /// The length prefix exceeds the stream's frame cap ([`MAX_FRAME`]
+    /// on client connections, [`SHARD_MAX_FRAME`] on relay ↔ shard
+    /// links).
     FrameTooLarge {
         /// Claimed body length.
         len: usize,
@@ -258,7 +266,7 @@ impl std::fmt::Display for WireError {
                 )
             }
             WireError::FrameTooLarge { len } => {
-                write!(f, "frame body of {len} bytes exceeds cap {MAX_FRAME}")
+                write!(f, "frame body of {len} bytes exceeds the frame cap")
             }
             WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
             WireError::BadEnum { what, value } => {
@@ -654,6 +662,15 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
 /// prefix stripped. `Ok(None)` signals a clean EOF *between* frames
 /// (the peer closed the connection); EOF mid-frame is an error.
 pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, WireError> {
+    read_frame_capped(r, MAX_FRAME)
+}
+
+/// [`read_frame`] with an explicit frame cap; relay ↔ shard links pass
+/// [`SHARD_MAX_FRAME`] for their larger batched frames.
+pub fn read_frame_capped(
+    r: &mut impl std::io::Read,
+    cap: usize,
+) -> Result<Option<Vec<u8>>, WireError> {
     let mut first = [0u8; 1];
     loop {
         match r.read(&mut first) {
@@ -667,7 +684,7 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, WireErr
     r.read_exact(&mut rest)
         .map_err(|e| WireError::Io(e.to_string()))?;
     let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
-    if len > MAX_FRAME {
+    if len > cap {
         return Err(WireError::FrameTooLarge { len });
     }
     let mut body = vec![0u8; len];

@@ -19,7 +19,7 @@ fn full_session_lifecycle_over_tcp() {
         "127.0.0.1:0",
         ServeOptions {
             tick_interval: Duration::from_millis(1),
-            max_ticks: 0,
+            ..ServeOptions::default()
         },
     )
     .expect("bind ephemeral port");
