@@ -30,17 +30,21 @@ use tmwia_model::generators::planted_community;
 use tmwia_model::kernel::DistanceKernel;
 use tmwia_model::rng::{derive, splitmix64};
 use tmwia_model::BitVec;
+use tmwia_obs::metrics::namespace_fingerprint;
+use tmwia_obs::{LatencyHistogram, MetricSnapshot, Scope, METRICS};
 use tmwia_service::wal::{fnv64, WalHeader, WalWriter};
 use tmwia_service::{
     run_deterministic, BoardSnapshot, ClientMix, LoadConfig, Request, Service, ServiceConfig,
 };
-use tmwia_sim::LatencyHistogram;
 
 use tmwia_billboard::{Billboard, LivenessEpoch, PlayerId};
 
 /// JSON schema version stamped into every report. Bump on any change
 /// to the document layout; `compare` refuses cross-version baselines.
-pub const SCHEMA: u64 = 1;
+/// v2: per-workload `"metrics"` objects sourced from the obs registry
+/// (the same deterministic counters `tmwia load --metrics-out` exports)
+/// plus the top-level name-space fingerprint.
+pub const SCHEMA: u64 = 2;
 
 /// Harness parameters.
 #[derive(Debug, Clone)]
@@ -131,6 +135,11 @@ struct WorkloadResult {
     p99: u64,
     max: u64,
     state_fnv64: u64,
+    /// The service's obs registry after the run — the workload-scoped
+    /// slice is rendered into the deterministic prefix, so a counter
+    /// drifting (a probe silently double-charged, a read skipped) fails
+    /// the `--compare` gate exactly like a state-digest change.
+    metrics: MetricSnapshot,
     wall_ns: u128,
 }
 
@@ -235,6 +244,7 @@ fn run_workload(spec: &WorkloadSpec, seed: u64) -> Result<WorkloadResult, String
         p99,
         max: hist.max(),
         state_fnv64: fnv64(svc.state_digest().as_bytes()),
+        metrics: svc.obs_report().metrics,
         wall_ns,
     })
 }
@@ -441,6 +451,11 @@ impl BenchReport {
             "  \"config_fingerprint\": \"{:016x}\",",
             self.config_fingerprint()
         );
+        let _ = writeln!(
+            s,
+            "  \"metrics_namespace_fnv64\": \"{:016x}\",",
+            namespace_fingerprint()
+        );
         let _ = writeln!(s, "  \"workloads\": [");
         for (i, w) in self.workloads.iter().enumerate() {
             let comma = if i + 1 < self.workloads.len() {
@@ -463,7 +478,15 @@ impl BenchReport {
                 "      \"tick_latency\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},",
                 w.p50, w.p90, w.p99, w.max
             );
-            let _ = writeln!(s, "      \"state_fnv64\": \"{:016x}\"", w.state_fnv64);
+            let _ = writeln!(s, "      \"state_fnv64\": \"{:016x}\",", w.state_fnv64);
+            // The workload-scoped registry slice, in the static sorted
+            // name-space order (deterministic, so inside the prefix).
+            let body = (0..METRICS.len())
+                .filter(|&i| METRICS[i].scope == Scope::Workload)
+                .map(|i| format!("\"{}\": {}", METRICS[i].name, w.metrics.values()[i]))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(s, "      \"metrics\": {{{body}}}");
             let _ = writeln!(s, "    }}{comma}");
         }
         let _ = writeln!(s, "  ],");
@@ -977,6 +1000,18 @@ mod tests {
             Some(SCHEMA as f64)
         );
         assert!(matches!(doc.get("workloads"), Some(Json::Arr(v)) if !v.is_empty()));
+        // Every workload carries its registry slice, inside the
+        // deterministic prefix (so `compare` gates on it).
+        let Some(Json::Arr(wls)) = doc.get("workloads") else {
+            panic!("workloads")
+        };
+        for w in wls {
+            let m = w.get("metrics").expect("workload metrics object");
+            assert!(m.get("probes_paid").and_then(Json::as_num).is_some());
+            assert!(m.get("ticks_executed").and_then(Json::as_num).is_some());
+        }
+        assert!(deterministic_prefix(&text).contains("\"metrics\": {"));
+        assert!(text.contains("\"metrics_namespace_fnv64\""));
     }
 
     #[test]
@@ -992,7 +1027,7 @@ mod tests {
         let text = quick_report(7, "garbage").render();
         assert!(compare(&text, "not json at all", 10.0).is_err());
         assert!(compare(&text, "{\"x\": 1}", 10.0).is_err());
-        let wrong_schema = text.replace("\"schema\": 1", "\"schema\": 999");
+        let wrong_schema = text.replace(&format!("\"schema\": {SCHEMA}"), "\"schema\": 999");
         assert!(compare(&text, &wrong_schema, 10.0).is_err());
     }
 

@@ -10,6 +10,7 @@ pub struct Args {
     pub command: Option<String>,
     flags: BTreeMap<String, String>,
     switches: Vec<String>,
+    positionals: Vec<String>,
 }
 
 /// Parse errors.
@@ -62,8 +63,11 @@ impl Args {
                 }
             } else if out.command.is_none() {
                 out.command = Some(a);
+            } else {
+                // Kept for commands with positional operands
+                // (`tmwia stats ADDR`); others ignore them.
+                out.positionals.push(a);
             }
-            // Extra positionals are ignored.
         }
         Ok(out)
     }
@@ -99,6 +103,11 @@ impl Args {
     pub fn has(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)
     }
+
+    /// Positional operand after the subcommand, if any.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +126,16 @@ mod tests {
         assert_eq!(a.str_or("kind", "x"), "planted");
         assert!(a.has("theory"));
         assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn positionals_after_the_subcommand_are_kept_in_order() {
+        let a = parse("stats 127.0.0.1:4206 extra --quiet").unwrap();
+        assert_eq!(a.command.as_deref(), Some("stats"));
+        assert_eq!(a.positional(0), Some("127.0.0.1:4206"));
+        assert_eq!(a.positional(1), Some("extra"));
+        assert_eq!(a.positional(2), None);
+        assert!(a.has("quiet"));
     }
 
     #[test]

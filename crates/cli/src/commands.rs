@@ -91,7 +91,7 @@ USAGE:
                     by default)
   tmwia serve      [--port 4206] [--batch 64] [--queue 256] [--seed 1]
                    [--max-ticks 0] [--tick-ms 1] [--wal-dir DIR]
-                   [--snapshot-every 64] [--shards N]
+                   [--snapshot-every 64] [--shards N] [--metrics-out FILE]
                    (generation flags as above)
                    — serve the billboard over TCP; --max-ticks 0 runs
                     until a Shutdown request; --port 0 picks an
@@ -104,11 +104,14 @@ USAGE:
                     state-free relay (seeded object partition, per-tick
                     control-checksum desync gate); with --wal-dir each
                     shard logs to DIR/shard-i and a relay restart
-                    re-handshakes and resumes from the shards' WALs
+                    re-handshakes and resumes from the shards' WALs;
+                    --metrics-out writes the final obs registry export
+                    (deterministic fields first, wall-clock quarantined
+                    in a trailing \"timing\" object) as JSON on shutdown
   tmwia load       [--sessions 8] [--requests 32] [--seed 1]
                    [--mix probe=0.6,post=0.2,read=0.1,recommend=0.1]
                    [--addr HOST:PORT] [--shutdown] [--wal-dir DIR]
-                   [--halt-after 0] [--shards N]
+                   [--halt-after 0] [--shards N] [--metrics-out FILE]
                    — closed-loop load generator. With --addr: drive a
                     live server over TCP (wall-clock latencies; add
                     --shutdown to stop the server afterwards). Without:
@@ -120,7 +123,16 @@ USAGE:
                     abandons the run after R rounds to simulate a crash;
                     --shards N drives an in-process sharded topology —
                     identical output plus a trailing shardsum/shardstate
-                    checksum block
+                    checksum block; --metrics-out writes the driven
+                    topology's merged obs registry as JSON — its
+                    workload section is byte-identical across thread
+                    pools AND shard counts (CI diffs it)
+  tmwia stats      ADDR | --addr HOST:PORT
+                   — query a live server's metric registry over TCP;
+                    against `serve --shards N` the relay answers with
+                    the deterministic merge of every shard's registry
+                    (Sum/Max per metric, name-space fingerprint
+                    checked)
   tmwia bench      [--label smoke] [--seed 20060730] [--scale quick|full]
                    [--out FILE] [--compare BASELINE.json]
                    [--threshold-pct 25] [--scenario core|shard]
@@ -569,6 +581,78 @@ fn recovery_line(report: &tmwia_service::RecoveryReport, ms: u128) -> String {
     )
 }
 
+/// Honour `--metrics-out FILE`: write the obs export document (built
+/// lazily — most runs never ask for it) and return the line to print,
+/// or `None` when the flag is absent.
+fn metrics_out_line(
+    args: &Args,
+    render: impl FnOnce() -> String,
+) -> Result<Option<String>, CliError> {
+    let Ok(path) = args.str_req("metrics-out") else {
+        return Ok(None);
+    };
+    std::fs::write(&path, render()).map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+    Ok(Some(format!("metrics written to {path}\n")))
+}
+
+/// Query a live server's metric registry over TCP (the `tmwia stats`
+/// backend, also reused by `tmwia load --addr … --metrics-out`). The
+/// name-space fingerprint is verified before zipping values onto
+/// names, so version skew is a typed error, never a mislabelled table.
+fn fetch_remote_metrics(addr: &str) -> Result<tmwia_obs::MetricSnapshot, CliError> {
+    use tmwia_service::{Request, Response, TcpTransport, Transport as _};
+    let mut t = TcpTransport::connect(addr)
+        .map_err(|e| CliError::Other(format!("connecting {addr}: {e}")))?;
+    t.send(0, &Request::Metrics)
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    let (_, resp) = t.recv().map_err(|e| CliError::Other(e.to_string()))?;
+    match resp {
+        Response::Metrics { namespace, values } => {
+            let expected = tmwia_obs::metrics::namespace_fingerprint();
+            if namespace != expected {
+                return Err(CliError::Other(format!(
+                    "metric name space mismatch: server {namespace:016x}, \
+                     client {expected:016x} (version skew)"
+                )));
+            }
+            tmwia_obs::MetricSnapshot::from_values(values).ok_or_else(|| {
+                CliError::Other("metric value vector length does not match the name space".into())
+            })
+        }
+        other => Err(CliError::Other(format!(
+            "unexpected reply to a Metrics request: {other:?}"
+        ))),
+    }
+}
+
+/// `tmwia stats` — print a live server's metric registry, grouped by
+/// scope in the static sorted name-space order.
+pub fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    use tmwia_obs::{Scope, METRICS};
+    let addr = match args.positional(0) {
+        Some(a) => a.to_string(),
+        None => args.str_req("addr").map_err(|_| {
+            CliError::Other("stats needs an address: `tmwia stats HOST:PORT`".into())
+        })?,
+    };
+    let snap = fetch_remote_metrics(&addr)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "metrics from {addr} (namespace fnv64 {:016x})",
+        tmwia_obs::metrics::namespace_fingerprint()
+    );
+    for (section, scope) in [("workload", Scope::Workload), ("node", Scope::Node)] {
+        let _ = writeln!(out, "{section}:");
+        for (i, def) in METRICS.iter().enumerate() {
+            if def.scope == scope {
+                let _ = writeln!(out, "  {}: {}", def.name, snap.values()[i]);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Parse `--shards` when present. `None` means no flag (single-process
 /// path); `--shards 1` still runs through the relay, which is what the
 /// equivalence checks in CI diff against.
@@ -674,6 +758,11 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     };
     let (svc, report, recovery_ms) = build_service(args, false)?;
     let svc = std::sync::Arc::new(svc);
+    // The CLI is the operational boundary: the only place a wall clock
+    // is injected into a registry. Library and test paths never install
+    // one, so their event timestamps stay 0 and reproducible.
+    svc.obs()
+        .install_clock(tmwia_obs::timing::wall_clock_micros);
     let (n, m) = (svc.n(), svc.m());
     let server = serve(
         std::sync::Arc::clone(&svc),
@@ -709,6 +798,11 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(out, "clean shutdown");
     } else {
         let _ = writeln!(out, "unclean shutdown (a server thread panicked)");
+    }
+    if let Some(line) = metrics_out_line(args, || {
+        tmwia_obs::render(&summary.obs, tmwia_obs::timing::wall_clock_micros())
+    })? {
+        out.push_str(&line);
     }
     Ok(out)
 }
@@ -872,6 +966,13 @@ fn cmd_serve_sharded(args: &Args, shards: usize) -> Result<String, CliError> {
     } else {
         let _ = writeln!(out, "unclean shutdown (a server thread panicked)");
     }
+    // `summary.obs` is the merged cross-shard registry, captured before
+    // the links were dropped.
+    if let Some(line) = metrics_out_line(args, || {
+        tmwia_obs::render(&summary.obs, tmwia_obs::timing::wall_clock_micros())
+    })? {
+        out.push_str(&line);
+    }
     Ok(out)
 }
 
@@ -897,8 +998,8 @@ fn cmd_shard(args: &Args) -> Result<String, CliError> {
 
 /// `tmwia load` — the closed-loop load generator.
 pub fn cmd_load(args: &Args) -> Result<String, CliError> {
+    use tmwia_obs::{LatencyHistogram, LoadReport};
     use tmwia_service::{run_deterministic, run_durable, run_tcp, ClientMix, LoadConfig};
-    use tmwia_sim::LatencyHistogram;
     let mix_spec = args.str_or("mix", "probe=0.6,post=0.2,read=0.1,recommend=0.1");
     let mix = ClientMix::parse(&mix_spec).map_err(CliError::Other)?;
     let cfg = LoadConfig {
@@ -923,29 +1024,44 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
         cfg.seed
     );
     if let Ok(addr) = args.str_req("addr") {
-        // TCP mode: wall-clock latencies against a live server.
+        // TCP mode: wall-clock latencies against a live server. With
+        // --metrics-out the server's (merged, for a sharded topology)
+        // registry is queried after the run and exported alongside the
+        // load section.
         let res = run_tcp(&addr, &cfg).map_err(|e| CliError::Other(e.to_string()))?;
         let mut hist = LatencyHistogram::new();
         hist.record_all(res.samples.iter().copied());
-        let (p50, p90, p99) = hist.percentiles();
-        let wall = res.wall_micros.unwrap_or(0).max(1);
-        let throughput = res.submitted as f64 / (wall as f64 / 1e6);
-        let _ = writeln!(
-            out,
-            "submitted {} ok {} busy {} errors {}",
-            res.submitted, res.ok, res.busy, res.errors
-        );
-        let _ = writeln!(
-            out,
-            "wall {:.1} ms, throughput {throughput:.0} req/s",
-            wall as f64 / 1e3
-        );
-        let _ = writeln!(
-            out,
-            "latency us: p50 {p50} p90 {p90} p99 {p99} max {} mean {:.1}",
-            hist.max(),
-            hist.mean()
-        );
+        let obs = if args.str_req("metrics-out").is_ok() {
+            tmwia_obs::ObsReport {
+                metrics: fetch_remote_metrics(&addr)?,
+                ..tmwia_obs::ObsReport::default()
+            }
+        } else {
+            tmwia_obs::ObsReport::default()
+        };
+        let report = LoadReport {
+            submitted: res.submitted,
+            ok: res.ok,
+            busy: res.busy,
+            errors: res.errors,
+            ticks: None,
+            latency_unit: "us",
+            hist,
+            by_kind: res
+                .by_kind
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            state_fnv64: None,
+            wall_micros: res.wall_micros,
+            obs,
+        };
+        out.push_str(&report.render_text());
+        if let Some(line) = metrics_out_line(args, || {
+            report.render_json(tmwia_obs::timing::wall_clock_micros())
+        })? {
+            out.push_str(&line);
+        }
         if args.has("shutdown") {
             use tmwia_service::{Request, TcpTransport, Transport as _};
             let mut t = TcpTransport::connect(&addr).map_err(|e| CliError::Other(e.to_string()))?;
@@ -963,7 +1079,7 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
         // the same driver runs against an in-process sharded topology,
         // and everything except the appended shardsum/shardstate
         // checksum lines must be byte-identical to the single process.
-        let (res, state_fnv, wal_line, checksums) = if let Some(shards) = shards_flag(args)? {
+        let (res, state_fnv, wal_line, checksums, obs) = if let Some(shards) = shards_flag(args)? {
             if args.str_req("wal-dir").is_ok() {
                 return Err(CliError::Other(
                     "--wal-dir does not combine with in-process --shards \
@@ -971,6 +1087,7 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
                         .into(),
                 ));
             }
+            use tmwia_service::Serving as _;
             let (services, relay_cfg) = build_shard_services(args, shards)?;
             let topo = tmwia_service::spawn_local(services, relay_cfg)
                 .map_err(|e| CliError::Other(e.to_string()))?;
@@ -983,6 +1100,9 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
                 .merged_state_digest()
                 .map_err(|e| CliError::Other(e.to_string()))?;
             let checksums = topo.service.checksum_log();
+            // The merged cross-shard registry, captured while the shard
+            // links are still up.
+            let obs = topo.service.obs_report();
             for result in topo.shutdown() {
                 result.map_err(|e| CliError::Other(format!("shard worker failed: {e}")))?;
             }
@@ -991,6 +1111,7 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
                 tmwia_service::wal::fnv64(digest.as_bytes()),
                 None,
                 checksums,
+                obs,
             )
         } else {
             let (svc, report, recovery_ms) = build_service(args, true)?;
@@ -1009,31 +1130,37 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
                 tmwia_service::wal::fnv64(svc.state_digest().as_bytes()),
                 svc.wal_health(),
                 Vec::new(),
+                svc.obs_report(),
             )
         };
         let mut hist = LatencyHistogram::new();
         hist.record_all(res.samples.iter().copied());
-        let (p50, p90, p99) = hist.percentiles();
-        let _ = writeln!(
-            out,
-            "submitted {} ok {} busy {} errors {} over {} ticks",
-            res.submitted, res.ok, res.busy, res.errors, res.ticks
-        );
-        let _ = writeln!(
-            out,
-            "latency ticks: p50 {p50} p90 {p90} p99 {p99} max {} mean {:.2}",
-            hist.max(),
-            hist.mean()
-        );
-        for (kind, count) in &res.by_kind {
-            let _ = writeln!(out, "  {kind}: {count}");
-        }
-        // A fingerprint of the full durable state (registry, memos,
-        // snapshot): recovery is correct iff a resumed run prints the
-        // same line as an uninterrupted one, and a sharded run is
-        // correct iff its merged digest prints the same line as the
-        // single process.
-        let _ = writeln!(out, "state fnv64 {state_fnv:016x}");
+        // Assemble the one LoadReport both renderings project from —
+        // the human text is byte-compatible with the historical format
+        // (pinned by the byte-identity tests below).
+        let report = LoadReport {
+            submitted: res.submitted,
+            ok: res.ok,
+            busy: res.busy,
+            errors: res.errors,
+            ticks: Some(res.ticks),
+            latency_unit: "ticks",
+            hist,
+            by_kind: res
+                .by_kind
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            // A fingerprint of the full durable state (registry, memos,
+            // snapshot): recovery is correct iff a resumed run prints
+            // the same line as an uninterrupted one, and a sharded run
+            // is correct iff its merged digest prints the same line as
+            // the single process.
+            state_fnv64: Some(state_fnv),
+            wall_micros: None,
+            obs,
+        };
+        out.push_str(&report.render_text());
         if let Some(err) = wal_line {
             let _ = writeln!(out, "wal: persistence FAILED and stopped: {err}");
         }
@@ -1044,6 +1171,11 @@ pub fn cmd_load(args: &Args) -> Result<String, CliError> {
         // single-process run only have to filter a trailing block.
         for line in checksums {
             let _ = writeln!(out, "{line}");
+        }
+        if let Some(line) = metrics_out_line(args, || {
+            report.render_json(tmwia_obs::timing::wall_clock_micros())
+        })? {
+            out.push_str(&line);
         }
     }
     Ok(out)
@@ -1199,6 +1331,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         // `tmwia serve --shards N` — not part of the public surface.
         Some("shard") => cmd_shard(args),
         Some("load") => cmd_load(args),
+        Some("stats") => cmd_stats(args),
         Some("bench") => cmd_bench(args),
         Some("inspect") => {
             let inst = load_or_generate(args)?;
@@ -1384,6 +1517,74 @@ mod tests {
         assert!(cmd_load(&parse("load --n 16 --m 16 --shards 0")).is_err());
         assert!(cmd_load(&parse("load --n 16 --m 16 --shards x")).is_err());
         assert!(cmd_load(&parse("load --n 16 --m 16 --shards 65")).is_err());
+    }
+
+    #[test]
+    fn load_metrics_out_workload_section_is_topology_invariant() {
+        let dir = std::env::temp_dir().join(format!("tmwia-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = "load --kind planted --n 24 --m 24 --k 12 --d 2 \
+                    --sessions 4 --requests 10 --batch 16 --queue 64";
+        let single = dir.join("single.json");
+        let sharded = dir.join("sharded.json");
+        let out = cmd_load(&parse(&format!(
+            "{base} --metrics-out {}",
+            single.display()
+        )))
+        .unwrap();
+        assert!(out.contains("metrics written to "), "{out}");
+        cmd_load(&parse(&format!(
+            "{base} --shards 3 --metrics-out {}",
+            sharded.display()
+        )))
+        .unwrap();
+        let a = std::fs::read_to_string(&single).unwrap();
+        let b = std::fs::read_to_string(&sharded).unwrap();
+        assert!(a.contains("\"obs_schema\""), "{a}");
+        assert!(a.contains("\"ticks_executed\""), "{a}");
+        // The load section and every workload-scoped metric merge to
+        // the single-process values byte-for-byte; only the node
+        // section, events, and timing may differ across topologies.
+        assert_eq!(
+            tmwia_obs::workload_prefix(&a),
+            tmwia_obs::workload_prefix(&b),
+            "workload metrics must not depend on the shard count"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_queries_a_live_server() {
+        use tmwia_service::{serve, Request, ServeOptions, TcpTransport, Transport as _};
+        let (svc, _, _) = build_service(
+            &parse("serve --kind planted --n 16 --m 16 --k 8 --d 2"),
+            false,
+        )
+        .unwrap();
+        let svc = std::sync::Arc::new(svc);
+        let server = serve(
+            std::sync::Arc::clone(&svc),
+            "127.0.0.1:0",
+            ServeOptions {
+                tick_interval: std::time::Duration::from_millis(1),
+                max_ticks: 0,
+                tick_hook: None,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        // Positional and --addr forms both work.
+        let out = cmd_stats(&parse(&format!("stats {addr}"))).unwrap();
+        assert!(out.contains("workload:"), "{out}");
+        assert!(out.contains("node:"), "{out}");
+        assert!(out.contains("  reads_served: "), "{out}");
+        let out2 = cmd_stats(&parse(&format!("stats --addr {addr}"))).unwrap();
+        assert!(out2.contains("  wal_fsyncs: "), "{out2}");
+        let mut t = TcpTransport::connect(&addr).unwrap();
+        t.send(0, &Request::Shutdown).unwrap();
+        let _ = t.recv();
+        server.join();
+        assert!(cmd_stats(&parse("stats")).is_err(), "address is required");
     }
 
     #[test]

@@ -72,6 +72,7 @@ impl Config {
                     "crates/baselines/src".into(),
                     "crates/billboard/src".into(),
                     "crates/sim/src".into(),
+                    "crates/obs/src".into(),
                     "crates/service/src".into(),
                     "crates/cli/src".into(),
                     "crates/lint/src".into(),
@@ -96,10 +97,18 @@ impl Config {
                     "crates/baselines/src".into(),
                     "crates/billboard/src".into(),
                     "crates/sim/src".into(),
+                    "crates/obs/src".into(),
                     "crates/service/src".into(),
                     "crates/lint/src".into(),
                     "src".into(),
                 ],
+                ..RuleScope::default()
+            },
+        );
+        rules.insert(
+            "obs-timing".to_string(),
+            RuleScope {
+                include: vec!["crates/obs/src".into(), "crates/service/src".into()],
                 ..RuleScope::default()
             },
         );

@@ -81,6 +81,12 @@ pub const RULES: &[(&str, &str)] = &[
          outside tests",
     ),
     (
+        "obs-timing",
+        "on obs-instrumented paths the only wall-clock read is the quarantined \
+         sink `tmwia_obs::timing::wall_clock_micros`, and `install_clock` may \
+         be called only at the operational boundary (the CLI)",
+    ),
+    (
         "oracle-taint",
         "no call chain from an algorithm crate may reach the hidden truth \
          (`ProbeEngine::truth`, `PrefMatrix` row/value accessors, \
@@ -229,6 +235,34 @@ pub fn determinism(sig: &Sig<'_>, test_mask: &[bool], out: &mut Vec<RawFinding>)
             _ => continue,
         };
         out.push(RawFinding::new("determinism", sig.line(i), message));
+    }
+}
+
+/// `obs-timing`: metric exports are compared byte-for-byte across
+/// topologies, which only works because every timestamp flows through
+/// one quarantined sink. Library code on an obs-instrumented path must
+/// not read a wall clock directly, and must not install a clock into a
+/// registry — that is the CLI's privilege at the operational boundary.
+pub fn obs_timing(sig: &Sig<'_>, test_mask: &[bool], out: &mut Vec<RawFinding>) {
+    for i in 0..sig.toks.len() {
+        if test_mask[sig.toks[i].0] {
+            continue;
+        }
+        let Some(id) = sig.ident(i) else { continue };
+        let message = match id {
+            "Instant" | "SystemTime" => format!(
+                "wall-clock read (`{id}`) outside the quarantined timing sink; \
+                 route time through `tmwia_obs::timing::wall_clock_micros` so \
+                 exports stay byte-comparable"
+            ),
+            "install_clock" if is_call(sig, i, "install_clock") => {
+                "`install_clock` outside the operational boundary; only the CLI \
+                 may make registry timestamps non-zero"
+                    .to_string()
+            }
+            _ => continue,
+        };
+        out.push(RawFinding::new("obs-timing", sig.line(i), message));
     }
 }
 

@@ -246,6 +246,7 @@ fn scan_file(path: &str, toks: &[Token], config: &Config) -> (Vec<RawFinding>, F
             "determinism" => rules::determinism(&sig, &mask, &mut raw),
             "unsafe-hygiene" => rules::unsafe_hygiene(toks, &sig, &mask, &mut raw),
             "panic-hygiene" => rules::panic_hygiene(&sig, &mask, &mut raw),
+            "obs-timing" => rules::obs_timing(&sig, &mask, &mut raw),
             "wal-protocol" => rules::wal_protocol(&sig, &ast, &mut raw),
             r if GRAPH_RULES.contains(&r) => {} // workspace pass
             other => raw.push(RawFinding {

@@ -21,21 +21,24 @@ fn workspace_root() -> PathBuf {
         .expect("workspace root")
 }
 
-/// Scan a fixture under a pseudo-path inside `crates/core/src`, which
-/// the default config covers with all four rule families.
-fn scan(name: &str) -> Vec<(String, u32)> {
+/// Scan a fixture under a pseudo-path inside `dir`, so each test can
+/// pick the scope (rule set) the fixture is meant to exercise.
+fn scan_at(dir: &str, name: &str) -> Vec<(String, u32)> {
     let src = std::fs::read_to_string(crate_dir().join("tests/fixtures").join(name))
         .expect("fixture readable");
-    let mut found: Vec<(String, u32)> = scan_source(
-        &format!("crates/core/src/{name}"),
-        &src,
-        &Config::default_workspace(),
-    )
-    .into_iter()
-    .map(|f| (f.rule, f.line))
-    .collect();
+    let mut found: Vec<(String, u32)> =
+        scan_source(&format!("{dir}/{name}"), &src, &Config::default_workspace())
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect();
     found.sort();
     found
+}
+
+/// Scan a fixture under a pseudo-path inside `crates/core/src`, which
+/// the default config covers with all four original rule families.
+fn scan(name: &str) -> Vec<(String, u32)> {
+    scan_at("crates/core/src", name)
 }
 
 fn all_rule(rule: &str, lines: &[u32]) -> Vec<(String, u32)> {
@@ -80,6 +83,24 @@ fn panic_hygiene_fixture_exact_findings() {
         all_rule("panic-hygiene", &[4, 6])
     );
     assert_eq!(scan("panic_clean.rs"), vec![]);
+}
+
+#[test]
+fn obs_timing_fixture_exact_findings() {
+    // Scanned under `crates/obs/src`, where both obs-timing and
+    // determinism apply. Line 2: `install_clock` call; line 3:
+    // `SystemTime` (flagged by both rules).
+    assert_eq!(
+        scan_at("crates/obs/src", "obs_timing_violation.rs"),
+        vec![
+            ("determinism".to_string(), 3),
+            ("obs-timing".to_string(), 2),
+            ("obs-timing".to_string(), 3),
+        ]
+    );
+    // The clean fixture *defines* `install_clock` — definitions are
+    // not calls, so the boundary rule stays quiet.
+    assert_eq!(scan_at("crates/obs/src", "obs_timing_clean.rs"), vec![]);
 }
 
 #[test]
@@ -135,6 +156,7 @@ fn binary_exits_nonzero_on_violating_fixtures() {
         "determinism",
         "unsafe-hygiene",
         "panic-hygiene",
+        "obs-timing",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }

@@ -1,0 +1,9 @@
+pub fn stamp(clock: Option<fn() -> u64>) -> u64 {
+    clock.map(|c| c()).unwrap_or(0)
+}
+
+pub struct Registry;
+
+impl Registry {
+    pub fn install_clock(&self, _clock: fn() -> u64) {}
+}

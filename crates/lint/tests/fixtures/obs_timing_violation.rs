@@ -1,0 +1,5 @@
+pub fn bad_export(reg: &Registry) -> u64 {
+    reg.install_clock(now_micros);
+    let t = std::time::SystemTime::now();
+    t.duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0)
+}

@@ -1,0 +1,180 @@
+//! The structured event trace.
+//!
+//! Events are typed, their payloads are deterministic (tick numbers,
+//! digests, byte counts — never clocks), and they are recorded only
+//! from serial sections so the trace order is a pure function of the
+//! request stream. The wall-clock timestamp lives *next to* the event
+//! ([`TracedEvent`]), stamped by the registry's injected clock, and is
+//! exported only inside the trailing `"timing"` object — the event
+//! payload itself never carries time.
+
+/// One structured event. Every field is deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A batch tick's snapshot was sealed and its responses delivered.
+    TickSealed {
+        /// The sealed tick.
+        tick: u64,
+        /// The liveness epoch the seal observed.
+        epoch: u64,
+    },
+    /// A full board snapshot was written to the WAL directory.
+    SnapshotWritten {
+        /// The tick the snapshot captures.
+        tick: u64,
+    },
+    /// Recovery dropped a torn tail from the write-ahead log.
+    WalTruncatedTail {
+        /// Torn bytes discarded.
+        bytes: u64,
+    },
+    /// The relay completed a handshake with one shard.
+    ShardHandshake {
+        /// The shard's index in the topology.
+        shard: u32,
+        /// The position the topology resumed at after the handshake.
+        resume_tick: u64,
+    },
+    /// The relay's checksum gate latched a desync fault.
+    DesyncLatched {
+        /// The tick whose checksums disagreed.
+        tick: u64,
+        /// The disagreeing shard.
+        shard: u32,
+        /// That shard's control-digest fnv64.
+        got: u64,
+        /// Shard 0's control-digest fnv64 (the reference).
+        want: u64,
+    },
+    /// A WAL recovery replayed a span of logged ticks.
+    RecoveryReplay {
+        /// First tick replayed (exclusive snapshot floor).
+        from_tick: u64,
+        /// Last tick replayed.
+        to_tick: u64,
+        /// Requests re-executed across the span.
+        requests: u64,
+    },
+}
+
+impl Event {
+    /// The event's export name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TickSealed { .. } => "tick_sealed",
+            Event::SnapshotWritten { .. } => "snapshot_written",
+            Event::WalTruncatedTail { .. } => "wal_truncated_tail",
+            Event::ShardHandshake { .. } => "shard_handshake",
+            Event::DesyncLatched { .. } => "desync_latched",
+            Event::RecoveryReplay { .. } => "recovery_replay",
+        }
+    }
+
+    /// The deterministic JSON object for this event (no timestamp —
+    /// that is quarantined in the export's trailing `"timing"`).
+    /// Digests render as fixed-width hex to match the CLI's
+    /// `{:016x}` digest convention.
+    pub fn render_deterministic(&self) -> String {
+        match self {
+            Event::TickSealed { tick, epoch } => {
+                format!("{{\"kind\": \"tick_sealed\", \"tick\": {tick}, \"epoch\": {epoch}}}")
+            }
+            Event::SnapshotWritten { tick } => {
+                format!("{{\"kind\": \"snapshot_written\", \"tick\": {tick}}}")
+            }
+            Event::WalTruncatedTail { bytes } => {
+                format!("{{\"kind\": \"wal_truncated_tail\", \"bytes\": {bytes}}}")
+            }
+            Event::ShardHandshake { shard, resume_tick } => format!(
+                "{{\"kind\": \"shard_handshake\", \"shard\": {shard}, \"resume_tick\": {resume_tick}}}"
+            ),
+            Event::DesyncLatched {
+                tick,
+                shard,
+                got,
+                want,
+            } => format!(
+                "{{\"kind\": \"desync_latched\", \"tick\": {tick}, \"shard\": {shard}, \
+                 \"got\": \"{got:016x}\", \"want\": \"{want:016x}\"}}"
+            ),
+            Event::RecoveryReplay {
+                from_tick,
+                to_tick,
+                requests,
+            } => format!(
+                "{{\"kind\": \"recovery_replay\", \"from_tick\": {from_tick}, \
+                 \"to_tick\": {to_tick}, \"requests\": {requests}}}"
+            ),
+        }
+    }
+}
+
+/// An event plus the wall-clock instant it was recorded at (0 when no
+/// clock is installed — the library/test default).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedEvent {
+    /// The deterministic payload.
+    pub event: Event,
+    /// Microseconds since the Unix epoch, or 0 without a clock.
+    pub timestamp_micros: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_renders_its_fields() {
+        let cases: Vec<(Event, &[&str])> = vec![
+            (
+                Event::TickSealed { tick: 7, epoch: 2 },
+                &["tick_sealed", "\"tick\": 7", "\"epoch\": 2"],
+            ),
+            (
+                Event::SnapshotWritten { tick: 64 },
+                &["snapshot_written", "\"tick\": 64"],
+            ),
+            (
+                Event::WalTruncatedTail { bytes: 17 },
+                &["wal_truncated_tail", "\"bytes\": 17"],
+            ),
+            (
+                Event::ShardHandshake {
+                    shard: 3,
+                    resume_tick: 12,
+                },
+                &["shard_handshake", "\"shard\": 3", "\"resume_tick\": 12"],
+            ),
+            (
+                Event::DesyncLatched {
+                    tick: 9,
+                    shard: 1,
+                    got: 0xdead,
+                    want: 0xbeef,
+                },
+                &[
+                    "desync_latched",
+                    "\"tick\": 9",
+                    "\"got\": \"000000000000dead\"",
+                    "\"want\": \"000000000000beef\"",
+                ],
+            ),
+            (
+                Event::RecoveryReplay {
+                    from_tick: 4,
+                    to_tick: 11,
+                    requests: 30,
+                },
+                &["recovery_replay", "\"from_tick\": 4", "\"requests\": 30"],
+            ),
+        ];
+        for (event, needles) in cases {
+            let json = event.render_deterministic();
+            assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+            assert!(!json.contains("micros"), "no time in payloads: {json}");
+            for needle in needles {
+                assert!(json.contains(needle), "{json} missing {needle}");
+            }
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! JSON export of a registry, following the bench-report convention:
+//! deterministic fields first, wall-clock data confined to one
+//! trailing `"timing"` object that is always the last top-level key.
+//!
+//! Two prefix helpers slice an export for byte-diff gates:
+//! [`deterministic_prefix`] drops the `"timing"` object (everything
+//! left is byte-identical across thread pools for a fixed topology),
+//! and [`workload_prefix`] additionally drops the `"node"` section and
+//! the event trace (everything left is byte-identical across *shard
+//! counts* too — the cross-topology gate CI enforces).
+
+use crate::histogram::LatencyHistogram;
+use crate::metrics::{namespace_fingerprint, ObsReport, Scope, METRICS};
+use std::fmt::Write as _;
+
+/// Export document schema version.
+pub const OBS_SCHEMA: u32 = 1;
+
+/// Escape a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a registry report as a standalone export document.
+pub fn render(report: &ObsReport, exported_at_micros: u64) -> String {
+    render_doc(None, report, exported_at_micros)
+}
+
+/// Everything up to (excluding) the trailing `"timing"` object:
+/// byte-identical across thread pools for a fixed topology.
+pub fn deterministic_prefix(text: &str) -> &str {
+    match text.find("\n  \"timing\":") {
+        Some(i) => &text[..i + 1],
+        None => text,
+    }
+}
+
+/// Everything up to (excluding) the `"node"` section (and therefore
+/// also the events and timing that follow it): byte-identical across
+/// shard counts as well — the cross-topology determinism gate.
+pub fn workload_prefix(text: &str) -> &str {
+    match text.find("\n  \"node\":") {
+        Some(i) => &text[..i + 1],
+        None => text,
+    }
+}
+
+/// The load generator's full report: every number both the human text
+/// and the `--metrics-out` JSON print, held once so the two renderings
+/// can never disagree (they are projections of the same struct).
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests refused with `Busy`.
+    pub busy: u64,
+    /// Requests that errored.
+    pub errors: u64,
+    /// Ticks the run took — `None` in TCP mode, where the driver
+    /// cannot observe the server's tick counter race-free.
+    pub ticks: Option<u64>,
+    /// Latency unit: `"ticks"` in-process, `"us"` over TCP.
+    pub latency_unit: &'static str,
+    /// The recorded latencies.
+    pub hist: LatencyHistogram,
+    /// Per-kind request counts, already name-sorted.
+    pub by_kind: Vec<(String, u64)>,
+    /// fnv64 of the full state digest — `None` in TCP mode.
+    pub state_fnv64: Option<u64>,
+    /// Wall-clock run time — TCP mode only (quarantined in `timing`).
+    pub wall_micros: Option<u64>,
+    /// The driven topology's merged registry report.
+    pub obs: ObsReport,
+}
+
+impl LoadReport {
+    /// The human report block, byte-compatible with the historical
+    /// `tmwia load` output (pinned by the cli byte-identity tests).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let (p50, p90, p99) = self.hist.percentiles();
+        match self.ticks {
+            Some(ticks) => {
+                let _ = writeln!(
+                    out,
+                    "submitted {} ok {} busy {} errors {} over {ticks} ticks",
+                    self.submitted, self.ok, self.busy, self.errors
+                );
+                let _ = writeln!(
+                    out,
+                    "latency {}: p50 {p50} p90 {p90} p99 {p99} max {} mean {:.2}",
+                    self.latency_unit,
+                    self.hist.max(),
+                    self.hist.mean()
+                );
+                for (kind, count) in &self.by_kind {
+                    let _ = writeln!(out, "  {kind}: {count}");
+                }
+                if let Some(fnv) = self.state_fnv64 {
+                    let _ = writeln!(out, "state fnv64 {fnv:016x}");
+                }
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "submitted {} ok {} busy {} errors {}",
+                    self.submitted, self.ok, self.busy, self.errors
+                );
+                let wall = self.wall_micros.unwrap_or(0).max(1);
+                let throughput = self.submitted as f64 / (wall as f64 / 1e6);
+                let _ = writeln!(
+                    out,
+                    "wall {:.1} ms, throughput {throughput:.0} req/s",
+                    wall as f64 / 1e3
+                );
+                let _ = writeln!(
+                    out,
+                    "latency {}: p50 {p50} p90 {p90} p99 {p99} max {} mean {:.1}",
+                    self.latency_unit,
+                    self.hist.max(),
+                    self.hist.mean()
+                );
+            }
+        }
+        out
+    }
+
+    /// The `--metrics-out` JSON document (a full registry export with
+    /// a leading `"load"` section).
+    pub fn render_json(&self, exported_at_micros: u64) -> String {
+        render_doc(Some(self), &self.obs, exported_at_micros)
+    }
+}
+
+fn render_doc(load: Option<&LoadReport>, obs: &ObsReport, exported_at_micros: u64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"obs_schema\": {OBS_SCHEMA},");
+    let _ = writeln!(
+        s,
+        "  \"namespace_fnv64\": \"{:016x}\",",
+        namespace_fingerprint()
+    );
+    if let Some(load) = load {
+        let (p50, p90, p99) = load.hist.percentiles();
+        s.push_str("  \"load\": {\n");
+        let _ = writeln!(s, "    \"submitted\": {},", load.submitted);
+        let _ = writeln!(s, "    \"ok\": {},", load.ok);
+        let _ = writeln!(s, "    \"busy\": {},", load.busy);
+        let _ = writeln!(s, "    \"errors\": {},", load.errors);
+        if let Some(ticks) = load.ticks {
+            let _ = writeln!(s, "    \"ticks\": {ticks},");
+        }
+        let _ = writeln!(s, "    \"latency_unit\": \"{}\",", esc(load.latency_unit));
+        let _ = writeln!(
+            s,
+            "    \"latency\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \
+             \"max\": {}, \"mean\": {:.4}}},",
+            load.hist.max(),
+            load.hist.mean()
+        );
+        let _ = write!(
+            s,
+            "    \"by_kind\": {{{}}}",
+            load.by_kind
+                .iter()
+                .map(|(kind, count)| format!("\"{}\": {count}", esc(kind)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        if load.state_fnv64.is_some() {
+            s.push_str(",\n");
+        } else {
+            s.push('\n');
+        }
+        if let Some(fnv) = load.state_fnv64 {
+            let _ = writeln!(s, "    \"state_fnv64\": \"{fnv:016x}\"");
+        }
+        s.push_str("  },\n");
+    }
+    for (section, scope) in [("workload", Scope::Workload), ("node", Scope::Node)] {
+        let _ = writeln!(s, "  \"{section}\": {{");
+        let in_scope: Vec<usize> = (0..METRICS.len())
+            .filter(|&i| METRICS[i].scope == scope)
+            .collect();
+        for (pos, &i) in in_scope.iter().enumerate() {
+            let comma = if pos + 1 < in_scope.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    \"{}\": {}{comma}",
+                METRICS[i].name,
+                obs.metrics.values()[i]
+            );
+        }
+        s.push_str("  },\n");
+    }
+    s.push_str("  \"events\": [");
+    for (i, e) in obs.events.iter().enumerate() {
+        let comma = if i + 1 < obs.events.len() { "," } else { "" };
+        let _ = write!(s, "\n    {}{comma}", e.event.render_deterministic());
+    }
+    if obs.events.is_empty() {
+        s.push_str("],\n");
+    } else {
+        s.push_str("\n  ],\n");
+    }
+    let _ = writeln!(s, "  \"events_dropped\": {},", obs.events_dropped);
+    // Everything wall-clock lives below this line, nothing above it.
+    s.push_str("  \"timing\": {\n");
+    let _ = writeln!(s, "    \"exported_at_micros\": {exported_at_micros},");
+    if let Some(wall) = load.and_then(|l| l.wall_micros) {
+        let _ = writeln!(s, "    \"wall_micros\": {wall},");
+    }
+    let _ = writeln!(
+        s,
+        "    \"event_micros\": [{}]",
+        obs.events
+            .iter()
+            .map(|e| e.timestamp_micros.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Event;
+    use crate::metrics::{MetricId, Registry};
+
+    fn sample_report() -> ObsReport {
+        let r = Registry::new();
+        r.add(MetricId::ProbesPaid, 12);
+        r.inc(MetricId::TicksExecuted);
+        r.add(MetricId::WalBytes, 4_096);
+        r.record(Event::TickSealed { tick: 1, epoch: 0 });
+        r.record(Event::SnapshotWritten { tick: 1 });
+        r.parts()
+    }
+
+    #[test]
+    fn timing_is_the_last_top_level_key() {
+        let json = render(&sample_report(), 123);
+        let timing_at = json.find("\n  \"timing\":").expect("timing present");
+        // No top-level key opens after "timing".
+        assert!(!json[timing_at + 1..].contains("\n  \""), "{json}");
+        // And it is present exactly once.
+        assert_eq!(json.matches("\"timing\":").count(), 1, "{json}");
+    }
+
+    #[test]
+    fn deterministic_prefix_drops_every_timestamp() {
+        let report = sample_report();
+        let with_clock = render(&report, 999_999);
+        let without = render(&report, 0);
+        assert_ne!(with_clock, without, "the timestamp is in the document");
+        assert_eq!(
+            deterministic_prefix(&with_clock),
+            deterministic_prefix(&without),
+            "…but never in the deterministic prefix"
+        );
+        assert!(deterministic_prefix(&with_clock).contains("\"probes_paid\": 12"));
+        assert!(deterministic_prefix(&with_clock).contains("\"tick_sealed\""));
+    }
+
+    #[test]
+    fn workload_prefix_drops_node_events_and_timing() {
+        let json = render(&sample_report(), 7);
+        let prefix = workload_prefix(&json);
+        assert!(prefix.contains("\"workload\":"), "{prefix}");
+        assert!(prefix.contains("\"probes_paid\": 12"), "{prefix}");
+        assert!(!prefix.contains("\"node\":"), "{prefix}");
+        assert!(!prefix.contains("\"wal_bytes\""), "{prefix}");
+        assert!(!prefix.contains("\"events\""), "{prefix}");
+        assert!(!prefix.contains("\"timing\""), "{prefix}");
+    }
+
+    #[test]
+    fn sections_list_the_full_sorted_name_space() {
+        let json = render(&ObsReport::default(), 0);
+        for d in METRICS {
+            assert!(
+                json.contains(&format!("\"{}\": 0", d.name)),
+                "{} missing",
+                d.name
+            );
+        }
+        // Workload names appear before any node name.
+        let node_at = json.find("\"node\":").unwrap();
+        for d in METRICS.iter().filter(|d| d.scope == Scope::Workload) {
+            assert!(json.find(&format!("\"{}\"", d.name)).unwrap() < node_at);
+        }
+    }
+
+    #[test]
+    fn empty_event_trace_renders_an_empty_array() {
+        let json = render(&ObsReport::default(), 0);
+        assert!(json.contains("\"events\": []"), "{json}");
+        assert!(json.contains("\"event_micros\": []"), "{json}");
+        assert!(json.contains("\"events_dropped\": 0"), "{json}");
+    }
+
+    fn sample_load_report() -> LoadReport {
+        let mut hist = LatencyHistogram::new();
+        hist.record_all([1, 2, 2, 3]);
+        LoadReport {
+            submitted: 40,
+            ok: 38,
+            busy: 2,
+            errors: 0,
+            ticks: Some(9),
+            latency_unit: "ticks",
+            hist,
+            by_kind: vec![("probe".into(), 30), ("read".into(), 10)],
+            state_fnv64: Some(0xabcd),
+            wall_micros: None,
+            obs: sample_report(),
+        }
+    }
+
+    #[test]
+    fn load_text_matches_the_historical_format() {
+        let text = sample_load_report().render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "submitted 40 ok 38 busy 2 errors 0 over 9 ticks");
+        assert_eq!(lines[1], "latency ticks: p50 2 p90 3 p99 3 max 3 mean 2.00");
+        assert_eq!(lines[2], "  probe: 30");
+        assert_eq!(lines[3], "  read: 10");
+        assert_eq!(lines[4], "state fnv64 000000000000abcd");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn load_tcp_text_matches_the_historical_format() {
+        let mut report = sample_load_report();
+        report.ticks = None;
+        report.latency_unit = "us";
+        report.state_fnv64 = None;
+        report.wall_micros = Some(2_000_000); // 2 s → 20 req/s
+        let text = report.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "submitted 40 ok 38 busy 2 errors 0");
+        assert_eq!(lines[1], "wall 2000.0 ms, throughput 20 req/s");
+        assert_eq!(lines[2], "latency us: p50 2 p90 3 p99 3 max 3 mean 2.0");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn load_json_and_text_project_the_same_numbers() {
+        let report = sample_load_report();
+        let json = report.render_json(0);
+        assert!(json.contains("\"submitted\": 40"), "{json}");
+        assert!(json.contains("\"busy\": 2"), "{json}");
+        assert!(json.contains("\"ticks\": 9"), "{json}");
+        assert!(
+            json.contains("\"by_kind\": {\"probe\": 30, \"read\": 10}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"state_fnv64\": \"000000000000abcd\""),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "\"latency\": {\"p50\": 2, \"p90\": 3, \"p99\": 3, \"max\": 3, \"mean\": 2.0000}"
+            ),
+            "{json}"
+        );
+        // The load section sits inside the workload prefix: it is part
+        // of the cross-topology byte-diff gate.
+        assert!(workload_prefix(&json).contains("\"load\":"), "{json}");
+        // TCP wall time is quarantined: only inside "timing".
+        let mut tcp = report.clone();
+        tcp.wall_micros = Some(55);
+        let json = tcp.render_json(0);
+        let timing_at = json.find("\"timing\":").unwrap();
+        assert!(
+            json.find("\"wall_micros\": 55").unwrap() > timing_at,
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn esc_handles_quotes_and_control_chars() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a\"b"), "a\\\"b");
+        assert_eq!(esc("a\\b"), "a\\\\b");
+        assert_eq!(esc("a\nb"), "a\\nb");
+        assert_eq!(esc("a\u{1}b"), "a\\u0001b");
+    }
+}

@@ -1,0 +1,252 @@
+//! The shared latency histogram (moved here from `tmwia-sim`, which
+//! re-exports it: service, bench, and cli all consume it, and it
+//! belongs with the rest of the observability vocabulary).
+
+/// A latency histogram with fixed log₂ buckets *and* retained samples.
+///
+/// The 64 power-of-two buckets give a mergeable shape summary (bucket
+/// `b` holds samples whose value needs `b` bits, i.e. `v ∈ [2^(b−1),
+/// 2^b)` for `b ≥ 1`, with bucket 0 holding zeros); the retained raw
+/// samples give **exact** nearest-rank percentiles, which is what the
+/// serving-layer reports print. Units are the caller's — the load
+/// generator records ticks in-process and microseconds over TCP.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    samples: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        // Not derivable: `Default` for arrays stops at 32 elements.
+        LatencyHistogram {
+            buckets: [0; 64],
+            samples: Vec::new(),
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize; // bits needed; 0 for v == 0
+        self.buckets[b.min(63)] += 1;
+        self.samples.push(v);
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record a batch.
+    pub fn record_all<I: IntoIterator<Item = u64>>(&mut self, vs: I) {
+        for v in vs {
+            self.record(v);
+        }
+    }
+
+    /// Fold another histogram in (same units assumed).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in log₂ bucket `b` (samples needing `b` bits).
+    pub fn bucket(&self, b: usize) -> u64 {
+        self.buckets.get(b).copied().unwrap_or(0)
+    }
+
+    /// Exact nearest-rank percentile, `q ∈ [0, 100]`. Returns 0 when
+    /// empty. Exact because it sorts the retained samples rather than
+    /// interpolating the buckets.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Self::rank(&sorted, q)
+    }
+
+    /// `(p50, p90, p99)` with a single sort.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        if self.samples.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        (
+            Self::rank(&sorted, 50.0),
+            Self::rank(&sorted, 90.0),
+            Self::rank(&sorted, 99.0),
+        )
+    }
+
+    /// Nearest-rank selection over a sorted slice.
+    fn rank(sorted: &[u64], q: f64) -> u64 {
+        let n = sorted.len();
+        let rank = ((q / 100.0) * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record_all(1..=100u64);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(90.0), 90);
+        assert_eq!(h.percentile(99.0), 99);
+        assert_eq!(h.percentiles(), (50, 90, 99));
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1: [1, 2)
+        h.record(2); // bucket 2: [2, 4)
+        h.record(3); // bucket 2
+        h.record(4); // bucket 3: [4, 8)
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 2);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.bucket(63), 0);
+        h.record(u64::MAX); // saturates into the top bucket
+        assert_eq!(h.bucket(63), 1);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        a.record_all([5, 10, 20]);
+        b.record_all([1, 100]);
+        whole.record_all([5, 10, 20, 1, 100]);
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.percentiles(), whole.percentiles());
+        assert_eq!(a.max(), whole.max());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        for bkt in 0..64 {
+            assert_eq!(a.bucket(bkt), whole.bucket(bkt), "bucket {bkt}");
+        }
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentiles(), (0, 0, 0));
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentiles(), (42, 42, 42));
+        assert_eq!(h.percentile(1.0), 42);
+        assert_eq!(h.percentile(100.0), 42);
+        assert_eq!(h.max(), 42);
+        assert!((h.mean() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_all_equal_samples_collapse() {
+        let mut h = LatencyHistogram::new();
+        h.record_all(std::iter::repeat_n(7u64, 1000));
+        assert_eq!(h.percentiles(), (7, 7, 7));
+        assert_eq!(h.max(), 7);
+        assert!((h.mean() - 7.0).abs() < 1e-12);
+        // All 1000 land in one log₂ bucket: 7 needs 3 bits.
+        assert_eq!(h.bucket(3), 1000);
+    }
+
+    #[test]
+    fn histogram_small_n_nearest_rank_is_exact() {
+        // Nearest rank: rank = ceil(q/100 · n), clamped to [1, n].
+        // n = 2: p50 → rank 1, p90/p99 → rank 2.
+        let mut h = LatencyHistogram::new();
+        h.record_all([10, 20]);
+        assert_eq!(h.percentiles(), (10, 20, 20));
+        // n = 3: p50 → rank 2 (ceil(1.5)), p90 → rank 3 (ceil(2.7)).
+        let mut h = LatencyHistogram::new();
+        h.record_all([30, 10, 20]); // insertion order must not matter
+        assert_eq!(h.percentiles(), (20, 30, 30));
+        // n = 10: p50 → rank 5, p90 → rank 9, p99 → rank 10.
+        let mut h = LatencyHistogram::new();
+        h.record_all((1..=10u64).rev());
+        assert_eq!(h.percentiles(), (5, 9, 10));
+        // n = 4, p25 → rank 1 exactly (q/100 · n is integral).
+        let mut h = LatencyHistogram::new();
+        h.record_all([1, 2, 3, 4]);
+        assert_eq!(h.percentile(25.0), 1);
+        assert_eq!(h.percentile(75.0), 3);
+    }
+
+    #[test]
+    fn histogram_extreme_values_saturate_without_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        // The running sum saturates at u64::MAX instead of wrapping,
+        // so the mean under-reports (MAX/3 here) but never goes
+        // negative or tiny the way a wrapped sum would.
+        assert_eq!(h.max(), u64::MAX);
+        assert!((h.mean() - u64::MAX as f64 / 3.0).abs() < 1.0);
+        assert!(h.mean() > 0.0 && h.mean() <= h.max() as f64);
+        // Sorted [MAX-1, MAX, MAX]: p50 → rank ceil(1.5) = 2 → MAX.
+        assert_eq!(h.percentiles(), (u64::MAX, u64::MAX, u64::MAX));
+        // Both giants land in the saturating top bucket.
+        assert_eq!(h.bucket(63), 3);
+        // Percentile queries outside [0, 100] clamp to the extremes
+        // instead of indexing out of bounds.
+        assert_eq!(h.percentile(0.0), u64::MAX - 1);
+        assert_eq!(h.percentile(1000.0), u64::MAX);
+    }
+}

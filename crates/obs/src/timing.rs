@@ -1,0 +1,31 @@
+//! The quarantined wall-clock sink.
+//!
+//! This module holds the **only** sanctioned wall-clock read on the
+//! obs-instrumented paths (the `obs-timing` lint rule enforces that;
+//! see `tmwia-lint.toml`). Everything else reaches time exclusively
+//! through a `fn() -> u64` pointer installed by the operational
+//! boundary — library code and tests never install one, so their
+//! timestamps are 0 and their exports are byte-reproducible.
+
+/// Microseconds since the Unix epoch. Install this into a
+/// [`crate::Registry`] (via `install_clock`) only at an operational
+/// boundary — a CLI command, never a library or test path.
+pub fn wall_clock_micros() -> u64 {
+    // lint:allow(determinism) this is the one quarantined timing sink
+    std::time::SystemTime::now() // lint:allow(obs-timing) this function IS the sink
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_sane() {
+        let t = wall_clock_micros();
+        // After 2020-01-01 and before 2100-01-01, in microseconds.
+        assert!(t > 1_577_836_800_000_000, "{t}");
+        assert!(t < 4_102_444_800_000_000, "{t}");
+    }
+}

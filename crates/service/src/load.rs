@@ -337,6 +337,7 @@ fn resp_brief(resp: &Response) -> String {
         } => format!("board obj={object} +{likes} -{dislikes}"),
         Response::Recommended { objects, .. } => format!("rec {objects:?}"),
         Response::Stats { .. } => "stats".into(),
+        Response::Metrics { values, .. } => format!("metrics n={}", values.len()),
         Response::Busy { retry_after_ticks } => format!("busy retry={retry_after_ticks}"),
         Response::Error { code, detail } => format!("error {code:?}: {detail}"),
         Response::ShuttingDown => "shutting-down".into(),
@@ -749,7 +750,7 @@ const TCP_RETRY_CAP: usize = 100;
 /// thread per session. Latencies are wall-clock microseconds.
 pub fn run_tcp(addr: &str, cfg: &LoadConfig) -> Result<LoadOutcome, TransportError> {
     // lint:allow(determinism) wall-clock timing is the point of the TCP driver; the deterministic driver never touches Instant
-    let started = std::time::Instant::now();
+    let started = std::time::Instant::now(); // lint:allow(obs-timing) wall time is the TCP driver's measurement, not a registry timestamp
     let mut handles = Vec::with_capacity(cfg.sessions);
     for c in 0..cfg.sessions {
         let addr = addr.to_string();
@@ -797,7 +798,7 @@ fn tcp_client(addr: &str, cfg: &LoadConfig, c: u64) -> Result<LoadOutcome, Trans
         );
         let id = (c << 32) | (round as u64 + 1);
         // lint:allow(determinism) TCP latency measurement
-        let t0 = std::time::Instant::now();
+        let t0 = std::time::Instant::now(); // lint:allow(obs-timing) per-request latency sample, never exported as deterministic
         let mut resp;
         let mut attempts = 0usize;
         loop {

@@ -72,6 +72,8 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use tmwia_model::partition::uniform_parts;
 use tmwia_model::rng::{rng_for, tags};
+use tmwia_obs::metrics::namespace_fingerprint;
+use tmwia_obs::{Event, MetricId, MetricSnapshot, ObsReport, Registry as ObsRegistry};
 
 /// Typed failures of the sharded topology.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -202,6 +204,11 @@ pub struct Relay<L: ShardLink> {
     rejected: u64,
     minted: u64,
     checksums: Vec<String>,
+    /// The relay's own registry: topology metrics (batches, rank
+    /// merges, handshakes, latched desyncs) plus the front-end's share
+    /// of the workload counters (rejections, tick position). Merged
+    /// with the per-shard registries for the global report.
+    obs: ObsRegistry,
 }
 
 fn wire(e: WireError) -> ShardError {
@@ -292,6 +299,15 @@ impl<L: ShardLink> Relay<L> {
         let tick = ends.iter().map(|e| e.tick).max().unwrap_or(0);
         let epoch = ends.iter().map(|e| e.epoch).max().unwrap_or(0);
         let next_seq = ends.iter().map(|e| e.next_seq).max().unwrap_or(0);
+        let obs = ObsRegistry::new();
+        obs.set_max(MetricId::TicksExecuted, tick);
+        for e in &ends {
+            obs.inc(MetricId::ShardHandshakes);
+            obs.record(Event::ShardHandshake {
+                shard: e.shard,
+                resume_tick: tick,
+            });
+        }
         // Catch 1-tick laggards up with an empty sealed tick. Wider
         // gaps mean whole broadcast batches are gone with the old
         // relay's memory — undetectable data loss if we resumed — so
@@ -370,6 +386,7 @@ impl<L: ShardLink> Relay<L> {
             rejected: 0,
             minted: 0,
             checksums: Vec::new(),
+            obs,
         })
     }
 
@@ -416,6 +433,9 @@ impl<L: ShardLink> Relay<L> {
                 let _ = reply.send((id, resp));
             }
             Request::Recommend { count } => {
+                // `recommends_served` is stamped by every shard's rank
+                // handler (Max merge); the relay only counts its merge.
+                self.obs.inc(MetricId::RelayRankMerges);
                 let take = count.min(self.cfg.recommend_cap);
                 let mut merged: Vec<(u32, i64)> = Vec::new();
                 let mut epoch: Option<u64> = None;
@@ -501,6 +521,20 @@ impl<L: ShardLink> Relay<L> {
                     },
                 ));
             }
+            Request::Metrics => {
+                // Counts itself, like Stats; the answer is the merged
+                // cross-shard registry, so a sharded front-end reports
+                // the same global values a single process would.
+                self.served += 1;
+                let merged = self.merged_metrics()?;
+                let _ = reply.send((
+                    id,
+                    Response::Metrics {
+                        namespace: namespace_fingerprint(),
+                        values: merged.values().to_vec(),
+                    },
+                ));
+            }
             Request::Join
             | Request::Leave { .. }
             | Request::Probe { .. }
@@ -512,6 +546,7 @@ impl<L: ShardLink> Relay<L> {
                 }
                 if self.queue.len() >= self.cfg.queue_capacity {
                     self.rejected += 1;
+                    self.obs.inc(MetricId::RequestsRejected);
                     let _ = reply.send((
                         id,
                         Response::Busy {
@@ -576,6 +611,10 @@ impl<L: ShardLink> Relay<L> {
     /// over the gap with the next non-empty batch.
     pub fn tick(&mut self) -> Result<(), ShardError> {
         self.tick += 1;
+        // Position, not throughput: the same `set_max` the single
+        // process applies, so the Max merge across relay and shards
+        // reproduces the single-process value exactly.
+        self.obs.set_max(MetricId::TicksExecuted, self.tick);
         let take = self.cfg.batch_size.min(self.queue.len());
         if take == 0 {
             return Ok(());
@@ -595,7 +634,10 @@ impl<L: ShardLink> Relay<L> {
                     }
                 }
                 // Reads are never queued.
-                Request::Read { .. } | Request::Recommend { .. } | Request::Stats => {}
+                Request::Read { .. }
+                | Request::Recommend { .. }
+                | Request::Stats
+                | Request::Metrics => {}
             }
         }
         let outcome = self.broadcast_and_merge(&batch, subs);
@@ -640,6 +682,7 @@ impl<L: ShardLink> Relay<L> {
         subs: Vec<Vec<(u64, u64, Request)>>,
     ) -> Result<Vec<Response>, ShardError> {
         let shards = self.links.len();
+        self.obs.inc(MetricId::RelayBatches);
         for (s, entries) in subs.into_iter().enumerate() {
             let frame = encode_shard_msg(&ShardMsg::Batch {
                 tick: self.tick,
@@ -693,6 +736,15 @@ impl<L: ShardLink> Relay<L> {
                 });
             }
             if d.1 != control0 {
+                // The audit trail carries both digests: the disagreeing
+                // shard's and shard 0's reference.
+                self.obs.inc(MetricId::DesyncLatches);
+                self.obs.record(Event::DesyncLatched {
+                    tick: self.tick,
+                    shard: s as u32,
+                    got: d.1,
+                    want: control0,
+                });
                 return Err(ShardError::Desync {
                     tick: self.tick,
                     detail: format!(
@@ -747,7 +799,10 @@ impl<L: ShardLink> Relay<L> {
                     }
                     merge_left(self.tick, replies)?
                 }
-                Request::Read { .. } | Request::Recommend { .. } | Request::Stats => {
+                Request::Read { .. }
+                | Request::Recommend { .. }
+                | Request::Stats
+                | Request::Metrics => {
                     return Err(ShardError::Desync {
                         tick: self.tick,
                         detail: "an immediate request reached the batch queue".into(),
@@ -784,6 +839,59 @@ impl<L: ShardLink> Relay<L> {
         }
         let merged = merge_digest_parts(self.tick, self.next_seq, self.shutdown, &parts)?;
         Ok(render_digest(&merged))
+    }
+
+    /// Fetch every shard's registry snapshot and fold it into the
+    /// relay's own — `Sum` for partitioned counters, `Max` for
+    /// replicated ones — yielding the global registry a single process
+    /// over the same request stream would hold. Associativity and
+    /// commutativity of both modes make the fold order irrelevant.
+    fn merged_metrics(&mut self) -> Result<MetricSnapshot, ShardError> {
+        let expected = namespace_fingerprint();
+        let mut merged = self.obs.snapshot();
+        for s in 0..self.links.len() {
+            let msg = Self::exchange(&mut self.links[s], s, &ShardMsg::Metrics)?;
+            let ShardMsg::MetricsDone { namespace, values } = msg else {
+                return Err(ShardError::Protocol {
+                    shard: s as u32,
+                    detail: "metrics query was not answered with MetricsDone".into(),
+                });
+            };
+            if namespace != expected {
+                return Err(ShardError::Protocol {
+                    shard: s as u32,
+                    detail: format!(
+                        "metric name space {namespace:016x} does not match the relay's \
+                         {expected:016x}"
+                    ),
+                });
+            }
+            let Some(snap) = MetricSnapshot::from_values(values) else {
+                return Err(ShardError::Protocol {
+                    shard: s as u32,
+                    detail: "metric value vector length does not match the name space".into(),
+                });
+            };
+            merged.merge(&snap);
+        }
+        Ok(merged)
+    }
+
+    /// The merged cross-shard [`ObsReport`]: global metrics plus the
+    /// relay's own event trace (handshakes, latched desyncs). Shard
+    /// events stay on the shards — they describe shard-local WAL and
+    /// seal activity and are read per-process, not aggregated.
+    pub fn obs_report(&mut self) -> Result<ObsReport, ShardError> {
+        let metrics = self.merged_metrics()?;
+        let mut report = self.obs.parts();
+        report.metrics = metrics;
+        Ok(report)
+    }
+
+    /// The relay-local report (no shard exchange): the fallback when
+    /// links are faulted but the front-end still has to answer.
+    fn local_obs_report(&self) -> ObsReport {
+        self.obs.parts()
     }
 }
 
@@ -1149,6 +1257,19 @@ impl<L: ShardLink> Serving for ShardedService<L> {
             .relay
             .as_ref()
             .map_or(0, |r| r.minted as usize)
+    }
+
+    fn obs_report(&self) -> ObsReport {
+        let mut cell = self.inner.lock();
+        let Some(relay) = cell.relay.as_mut() else {
+            return ObsReport::default();
+        };
+        // A faulted or hung-up link degrades to the relay-local view
+        // (which still carries the latched desync) rather than losing
+        // the report entirely.
+        relay
+            .obs_report()
+            .unwrap_or_else(|_| relay.local_obs_report())
     }
 }
 

@@ -67,6 +67,8 @@ use std::sync::Arc;
 use tmwia_billboard::{par_map_phased, Billboard, PlayerId, ProbeEngine};
 use tmwia_model::matrix::PrefMatrix;
 use tmwia_model::rng::{derive, tags};
+use tmwia_obs::metrics::namespace_fingerprint;
+use tmwia_obs::{Event, MetricId, ObsReport, Registry as ObsRegistry};
 
 /// Where a response goes: the submitting transport's channel. The pair
 /// is `(request id, response)` — ids echo so pipelining clients can
@@ -299,6 +301,9 @@ pub struct Service {
     rejected: AtomicU64,
     shutdown: AtomicBool,
     durable: Option<DurableState>,
+    /// Deterministic metrics + event trace. Shared (`Arc`) so the WAL
+    /// writer and snapshot cell can stamp their own counters/events.
+    obs: Arc<ObsRegistry>,
     /// The next tick's batch, control pass already staged.
     staged: Mutex<Option<PreparedBatch>>,
     /// Requests held in `staged`. Maintained under the queue lock so
@@ -332,13 +337,16 @@ impl Service {
             ));
         }
         let n = truth.n();
+        let obs = Arc::new(ObsRegistry::new());
+        let snapshot = SnapshotCell::new(BoardSnapshot::empty());
+        snapshot.attach_obs(obs.clone());
         Ok(Service {
             engine: ProbeEngine::new(truth),
             board: Billboard::new(),
             cfg,
             registry: Mutex::new(SessionRegistry::new(n)),
             queue: Mutex::new(VecDeque::new()),
-            snapshot: SnapshotCell::new(BoardSnapshot::empty()),
+            snapshot,
             tick: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             sealed_seq: AtomicU64::new(0),
@@ -346,6 +354,7 @@ impl Service {
             rejected: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             durable: None,
+            obs,
             staged: Mutex::new(None),
             staged_len: AtomicUsize::new(0),
         })
@@ -370,7 +379,7 @@ impl Service {
             n: truth.n() as u64,
             m: truth.m() as u64,
         };
-        let (writer, contents) = WalWriter::open(&durability.dir, &header)?;
+        let (mut writer, contents) = WalWriter::open(&durability.dir, &header)?;
         let log_tick = contents.records.last().map_or(0, |r| r.tick);
         // Two cases force a full log replay even when a snapshot exists:
         //
@@ -390,6 +399,14 @@ impl Service {
             None
         };
         let mut svc = Service::new(truth, cfg).map_err(RecoverError::Service)?;
+        writer.attach_obs(svc.obs.clone());
+        if contents.truncated_bytes > 0 {
+            svc.obs
+                .add(MetricId::WalTruncatedBytes, contents.truncated_bytes);
+            svc.obs.record(Event::WalTruncatedTail {
+                bytes: contents.truncated_bytes,
+            });
+        }
         svc.durable = Some(DurableState {
             writer: Mutex::new(writer),
             dir: durability.dir.clone(),
@@ -446,6 +463,16 @@ impl Service {
             } else {
                 while rx.try_recv().is_ok() {}
             }
+        }
+        if report.replayed_ticks > 0 {
+            svc.obs.inc(MetricId::RecoveryReplays);
+            svc.obs
+                .add(MetricId::RecoveryReplayedRequests, report.replayed_requests);
+            svc.obs.record(Event::RecoveryReplay {
+                from_tick: base_tick + 1,
+                to_tick: svc.current_tick(),
+                requests: report.replayed_requests,
+            });
         }
         // Recovery must not inflate the served counter: replayed
         // requests were already counted by the original run.
@@ -599,6 +626,19 @@ impl Service {
         self.durable.as_ref().and_then(|d| d.error.lock().clone())
     }
 
+    /// The deterministic observability registry: counters keyed by the
+    /// static [`tmwia_obs::METRICS`] name space plus the bounded event
+    /// trace. Shared so transports and the WAL writer stamp into the
+    /// same registry.
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.obs
+    }
+
+    /// Metrics and events snapshotted together (the export input).
+    pub fn obs_report(&self) -> ObsReport {
+        self.obs.parts()
+    }
+
     /// Has a shutdown been requested?
     pub fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -656,6 +696,7 @@ impl Service {
                 let snap = self.snapshot.load();
                 let (likes, dislikes) = snap.tally(object);
                 self.served.fetch_add(1, Ordering::Relaxed);
+                self.obs.inc(MetricId::ReadsServed);
                 let _ = reply.send((
                     id,
                     Response::Board {
@@ -670,6 +711,7 @@ impl Service {
                 let snap = self.snapshot.load();
                 let take = count.min(self.cfg.recommend_cap) as usize;
                 self.served.fetch_add(1, Ordering::Relaxed);
+                self.obs.inc(MetricId::RecommendsServed);
                 let _ = reply.send((
                     id,
                     Response::Recommended {
@@ -693,6 +735,16 @@ impl Service {
                     },
                 ));
             }
+            Request::Metrics => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send((
+                    id,
+                    Response::Metrics {
+                        namespace: namespace_fingerprint(),
+                        values: self.obs.snapshot().values().to_vec(),
+                    },
+                ));
+            }
             Request::Join
             | Request::Leave { .. }
             | Request::Probe { .. }
@@ -712,6 +764,7 @@ impl Service {
                 {
                     drop(queue);
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.obs.inc(MetricId::RequestsRejected);
                     let _ = reply.send((
                         id,
                         Response::Busy {
@@ -915,6 +968,7 @@ impl Service {
             // The counter only advances here, so it lands on the value
             // the batch was staged for (`pb.tick_no`).
             let _ = self.tick.fetch_add(1, Ordering::Relaxed);
+            self.obs.set_max(MetricId::TicksExecuted, pb.tick_no);
             if !extras.is_empty() {
                 let from = pb.batch.len();
                 pb.batch.extend(extras);
@@ -931,6 +985,7 @@ impl Service {
                 (batch, queue.len())
             };
             let tick_no = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            self.obs.set_max(MetricId::TicksExecuted, tick_no);
             if batch.is_empty() && !seal_empty {
                 return TickReport {
                     tick: tick_no,
@@ -999,7 +1054,10 @@ impl Service {
                     }
                 }
                 // Reads never reach the queue (submit answers them).
-                Request::Read { .. } | Request::Recommend { .. } | Request::Stats => {
+                Request::Read { .. }
+                | Request::Recommend { .. }
+                | Request::Stats
+                | Request::Metrics => {
                     pb.responses[i] = Some(Response::Error {
                         code: ErrorCode::BadRequest,
                         detail: "read requests are never queued".into(),
@@ -1093,6 +1151,18 @@ impl Service {
             let _queue = self.queue.lock();
             self.shutdown.store(true, Ordering::SeqCst);
         }
+        // Session churn, counted at the commit barrier (the moment the
+        // control decisions become real) from the committed responses.
+        let (admitted, closed) = responses
+            .iter()
+            .flatten()
+            .fold((0u64, 0u64), |acc, r| match r {
+                Response::Joined { .. } => (acc.0 + 1, acc.1),
+                Response::Left { .. } => (acc.0, acc.1 + 1),
+                _ => acc,
+            });
+        self.obs.add(MetricId::SessionsAdmitted, admitted);
+        self.obs.add(MetricId::SessionsClosed, closed);
 
         // Phase 2 — data pass. Seeded tick order within each player's
         // group; groups in ascending player order, executed in parallel
@@ -1124,6 +1194,11 @@ impl Service {
                 }
             })
         } else {
+            if self.cfg.pipeline {
+                // Pipelining is on but this tick owes a persisted
+                // snapshot, so staging stalled for one tick.
+                self.obs.inc(MetricId::PipelineStalls);
+            }
             self.data_pass(&batch, &group_list)
         };
 
@@ -1146,11 +1221,35 @@ impl Service {
                 }
             }
             let mut tick_posts: Vec<(u32, PlayerId, bool)> = Vec::new();
+            let (mut paid, mut memoized) = (0u64, 0u64);
             for (group, posts) in results {
                 for (i, resp, _) in group {
+                    if let Response::Grade { charged, .. } = &resp {
+                        if *charged {
+                            paid += 1;
+                        } else {
+                            memoized += 1;
+                        }
+                    }
                     responses[i] = Some(resp);
                 }
                 tick_posts.extend(posts);
+            }
+            self.obs.add(MetricId::ProbesPaid, paid);
+            self.obs.add(MetricId::ProbesMemoized, memoized);
+            self.obs
+                .add(MetricId::PostsPublished, tick_posts.len() as u64);
+            // Fault-attributed probe outcomes are cumulative engine
+            // totals, so sample them monotonically (fault-free engines
+            // skip the O(n) walk entirely).
+            if let Some(f) = self.engine.fault_state() {
+                let (mut flipped, mut denied) = (0u64, 0u64);
+                for p in 0..self.engine.n() {
+                    flipped += f.flipped_of(p);
+                    denied += f.denied_of(p);
+                }
+                self.obs.set_max(MetricId::ProbesFlipped, flipped);
+                self.obs.set_max(MetricId::ProbesDenied, denied);
             }
             let epoch = self.board.advance_epoch();
             let paid: Vec<u64> = (0..self.engine.n())
@@ -1177,7 +1276,11 @@ impl Service {
                 if snapshot_due && d.error.lock().is_none() {
                     let state = self.capture_state(&reg, epoch, tick_no);
                     match wal::write_snapshot(&d.dir, &state) {
-                        Ok(()) => d.last_snapshot.store(tick_no, Ordering::Relaxed),
+                        Ok(()) => {
+                            d.last_snapshot.store(tick_no, Ordering::Relaxed);
+                            self.obs.inc(MetricId::SnapshotsSealed);
+                            self.obs.record(Event::SnapshotWritten { tick: tick_no });
+                        }
                         Err(e) => *d.error.lock() = Some(e.to_string()),
                     }
                 }
@@ -1477,6 +1580,9 @@ pub trait Serving: Send + Sync {
     fn rejected_total(&self) -> u64;
     /// Sessions ever admitted.
     fn sessions_minted(&self) -> usize;
+    /// The backend's observability report: metric values (merged across
+    /// shards by a relay backend) plus the front-end's event trace.
+    fn obs_report(&self) -> ObsReport;
 }
 
 impl Serving for Service {
@@ -1524,6 +1630,9 @@ impl Serving for Service {
     }
     fn sessions_minted(&self) -> usize {
         Service::sessions_minted(self)
+    }
+    fn obs_report(&self) -> ObsReport {
+        Service::obs_report(self)
     }
 }
 

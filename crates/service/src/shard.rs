@@ -39,6 +39,8 @@ use crate::wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame_capped, ErrorCode,
     Request, Response, WireError, MAX_FRAME, SHARD_MAX_FRAME,
 };
+use tmwia_obs::metrics::namespace_fingerprint;
+use tmwia_obs::MetricId;
 
 // ---------------------------------------------------------------- messages
 
@@ -132,6 +134,20 @@ pub enum ShardMsg {
     Digest,
     /// Shard → relay: the `Digest` answer.
     DigestDone(DigestParts),
+    /// Relay → shard: send back the shard's metric registry snapshot
+    /// so the relay can merge the global cross-shard registry.
+    Metrics,
+    /// Shard → relay: the `Metrics` answer — the raw value vector in
+    /// the static `METRICS` order, guarded by the name-space
+    /// fingerprint so positional values are never mis-zipped across
+    /// versions.
+    MetricsDone {
+        /// [`tmwia_obs::metrics::namespace_fingerprint`] of the
+        /// shard's name space; the relay refuses a mismatch.
+        namespace: u64,
+        /// The counter values, in `METRICS` order.
+        values: Vec<u64>,
+    },
 }
 
 /// Fingerprint of the configuration a sharded topology must agree on:
@@ -370,6 +386,15 @@ pub fn encode_shard_msg(msg: &ShardMsg) -> Result<Vec<u8>, WireError> {
             s.put_u8(0x09);
             put_digest(&mut s, parts)?;
         }
+        ShardMsg::Metrics => s.put_u8(0x0A),
+        ShardMsg::MetricsDone { namespace, values } => {
+            s.put_u8(0x0B);
+            s.put_u64(*namespace);
+            s.put_u32(count_u32("metric values", values.len())?);
+            for &v in values {
+                s.put_u64(v);
+            }
+        }
     }
     let body = s.0;
     if body.len() > SHARD_MAX_FRAME {
@@ -445,6 +470,16 @@ pub fn decode_shard_msg(body: &[u8]) -> Result<ShardMsg, WireError> {
         }
         0x08 => ShardMsg::Digest,
         0x09 => ShardMsg::DigestDone(take_digest(&mut t)?),
+        0x0A => ShardMsg::Metrics,
+        0x0B => {
+            let namespace = t.u64()?;
+            let count = t.u32()? as usize;
+            let mut values = Vec::with_capacity(count.min(SHARD_MAX_FRAME / 8));
+            for _ in 0..count {
+                values.push(t.u64()?);
+            }
+            ShardMsg::MetricsDone { namespace, values }
+        }
         other => return Err(WireError::UnknownTag(other)),
     };
     t.finish()?;
@@ -608,6 +643,11 @@ pub fn run_shard_worker(
                 link.send(&encode_shard_msg(&ShardMsg::QueryDone { id, resp })?)?;
             }
             ShardMsg::Rank { count } => {
+                // The rank path answers from the sealed snapshot and
+                // bypasses `Service::submit`, so the served counter is
+                // stamped here. Every shard ranks every request, which
+                // is exactly the `Max` merge the metric declares.
+                svc.obs().inc(MetricId::RecommendsServed);
                 let snap = svc.snapshot();
                 let mut scored: Vec<(i64, u32)> = snap
                     .posts
@@ -626,18 +666,27 @@ pub fn run_shard_worker(
                 let done = ShardMsg::DigestDone(svc.digest_parts());
                 link.send(&encode_shard_msg(&done)?)?;
             }
+            ShardMsg::Metrics => {
+                let done = ShardMsg::MetricsDone {
+                    namespace: namespace_fingerprint(),
+                    values: svc.obs().snapshot().values().to_vec(),
+                };
+                link.send(&encode_shard_msg(&done)?)?;
+            }
             // Shard-bound links never carry these relay-bound replies;
             // receiving one is a protocol violation by the peer.
             msg @ (ShardMsg::Hello { .. }
             | ShardMsg::BatchDone { .. }
             | ShardMsg::QueryDone { .. }
             | ShardMsg::RankDone { .. }
-            | ShardMsg::DigestDone(_)) => {
+            | ShardMsg::DigestDone(_)
+            | ShardMsg::MetricsDone { .. }) => {
                 let tag = match msg {
                     ShardMsg::Hello { .. } => "Hello",
                     ShardMsg::BatchDone { .. } => "BatchDone",
                     ShardMsg::QueryDone { .. } => "QueryDone",
                     ShardMsg::RankDone { .. } => "RankDone",
+                    ShardMsg::MetricsDone { .. } => "MetricsDone",
                     _ => "DigestDone",
                 };
                 return Err(WireError::Io(format!(
@@ -727,6 +776,11 @@ mod tests {
         round_trip(&ShardMsg::RankDone {
             epoch: 2,
             entries: vec![(4, 3), (1, -2)],
+        });
+        round_trip(&ShardMsg::Metrics);
+        round_trip(&ShardMsg::MetricsDone {
+            namespace: namespace_fingerprint(),
+            values: vec![0, 1, 42, u64::MAX],
         });
         round_trip(&ShardMsg::Digest);
         round_trip(&ShardMsg::DigestDone(DigestParts {

@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use tmwia_billboard::{Billboard, LivenessEpoch, PlayerId};
+use tmwia_obs::{Event, Registry as ObsRegistry};
 
 /// One object's sealed post list. The entries live behind an `Arc` so
 /// an incremental seal can carry every *untouched* object from the
@@ -212,6 +213,9 @@ impl BoardSnapshot {
 #[derive(Debug)]
 pub struct SnapshotCell {
     inner: RwLock<Arc<BoardSnapshot>>,
+    /// Observability registry the cell stamps a `TickSealed` event into
+    /// on every publish (`None` until the owning service attaches one).
+    obs: RwLock<Option<Arc<ObsRegistry>>>,
 }
 
 impl SnapshotCell {
@@ -219,7 +223,14 @@ impl SnapshotCell {
     pub fn new(initial: BoardSnapshot) -> Self {
         SnapshotCell {
             inner: RwLock::new(Arc::new(initial)),
+            obs: RwLock::new(None),
         }
+    }
+
+    /// Attach the registry every subsequent [`SnapshotCell::store`]
+    /// traces its seal into.
+    pub fn attach_obs(&self, obs: Arc<ObsRegistry>) {
+        *self.obs.write() = Some(obs);
     }
 
     /// The latest sealed snapshot.
@@ -227,8 +238,15 @@ impl SnapshotCell {
         self.inner.read().clone()
     }
 
-    /// Publish a newly sealed snapshot.
+    /// Publish a newly sealed snapshot. Publishing IS the seal becoming
+    /// visible, so this is where the `TickSealed` event is traced.
     pub fn store(&self, snapshot: BoardSnapshot) {
+        if let Some(obs) = self.obs.read().as_ref() {
+            obs.record(Event::TickSealed {
+                tick: snapshot.tick,
+                epoch: snapshot.epoch,
+            });
+        }
         *self.inner.write() = Arc::new(snapshot);
     }
 }

@@ -68,6 +68,10 @@ pub struct ServeSummary {
     /// false. The old `unwrap_or_else(|_| 0)` swallowed the payload and
     /// reported the truncated count as if it were real.
     pub ticker_panic: Option<String>,
+    /// The backend's observability report, captured after both server
+    /// threads joined (for a sharded backend this is the merged
+    /// cross-shard registry). Feeds `tmwia serve --metrics-out`.
+    pub obs: tmwia_obs::ObsReport,
 }
 
 /// A running TCP server: ticker + acceptor threads over a shared
@@ -108,6 +112,7 @@ impl<S: Serving + 'static> TcpServer<S> {
             sessions: self.svc.sessions_minted(),
             clean,
             ticker_panic,
+            obs: self.svc.obs_report(),
         }
     }
 }

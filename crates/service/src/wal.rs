@@ -40,6 +40,8 @@ use crate::wire::{decode_request, encode_request, Request, Sink, Take, MAX_FRAME
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tmwia_obs::{MetricId, Registry as ObsRegistry};
 
 /// Log file name inside a WAL directory.
 pub const WAL_FILE: &str = "ticks.wal";
@@ -279,6 +281,10 @@ pub struct WalWriter {
     file: File,
     path: PathBuf,
     logged_through: u64,
+    /// Observability registry durable appends count their bytes and
+    /// fsync barriers into (`None` until the owning service attaches
+    /// one). Replay-skipped appends touch neither disk nor counters.
+    obs: Option<Arc<ObsRegistry>>,
 }
 
 impl WalWriter {
@@ -403,6 +409,7 @@ impl WalWriter {
                 file,
                 path,
                 logged_through,
+                obs: None,
             },
             WalContents {
                 records,
@@ -427,7 +434,16 @@ impl WalWriter {
         self.file.write_all(&rec).map_err(|e| io_err(&e))?;
         self.file.sync_data().map_err(|e| io_err(&e))?;
         self.logged_through = tick;
+        if let Some(obs) = &self.obs {
+            obs.add(MetricId::WalBytes, rec.len() as u64);
+            obs.inc(MetricId::WalFsyncs);
+        }
         Ok(())
+    }
+
+    /// Attach the registry appends count WAL bytes and fsyncs into.
+    pub fn attach_obs(&mut self, obs: Arc<ObsRegistry>) {
+        self.obs = Some(obs);
     }
 
     /// Path of the log file (tests chop its tail to simulate torn

@@ -83,6 +83,9 @@ pub enum Request {
     Stats,
     /// Begin a clean shutdown: drain the queue, seal, stop ticking.
     Shutdown,
+    /// Full observability registry snapshot (immediate). A sharded
+    /// front-end answers with the merged cross-shard registry.
+    Metrics,
 }
 
 /// Server → client messages.
@@ -170,6 +173,16 @@ pub enum Response {
     },
     /// The service is shutting down; writes are no longer accepted.
     ShuttingDown,
+    /// Observability registry snapshot: one value per metric in the
+    /// static namespace, in namespace order.
+    Metrics {
+        /// FNV-1a fingerprint of the metric namespace the values were
+        /// sampled against; a client whose namespace disagrees must
+        /// not zip values with its own metric names.
+        namespace: u64,
+        /// Counter values in namespace order.
+        values: Vec<u64>,
+    },
 }
 
 /// Machine-readable request failure causes.
@@ -450,6 +463,7 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         }
         Request::Stats => s.put_u8(0x07),
         Request::Shutdown => s.put_u8(0x08),
+        Request::Metrics => s.put_u8(0x09),
     }
     frame(s.0)
 }
@@ -553,6 +567,18 @@ pub fn encode_response(id: u64, resp: &Response) -> Result<Vec<u8>, WireError> {
             s.0.extend_from_slice(bytes);
         }
         Response::ShuttingDown => s.put_u8(0x8A),
+        Response::Metrics { namespace, values } => {
+            s.put_u8(0x8B);
+            s.put_u64(*namespace);
+            let count = u16::try_from(values.len()).map_err(|_| WireError::CountOverflow {
+                what: "metrics vector",
+                count: values.len(),
+            })?;
+            s.put_u16(count);
+            for &v in values {
+                s.put_u64(v);
+            }
+        }
     }
     frame_checked(s.0)
 }
@@ -583,6 +609,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
         0x06 => Request::Recommend { count: t.u16()? },
         0x07 => Request::Stats,
         0x08 => Request::Shutdown,
+        0x09 => Request::Metrics,
         other => return Err(WireError::UnknownTag(other)),
     };
     t.finish()?;
@@ -650,6 +677,15 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
             Response::Error { code, detail }
         }
         0x8A => Response::ShuttingDown,
+        0x8B => {
+            let namespace = t.u64()?;
+            let count = t.u16()? as usize;
+            let mut values = Vec::with_capacity(count.min(MAX_FRAME / 8));
+            for _ in 0..count {
+                values.push(t.u64()?);
+            }
+            Response::Metrics { namespace, values }
+        }
         other => return Err(WireError::UnknownTag(other)),
     };
     t.finish()?;
@@ -747,6 +783,7 @@ mod tests {
             Request::Recommend { count: 5 },
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
         ];
         for (i, req) in cases.iter().enumerate() {
             let f = encode_request(i as u64, req);
@@ -780,6 +817,10 @@ mod tests {
                 retry_after_ticks: 2,
             },
             Response::ShuttingDown,
+            Response::Metrics {
+                namespace: 0xDEAD_BEEF_0BAD_F00D,
+                values: vec![0, 1, u64::MAX, 42],
+            },
         ];
         for resp in &cases {
             let f = encode_response(99, resp).expect("in-range response encodes");

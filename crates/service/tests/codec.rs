@@ -11,7 +11,7 @@ use tmwia_service::{
 /// proptest shim has no enum strategies).
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0u8..8,
+        0u8..9,
         any::<u64>(),
         any::<u32>(),
         any::<bool>(),
@@ -33,6 +33,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
             4 => Request::Read { object },
             5 => Request::Recommend { count },
             6 => Request::Stats,
+            7 => Request::Metrics,
             _ => Request::Shutdown,
         })
 }
@@ -41,7 +42,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 /// object list stress the variable-length paths.
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        (0u8..10, any::<u64>(), any::<u32>(), any::<bool>()),
+        (0u8..11, any::<u64>(), any::<u32>(), any::<bool>()),
         (any::<u64>(), any::<u32>(), any::<u16>()),
         proptest::collection::vec(any::<u32>(), 0..20),
         proptest::collection::vec(any::<u8>(), 0..40),
@@ -95,6 +96,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     code: tmwia_service::ErrorCode::BadRequest,
                     detail: text,
                 },
+                9 => Response::Metrics {
+                    namespace: a,
+                    values: objects.iter().map(|&j| u64::from(j)).collect(),
+                },
                 _ => Response::ShuttingDown,
             }
         })
@@ -146,8 +151,8 @@ proptest! {
     }
 
     #[test]
-    fn corrupt_tags_are_typed_errors(id in any::<u64>(), tag in 9u8..0x80) {
-        // Request tags stop at 0x08; everything in [0x09, 0x80) is junk.
+    fn corrupt_tags_are_typed_errors(id in any::<u64>(), tag in 10u8..0x80) {
+        // Request tags stop at 0x09; everything in [0x0A, 0x80) is junk.
         let mut body = id.to_le_bytes().to_vec();
         body.push(tag);
         match decode_request(&body) {

@@ -194,6 +194,47 @@ fn desync_gate_trips_on_an_injected_divergence_and_latches() {
         "desync stays latched"
     );
 
+    // The audit trail must carry enough to localize the split without
+    // re-running the workload: the tick, the disagreeing shard, and
+    // BOTH control digests (the rogue shard's and shard 0's reference).
+    let report = svc.obs_report();
+    let latches: Vec<_> = report
+        .events
+        .iter()
+        .filter(|e| matches!(e.event, tmwia_obs::Event::DesyncLatched { .. }))
+        .collect();
+    assert_eq!(latches.len(), 1, "exactly one latch event: {latches:?}");
+    let tmwia_obs::Event::DesyncLatched {
+        tick,
+        shard,
+        got,
+        want,
+    } = latches[0].event
+    else {
+        unreachable!()
+    };
+    assert!(tick >= 1, "the gate fires on an executed tick, got {tick}");
+    assert_eq!(shard, 1, "the sabotaged shard is the one that split");
+    assert_ne!(got, want, "the event carries two *disagreeing* digests");
+    assert_eq!(
+        latches[0].timestamp_micros, 0,
+        "no clock installed on a test path, so the timestamp is the deterministic zero"
+    );
+    let rendered = latches[0].event.render_deterministic();
+    assert!(
+        rendered.contains(&format!("\"got\": \"{got:016x}\""))
+            && rendered.contains(&format!("\"want\": \"{want:016x}\"")),
+        "both digests export as fixed-width hex: {rendered}"
+    );
+    let desync_idx = (0..tmwia_obs::METRICS.len())
+        .find(|&i| tmwia_obs::METRICS[i].name == "desync_latches")
+        .expect("desync_latches is in the namespace");
+    assert_eq!(
+        report.metrics.values()[desync_idx],
+        1,
+        "the counter and the event trace agree"
+    );
+
     svc.disconnect();
     for w in workers {
         // The sabotaged topology tears down without panicking; exact
